@@ -1,0 +1,102 @@
+// Ablation: how the blocked SQL coding responds to block size — the
+// "key choice regarding the blocking or chunking of the matrices" the
+// paper (§1) says its minimalist approach leaves to the programmer.
+// Small blocks re-introduce per-tuple overhead; one huge block loses
+// all parallelism (skew -> number of workers).
+#include "bench/bench_util.h"
+
+namespace radb::bench {
+namespace {
+
+using workloads::Dataset;
+using workloads::GenerateDataset;
+using workloads::ReferenceGram;
+using workloads::SqlWorkload;
+
+constexpr size_t kN = 800;
+constexpr size_t kD = 200;
+
+void BM_Ablation_GramBlockSize(benchmark::State& state) {
+  const size_t block = static_cast<size_t>(state.range(0));
+  const Dataset data = GenerateDataset(kSeed, kN, kD);
+  for (auto _ : state) {
+    SqlWorkload wl(kWorkers);
+    if (!wl.LoadVector(data).ok()) {
+      state.SkipWithError("load failed");
+      break;
+    }
+    auto out = wl.GramBlock(block);
+    if (!out.ok()) {
+      state.SkipWithError(out.status().ToString().c_str());
+      break;
+    }
+    if (out->gram.MaxAbsDiff(ReferenceGram(data)) > 1e-6) {
+      state.SkipWithError("gram mismatch");
+      break;
+    }
+    ReportOutcome(state, *out);
+    // Skew of the *partial* (compute) aggregation stage: with few
+    // blocks most workers idle (the paper's §5 observation at 100
+    // blocks / 80 cores, in miniature). The final merge of a scalar
+    // aggregate is a single-worker stage by design and is excluded.
+    double max_skew = 1.0;
+    for (const auto& op : out->metrics.operators) {
+      if (op.name.find("Aggregate(partial)") != std::string::npos) {
+        max_skew = std::max(max_skew, op.Skew());
+      }
+    }
+    state.counters["agg_skew"] = max_skew;
+    state.counters["blocks"] =
+        static_cast<double>((kN + block - 1) / block);
+  }
+}
+
+BENCHMARK(BM_Ablation_GramBlockSize)
+    ->Arg(10)    // 80 tiny blocks
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(100)   // 8 blocks = 1 per worker
+    ->Arg(200)
+    ->Arg(400)
+    ->Arg(800)   // single block: no parallelism
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Ablation_DistanceBlockSize(benchmark::State& state) {
+  const size_t block = static_cast<size_t>(state.range(0));
+  const Dataset data = GenerateDataset(kSeed, kN, 50);
+  for (auto _ : state) {
+    SqlWorkload wl(kWorkers);
+    if (!wl.LoadVector(data).ok()) {
+      state.SkipWithError("load failed");
+      break;
+    }
+    auto out = wl.DistanceBlock(block);
+    if (!out.ok()) {
+      state.SkipWithError(out.status().ToString().c_str());
+      break;
+    }
+    auto expected = workloads::ReferenceDistance(data);
+    if (!expected.ok() || out->distance.point_id != expected->point_id) {
+      state.SkipWithError("distance mismatch");
+      break;
+    }
+    ReportOutcome(state, *out);
+    state.counters["blocks"] = static_cast<double>(kN / block);
+  }
+}
+
+BENCHMARK(BM_Ablation_DistanceBlockSize)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Arg(400)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace radb::bench
+
+BENCHMARK_MAIN();

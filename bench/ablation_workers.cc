@@ -1,0 +1,99 @@
+// Ablation: simulated cluster width. Reproduces the paper's §5
+// load-balancing observation: with randomized hash partitioning, a
+// fixed number of coarse work units (100 blocked matrices on 80
+// cores) leaves some workers with 4-5 units while most finish early —
+// visible here as the skew (max/mean worker time) growing with the
+// worker count while the simulated parallel time stops improving.
+#include "bench/bench_util.h"
+
+namespace radb::bench {
+namespace {
+
+using workloads::Dataset;
+using workloads::GenerateDataset;
+using workloads::SqlWorkload;
+
+constexpr size_t kN = 800;
+constexpr size_t kD = 100;
+constexpr size_t kBlock = 50;  // 16 work units, like 100 blocks / 80 cores
+
+void BM_Ablation_WorkersGramBlock(benchmark::State& state) {
+  const size_t workers = static_cast<size_t>(state.range(0));
+  const Dataset data = GenerateDataset(kSeed, kN, kD);
+  for (auto _ : state) {
+    SqlWorkload wl(workers);
+    if (!wl.LoadVector(data).ok()) {
+      state.SkipWithError("load failed");
+      break;
+    }
+    auto out = wl.GramBlock(kBlock);
+    if (!out.ok()) {
+      state.SkipWithError(out.status().ToString().c_str());
+      break;
+    }
+    ReportOutcome(state, *out);
+    double max_skew = 1.0;
+    for (const auto& op : out->metrics.operators) {
+      if (op.name.find("Aggregate(partial)") != std::string::npos) {
+        max_skew = std::max(max_skew, op.Skew());
+      }
+    }
+    state.counters["partial_skew"] = max_skew;
+    state.counters["workers"] = static_cast<double>(workers);
+  }
+}
+
+BENCHMARK(BM_Ablation_WorkersGramBlock)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Ablation_WorkersGramVector(benchmark::State& state) {
+  const size_t workers = static_cast<size_t>(state.range(0));
+  const Dataset data = GenerateDataset(kSeed, kN, kD);
+  for (auto _ : state) {
+    SqlWorkload wl(workers);
+    if (!wl.LoadVector(data).ok()) {
+      state.SkipWithError("load failed");
+      break;
+    }
+    auto out = wl.GramVector();
+    if (!out.ok()) {
+      state.SkipWithError(out.status().ToString().c_str());
+      break;
+    }
+    ReportOutcome(state, *out);
+    // One fine-grained unit per point: skew stays near 1 at any width
+    // — the contrast with the blocked run above.
+    double max_skew = 1.0;
+    for (const auto& op : out->metrics.operators) {
+      if (op.name.find("Aggregate(partial)") != std::string::npos) {
+        max_skew = std::max(max_skew, op.Skew());
+      }
+    }
+    state.counters["partial_skew"] = max_skew;
+    state.counters["workers"] = static_cast<double>(workers);
+  }
+}
+
+BENCHMARK(BM_Ablation_WorkersGramVector)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace radb::bench
+
+BENCHMARK_MAIN();

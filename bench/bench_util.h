@@ -1,0 +1,106 @@
+#ifndef RADB_BENCH_BENCH_UTIL_H_
+#define RADB_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "workloads/computations.h"
+#include "workloads/datagen.h"
+
+namespace radb::bench {
+
+/// Simulated cluster width, standing in for the paper's 10 machines.
+constexpr size_t kWorkers = 8;
+constexpr uint64_t kSeed = 20170419;  // ICDE 2017
+
+/// Point counts per dimensionality, scaled down from the paper's 10^6
+/// (Gram/regression) and 10^5 (distance) totals so each cell finishes
+/// in seconds on a laptop. The tuple-based coding still blows up by
+/// orders of magnitude at 1000 dims, which is the figure's story.
+inline size_t GramPointsFor(size_t dims) {
+  switch (dims) {
+    case 10:
+      return 1000;
+    case 100:
+      return 400;
+    default:
+      return 40;
+  }
+}
+
+/// Linear regression needs n > d for a non-singular XᵀX (the paper
+/// has n = 10^6 >> d everywhere).
+inline size_t LinRegPointsFor(size_t dims) {
+  switch (dims) {
+    case 10:
+      return 1000;
+    case 100:
+      return 400;
+    default:
+      return 1100;
+  }
+}
+
+inline size_t DistancePointsFor(size_t dims) {
+  // The paper keeps the same point count at every dimensionality
+  // (10^4 per machine) and always has n >> d is false only at d=1000;
+  // we keep n fixed so the n^2 pair phase dominates like it does at
+  // production scale.
+  (void)dims;
+  return 1000;
+}
+
+/// Distance uses two fat blocks (paper: 100 blocks of 1000 points);
+/// fewer blocks amortize the per-pair A*Bᵀ multiply of the §5 code.
+inline size_t DistanceBlockFor(size_t n) { return n / 2; }
+
+/// Block size for the blocked SQL coding (the paper groups 1000
+/// points; we scale with n and keep block | n for the distance path).
+inline size_t BlockFor(size_t n) { return n / 4; }
+
+/// SystemML-style configuration: square blocks plus the hybrid
+/// local/distributed threshold. 128 KiB reproduces the paper's
+/// footnote shape: 10-dim datasets run in local mode (starred in
+/// Fig. 1/2), the larger ones distribute.
+inline systemml::DmlConfig SystemMlConfigFor(size_t n) {
+  systemml::DmlConfig config;
+  config.num_workers = kWorkers;
+  config.block_size = BlockFor(n);
+  config.local_threshold_bytes = 128u << 10;
+  return config;
+}
+
+/// SciDB-style chunk (paper: 1000; scaled with n).
+inline size_t ChunkFor(size_t n) { return BlockFor(n); }
+
+/// Network model for the simulated-cluster runtime: the paper's EC2
+/// m2.4xlarge machines (2009-era) have ~1 Gbit NICs, i.e. ~125 MiB/s
+/// per worker of shuffle bandwidth.
+constexpr double kShuffleBytesPerSecond = 125.0 * 1024 * 1024;
+
+/// Estimated runtime on a real shared-nothing cluster: the slowest
+/// worker per stage plus the time to push the shuffled bytes through
+/// the per-worker NICs. In-process execution hides data movement
+/// (shuffles are shared-pointer swaps), so this derived number is
+/// what the paper's wall-clock figures correspond to.
+inline double ClusterSeconds(const workloads::RunOutcome& out) {
+  return out.simulated_seconds +
+         static_cast<double>(out.bytes_shuffled) /
+             (kShuffleBytesPerSecond * kWorkers);
+}
+
+/// Attaches the standard counters to a benchmark iteration.
+inline void ReportOutcome(benchmark::State& state,
+                          const workloads::RunOutcome& out) {
+  state.SetIterationTime(out.wall_seconds);
+  state.counters["sim_s"] = out.simulated_seconds;
+  state.counters["cluster_s"] = ClusterSeconds(out);
+  state.counters["shuffledMB"] =
+      static_cast<double>(out.bytes_shuffled) / (1024.0 * 1024.0);
+}
+
+}  // namespace radb::bench
+
+#endif  // RADB_BENCH_BENCH_UTIL_H_

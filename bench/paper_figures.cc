@@ -1,0 +1,221 @@
+// Prints Figures 1, 2 and 3 of the paper as tables in the paper's own
+// format (platform rows x dimensionality columns, HH:MM:SS-style
+// cells, "Fail" entries, local-mode stars), plus the §5 geometric-mean
+// summary. This is the one-shot harness; the per-cell google-benchmark
+// binaries (fig1_gram etc.) expose the same measurements with
+// counters.
+//
+// Cells show the measured wall time of this in-process reproduction —
+// compare *shapes* with the paper, not absolute values (see
+// EXPERIMENTS.md).
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+
+namespace radb::bench {
+namespace {
+
+using workloads::Dataset;
+using workloads::GenerateDataset;
+using workloads::RunOutcome;
+using workloads::SqlWorkload;
+
+struct Cell {
+  bool ok = false;
+  bool failed = false;        // the paper's "Fail"
+  bool local_mode = false;    // the paper's star
+  bool skipped = false;       // exceeds bench time budget
+  double seconds = 0.0;
+};
+
+std::string Render(const Cell& c) {
+  if (c.failed) return "Fail";
+  if (c.skipped) return "(skip)";
+  if (!c.ok) return "error";
+  std::string out = FormatHms(c.seconds);
+  if (c.local_mode) out += "*";
+  return out;
+}
+
+void PrintTable(const char* title,
+                const std::vector<std::pair<std::string, std::vector<Cell>>>&
+                    rows) {
+  std::printf("\n%s\n", title);
+  std::printf("%-16s %12s %12s %12s\n", "Platform", "10 dims", "100 dims",
+              "1000 dims");
+  for (const auto& [name, cells] : rows) {
+    std::printf("%-16s %12s %12s %12s\n", name.c_str(),
+                Render(cells[0]).c_str(), Render(cells[1]).c_str(),
+                Render(cells[2]).c_str());
+  }
+}
+
+Cell FromOutcome(const Result<RunOutcome>& out, bool local_mode = false) {
+  Cell c;
+  if (!out.ok()) return c;
+  c.ok = true;
+  c.failed = out->failed;
+  c.local_mode = local_mode;
+  c.seconds = out->wall_seconds;
+  return c;
+}
+
+constexpr size_t kDims[3] = {10, 100, 1000};
+
+}  // namespace
+
+int Run() {
+  // ---------------- Figure 1: Gram matrix ----------------
+  std::vector<std::pair<std::string, std::vector<Cell>>> gram(6);
+  gram[0].first = "Tuple SQL";
+  gram[1].first = "Vector SQL";
+  gram[2].first = "Block SQL";
+  gram[3].first = "SystemML";
+  gram[4].first = "Spark mllib";
+  gram[5].first = "SciDB";
+  for (auto& row : gram) row.second.resize(3);
+  for (int i = 0; i < 3; ++i) {
+    const size_t d = kDims[i];
+    const size_t n = GramPointsFor(d);
+    const Dataset data = GenerateDataset(kSeed, n, d);
+    {
+      SqlWorkload wl(kWorkers);
+      if (wl.LoadTuple(data).ok()) {
+        gram[0].second[i] = FromOutcome(wl.GramTuple());
+      }
+    }
+    {
+      SqlWorkload wl(kWorkers);
+      if (wl.LoadVector(data).ok()) {
+        gram[1].second[i] = FromOutcome(wl.GramVector());
+      }
+    }
+    {
+      SqlWorkload wl(kWorkers);
+      if (wl.LoadVector(data).ok()) {
+        gram[2].second[i] = FromOutcome(wl.GramBlock(BlockFor(n)));
+      }
+    }
+    const systemml::DmlConfig dml = SystemMlConfigFor(n);
+    const bool local =
+        8 * n * d <= dml.local_threshold_bytes;  // X fits locally
+    gram[3].second[i] = FromOutcome(workloads::GramSystemML(data, dml),
+                                    local);
+    gram[4].second[i] = FromOutcome(workloads::GramSpark(data, kWorkers));
+    gram[5].second[i] =
+        FromOutcome(workloads::GramSciDB(data, kWorkers, ChunkFor(n)));
+  }
+  PrintTable("Figure 1: Gram matrix computation", gram);
+
+  // ---------------- Figure 2: Linear regression ----------------
+  std::vector<std::pair<std::string, std::vector<Cell>>> reg = gram;
+  for (auto& row : reg) row.second.assign(3, Cell{});
+  for (int i = 0; i < 3; ++i) {
+    const size_t d = kDims[i];
+    const size_t n = LinRegPointsFor(d);
+    const Dataset data = GenerateDataset(kSeed, n, d);
+    if (d < 1000) {
+      SqlWorkload wl(kWorkers);
+      if (wl.LoadTuple(data).ok()) {
+        reg[0].second[i] = FromOutcome(wl.LinRegTuple());
+      }
+    } else {
+      reg[0].second[i].skipped = true;  // see fig2_linreg.cc
+    }
+    {
+      SqlWorkload wl(kWorkers);
+      if (wl.LoadVector(data).ok()) {
+        reg[1].second[i] = FromOutcome(wl.LinRegVector());
+      }
+    }
+    {
+      SqlWorkload wl(kWorkers);
+      if (wl.LoadVector(data).ok()) {
+        reg[2].second[i] = FromOutcome(wl.LinRegBlock(BlockFor(n)));
+      }
+    }
+    const systemml::DmlConfig dml = SystemMlConfigFor(n);
+    const bool local = 8 * n * d <= dml.local_threshold_bytes;
+    reg[3].second[i] =
+        FromOutcome(workloads::LinRegSystemML(data, dml), local);
+    reg[4].second[i] = FromOutcome(workloads::LinRegSpark(data, kWorkers));
+    reg[5].second[i] =
+        FromOutcome(workloads::LinRegSciDB(data, kWorkers, ChunkFor(n)));
+  }
+  PrintTable("Figure 2: Linear regression", reg);
+
+  // ---------------- Figure 3: Distance computation ----------------
+  std::vector<std::pair<std::string, std::vector<Cell>>> dist = gram;
+  for (auto& row : dist) row.second.assign(3, Cell{});
+  for (int i = 0; i < 3; ++i) {
+    const size_t d = kDims[i];
+    const size_t n = DistancePointsFor(d);
+    const Dataset data = GenerateDataset(kSeed, n, d);
+    {
+      SqlWorkload wl(kWorkers);
+      if (wl.LoadTuple(data).ok()) {
+        dist[0].second[i] = FromOutcome(wl.DistanceTuple(1'000'000));
+      }
+    }
+    {
+      SqlWorkload wl(kWorkers);
+      if (wl.LoadVector(data).ok()) {
+        dist[1].second[i] = FromOutcome(wl.DistanceVector());
+      }
+    }
+    {
+      SqlWorkload wl(kWorkers);
+      if (wl.LoadVector(data).ok()) {
+        dist[2].second[i] =
+            FromOutcome(wl.DistanceBlock(DistanceBlockFor(n)));
+      }
+    }
+    dist[3].second[i] = FromOutcome(
+        workloads::DistanceSystemML(data, SystemMlConfigFor(n)));
+    dist[4].second[i] = FromOutcome(
+        workloads::DistanceSpark(data, kWorkers, DistanceBlockFor(n)));
+    dist[5].second[i] =
+        FromOutcome(workloads::DistanceSciDB(data, kWorkers, ChunkFor(n)));
+  }
+  PrintTable("Figure 3: Distance computation", dist);
+
+  // ---------------- §5 geometric means over the 1000-dim column -----
+  std::printf("\nGeometric mean over the three 1000-dim tasks "
+              "(paper: SimSQL 5:07, SystemML 6:05, SciDB 4:41):\n");
+  auto geo = [&](const Cell& a, const Cell& b, const Cell& c) -> double {
+    if (!a.ok || !b.ok || !c.ok || a.failed || b.failed || c.failed) {
+      return -1.0;
+    }
+    return std::cbrt(a.seconds * b.seconds * c.seconds);
+  };
+  struct GeoRow {
+    const char* name;
+    double value;
+  };
+  const GeoRow rows[] = {
+      {"Block SQL", geo(gram[2].second[2], reg[2].second[2],
+                        dist[2].second[2])},
+      {"SystemML", geo(gram[3].second[2], reg[3].second[2],
+                       dist[3].second[2])},
+      {"SciDB", geo(gram[5].second[2], reg[5].second[2],
+                    dist[5].second[2])},
+  };
+  for (const GeoRow& r : rows) {
+    if (r.value < 0) {
+      std::printf("  %-12s n/a\n", r.name);
+    } else {
+      std::printf("  %-12s %s\n", r.name, FormatHms(r.value).c_str());
+    }
+  }
+  std::printf("\n(* = SystemML-style local mode, as in the paper's "
+              "starred cells)\n");
+  return 0;
+}
+
+}  // namespace radb::bench
+
+int main() { return radb::bench::Run(); }

@@ -1,0 +1,131 @@
+// PageRank by power iteration over a link matrix that is "too big for
+// one machine": stored relationally as tiles (paper §3.4) and
+// multiplied with a join + GROUP BY every iteration. The rank vector
+// is itself a tiled one-column matrix, so each step is pure SQL:
+//
+//   r <- 0.85 * M r + 0.15/n
+//
+// with the teleport term applied through scalar broadcast (§3.2).
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "api/database.h"
+#include "common/rng.h"
+#include "la/tiled.h"
+
+namespace {
+
+constexpr size_t kNodes = 240;
+constexpr size_t kTile = 60;
+constexpr double kDamping = 0.85;
+constexpr int kIters = 40;
+
+int Fail(const radb::Status& s) {
+  std::cerr << "error: " << s << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  using radb::Value;
+  radb::Rng rng(17);
+
+  // Random graph; every node gets >= 1 out-edge (no dangling nodes).
+  // M is column-stochastic: M[i][j] = 1/outdeg(j) for edge j -> i.
+  std::vector<std::vector<size_t>> out_edges(kNodes);
+  for (size_t j = 0; j < kNodes; ++j) {
+    const size_t degree = 1 + rng.NextBelow(5);
+    for (size_t e = 0; e < degree; ++e) {
+      out_edges[j].push_back(rng.NextBelow(kNodes));
+    }
+  }
+  radb::la::Matrix link(kNodes, kNodes);
+  for (size_t j = 0; j < kNodes; ++j) {
+    const double w = 1.0 / static_cast<double>(out_edges[j].size());
+    for (size_t i : out_edges[j]) link.At(i, j) += w;
+  }
+
+  radb::Database db;
+  const std::string tile_t =
+      "MATRIX[" + std::to_string(kTile) + "][" + std::to_string(kTile) + "]";
+  const std::string rank_t =
+      "MATRIX[" + std::to_string(kTile) + "][1]";
+  if (auto s = db.ExecuteSql(
+          "CREATE TABLE link (tileRow INTEGER, tileCol INTEGER, mat " +
+          tile_t + "); CREATE TABLE rank (tileRow INTEGER, mat " + rank_t +
+          ")");
+      !s.ok()) {
+    return Fail(s.status());
+  }
+  std::vector<radb::Row> tiles;
+  for (radb::la::Tile& t : radb::la::SplitIntoTiles(link, kTile, kTile)) {
+    tiles.push_back({Value::Int(static_cast<int64_t>(t.tile_row)),
+                     Value::Int(static_cast<int64_t>(t.tile_col)),
+                     Value::FromMatrix(std::move(t.mat))});
+  }
+  if (auto s = db.BulkInsert("link", std::move(tiles)); !s.ok()) {
+    return Fail(s);
+  }
+  std::vector<radb::Row> rank_tiles;
+  for (size_t tr = 0; tr < kNodes / kTile; ++tr) {
+    rank_tiles.push_back(
+        {Value::Int(static_cast<int64_t>(tr)),
+         Value::FromMatrix(radb::la::Matrix(kTile, 1, 1.0 / kNodes))});
+  }
+  if (auto s = db.BulkInsert("rank", std::move(rank_tiles)); !s.ok()) {
+    return Fail(s);
+  }
+
+  const std::string teleport = std::to_string((1.0 - kDamping) / kNodes);
+  for (int iter = 0; iter < kIters; ++iter) {
+    auto step = db.ExecuteSql(
+        "CREATE TABLE rank_next AS "
+        "SELECT m.tileRow, SUM(matrix_multiply(m.mat, r.mat)) * " +
+        std::to_string(kDamping) + " + " + teleport +
+        " AS mat "
+        "FROM link AS m, rank AS r WHERE m.tileCol = r.tileRow "
+        "GROUP BY m.tileRow; "
+        "DROP TABLE rank; "
+        "CREATE TABLE rank AS SELECT tileRow, mat FROM rank_next; "
+        "DROP TABLE rank_next");
+    if (!step.ok()) return Fail(step.status());
+  }
+
+  // Gather the distributed rank vector.
+  auto rs = db.ExecuteSql("SELECT tileRow, mat FROM rank ORDER BY tileRow");
+  if (!rs.ok()) return Fail(rs.status());
+  std::vector<double> rank(kNodes);
+  for (size_t r = 0; r < rs->num_rows(); ++r) {
+    const size_t tr = static_cast<size_t>(rs->at(r, 0).AsInt().value());
+    const radb::la::Matrix& m = rs->at(r, 1).matrix();
+    for (size_t i = 0; i < m.rows(); ++i) rank[tr * kTile + i] = m.At(i, 0);
+  }
+
+  // Dense reference power iteration.
+  std::vector<double> ref(kNodes, 1.0 / kNodes);
+  for (int iter = 0; iter < kIters; ++iter) {
+    std::vector<double> next(kNodes, (1.0 - kDamping) / kNodes);
+    for (size_t i = 0; i < kNodes; ++i) {
+      double acc = 0;
+      for (size_t j = 0; j < kNodes; ++j) acc += link.At(i, j) * ref[j];
+      next[i] += kDamping * acc;
+    }
+    ref = std::move(next);
+  }
+  double max_diff = 0, total = 0;
+  size_t best = 0;
+  for (size_t i = 0; i < kNodes; ++i) {
+    max_diff = std::max(max_diff, std::abs(rank[i] - ref[i]));
+    total += rank[i];
+    if (rank[i] > rank[best]) best = i;
+  }
+  std::printf("PageRank over %zu nodes (%d iterations of tiled SQL):\n",
+              kNodes, kIters);
+  std::printf("  sum of ranks        = %.6f (should be ~1)\n", total);
+  std::printf("  top-ranked node     = %zu (score %.5f)\n", best,
+              rank[best]);
+  std::printf("  max |SQL - dense|   = %.3g\n", max_diff);
+  return max_diff < 1e-12 ? 0 : 1;
+}

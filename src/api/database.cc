@@ -1,0 +1,304 @@
+#include "api/database.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "binder/binder.h"
+#include "exec/executor.h"
+#include "exec/expr_eval.h"
+#include "parser/parser.h"
+#include "storage/serialize.h"
+
+namespace radb {
+
+Result<double> ResultSet::ScalarDouble() const {
+  if (rows.empty() || rows[0].empty()) {
+    return Status::ExecutionError("empty result set");
+  }
+  return rows[0][0].AsDouble();
+}
+
+Result<la::Matrix> ResultSet::ScalarMatrix() const {
+  if (rows.empty() || rows[0].empty()) {
+    return Status::ExecutionError("empty result set");
+  }
+  if (rows[0][0].kind() != TypeKind::kMatrix) {
+    return Status::TypeError("result is not a MATRIX");
+  }
+  return rows[0][0].matrix();
+}
+
+Result<la::Vector> ResultSet::ScalarVector() const {
+  if (rows.empty() || rows[0].empty()) {
+    return Status::ExecutionError("empty result set");
+  }
+  if (rows[0][0].kind() != TypeKind::kVector) {
+    return Status::TypeError("result is not a VECTOR");
+  }
+  return rows[0][0].vector();
+}
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) os << " | ";
+    os << columns[i].name;
+  }
+  os << "\n";
+  for (size_t r = 0; r < rows.size() && r < max_rows; ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      if (c > 0) os << " | ";
+      os << rows[r][c].ToString();
+    }
+    os << "\n";
+  }
+  if (rows.size() > max_rows) {
+    os << "... (" << rows.size() << " rows)\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Evaluates an INSERT ... VALUES expression: constants, arithmetic,
+/// and built-in function calls only (no column references).
+Result<Value> EvalConstExpr(const Catalog& catalog,
+                            const parser::Expr& pe) {
+  using PK = parser::Expr::Kind;
+  switch (pe.kind) {
+    case PK::kIntLiteral:
+      return Value::Int(pe.int_value);
+    case PK::kDoubleLiteral:
+      return Value::Double(pe.double_value);
+    case PK::kStringLiteral:
+      return Value::String(pe.string_value);
+    case PK::kBoolLiteral:
+      return Value::Bool(pe.bool_value);
+    case PK::kNullLiteral:
+      return Value::Null();
+    case PK::kUnaryOp: {
+      RADB_ASSIGN_OR_RETURN(Value v, EvalConstExpr(catalog, *pe.children[0]));
+      if (pe.op == parser::OpKind::kNeg) return EvalNegate(v);
+      if (v.is_null()) return Value::Null();
+      return Value::Bool(!v.bool_value());
+    }
+    case PK::kBinaryOp: {
+      RADB_ASSIGN_OR_RETURN(Value l, EvalConstExpr(catalog, *pe.children[0]));
+      RADB_ASSIGN_OR_RETURN(Value r, EvalConstExpr(catalog, *pe.children[1]));
+      switch (pe.op) {
+        case parser::OpKind::kAdd:
+          return EvalArith(ArithOp::kAdd, l, r);
+        case parser::OpKind::kSub:
+          return EvalArith(ArithOp::kSub, l, r);
+        case parser::OpKind::kMul:
+          return EvalArith(ArithOp::kMul, l, r);
+        case parser::OpKind::kDiv:
+          return EvalArith(ArithOp::kDiv, l, r);
+        default:
+          return Status::BindError("unsupported operator in INSERT VALUES");
+      }
+    }
+    case PK::kFunctionCall: {
+      RADB_ASSIGN_OR_RETURN(const BuiltinFunction* fn,
+                            catalog.functions().Lookup(pe.name));
+      std::vector<Value> args;
+      for (const auto& c : pe.children) {
+        RADB_ASSIGN_OR_RETURN(Value v, EvalConstExpr(catalog, *c));
+        args.push_back(std::move(v));
+      }
+      return fn->eval(args);
+    }
+    default:
+      return Status::BindError("INSERT VALUES allows constants only");
+  }
+}
+
+}  // namespace
+
+Database::Database(const Config& config)
+    : config_(config), cluster_(config.num_workers) {
+  catalog_ = Catalog(config.num_workers);
+}
+
+Status Database::BulkInsert(const std::string& table, std::vector<Row> rows) {
+  RADB_ASSIGN_OR_RETURN(std::shared_ptr<Table> t, catalog_.GetTable(table));
+  return t->InsertAll(std::move(rows));
+}
+
+Result<ResultSet> Database::RunSelect(const parser::SelectStmt& stmt) {
+  Binder binder(catalog_);
+  RADB_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bound,
+                        binder.Bind(stmt));
+  std::vector<SlotInfo> out_columns = bound->output;
+  const size_t visible = bound->num_visible_outputs == 0
+                             ? out_columns.size()
+                             : bound->num_visible_outputs;
+  out_columns.resize(std::min(visible, out_columns.size()));
+  Optimizer optimizer(config_.optimizer);
+  RADB_ASSIGN_OR_RETURN(LogicalOpPtr plan,
+                        optimizer.Plan(std::move(bound)));
+
+  last_metrics_ = QueryMetrics{};
+  const auto t0 = std::chrono::steady_clock::now();
+  Executor executor(cluster_, &last_metrics_);
+  RADB_ASSIGN_OR_RETURN(Dist dist, executor.Execute(*plan));
+  last_metrics_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  ResultSet rs;
+  rs.columns = plan->output;
+  // Trim hidden sort columns and restore binder-declared names.
+  if (rs.columns.size() >= out_columns.size()) {
+    rs.columns.resize(out_columns.size());
+    for (size_t i = 0; i < rs.columns.size(); ++i) {
+      rs.columns[i].name = out_columns[i].name;
+    }
+  }
+  for (RowSet& partition : dist) {
+    for (Row& row : partition) {
+      if (row.size() > rs.columns.size()) row.resize(rs.columns.size());
+      rs.rows.push_back(std::move(row));
+    }
+  }
+  return rs;
+}
+
+Result<ResultSet> Database::ExecuteSql(const std::string& sql) {
+  RADB_ASSIGN_OR_RETURN(std::vector<parser::Statement> stmts,
+                        parser::ParseScript(sql));
+  ResultSet last;
+  for (parser::Statement& stmt : stmts) {
+    switch (stmt.kind) {
+      case parser::Statement::Kind::kSelect: {
+        RADB_ASSIGN_OR_RETURN(last, RunSelect(*stmt.select));
+        break;
+      }
+      case parser::Statement::Kind::kExplain: {
+        Binder binder(catalog_);
+        RADB_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bound,
+                              binder.Bind(*stmt.select));
+        Optimizer optimizer(config_.optimizer);
+        RADB_ASSIGN_OR_RETURN(LogicalOpPtr plan,
+                              optimizer.Plan(std::move(bound)));
+        ResultSet rs;
+        rs.columns.push_back(SlotInfo{0, "plan", DataType::String()});
+        std::istringstream lines(plan->ToString() + "estimated cost: " +
+                                 std::to_string(plan->est_cost));
+        std::string line;
+        while (std::getline(lines, line)) {
+          rs.rows.push_back({Value::String(line)});
+        }
+        last = std::move(rs);
+        break;
+      }
+      case parser::Statement::Kind::kCreateTable: {
+        Schema schema;
+        for (const parser::ColumnDef& def : stmt.columns) {
+          schema.Add(Column{"", def.name, def.type});
+        }
+        RADB_ASSIGN_OR_RETURN(std::shared_ptr<Table> t,
+                              catalog_.CreateTable(stmt.relation_name,
+                                                   std::move(schema)));
+        (void)t;
+        break;
+      }
+      case parser::Statement::Kind::kCreateTableAs: {
+        RADB_ASSIGN_OR_RETURN(ResultSet rs, RunSelect(*stmt.select));
+        Schema schema;
+        for (const SlotInfo& s : rs.columns) {
+          schema.Add(Column{"", s.name, s.type});
+        }
+        RADB_ASSIGN_OR_RETURN(std::shared_ptr<Table> t,
+                              catalog_.CreateTable(stmt.relation_name,
+                                                   std::move(schema)));
+        RADB_RETURN_NOT_OK(t->InsertAll(std::move(rs.rows)));
+        break;
+      }
+      case parser::Statement::Kind::kCreateView: {
+        // Validate the view body eagerly so errors surface at CREATE
+        // time, then store the SQL text.
+        Binder binder(catalog_);
+        RADB_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bound,
+                              binder.Bind(*stmt.select));
+        if (!stmt.view_aliases.empty() &&
+            stmt.view_aliases.size() != bound->output.size()) {
+          return Status::BindError(
+              "view " + stmt.relation_name + " declares " +
+              std::to_string(stmt.view_aliases.size()) +
+              " columns but SELECT produces " +
+              std::to_string(bound->output.size()));
+        }
+        RADB_RETURN_NOT_OK(catalog_.CreateView(ViewEntry{
+            stmt.relation_name, stmt.view_aliases, stmt.view_sql}));
+        break;
+      }
+      case parser::Statement::Kind::kInsert: {
+        RADB_ASSIGN_OR_RETURN(std::shared_ptr<Table> t,
+                              catalog_.GetTable(stmt.relation_name));
+        for (const auto& row_exprs : stmt.insert_rows) {
+          Row row;
+          for (const auto& e : row_exprs) {
+            RADB_ASSIGN_OR_RETURN(Value v, EvalConstExpr(catalog_, *e));
+            row.push_back(std::move(v));
+          }
+          RADB_RETURN_NOT_OK(t->Insert(std::move(row)));
+        }
+        break;
+      }
+      case parser::Statement::Kind::kDropTable:
+        RADB_RETURN_NOT_OK(catalog_.DropTable(stmt.relation_name));
+        break;
+      case parser::Statement::Kind::kDropView:
+        RADB_RETURN_NOT_OK(catalog_.DropView(stmt.relation_name));
+        break;
+    }
+  }
+  return last;
+}
+
+Status Database::RepartitionTable(const std::string& table,
+                                  const std::string& column) {
+  RADB_ASSIGN_OR_RETURN(std::shared_ptr<Table> t, catalog_.GetTable(table));
+  RADB_ASSIGN_OR_RETURN(size_t idx, t->schema().Resolve("", column));
+  return t->RepartitionByHash(idx);
+}
+
+Status Database::SaveTable(const std::string& table,
+                           const std::string& path) {
+  RADB_ASSIGN_OR_RETURN(std::shared_ptr<Table> t, catalog_.GetTable(table));
+  return WriteTableFile(*t, path);
+}
+
+Status Database::LoadTable(const std::string& table,
+                           const std::string& path) {
+  RADB_ASSIGN_OR_RETURN(std::shared_ptr<Table> loaded,
+                        ReadTableFile(path, config_.num_workers));
+  RADB_ASSIGN_OR_RETURN(std::shared_ptr<Table> created,
+                        catalog_.CreateTable(table, loaded->schema()));
+  for (size_t p = 0; p < loaded->num_partitions(); ++p) {
+    for (const Row& row : loaded->partition(p)) {
+      RADB_RETURN_NOT_OK(created->Insert(row));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::string> Database::Explain(const std::string& select_sql) {
+  RADB_ASSIGN_OR_RETURN(LogicalOpPtr plan, PlanQuery(select_sql));
+  std::ostringstream os;
+  os << plan->ToString();
+  os << "estimated cost: " << plan->est_cost << "\n";
+  return os.str();
+}
+
+Result<LogicalOpPtr> Database::PlanQuery(const std::string& select_sql) {
+  RADB_ASSIGN_OR_RETURN(auto select, parser::ParseSelect(select_sql));
+  Binder binder(catalog_);
+  RADB_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bound,
+                        binder.Bind(*select));
+  Optimizer optimizer(config_.optimizer);
+  return optimizer.Plan(std::move(bound));
+}
+
+}  // namespace radb

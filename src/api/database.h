@@ -1,0 +1,111 @@
+#ifndef RADB_API_DATABASE_H_
+#define RADB_API_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "dist/cluster.h"
+#include "dist/metrics.h"
+#include "optimizer/optimizer.h"
+#include "plan/logical_plan.h"
+#include "storage/table.h"
+
+namespace radb {
+
+/// Materialized result of a SELECT, gathered from all workers.
+struct ResultSet {
+  std::vector<SlotInfo> columns;
+  RowSet rows;
+
+  size_t num_rows() const { return rows.size(); }
+  size_t num_columns() const { return columns.size(); }
+  const Value& at(size_t row, size_t col) const { return rows[row][col]; }
+
+  /// First value of a single-cell result as double (common for
+  /// scalar aggregates). TypeError/ExecutionError when unsuitable.
+  Result<double> ScalarDouble() const;
+  /// First value of the first row as a matrix.
+  Result<la::Matrix> ScalarMatrix() const;
+  /// First value of the first row as a vector.
+  Result<la::Vector> ScalarVector() const;
+
+  /// Pretty-printed table (for examples / debugging).
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+/// The user-facing database engine: a catalog, a simulated cluster,
+/// and the parse → bind → optimize → execute pipeline. This is the
+/// "SimSQL with LA extensions" of the paper, as a C++ library.
+///
+/// Example:
+///   Database db;
+///   db.ExecuteSql("CREATE TABLE v (vec VECTOR[10])").status();
+///   ...
+///   auto rs = db.ExecuteSql(
+///       "SELECT SUM(outer_product(vec, vec)) FROM v");
+class Database {
+ public:
+  struct Config {
+    /// Simulated worker count (the paper uses 10 machines x 8 cores;
+    /// workers here model the unit of data partitioning).
+    size_t num_workers = 8;
+    Optimizer::Options optimizer;
+  };
+
+  Database() : Database(Config{}) {}
+  explicit Database(const Config& config);
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  const Cluster& cluster() const { return cluster_; }
+
+  /// Executes one or more ';'-separated statements. The returned
+  /// ResultSet is that of the last SELECT (empty for DDL/DML-only
+  /// scripts).
+  Result<ResultSet> ExecuteSql(const std::string& sql);
+
+  /// Optimizes a SELECT and returns the EXPLAIN rendering with cost
+  /// annotations.
+  Result<std::string> Explain(const std::string& select_sql);
+
+  /// Optimizes a SELECT and returns the logical plan (for tests that
+  /// inspect plan shape).
+  Result<LogicalOpPtr> PlanQuery(const std::string& select_sql);
+
+  /// Bulk loader: appends rows to a table round-robin across
+  /// partitions, bypassing SQL parsing. The fast path used by the
+  /// workload generators.
+  Status BulkInsert(const std::string& table, std::vector<Row> rows);
+
+  /// Re-shards a table by hash of `column` (one shard per worker).
+  /// Joins on that column then skip shuffling this side (paper §2.1).
+  Status RepartitionTable(const std::string& table,
+                          const std::string& column);
+
+  /// Persists a table (schema + rows) to `path` in the radb binary
+  /// table format.
+  Status SaveTable(const std::string& table, const std::string& path);
+  /// Loads a table file into the catalog under `table` (which must not
+  /// exist yet); rows are redistributed across this database's
+  /// workers.
+  Status LoadTable(const std::string& table, const std::string& path);
+
+  /// Metrics of the most recent ExecuteSql call (per-operator times,
+  /// shuffle volume — the Figure 4 data).
+  const QueryMetrics& last_metrics() const { return last_metrics_; }
+
+ private:
+  Result<ResultSet> RunSelect(const parser::SelectStmt& stmt);
+
+  Config config_;
+  Cluster cluster_;
+  Catalog catalog_;
+  QueryMetrics last_metrics_;
+};
+
+}  // namespace radb
+
+#endif  // RADB_API_DATABASE_H_

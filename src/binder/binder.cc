@@ -1,0 +1,587 @@
+#include "binder/binder.h"
+
+#include <set>
+
+#include "common/string_util.h"
+#include "parser/parser.h"
+
+namespace radb {
+
+namespace {
+
+constexpr int kMaxViewDepth = 32;
+
+/// Canonical textual form used to match SELECT subtrees against GROUP
+/// BY expressions.
+std::string GroupKey(const parser::Expr& e) { return ToLower(e.ToString()); }
+
+}  // namespace
+
+bool Binder::ContainsAggregate(const parser::Expr& expr) const {
+  if (expr.kind == parser::Expr::Kind::kFunctionCall &&
+      catalog_.aggregates().Contains(expr.name)) {
+    return true;
+  }
+  for (const auto& c : expr.children) {
+    if (ContainsAggregate(*c)) return true;
+  }
+  return false;
+}
+
+Result<const Binder::ScopeEntry*> Binder::ResolveColumn(
+    const Scope& scope, const std::string& qualifier,
+    const std::string& name) const {
+  const std::string q = ToLower(qualifier);
+  const std::string n = ToLower(name);
+  const ScopeEntry* found = nullptr;
+  for (const ScopeEntry& e : scope.entries) {
+    if (ToLower(e.name) != n) continue;
+    if (!q.empty() && ToLower(e.qualifier) != q) continue;
+    if (found != nullptr) {
+      return Status::BindError("ambiguous column reference: " +
+                               (q.empty() ? name : qualifier + "." + name));
+    }
+    found = &e;
+  }
+  if (found == nullptr) {
+    return Status::BindError("column not found: " +
+                             (q.empty() ? name : qualifier + "." + name));
+  }
+  return found;
+}
+
+Result<BoundRelation> Binder::BindTableRef(const parser::TableRef& ref) {
+  BoundRelation rel;
+  if (ref.kind == parser::TableRef::Kind::kSubquery) {
+    rel.alias = ref.alias;
+    RADB_ASSIGN_OR_RETURN(rel.subquery, BindSubquery(*ref.subquery));
+    for (const SlotInfo& s : rel.subquery->output) {
+      rel.columns.push_back(s);
+    }
+    return rel;
+  }
+  // Base table or view.
+  rel.alias = ref.alias.empty() ? ref.name : ref.alias;
+  if (catalog_.HasView(ref.name)) {
+    if (++view_depth_ > kMaxViewDepth) {
+      --view_depth_;
+      return Status::BindError("view expansion too deep (cycle?) at " +
+                               ref.name);
+    }
+    RADB_ASSIGN_OR_RETURN(const ViewEntry* view, catalog_.GetView(ref.name));
+    // Views are stored as SQL text (late binding); re-parse at use.
+    auto parsed = parser::ParseSelect(view->select_sql);
+    if (!parsed.ok()) {
+      --view_depth_;
+      return Status::BindError("failed to re-parse view " + ref.name + ": " +
+                               parsed.status().message());
+    }
+    auto bound = BindSubquery(**parsed);
+    --view_depth_;
+    if (!bound.ok()) return bound.status();
+    rel.subquery = std::move(bound).value();
+    const auto& aliases = view->column_aliases;
+    if (!aliases.empty() && aliases.size() != rel.subquery->output.size()) {
+      return Status::BindError("view " + ref.name + " declares " +
+                               std::to_string(aliases.size()) +
+                               " columns but SELECT produces " +
+                               std::to_string(rel.subquery->output.size()));
+    }
+    for (size_t i = 0; i < rel.subquery->output.size(); ++i) {
+      SlotInfo s = rel.subquery->output[i];
+      if (!aliases.empty()) s.name = aliases[i];
+      rel.columns.push_back(std::move(s));
+    }
+    return rel;
+  }
+  RADB_ASSIGN_OR_RETURN(rel.table, catalog_.GetTable(ref.name));
+  for (size_t i = 0; i < rel.table->schema().size(); ++i) {
+    const Column& c = rel.table->schema().at(i);
+    rel.columns.push_back(SlotInfo{NewSlot(), c.name, c.type});
+  }
+  return rel;
+}
+
+Result<BoundExprPtr> Binder::BindExpr(const parser::Expr& expr,
+                                      const Scope& scope,
+                                      const char* context) {
+  using PK = parser::Expr::Kind;
+  switch (expr.kind) {
+    case PK::kIntLiteral:
+      return MakeBoundLiteral(Value::Int(expr.int_value));
+    case PK::kDoubleLiteral:
+      return MakeBoundLiteral(Value::Double(expr.double_value));
+    case PK::kStringLiteral:
+      return MakeBoundLiteral(Value::String(expr.string_value));
+    case PK::kBoolLiteral:
+      return MakeBoundLiteral(Value::Bool(expr.bool_value));
+    case PK::kNullLiteral:
+      return MakeBoundLiteral(Value::Null());
+    case PK::kStar:
+      return Status::BindError(std::string("'*' is not allowed in ") +
+                               context);
+    case PK::kColumnRef: {
+      RADB_ASSIGN_OR_RETURN(const ScopeEntry* e,
+                            ResolveColumn(scope, expr.qualifier, expr.name));
+      return MakeBoundColumnRef(
+          e->slot, e->type,
+          e->qualifier.empty() ? e->name : e->qualifier + "." + e->name);
+    }
+    case PK::kUnaryOp: {
+      RADB_ASSIGN_OR_RETURN(BoundExprPtr child,
+                            BindExpr(*expr.children[0], scope, context));
+      auto out = std::make_unique<BoundExpr>();
+      if (expr.op == parser::OpKind::kNot) {
+        if (child->type.kind() != TypeKind::kBoolean &&
+            child->type.kind() != TypeKind::kNull) {
+          return Status::TypeError("NOT requires BOOLEAN, got " +
+                                   child->type.ToString());
+        }
+        out->kind = BoundExpr::Kind::kNot;
+        out->type = DataType::Boolean();
+      } else {
+        RADB_ASSIGN_OR_RETURN(out->type, InferNegateType(child->type));
+        out->kind = BoundExpr::Kind::kNeg;
+      }
+      out->children.push_back(std::move(child));
+      return out;
+    }
+    case PK::kBinaryOp: {
+      RADB_ASSIGN_OR_RETURN(BoundExprPtr lhs,
+                            BindExpr(*expr.children[0], scope, context));
+      RADB_ASSIGN_OR_RETURN(BoundExprPtr rhs,
+                            BindExpr(*expr.children[1], scope, context));
+      auto out = std::make_unique<BoundExpr>();
+      switch (expr.op) {
+        case parser::OpKind::kAdd:
+        case parser::OpKind::kSub:
+        case parser::OpKind::kMul:
+        case parser::OpKind::kDiv: {
+          out->kind = BoundExpr::Kind::kArith;
+          out->arith_op = expr.op == parser::OpKind::kAdd   ? ArithOp::kAdd
+                          : expr.op == parser::OpKind::kSub ? ArithOp::kSub
+                          : expr.op == parser::OpKind::kMul ? ArithOp::kMul
+                                                            : ArithOp::kDiv;
+          RADB_ASSIGN_OR_RETURN(
+              out->type, InferArithType(out->arith_op, lhs->type, rhs->type));
+          break;
+        }
+        case parser::OpKind::kEq:
+        case parser::OpKind::kNe:
+        case parser::OpKind::kLt:
+        case parser::OpKind::kLe:
+        case parser::OpKind::kGt:
+        case parser::OpKind::kGe: {
+          out->kind = BoundExpr::Kind::kCompare;
+          out->compare_op = expr.op == parser::OpKind::kEq   ? CompareOp::kEq
+                            : expr.op == parser::OpKind::kNe ? CompareOp::kNe
+                            : expr.op == parser::OpKind::kLt ? CompareOp::kLt
+                            : expr.op == parser::OpKind::kLe ? CompareOp::kLe
+                            : expr.op == parser::OpKind::kGt ? CompareOp::kGt
+                                                             : CompareOp::kGe;
+          RADB_ASSIGN_OR_RETURN(
+              out->type,
+              InferCompareType(out->compare_op, lhs->type, rhs->type));
+          break;
+        }
+        case parser::OpKind::kAnd:
+        case parser::OpKind::kOr: {
+          auto require_bool = [](const DataType& t) -> Status {
+            if (t.kind() != TypeKind::kBoolean &&
+                t.kind() != TypeKind::kNull) {
+              return Status::TypeError("AND/OR requires BOOLEAN, got " +
+                                       t.ToString());
+            }
+            return Status::OK();
+          };
+          RADB_RETURN_NOT_OK(require_bool(lhs->type));
+          RADB_RETURN_NOT_OK(require_bool(rhs->type));
+          out->kind = BoundExpr::Kind::kLogic;
+          out->logic_is_and = (expr.op == parser::OpKind::kAnd);
+          out->type = DataType::Boolean();
+          break;
+        }
+        default:
+          return Status::Internal("unexpected binary op");
+      }
+      out->children.push_back(std::move(lhs));
+      out->children.push_back(std::move(rhs));
+      return out;
+    }
+    case PK::kFunctionCall: {
+      if (catalog_.aggregates().Contains(expr.name)) {
+        return Status::BindError("aggregate function " + expr.name +
+                                 " is not allowed in " + context);
+      }
+      RADB_ASSIGN_OR_RETURN(const BuiltinFunction* fn,
+                            catalog_.functions().Lookup(expr.name));
+      auto out = std::make_unique<BoundExpr>();
+      out->kind = BoundExpr::Kind::kCall;
+      out->fn = fn;
+      std::vector<DataType> arg_types;
+      for (const auto& child : expr.children) {
+        RADB_ASSIGN_OR_RETURN(BoundExprPtr bound,
+                              BindExpr(*child, scope, context));
+        arg_types.push_back(bound->type);
+        out->children.push_back(std::move(bound));
+      }
+      // Templated signature binding: unifies dimension variables and
+      // infers the result size (paper §4.2).
+      RADB_ASSIGN_OR_RETURN(out->type, fn->signature.Bind(arg_types));
+      return out;
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<BoundExprPtr> Binder::BindAggSelectExpr(
+    const parser::Expr& expr, const Scope& scope,
+    const std::vector<std::string>& group_keys, BoundQuery* query) {
+  using PK = parser::Expr::Kind;
+  // A subtree that textually matches a GROUP BY expression becomes a
+  // reference to the corresponding group slot.
+  const std::string key = GroupKey(expr);
+  for (size_t i = 0; i < group_keys.size(); ++i) {
+    if (group_keys[i] == key) {
+      const SlotInfo& s = query->group_outputs[i];
+      return MakeBoundColumnRef(s.slot, s.type, s.name);
+    }
+  }
+  // Aggregate call?
+  if (expr.kind == PK::kFunctionCall &&
+      catalog_.aggregates().Contains(expr.name)) {
+    RADB_ASSIGN_OR_RETURN(const AggregateFunction* fn,
+                          catalog_.aggregates().Lookup(expr.name));
+    AggCall call;
+    call.fn = fn;
+    call.name = ToLower(expr.name);
+    if (expr.children.size() == 1 &&
+        expr.children[0]->kind == PK::kStar) {
+      if (call.name != "count") {
+        return Status::BindError("'*' argument only valid in COUNT(*)");
+      }
+      call.is_count_star = true;
+      call.result_type = DataType::Integer();
+    } else {
+      if (expr.children.size() != 1) {
+        return Status::BindError("aggregate " + expr.name +
+                                 " takes exactly one argument");
+      }
+      if (ContainsAggregate(*expr.children[0])) {
+        return Status::BindError("nested aggregates are not allowed");
+      }
+      RADB_ASSIGN_OR_RETURN(
+          call.arg, BindExpr(*expr.children[0], scope, "aggregate argument"));
+      RADB_ASSIGN_OR_RETURN(call.result_type, fn->infer(call.arg->type));
+    }
+    call.out_slot = NewSlot();
+    BoundExprPtr ref = MakeBoundColumnRef(
+        call.out_slot, call.result_type,
+        call.name + "(" +
+            (call.is_count_star ? "*" : call.arg->ToString()) + ")");
+    query->aggs.push_back(std::move(call));
+    return ref;
+  }
+  // Otherwise recurse; bare column references are illegal here.
+  if (expr.kind == PK::kColumnRef) {
+    return Status::BindError(
+        "column " + expr.ToString() +
+        " must appear in GROUP BY or inside an aggregate");
+  }
+  if (expr.kind == PK::kStar) {
+    return Status::BindError("'*' is not allowed with GROUP BY/aggregates");
+  }
+  if (expr.children.empty()) {
+    // Literal.
+    return BindExpr(expr, scope, "select list");
+  }
+  // Rebuild operator nodes over recursively transformed children.
+  switch (expr.kind) {
+    case PK::kUnaryOp: {
+      RADB_ASSIGN_OR_RETURN(
+          BoundExprPtr child,
+          BindAggSelectExpr(*expr.children[0], scope, group_keys, query));
+      auto out = std::make_unique<BoundExpr>();
+      if (expr.op == parser::OpKind::kNot) {
+        out->kind = BoundExpr::Kind::kNot;
+        out->type = DataType::Boolean();
+      } else {
+        out->kind = BoundExpr::Kind::kNeg;
+        RADB_ASSIGN_OR_RETURN(out->type, InferNegateType(child->type));
+      }
+      out->children.push_back(std::move(child));
+      return out;
+    }
+    case PK::kBinaryOp: {
+      RADB_ASSIGN_OR_RETURN(
+          BoundExprPtr lhs,
+          BindAggSelectExpr(*expr.children[0], scope, group_keys, query));
+      RADB_ASSIGN_OR_RETURN(
+          BoundExprPtr rhs,
+          BindAggSelectExpr(*expr.children[1], scope, group_keys, query));
+      auto out = std::make_unique<BoundExpr>();
+      switch (expr.op) {
+        case parser::OpKind::kAdd:
+        case parser::OpKind::kSub:
+        case parser::OpKind::kMul:
+        case parser::OpKind::kDiv: {
+          out->kind = BoundExpr::Kind::kArith;
+          out->arith_op = expr.op == parser::OpKind::kAdd   ? ArithOp::kAdd
+                          : expr.op == parser::OpKind::kSub ? ArithOp::kSub
+                          : expr.op == parser::OpKind::kMul ? ArithOp::kMul
+                                                            : ArithOp::kDiv;
+          RADB_ASSIGN_OR_RETURN(
+              out->type, InferArithType(out->arith_op, lhs->type, rhs->type));
+          break;
+        }
+        case parser::OpKind::kEq:
+        case parser::OpKind::kNe:
+        case parser::OpKind::kLt:
+        case parser::OpKind::kLe:
+        case parser::OpKind::kGt:
+        case parser::OpKind::kGe: {
+          out->kind = BoundExpr::Kind::kCompare;
+          out->compare_op = expr.op == parser::OpKind::kEq   ? CompareOp::kEq
+                            : expr.op == parser::OpKind::kNe ? CompareOp::kNe
+                            : expr.op == parser::OpKind::kLt ? CompareOp::kLt
+                            : expr.op == parser::OpKind::kLe ? CompareOp::kLe
+                            : expr.op == parser::OpKind::kGt ? CompareOp::kGt
+                                                             : CompareOp::kGe;
+          RADB_ASSIGN_OR_RETURN(
+              out->type,
+              InferCompareType(out->compare_op, lhs->type, rhs->type));
+          break;
+        }
+        case parser::OpKind::kAnd:
+        case parser::OpKind::kOr:
+          out->kind = BoundExpr::Kind::kLogic;
+          out->logic_is_and = (expr.op == parser::OpKind::kAnd);
+          out->type = DataType::Boolean();
+          break;
+        default:
+          return Status::Internal("unexpected binary op");
+      }
+      out->children.push_back(std::move(lhs));
+      out->children.push_back(std::move(rhs));
+      return out;
+    }
+    case PK::kFunctionCall: {
+      RADB_ASSIGN_OR_RETURN(const BuiltinFunction* fn,
+                            catalog_.functions().Lookup(expr.name));
+      auto out = std::make_unique<BoundExpr>();
+      out->kind = BoundExpr::Kind::kCall;
+      out->fn = fn;
+      std::vector<DataType> arg_types;
+      for (const auto& child : expr.children) {
+        RADB_ASSIGN_OR_RETURN(
+            BoundExprPtr bound,
+            BindAggSelectExpr(*child, scope, group_keys, query));
+        arg_types.push_back(bound->type);
+        out->children.push_back(std::move(bound));
+      }
+      RADB_ASSIGN_OR_RETURN(out->type, fn->signature.Bind(arg_types));
+      return out;
+    }
+    default:
+      return Status::Internal("unhandled select expression");
+  }
+  (void)clone;
+}
+
+Result<std::unique_ptr<BoundQuery>> Binder::BindSubquery(
+    const parser::SelectStmt& stmt) {
+  return Bind(stmt);
+}
+
+Result<std::unique_ptr<BoundQuery>> Binder::Bind(
+    const parser::SelectStmt& stmt) {
+  auto query = std::make_unique<BoundQuery>();
+  query->distinct = stmt.distinct;
+  query->limit = stmt.limit;
+
+  if (stmt.from.empty()) {
+    return Status::BindError("FROM clause is required");
+  }
+
+  // 1. FROM: bind relations and build the name scope.
+  Scope scope;
+  std::set<std::string> seen_aliases;
+  for (const parser::TableRef& ref : stmt.from) {
+    RADB_ASSIGN_OR_RETURN(BoundRelation rel, BindTableRef(ref));
+    const std::string alias_key = ToLower(rel.alias);
+    if (!seen_aliases.insert(alias_key).second) {
+      return Status::BindError("duplicate table alias: " + rel.alias);
+    }
+    for (const SlotInfo& s : rel.columns) {
+      scope.entries.push_back(ScopeEntry{rel.alias, s.name, s.slot, s.type});
+    }
+    query->relations.push_back(std::move(rel));
+  }
+
+  // 2. WHERE: bind and split conjuncts.
+  if (stmt.where) {
+    RADB_ASSIGN_OR_RETURN(BoundExprPtr where,
+                          BindExpr(*stmt.where, scope, "WHERE"));
+    if (where->type.kind() != TypeKind::kBoolean &&
+        where->type.kind() != TypeKind::kNull) {
+      return Status::TypeError("WHERE requires BOOLEAN, got " +
+                               where->type.ToString());
+    }
+    // Split top-level ANDs.
+    std::vector<BoundExprPtr> stack;
+    stack.push_back(std::move(where));
+    while (!stack.empty()) {
+      BoundExprPtr e = std::move(stack.back());
+      stack.pop_back();
+      if (e->kind == BoundExpr::Kind::kLogic && e->logic_is_and) {
+        stack.push_back(std::move(e->children[0]));
+        stack.push_back(std::move(e->children[1]));
+      } else {
+        query->conjuncts.push_back(std::move(e));
+      }
+    }
+  }
+
+  // 3. Aggregate detection.
+  bool any_agg = !stmt.group_by.empty();
+  for (const parser::SelectItem& item : stmt.items) {
+    if (!item.is_star && ContainsAggregate(*item.expr)) any_agg = true;
+  }
+  query->has_aggregate = any_agg;
+
+  // Source text of each output column (for ORDER BY textual match).
+  std::vector<std::string> output_texts;
+
+  auto name_for = [](const parser::SelectItem& item, size_t idx) {
+    if (!item.alias.empty()) return item.alias;
+    if (item.expr && item.expr->kind == parser::Expr::Kind::kColumnRef) {
+      return item.expr->name;
+    }
+    return "col" + std::to_string(idx + 1);
+  };
+
+  if (!any_agg) {
+    // Plain projection query.
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      const parser::SelectItem& item = stmt.items[i];
+      if (item.is_star) {
+        for (const ScopeEntry& e : scope.entries) {
+          query->select_exprs.push_back(MakeBoundColumnRef(
+              e.slot, e.type, e.qualifier + "." + e.name));
+          query->output.push_back(SlotInfo{NewSlot(), e.name, e.type});
+          output_texts.push_back(ToLower(e.qualifier + "." + e.name));
+        }
+        continue;
+      }
+      RADB_ASSIGN_OR_RETURN(BoundExprPtr bound,
+                            BindExpr(*item.expr, scope, "select list"));
+      query->output.push_back(
+          SlotInfo{NewSlot(), name_for(item, i), bound->type});
+      output_texts.push_back(ToLower(item.expr->ToString()));
+      query->select_exprs.push_back(std::move(bound));
+    }
+  } else {
+    // 3a. Bind GROUP BY keys.
+    std::vector<std::string> group_keys;
+    for (const auto& g : stmt.group_by) {
+      if (ContainsAggregate(*g)) {
+        return Status::BindError("aggregates are not allowed in GROUP BY");
+      }
+      RADB_ASSIGN_OR_RETURN(BoundExprPtr bound,
+                            BindExpr(*g, scope, "GROUP BY"));
+      group_keys.push_back(GroupKey(*g));
+      query->group_outputs.push_back(
+          SlotInfo{NewSlot(), bound->ToString(), bound->type});
+      query->group_exprs.push_back(std::move(bound));
+    }
+    // 3b. Transform SELECT items.
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      const parser::SelectItem& item = stmt.items[i];
+      if (item.is_star) {
+        return Status::BindError(
+            "'*' is not allowed with GROUP BY/aggregates");
+      }
+      RADB_ASSIGN_OR_RETURN(
+          BoundExprPtr bound,
+          BindAggSelectExpr(*item.expr, scope, group_keys, query.get()));
+      query->output.push_back(
+          SlotInfo{NewSlot(), name_for(item, i), bound->type});
+      output_texts.push_back(ToLower(item.expr->ToString()));
+      query->select_exprs.push_back(std::move(bound));
+    }
+  }
+
+  // 3c. HAVING binds like an aggregate-context select expression.
+  if (stmt.having) {
+    if (!any_agg) {
+      return Status::BindError("HAVING requires GROUP BY or aggregates");
+    }
+    std::vector<std::string> group_keys;
+    for (const auto& g : stmt.group_by) group_keys.push_back(GroupKey(*g));
+    RADB_ASSIGN_OR_RETURN(
+        query->having,
+        BindAggSelectExpr(*stmt.having, scope, group_keys, query.get()));
+    if (query->having->type.kind() != TypeKind::kBoolean &&
+        query->having->type.kind() != TypeKind::kNull) {
+      return Status::TypeError("HAVING requires BOOLEAN, got " +
+                               query->having->type.ToString());
+    }
+  }
+
+  query->num_visible_outputs = query->output.size();
+
+  // 4. ORDER BY binds against the projected output columns, either by
+  // output name/alias or by textually matching a SELECT item (so
+  // `ORDER BY t.a` and `ORDER BY a / 2` work when those expressions
+  // appear in the SELECT list).
+  if (!stmt.order_by.empty()) {
+    Scope out_scope;
+    for (const SlotInfo& s : query->output) {
+      out_scope.entries.push_back(ScopeEntry{"", s.name, s.slot, s.type});
+    }
+    std::vector<std::string> group_keys;
+    for (const auto& g : stmt.group_by) group_keys.push_back(GroupKey(*g));
+    for (const auto& item : stmt.order_by) {
+      auto bound = BindExpr(*item.expr, out_scope, "ORDER BY");
+      if (!bound.ok()) {
+        // Fall back to a textual match against the SELECT list.
+        const std::string text = ToLower(item.expr->ToString());
+        BoundExprPtr matched;
+        for (size_t i = 0; i < output_texts.size(); ++i) {
+          if (output_texts[i] == text && i < query->output.size()) {
+            const SlotInfo& s = query->output[i];
+            matched = MakeBoundColumnRef(s.slot, s.type, s.name);
+            break;
+          }
+        }
+        if (!matched) {
+          // Last resort: bind over the input (or group/aggregate)
+          // scope and carry the value as a hidden output column that
+          // the API trims from the final result.
+          if (stmt.distinct) {
+            return Status::BindError(
+                "ORDER BY expression must appear in the SELECT list "
+                "when DISTINCT is used: " + item.expr->ToString());
+          }
+          Result<BoundExprPtr> hidden =
+              query->has_aggregate
+                  ? BindAggSelectExpr(*item.expr, scope, group_keys,
+                                      query.get())
+                  : BindExpr(*item.expr, scope, "ORDER BY");
+          if (!hidden.ok()) return bound.status();
+          const SlotInfo info{NewSlot(), "$sort", (*hidden)->type};
+          query->select_exprs.push_back(std::move(hidden).value());
+          query->output.push_back(info);
+          matched = MakeBoundColumnRef(info.slot, info.type, info.name);
+        }
+        bound = std::move(matched);
+      }
+      query->order_by.emplace_back(std::move(bound).value(),
+                                   item.descending);
+    }
+  }
+  query->next_slot = next_slot_;
+  return query;
+}
+
+}  // namespace radb

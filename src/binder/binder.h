@@ -1,0 +1,117 @@
+#ifndef RADB_BINDER_BINDER_H_
+#define RADB_BINDER_BINDER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "binder/bound_expr.h"
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "parser/ast.h"
+#include "plan/logical_plan.h"
+
+namespace radb {
+
+struct BoundQuery;
+
+/// One FROM-list entry after binding: either a base table or a nested
+/// query (derived table or expanded view). `columns` lists the slots
+/// it exposes to the enclosing query.
+struct BoundRelation {
+  std::string alias;
+  std::shared_ptr<Table> table;  // base table; null for subqueries
+  std::unique_ptr<BoundQuery> subquery;
+  std::vector<SlotInfo> columns;
+};
+
+/// A fully bound (type-checked, slot-resolved) SELECT, the input to
+/// the optimizer. WHERE is split into conjuncts; aggregates are
+/// extracted from the SELECT list into AggCalls whose results the
+/// final projection references by slot.
+struct BoundQuery {
+  std::vector<BoundRelation> relations;
+  std::vector<BoundExprPtr> conjuncts;
+
+  bool has_aggregate = false;
+  std::vector<BoundExprPtr> group_exprs;  // over relation slots
+  std::vector<SlotInfo> group_outputs;    // slots produced by group keys
+  std::vector<AggCall> aggs;
+  /// HAVING predicate over group/aggregate outputs; may be null.
+  BoundExprPtr having;
+
+  /// Final projection. In aggregate queries these reference
+  /// group_outputs / agg out_slots; otherwise relation slots.
+  std::vector<BoundExprPtr> select_exprs;
+  std::vector<SlotInfo> output;
+
+  bool distinct = false;
+  std::vector<std::pair<BoundExprPtr, bool>> order_by;  // over `output`
+  std::optional<int64_t> limit;
+
+  /// Leading count of `output` columns the user asked for; entries
+  /// beyond it are hidden sort keys (ORDER BY expressions that are not
+  /// in the SELECT list) and are trimmed from the final result.
+  size_t num_visible_outputs = 0;
+
+  /// First slot id not in use after binding; the optimizer allocates
+  /// fresh slots (for early projections) starting here.
+  size_t next_slot = 0;
+};
+
+/// Semantic analyzer: resolves names against the catalog, expands
+/// views, assigns globally unique slots, and type-checks every
+/// expression — including dimension inference through the templated
+/// built-in signatures (paper §4.2). Size mismatches that are knowable
+/// from declared MATRIX/VECTOR dimensions are compile-time errors
+/// (paper §3.1).
+class Binder {
+ public:
+  explicit Binder(const Catalog& catalog) : catalog_(catalog) {}
+
+  Result<std::unique_ptr<BoundQuery>> Bind(const parser::SelectStmt& stmt);
+
+ private:
+  struct ScopeEntry {
+    std::string qualifier;
+    std::string name;
+    size_t slot;
+    DataType type;
+  };
+  struct Scope {
+    std::vector<ScopeEntry> entries;
+  };
+
+  size_t NewSlot() { return next_slot_++; }
+
+  Result<BoundRelation> BindTableRef(const parser::TableRef& ref);
+  Result<std::unique_ptr<BoundQuery>> BindSubquery(
+      const parser::SelectStmt& stmt);
+
+  Result<const ScopeEntry*> ResolveColumn(const Scope& scope,
+                                          const std::string& qualifier,
+                                          const std::string& name) const;
+
+  /// Binds a scalar expression; aggregate function names are an error
+  /// here (`context` names the clause for the message).
+  Result<BoundExprPtr> BindExpr(const parser::Expr& expr, const Scope& scope,
+                                const char* context);
+
+  /// Binds a SELECT-list expression in an aggregate query: group-key
+  /// subtrees become refs to group slots, aggregate calls become
+  /// AggCalls, bare columns are errors.
+  Result<BoundExprPtr> BindAggSelectExpr(
+      const parser::Expr& expr, const Scope& scope,
+      const std::vector<std::string>& group_keys, BoundQuery* query);
+
+  bool ContainsAggregate(const parser::Expr& expr) const;
+
+  const Catalog& catalog_;
+  size_t next_slot_ = 0;
+  int view_depth_ = 0;
+};
+
+}  // namespace radb
+
+#endif  // RADB_BINDER_BINDER_H_

@@ -1,0 +1,99 @@
+#include "binder/bound_expr.h"
+
+#include <map>
+
+#include "common/string_util.h"
+
+namespace radb {
+
+BoundExprPtr BoundExpr::Clone() const {
+  auto out = std::make_unique<BoundExpr>();
+  out->kind = kind;
+  out->type = type;
+  out->literal = literal;
+  out->slot = slot;
+  out->column_name = column_name;
+  out->arith_op = arith_op;
+  out->compare_op = compare_op;
+  out->logic_is_and = logic_is_and;
+  out->fn = fn;
+  out->children.reserve(children.size());
+  for (const auto& c : children) out->children.push_back(c->Clone());
+  return out;
+}
+
+void BoundExpr::CollectSlots(std::set<size_t>* slots) const {
+  if (kind == Kind::kColumnRef) slots->insert(slot);
+  for (const auto& c : children) c->CollectSlots(slots);
+}
+
+void BoundExpr::RemapSlots(const std::map<size_t, size_t>& mapping) {
+  if (kind == Kind::kColumnRef) {
+    auto it = mapping.find(slot);
+    if (it != mapping.end()) slot = it->second;
+  }
+  for (auto& c : children) c->RemapSlots(mapping);
+}
+
+std::string BoundExpr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.ToString();
+    case Kind::kColumnRef:
+      return column_name.empty() ? "$" + std::to_string(slot) : column_name;
+    case Kind::kArith: {
+      const char* op = arith_op == ArithOp::kAdd   ? "+"
+                       : arith_op == ArithOp::kSub ? "-"
+                       : arith_op == ArithOp::kMul ? "*"
+                                                   : "/";
+      return "(" + children[0]->ToString() + " " + op + " " +
+             children[1]->ToString() + ")";
+    }
+    case Kind::kCompare: {
+      const char* op = compare_op == CompareOp::kEq   ? "="
+                       : compare_op == CompareOp::kNe ? "<>"
+                       : compare_op == CompareOp::kLt ? "<"
+                       : compare_op == CompareOp::kLe ? "<="
+                       : compare_op == CompareOp::kGt ? ">"
+                                                      : ">=";
+      return "(" + children[0]->ToString() + " " + op + " " +
+             children[1]->ToString() + ")";
+    }
+    case Kind::kLogic: {
+      return "(" + children[0]->ToString() +
+             (logic_is_and ? " AND " : " OR ") + children[1]->ToString() +
+             ")";
+    }
+    case Kind::kNot:
+      return "NOT(" + children[0]->ToString() + ")";
+    case Kind::kNeg:
+      return "-(" + children[0]->ToString() + ")";
+    case Kind::kCall: {
+      std::vector<std::string> args;
+      args.reserve(children.size());
+      for (const auto& c : children) args.push_back(c->ToString());
+      return fn->signature.name() + "(" + Join(args, ", ") + ")";
+    }
+  }
+  return "?";
+}
+
+BoundExprPtr MakeBoundLiteral(Value v) {
+  auto e = std::make_unique<BoundExpr>();
+  e->kind = BoundExpr::Kind::kLiteral;
+  e->type = v.RuntimeType();
+  e->literal = std::move(v);
+  return e;
+}
+
+BoundExprPtr MakeBoundColumnRef(size_t slot, DataType type,
+                                std::string name) {
+  auto e = std::make_unique<BoundExpr>();
+  e->kind = BoundExpr::Kind::kColumnRef;
+  e->slot = slot;
+  e->type = type;
+  e->column_name = std::move(name);
+  return e;
+}
+
+}  // namespace radb

@@ -1,0 +1,77 @@
+#ifndef RADB_BINDER_BOUND_EXPR_H_
+#define RADB_BINDER_BOUND_EXPR_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/aggregate.h"
+#include "catalog/function_registry.h"
+#include "common/result.h"
+#include "types/data_type.h"
+#include "types/value.h"
+#include "types/value_ops.h"
+
+namespace radb {
+
+/// A type-checked expression. Column references use *slot ids*:
+/// globally unique column identifiers assigned by the binder. The
+/// physical planner later rewrites slots to row positions.
+struct BoundExpr {
+  enum class Kind {
+    kLiteral,
+    kColumnRef,  // slot
+    kArith,      // children[0] op children[1]
+    kCompare,
+    kLogic,  // AND / OR
+    kNot,
+    kNeg,
+    kCall,  // scalar built-in
+  };
+
+  Kind kind = Kind::kLiteral;
+  DataType type;
+
+  Value literal;    // kLiteral
+  size_t slot = 0;  // kColumnRef
+  std::string column_name;  // kColumnRef, for display
+
+  ArithOp arith_op = ArithOp::kAdd;      // kArith
+  CompareOp compare_op = CompareOp::kEq;  // kCompare
+  bool logic_is_and = true;               // kLogic
+
+  const BuiltinFunction* fn = nullptr;  // kCall
+  std::vector<std::unique_ptr<BoundExpr>> children;
+
+  std::unique_ptr<BoundExpr> Clone() const;
+  /// Adds every slot referenced by this expression to `slots`.
+  void CollectSlots(std::set<size_t>* slots) const;
+  /// Rewrites every column reference through `mapping[old] = new`.
+  /// Slots absent from the mapping are left unchanged.
+  void RemapSlots(const std::map<size_t, size_t>& mapping);
+  std::string ToString() const;
+};
+
+using BoundExprPtr = std::unique_ptr<BoundExpr>;
+
+BoundExprPtr MakeBoundLiteral(Value v);
+BoundExprPtr MakeBoundColumnRef(size_t slot, DataType type,
+                                std::string name);
+
+/// One aggregate invocation extracted from the SELECT list, e.g.
+/// SUM(outer_product(x, x)): the argument is a scalar expression over
+/// the aggregate input; `out_slot` is the slot the result occupies in
+/// the aggregate operator's output.
+struct AggCall {
+  const AggregateFunction* fn = nullptr;
+  std::string name;
+  BoundExprPtr arg;        // null only for COUNT(*)
+  bool is_count_star = false;
+  DataType result_type;
+  size_t out_slot = 0;
+};
+
+}  // namespace radb
+
+#endif  // RADB_BINDER_BOUND_EXPR_H_

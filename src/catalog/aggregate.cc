@@ -1,0 +1,499 @@
+#include "catalog/aggregate.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/string_util.h"
+#include "la/matrix.h"
+#include "la/vector.h"
+#include "types/value_ops.h"
+
+namespace radb {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// SUM: element-wise over MATRIX/VECTOR thanks to overloaded + (§3.2).
+// ---------------------------------------------------------------------
+class SumAggregator : public Aggregator {
+ public:
+  Status Update(const Value& v) override {
+    if (v.is_null()) return Status::OK();
+    // MATRIX/VECTOR inputs accumulate into owned storage in place —
+    // a fresh d x d allocation per input row would otherwise dominate
+    // Gram-style SUM(outer_product(...)) queries.
+    if (v.kind() == TypeKind::kMatrix && (!init_ || mat_)) {
+      if (!init_) {
+        mat_ = v.matrix();
+        init_ = true;
+        return Status::OK();
+      }
+      return la::AddInPlace(&*mat_, v.matrix());
+    }
+    if (v.kind() == TypeKind::kVector && (!init_ || vec_)) {
+      if (!init_) {
+        vec_ = v.vector();
+        init_ = true;
+        return Status::OK();
+      }
+      return la::AddInPlace(&*vec_, v.vector());
+    }
+    if (mat_ || vec_) {
+      return Status::TypeError(
+          "SUM: mixed scalar and MATRIX/VECTOR inputs in one group");
+    }
+    if (!init_) {
+      acc_ = v;
+      init_ = true;
+      return Status::OK();
+    }
+    RADB_ASSIGN_OR_RETURN(*acc_, EvalArith(ArithOp::kAdd, *acc_, v));
+    return Status::OK();
+  }
+  Status Merge(const Aggregator& other) override {
+    const auto& o = static_cast<const SumAggregator&>(other);
+    if (!o.init_) return Status::OK();
+    if (o.mat_) return Update(Value::FromMatrix(*o.mat_));
+    if (o.vec_) return Update(Value::FromVector(*o.vec_));
+    return Update(*o.acc_);
+  }
+  Result<Value> Finalize() const override {
+    if (!init_) return Value::Null();
+    if (mat_) return Value::FromMatrix(*mat_);
+    if (vec_) return Value::FromVector(*vec_);
+    return *acc_;
+  }
+  size_t StateBytes() const override {
+    if (mat_) return mat_->ByteSize();
+    if (vec_) return vec_->ByteSize();
+    return acc_ ? acc_->ByteSize() : 1;
+  }
+
+ private:
+  bool init_ = false;
+  std::optional<la::Matrix> mat_;
+  std::optional<la::Vector> vec_;
+  std::optional<Value> acc_;
+};
+
+class CountAggregator : public Aggregator {
+ public:
+  Status Update(const Value& v) override {
+    if (!v.is_null()) ++count_;
+    return Status::OK();
+  }
+  Status Merge(const Aggregator& other) override {
+    count_ += static_cast<const CountAggregator&>(other).count_;
+    return Status::OK();
+  }
+  Result<Value> Finalize() const override { return Value::Int(count_); }
+  size_t StateBytes() const override { return sizeof(count_); }
+
+ private:
+  int64_t count_ = 0;
+};
+
+class AvgAggregator : public Aggregator {
+ public:
+  Status Update(const Value& v) override {
+    if (v.is_null()) return Status::OK();
+    ++count_;
+    if (!sum_) {
+      sum_ = v;
+      return Status::OK();
+    }
+    RADB_ASSIGN_OR_RETURN(*sum_, EvalArith(ArithOp::kAdd, *sum_, v));
+    return Status::OK();
+  }
+  Status Merge(const Aggregator& other) override {
+    const auto& o = static_cast<const AvgAggregator&>(other);
+    if (!o.sum_) return Status::OK();
+    count_ += o.count_ - 1;  // Update() below adds 1 back
+    return Update(*o.sum_);
+  }
+  Result<Value> Finalize() const override {
+    if (!sum_) return Value::Null();
+    return EvalArith(ArithOp::kDiv, *sum_,
+                     Value::Double(static_cast<double>(count_)));
+  }
+  size_t StateBytes() const override {
+    return (sum_ ? sum_->ByteSize() : 1) + sizeof(count_);
+  }
+
+ private:
+  std::optional<Value> sum_;
+  int64_t count_ = 0;
+};
+
+class MinMaxAggregator : public Aggregator {
+ public:
+  explicit MinMaxAggregator(bool is_min) : is_min_(is_min) {}
+  Status Update(const Value& v) override {
+    if (v.is_null()) return Status::OK();
+    if (!best_) {
+      best_ = v;
+      return Status::OK();
+    }
+    RADB_ASSIGN_OR_RETURN(int c, v.Compare(*best_));
+    if ((is_min_ && c < 0) || (!is_min_ && c > 0)) best_ = v;
+    return Status::OK();
+  }
+  Status Merge(const Aggregator& other) override {
+    const auto& o = static_cast<const MinMaxAggregator&>(other);
+    if (!o.best_) return Status::OK();
+    return Update(*o.best_);
+  }
+  Result<Value> Finalize() const override {
+    return best_ ? *best_ : Value::Null();
+  }
+  size_t StateBytes() const override {
+    return best_ ? best_->ByteSize() : 1;
+  }
+
+ private:
+  bool is_min_;
+  std::optional<Value> best_;
+};
+
+// ---------------------------------------------------------------------
+// EMIN / EMAX: element-wise min/max. For scalars this matches MIN/MAX;
+// for VECTOR/MATRIX inputs the result has the same shape with each
+// entry the min/max across the group — the aggregate analogue of the
+// element-wise arithmetic overloads of §3.2.
+// ---------------------------------------------------------------------
+class ElementWiseMinMaxAggregator : public Aggregator {
+ public:
+  explicit ElementWiseMinMaxAggregator(bool is_min) : is_min_(is_min) {}
+  Status Update(const Value& v) override {
+    if (v.is_null()) return Status::OK();
+    if (!acc_) {
+      acc_ = v;
+      return Status::OK();
+    }
+    switch (v.kind()) {
+      case TypeKind::kVector: {
+        if (acc_->kind() != TypeKind::kVector ||
+            acc_->vector().size() != v.vector().size()) {
+          return Status::DimensionMismatch(
+              "EMIN/EMAX: vector lengths differ within group");
+        }
+        la::Vector out(v.vector().size());
+        for (size_t i = 0; i < out.size(); ++i) {
+          out[i] = is_min_ ? std::min(acc_->vector()[i], v.vector()[i])
+                           : std::max(acc_->vector()[i], v.vector()[i]);
+        }
+        acc_ = Value::FromVector(std::move(out));
+        return Status::OK();
+      }
+      case TypeKind::kMatrix: {
+        const la::Matrix& a = acc_->matrix();
+        const la::Matrix& b = v.matrix();
+        if (acc_->kind() != TypeKind::kMatrix || a.rows() != b.rows() ||
+            a.cols() != b.cols()) {
+          return Status::DimensionMismatch(
+              "EMIN/EMAX: matrix shapes differ within group");
+        }
+        la::Matrix out(a.rows(), a.cols());
+        for (size_t i = 0; i < a.rows() * a.cols(); ++i) {
+          out.data()[i] = is_min_ ? std::min(a.data()[i], b.data()[i])
+                                  : std::max(a.data()[i], b.data()[i]);
+        }
+        acc_ = Value::FromMatrix(std::move(out));
+        return Status::OK();
+      }
+      default: {
+        RADB_ASSIGN_OR_RETURN(int c, v.Compare(*acc_));
+        if ((is_min_ && c < 0) || (!is_min_ && c > 0)) acc_ = v;
+        return Status::OK();
+      }
+    }
+  }
+  Status Merge(const Aggregator& other) override {
+    const auto& o = static_cast<const ElementWiseMinMaxAggregator&>(other);
+    if (!o.acc_) return Status::OK();
+    return Update(*o.acc_);
+  }
+  Result<Value> Finalize() const override {
+    return acc_ ? *acc_ : Value::Null();
+  }
+  size_t StateBytes() const override {
+    return acc_ ? acc_->ByteSize() : 1;
+  }
+
+ private:
+  bool is_min_;
+  std::optional<Value> acc_;
+};
+
+// ---------------------------------------------------------------------
+// VECTORIZE: LABELED_SCALAR -> VECTOR (paper §3.3). Each labeled
+// scalar lands at index `label`; holes are zero; the result length is
+// max label + 1 (labels are 0-based in this implementation — the
+// paper's blocking example computes labels `x.id - mi*1000` which are
+// 0-based). Duplicate labels are an execution error.
+// ---------------------------------------------------------------------
+class VectorizeAggregator : public Aggregator {
+ public:
+  Status Update(const Value& v) override {
+    if (v.is_null()) return Status::OK();
+    if (v.kind() != TypeKind::kLabeledScalar) {
+      return Status::TypeError("VECTORIZE expects LABELED_SCALAR input");
+    }
+    const LabeledScalarValue& ls = v.labeled();
+    if (ls.label < 0) {
+      return Status::ExecutionError(
+          "VECTORIZE: labeled scalar has no label set (use label_scalar)");
+    }
+    entries_.emplace_back(ls.label, ls.value);
+    return Status::OK();
+  }
+  Status Merge(const Aggregator& other) override {
+    const auto& o = static_cast<const VectorizeAggregator&>(other);
+    entries_.insert(entries_.end(), o.entries_.begin(), o.entries_.end());
+    return Status::OK();
+  }
+  Result<Value> Finalize() const override {
+    if (entries_.empty()) return Value::Null();
+    int64_t max_label = 0;
+    for (const auto& [label, value] : entries_) {
+      max_label = std::max(max_label, label);
+    }
+    la::Vector out(static_cast<size_t>(max_label) + 1, 0.0);
+    std::vector<char> seen(out.size(), 0);
+    for (const auto& [label, value] : entries_) {
+      if (seen[static_cast<size_t>(label)]) {
+        return Status::ExecutionError("VECTORIZE: duplicate label " +
+                                      std::to_string(label));
+      }
+      seen[static_cast<size_t>(label)] = 1;
+      out[static_cast<size_t>(label)] = value;
+    }
+    return Value::FromVector(std::move(out));
+  }
+  size_t StateBytes() const override { return entries_.size() * 16 + 8; }
+
+ private:
+  std::vector<std::pair<int64_t, double>> entries_;
+};
+
+// ---------------------------------------------------------------------
+// ROWMATRIX / COLMATRIX: VECTOR -> MATRIX using each vector's label as
+// its row (column) index (§3.3). All vectors must have equal length;
+// missing labels produce zero rows (columns).
+// ---------------------------------------------------------------------
+class RowColMatrixAggregator : public Aggregator {
+ public:
+  explicit RowColMatrixAggregator(bool rows) : rows_(rows) {}
+  Status Update(const Value& v) override {
+    if (v.is_null()) return Status::OK();
+    if (v.kind() != TypeKind::kVector) {
+      return Status::TypeError(Name() + " expects VECTOR input");
+    }
+    const VectorValue& vv = v.vector_value();
+    if (vv.label < 0) {
+      return Status::ExecutionError(
+          Name() + ": vector has no label set (use label_vector)");
+    }
+    entries_.emplace_back(vv.label, vv.vec);
+    return Status::OK();
+  }
+  Status Merge(const Aggregator& other) override {
+    const auto& o = static_cast<const RowColMatrixAggregator&>(other);
+    entries_.insert(entries_.end(), o.entries_.begin(), o.entries_.end());
+    return Status::OK();
+  }
+  Result<Value> Finalize() const override {
+    if (entries_.empty()) return Value::Null();
+    int64_t max_label = 0;
+    size_t width = entries_.front().second->size();
+    for (const auto& [label, vec] : entries_) {
+      max_label = std::max(max_label, label);
+      if (vec->size() != width) {
+        return Status::ExecutionError(
+            Name() + ": vectors have inconsistent lengths (" +
+            std::to_string(width) + " vs " + std::to_string(vec->size()) +
+            ")");
+      }
+    }
+    const size_t n = static_cast<size_t>(max_label) + 1;
+    la::Matrix out = rows_ ? la::Matrix(n, width) : la::Matrix(width, n);
+    std::vector<char> seen(n, 0);
+    for (const auto& [label, vec] : entries_) {
+      const size_t i = static_cast<size_t>(label);
+      if (seen[i]) {
+        return Status::ExecutionError(Name() + ": duplicate label " +
+                                      std::to_string(label));
+      }
+      seen[i] = 1;
+      if (rows_) {
+        out.SetRow(i, *vec);
+      } else {
+        out.SetCol(i, *vec);
+      }
+    }
+    return Value::FromMatrix(std::move(out));
+  }
+  size_t StateBytes() const override {
+    size_t bytes = 8;
+    for (const auto& [label, vec] : entries_) bytes += 8 + vec->ByteSize();
+    return bytes;
+  }
+
+ private:
+  std::string Name() const { return rows_ ? "ROWMATRIX" : "COLMATRIX"; }
+  bool rows_;
+  std::vector<std::pair<int64_t, std::shared_ptr<const la::Vector>>> entries_;
+};
+
+// ---------------------------------------------------------------------
+// Type inference helpers
+// ---------------------------------------------------------------------
+Result<DataType> InferSum(const DataType& arg) {
+  switch (arg.kind()) {
+    case TypeKind::kInteger:
+      return DataType::Integer();
+    case TypeKind::kDouble:
+    case TypeKind::kBoolean:
+    case TypeKind::kLabeledScalar:
+      return DataType::Double();
+    case TypeKind::kVector:
+    case TypeKind::kMatrix:
+    case TypeKind::kNull:
+      return arg;  // element-wise, same shape (§3.2)
+    default:
+      return Status::TypeError("SUM not defined for " + arg.ToString());
+  }
+}
+
+Result<DataType> InferAvg(const DataType& arg) {
+  switch (arg.kind()) {
+    case TypeKind::kInteger:
+    case TypeKind::kDouble:
+    case TypeKind::kBoolean:
+    case TypeKind::kLabeledScalar:
+      return DataType::Double();
+    case TypeKind::kVector:
+    case TypeKind::kMatrix:
+    case TypeKind::kNull:
+      return arg;
+    default:
+      return Status::TypeError("AVG not defined for " + arg.ToString());
+  }
+}
+
+Result<DataType> InferMinMax(const DataType& arg) {
+  switch (arg.kind()) {
+    case TypeKind::kInteger:
+    case TypeKind::kDouble:
+    case TypeKind::kString:
+    case TypeKind::kBoolean:
+    case TypeKind::kNull:
+      return arg;
+    case TypeKind::kLabeledScalar:
+      return DataType::Double();
+    default:
+      return Status::TypeError("MIN/MAX not defined for " + arg.ToString());
+  }
+}
+
+}  // namespace
+
+const AggregateRegistry& AggregateRegistry::Global() {
+  static const AggregateRegistry* kRegistry = new AggregateRegistry();
+  return *kRegistry;
+}
+
+Result<const AggregateFunction*> AggregateRegistry::Lookup(
+    const std::string& name) const {
+  auto it = fns_.find(ToLower(name));
+  if (it == fns_.end()) {
+    return Status::CatalogError("unknown aggregate: " + name);
+  }
+  return &it->second;
+}
+
+bool AggregateRegistry::Contains(const std::string& name) const {
+  return fns_.count(ToLower(name)) > 0;
+}
+
+std::vector<std::string> AggregateRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(fns_.size());
+  for (const auto& [name, fn] : fns_) names.push_back(name);
+  return names;
+}
+
+void AggregateRegistry::Register(AggregateFunction fn) {
+  fns_[ToLower(fn.name)] = std::move(fn);
+}
+
+AggregateRegistry::AggregateRegistry() {
+  Register({"sum", InferSum,
+            [] { return std::make_unique<SumAggregator>(); }});
+  Register({"count",
+            [](const DataType&) -> Result<DataType> {
+              return DataType::Integer();
+            },
+            [] { return std::make_unique<CountAggregator>(); }});
+  Register({"avg", InferAvg,
+            [] { return std::make_unique<AvgAggregator>(); }});
+  Register({"min", InferMinMax,
+            [] { return std::make_unique<MinMaxAggregator>(true); }});
+  Register({"max", InferMinMax,
+            [] { return std::make_unique<MinMaxAggregator>(false); }});
+  auto infer_ewise = [](const DataType& arg) -> Result<DataType> {
+    switch (arg.kind()) {
+      case TypeKind::kInteger:
+      case TypeKind::kDouble:
+      case TypeKind::kString:
+      case TypeKind::kBoolean:
+      case TypeKind::kVector:
+      case TypeKind::kMatrix:
+      case TypeKind::kNull:
+        return arg;
+      case TypeKind::kLabeledScalar:
+        return DataType::Double();
+      default:
+        return Status::TypeError("EMIN/EMAX not defined for " +
+                                 arg.ToString());
+    }
+  };
+  Register({"emin", infer_ewise,
+            [] { return std::make_unique<ElementWiseMinMaxAggregator>(true); }});
+  Register({"emax", infer_ewise,
+            [] { return std::make_unique<ElementWiseMinMaxAggregator>(false); }});
+  Register({"vectorize",
+            [](const DataType& arg) -> Result<DataType> {
+              if (arg.kind() != TypeKind::kLabeledScalar &&
+                  arg.kind() != TypeKind::kNull) {
+                return Status::TypeError(
+                    "VECTORIZE expects LABELED_SCALAR, got " +
+                    arg.ToString());
+              }
+              return DataType::MakeVector();  // length is data-dependent
+            },
+            [] { return std::make_unique<VectorizeAggregator>(); }});
+  Register({"rowmatrix",
+            [](const DataType& arg) -> Result<DataType> {
+              if (arg.kind() != TypeKind::kVector &&
+                  arg.kind() != TypeKind::kNull) {
+                return Status::TypeError("ROWMATRIX expects VECTOR, got " +
+                                         arg.ToString());
+              }
+              // Row count is data-dependent; width is the vector size.
+              return DataType::MakeMatrix(std::nullopt, arg.rows());
+            },
+            [] { return std::make_unique<RowColMatrixAggregator>(true); }});
+  Register({"colmatrix",
+            [](const DataType& arg) -> Result<DataType> {
+              if (arg.kind() != TypeKind::kVector &&
+                  arg.kind() != TypeKind::kNull) {
+                return Status::TypeError("COLMATRIX expects VECTOR, got " +
+                                         arg.ToString());
+              }
+              return DataType::MakeMatrix(arg.rows(), std::nullopt);
+            },
+            [] { return std::make_unique<RowColMatrixAggregator>(false); }});
+}
+
+}  // namespace radb

@@ -1,0 +1,71 @@
+#ifndef RADB_CATALOG_AGGREGATE_H_
+#define RADB_CATALOG_AGGREGATE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/data_type.h"
+#include "types/value.h"
+
+namespace radb {
+
+/// Incremental state of one aggregate over one group. All aggregates
+/// are mergeable so the executor can pre-aggregate locally on each
+/// worker before shuffling partial states (classic two-phase
+/// aggregation; this is what makes SUM(outer_product(...)) cheap on a
+/// cluster — only one partial matrix per worker crosses the network).
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+
+  /// Folds one input value into the state. SQL semantics: NULL inputs
+  /// are ignored.
+  virtual Status Update(const Value& v) = 0;
+
+  /// Folds another aggregator's state (same aggregate, same argument
+  /// type) into this one.
+  virtual Status Merge(const Aggregator& other) = 0;
+
+  /// Produces the aggregate result. Empty-group behaviour matches
+  /// SQL: COUNT yields 0, everything else NULL.
+  virtual Result<Value> Finalize() const = 0;
+
+  /// Approximate size of the partial state; the executor charges this
+  /// to the shuffle when partial aggregates move between workers.
+  virtual size_t StateBytes() const = 0;
+};
+
+/// A registered aggregate: result-type inference plus state factory.
+struct AggregateFunction {
+  std::string name;
+  /// Infers the result type from the (bound) argument type; TypeError
+  /// when the argument kind is not supported.
+  std::function<Result<DataType>(const DataType&)> infer;
+  std::function<std::unique_ptr<Aggregator>()> make;
+};
+
+/// Registry of aggregate functions: the classical five plus the
+/// paper's de-normalizing aggregates VECTORIZE / ROWMATRIX /
+/// COLMATRIX (§3.3). Names are case-insensitive.
+class AggregateRegistry {
+ public:
+  static const AggregateRegistry& Global();
+
+  AggregateRegistry();
+
+  Result<const AggregateFunction*> Lookup(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  void Register(AggregateFunction fn);
+  std::map<std::string, AggregateFunction> fns_;
+};
+
+}  // namespace radb
+
+#endif  // RADB_CATALOG_AGGREGATE_H_

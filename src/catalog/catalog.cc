@@ -1,0 +1,74 @@
+#include "catalog/catalog.h"
+
+#include "common/string_util.h"
+
+namespace radb {
+
+Result<std::shared_ptr<Table>> Catalog::CreateTable(const std::string& name,
+                                                    Schema schema) {
+  const std::string key = ToLower(name);
+  if (tables_.count(key) || views_.count(key)) {
+    return Status::CatalogError("relation already exists: " + name);
+  }
+  auto table = std::make_shared<Table>(key, std::move(schema),
+                                       default_partitions_);
+  tables_[key] = table;
+  return table;
+}
+
+Result<std::shared_ptr<Table>> Catalog::GetTable(
+    const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::CatalogError("table not found: " + name);
+  }
+  return it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(ToLower(name)) > 0;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (tables_.erase(ToLower(name)) == 0) {
+    return Status::CatalogError("table not found: " + name);
+  }
+  return Status::OK();
+}
+
+Status Catalog::CreateView(ViewEntry view) {
+  const std::string key = ToLower(view.name);
+  if (tables_.count(key) || views_.count(key)) {
+    return Status::CatalogError("relation already exists: " + view.name);
+  }
+  views_[key] = std::move(view);
+  return Status::OK();
+}
+
+Result<const ViewEntry*> Catalog::GetView(const std::string& name) const {
+  auto it = views_.find(ToLower(name));
+  if (it == views_.end()) {
+    return Status::CatalogError("view not found: " + name);
+  }
+  return &it->second;
+}
+
+bool Catalog::HasView(const std::string& name) const {
+  return views_.count(ToLower(name)) > 0;
+}
+
+Status Catalog::DropView(const std::string& name) {
+  if (views_.erase(ToLower(name)) == 0) {
+    return Status::CatalogError("view not found: " + name);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace radb

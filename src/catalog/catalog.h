@@ -1,0 +1,65 @@
+#ifndef RADB_CATALOG_CATALOG_H_
+#define RADB_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/aggregate.h"
+#include "catalog/function_registry.h"
+#include "common/result.h"
+#include "storage/table.h"
+#include "types/schema.h"
+
+namespace radb {
+
+/// A stored view: the defining SELECT is kept as SQL text and
+/// re-parsed/bound at use (keeps the catalog independent of the parser
+/// and gives late binding, like classical systems).
+struct ViewEntry {
+  std::string name;
+  std::vector<std::string> column_aliases;  // optional CREATE VIEW v(a,b)
+  std::string select_sql;
+};
+
+/// Database catalog: tables, views, and the function/aggregate
+/// registries. The catalog also records what the optimizer needs:
+/// per-table row counts (from storage) and column types with known
+/// matrix/vector dimensions (§4.1-4.2).
+class Catalog {
+ public:
+  explicit Catalog(size_t default_partitions = 4)
+      : default_partitions_(default_partitions),
+        functions_(&FunctionRegistry::Global()),
+        aggregates_(&AggregateRegistry::Global()) {}
+
+  size_t default_partitions() const { return default_partitions_; }
+
+  Result<std::shared_ptr<Table>> CreateTable(const std::string& name,
+                                             Schema schema);
+  Result<std::shared_ptr<Table>> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  Status DropTable(const std::string& name);
+
+  Status CreateView(ViewEntry view);
+  Result<const ViewEntry*> GetView(const std::string& name) const;
+  bool HasView(const std::string& name) const;
+  Status DropView(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+
+  const FunctionRegistry& functions() const { return *functions_; }
+  const AggregateRegistry& aggregates() const { return *aggregates_; }
+
+ private:
+  size_t default_partitions_;
+  std::map<std::string, std::shared_ptr<Table>> tables_;
+  std::map<std::string, ViewEntry> views_;
+  const FunctionRegistry* functions_;
+  const AggregateRegistry* aggregates_;
+};
+
+}  // namespace radb
+
+#endif  // RADB_CATALOG_CATALOG_H_

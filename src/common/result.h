@@ -1,0 +1,69 @@
+#ifndef RADB_COMMON_RESULT_H_
+#define RADB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace radb {
+
+/// A value-or-error type in the spirit of arrow::Result. Holds either a
+/// T (status is OK) or a non-OK Status. Construction from a bare T or a
+/// Status is implicit so `return Status::TypeError(...)` and
+/// `return value;` both work inside a Result-returning function.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok(). Accessors assert in debug builds.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace radb
+
+/// Propagates the error of a Result-returning expression, otherwise
+/// assigns the unwrapped value to `lhs` (which must be declarable).
+#define RADB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value();
+
+#define RADB_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define RADB_ASSIGN_OR_RETURN_NAME(a, b) RADB_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define RADB_ASSIGN_OR_RETURN(lhs, expr) \
+  RADB_ASSIGN_OR_RETURN_IMPL(            \
+      RADB_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, expr)
+
+#endif  // RADB_COMMON_RESULT_H_

@@ -1,0 +1,45 @@
+#include "common/status.h"
+
+namespace radb {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kBindError:
+      return "BindError";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kCatalogError:
+      return "CatalogError";
+    case StatusCode::kExecutionError:
+      return "ExecutionError";
+    case StatusCode::kDimensionMismatch:
+      return "DimensionMismatch";
+    case StatusCode::kNumericError:
+      return "NumericError";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace radb

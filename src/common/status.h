@@ -1,0 +1,97 @@
+#ifndef RADB_COMMON_STATUS_H_
+#define RADB_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace radb {
+
+/// Error categories used across the system. The taxonomy follows the
+/// phases of query processing plus generic runtime failures.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something nonsensical
+  kParseError,        // SQL text could not be parsed
+  kBindError,         // name resolution / semantic analysis failed
+  kTypeError,         // type checking or dimension unification failed
+  kCatalogError,      // missing/duplicate table, view, or function
+  kExecutionError,    // runtime failure while evaluating a plan
+  kDimensionMismatch, // runtime linear-algebra shape mismatch
+  kNumericError,      // singular matrix, overflow, ...
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a code ("TypeError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Arrow/RocksDB-style status object: cheap to move, carries a code and
+/// a message. All fallible paths in this codebase return Status or
+/// Result<T>; the library never throws.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status CatalogError(std::string msg) {
+    return Status(StatusCode::kCatalogError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status DimensionMismatch(std::string msg) {
+    return Status(StatusCode::kDimensionMismatch, std::move(msg));
+  }
+  static Status NumericError(std::string msg) {
+    return Status(StatusCode::kNumericError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "TypeError: cannot unify dimension b" or "OK".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+}  // namespace radb
+
+/// Propagates a non-OK Status from the current function.
+#define RADB_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::radb::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#endif  // RADB_COMMON_STATUS_H_

@@ -1,0 +1,59 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace radb {
+
+std::string ToLower(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string FormatHms(double seconds) {
+  char buf[64];
+  if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", seconds * 1000.0);
+    return buf;
+  }
+  if (seconds < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+    return buf;
+  }
+  const long total = static_cast<long>(std::llround(seconds));
+  const long h = total / 3600;
+  const long m = (total % 3600) / 60;
+  const long s = total % 60;
+  std::snprintf(buf, sizeof(buf), "%02ld:%02ld:%02ld", h, m, s);
+  return buf;
+}
+
+std::string FormatBytes(double bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 4) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, kUnits[unit]);
+  return buf;
+}
+
+}  // namespace radb

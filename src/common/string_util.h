@@ -1,0 +1,26 @@
+#ifndef RADB_COMMON_STRING_UTIL_H_
+#define RADB_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace radb {
+
+/// ASCII lower-casing (SQL identifiers and keywords are
+/// case-insensitive in this dialect).
+std::string ToLower(const std::string& s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Formats seconds as the paper's HH:MM:SS figures do (fractional
+/// seconds kept to two digits when under a minute).
+std::string FormatHms(double seconds);
+
+/// Formats a byte count with binary units ("1.25 MiB").
+std::string FormatBytes(double bytes);
+
+}  // namespace radb
+
+#endif  // RADB_COMMON_STRING_UTIL_H_

@@ -1,0 +1,81 @@
+#include "dist/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace radb {
+
+double OperatorMetrics::TotalSeconds() const {
+  double s = 0.0;
+  for (double w : worker_seconds) s += w;
+  return s;
+}
+
+double OperatorMetrics::MaxWorkerSeconds() const {
+  double m = 0.0;
+  for (double w : worker_seconds) m = std::max(m, w);
+  return m;
+}
+
+double OperatorMetrics::Skew() const {
+  if (worker_seconds.empty()) return 1.0;
+  const double total = TotalSeconds();
+  if (total <= 0.0) return 1.0;
+  const double mean = total / static_cast<double>(worker_seconds.size());
+  return MaxWorkerSeconds() / mean;
+}
+
+double QueryMetrics::SimulatedParallelSeconds() const {
+  double s = 0.0;
+  for (const OperatorMetrics& op : operators) s += op.MaxWorkerSeconds();
+  return s;
+}
+
+size_t QueryMetrics::TotalBytesShuffled() const {
+  size_t s = 0;
+  for (const OperatorMetrics& op : operators) s += op.bytes_shuffled;
+  return s;
+}
+
+size_t QueryMetrics::TotalRowsProcessed() const {
+  size_t s = 0;
+  for (const OperatorMetrics& op : operators) s += op.rows_out;
+  return s;
+}
+
+double QueryMetrics::SecondsForOperatorsContaining(
+    const std::string& substr) const {
+  double s = 0.0;
+  for (const OperatorMetrics& op : operators) {
+    if (op.name.find(substr) != std::string::npos) s += op.TotalSeconds();
+  }
+  return s;
+}
+
+std::string QueryMetrics::ToString() const {
+  std::ostringstream os;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-28s %12s %12s %12s %10s %6s\n",
+                "operator", "rows_out", "bytes_out", "shuffled", "time",
+                "skew");
+  os << buf;
+  for (const OperatorMetrics& op : operators) {
+    std::snprintf(buf, sizeof(buf), "%-28s %12zu %12s %12s %9.3fs %6.2f\n",
+                  op.name.c_str(), op.rows_out,
+                  FormatBytes(static_cast<double>(op.bytes_out)).c_str(),
+                  FormatBytes(static_cast<double>(op.bytes_shuffled)).c_str(),
+                  op.TotalSeconds(), op.Skew());
+    os << buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "total wall %.3fs | simulated parallel %.3fs | shuffled %s\n",
+                wall_seconds, SimulatedParallelSeconds(),
+                FormatBytes(static_cast<double>(TotalBytesShuffled())).c_str());
+  os << buf;
+  return os.str();
+}
+
+}  // namespace radb

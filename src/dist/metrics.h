@@ -1,0 +1,54 @@
+#ifndef RADB_DIST_METRICS_H_
+#define RADB_DIST_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace radb {
+
+/// Per-operator execution metrics collected by the executor. This is
+/// what Figure 4 of the paper plots (join time vs aggregation time for
+/// tuple- vs vector-based Gram computation) and what the skew
+/// discussion in §5 measures (a few overloaded workers finishing
+/// late).
+struct OperatorMetrics {
+  std::string name;           // e.g. "HashJoin", "Aggregate(final)"
+  size_t rows_out = 0;
+  size_t bytes_out = 0;
+  size_t rows_shuffled = 0;   // rows that crossed worker boundaries
+  size_t bytes_shuffled = 0;  // payload of those rows / partial states
+  /// Wall-clock seconds spent per worker partition; the simulated
+  /// parallel elapsed time of the operator is the max entry.
+  std::vector<double> worker_seconds;
+
+  double TotalSeconds() const;
+  double MaxWorkerSeconds() const;
+  /// max/mean worker time; 1.0 = perfectly balanced.
+  double Skew() const;
+};
+
+/// Whole-query metrics: the operator list in execution order.
+struct QueryMetrics {
+  std::vector<OperatorMetrics> operators;
+  double wall_seconds = 0.0;
+
+  /// Sum over operators of the slowest worker — the time a real
+  /// shared-nothing cluster would take if every operator were a
+  /// barrier stage.
+  double SimulatedParallelSeconds() const;
+  size_t TotalBytesShuffled() const;
+  size_t TotalRowsProcessed() const;
+
+  /// Human-readable per-operator breakdown table.
+  std::string ToString() const;
+
+  /// Sums the per-worker times of all operators whose name contains
+  /// `substr` (e.g. "Join", "Aggregate") — used by the Figure 4
+  /// breakdown bench.
+  double SecondsForOperatorsContaining(const std::string& substr) const;
+};
+
+}  // namespace radb
+
+#endif  // RADB_DIST_METRICS_H_

@@ -1,0 +1,314 @@
+#include "dsl/expr.h"
+
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace radb::dsl {
+
+struct Expr::Node {
+  enum class Kind {
+    kRef,
+    kMultiply,
+    kAdd,
+    kSub,
+    kHadamard,
+    kScale,
+    kTranspose,
+    kInverse,
+  };
+  Kind kind = Kind::kRef;
+  std::string table;
+  std::string column;
+  double scalar = 0.0;  // kScale factor
+  std::vector<std::shared_ptr<const Node>> children;
+};
+
+namespace {
+
+using Node = Expr::Node;
+using NodePtr = std::shared_ptr<const Node>;
+
+NodePtr MakeNode(Node::Kind kind, std::vector<NodePtr> children,
+                 double scalar = 0.0) {
+  auto n = std::make_shared<Node>();
+  n->kind = kind;
+  n->children = std::move(children);
+  n->scalar = scalar;
+  return n;
+}
+
+/// Looks up the declared type of a leaf reference in the catalog.
+Result<DataType> RefType(const Catalog& catalog, const Node& node) {
+  RADB_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                        catalog.GetTable(node.table));
+  RADB_ASSIGN_OR_RETURN(size_t idx,
+                        table->schema().Resolve("", node.column));
+  const DataType& type = table->schema().at(idx).type;
+  if (type.kind() != TypeKind::kMatrix) {
+    return Status::TypeError("DSL reference " + node.table + "." +
+                             node.column + " is " + type.ToString() +
+                             ", expected MATRIX");
+  }
+  return type;
+}
+
+Result<DataType> InferNodeType(const Catalog& catalog, const Node& node) {
+  switch (node.kind) {
+    case Node::Kind::kRef:
+      return RefType(catalog, node);
+    case Node::Kind::kMultiply: {
+      RADB_ASSIGN_OR_RETURN(DataType l,
+                            InferNodeType(catalog, *node.children[0]));
+      RADB_ASSIGN_OR_RETURN(DataType r,
+                            InferNodeType(catalog, *node.children[1]));
+      if (l.cols() && r.rows() && *l.cols() != *r.rows()) {
+        return Status::TypeError(
+            "DSL multiply: inner dimensions disagree (" + l.ToString() +
+            " * " + r.ToString() + ")");
+      }
+      return DataType::MakeMatrix(l.rows(), r.cols());
+    }
+    case Node::Kind::kAdd:
+    case Node::Kind::kSub:
+    case Node::Kind::kHadamard: {
+      RADB_ASSIGN_OR_RETURN(DataType l,
+                            InferNodeType(catalog, *node.children[0]));
+      RADB_ASSIGN_OR_RETURN(DataType r,
+                            InferNodeType(catalog, *node.children[1]));
+      auto unify = [](Dim a, Dim b) -> Result<Dim> {
+        if (a && b && *a != *b) {
+          return Status::TypeError("DSL element-wise op: shape mismatch");
+        }
+        return a ? a : b;
+      };
+      RADB_ASSIGN_OR_RETURN(Dim rows, unify(l.rows(), r.rows()));
+      RADB_ASSIGN_OR_RETURN(Dim cols, unify(l.cols(), r.cols()));
+      return DataType::MakeMatrix(rows, cols);
+    }
+    case Node::Kind::kScale:
+      return InferNodeType(catalog, *node.children[0]);
+    case Node::Kind::kTranspose: {
+      RADB_ASSIGN_OR_RETURN(DataType t,
+                            InferNodeType(catalog, *node.children[0]));
+      return DataType::MakeMatrix(t.cols(), t.rows());
+    }
+    case Node::Kind::kInverse: {
+      RADB_ASSIGN_OR_RETURN(DataType t,
+                            InferNodeType(catalog, *node.children[0]));
+      if (t.rows() && t.cols() && *t.rows() != *t.cols()) {
+        return Status::TypeError("DSL inverse of non-square " +
+                                 t.ToString());
+      }
+      return t;
+    }
+  }
+  return Status::Internal("unhandled DSL node");
+}
+
+constexpr double kDefaultDim = 100.0;
+
+double DimOr(Dim d) {
+  return d ? static_cast<double>(*d) : kDefaultDim;
+}
+
+/// Re-associates every multiply chain in the tree using the classic
+/// matrix-chain-order DP; returns the transformed tree. Children are
+/// transformed first so nested chains are each optimal.
+Result<NodePtr> Reassociate(const Catalog& catalog, const NodePtr& node);
+
+/// Flattens a multiply subtree into its chain factors.
+void FlattenChain(const NodePtr& node, std::vector<NodePtr>* factors) {
+  if (node->kind == Node::Kind::kMultiply) {
+    FlattenChain(node->children[0], factors);
+    FlattenChain(node->children[1], factors);
+    return;
+  }
+  factors->push_back(node);
+}
+
+Result<NodePtr> Reassociate(const Catalog& catalog, const NodePtr& node) {
+  if (node->kind != Node::Kind::kMultiply) {
+    if (node->children.empty()) return node;
+    auto out = std::make_shared<Node>(*node);
+    for (auto& c : out->children) {
+      RADB_ASSIGN_OR_RETURN(c, Reassociate(catalog, c));
+    }
+    return NodePtr(out);
+  }
+  std::vector<NodePtr> factors;
+  FlattenChain(node, &factors);
+  for (auto& f : factors) {
+    RADB_ASSIGN_OR_RETURN(f, Reassociate(catalog, f));
+  }
+  const size_t k = factors.size();
+  if (k == 2) {
+    return MakeNode(Node::Kind::kMultiply,
+                    {factors[0], factors[1]});
+  }
+  // Chain dims: p[0..k], factor i is p[i] x p[i+1].
+  std::vector<double> p(k + 1);
+  for (size_t i = 0; i < k; ++i) {
+    RADB_ASSIGN_OR_RETURN(DataType t, InferNodeType(catalog, *factors[i]));
+    if (i == 0) p[0] = DimOr(t.rows());
+    p[i + 1] = DimOr(t.cols());
+  }
+  // Matrix-chain-order DP.
+  std::vector<std::vector<double>> cost(k, std::vector<double>(k, 0.0));
+  std::vector<std::vector<size_t>> split(k, std::vector<size_t>(k, 0));
+  for (size_t len = 2; len <= k; ++len) {
+    for (size_t i = 0; i + len <= k; ++i) {
+      const size_t j = i + len - 1;
+      cost[i][j] = -1.0;
+      for (size_t s = i; s < j; ++s) {
+        const double c =
+            cost[i][s] + cost[s + 1][j] + p[i] * p[s + 1] * p[j + 1];
+        if (cost[i][j] < 0 || c < cost[i][j]) {
+          cost[i][j] = c;
+          split[i][j] = s;
+        }
+      }
+    }
+  }
+  std::function<NodePtr(size_t, size_t)> build = [&](size_t i,
+                                                     size_t j) -> NodePtr {
+    if (i == j) return factors[i];
+    const size_t s = split[i][j];
+    return MakeNode(Node::Kind::kMultiply, {build(i, s), build(s + 1, j)});
+  };
+  return build(0, k - 1);
+}
+
+Result<double> CostOf(const Catalog& catalog, const NodePtr& node) {
+  double cost = 0.0;
+  for (const auto& c : node->children) {
+    RADB_ASSIGN_OR_RETURN(double child_cost, CostOf(catalog, c));
+    cost += child_cost;
+  }
+  if (node->kind == Node::Kind::kMultiply) {
+    RADB_ASSIGN_OR_RETURN(DataType l,
+                          InferNodeType(catalog, *node->children[0]));
+    RADB_ASSIGN_OR_RETURN(DataType r,
+                          InferNodeType(catalog, *node->children[1]));
+    cost += DimOr(l.rows()) * DimOr(l.cols()) * DimOr(r.cols());
+  }
+  return cost;
+}
+
+/// Assigns one FROM alias per distinct referenced table.
+void CollectTables(const NodePtr& node,
+                   std::map<std::string, std::string>* aliases) {
+  if (node->kind == Node::Kind::kRef) {
+    const std::string key = ToLower(node->table);
+    if (!aliases->count(key)) {
+      (*aliases)[key] = "d" + std::to_string(aliases->size());
+    }
+  }
+  for (const auto& c : node->children) CollectTables(c, aliases);
+}
+
+std::string EmitExpr(const NodePtr& node,
+                     const std::map<std::string, std::string>& aliases) {
+  switch (node->kind) {
+    case Node::Kind::kRef:
+      return aliases.at(ToLower(node->table)) + "." + node->column;
+    case Node::Kind::kMultiply:
+      return "matrix_multiply(" + EmitExpr(node->children[0], aliases) +
+             ", " + EmitExpr(node->children[1], aliases) + ")";
+    case Node::Kind::kAdd:
+      return "(" + EmitExpr(node->children[0], aliases) + " + " +
+             EmitExpr(node->children[1], aliases) + ")";
+    case Node::Kind::kSub:
+      return "(" + EmitExpr(node->children[0], aliases) + " - " +
+             EmitExpr(node->children[1], aliases) + ")";
+    case Node::Kind::kHadamard:
+      return "(" + EmitExpr(node->children[0], aliases) + " * " +
+             EmitExpr(node->children[1], aliases) + ")";
+    case Node::Kind::kScale: {
+      std::ostringstream os;
+      os << "(" << EmitExpr(node->children[0], aliases) << " * "
+         << node->scalar << ")";
+      return os.str();
+    }
+    case Node::Kind::kTranspose:
+      return "trans_matrix(" + EmitExpr(node->children[0], aliases) + ")";
+    case Node::Kind::kInverse:
+      return "matrix_inverse(" + EmitExpr(node->children[0], aliases) + ")";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Expr Expr::Ref(std::string table, std::string column) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kRef;
+  n->table = std::move(table);
+  n->column = std::move(column);
+  return Expr(std::move(n));
+}
+
+Expr operator*(const Expr& lhs, const Expr& rhs) {
+  return Expr(MakeNode(Node::Kind::kMultiply, {lhs.node_, rhs.node_}));
+}
+
+Expr operator+(const Expr& lhs, const Expr& rhs) {
+  return Expr(MakeNode(Node::Kind::kAdd, {lhs.node_, rhs.node_}));
+}
+
+Expr operator-(const Expr& lhs, const Expr& rhs) {
+  return Expr(MakeNode(Node::Kind::kSub, {lhs.node_, rhs.node_}));
+}
+
+Expr Expr::T() const {
+  return Expr(MakeNode(Node::Kind::kTranspose, {node_}));
+}
+
+Expr Expr::Inv() const {
+  return Expr(MakeNode(Node::Kind::kInverse, {node_}));
+}
+
+Expr Expr::Hadamard(const Expr& other) const {
+  return Expr(MakeNode(Node::Kind::kHadamard, {node_, other.node_}));
+}
+
+Expr Expr::Scale(double s) const {
+  return Expr(MakeNode(Node::Kind::kScale, {node_}, s));
+}
+
+Result<DataType> Expr::InferType(const Catalog& catalog) const {
+  return InferNodeType(catalog, *node_);
+}
+
+Result<std::string> Expr::ToSql(const Catalog& catalog) const {
+  // Type-check first so dimension errors surface before emission.
+  RADB_RETURN_NOT_OK(InferType(catalog).status());
+  RADB_ASSIGN_OR_RETURN(NodePtr optimized, Reassociate(catalog, node_));
+  std::map<std::string, std::string> aliases;
+  CollectTables(optimized, &aliases);
+  if (aliases.empty()) {
+    return Status::InvalidArgument(
+        "DSL expression references no tables");
+  }
+  std::vector<std::string> from;
+  for (const auto& [table, alias] : aliases) {
+    from.push_back(table + " AS " + alias);
+  }
+  return "SELECT " + EmitExpr(optimized, aliases) + " AS result FROM " +
+         Join(from, ", ");
+}
+
+Result<la::Matrix> Expr::Eval(Database* db) const {
+  RADB_ASSIGN_OR_RETURN(std::string sql, ToSql(db->catalog()));
+  RADB_ASSIGN_OR_RETURN(ResultSet rs, db->ExecuteSql(sql));
+  return rs.ScalarMatrix();
+}
+
+Result<double> Expr::MultiplyCost(const Catalog& catalog) const {
+  RADB_ASSIGN_OR_RETURN(NodePtr optimized, Reassociate(catalog, node_));
+  return CostOf(catalog, optimized);
+}
+
+}  // namespace radb::dsl

@@ -1,0 +1,80 @@
+#ifndef RADB_DSL_EXPR_H_
+#define RADB_DSL_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+#include "common/result.h"
+
+namespace radb::dsl {
+
+/// A math-like linear algebra DSL that *compiles to the extended SQL*
+/// — the architecture the paper proposes in §1: "it would be possible
+/// to implement a math-like domain specific language ... that could
+/// itself exploit high-level linear algebra transformations, and
+/// translate the computation to a database computation".
+///
+/// The flagship transformation is one the paper points out a plain SQL
+/// optimizer cannot do (§1: "may be unable to optimize the order of a
+/// chain of distributed matrix multiplies expressed in SQL"): the DSL
+/// re-associates multiply chains with the classic matrix-chain-order
+/// dynamic program, using dimensions from the database catalog, and
+/// only then emits SQL.
+///
+/// Example:
+///   using radb::dsl::Expr;
+///   Expr a = Expr::Ref("a", "mat");     // tables holding one MATRIX
+///   Expr b = Expr::Ref("b", "mat");
+///   Expr c = Expr::Ref("c", "mat");
+///   Expr beta = (a.T() * a).Inv() * (a.T() * b);
+///   radb::la::Matrix m = beta.Eval(&db).value();
+///   std::string sql = beta.ToSql(db.catalog()).value();
+class Expr {
+ public:
+  /// Leaf: a table storing exactly one MATRIX value in `column`.
+  static Expr Ref(std::string table, std::string column);
+
+  /// Matrix product (re-associated before SQL emission).
+  friend Expr operator*(const Expr& lhs, const Expr& rhs);
+  /// Element-wise sum / difference.
+  friend Expr operator+(const Expr& lhs, const Expr& rhs);
+  friend Expr operator-(const Expr& lhs, const Expr& rhs);
+
+  /// Transpose.
+  Expr T() const;
+  /// Inverse.
+  Expr Inv() const;
+  /// Element-wise (Hadamard) product.
+  Expr Hadamard(const Expr& other) const;
+  /// Scale every element.
+  Expr Scale(double s) const;
+
+  /// Infers the result type (dimension-checked against the catalog,
+  /// like the SQL binder would).
+  Result<DataType> InferType(const Catalog& catalog) const;
+
+  /// Emits a single SELECT statement computing this expression, with
+  /// multiply chains re-associated into the cheapest order.
+  Result<std::string> ToSql(const Catalog& catalog) const;
+
+  /// Compiles and runs against `db`; returns the resulting matrix.
+  Result<la::Matrix> Eval(Database* db) const;
+
+  /// Number of scalar multiplications the emitted plan performs in
+  /// its matrix products (the chain DP's objective); exposed so tests
+  /// and benches can compare orders.
+  Result<double> MultiplyCost(const Catalog& catalog) const;
+
+  struct Node;
+
+ private:
+  explicit Expr(std::shared_ptr<const Node> node)
+      : node_(std::move(node)) {}
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace radb::dsl
+
+#endif  // RADB_DSL_EXPR_H_

@@ -1,0 +1,221 @@
+#include "engines/scidb/array.h"
+
+#include <chrono>
+#include <limits>
+#include <map>
+
+#include "la/tiled.h"
+
+namespace radb::scidb {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+size_t ChunkBytes(const Chunk& c) { return 16 + c.data.ByteSize(); }
+
+}  // namespace
+
+Array2D::Array2D(ArrayContext* ctx, size_t num_rows, size_t num_cols,
+                 size_t chunk, std::vector<Chunk> chunks)
+    : ctx_(ctx),
+      partitions_(ctx->num_instances()),
+      num_rows_(num_rows),
+      num_cols_(num_cols),
+      chunk_(chunk == 0 ? 1 : chunk) {
+  for (Chunk& c : chunks) {
+    const size_t h = c.ci * 1000003 + c.cj;
+    partitions_[h % partitions_.size()].push_back(std::move(c));
+  }
+}
+
+Array2D Array2D::Build(ArrayContext* ctx, size_t num_rows, size_t num_cols,
+                       size_t chunk, double fill) {
+  la::Matrix dense(num_rows, num_cols, fill);
+  return FromDense(ctx, dense, chunk);
+}
+
+Array2D Array2D::FromDense(ArrayContext* ctx, const la::Matrix& m,
+                           size_t chunk) {
+  std::vector<la::Tile> tiles = la::SplitIntoTiles(m, chunk, chunk);
+  std::vector<Chunk> chunks;
+  chunks.reserve(tiles.size());
+  for (la::Tile& t : tiles) {
+    chunks.push_back(Chunk{t.tile_row, t.tile_col, std::move(t.mat)});
+  }
+  return Array2D(ctx, m.rows(), m.cols(), chunk, std::move(chunks));
+}
+
+Result<la::Matrix> Array2D::ToDense() const {
+  std::vector<la::Tile> tiles;
+  for (const auto& part : partitions_) {
+    for (const Chunk& c : part) tiles.push_back(la::Tile{c.ci, c.cj, c.data});
+  }
+  if (tiles.empty()) return la::Matrix(num_rows_, num_cols_);
+  return la::AssembleTiles(tiles);
+}
+
+Result<Array2D> Gemm(const Array2D& a, const Array2D& b, const Array2D& c) {
+  if (a.num_cols() != b.num_rows() || a.num_rows() != c.num_rows() ||
+      b.num_cols() != c.num_cols()) {
+    return Status::DimensionMismatch("gemm: incompatible array shapes");
+  }
+  if (a.chunk() != b.chunk() || a.chunk() != c.chunk()) {
+    return Status::InvalidArgument("gemm: arrays must share chunk size");
+  }
+  ArrayContext* ctx = a.context();
+  OperatorMetrics* m = ctx->NewOp("gemm");
+  const size_t w = ctx->num_instances();
+
+  // Index rhs chunks by their row-chunk coordinate.
+  std::map<size_t, std::vector<const Chunk*>> b_by_row;
+  for (const auto& part : b.partitions()) {
+    for (const Chunk& ch : part) b_by_row[ch.ci].push_back(&ch);
+  }
+  // Rotation shuffle: every a-chunk visits each matching b row group;
+  // charge one replication per b column group beyond the first.
+  const size_t b_col_groups = (b.num_cols() + b.chunk() - 1) / b.chunk();
+  for (const auto& part : a.partitions()) {
+    for (const Chunk& ch : part) {
+      m->bytes_shuffled +=
+          ChunkBytes(ch) * (b_col_groups > 0 ? b_col_groups - 1 : 0);
+    }
+  }
+
+  struct Acc {
+    bool init = false;
+    la::Matrix mat;
+  };
+  std::vector<std::map<std::pair<size_t, size_t>, Acc>> partials(w);
+  for (const auto& part : a.partitions()) {
+    for (const Chunk& ca : part) {
+      auto it = b_by_row.find(ca.cj);
+      if (it == b_by_row.end()) continue;
+      for (const Chunk* cb : it->second) {
+        const auto key = std::make_pair(ca.ci, cb->cj);
+        const size_t wkr = (key.first * 1000003 + key.second) % w;
+        const auto t0 = Clock::now();
+        RADB_ASSIGN_OR_RETURN(la::Matrix prod,
+                              la::Multiply(ca.data, cb->data));
+        Acc& acc = partials[wkr][key];
+        if (!acc.init) {
+          acc.mat = std::move(prod);
+          acc.init = true;
+        } else {
+          RADB_ASSIGN_OR_RETURN(acc.mat, la::Add(acc.mat, prod));
+        }
+        m->worker_seconds[wkr] += SecondsSince(t0);
+      }
+    }
+  }
+
+  // Add C.
+  std::map<std::pair<size_t, size_t>, const Chunk*> c_chunks;
+  for (const auto& part : c.partitions()) {
+    for (const Chunk& ch : part) c_chunks[{ch.ci, ch.cj}] = &ch;
+  }
+  std::vector<Chunk> out;
+  for (size_t wkr = 0; wkr < w; ++wkr) {
+    const auto t0 = Clock::now();
+    for (auto& [key, acc] : partials[wkr]) {
+      auto it = c_chunks.find(key);
+      if (it != c_chunks.end()) {
+        RADB_ASSIGN_OR_RETURN(acc.mat, la::Add(acc.mat, it->second->data));
+      }
+      m->rows_out += 1;
+      m->bytes_out += acc.mat.ByteSize();
+      out.push_back(Chunk{key.first, key.second, std::move(acc.mat)});
+    }
+    m->worker_seconds[wkr] += SecondsSince(t0);
+  }
+  return Array2D(ctx, a.num_rows(), b.num_cols(), a.chunk(), std::move(out));
+}
+
+Result<Array2D> Transpose(const Array2D& a) {
+  ArrayContext* ctx = a.context();
+  OperatorMetrics* m = ctx->NewOp("transpose");
+  std::vector<Chunk> out;
+  for (size_t p = 0; p < a.partitions().size(); ++p) {
+    const auto t0 = Clock::now();
+    for (const Chunk& ch : a.partitions()[p]) {
+      out.push_back(Chunk{ch.cj, ch.ci, la::Transpose(ch.data)});
+      m->rows_out += 1;
+      m->bytes_out += ch.data.ByteSize();
+      // Transposed chunks generally land on another instance.
+      m->bytes_shuffled += ChunkBytes(ch);
+    }
+    m->worker_seconds[p] += SecondsSince(t0);
+  }
+  return Array2D(ctx, a.num_cols(), a.num_rows(), a.chunk(), std::move(out));
+}
+
+Result<Array2D> FilterCells(
+    const Array2D& a,
+    const std::function<bool(size_t, size_t, double)>& pred,
+    double empty_value) {
+  ArrayContext* ctx = a.context();
+  OperatorMetrics* m = ctx->NewOp("filter");
+  std::vector<Chunk> out;
+  for (size_t p = 0; p < a.partitions().size(); ++p) {
+    const auto t0 = Clock::now();
+    for (const Chunk& ch : a.partitions()[p]) {
+      Chunk filtered{ch.ci, ch.cj,
+                     la::Matrix(ch.data.rows(), ch.data.cols())};
+      for (size_t r = 0; r < ch.data.rows(); ++r) {
+        for (size_t c = 0; c < ch.data.cols(); ++c) {
+          const size_t gi = ch.ci * a.chunk() + r;
+          const size_t gj = ch.cj * a.chunk() + c;
+          const double v = ch.data.At(r, c);
+          filtered.data.At(r, c) = pred(gi, gj, v) ? v : empty_value;
+        }
+      }
+      m->rows_out += 1;
+      m->bytes_out += filtered.data.ByteSize();
+      out.push_back(std::move(filtered));
+    }
+    m->worker_seconds[p] += SecondsSince(t0);
+  }
+  return Array2D(ctx, a.num_rows(), a.num_cols(), a.chunk(), std::move(out));
+}
+
+Result<la::Vector> MinOverRows(const Array2D& a, double skip_value) {
+  ArrayContext* ctx = a.context();
+  OperatorMetrics* m = ctx->NewOp("aggregate(min) group by i");
+  la::Vector mins(a.num_rows(), std::numeric_limits<double>::infinity());
+  for (size_t p = 0; p < a.partitions().size(); ++p) {
+    const auto t0 = Clock::now();
+    for (const Chunk& ch : a.partitions()[p]) {
+      for (size_t r = 0; r < ch.data.rows(); ++r) {
+        const size_t gi = ch.ci * a.chunk() + r;
+        for (size_t c = 0; c < ch.data.cols(); ++c) {
+          const double v = ch.data.At(r, c);
+          if (v == skip_value) continue;
+          if (v < mins[gi]) mins[gi] = v;
+        }
+      }
+    }
+    m->worker_seconds[p] += SecondsSince(t0);
+  }
+  // Partial mins from each instance are combined at the coordinator.
+  m->bytes_shuffled += mins.ByteSize() * (ctx->num_instances() - 1);
+  m->rows_out = mins.size();
+  m->bytes_out = mins.ByteSize();
+  return mins;
+}
+
+Result<double> MaxOfVector(ArrayContext* ctx, const la::Vector& v) {
+  OperatorMetrics* m = ctx->NewOp("aggregate(max)");
+  const auto t0 = Clock::now();
+  if (v.empty()) return Status::ExecutionError("max over empty array");
+  const double result = v.Max();
+  m->worker_seconds[0] += SecondsSince(t0);
+  m->rows_out = 1;
+  m->bytes_out = 8;
+  return result;
+}
+
+}  // namespace radb::scidb

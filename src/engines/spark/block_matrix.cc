@@ -1,0 +1,186 @@
+#include "engines/spark/block_matrix.h"
+
+#include <chrono>
+
+#include "la/tiled.h"
+
+namespace radb::spark {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+BlockMatrix::BlockMatrix(SparkContext* ctx, std::vector<MatrixBlock> blocks,
+                         size_t rows_per_block, size_t cols_per_block,
+                         size_t num_rows, size_t num_cols)
+    : ctx_(ctx),
+      partitions_(ctx->num_partitions()),
+      rows_per_block_(rows_per_block),
+      cols_per_block_(cols_per_block),
+      num_rows_(num_rows),
+      num_cols_(num_cols) {
+  // Blocks are partitioned by a grid hash, mirroring mllib's
+  // GridPartitioner.
+  for (MatrixBlock& b : blocks) {
+    const size_t h = b.bi * 31 + b.bj;
+    partitions_[h % partitions_.size()].push_back(std::move(b));
+  }
+}
+
+BlockMatrix BlockMatrix::FromDense(SparkContext* ctx, const la::Matrix& m,
+                                   size_t rows_per_block,
+                                   size_t cols_per_block) {
+  std::vector<la::Tile> tiles =
+      la::SplitIntoTiles(m, rows_per_block, cols_per_block);
+  std::vector<MatrixBlock> blocks;
+  blocks.reserve(tiles.size());
+  for (la::Tile& t : tiles) {
+    blocks.push_back(MatrixBlock{t.tile_row, t.tile_col, std::move(t.mat)});
+  }
+  return BlockMatrix(ctx, std::move(blocks), rows_per_block, cols_per_block,
+                     m.rows(), m.cols());
+}
+
+Result<BlockMatrix> BlockMatrix::Multiply(const BlockMatrix& other) const {
+  if (num_cols_ != other.num_rows_ ||
+      cols_per_block_ != other.rows_per_block_) {
+    return Status::DimensionMismatch(
+        "BlockMatrix multiply: incompatible shapes or block sizes");
+  }
+  OperatorMetrics* m = ctx_->NewStage("BlockMatrix.multiply");
+  const size_t w = ctx_->num_partitions();
+
+  // Simulate the cogroup shuffle: both sides are re-keyed so that
+  // lhs(i, k) meets rhs(k, j) on the worker owning output block
+  // (i, j). Each lhs block is sent to every output column group, each
+  // rhs block to every output row group (Spark's replication factor).
+  const size_t out_row_blocks =
+      (num_rows_ + rows_per_block_ - 1) / rows_per_block_;
+  const size_t out_col_blocks =
+      (other.num_cols_ + other.cols_per_block_ - 1) / other.cols_per_block_;
+
+  struct Acc {
+    bool init = false;
+    la::Matrix mat;
+  };
+  std::vector<std::map<std::pair<size_t, size_t>, Acc>> partials(w);
+
+  // Gather rhs blocks by row-block index for the join.
+  std::map<size_t, std::vector<const MatrixBlock*>> rhs_by_row;
+  for (const auto& part : other.partitions_) {
+    for (const MatrixBlock& b : part) rhs_by_row[b.bi].push_back(&b);
+  }
+  // Shuffle accounting: lhs blocks replicated across output column
+  // groups, rhs across output row groups.
+  for (const auto& part : partitions_) {
+    for (const MatrixBlock& b : part) {
+      m->bytes_shuffled += PayloadBytes(b) * (out_col_blocks > 0
+                                                  ? out_col_blocks - 1
+                                                  : 0);
+    }
+  }
+  for (const auto& part : other.partitions_) {
+    for (const MatrixBlock& b : part) {
+      m->bytes_shuffled +=
+          PayloadBytes(b) * (out_row_blocks > 0 ? out_row_blocks - 1 : 0);
+    }
+  }
+
+  for (const auto& part : partitions_) {
+    for (const MatrixBlock& lb : part) {
+      auto it = rhs_by_row.find(lb.bj);
+      if (it == rhs_by_row.end()) continue;
+      for (const MatrixBlock* rb : it->second) {
+        const auto key = std::make_pair(lb.bi, rb->bj);
+        const size_t wkr = (key.first * 31 + key.second) % w;
+        const auto t0 = Clock::now();
+        RADB_ASSIGN_OR_RETURN(la::Matrix prod, la::Multiply(lb.mat, rb->mat));
+        Acc& acc = partials[wkr][key];
+        if (!acc.init) {
+          acc.mat = std::move(prod);
+          acc.init = true;
+        } else {
+          RADB_ASSIGN_OR_RETURN(acc.mat, la::Add(acc.mat, prod));
+        }
+        m->worker_seconds[wkr] += SecondsSince(t0);
+      }
+    }
+  }
+
+  std::vector<MatrixBlock> out_blocks;
+  for (size_t wkr = 0; wkr < w; ++wkr) {
+    for (auto& [key, acc] : partials[wkr]) {
+      m->rows_out += 1;
+      m->bytes_out += acc.mat.ByteSize();
+      out_blocks.push_back(
+          MatrixBlock{key.first, key.second, std::move(acc.mat)});
+    }
+  }
+  return BlockMatrix(ctx_, std::move(out_blocks), rows_per_block_,
+                     other.cols_per_block_, num_rows_, other.num_cols_);
+}
+
+BlockMatrix BlockMatrix::Transpose() const {
+  OperatorMetrics* m = ctx_->NewStage("BlockMatrix.transpose");
+  std::vector<MatrixBlock> out;
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    const auto t0 = Clock::now();
+    for (const MatrixBlock& b : partitions_[p]) {
+      out.push_back(MatrixBlock{b.bj, b.bi, la::Transpose(b.mat)});
+      m->rows_out += 1;
+      m->bytes_out += b.mat.ByteSize();
+    }
+    m->worker_seconds[p] += SecondsSince(t0);
+  }
+  return BlockMatrix(ctx_, std::move(out), cols_per_block_, rows_per_block_,
+                     num_cols_, num_rows_);
+}
+
+Result<la::Matrix> BlockMatrix::ToLocal() const {
+  std::vector<la::Tile> tiles;
+  for (const auto& part : partitions_) {
+    for (const MatrixBlock& b : part) {
+      tiles.push_back(la::Tile{b.bi, b.bj, b.mat});
+    }
+  }
+  return la::AssembleTiles(tiles);
+}
+
+Rdd<std::pair<size_t, la::Vector>> BlockMatrix::ToIndexedRows() const {
+  OperatorMetrics* m = ctx_->NewStage("BlockMatrix.toIndexedRowMatrix");
+  const size_t w = ctx_->num_partitions();
+  // Rows of one block row may span several blocks; assemble by global
+  // row index, shuffling row fragments (charged below).
+  std::map<size_t, la::Vector> rows;
+  for (const auto& part : partitions_) {
+    for (const MatrixBlock& b : part) {
+      for (size_t r = 0; r < b.mat.rows(); ++r) {
+        const size_t global_row = b.bi * rows_per_block_ + r;
+        auto it = rows.find(global_row);
+        if (it == rows.end()) {
+          it = rows.emplace(global_row, la::Vector(num_cols_)).first;
+        }
+        const size_t col0 = b.bj * cols_per_block_;
+        for (size_t c = 0; c < b.mat.cols(); ++c) {
+          it->second[col0 + c] = b.mat.At(r, c);
+        }
+        m->bytes_shuffled += b.mat.cols() * 8;
+      }
+    }
+  }
+  std::vector<std::vector<std::pair<size_t, la::Vector>>> parts(w);
+  for (auto& [idx, vec] : rows) {
+    m->rows_out += 1;
+    m->bytes_out += vec.ByteSize();
+    parts[idx % w].emplace_back(idx, std::move(vec));
+  }
+  return Rdd<std::pair<size_t, la::Vector>>(ctx_, std::move(parts));
+}
+
+}  // namespace radb::spark

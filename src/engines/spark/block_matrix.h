@@ -1,0 +1,70 @@
+#ifndef RADB_ENGINES_SPARK_BLOCK_MATRIX_H_
+#define RADB_ENGINES_SPARK_BLOCK_MATRIX_H_
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "engines/spark/rdd.h"
+#include "la/matrix.h"
+
+namespace radb::spark {
+
+/// One block of a distributed BlockMatrix, addressed by block indexes
+/// (mirrors mllib's ((i, j), Matrix) pairs).
+struct MatrixBlock {
+  size_t bi = 0;
+  size_t bj = 0;
+  la::Matrix mat;
+};
+
+inline size_t PayloadBytes(const MatrixBlock& b) {
+  return 16 + b.mat.ByteSize();
+}
+
+/// mllib.linalg.distributed.BlockMatrix equivalent: a grid of dense
+/// blocks partitioned across the cluster; multiply shuffles co-grouped
+/// blocks exactly like Spark's simulate-and-aggregate implementation.
+class BlockMatrix {
+ public:
+  BlockMatrix(SparkContext* ctx, std::vector<MatrixBlock> blocks,
+              size_t rows_per_block, size_t cols_per_block, size_t num_rows,
+              size_t num_cols);
+
+  /// Splits a dense matrix into blocks distributed round-robin.
+  static BlockMatrix FromDense(SparkContext* ctx, const la::Matrix& m,
+                               size_t rows_per_block, size_t cols_per_block);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_cols() const { return num_cols_; }
+  size_t rows_per_block() const { return rows_per_block_; }
+  size_t cols_per_block() const { return cols_per_block_; }
+
+  Result<BlockMatrix> Multiply(const BlockMatrix& other) const;
+  BlockMatrix Transpose() const;
+
+  /// Collects all blocks into a local dense matrix (toLocalMatrix).
+  Result<la::Matrix> ToLocal() const;
+
+  /// IndexedRowMatrix conversion: one (row index, row vector) pair per
+  /// matrix row.
+  Rdd<std::pair<size_t, la::Vector>> ToIndexedRows() const;
+
+  SparkContext* context() const { return ctx_; }
+  const std::vector<std::vector<MatrixBlock>>& partitions() const {
+    return partitions_;
+  }
+
+ private:
+  SparkContext* ctx_;
+  std::vector<std::vector<MatrixBlock>> partitions_;
+  size_t rows_per_block_;
+  size_t cols_per_block_;
+  size_t num_rows_;
+  size_t num_cols_;
+};
+
+}  // namespace radb::spark
+
+#endif  // RADB_ENGINES_SPARK_BLOCK_MATRIX_H_

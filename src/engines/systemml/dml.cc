@@ -1,0 +1,351 @@
+#include "engines/systemml/dml.h"
+
+#include <chrono>
+#include <map>
+
+#include "la/tiled.h"
+
+namespace radb::systemml {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+DmlMatrix::DmlMatrix(DmlContext* ctx, size_t rows, size_t cols)
+    : ctx_(ctx),
+      num_rows_(rows),
+      num_cols_(cols),
+      partitions_(ctx->config().num_workers) {}
+
+bool DmlMatrix::IsLocal() const { return local_ != nullptr; }
+
+void DmlMatrix::Partition(std::vector<Block> blocks) {
+  for (Block& b : blocks) {
+    const size_t h = b.bi * 131071 + b.bj;
+    partitions_[h % partitions_.size()].push_back(std::move(b));
+  }
+}
+
+DmlMatrix DmlMatrix::FromDense(DmlContext* ctx, const la::Matrix& m) {
+  DmlMatrix out(ctx, m.rows(), m.cols());
+  if (out.ByteSize() <= ctx->config().local_threshold_bytes) {
+    out.local_ = std::make_shared<la::Matrix>(m);
+    return out;
+  }
+  const size_t bs = ctx->config().block_size;
+  std::vector<la::Tile> tiles = la::SplitIntoTiles(m, bs, bs);
+  std::vector<Block> blocks;
+  blocks.reserve(tiles.size());
+  for (la::Tile& t : tiles) {
+    blocks.push_back(Block{t.tile_row, t.tile_col, std::move(t.mat)});
+  }
+  out.Partition(std::move(blocks));
+  return out;
+}
+
+Result<la::Matrix> DmlMatrix::ToDense() const {
+  if (local_) return *local_;
+  std::vector<la::Tile> tiles;
+  for (const auto& part : partitions_) {
+    for (const Block& b : part) tiles.push_back(la::Tile{b.bi, b.bj, b.mat});
+  }
+  if (tiles.empty()) return la::Matrix(num_rows_, num_cols_);
+  return la::AssembleTiles(tiles);
+}
+
+Result<DmlMatrix> DmlMatrix::Tsmm() const {
+  OperatorMetrics* m =
+      ctx_->NewOp(local_ ? "tsmm(local)" : "tsmm(distributed)");
+  if (local_) {
+    const auto t0 = Clock::now();
+    la::Matrix gram = la::TransposeSelfMultiply(*local_);
+    m->worker_seconds[0] += SecondsSince(t0);
+    m->rows_out = 1;
+    m->bytes_out = gram.ByteSize();
+    DmlMatrix out(ctx_, num_cols_, num_cols_);
+    out.local_ = std::make_shared<la::Matrix>(std::move(gram));
+    return out;
+  }
+  // Distributed TSMM: each worker computes t(B) %*% B over its block
+  // rows (only valid when the matrix is a single block column — the
+  // Gram pattern: tall-skinny X). Otherwise fall back to
+  // transpose-multiply.
+  const size_t col_blocks =
+      (num_cols_ + ctx_->config().block_size - 1) / ctx_->config().block_size;
+  if (col_blocks > 1) {
+    RADB_ASSIGN_OR_RETURN(DmlMatrix t, Transpose());
+    return t.Multiply(*this);
+  }
+  la::Matrix acc(num_cols_, num_cols_);
+  bool first = true;
+  for (size_t wkr = 0; wkr < partitions_.size(); ++wkr) {
+    const auto t0 = Clock::now();
+    for (const Block& b : partitions_[wkr]) {
+      la::Matrix partial = la::TransposeSelfMultiply(b.mat);
+      if (first) {
+        acc = std::move(partial);
+        first = false;
+      } else {
+        RADB_ASSIGN_OR_RETURN(acc, la::Add(acc, partial));
+        m->bytes_shuffled += partial.ByteSize();  // partial to reducer
+      }
+    }
+    m->worker_seconds[wkr] += SecondsSince(t0);
+  }
+  m->rows_out = 1;
+  m->bytes_out = acc.ByteSize();
+  DmlMatrix out(ctx_, num_cols_, num_cols_);
+  if (out.ByteSize() <= ctx_->config().local_threshold_bytes) {
+    out.local_ = std::make_shared<la::Matrix>(std::move(acc));
+  } else {
+    const size_t bs = ctx_->config().block_size;
+    std::vector<la::Tile> tiles = la::SplitIntoTiles(acc, bs, bs);
+    std::vector<Block> blocks;
+    for (la::Tile& t : tiles) {
+      blocks.push_back(Block{t.tile_row, t.tile_col, std::move(t.mat)});
+    }
+    out.Partition(std::move(blocks));
+  }
+  return out;
+}
+
+Result<DmlMatrix> DmlMatrix::Multiply(const DmlMatrix& other) const {
+  if (num_cols_ != other.num_rows_) {
+    return Status::DimensionMismatch("DML %*%: incompatible shapes");
+  }
+  // Fully local?
+  if (local_ && other.local_) {
+    OperatorMetrics* m = ctx_->NewOp("mapmm(local)");
+    const auto t0 = Clock::now();
+    RADB_ASSIGN_OR_RETURN(la::Matrix prod, la::Multiply(*local_, *other.local_));
+    m->worker_seconds[0] += SecondsSince(t0);
+    m->rows_out = 1;
+    m->bytes_out = prod.ByteSize();
+    DmlMatrix out(ctx_, num_rows_, other.num_cols_);
+    out.local_ = std::make_shared<la::Matrix>(std::move(prod));
+    return out;
+  }
+  // MapMM: broadcast the small (local) side to every worker holding
+  // blocks of the big side; no shuffle of the big side.
+  if (local_ || other.local_) {
+    OperatorMetrics* m = ctx_->NewOp("mapmm(broadcast)");
+    const bool small_left = (local_ != nullptr);
+    const DmlMatrix& big = small_left ? other : *this;
+    const la::Matrix& small = small_left ? *local_ : *other.local_;
+    m->bytes_shuffled +=
+        small.ByteSize() * (ctx_->config().num_workers - 1);
+    std::map<std::pair<size_t, size_t>, la::Matrix> outputs;
+    const size_t bs = ctx_->config().block_size;
+    for (size_t wkr = 0; wkr < big.partitions_.size(); ++wkr) {
+      const auto t0 = Clock::now();
+      for (const Block& b : big.partitions_[wkr]) {
+        // Slice the broadcast side to match this block.
+        if (small_left) {
+          // small (r x k) * big block rows [b.bi*bs ...]: small cols
+          // slice aligned with block rows.
+          const size_t k0 = b.bi * bs;
+          la::Matrix slice(num_rows_, b.mat.rows());
+          for (size_t r = 0; r < num_rows_; ++r) {
+            for (size_t c = 0; c < b.mat.rows(); ++c) {
+              slice.At(r, c) = small.At(r, k0 + c);
+            }
+          }
+          RADB_ASSIGN_OR_RETURN(la::Matrix prod, la::Multiply(slice, b.mat));
+          auto key = std::make_pair(size_t{0}, b.bj);
+          auto it = outputs.find(key);
+          if (it == outputs.end()) {
+            outputs.emplace(key, std::move(prod));
+          } else {
+            RADB_ASSIGN_OR_RETURN(it->second, la::Add(it->second, prod));
+          }
+        } else {
+          const size_t k0 = b.bj * bs;
+          la::Matrix slice(b.mat.cols(), other.num_cols_);
+          for (size_t r = 0; r < b.mat.cols(); ++r) {
+            for (size_t c = 0; c < other.num_cols_; ++c) {
+              slice.At(r, c) = small.At(k0 + r, c);
+            }
+          }
+          RADB_ASSIGN_OR_RETURN(la::Matrix prod, la::Multiply(b.mat, slice));
+          auto key = std::make_pair(b.bi, size_t{0});
+          auto it = outputs.find(key);
+          if (it == outputs.end()) {
+            outputs.emplace(key, std::move(prod));
+          } else {
+            RADB_ASSIGN_OR_RETURN(it->second, la::Add(it->second, prod));
+          }
+        }
+      }
+      m->worker_seconds[wkr] += SecondsSince(t0);
+    }
+    // Assemble.
+    std::vector<la::Tile> tiles;
+    for (auto& [key, mat] : outputs) {
+      m->rows_out += 1;
+      m->bytes_out += mat.ByteSize();
+      tiles.push_back(la::Tile{key.first, key.second, std::move(mat)});
+    }
+    RADB_ASSIGN_OR_RETURN(la::Matrix dense, la::AssembleTiles(tiles));
+    return FromDense(ctx_, dense);
+  }
+  // CPMM: both distributed — replicated-join multiply over blocks.
+  OperatorMetrics* m = ctx_->NewOp("cpmm(distributed)");
+  std::map<size_t, std::vector<const Block*>> rhs_by_row;
+  size_t rhs_bytes = 0;
+  for (const auto& part : other.partitions_) {
+    for (const Block& b : part) {
+      rhs_by_row[b.bi].push_back(&b);
+      rhs_bytes += b.mat.ByteSize();
+    }
+  }
+  m->bytes_shuffled += rhs_bytes;  // co-location shuffle of one side
+  const size_t w = ctx_->config().num_workers;
+  std::vector<std::map<std::pair<size_t, size_t>, la::Matrix>> partials(w);
+  for (const auto& part : partitions_) {
+    for (const Block& lb : part) {
+      auto it = rhs_by_row.find(lb.bj);
+      if (it == rhs_by_row.end()) continue;
+      for (const Block* rb : it->second) {
+        const auto key = std::make_pair(lb.bi, rb->bj);
+        const size_t wkr = (key.first * 131071 + key.second) % w;
+        const auto t0 = Clock::now();
+        RADB_ASSIGN_OR_RETURN(la::Matrix prod, la::Multiply(lb.mat, rb->mat));
+        auto pit = partials[wkr].find(key);
+        if (pit == partials[wkr].end()) {
+          partials[wkr].emplace(key, std::move(prod));
+        } else {
+          RADB_ASSIGN_OR_RETURN(pit->second, la::Add(pit->second, prod));
+        }
+        m->worker_seconds[wkr] += SecondsSince(t0);
+      }
+    }
+  }
+  DmlMatrix out(ctx_, num_rows_, other.num_cols_);
+  std::vector<Block> blocks;
+  for (size_t wkr = 0; wkr < w; ++wkr) {
+    for (auto& [key, mat] : partials[wkr]) {
+      m->rows_out += 1;
+      m->bytes_out += mat.ByteSize();
+      blocks.push_back(Block{key.first, key.second, std::move(mat)});
+    }
+  }
+  out.Partition(std::move(blocks));
+  return out;
+}
+
+Result<DmlMatrix> DmlMatrix::Transpose() const {
+  OperatorMetrics* m = ctx_->NewOp("r'(transpose)");
+  if (local_) {
+    const auto t0 = Clock::now();
+    la::Matrix t = la::Transpose(*local_);
+    m->worker_seconds[0] += SecondsSince(t0);
+    DmlMatrix out(ctx_, num_cols_, num_rows_);
+    out.local_ = std::make_shared<la::Matrix>(std::move(t));
+    return out;
+  }
+  DmlMatrix out(ctx_, num_cols_, num_rows_);
+  std::vector<Block> blocks;
+  for (size_t wkr = 0; wkr < partitions_.size(); ++wkr) {
+    const auto t0 = Clock::now();
+    for (const Block& b : partitions_[wkr]) {
+      blocks.push_back(Block{b.bj, b.bi, la::Transpose(b.mat)});
+      m->bytes_shuffled += b.mat.ByteSize();
+    }
+    m->worker_seconds[wkr] += SecondsSince(t0);
+  }
+  out.Partition(std::move(blocks));
+  return out;
+}
+
+Result<DmlMatrix> DmlMatrix::Add(const DmlMatrix& other) const {
+  if (num_rows_ != other.num_rows_ || num_cols_ != other.num_cols_) {
+    return Status::DimensionMismatch("DML +: incompatible shapes");
+  }
+  OperatorMetrics* m = ctx_->NewOp("b(+)");
+  RADB_ASSIGN_OR_RETURN(la::Matrix a, ToDense());
+  RADB_ASSIGN_OR_RETURN(la::Matrix b, other.ToDense());
+  const auto t0 = Clock::now();
+  RADB_ASSIGN_OR_RETURN(la::Matrix sum, la::Add(a, b));
+  m->worker_seconds[0] += SecondsSince(t0);
+  m->bytes_out = sum.ByteSize();
+  return FromDense(ctx_, sum);
+}
+
+Result<la::Vector> DmlMatrix::Diag() const {
+  OperatorMetrics* m = ctx_->NewOp("diag");
+  RADB_ASSIGN_OR_RETURN(la::Matrix dense, ToDense());
+  const auto t0 = Clock::now();
+  RADB_ASSIGN_OR_RETURN(la::Vector d, la::Diagonal(dense));
+  m->worker_seconds[0] += SecondsSince(t0);
+  m->bytes_out = d.ByteSize();
+  return d;
+}
+
+Result<la::Vector> DmlMatrix::RowMins() const {
+  OperatorMetrics* m = ctx_->NewOp("rowMins");
+  if (local_) {
+    const auto t0 = Clock::now();
+    la::Vector mins = local_->RowMins();
+    m->worker_seconds[0] += SecondsSince(t0);
+    m->bytes_out = mins.ByteSize();
+    return mins;
+  }
+  la::Vector mins(num_rows_, std::numeric_limits<double>::infinity());
+  const size_t bs = ctx_->config().block_size;
+  for (size_t wkr = 0; wkr < partitions_.size(); ++wkr) {
+    const auto t0 = Clock::now();
+    for (const Block& b : partitions_[wkr]) {
+      la::Vector part = b.mat.RowMins();
+      const size_t r0 = b.bi * bs;
+      for (size_t r = 0; r < part.size(); ++r) {
+        if (part[r] < mins[r0 + r]) mins[r0 + r] = part[r];
+      }
+    }
+    m->worker_seconds[wkr] += SecondsSince(t0);
+  }
+  m->bytes_shuffled += mins.ByteSize() * (partitions_.size() - 1);
+  m->bytes_out = mins.ByteSize();
+  return mins;
+}
+
+Result<size_t> DmlMatrix::IndexMax() const {
+  RADB_ASSIGN_OR_RETURN(la::Matrix dense, ToDense());
+  if (dense.rows() != 1 && dense.cols() != 1) {
+    return Status::InvalidArgument("rowIndexMax expects a vector shape");
+  }
+  OperatorMetrics* m = ctx_->NewOp("rowIndexMax");
+  const auto t0 = Clock::now();
+  la::Vector v = dense.rows() == 1 ? dense.Row(0) : dense.Col(0);
+  const size_t idx = v.ArgMax();
+  m->worker_seconds[0] += SecondsSince(t0);
+  return idx;
+}
+
+Result<DmlMatrix> DmlMatrix::AddToDiagonal(const la::Vector& v) const {
+  if (num_rows_ != num_cols_ || v.size() != num_rows_) {
+    return Status::DimensionMismatch("AddToDiagonal: shape mismatch");
+  }
+  OperatorMetrics* m = ctx_->NewOp("b(+) diag");
+  RADB_ASSIGN_OR_RETURN(la::Matrix dense, ToDense());
+  const auto t0 = Clock::now();
+  for (size_t i = 0; i < v.size(); ++i) dense.At(i, i) += v[i];
+  m->worker_seconds[0] += SecondsSince(t0);
+  return FromDense(ctx_, dense);
+}
+
+Result<la::Vector> DmlMatrix::Solve(const DmlMatrix& a, const la::Vector& b) {
+  OperatorMetrics* m = a.ctx_->NewOp("solve(local)");
+  RADB_ASSIGN_OR_RETURN(la::Matrix dense, a.ToDense());
+  const auto t0 = Clock::now();
+  RADB_ASSIGN_OR_RETURN(la::Vector x, la::Solve(dense, b));
+  m->worker_seconds[0] += SecondsSince(t0);
+  return x;
+}
+
+}  // namespace radb::systemml

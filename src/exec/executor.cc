@@ -1,0 +1,673 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <unordered_map>
+
+#include "exec/expr_eval.h"
+
+namespace radb {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Composite key for hash join / group-by: a row of values compared by
+/// deep equality.
+struct KeyRow {
+  Row values;
+  size_t hash = 0;
+
+  bool operator==(const KeyRow& other) const {
+    if (values.size() != other.values.size()) return false;
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (!values[i].Equals(other.values[i])) return false;
+    }
+    return true;
+  }
+};
+
+struct KeyRowHash {
+  size_t operator()(const KeyRow& k) const { return k.hash; }
+};
+
+size_t HashRow(const Row& row) {
+  size_t h = 0x9e3779b97f4a7c15ULL;
+  for (const Value& v : row) {
+    h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+/// Inner-join semantics: a NULL in any key column means the row can
+/// never match (unlike GROUP BY, where NULLs form one group).
+bool KeyHasNull(const KeyRow& key) {
+  for (const Value& v : key.values) {
+    if (v.is_null()) return true;
+  }
+  return false;
+}
+
+Result<KeyRow> EvalKey(const std::vector<BoundExprPtr>& key_exprs,
+                       const Row& row) {
+  KeyRow key;
+  key.values.reserve(key_exprs.size());
+  for (const auto& e : key_exprs) {
+    RADB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, row));
+    key.values.push_back(std::move(v));
+  }
+  // Single-column keys hash exactly like Table::RepartitionByHash so
+  // pre-partitioned base tables stay aligned with shuffled inputs.
+  key.hash =
+      key.values.size() == 1 ? key.values[0].Hash() : HashRow(key.values);
+  return key;
+}
+
+/// The slot a single equi-key expression reads, when the expression is
+/// a bare column reference (a precondition for shuffle elision).
+std::optional<size_t> SingleColumnKeySlot(
+    const std::vector<std::pair<BoundExprPtr, BoundExprPtr>>& keys,
+    bool left_side) {
+  if (keys.size() != 1) return std::nullopt;
+  const BoundExpr& e = left_side ? *keys[0].first : *keys[0].second;
+  if (e.kind != BoundExpr::Kind::kColumnRef) return std::nullopt;
+  return e.slot;
+}
+
+}  // namespace
+
+size_t DistByteSize(const Dist& d) {
+  size_t s = 0;
+  for (const RowSet& p : d) {
+    for (const Row& r : p) s += RowByteSize(r);
+  }
+  return s;
+}
+
+size_t DistRowCount(const Dist& d) {
+  size_t s = 0;
+  for (const RowSet& p : d) s += p.size();
+  return s;
+}
+
+std::map<size_t, size_t> Executor::LayoutOf(const LogicalOp& op) {
+  std::map<size_t, size_t> layout;
+  for (size_t i = 0; i < op.output.size(); ++i) {
+    layout[op.output[i].slot] = i;
+  }
+  return layout;
+}
+
+OperatorMetrics* Executor::NewOp(std::string name) {
+  metrics_->operators.push_back(OperatorMetrics{});
+  OperatorMetrics* m = &metrics_->operators.back();
+  m->name = std::move(name);
+  m->worker_seconds.assign(cluster_.num_workers(), 0.0);
+  return m;
+}
+
+Result<Dist> Executor::Execute(const LogicalOp& op) {
+  RADB_ASSIGN_OR_RETURN(ExecResult out, ExecuteOp(op));
+  return std::move(out.dist);
+}
+
+Result<ExecResult> Executor::ExecuteOp(const LogicalOp& op) {
+  switch (op.kind) {
+    case LogicalOp::Kind::kScan:
+      return ExecuteScan(op);
+    case LogicalOp::Kind::kFilter:
+      return ExecuteFilter(op);
+    case LogicalOp::Kind::kProject:
+      return ExecuteProject(op);
+    case LogicalOp::Kind::kJoin:
+      return ExecuteJoin(op);
+    case LogicalOp::Kind::kAggregate:
+      return ExecuteAggregate(op);
+    case LogicalOp::Kind::kDistinct:
+      return ExecuteDistinct(op);
+    case LogicalOp::Kind::kSort:
+      return ExecuteSort(op);
+    case LogicalOp::Kind::kLimit:
+      return ExecuteLimit(op);
+  }
+  return Status::Internal("unknown logical operator");
+}
+
+Result<ExecResult> Executor::ExecuteScan(const LogicalOp& op) {
+  OperatorMetrics* m = NewOp("Scan(" + op.table->name() + ")");
+  const size_t w = cluster_.num_workers();
+  Dist out(w);
+  // Table partitions map onto workers round-robin when the counts
+  // differ.
+  for (size_t p = 0; p < op.table->num_partitions(); ++p) {
+    const size_t target = p % w;
+    const auto t0 = Clock::now();
+    const RowSet& part = op.table->partition(p);
+    RowSet& dst = out[target];
+    dst.reserve(dst.size() + part.size());
+    for (const Row& row : part) {
+      Row projected;
+      projected.reserve(op.scan_columns.size());
+      for (size_t col : op.scan_columns) projected.push_back(row[col]);
+      dst.push_back(std::move(projected));
+    }
+    m->worker_seconds[target] += SecondsSince(t0);
+  }
+  m->rows_out = DistRowCount(out);
+  m->bytes_out = DistByteSize(out);
+  ExecResult result{std::move(out), std::nullopt};
+  // A base table hash-partitioned on an emitted column, with one
+  // partition per worker, is already placed the way a join shuffle
+  // would place it.
+  const Partitioning& part = op.table->partitioning();
+  if (part.kind == Partitioning::Kind::kHash &&
+      op.table->num_partitions() == w) {
+    for (size_t i = 0; i < op.scan_columns.size(); ++i) {
+      if (op.scan_columns[i] == part.hash_column) {
+        result.hashed_slot = op.output[i].slot;
+      }
+    }
+  }
+  return result;
+}
+
+Result<ExecResult> Executor::ExecuteFilter(const LogicalOp& op) {
+  RADB_ASSIGN_OR_RETURN(ExecResult child, ExecuteOp(*op.children[0]));
+  Dist& in = child.dist;
+  OperatorMetrics* m = NewOp("Filter");
+  const auto layout = LayoutOf(*op.children[0]);
+  std::vector<BoundExprPtr> preds;
+  for (const auto& p : op.predicates) {
+    RADB_ASSIGN_OR_RETURN(BoundExprPtr rewritten,
+                          RewriteToPositions(*p, layout));
+    preds.push_back(std::move(rewritten));
+  }
+  Dist out(in.size());
+  for (size_t wkr = 0; wkr < in.size(); ++wkr) {
+    const auto t0 = Clock::now();
+    for (Row& row : in[wkr]) {
+      bool keep = true;
+      for (const auto& p : preds) {
+        RADB_ASSIGN_OR_RETURN(Value v, EvalExpr(*p, row));
+        if (v.is_null() || !v.bool_value()) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) out[wkr].push_back(std::move(row));
+    }
+    m->worker_seconds[wkr] += SecondsSince(t0);
+  }
+  m->rows_out = DistRowCount(out);
+  m->bytes_out = DistByteSize(out);
+  // Filtering never moves rows, so placement survives.
+  return ExecResult{std::move(out), child.hashed_slot};
+}
+
+Result<ExecResult> Executor::ExecuteProject(const LogicalOp& op) {
+  RADB_ASSIGN_OR_RETURN(ExecResult child, ExecuteOp(*op.children[0]));
+  Dist& in = child.dist;
+  OperatorMetrics* m = NewOp("Project");
+  const auto layout = LayoutOf(*op.children[0]);
+  std::vector<BoundExprPtr> exprs;
+  for (const auto& e : op.exprs) {
+    RADB_ASSIGN_OR_RETURN(BoundExprPtr rewritten,
+                          RewriteToPositions(*e, layout));
+    exprs.push_back(std::move(rewritten));
+  }
+  Dist out(in.size());
+  for (size_t wkr = 0; wkr < in.size(); ++wkr) {
+    const auto t0 = Clock::now();
+    out[wkr].reserve(in[wkr].size());
+    for (const Row& row : in[wkr]) {
+      Row projected;
+      projected.reserve(exprs.size());
+      for (const auto& e : exprs) {
+        RADB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, row));
+        projected.push_back(std::move(v));
+      }
+      out[wkr].push_back(std::move(projected));
+    }
+    m->worker_seconds[wkr] += SecondsSince(t0);
+  }
+  m->rows_out = DistRowCount(out);
+  m->bytes_out = DistByteSize(out);
+  // Placement survives when the hashed column passes through as a
+  // bare reference; its slot id changes to the projection's output
+  // slot only if the expression is an identity reference.
+  std::optional<size_t> hashed;
+  if (child.hashed_slot) {
+    for (size_t i = 0; i < op.exprs.size(); ++i) {
+      const BoundExpr& e = *op.exprs[i];
+      if (e.kind == BoundExpr::Kind::kColumnRef &&
+          e.slot == *child.hashed_slot) {
+        hashed = op.output[i].slot;
+      }
+    }
+  }
+  return ExecResult{std::move(out), hashed};
+}
+
+Result<ExecResult> Executor::ExecuteJoin(const LogicalOp& op) {
+  RADB_ASSIGN_OR_RETURN(ExecResult left_in, ExecuteOp(*op.children[0]));
+  RADB_ASSIGN_OR_RETURN(ExecResult right_in, ExecuteOp(*op.children[1]));
+  Dist& left = left_in.dist;
+  Dist& right = right_in.dist;
+  const size_t w = cluster_.num_workers();
+  const auto left_layout = LayoutOf(*op.children[0]);
+  const auto right_layout = LayoutOf(*op.children[1]);
+
+  // Combined layout for residual predicates: left columns then right.
+  std::map<size_t, size_t> combined;
+  for (size_t i = 0; i < op.children[0]->output.size(); ++i) {
+    combined[op.children[0]->output[i].slot] = i;
+  }
+  const size_t left_arity = op.children[0]->output.size();
+  for (size_t i = 0; i < op.children[1]->output.size(); ++i) {
+    combined[op.children[1]->output[i].slot] = left_arity + i;
+  }
+  std::vector<BoundExprPtr> residual;
+  for (const auto& p : op.residual) {
+    RADB_ASSIGN_OR_RETURN(BoundExprPtr r, RewriteToPositions(*p, combined));
+    residual.push_back(std::move(r));
+  }
+  // A projection fused into the join (placed there by the optimizer's
+  // early-projection rule, §4.1) is evaluated per joined row, so the
+  // wide concatenated row is never materialized.
+  std::vector<BoundExprPtr> fused;
+  for (const auto& e : op.exprs) {
+    RADB_ASSIGN_OR_RETURN(BoundExprPtr r, RewriteToPositions(*e, combined));
+    fused.push_back(std::move(r));
+  }
+
+  const bool is_cross = op.equi_keys.empty();
+  const size_t left_bytes = DistByteSize(left);
+  const size_t right_bytes = DistByteSize(right);
+
+  std::vector<BoundExprPtr> left_keys, right_keys;
+  for (const auto& [l, r] : op.equi_keys) {
+    RADB_ASSIGN_OR_RETURN(BoundExprPtr lk,
+                          RewriteToPositions(*l, left_layout));
+    RADB_ASSIGN_OR_RETURN(BoundExprPtr rk,
+                          RewriteToPositions(*r, right_layout));
+    left_keys.push_back(std::move(lk));
+    right_keys.push_back(std::move(rk));
+  }
+
+  OperatorMetrics* m = nullptr;
+  Dist out(w);
+
+  auto emit = [&](size_t wkr, const Row& l, const Row& r) -> Result<bool> {
+    Row joined;
+    joined.reserve(l.size() + r.size());
+    for (const Value& v : l) joined.push_back(v);
+    for (const Value& v : r) joined.push_back(v);
+    for (const auto& p : residual) {
+      RADB_ASSIGN_OR_RETURN(Value v, EvalExpr(*p, joined));
+      if (v.is_null() || !v.bool_value()) return false;
+    }
+    if (!fused.empty()) {
+      Row projected;
+      projected.reserve(fused.size());
+      for (const auto& e : fused) {
+        RADB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, joined));
+        projected.push_back(std::move(v));
+      }
+      out[wkr].push_back(std::move(projected));
+      return true;
+    }
+    out[wkr].push_back(std::move(joined));
+    return true;
+  };
+
+  if (is_cross) {
+    // Broadcast the smaller side; each worker crosses its local
+    // partition of the bigger side with the full smaller side.
+    const bool broadcast_right = right_bytes <= left_bytes;
+    m = NewOp(broadcast_right ? "CrossJoin(bcast right)"
+                              : "CrossJoin(bcast left)");
+    RowSet small;
+    const Dist& small_side = broadcast_right ? right : left;
+    for (const RowSet& p : small_side) {
+      for (const Row& r : p) small.push_back(r);
+    }
+    const size_t small_bytes = broadcast_right ? right_bytes : left_bytes;
+    m->bytes_shuffled += small_bytes * (w - 1);
+    m->rows_shuffled += small.size() * (w - 1);
+    const Dist& big = broadcast_right ? left : right;
+    for (size_t wkr = 0; wkr < w; ++wkr) {
+      const auto t0 = Clock::now();
+      for (const Row& b : big[wkr]) {
+        for (const Row& s : small) {
+          RADB_ASSIGN_OR_RETURN(
+              bool kept, broadcast_right ? emit(wkr, b, s) : emit(wkr, s, b));
+          (void)kept;
+        }
+      }
+      m->worker_seconds[wkr] += SecondsSince(t0);
+    }
+  } else {
+    // Broadcast-vs-shuffle decision, the classical optimizer rule: if
+    // replicating the small side everywhere moves fewer bytes than
+    // re-hashing both sides, broadcast.
+    const size_t shuffle_cost = left_bytes + right_bytes;
+    const size_t bcast_small =
+        std::min(left_bytes, right_bytes) * (w > 0 ? (w - 1) : 0);
+    const bool broadcast = bcast_small < shuffle_cost;
+    if (broadcast) {
+      const bool broadcast_right = right_bytes <= left_bytes;
+      m = NewOp(broadcast_right ? "HashJoin(bcast right)"
+                                : "HashJoin(bcast left)");
+      // Build a replicated hash table of the small side.
+      std::unordered_multimap<KeyRow, const Row*, KeyRowHash> table;
+      const Dist& small_side = broadcast_right ? right : left;
+      const auto& small_keys = broadcast_right ? right_keys : left_keys;
+      for (const RowSet& p : small_side) {
+        for (const Row& r : p) {
+          RADB_ASSIGN_OR_RETURN(KeyRow key, EvalKey(small_keys, r));
+          if (KeyHasNull(key)) continue;
+          table.emplace(std::move(key), &r);
+        }
+      }
+      const size_t small_bytes = broadcast_right ? right_bytes : left_bytes;
+      m->bytes_shuffled += small_bytes * (w - 1);
+      const Dist& big = broadcast_right ? left : right;
+      const auto& big_keys = broadcast_right ? left_keys : right_keys;
+      for (size_t wkr = 0; wkr < w; ++wkr) {
+        const auto t0 = Clock::now();
+        for (const Row& b : big[wkr]) {
+          RADB_ASSIGN_OR_RETURN(KeyRow key, EvalKey(big_keys, b));
+          if (KeyHasNull(key)) continue;
+          auto [begin, end] = table.equal_range(key);
+          for (auto it = begin; it != end; ++it) {
+            RADB_ASSIGN_OR_RETURN(bool kept,
+                                  broadcast_right ? emit(wkr, b, *it->second)
+                                                  : emit(wkr, *it->second, b));
+            (void)kept;
+          }
+        }
+        m->worker_seconds[wkr] += SecondsSince(t0);
+      }
+    } else {
+      // A side already hash-placed on its (single, bare-column) join
+      // key needs no movement — the §2.1 decision of which side to
+      // shuffle, made here with exact physical knowledge.
+      const std::optional<size_t> lkey_slot =
+          SingleColumnKeySlot(op.equi_keys, /*left_side=*/true);
+      const std::optional<size_t> rkey_slot =
+          SingleColumnKeySlot(op.equi_keys, /*left_side=*/false);
+      const bool left_prehashed = lkey_slot && left_in.hashed_slot &&
+                                  *lkey_slot == *left_in.hashed_slot;
+      const bool right_prehashed = rkey_slot && right_in.hashed_slot &&
+                                   *rkey_slot == *right_in.hashed_slot;
+      m = NewOp(left_prehashed && right_prehashed
+                    ? "HashJoin(co-located)"
+                    : (left_prehashed || right_prehashed
+                           ? "HashJoin(shuffle one side)"
+                           : "HashJoin(shuffle)"));
+      // Re-partition by join key hash; `prehashed` sides stay put and
+      // are charged nothing.
+      auto shuffle = [&](Dist& side, const std::vector<BoundExprPtr>& keys,
+                         bool prehashed)
+          -> Result<std::vector<std::vector<std::pair<KeyRow, Row>>>> {
+        std::vector<std::vector<std::pair<KeyRow, Row>>> buckets(w);
+        for (size_t src = 0; src < side.size(); ++src) {
+          for (Row& row : side[src]) {
+            RADB_ASSIGN_OR_RETURN(KeyRow key, EvalKey(keys, row));
+            if (KeyHasNull(key)) continue;  // inner join: NULL never matches
+            const size_t dst =
+                prehashed ? src : cluster_.WorkerForHash(key.hash);
+            if (dst != src) {
+              m->bytes_shuffled += RowByteSize(row);
+              ++m->rows_shuffled;
+            }
+            buckets[dst].emplace_back(std::move(key), std::move(row));
+          }
+          side[src].clear();
+        }
+        return buckets;
+      };
+      RADB_ASSIGN_OR_RETURN(auto left_parts,
+                            shuffle(left, left_keys, left_prehashed));
+      RADB_ASSIGN_OR_RETURN(auto right_parts,
+                            shuffle(right, right_keys, right_prehashed));
+      for (size_t wkr = 0; wkr < w; ++wkr) {
+        const auto t0 = Clock::now();
+        std::unordered_multimap<KeyRow, const Row*, KeyRowHash> table;
+        table.reserve(right_parts[wkr].size());
+        for (const auto& [key, row] : right_parts[wkr]) {
+          table.emplace(key, &row);
+        }
+        for (const auto& [key, row] : left_parts[wkr]) {
+          auto [begin, end] = table.equal_range(key);
+          for (auto it = begin; it != end; ++it) {
+            RADB_ASSIGN_OR_RETURN(bool kept, emit(wkr, row, *it->second));
+            (void)kept;
+          }
+        }
+        m->worker_seconds[wkr] += SecondsSince(t0);
+      }
+    }
+  }
+  m->rows_out = DistRowCount(out);
+  m->bytes_out = DistByteSize(out);
+  return ExecResult{std::move(out), std::nullopt};
+}
+
+Result<ExecResult> Executor::ExecuteAggregate(const LogicalOp& op) {
+  RADB_ASSIGN_OR_RETURN(ExecResult child, ExecuteOp(*op.children[0]));
+  Dist& in = child.dist;
+  const size_t w = cluster_.num_workers();
+  const auto layout = LayoutOf(*op.children[0]);
+
+  std::vector<BoundExprPtr> group_exprs;
+  for (const auto& g : op.group_exprs) {
+    RADB_ASSIGN_OR_RETURN(BoundExprPtr e, RewriteToPositions(*g, layout));
+    group_exprs.push_back(std::move(e));
+  }
+  std::vector<BoundExprPtr> agg_args;
+  for (const auto& a : op.aggs) {
+    if (a.is_count_star) {
+      agg_args.push_back(MakeBoundLiteral(Value::Int(1)));
+    } else {
+      RADB_ASSIGN_OR_RETURN(BoundExprPtr e,
+                            RewriteToPositions(*a.arg, layout));
+      agg_args.push_back(std::move(e));
+    }
+  }
+
+  struct GroupState {
+    Row key;
+    std::vector<std::unique_ptr<Aggregator>> aggs;
+  };
+  using GroupMap =
+      std::unordered_map<KeyRow, std::unique_ptr<GroupState>, KeyRowHash>;
+
+  // Phase 1: local partial aggregation on every worker.
+  OperatorMetrics* m1 = NewOp("Aggregate(partial)");
+  std::vector<GroupMap> partials(w);
+  for (size_t wkr = 0; wkr < in.size(); ++wkr) {
+    const auto t0 = Clock::now();
+    for (const Row& row : in[wkr]) {
+      RADB_ASSIGN_OR_RETURN(KeyRow key, EvalKey(group_exprs, row));
+      auto it = partials[wkr].find(key);
+      if (it == partials[wkr].end()) {
+        auto state = std::make_unique<GroupState>();
+        state->key = key.values;
+        for (const AggCall& a : op.aggs) state->aggs.push_back(a.fn->make());
+        it = partials[wkr].emplace(std::move(key), std::move(state)).first;
+      }
+      for (size_t i = 0; i < agg_args.size(); ++i) {
+        RADB_ASSIGN_OR_RETURN(Value v, EvalExpr(*agg_args[i], row));
+        RADB_RETURN_NOT_OK(it->second->aggs[i]->Update(v));
+      }
+    }
+    m1->worker_seconds[wkr] += SecondsSince(t0);
+    m1->rows_out += partials[wkr].size();
+  }
+
+  // Phase 2: shuffle partial states by group key hash (scalar
+  // aggregates — no GROUP BY — all land on worker 0).
+  OperatorMetrics* m2 = NewOp("Aggregate(final)");
+  std::vector<GroupMap> finals(w);
+  for (size_t src = 0; src < w; ++src) {
+    for (auto& [key, state] : partials[src]) {
+      const size_t dst =
+          group_exprs.empty() ? 0 : cluster_.WorkerForHash(key.hash);
+      if (dst != src) {
+        size_t state_bytes = RowByteSize(state->key);
+        for (const auto& agg : state->aggs) state_bytes += agg->StateBytes();
+        m2->bytes_shuffled += state_bytes;
+        ++m2->rows_shuffled;
+      }
+      auto it = finals[dst].find(key);
+      if (it == finals[dst].end()) {
+        finals[dst].emplace(key, std::move(state));
+      } else {
+        const auto t0 = Clock::now();
+        for (size_t i = 0; i < it->second->aggs.size(); ++i) {
+          RADB_RETURN_NOT_OK(it->second->aggs[i]->Merge(*state->aggs[i]));
+        }
+        m2->worker_seconds[dst] += SecondsSince(t0);
+      }
+    }
+    partials[src].clear();
+  }
+
+  // Phase 3: finalize into output rows [group keys..., agg results...].
+  Dist out(w);
+  for (size_t wkr = 0; wkr < w; ++wkr) {
+    const auto t0 = Clock::now();
+    for (auto& [key, state] : finals[wkr]) {
+      Row row = state->key;
+      for (const auto& agg : state->aggs) {
+        RADB_ASSIGN_OR_RETURN(Value v, agg->Finalize());
+        row.push_back(std::move(v));
+      }
+      out[wkr].push_back(std::move(row));
+    }
+    m2->worker_seconds[wkr] += SecondsSince(t0);
+  }
+  // A scalar aggregate over zero rows still produces one row (SQL
+  // semantics): COUNT() = 0, SUM() = NULL.
+  if (group_exprs.empty() && DistRowCount(out) == 0) {
+    Row row;
+    for (const AggCall& a : op.aggs) {
+      auto agg = a.fn->make();
+      RADB_ASSIGN_OR_RETURN(Value v, agg->Finalize());
+      row.push_back(std::move(v));
+    }
+    out[0].push_back(std::move(row));
+  }
+  m2->rows_out = DistRowCount(out);
+  m2->bytes_out = DistByteSize(out);
+  return ExecResult{std::move(out), std::nullopt};
+}
+
+Result<ExecResult> Executor::ExecuteDistinct(const LogicalOp& op) {
+  RADB_ASSIGN_OR_RETURN(ExecResult child, ExecuteOp(*op.children[0]));
+  Dist& in = child.dist;
+  OperatorMetrics* m = NewOp("Distinct");
+  const size_t w = cluster_.num_workers();
+  // Shuffle by whole-row hash, then dedupe locally.
+  std::vector<std::unordered_map<KeyRow, Row, KeyRowHash>> sets(w);
+  for (size_t src = 0; src < in.size(); ++src) {
+    const auto t0 = Clock::now();
+    for (Row& row : in[src]) {
+      KeyRow key{row, HashRow(row)};
+      const size_t dst = cluster_.WorkerForHash(key.hash);
+      if (dst != src) {
+        m->bytes_shuffled += RowByteSize(row);
+        ++m->rows_shuffled;
+      }
+      sets[dst].emplace(std::move(key), std::move(row));
+    }
+    m->worker_seconds[src] += SecondsSince(t0);
+  }
+  Dist out(w);
+  for (size_t wkr = 0; wkr < w; ++wkr) {
+    for (auto& [key, row] : sets[wkr]) out[wkr].push_back(std::move(row));
+  }
+  m->rows_out = DistRowCount(out);
+  m->bytes_out = DistByteSize(out);
+  return ExecResult{std::move(out), std::nullopt};
+}
+
+Result<ExecResult> Executor::ExecuteSort(const LogicalOp& op) {
+  RADB_ASSIGN_OR_RETURN(ExecResult child, ExecuteOp(*op.children[0]));
+  Dist& in = child.dist;
+  OperatorMetrics* m = NewOp("Sort");
+  const auto layout = LayoutOf(*op.children[0]);
+  std::vector<std::pair<BoundExprPtr, bool>> keys;
+  for (const auto& [e, desc] : op.sort_keys) {
+    RADB_ASSIGN_OR_RETURN(BoundExprPtr r, RewriteToPositions(*e, layout));
+    keys.emplace_back(std::move(r), desc);
+  }
+  // Gather everything onto worker 0 and sort there.
+  Dist out(cluster_.num_workers());
+  RowSet& all = out[0];
+  for (size_t src = 0; src < in.size(); ++src) {
+    for (Row& row : in[src]) {
+      if (src != 0) {
+        m->bytes_shuffled += RowByteSize(row);
+        ++m->rows_shuffled;
+      }
+      all.push_back(std::move(row));
+    }
+  }
+  const auto t0 = Clock::now();
+  Status sort_status = Status::OK();
+  std::stable_sort(all.begin(), all.end(),
+                   [&](const Row& a, const Row& b) {
+                     if (!sort_status.ok()) return false;
+                     for (const auto& [e, desc] : keys) {
+                       auto va = EvalExpr(*e, a);
+                       auto vb = EvalExpr(*e, b);
+                       if (!va.ok() || !vb.ok()) {
+                         sort_status = va.ok() ? vb.status() : va.status();
+                         return false;
+                       }
+                       auto c = va->Compare(*vb);
+                       if (!c.ok()) {
+                         sort_status = c.status();
+                         return false;
+                       }
+                       if (*c != 0) return desc ? *c > 0 : *c < 0;
+                     }
+                     return false;
+                   });
+  RADB_RETURN_NOT_OK(sort_status);
+  m->worker_seconds[0] += SecondsSince(t0);
+  m->rows_out = all.size();
+  m->bytes_out = DistByteSize(out);
+  return ExecResult{std::move(out), std::nullopt};
+}
+
+Result<ExecResult> Executor::ExecuteLimit(const LogicalOp& op) {
+  RADB_ASSIGN_OR_RETURN(ExecResult child, ExecuteOp(*op.children[0]));
+  Dist& in = child.dist;
+  OperatorMetrics* m = NewOp("Limit");
+  Dist out(cluster_.num_workers());
+  RowSet& dst = out[0];
+  const size_t limit = static_cast<size_t>(std::max<int64_t>(0, op.limit));
+  for (size_t src = 0; src < in.size() && dst.size() < limit; ++src) {
+    for (Row& row : in[src]) {
+      if (dst.size() >= limit) break;
+      if (src != 0) {
+        m->bytes_shuffled += RowByteSize(row);
+        ++m->rows_shuffled;
+      }
+      dst.push_back(std::move(row));
+    }
+  }
+  m->rows_out = dst.size();
+  m->bytes_out = DistByteSize(out);
+  return ExecResult{std::move(out), std::nullopt};
+}
+
+}  // namespace radb

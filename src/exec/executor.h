@@ -1,0 +1,70 @@
+#ifndef RADB_EXEC_EXECUTOR_H_
+#define RADB_EXEC_EXECUTOR_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "dist/cluster.h"
+#include "dist/metrics.h"
+#include "plan/logical_plan.h"
+#include "storage/table.h"
+
+namespace radb {
+
+/// Rows distributed across the simulated cluster: one RowSet per
+/// worker.
+using Dist = std::vector<RowSet>;
+
+/// An operator's distributed output plus its physical property: if
+/// `hashed_slot` is set, rows are placed by Hash(value of that slot)
+/// modulo the worker count — the knowledge that lets a downstream
+/// join skip re-shuffling that side (paper §2.1: "R was already
+/// partitioned on the join key").
+struct ExecResult {
+  Dist dist;
+  std::optional<size_t> hashed_slot;
+};
+
+/// Total payload bytes across all partitions.
+size_t DistByteSize(const Dist& d);
+/// Total row count across all partitions.
+size_t DistRowCount(const Dist& d);
+
+/// Executes optimized logical plans over the simulated shared-nothing
+/// cluster. Hash joins shuffle (or broadcast) their inputs, group-by
+/// aggregation runs in two phases (local partial aggregation, then a
+/// shuffle of partial states by group key), and every cross-worker
+/// byte is charged to the producing operator's metrics — that is the
+/// data Figures 1-4 are built from.
+class Executor {
+ public:
+  Executor(const Cluster& cluster, QueryMetrics* metrics)
+      : cluster_(cluster), metrics_(metrics) {}
+
+  Result<Dist> Execute(const LogicalOp& op);
+
+ private:
+  Result<ExecResult> ExecuteOp(const LogicalOp& op);
+  Result<ExecResult> ExecuteScan(const LogicalOp& op);
+  Result<ExecResult> ExecuteFilter(const LogicalOp& op);
+  Result<ExecResult> ExecuteProject(const LogicalOp& op);
+  Result<ExecResult> ExecuteJoin(const LogicalOp& op);
+  Result<ExecResult> ExecuteAggregate(const LogicalOp& op);
+  Result<ExecResult> ExecuteDistinct(const LogicalOp& op);
+  Result<ExecResult> ExecuteSort(const LogicalOp& op);
+  Result<ExecResult> ExecuteLimit(const LogicalOp& op);
+
+  /// slot -> position map for an operator's output.
+  static std::map<size_t, size_t> LayoutOf(const LogicalOp& op);
+
+  OperatorMetrics* NewOp(std::string name);
+
+  const Cluster& cluster_;
+  QueryMetrics* metrics_;
+};
+
+}  // namespace radb
+
+#endif  // RADB_EXEC_EXECUTOR_H_

@@ -1,0 +1,96 @@
+#include "exec/expr_eval.h"
+
+namespace radb {
+
+Result<Value> EvalExpr(const BoundExpr& expr, const Row& row) {
+  switch (expr.kind) {
+    case BoundExpr::Kind::kLiteral:
+      return expr.literal;
+    case BoundExpr::Kind::kColumnRef:
+      if (expr.slot >= row.size()) {
+        return Status::Internal("column position " +
+                                std::to_string(expr.slot) +
+                                " out of row bounds");
+      }
+      return row[expr.slot];
+    case BoundExpr::Kind::kArith: {
+      RADB_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.children[0], row));
+      RADB_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.children[1], row));
+      return EvalArith(expr.arith_op, lhs, rhs);
+    }
+    case BoundExpr::Kind::kCompare: {
+      RADB_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.children[0], row));
+      RADB_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.children[1], row));
+      return EvalCompare(expr.compare_op, lhs, rhs);
+    }
+    case BoundExpr::Kind::kLogic: {
+      RADB_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.children[0], row));
+      // SQL three-valued logic with short-circuiting:
+      //   AND: FALSE dominates, then NULL;  OR: TRUE dominates, then NULL.
+      if (expr.logic_is_and) {
+        if (!lhs.is_null() && !lhs.bool_value()) return Value::Bool(false);
+        RADB_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.children[1], row));
+        if (!rhs.is_null() && !rhs.bool_value()) return Value::Bool(false);
+        if (lhs.is_null() || rhs.is_null()) return Value::Null();
+        return Value::Bool(true);
+      }
+      if (!lhs.is_null() && lhs.bool_value()) return Value::Bool(true);
+      RADB_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.children[1], row));
+      if (!rhs.is_null() && rhs.bool_value()) return Value::Bool(true);
+      if (lhs.is_null() || rhs.is_null()) return Value::Null();
+      return Value::Bool(false);
+    }
+    case BoundExpr::Kind::kNot: {
+      RADB_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.children[0], row));
+      if (v.is_null()) return Value::Null();
+      return Value::Bool(!v.bool_value());
+    }
+    case BoundExpr::Kind::kNeg: {
+      RADB_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.children[0], row));
+      return EvalNegate(v);
+    }
+    case BoundExpr::Kind::kCall: {
+      std::vector<Value> args;
+      args.reserve(expr.children.size());
+      for (const auto& c : expr.children) {
+        RADB_ASSIGN_OR_RETURN(Value v, EvalExpr(*c, row));
+        // SQL scalar functions are NULL-strict.
+        if (v.is_null()) return Value::Null();
+        args.push_back(std::move(v));
+      }
+      return expr.fn->eval(args);
+    }
+  }
+  return Status::Internal("unhandled bound expression kind");
+}
+
+namespace {
+
+Status RewriteInPlace(BoundExpr* expr,
+                      const std::map<size_t, size_t>& layout) {
+  if (expr->kind == BoundExpr::Kind::kColumnRef) {
+    auto it = layout.find(expr->slot);
+    if (it == layout.end()) {
+      return Status::Internal("slot " + std::to_string(expr->slot) + " (" +
+                              expr->column_name +
+                              ") not available in operator input");
+    }
+    expr->slot = it->second;
+    return Status::OK();
+  }
+  for (auto& c : expr->children) {
+    RADB_RETURN_NOT_OK(RewriteInPlace(c.get(), layout));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BoundExprPtr> RewriteToPositions(
+    const BoundExpr& expr, const std::map<size_t, size_t>& layout) {
+  BoundExprPtr clone = expr.Clone();
+  RADB_RETURN_NOT_OK(RewriteInPlace(clone.get(), layout));
+  return clone;
+}
+
+}  // namespace radb

@@ -1,0 +1,25 @@
+#ifndef RADB_EXEC_EXPR_EVAL_H_
+#define RADB_EXEC_EXPR_EVAL_H_
+
+#include <map>
+
+#include "binder/bound_expr.h"
+#include "common/result.h"
+#include "types/value.h"
+
+namespace radb {
+
+/// Evaluates a bound expression against a row. Column references must
+/// already have been rewritten to row positions (see
+/// RewriteToPositions); `slot` is interpreted as an index into `row`.
+Result<Value> EvalExpr(const BoundExpr& expr, const Row& row);
+
+/// Clones `expr` rewriting every column reference from slot id to row
+/// position using `layout` (slot -> position). BindError if a
+/// referenced slot is missing from the layout.
+Result<BoundExprPtr> RewriteToPositions(
+    const BoundExpr& expr, const std::map<size_t, size_t>& layout);
+
+}  // namespace radb
+
+#endif  // RADB_EXEC_EXPR_EVAL_H_

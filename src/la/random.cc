@@ -1,0 +1,26 @@
+#include "la/random.h"
+
+namespace radb::la {
+
+Vector RandomVector(Rng& rng, size_t n, double lo, double hi) {
+  Vector v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = rng.Uniform(lo, hi);
+  return v;
+}
+
+Matrix RandomMatrix(Rng& rng, size_t rows, size_t cols, double lo,
+                    double hi) {
+  Matrix m(rows, cols);
+  double* p = m.data();
+  for (size_t i = 0; i < rows * cols; ++i) p[i] = rng.Uniform(lo, hi);
+  return m;
+}
+
+Matrix RandomSpdMatrix(Rng& rng, size_t n, double eps) {
+  Matrix b = RandomMatrix(rng, n, n);
+  Matrix spd = TransposeSelfMultiply(b);
+  for (size_t i = 0; i < n; ++i) spd.At(i, i) += eps;
+  return spd;
+}
+
+}  // namespace radb::la

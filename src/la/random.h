@@ -1,0 +1,23 @@
+#ifndef RADB_LA_RANDOM_H_
+#define RADB_LA_RANDOM_H_
+
+#include "common/rng.h"
+#include "la/matrix.h"
+#include "la/vector.h"
+
+namespace radb::la {
+
+/// Uniform [lo, hi) random vector.
+Vector RandomVector(Rng& rng, size_t n, double lo = -1.0, double hi = 1.0);
+
+/// Uniform [lo, hi) random matrix.
+Matrix RandomMatrix(Rng& rng, size_t rows, size_t cols, double lo = -1.0,
+                    double hi = 1.0);
+
+/// Random symmetric positive-definite matrix (A = BᵀB + eps·I); used
+/// for Riemannian metrics and well-conditioned inverses in tests.
+Matrix RandomSpdMatrix(Rng& rng, size_t n, double eps = 0.5);
+
+}  // namespace radb::la
+
+#endif  // RADB_LA_RANDOM_H_

@@ -1,0 +1,622 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace radb {
+
+namespace {
+
+/// Selectivity guesses for non-join predicates, in the tradition of
+/// System R's magic numbers.
+double PredicateSelectivity(const BoundExpr& e) {
+  if (e.kind == BoundExpr::Kind::kCompare) {
+    switch (e.compare_op) {
+      case CompareOp::kEq:
+        return 0.1;
+      case CompareOp::kNe:
+        return 0.9;
+      default:
+        return 0.4;
+    }
+  }
+  return 0.25;
+}
+
+}  // namespace
+
+class Optimizer::PlanBuilder {
+ public:
+  PlanBuilder(const Options& options, size_t next_slot)
+      : options_(options), next_slot_(next_slot) {}
+
+  Result<LogicalOpPtr> Build(BoundQuery& q);
+
+ private:
+  /// One WHERE conjunct with the metadata the join search needs.
+  struct Conjunct {
+    BoundExprPtr expr;
+    uint64_t rel_mask = 0;
+    // Equi-join decomposition (a = b with each side touching exactly
+    // one distinct relation group).
+    bool is_equi = false;
+    uint64_t lhs_mask = 0, rhs_mask = 0;
+  };
+
+  /// An expression that could be computed early: a whole SELECT item,
+  /// GROUP BY key, or aggregate argument.
+  struct Pending {
+    enum class Target { kSelect, kGroup, kAggArg };
+    Target target;
+    size_t index;          // into the corresponding BoundQuery list
+    const BoundExpr* expr; // borrowed from the query
+    uint64_t rel_mask = 0;
+    std::set<size_t> slots;
+    double result_bytes = 0.0;
+  };
+
+  /// A candidate plan for a subset of relations.
+  struct SubPlan {
+    LogicalOpPtr op;
+    double cost = 0.0;
+    /// pending index -> slot carrying the precomputed value.
+    std::map<size_t, size_t> placed;
+    /// conjunct indexes already enforced inside this plan.
+    std::set<size_t> applied;
+  };
+
+  double TypeWidth(const DataType& t) const {
+    if (!options_.la_aware_costing && t.is_la()) return 16.0;
+    return t.EstimatedByteSize(options_.default_dim);
+  }
+
+  double RowWidth(const LogicalOp& op) const {
+    double w = 8.0;  // per-tuple overhead
+    for (const SlotInfo& s : op.output) w += TypeWidth(s.type);
+    return w;
+  }
+
+  void Annotate(LogicalOp* op, double rows) const {
+    op->est_rows = std::max(rows, 1.0);
+    op->est_row_bytes = RowWidth(*op);
+  }
+
+  double NodeCost(const LogicalOp& op) const {
+    return op.est_rows * (op.est_row_bytes + options_.per_row_cpu_cost);
+  }
+
+  uint64_t MaskOfSlots(const std::set<size_t>& slots) const {
+    uint64_t mask = 0;
+    for (size_t s : slots) {
+      auto it = slot_to_rel_.find(s);
+      if (it != slot_to_rel_.end()) mask |= (1ULL << it->second);
+    }
+    return mask;
+  }
+
+  Result<SubPlan> MakeLeaf(size_t rel_index);
+  Result<SubPlan> JoinPlans(const SubPlan& left, const SubPlan& right,
+                            uint64_t left_mask, uint64_t right_mask);
+  /// Applies the early-projection rule (§4.1) to `plan`, whose output
+  /// covers `mask`. May fuse computations into a join node or append a
+  /// Project.
+  Status TryEarlyProjection(SubPlan* plan, uint64_t mask);
+
+  /// Slots that must still be visible above a plan covering `mask`
+  /// given its placement state.
+  std::set<size_t> NeededAbove(uint64_t mask, const SubPlan& plan) const;
+
+  /// Replaces pending expressions that were placed early by column
+  /// references in the final select/group/agg expressions.
+  void ApplyPlacements(BoundQuery& q, const SubPlan& plan) const;
+
+  const Options& options_;
+  size_t next_slot_;
+
+  std::vector<Conjunct> conjuncts_;
+  std::vector<Pending> pendings_;
+  std::set<size_t> always_needed_;  // slots referenced outside pendings
+  std::map<size_t, size_t> slot_to_rel_;
+  std::vector<const BoundRelation*> relations_;
+};
+
+// ---------------------------------------------------------------------
+
+std::set<size_t> Optimizer::PlanBuilder::NeededAbove(
+    uint64_t mask, const SubPlan& plan) const {
+  std::set<size_t> needed = always_needed_;
+  for (size_t ci = 0; ci < conjuncts_.size(); ++ci) {
+    if (plan.applied.count(ci)) continue;
+    std::set<size_t> slots;
+    conjuncts_[ci].expr->CollectSlots(&slots);
+    needed.insert(slots.begin(), slots.end());
+  }
+  for (size_t pi = 0; pi < pendings_.size(); ++pi) {
+    auto it = plan.placed.find(pi);
+    if (it != plan.placed.end()) {
+      needed.insert(it->second);  // the computed value itself
+    } else {
+      needed.insert(pendings_[pi].slots.begin(), pendings_[pi].slots.end());
+    }
+  }
+  (void)mask;
+  return needed;
+}
+
+Result<Optimizer::PlanBuilder::SubPlan> Optimizer::PlanBuilder::MakeLeaf(
+    size_t rel_index) {
+  const BoundRelation& rel = *relations_[rel_index];
+  SubPlan plan;
+
+  if (rel.table) {
+    // Column pruning: emit only slots referenced anywhere.
+    std::set<size_t> referenced = always_needed_;
+    for (const Conjunct& c : conjuncts_) {
+      std::set<size_t> s;
+      c.expr->CollectSlots(&s);
+      referenced.insert(s.begin(), s.end());
+    }
+    for (const Pending& p : pendings_) {
+      referenced.insert(p.slots.begin(), p.slots.end());
+    }
+    std::vector<size_t> cols;
+    std::vector<SlotInfo> out;
+    for (size_t i = 0; i < rel.columns.size(); ++i) {
+      if (referenced.count(rel.columns[i].slot)) {
+        cols.push_back(i);
+        out.push_back(rel.columns[i]);
+      }
+    }
+    plan.op = MakeScan(rel.table, rel.alias, std::move(cols), std::move(out));
+    Annotate(plan.op.get(), static_cast<double>(rel.table->num_rows()));
+    plan.cost = NodeCost(*plan.op);
+  } else {
+    // Derived table / view: plan the nested query independently.
+    PlanBuilder nested(options_, next_slot_);
+    RADB_ASSIGN_OR_RETURN(plan.op, nested.Build(*rel.subquery));
+    next_slot_ = std::max(next_slot_, nested.next_slot_);
+    plan.cost = plan.op->est_cost;
+    // The relation exposes (possibly renamed) subquery outputs; keep
+    // the plan's own SlotInfos (same slots, original names).
+  }
+
+  // Push down single-relation predicates.
+  const uint64_t my_mask = 1ULL << rel_index;
+  std::vector<BoundExprPtr> preds;
+  double selectivity = 1.0;
+  for (size_t ci = 0; ci < conjuncts_.size(); ++ci) {
+    const Conjunct& c = conjuncts_[ci];
+    if (c.rel_mask == my_mask && c.rel_mask != 0) {
+      preds.push_back(c.expr->Clone());
+      selectivity *= PredicateSelectivity(*c.expr);
+      plan.applied.insert(ci);
+    }
+  }
+  if (!preds.empty()) {
+    auto filter = std::make_unique<LogicalOp>();
+    filter->kind = LogicalOp::Kind::kFilter;
+    filter->predicates = std::move(preds);
+    filter->output = plan.op->output;
+    const double rows = plan.op->est_rows * selectivity;
+    filter->children.push_back(std::move(plan.op));
+    Annotate(filter.get(), rows);
+    plan.cost += NodeCost(*filter);
+    plan.op = std::move(filter);
+  }
+  RADB_RETURN_NOT_OK(TryEarlyProjection(&plan, my_mask));
+  return plan;
+}
+
+Result<Optimizer::PlanBuilder::SubPlan> Optimizer::PlanBuilder::JoinPlans(
+    const SubPlan& left, const SubPlan& right, uint64_t left_mask,
+    uint64_t right_mask) {
+  const uint64_t mask = left_mask | right_mask;
+  SubPlan plan;
+  plan.placed = left.placed;
+  plan.placed.insert(right.placed.begin(), right.placed.end());
+  plan.applied = left.applied;
+  plan.applied.insert(right.applied.begin(), right.applied.end());
+  plan.cost = left.cost + right.cost;
+
+  auto join = std::make_unique<LogicalOp>();
+  join->kind = LogicalOp::Kind::kJoin;
+
+  // Classify the conjuncts that become enforceable at this node.
+  double selectivity = 1.0;
+  const double lrows = left.op->est_rows;
+  const double rrows = right.op->est_rows;
+  for (size_t ci = 0; ci < conjuncts_.size(); ++ci) {
+    if (plan.applied.count(ci)) continue;
+    const Conjunct& c = conjuncts_[ci];
+    if (c.rel_mask == 0 || (c.rel_mask & mask) != c.rel_mask) continue;
+    if (c.is_equi &&
+        ((c.lhs_mask & left_mask) == c.lhs_mask &&
+         (c.rhs_mask & right_mask) == c.rhs_mask)) {
+      join->equi_keys.emplace_back(c.expr->children[0]->Clone(),
+                                   c.expr->children[1]->Clone());
+    } else if (c.is_equi &&
+               ((c.lhs_mask & right_mask) == c.lhs_mask &&
+                (c.rhs_mask & left_mask) == c.rhs_mask)) {
+      join->equi_keys.emplace_back(c.expr->children[1]->Clone(),
+                                   c.expr->children[0]->Clone());
+    } else {
+      join->residual.push_back(c.expr->Clone());
+      selectivity *= PredicateSelectivity(*c.expr);
+      plan.applied.insert(ci);
+      continue;
+    }
+    selectivity *= 1.0 / std::max(1.0, std::max(lrows, rrows));
+    plan.applied.insert(ci);
+  }
+
+  join->output = left.op->output;
+  join->output.insert(join->output.end(), right.op->output.begin(),
+                      right.op->output.end());
+  const double rows = std::max(1.0, lrows * rrows * selectivity);
+  join->children.push_back(left.op->Clone());
+  join->children.push_back(right.op->Clone());
+  Annotate(join.get(), rows);
+  plan.op = std::move(join);
+  plan.cost += NodeCost(*plan.op);
+  RADB_RETURN_NOT_OK(TryEarlyProjection(&plan, mask));
+  return plan;
+}
+
+Status Optimizer::PlanBuilder::TryEarlyProjection(SubPlan* plan,
+                                                  uint64_t mask) {
+  if (!options_.enable_early_projection) return Status::OK();
+
+  // Collect candidates: unplaced pendings whose inputs are all here.
+  std::vector<size_t> candidates;
+  for (size_t pi = 0; pi < pendings_.size(); ++pi) {
+    const Pending& p = pendings_[pi];
+    if (plan->placed.count(pi)) continue;
+    if (p.rel_mask == 0 || (p.rel_mask & mask) != p.rel_mask) continue;
+    candidates.push_back(pi);
+  }
+  if (candidates.empty()) return Status::OK();
+
+  // What must survive if we place every candidate.
+  SubPlan hypothetical;
+  hypothetical.applied = plan->applied;
+  hypothetical.placed = plan->placed;
+  for (size_t pi : candidates) hypothetical.placed[pi] = 0;  // marker
+  std::set<size_t> needed = NeededAbove(mask, hypothetical);
+
+  // Benefit: bytes of columns we could drop vs bytes of the computed
+  // results we would add.
+  double dropped = 0.0;
+  for (const SlotInfo& s : plan->op->output) {
+    if (!needed.count(s.slot)) dropped += TypeWidth(s.type);
+  }
+  double added = 0.0;
+  for (size_t pi : candidates) added += pendings_[pi].result_bytes;
+  if (dropped <= added) return Status::OK();
+
+  // Build the projection: surviving columns plus computed values.
+  std::vector<BoundExprPtr> exprs;
+  std::vector<SlotInfo> out;
+  for (const SlotInfo& s : plan->op->output) {
+    if (!needed.count(s.slot)) continue;
+    exprs.push_back(MakeBoundColumnRef(s.slot, s.type, s.name));
+    out.push_back(s);
+  }
+  for (size_t pi : candidates) {
+    const Pending& p = pendings_[pi];
+    const size_t slot = next_slot_++;
+    exprs.push_back(p.expr->Clone());
+    out.push_back(SlotInfo{slot, p.expr->ToString(), p.expr->type});
+    plan->placed[pi] = slot;
+  }
+
+  if (plan->op->kind == LogicalOp::Kind::kJoin && plan->op->exprs.empty()) {
+    // Fuse into the join so the wide row is never materialized; the
+    // node's cost is recomputed with the narrow output.
+    plan->cost -= NodeCost(*plan->op);
+    plan->op->exprs = std::move(exprs);
+    plan->op->output = std::move(out);
+    Annotate(plan->op.get(), plan->op->est_rows);
+    plan->cost += NodeCost(*plan->op);
+  } else {
+    auto project = std::make_unique<LogicalOp>();
+    project->kind = LogicalOp::Kind::kProject;
+    project->exprs = std::move(exprs);
+    project->output = std::move(out);
+    const double rows = plan->op->est_rows;
+    project->children.push_back(std::move(plan->op));
+    Annotate(project.get(), rows);
+    plan->cost += NodeCost(*project);
+    plan->op = std::move(project);
+  }
+  return Status::OK();
+}
+
+void Optimizer::PlanBuilder::ApplyPlacements(BoundQuery& q,
+                                             const SubPlan& plan) const {
+  for (const auto& [pi, slot] : plan.placed) {
+    const Pending& p = pendings_[pi];
+    BoundExprPtr ref =
+        MakeBoundColumnRef(slot, p.expr->type, p.expr->ToString());
+    switch (p.target) {
+      case Pending::Target::kSelect:
+        q.select_exprs[p.index] = std::move(ref);
+        break;
+      case Pending::Target::kGroup:
+        q.group_exprs[p.index] = std::move(ref);
+        break;
+      case Pending::Target::kAggArg:
+        q.aggs[p.index].arg = std::move(ref);
+        break;
+    }
+  }
+}
+
+Result<LogicalOpPtr> Optimizer::PlanBuilder::Build(BoundQuery& q) {
+  // ---- Setup: relation indexes and slot ownership. ----
+  relations_.clear();
+  slot_to_rel_.clear();
+  conjuncts_.clear();
+  pendings_.clear();
+  always_needed_.clear();
+  for (size_t i = 0; i < q.relations.size(); ++i) {
+    relations_.push_back(&q.relations[i]);
+    for (const SlotInfo& s : q.relations[i].columns) {
+      slot_to_rel_[s.slot] = i;
+    }
+  }
+  if (relations_.size() > 63) {
+    return Status::NotImplemented("more than 63 relations in one query");
+  }
+
+  // ---- Conjunct classification. ----
+  for (BoundExprPtr& c : q.conjuncts) {
+    Conjunct conj;
+    std::set<size_t> slots;
+    c->CollectSlots(&slots);
+    conj.rel_mask = MaskOfSlots(slots);
+    if (c->kind == BoundExpr::Kind::kCompare &&
+        c->compare_op == CompareOp::kEq) {
+      std::set<size_t> ls, rs;
+      c->children[0]->CollectSlots(&ls);
+      c->children[1]->CollectSlots(&rs);
+      const uint64_t lm = MaskOfSlots(ls), rm = MaskOfSlots(rs);
+      if (lm != 0 && rm != 0 && (lm & rm) == 0 &&
+          std::popcount(lm) == 1 && std::popcount(rm) == 1) {
+        conj.is_equi = true;
+        conj.lhs_mask = lm;
+        conj.rhs_mask = rm;
+      }
+    }
+    conj.expr = std::move(c);
+    conjuncts_.push_back(std::move(conj));
+  }
+  q.conjuncts.clear();
+
+  // ---- Pending (early-computable) expressions. ----
+  auto consider_pending = [&](Pending::Target target, size_t index,
+                              const BoundExpr* expr) {
+    if (expr == nullptr) return;
+    if (expr->kind == BoundExpr::Kind::kColumnRef ||
+        expr->kind == BoundExpr::Kind::kLiteral) {
+      // Nothing to compute; just mark its slots as needed at the top.
+      std::set<size_t> slots;
+      expr->CollectSlots(&slots);
+      always_needed_.insert(slots.begin(), slots.end());
+      return;
+    }
+    Pending p;
+    p.target = target;
+    p.index = index;
+    p.expr = expr;
+    expr->CollectSlots(&p.slots);
+    p.rel_mask = MaskOfSlots(p.slots);
+    p.result_bytes = TypeWidth(expr->type);
+    if (p.rel_mask == 0) {
+      return;  // constant expression: computed at the top for free
+    }
+    pendings_.push_back(std::move(p));
+  };
+
+  if (q.has_aggregate) {
+    for (size_t i = 0; i < q.group_exprs.size(); ++i) {
+      consider_pending(Pending::Target::kGroup, i, q.group_exprs[i].get());
+    }
+    for (size_t i = 0; i < q.aggs.size(); ++i) {
+      consider_pending(Pending::Target::kAggArg, i, q.aggs[i].arg.get());
+    }
+    // Select expressions in aggregate queries reference group/agg
+    // output slots, which live above the join anyway.
+  } else {
+    for (size_t i = 0; i < q.select_exprs.size(); ++i) {
+      consider_pending(Pending::Target::kSelect, i, q.select_exprs[i].get());
+    }
+  }
+
+  // ---- Join order search. ----
+  const size_t n = relations_.size();
+  SubPlan best;
+  if (n == 1) {
+    RADB_ASSIGN_OR_RETURN(best, MakeLeaf(0));
+  } else if (n <= options_.dp_relation_limit) {
+    // Subset DP (bushy, cross products allowed).
+    std::vector<std::unique_ptr<SubPlan>> memo(1ULL << n);
+    for (size_t i = 0; i < n; ++i) {
+      RADB_ASSIGN_OR_RETURN(SubPlan leaf, MakeLeaf(i));
+      memo[1ULL << i] = std::make_unique<SubPlan>(std::move(leaf));
+    }
+    for (uint64_t mask = 1; mask < (1ULL << n); ++mask) {
+      if (std::popcount(mask) < 2) continue;
+      // Enumerate proper subset splits; canonical: lowest bit in lhs.
+      const uint64_t lowest = mask & (~mask + 1);
+      for (uint64_t sub = (mask - 1) & mask; sub > 0;
+           sub = (sub - 1) & mask) {
+        if (!(sub & lowest)) continue;
+        const uint64_t other = mask ^ sub;
+        if (other == 0) continue;
+        if (!memo[sub] || !memo[other]) continue;
+        RADB_ASSIGN_OR_RETURN(
+            SubPlan cand, JoinPlans(*memo[sub], *memo[other], sub, other));
+        if (!memo[mask] || cand.cost < memo[mask]->cost) {
+          memo[mask] = std::make_unique<SubPlan>(std::move(cand));
+        }
+      }
+    }
+    best = std::move(*memo[(1ULL << n) - 1]);
+  } else {
+    // Greedy: start from the cheapest pair, add the relation that
+    // yields the cheapest next join.
+    std::vector<std::unique_ptr<SubPlan>> leaves(n);
+    for (size_t i = 0; i < n; ++i) {
+      RADB_ASSIGN_OR_RETURN(SubPlan leaf, MakeLeaf(i));
+      leaves[i] = std::make_unique<SubPlan>(std::move(leaf));
+    }
+    std::set<size_t> remaining;
+    for (size_t i = 0; i < n; ++i) remaining.insert(i);
+    // Seed with the cheapest leaf.
+    size_t seed = 0;
+    for (size_t i = 1; i < n; ++i) {
+      if (leaves[i]->cost < leaves[seed]->cost) seed = i;
+    }
+    SubPlan current = std::move(*leaves[seed]);
+    uint64_t mask = 1ULL << seed;
+    remaining.erase(seed);
+    while (!remaining.empty()) {
+      std::unique_ptr<SubPlan> best_next;
+      size_t best_rel = 0;
+      for (size_t i : remaining) {
+        RADB_ASSIGN_OR_RETURN(
+            SubPlan cand, JoinPlans(current, *leaves[i], mask, 1ULL << i));
+        if (!best_next || cand.cost < best_next->cost) {
+          best_next = std::make_unique<SubPlan>(std::move(cand));
+          best_rel = i;
+        }
+      }
+      current = std::move(*best_next);
+      mask |= 1ULL << best_rel;
+      remaining.erase(best_rel);
+    }
+    best = std::move(current);
+  }
+
+  // Leftover conjuncts (e.g. slot-free predicates like WHERE 1 = 0).
+  std::vector<BoundExprPtr> leftovers;
+  for (size_t ci = 0; ci < conjuncts_.size(); ++ci) {
+    if (!best.applied.count(ci)) {
+      leftovers.push_back(conjuncts_[ci].expr->Clone());
+    }
+  }
+  if (!leftovers.empty()) {
+    auto filter = std::make_unique<LogicalOp>();
+    filter->kind = LogicalOp::Kind::kFilter;
+    filter->predicates = std::move(leftovers);
+    filter->output = best.op->output;
+    const double rows = best.op->est_rows * 0.25;
+    filter->children.push_back(std::move(best.op));
+    Annotate(filter.get(), rows);
+    best.cost += NodeCost(*filter);
+    best.op = std::move(filter);
+  }
+
+  // ---- Rewrite placed expressions, then assemble the top. ----
+  ApplyPlacements(q, best);
+
+  LogicalOpPtr root = std::move(best.op);
+  double cost = best.cost;
+
+  if (q.has_aggregate) {
+    auto agg = std::make_unique<LogicalOp>();
+    agg->kind = LogicalOp::Kind::kAggregate;
+    for (auto& g : q.group_exprs) agg->group_exprs.push_back(std::move(g));
+    for (auto& a : q.aggs) agg->aggs.push_back(std::move(a));
+    for (size_t i = 0; i < q.group_outputs.size(); ++i) {
+      agg->output.push_back(q.group_outputs[i]);
+    }
+    for (const AggCall& a : agg->aggs) {
+      agg->output.push_back(SlotInfo{
+          a.out_slot, a.name + "(...)", a.result_type});
+    }
+    const double rows = agg->group_exprs.empty()
+                            ? 1.0
+                            : std::max(1.0, root->est_rows * 0.1);
+    agg->children.push_back(std::move(root));
+    Annotate(agg.get(), rows);
+    cost += NodeCost(*agg);
+    root = std::move(agg);
+
+    if (q.having) {
+      auto having = std::make_unique<LogicalOp>();
+      having->kind = LogicalOp::Kind::kFilter;
+      having->predicates.push_back(std::move(q.having));
+      having->output = root->output;
+      const double hrows = std::max(1.0, root->est_rows * 0.25);
+      having->children.push_back(std::move(root));
+      Annotate(having.get(), hrows);
+      cost += NodeCost(*having);
+      root = std::move(having);
+    }
+  }
+
+  // Final projection to the declared output.
+  {
+    auto project = std::make_unique<LogicalOp>();
+    project->kind = LogicalOp::Kind::kProject;
+    for (size_t i = 0; i < q.select_exprs.size(); ++i) {
+      project->exprs.push_back(std::move(q.select_exprs[i]));
+      project->output.push_back(q.output[i]);
+    }
+    const double rows = root->est_rows;
+    project->children.push_back(std::move(root));
+    Annotate(project.get(), rows);
+    cost += NodeCost(*project);
+    root = std::move(project);
+  }
+
+  if (q.distinct) {
+    auto distinct = std::make_unique<LogicalOp>();
+    distinct->kind = LogicalOp::Kind::kDistinct;
+    distinct->output = root->output;
+    const double rows = std::max(1.0, root->est_rows * 0.5);
+    distinct->children.push_back(std::move(root));
+    Annotate(distinct.get(), rows);
+    cost += NodeCost(*distinct);
+    root = std::move(distinct);
+  }
+  if (!q.order_by.empty()) {
+    auto sort = std::make_unique<LogicalOp>();
+    sort->kind = LogicalOp::Kind::kSort;
+    for (auto& [e, desc] : q.order_by) {
+      sort->sort_keys.emplace_back(std::move(e), desc);
+    }
+    sort->output = root->output;
+    const double rows = root->est_rows;
+    sort->children.push_back(std::move(root));
+    Annotate(sort.get(), rows);
+    cost += NodeCost(*sort);
+    root = std::move(sort);
+  }
+  if (q.limit) {
+    auto limit = std::make_unique<LogicalOp>();
+    limit->kind = LogicalOp::Kind::kLimit;
+    limit->limit = *q.limit;
+    limit->output = root->output;
+    const double rows =
+        std::min(root->est_rows, static_cast<double>(*q.limit));
+    limit->children.push_back(std::move(root));
+    Annotate(limit.get(), rows);
+    cost += NodeCost(*limit);
+    root = std::move(limit);
+  }
+
+  root->est_cost = cost;
+  return root;
+}
+
+Result<LogicalOpPtr> Optimizer::Plan(std::unique_ptr<BoundQuery> query) {
+  PlanBuilder builder(options_, query->next_slot);
+  return builder.Build(*query);
+}
+
+}  // namespace radb

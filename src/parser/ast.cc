@@ -1,0 +1,184 @@
+#include "parser/ast.h"
+
+#include "common/string_util.h"
+
+namespace radb::parser {
+
+const char* OpKindName(OpKind op) {
+  switch (op) {
+    case OpKind::kAdd:
+      return "+";
+    case OpKind::kSub:
+      return "-";
+    case OpKind::kMul:
+      return "*";
+    case OpKind::kDiv:
+      return "/";
+    case OpKind::kEq:
+      return "=";
+    case OpKind::kNe:
+      return "<>";
+    case OpKind::kLt:
+      return "<";
+    case OpKind::kLe:
+      return "<=";
+    case OpKind::kGt:
+      return ">";
+    case OpKind::kGe:
+      return ">=";
+    case OpKind::kAnd:
+      return "AND";
+    case OpKind::kOr:
+      return "OR";
+    case OpKind::kNot:
+      return "NOT";
+    case OpKind::kNeg:
+      return "-";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kIntLiteral:
+      return std::to_string(int_value);
+    case Kind::kDoubleLiteral:
+      return std::to_string(double_value);
+    case Kind::kStringLiteral:
+      return "'" + string_value + "'";
+    case Kind::kBoolLiteral:
+      return bool_value ? "TRUE" : "FALSE";
+    case Kind::kNullLiteral:
+      return "NULL";
+    case Kind::kColumnRef:
+      return qualifier.empty() ? name : qualifier + "." + name;
+    case Kind::kStar:
+      return "*";
+    case Kind::kUnaryOp:
+      return std::string(OpKindName(op)) + "(" + children[0]->ToString() +
+             ")";
+    case Kind::kBinaryOp:
+      return "(" + children[0]->ToString() + " " + OpKindName(op) + " " +
+             children[1]->ToString() + ")";
+    case Kind::kFunctionCall: {
+      std::vector<std::string> args;
+      args.reserve(children.size());
+      for (const auto& c : children) args.push_back(c->ToString());
+      return name + "(" + Join(args, ", ") + ")";
+    }
+  }
+  return "?";
+}
+
+ExprPtr Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->int_value = int_value;
+  out->double_value = double_value;
+  out->bool_value = bool_value;
+  out->string_value = string_value;
+  out->qualifier = qualifier;
+  out->name = name;
+  out->op = op;
+  out->children.reserve(children.size());
+  for (const auto& c : children) out->children.push_back(c->Clone());
+  return out;
+}
+
+ExprPtr MakeIntLiteral(int64_t v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kIntLiteral;
+  e->int_value = v;
+  return e;
+}
+
+ExprPtr MakeDoubleLiteral(double v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kDoubleLiteral;
+  e->double_value = v;
+  return e;
+}
+
+ExprPtr MakeStringLiteral(std::string v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kStringLiteral;
+  e->string_value = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string qualifier, std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kColumnRef;
+  e->qualifier = std::move(qualifier);
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr MakeBinary(OpKind op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kBinaryOp;
+  e->op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr MakeUnary(OpKind op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kUnaryOp;
+  e->op = op;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr MakeCall(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kFunctionCall;
+  e->name = std::move(name);
+  e->children = std::move(args);
+  return e;
+}
+
+std::string SelectStmt::ToString() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  std::vector<std::string> parts;
+  for (const SelectItem& item : items) {
+    std::string s = item.is_star ? "*" : item.expr->ToString();
+    if (!item.alias.empty()) s += " AS " + item.alias;
+    parts.push_back(std::move(s));
+  }
+  out += Join(parts, ", ");
+  if (!from.empty()) {
+    out += " FROM ";
+    parts.clear();
+    for (const TableRef& ref : from) {
+      std::string s = ref.kind == TableRef::Kind::kRelation
+                          ? ref.name
+                          : "(" + ref.subquery->ToString() + ")";
+      if (!ref.alias.empty() && ref.alias != ref.name) {
+        s += " AS " + ref.alias;
+      }
+      parts.push_back(std::move(s));
+    }
+    out += Join(parts, ", ");
+  }
+  if (where) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    parts.clear();
+    for (const auto& g : group_by) parts.push_back(g->ToString());
+    out += " GROUP BY " + Join(parts, ", ");
+  }
+  if (having) out += " HAVING " + having->ToString();
+  if (!order_by.empty()) {
+    parts.clear();
+    for (const auto& o : order_by) {
+      parts.push_back(o.expr->ToString() + (o.descending ? " DESC" : ""));
+    }
+    out += " ORDER BY " + Join(parts, ", ");
+  }
+  if (limit) out += " LIMIT " + std::to_string(*limit);
+  return out;
+}
+
+}  // namespace radb::parser

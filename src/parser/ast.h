@@ -1,0 +1,144 @@
+#ifndef RADB_PARSER_AST_H_
+#define RADB_PARSER_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "types/data_type.h"
+
+namespace radb::parser {
+
+struct SelectStmt;
+
+/// Unary / binary operators appearing in SQL expressions.
+enum class OpKind {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kNot,
+  kNeg,
+};
+
+const char* OpKindName(OpKind op);
+
+/// Parse-tree expression. A single tagged struct (instead of a class
+/// per node) keeps the tree easy to build and walk.
+struct Expr {
+  enum class Kind {
+    kIntLiteral,
+    kDoubleLiteral,
+    kStringLiteral,
+    kBoolLiteral,
+    kNullLiteral,
+    kColumnRef,  // qualifier.name or name
+    kStar,       // SELECT * or COUNT(*)
+    kUnaryOp,    // op = kNot / kNeg, children[0]
+    kBinaryOp,   // children[0] op children[1]
+    kFunctionCall,  // function_name(children...) — scalar or aggregate
+  };
+
+  Kind kind = Kind::kNullLiteral;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  bool bool_value = false;
+  std::string string_value;
+
+  std::string qualifier;  // kColumnRef
+  std::string name;       // kColumnRef column / kFunctionCall name
+
+  OpKind op = OpKind::kAdd;
+  std::vector<std::unique_ptr<Expr>> children;
+
+  std::string ToString() const;
+  std::unique_ptr<Expr> Clone() const;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+ExprPtr MakeIntLiteral(int64_t v);
+ExprPtr MakeDoubleLiteral(double v);
+ExprPtr MakeStringLiteral(std::string v);
+ExprPtr MakeColumnRef(std::string qualifier, std::string name);
+ExprPtr MakeBinary(OpKind op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeUnary(OpKind op, ExprPtr operand);
+ExprPtr MakeCall(std::string name, std::vector<ExprPtr> args);
+
+/// One item of the SELECT list.
+struct SelectItem {
+  ExprPtr expr;       // null when is_star
+  std::string alias;  // optional AS alias
+  bool is_star = false;
+};
+
+/// One entry of the FROM list: a base table/view or a derived table.
+struct TableRef {
+  enum class Kind { kRelation, kSubquery };
+  Kind kind = Kind::kRelation;
+  std::string name;   // kRelation
+  std::string alias;  // exposed qualifier (defaults to name)
+  std::unique_ptr<SelectStmt> subquery;  // kSubquery
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+/// SELECT [DISTINCT] items FROM refs [WHERE e] [GROUP BY e...]
+/// [ORDER BY e [DESC]...] [LIMIT n].
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;  // may be null
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;  // may be null; only with GROUP BY/aggregates
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+
+  std::string ToString() const;
+};
+
+struct ColumnDef {
+  std::string name;
+  DataType type;
+};
+
+/// Any parsed statement.
+struct Statement {
+  enum class Kind {
+    kSelect,
+    kExplain,            // EXPLAIN SELECT ... (plan as a result set)
+    kCreateTable,        // CREATE TABLE t (col TYPE, ...)
+    kCreateTableAs,      // CREATE TABLE t AS SELECT ...
+    kCreateView,         // CREATE VIEW v [(aliases)] AS SELECT ...
+    kInsert,             // INSERT INTO t VALUES (...), (...)
+    kDropTable,
+    kDropView,
+  };
+
+  Kind kind = Kind::kSelect;
+  std::unique_ptr<SelectStmt> select;       // kSelect/kCreateView/kCTAS
+  std::string relation_name;                // target of CREATE/INSERT/DROP
+  std::vector<ColumnDef> columns;           // kCreateTable
+  std::vector<std::string> view_aliases;    // kCreateView
+  std::string view_sql;                     // original SELECT text for views
+  std::vector<std::vector<ExprPtr>> insert_rows;  // kInsert
+};
+
+}  // namespace radb::parser
+
+#endif  // RADB_PARSER_AST_H_

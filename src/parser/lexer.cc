@@ -1,0 +1,305 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace radb::parser {
+
+const char* TokenTypeName(TokenType t) {
+  switch (t) {
+    case TokenType::kEof:
+      return "end of input";
+    case TokenType::kIdentifier:
+      return "identifier";
+    case TokenType::kInteger:
+      return "integer";
+    case TokenType::kDouble:
+      return "double";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kDot:
+      return "'.'";
+    case TokenType::kSemicolon:
+      return "';'";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kLBracket:
+      return "'['";
+    case TokenType::kRBracket:
+      return "']'";
+    case TokenType::kPlus:
+      return "'+'";
+    case TokenType::kMinus:
+      return "'-'";
+    case TokenType::kStar:
+      return "'*'";
+    case TokenType::kSlash:
+      return "'/'";
+    case TokenType::kEq:
+      return "'='";
+    case TokenType::kNe:
+      return "'<>'";
+    case TokenType::kLt:
+      return "'<'";
+    case TokenType::kLe:
+      return "'<='";
+    case TokenType::kGt:
+      return "'>'";
+    case TokenType::kGe:
+      return "'>='";
+  }
+  return "?";
+}
+
+std::string Token::Describe() const {
+  if (type == TokenType::kIdentifier) return "'" + text + "'";
+  if (type == TokenType::kString) return "string '" + text + "'";
+  if (type == TokenType::kInteger) return std::to_string(int_value);
+  if (type == TokenType::kDouble) return std::to_string(double_value);
+  return TokenTypeName(type);
+}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& sql) : sql_(sql) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipWhitespaceAndComments();
+      Token t;
+      t.line = line_;
+      t.column = column_;
+      if (pos_ >= sql_.size()) {
+        t.type = TokenType::kEof;
+        tokens.push_back(t);
+        return tokens;
+      }
+      const char c = sql_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        t.type = TokenType::kIdentifier;
+        t.text = ReadIdentifier();
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        RADB_RETURN_NOT_OK(ReadNumber(&t));
+      } else if (c == '\'') {
+        RADB_RETURN_NOT_OK(ReadString(&t));
+      } else {
+        RADB_RETURN_NOT_OK(ReadOperator(&t));
+      }
+      tokens.push_back(std::move(t));
+    }
+  }
+
+ private:
+  void Advance() {
+    if (pos_ < sql_.size()) {
+      if (sql_[pos_] == '\n') {
+        ++line_;
+        column_ = 1;
+      } else {
+        ++column_;
+      }
+      ++pos_;
+    }
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (pos_ < sql_.size()) {
+      const char c = sql_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '-' && pos_ + 1 < sql_.size() && sql_[pos_ + 1] == '-') {
+        while (pos_ < sql_.size() && sql_[pos_] != '\n') Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string ReadIdentifier() {
+    std::string out;
+    while (pos_ < sql_.size()) {
+      const char c = sql_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        out.push_back(c);
+        Advance();
+      } else {
+        break;
+      }
+    }
+    return out;
+  }
+
+  Status ReadNumber(Token* t) {
+    std::string digits;
+    bool is_double = false;
+    while (pos_ < sql_.size() &&
+           std::isdigit(static_cast<unsigned char>(sql_[pos_]))) {
+      digits.push_back(sql_[pos_]);
+      Advance();
+    }
+    // Fractional part: only if followed by a digit (so "x.id" lexes as
+    // ident dot ident, and "1." is rejected).
+    if (pos_ + 1 < sql_.size() && sql_[pos_] == '.' &&
+        std::isdigit(static_cast<unsigned char>(sql_[pos_ + 1]))) {
+      is_double = true;
+      digits.push_back('.');
+      Advance();
+      while (pos_ < sql_.size() &&
+             std::isdigit(static_cast<unsigned char>(sql_[pos_]))) {
+        digits.push_back(sql_[pos_]);
+        Advance();
+      }
+    }
+    if (pos_ < sql_.size() && (sql_[pos_] == 'e' || sql_[pos_] == 'E')) {
+      size_t look = pos_ + 1;
+      if (look < sql_.size() && (sql_[look] == '+' || sql_[look] == '-')) {
+        ++look;
+      }
+      if (look < sql_.size() &&
+          std::isdigit(static_cast<unsigned char>(sql_[look]))) {
+        is_double = true;
+        while (pos_ < look) {
+          digits.push_back(sql_[pos_]);
+          Advance();
+        }
+        while (pos_ < sql_.size() &&
+               std::isdigit(static_cast<unsigned char>(sql_[pos_]))) {
+          digits.push_back(sql_[pos_]);
+          Advance();
+        }
+      }
+    }
+    if (is_double) {
+      t->type = TokenType::kDouble;
+      t->double_value = std::strtod(digits.c_str(), nullptr);
+    } else {
+      t->type = TokenType::kInteger;
+      t->int_value = std::strtoll(digits.c_str(), nullptr, 10);
+    }
+    return Status::OK();
+  }
+
+  Status ReadString(Token* t) {
+    Advance();  // opening quote
+    std::string out;
+    while (true) {
+      if (pos_ >= sql_.size()) {
+        return Status::ParseError("unterminated string literal at line " +
+                                  std::to_string(t->line));
+      }
+      const char c = sql_[pos_];
+      if (c == '\'') {
+        Advance();
+        if (pos_ < sql_.size() && sql_[pos_] == '\'') {
+          out.push_back('\'');  // '' escape
+          Advance();
+          continue;
+        }
+        break;
+      }
+      out.push_back(c);
+      Advance();
+    }
+    t->type = TokenType::kString;
+    t->text = std::move(out);
+    return Status::OK();
+  }
+
+  Status ReadOperator(Token* t) {
+    const char c = sql_[pos_];
+    auto two = [&](char second) {
+      return pos_ + 1 < sql_.size() && sql_[pos_ + 1] == second;
+    };
+    switch (c) {
+      case ',':
+        t->type = TokenType::kComma;
+        break;
+      case '.':
+        t->type = TokenType::kDot;
+        break;
+      case ';':
+        t->type = TokenType::kSemicolon;
+        break;
+      case '(':
+        t->type = TokenType::kLParen;
+        break;
+      case ')':
+        t->type = TokenType::kRParen;
+        break;
+      case '[':
+        t->type = TokenType::kLBracket;
+        break;
+      case ']':
+        t->type = TokenType::kRBracket;
+        break;
+      case '+':
+        t->type = TokenType::kPlus;
+        break;
+      case '-':
+        t->type = TokenType::kMinus;
+        break;
+      case '*':
+        t->type = TokenType::kStar;
+        break;
+      case '/':
+        t->type = TokenType::kSlash;
+        break;
+      case '=':
+        t->type = TokenType::kEq;
+        break;
+      case '!':
+        if (two('=')) {
+          t->type = TokenType::kNe;
+          Advance();
+          break;
+        }
+        return Status::ParseError("unexpected character '!' at line " +
+                                  std::to_string(line_));
+      case '<':
+        if (two('>')) {
+          t->type = TokenType::kNe;
+          Advance();
+        } else if (two('=')) {
+          t->type = TokenType::kLe;
+          Advance();
+        } else {
+          t->type = TokenType::kLt;
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          t->type = TokenType::kGe;
+          Advance();
+        } else {
+          t->type = TokenType::kGt;
+        }
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at line " + std::to_string(line_) +
+                                  ", column " + std::to_string(column_));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  const std::string& sql_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  return Lexer(sql).Run();
+}
+
+}  // namespace radb::parser

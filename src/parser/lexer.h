@@ -1,0 +1,19 @@
+#ifndef RADB_PARSER_LEXER_H_
+#define RADB_PARSER_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "parser/token.h"
+
+namespace radb::parser {
+
+/// Tokenizes SQL text. Identifiers are case-preserving (comparison is
+/// case-insensitive downstream); strings use single quotes with ''
+/// escaping; -- starts a line comment.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace radb::parser
+
+#endif  // RADB_PARSER_LEXER_H_

@@ -1,0 +1,561 @@
+#include "parser/parser.h"
+
+#include "common/string_util.h"
+#include "parser/lexer.h"
+
+namespace radb::parser {
+
+namespace {
+
+/// Recursive-descent parser over the token stream. Keywords are just
+/// identifiers matched case-insensitively, so they remain usable as
+/// column names in non-keyword positions where unambiguous.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::vector<Statement>> ParseScript() {
+    std::vector<Statement> out;
+    while (!AtEof()) {
+      if (Accept(TokenType::kSemicolon)) continue;
+      RADB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement());
+      out.push_back(std::move(stmt));
+      if (!AtEof()) {
+        RADB_RETURN_NOT_OK(Expect(TokenType::kSemicolon));
+      }
+    }
+    return out;
+  }
+
+  Result<Statement> ParseOneStatement() {
+    RADB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement());
+    Accept(TokenType::kSemicolon);
+    if (!AtEof()) {
+      return Error("unexpected input after statement: " +
+                   Peek().Describe());
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<SelectStmt>> ParseOneSelect() {
+    if (!AcceptKeyword("select")) {
+      return Error("expected SELECT");
+    }
+    RADB_ASSIGN_OR_RETURN(auto select, ParseSelectBody());
+    Accept(TokenType::kSemicolon);
+    if (!AtEof()) {
+      return Error("unexpected input after SELECT: " + Peek().Describe());
+    }
+    return select;
+  }
+
+ private:
+  // --- token plumbing -------------------------------------------------
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool AtEof() const { return Peek().type == TokenType::kEof; }
+  const Token& Next() {
+    const Token& t = Peek();
+    if (pos_ < tokens_.size() - 1) ++pos_;
+    return t;
+  }
+  bool Accept(TokenType t) {
+    if (Peek().type == t) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(TokenType t) {
+    if (!Accept(t)) {
+      return Status::ParseError(std::string("expected ") + TokenTypeName(t) +
+                                ", got " + Peek().Describe() + " at line " +
+                                std::to_string(Peek().line));
+    }
+    return Status::OK();
+  }
+  bool PeekKeyword(const char* kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == TokenType::kIdentifier && ToLower(t.text) == kw;
+  }
+  bool AcceptKeyword(const char* kw) {
+    if (PeekKeyword(kw)) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::ParseError(std::string("expected ") + kw + ", got " +
+                                Peek().Describe() + " at line " +
+                                std::to_string(Peek().line));
+    }
+    return Status::OK();
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at line " +
+                              std::to_string(Peek().line));
+  }
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error("expected identifier, got " + Peek().Describe());
+    }
+    return Next().text;
+  }
+
+  static bool IsReserved(const std::string& lower) {
+    static const char* kReserved[] = {
+        "select", "from",  "where", "group", "order", "limit",
+        "as",     "and",   "or",    "not",   "on",    "join",
+        "values", "union", "distinct", "having"};
+    for (const char* r : kReserved) {
+      if (lower == r) return true;
+    }
+    return false;
+  }
+
+  // --- statements -----------------------------------------------------
+  Result<Statement> ParseStatement() {
+    if (AcceptKeyword("select")) {
+      Statement stmt;
+      stmt.kind = Statement::Kind::kSelect;
+      RADB_ASSIGN_OR_RETURN(stmt.select, ParseSelectBody());
+      return stmt;
+    }
+    if (AcceptKeyword("explain")) {
+      Statement stmt;
+      stmt.kind = Statement::Kind::kExplain;
+      RADB_RETURN_NOT_OK(ExpectKeyword("select"));
+      RADB_ASSIGN_OR_RETURN(stmt.select, ParseSelectBody());
+      return stmt;
+    }
+    if (AcceptKeyword("create")) {
+      if (AcceptKeyword("table")) return ParseCreateTable();
+      if (AcceptKeyword("view")) return ParseCreateView();
+      return Error("expected TABLE or VIEW after CREATE");
+    }
+    if (AcceptKeyword("insert")) return ParseInsert();
+    if (AcceptKeyword("drop")) {
+      Statement stmt;
+      if (AcceptKeyword("table")) {
+        stmt.kind = Statement::Kind::kDropTable;
+      } else if (AcceptKeyword("view")) {
+        stmt.kind = Statement::Kind::kDropView;
+      } else {
+        return Error("expected TABLE or VIEW after DROP");
+      }
+      RADB_ASSIGN_OR_RETURN(stmt.relation_name, ExpectIdentifier());
+      return stmt;
+    }
+    return Error("expected a statement, got " + Peek().Describe());
+  }
+
+  Result<Statement> ParseCreateTable() {
+    Statement stmt;
+    RADB_ASSIGN_OR_RETURN(stmt.relation_name, ExpectIdentifier());
+    if (AcceptKeyword("as")) {
+      stmt.kind = Statement::Kind::kCreateTableAs;
+      RADB_RETURN_NOT_OK(ExpectKeyword("select"));
+      RADB_ASSIGN_OR_RETURN(stmt.select, ParseSelectBody());
+      return stmt;
+    }
+    stmt.kind = Statement::Kind::kCreateTable;
+    RADB_RETURN_NOT_OK(Expect(TokenType::kLParen));
+    do {
+      ColumnDef def;
+      RADB_ASSIGN_OR_RETURN(def.name, ExpectIdentifier());
+      RADB_ASSIGN_OR_RETURN(def.type, ParseType());
+      stmt.columns.push_back(std::move(def));
+    } while (Accept(TokenType::kComma));
+    RADB_RETURN_NOT_OK(Expect(TokenType::kRParen));
+    return stmt;
+  }
+
+  Result<DataType> ParseType() {
+    RADB_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+    const std::string lower = ToLower(name);
+    if (lower == "integer" || lower == "int" || lower == "bigint") {
+      return DataType::Integer();
+    }
+    if (lower == "double" || lower == "float" || lower == "real") {
+      return DataType::Double();
+    }
+    if (lower == "boolean" || lower == "bool") return DataType::Boolean();
+    if (lower == "string" || lower == "text") return DataType::String();
+    if (lower == "varchar" || lower == "char") {
+      if (Accept(TokenType::kLParen)) {
+        if (Peek().type != TokenType::kInteger) {
+          return Error("expected length in VARCHAR(n)");
+        }
+        Next();
+        RADB_RETURN_NOT_OK(Expect(TokenType::kRParen));
+      }
+      return DataType::String();
+    }
+    if (lower == "labeled_scalar") return DataType::LabeledScalar();
+    if (lower == "vector") {
+      RADB_ASSIGN_OR_RETURN(Dim n, ParseDim());
+      return DataType::MakeVector(n);
+    }
+    if (lower == "matrix") {
+      RADB_ASSIGN_OR_RETURN(Dim r, ParseDim());
+      RADB_ASSIGN_OR_RETURN(Dim c, ParseDim());
+      return DataType::MakeMatrix(r, c);
+    }
+    return Error("unknown type name '" + name + "'");
+  }
+
+  /// Parses one "[n]" or "[]" dimension suffix.
+  Result<Dim> ParseDim() {
+    RADB_RETURN_NOT_OK(Expect(TokenType::kLBracket));
+    Dim d;
+    if (Peek().type == TokenType::kInteger) {
+      d = Next().int_value;
+      if (*d < 0) return Error("negative dimension");
+    }
+    RADB_RETURN_NOT_OK(Expect(TokenType::kRBracket));
+    return d;
+  }
+
+  Result<Statement> ParseCreateView() {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kCreateView;
+    RADB_ASSIGN_OR_RETURN(stmt.relation_name, ExpectIdentifier());
+    if (Accept(TokenType::kLParen)) {
+      do {
+        RADB_ASSIGN_OR_RETURN(std::string alias, ExpectIdentifier());
+        stmt.view_aliases.push_back(std::move(alias));
+      } while (Accept(TokenType::kComma));
+      RADB_RETURN_NOT_OK(Expect(TokenType::kRParen));
+    }
+    RADB_RETURN_NOT_OK(ExpectKeyword("as"));
+    RADB_RETURN_NOT_OK(ExpectKeyword("select"));
+    RADB_ASSIGN_OR_RETURN(stmt.select, ParseSelectBody());
+    // Views are stored as SQL text; the AST's printer round-trips
+    // through this same parser.
+    stmt.view_sql = stmt.select->ToString();
+    return stmt;
+  }
+
+  Result<Statement> ParseInsert() {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kInsert;
+    RADB_RETURN_NOT_OK(ExpectKeyword("into"));
+    RADB_ASSIGN_OR_RETURN(stmt.relation_name, ExpectIdentifier());
+    RADB_RETURN_NOT_OK(ExpectKeyword("values"));
+    do {
+      RADB_RETURN_NOT_OK(Expect(TokenType::kLParen));
+      std::vector<ExprPtr> row;
+      do {
+        RADB_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        row.push_back(std::move(e));
+      } while (Accept(TokenType::kComma));
+      RADB_RETURN_NOT_OK(Expect(TokenType::kRParen));
+      stmt.insert_rows.push_back(std::move(row));
+    } while (Accept(TokenType::kComma));
+    return stmt;
+  }
+
+  // --- SELECT ----------------------------------------------------------
+  Result<std::unique_ptr<SelectStmt>> ParseSelectBody() {
+    auto select = std::make_unique<SelectStmt>();
+    select->distinct = AcceptKeyword("distinct");
+    do {
+      SelectItem item;
+      if (Peek().type == TokenType::kStar) {
+        Next();
+        item.is_star = true;
+      } else {
+        RADB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("as")) {
+          RADB_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+        } else if (Peek().type == TokenType::kIdentifier &&
+                   !IsReserved(ToLower(Peek().text))) {
+          item.alias = Next().text;
+        }
+      }
+      select->items.push_back(std::move(item));
+    } while (Accept(TokenType::kComma));
+
+    if (AcceptKeyword("from")) {
+      do {
+        RADB_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+        select->from.push_back(std::move(ref));
+        // Explicit JOIN ... ON chains desugar to comma-joins plus WHERE
+        // conjuncts; the optimizer rebuilds the join graph anyway.
+        while (AcceptKeyword("join")) {
+          RADB_ASSIGN_OR_RETURN(TableRef joined, ParseTableRef());
+          select->from.push_back(std::move(joined));
+          RADB_RETURN_NOT_OK(ExpectKeyword("on"));
+          RADB_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+          select->where = select->where
+                              ? MakeBinary(OpKind::kAnd,
+                                           std::move(select->where),
+                                           std::move(cond))
+                              : std::move(cond);
+        }
+      } while (Accept(TokenType::kComma));
+    }
+
+    if (AcceptKeyword("where")) {
+      RADB_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+      select->where = select->where
+                          ? MakeBinary(OpKind::kAnd, std::move(select->where),
+                                       std::move(cond))
+                          : std::move(cond);
+    }
+    if (AcceptKeyword("group")) {
+      RADB_RETURN_NOT_OK(ExpectKeyword("by"));
+      do {
+        RADB_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        select->group_by.push_back(std::move(e));
+      } while (Accept(TokenType::kComma));
+    }
+    if (AcceptKeyword("having")) {
+      RADB_ASSIGN_OR_RETURN(select->having, ParseExpr());
+    }
+    if (AcceptKeyword("order")) {
+      RADB_RETURN_NOT_OK(ExpectKeyword("by"));
+      do {
+        OrderItem item;
+        RADB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("desc")) {
+          item.descending = true;
+        } else {
+          AcceptKeyword("asc");
+        }
+        select->order_by.push_back(std::move(item));
+      } while (Accept(TokenType::kComma));
+    }
+    if (AcceptKeyword("limit")) {
+      if (Peek().type != TokenType::kInteger) {
+        return Error("expected integer after LIMIT");
+      }
+      select->limit = Next().int_value;
+    }
+    return select;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    if (Accept(TokenType::kLParen)) {
+      ref.kind = TableRef::Kind::kSubquery;
+      RADB_RETURN_NOT_OK(ExpectKeyword("select"));
+      RADB_ASSIGN_OR_RETURN(ref.subquery, ParseSelectBody());
+      RADB_RETURN_NOT_OK(Expect(TokenType::kRParen));
+      if (AcceptKeyword("as")) {
+        RADB_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier());
+      } else if (Peek().type == TokenType::kIdentifier &&
+                 !IsReserved(ToLower(Peek().text))) {
+        ref.alias = Next().text;
+      } else {
+        return Error("derived table requires an alias");
+      }
+      return ref;
+    }
+    ref.kind = TableRef::Kind::kRelation;
+    RADB_ASSIGN_OR_RETURN(ref.name, ExpectIdentifier());
+    ref.alias = ref.name;
+    if (AcceptKeyword("as")) {
+      RADB_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier());
+    } else if (Peek().type == TokenType::kIdentifier &&
+               !IsReserved(ToLower(Peek().text))) {
+      ref.alias = Next().text;
+    }
+    return ref;
+  }
+
+  // --- expressions (precedence climbing) -------------------------------
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    RADB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (AcceptKeyword("or")) {
+      RADB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = MakeBinary(OpKind::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    RADB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (AcceptKeyword("and")) {
+      RADB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = MakeBinary(OpKind::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptKeyword("not")) {
+      RADB_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return MakeUnary(OpKind::kNot, std::move(operand));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    RADB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAddSub());
+    OpKind op;
+    switch (Peek().type) {
+      case TokenType::kEq:
+        op = OpKind::kEq;
+        break;
+      case TokenType::kNe:
+        op = OpKind::kNe;
+        break;
+      case TokenType::kLt:
+        op = OpKind::kLt;
+        break;
+      case TokenType::kLe:
+        op = OpKind::kLe;
+        break;
+      case TokenType::kGt:
+        op = OpKind::kGt;
+        break;
+      case TokenType::kGe:
+        op = OpKind::kGe;
+        break;
+      default:
+        return lhs;
+    }
+    Next();
+    RADB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAddSub());
+    return MakeBinary(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<ExprPtr> ParseAddSub() {
+    RADB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMulDiv());
+    while (true) {
+      OpKind op;
+      if (Accept(TokenType::kPlus)) {
+        op = OpKind::kAdd;
+      } else if (Accept(TokenType::kMinus)) {
+        op = OpKind::kSub;
+      } else {
+        return lhs;
+      }
+      RADB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMulDiv());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<ExprPtr> ParseMulDiv() {
+    RADB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      OpKind op;
+      if (Accept(TokenType::kStar)) {
+        op = OpKind::kMul;
+      } else if (Accept(TokenType::kSlash)) {
+        op = OpKind::kDiv;
+      } else {
+        return lhs;
+      }
+      RADB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Accept(TokenType::kMinus)) {
+      RADB_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return MakeUnary(OpKind::kNeg, std::move(operand));
+    }
+    if (Accept(TokenType::kPlus)) return ParseUnary();
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInteger:
+        Next();
+        return MakeIntLiteral(t.int_value);
+      case TokenType::kDouble:
+        Next();
+        return MakeDoubleLiteral(t.double_value);
+      case TokenType::kString:
+        Next();
+        return MakeStringLiteral(t.text);
+      case TokenType::kLParen: {
+        Next();
+        RADB_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        RADB_RETURN_NOT_OK(Expect(TokenType::kRParen));
+        return inner;
+      }
+      case TokenType::kIdentifier:
+        break;
+      default:
+        return Error("expected expression, got " + t.Describe());
+    }
+
+    const std::string lower = ToLower(t.text);
+    if (IsReserved(lower)) {
+      return Error("unexpected keyword '" + t.text + "' in expression");
+    }
+    if (lower == "true" || lower == "false") {
+      Next();
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kBoolLiteral;
+      e->bool_value = (lower == "true");
+      return e;
+    }
+    if (lower == "null") {
+      Next();
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kNullLiteral;
+      return e;
+    }
+
+    const std::string first = Next().text;
+    // Function call?
+    if (Accept(TokenType::kLParen)) {
+      std::vector<ExprPtr> args;
+      if (Peek().type == TokenType::kStar) {
+        // COUNT(*)
+        Next();
+        auto star = std::make_unique<Expr>();
+        star->kind = Expr::Kind::kStar;
+        args.push_back(std::move(star));
+      } else if (Peek().type != TokenType::kRParen) {
+        do {
+          RADB_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+          args.push_back(std::move(arg));
+        } while (Accept(TokenType::kComma));
+      }
+      RADB_RETURN_NOT_OK(Expect(TokenType::kRParen));
+      return MakeCall(first, std::move(args));
+    }
+    // Qualified column?
+    if (Accept(TokenType::kDot)) {
+      RADB_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      return MakeColumnRef(first, std::move(col));
+    }
+    return MakeColumnRef("", first);
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& sql) {
+  RADB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  return Parser(std::move(tokens)).ParseOneStatement();
+}
+
+Result<std::vector<Statement>> ParseScript(const std::string& sql) {
+  RADB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  return Parser(std::move(tokens)).ParseScript();
+}
+
+Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& sql) {
+  RADB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  return Parser(std::move(tokens)).ParseOneSelect();
+}
+
+}  // namespace radb::parser

@@ -1,0 +1,24 @@
+#ifndef RADB_PARSER_PARSER_H_
+#define RADB_PARSER_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "parser/ast.h"
+
+namespace radb::parser {
+
+/// Parses a single SQL statement (trailing ';' optional).
+Result<Statement> ParseStatement(const std::string& sql);
+
+/// Parses a ';'-separated script into statements.
+Result<std::vector<Statement>> ParseScript(const std::string& sql);
+
+/// Parses exactly one SELECT statement (used for view expansion).
+Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& sql);
+
+}  // namespace radb::parser
+
+#endif  // RADB_PARSER_PARSER_H_

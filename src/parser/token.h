@@ -1,0 +1,50 @@
+#ifndef RADB_PARSER_TOKEN_H_
+#define RADB_PARSER_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace radb::parser {
+
+enum class TokenType {
+  kEof = 0,
+  kIdentifier,   // foo, x1, matrix_multiply (keywords are identifiers)
+  kInteger,      // 42
+  kDouble,       // 3.14, 1e-5
+  kString,       // 'hello'
+  kComma,        // ,
+  kDot,          // .
+  kSemicolon,    // ;
+  kLParen,       // (
+  kRParen,       // )
+  kLBracket,     // [
+  kRBracket,     // ]
+  kPlus,         // +
+  kMinus,        // -
+  kStar,         // *
+  kSlash,        // /
+  kEq,           // =
+  kNe,           // <> or !=
+  kLt,           // <
+  kLe,           // <=
+  kGt,           // >
+  kGe,           // >=
+};
+
+const char* TokenTypeName(TokenType t);
+
+/// One lexical token with source position for error messages.
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;       // identifier/string contents
+  int64_t int_value = 0;  // kInteger
+  double double_value = 0.0;  // kDouble
+  size_t line = 1;
+  size_t column = 1;
+
+  std::string Describe() const;
+};
+
+}  // namespace radb::parser
+
+#endif  // RADB_PARSER_TOKEN_H_

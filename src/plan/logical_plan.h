@@ -1,0 +1,103 @@
+#ifndef RADB_PLAN_LOGICAL_PLAN_H_
+#define RADB_PLAN_LOGICAL_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "binder/bound_expr.h"
+#include "storage/table.h"
+
+namespace radb {
+
+/// Description of one output column of a logical operator: which slot
+/// it carries, its display name, and its inferred type (dimensions
+/// included, which is what the LA-aware cost model consumes, §4).
+struct SlotInfo {
+  size_t slot = 0;
+  std::string name;
+  DataType type;
+};
+
+struct LogicalOp;
+using LogicalOpPtr = std::unique_ptr<LogicalOp>;
+
+/// Logical relational algebra node. One struct with a Kind tag keeps
+/// tree surgery (the optimizer moves projections and predicates
+/// around) straightforward.
+struct LogicalOp {
+  enum class Kind {
+    kScan,       // base table
+    kFilter,     // predicates over child slots
+    kJoin,       // hash/cross join; equi keys + residual predicates
+    kProject,    // computes exprs, defines fresh slots
+    kAggregate,  // group-by + aggregate calls
+    kDistinct,
+    kSort,
+    kLimit,
+  };
+
+  Kind kind = Kind::kScan;
+  std::vector<LogicalOpPtr> children;
+
+  // kScan
+  std::shared_ptr<Table> table;
+  std::string alias;
+  /// Which table columns this scan emits (column pruning) — indexes
+  /// into the table schema, parallel to `output`.
+  std::vector<size_t> scan_columns;
+
+  // kFilter
+  std::vector<BoundExprPtr> predicates;
+
+  // kJoin: equi_keys.first evaluates over the left child's slots,
+  // .second over the right child's; residual over both.
+  std::vector<std::pair<BoundExprPtr, BoundExprPtr>> equi_keys;
+  std::vector<BoundExprPtr> residual;
+
+  // kProject: exprs[i] produces output[i].
+  std::vector<BoundExprPtr> exprs;
+
+  // kAggregate: group_exprs produce output[0..G), aggs produce the
+  // rest.
+  std::vector<BoundExprPtr> group_exprs;
+  std::vector<AggCall> aggs;
+
+  // kSort
+  std::vector<std::pair<BoundExprPtr, bool>> sort_keys;  // expr, desc
+
+  // kLimit
+  int64_t limit = 0;
+
+  /// Ordered description of the rows this operator produces.
+  std::vector<SlotInfo> output;
+
+  // Cost-model annotations (filled by the optimizer).
+  double est_rows = 0.0;
+  double est_row_bytes = 0.0;
+  double est_cost = 0.0;  // cumulative
+
+  /// Bytes this operator is estimated to produce (rows * row bytes).
+  double EstOutputBytes() const { return est_rows * est_row_bytes; }
+
+  /// Sum of output column byte widths from their types.
+  double ComputeRowBytes() const;
+
+  /// Indented EXPLAIN-style rendering of the subtree.
+  std::string ToString(int indent = 0) const;
+
+  /// Deep copy (the join-order DP reuses subset plans in multiple
+  /// candidate parents).
+  LogicalOpPtr Clone() const;
+};
+
+LogicalOpPtr MakeScan(std::shared_ptr<Table> table, std::string alias,
+                      std::vector<size_t> scan_columns,
+                      std::vector<SlotInfo> output);
+
+}  // namespace radb
+
+#endif  // RADB_PLAN_LOGICAL_PLAN_H_

@@ -1,0 +1,259 @@
+#include "storage/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace radb {
+
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g",
+                std::numeric_limits<double>::max_digits10, v);
+  *out += buf;
+}
+
+std::string EncodeValue(const Value& v) {
+  std::string out;
+  switch (v.kind()) {
+    case TypeKind::kNull:
+      return "";
+    case TypeKind::kBoolean:
+      return v.bool_value() ? "true" : "false";
+    case TypeKind::kInteger:
+      return std::to_string(v.int_value());
+    case TypeKind::kDouble:
+      AppendDouble(&out, v.double_value());
+      return out;
+    case TypeKind::kString: {
+      // Quote and double embedded quotes (RFC 4180).
+      out = "\"";
+      for (char c : v.string_value()) {
+        if (c == '"') out += '"';
+        out += c;
+      }
+      out += '"';
+      return out;
+    }
+    case TypeKind::kLabeledScalar:
+      AppendDouble(&out, v.labeled().value);
+      out += "@" + std::to_string(v.labeled().label);
+      return out;
+    case TypeKind::kVector: {
+      out = "\"[";
+      const la::Vector& vec = v.vector();
+      for (size_t i = 0; i < vec.size(); ++i) {
+        if (i > 0) out += ';';
+        AppendDouble(&out, vec[i]);
+      }
+      out += "]\"";
+      return out;
+    }
+    case TypeKind::kMatrix: {
+      const la::Matrix& m = v.matrix();
+      out = "\"[" + std::to_string(m.rows()) + "," +
+            std::to_string(m.cols());
+      for (size_t i = 0; i < m.rows() * m.cols(); ++i) {
+        out += ';';
+        AppendDouble(&out, m.data()[i]);
+      }
+      out += "]\"";
+      return out;
+    }
+  }
+  return out;
+}
+
+/// Splits one CSV line honoring quotes.
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c != '\r') {
+      cur += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quote in CSV line");
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Result<double> ParseDouble(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str()) {
+    return Status::InvalidArgument("bad double in CSV: '" + s + "'");
+  }
+  return v;
+}
+
+Result<Value> DecodeValue(const std::string& field, const DataType& type) {
+  if (field.empty()) return Value::Null();
+  switch (type.kind()) {
+    case TypeKind::kBoolean:
+      return Value::Bool(ToLower(field) == "true" || field == "1");
+    case TypeKind::kInteger:
+      return Value::Int(std::strtoll(field.c_str(), nullptr, 10));
+    case TypeKind::kDouble: {
+      RADB_ASSIGN_OR_RETURN(double v, ParseDouble(field));
+      return Value::Double(v);
+    }
+    case TypeKind::kString:
+      return Value::String(field);
+    case TypeKind::kLabeledScalar: {
+      const size_t at = field.rfind('@');
+      if (at == std::string::npos) {
+        return Status::InvalidArgument("bad LABELED_SCALAR in CSV: '" +
+                                       field + "'");
+      }
+      RADB_ASSIGN_OR_RETURN(double v, ParseDouble(field.substr(0, at)));
+      return Value::Labeled(
+          v, std::strtoll(field.c_str() + at + 1, nullptr, 10));
+    }
+    case TypeKind::kVector: {
+      if (field.size() < 2 || field.front() != '[' || field.back() != ']') {
+        return Status::InvalidArgument("bad VECTOR in CSV: '" + field + "'");
+      }
+      std::vector<double> values;
+      std::stringstream ss(field.substr(1, field.size() - 2));
+      std::string part;
+      while (std::getline(ss, part, ';')) {
+        if (part.empty()) continue;
+        RADB_ASSIGN_OR_RETURN(double v, ParseDouble(part));
+        values.push_back(v);
+      }
+      return Value::FromVector(la::Vector(std::move(values)));
+    }
+    case TypeKind::kMatrix: {
+      if (field.size() < 2 || field.front() != '[' || field.back() != ']') {
+        return Status::InvalidArgument("bad MATRIX in CSV: '" + field + "'");
+      }
+      std::stringstream ss(field.substr(1, field.size() - 2));
+      std::string dims;
+      if (!std::getline(ss, dims, ';')) {
+        return Status::InvalidArgument("bad MATRIX header in CSV");
+      }
+      const size_t comma = dims.find(',');
+      if (comma == std::string::npos) {
+        return Status::InvalidArgument("bad MATRIX dims in CSV: '" + dims +
+                                       "'");
+      }
+      const size_t rows = std::strtoull(dims.c_str(), nullptr, 10);
+      const size_t cols =
+          std::strtoull(dims.c_str() + comma + 1, nullptr, 10);
+      la::Matrix m(rows, cols);
+      std::string part;
+      size_t i = 0;
+      while (std::getline(ss, part, ';')) {
+        if (i >= rows * cols) {
+          return Status::InvalidArgument("too many MATRIX entries in CSV");
+        }
+        RADB_ASSIGN_OR_RETURN(m.data()[i], ParseDouble(part));
+        ++i;
+      }
+      if (i != rows * cols) {
+        return Status::InvalidArgument("too few MATRIX entries in CSV");
+      }
+      return Value::FromMatrix(std::move(m));
+    }
+    case TypeKind::kNull:
+      return Value::Null();
+  }
+  return Status::InvalidArgument("unsupported CSV column type");
+}
+
+}  // namespace
+
+Status WriteCsvFile(const Table& table, const std::string& path) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  std::vector<std::string> header;
+  for (const Column& c : table.schema().columns()) {
+    header.push_back(c.name);
+  }
+  os << Join(header, ",") << "\n";
+  for (size_t p = 0; p < table.num_partitions(); ++p) {
+    for (const Row& row : table.partition(p)) {
+      std::vector<std::string> fields;
+      fields.reserve(row.size());
+      for (const Value& v : row) fields.push_back(EncodeValue(v));
+      os << Join(fields, ",") << "\n";
+    }
+  }
+  os.flush();
+  if (!os) return Status::ExecutionError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Table>> ReadCsvFile(const std::string& path,
+                                           const std::string& table_name,
+                                           const Schema& schema,
+                                           size_t num_partitions) {
+  std::ifstream is(path);
+  if (!is) {
+    return Status::InvalidArgument("cannot open " + path + " for reading");
+  }
+  std::string line;
+  if (!std::getline(is, line)) {
+    return Status::InvalidArgument(path + " is empty (no CSV header)");
+  }
+  RADB_ASSIGN_OR_RETURN(std::vector<std::string> header, SplitCsvLine(line));
+  if (header.size() != schema.size()) {
+    return Status::InvalidArgument(
+        "CSV has " + std::to_string(header.size()) +
+        " columns, schema declares " + std::to_string(schema.size()));
+  }
+  auto table =
+      std::make_shared<Table>(table_name, schema, num_partitions);
+  size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    RADB_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                          SplitCsvLine(line));
+    if (fields.size() != schema.size()) {
+      return Status::InvalidArgument(
+          "CSV line " + std::to_string(line_no) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(schema.size()));
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      RADB_ASSIGN_OR_RETURN(Value v,
+                            DecodeValue(fields[i], schema.at(i).type));
+      row.push_back(std::move(v));
+    }
+    RADB_RETURN_NOT_OK(table->Insert(std::move(row)));
+  }
+  return table;
+}
+
+}  // namespace radb

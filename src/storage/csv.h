@@ -1,0 +1,28 @@
+#ifndef RADB_STORAGE_CSV_H_
+#define RADB_STORAGE_CSV_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace radb {
+
+/// Writes a table as CSV with a header row. Scalar columns print
+/// naturally; VECTOR and MATRIX columns are serialized as quoted
+/// "[v;v;...]" / "[r,c;v;v;...]" payloads so round trips are exact in
+/// shape (doubles print with max_digits10, so values round-trip too).
+Status WriteCsvFile(const Table& table, const std::string& path);
+
+/// Reads a CSV written by WriteCsvFile (or hand-authored with the same
+/// conventions) against an explicit schema; rows distribute
+/// round-robin over `num_partitions`.
+Result<std::shared_ptr<Table>> ReadCsvFile(const std::string& path,
+                                           const std::string& table_name,
+                                           const Schema& schema,
+                                           size_t num_partitions);
+
+}  // namespace radb
+
+#endif  // RADB_STORAGE_CSV_H_

@@ -1,0 +1,274 @@
+#include "storage/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace radb {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'A', 'D', 'B', 'T', 'B', 'L', '1'};
+
+// On-disk kind tags (stable across versions; do not reorder).
+enum class Tag : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,
+  kDouble = 3,
+  kString = 4,
+  kLabeled = 5,
+  kVector = 6,
+  kMatrix = 7,
+};
+
+void WriteU64(std::ostream& os, uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteI64(std::ostream& os, int64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteF64(std::ostream& os, double v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void WriteString(std::ostream& os, const std::string& s) {
+  WriteU64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+Result<uint64_t> ReadU64(std::istream& is) {
+  uint64_t v = 0;
+  if (!is.read(reinterpret_cast<char*>(&v), sizeof(v))) {
+    return Status::InvalidArgument("truncated table file (u64)");
+  }
+  return v;
+}
+Result<int64_t> ReadI64(std::istream& is) {
+  int64_t v = 0;
+  if (!is.read(reinterpret_cast<char*>(&v), sizeof(v))) {
+    return Status::InvalidArgument("truncated table file (i64)");
+  }
+  return v;
+}
+Result<double> ReadF64(std::istream& is) {
+  double v = 0;
+  if (!is.read(reinterpret_cast<char*>(&v), sizeof(v))) {
+    return Status::InvalidArgument("truncated table file (f64)");
+  }
+  return v;
+}
+Result<std::string> ReadString(std::istream& is) {
+  RADB_ASSIGN_OR_RETURN(uint64_t len, ReadU64(is));
+  if (len > (1ULL << 32)) {
+    return Status::InvalidArgument("corrupt table file (string length)");
+  }
+  std::string s(len, '\0');
+  if (!is.read(s.data(), static_cast<std::streamsize>(len))) {
+    return Status::InvalidArgument("truncated table file (string)");
+  }
+  return s;
+}
+
+void WriteType(std::ostream& os, const DataType& t) {
+  WriteU64(os, static_cast<uint64_t>(t.kind()));
+  WriteI64(os, t.rows() ? *t.rows() : -1);
+  WriteI64(os, t.cols() ? *t.cols() : -1);
+}
+
+Result<DataType> ReadType(std::istream& is) {
+  RADB_ASSIGN_OR_RETURN(uint64_t kind, ReadU64(is));
+  RADB_ASSIGN_OR_RETURN(int64_t rows, ReadI64(is));
+  RADB_ASSIGN_OR_RETURN(int64_t cols, ReadI64(is));
+  const Dim r = rows < 0 ? Dim() : Dim(rows);
+  const Dim c = cols < 0 ? Dim() : Dim(cols);
+  switch (static_cast<TypeKind>(kind)) {
+    case TypeKind::kVector:
+      return DataType::MakeVector(r);
+    case TypeKind::kMatrix:
+      return DataType::MakeMatrix(r, c);
+    case TypeKind::kNull:
+    case TypeKind::kBoolean:
+    case TypeKind::kInteger:
+    case TypeKind::kDouble:
+    case TypeKind::kString:
+    case TypeKind::kLabeledScalar:
+      return DataType(static_cast<TypeKind>(kind));
+  }
+  return Status::InvalidArgument("corrupt table file (type kind)");
+}
+
+void WriteValue(std::ostream& os, const Value& v) {
+  switch (v.kind()) {
+    case TypeKind::kNull:
+      os.put(static_cast<char>(Tag::kNull));
+      return;
+    case TypeKind::kBoolean:
+      os.put(static_cast<char>(Tag::kBool));
+      os.put(v.bool_value() ? 1 : 0);
+      return;
+    case TypeKind::kInteger:
+      os.put(static_cast<char>(Tag::kInt));
+      WriteI64(os, v.int_value());
+      return;
+    case TypeKind::kDouble:
+      os.put(static_cast<char>(Tag::kDouble));
+      WriteF64(os, v.double_value());
+      return;
+    case TypeKind::kString:
+      os.put(static_cast<char>(Tag::kString));
+      WriteString(os, v.string_value());
+      return;
+    case TypeKind::kLabeledScalar:
+      os.put(static_cast<char>(Tag::kLabeled));
+      WriteF64(os, v.labeled().value);
+      WriteI64(os, v.labeled().label);
+      return;
+    case TypeKind::kVector: {
+      os.put(static_cast<char>(Tag::kVector));
+      WriteI64(os, v.vector_value().label);
+      const la::Vector& vec = v.vector();
+      WriteU64(os, vec.size());
+      os.write(reinterpret_cast<const char*>(vec.data()),
+               static_cast<std::streamsize>(vec.size() * sizeof(double)));
+      return;
+    }
+    case TypeKind::kMatrix: {
+      os.put(static_cast<char>(Tag::kMatrix));
+      const la::Matrix& m = v.matrix();
+      WriteU64(os, m.rows());
+      WriteU64(os, m.cols());
+      os.write(
+          reinterpret_cast<const char*>(m.data()),
+          static_cast<std::streamsize>(m.rows() * m.cols() * sizeof(double)));
+      return;
+    }
+  }
+}
+
+Result<Value> ReadValue(std::istream& is) {
+  const int tag = is.get();
+  if (tag == EOF) {
+    return Status::InvalidArgument("truncated table file (value tag)");
+  }
+  switch (static_cast<Tag>(tag)) {
+    case Tag::kNull:
+      return Value::Null();
+    case Tag::kBool: {
+      const int b = is.get();
+      if (b == EOF) {
+        return Status::InvalidArgument("truncated table file (bool)");
+      }
+      return Value::Bool(b != 0);
+    }
+    case Tag::kInt: {
+      RADB_ASSIGN_OR_RETURN(int64_t v, ReadI64(is));
+      return Value::Int(v);
+    }
+    case Tag::kDouble: {
+      RADB_ASSIGN_OR_RETURN(double v, ReadF64(is));
+      return Value::Double(v);
+    }
+    case Tag::kString: {
+      RADB_ASSIGN_OR_RETURN(std::string s, ReadString(is));
+      return Value::String(std::move(s));
+    }
+    case Tag::kLabeled: {
+      RADB_ASSIGN_OR_RETURN(double v, ReadF64(is));
+      RADB_ASSIGN_OR_RETURN(int64_t label, ReadI64(is));
+      return Value::Labeled(v, label);
+    }
+    case Tag::kVector: {
+      RADB_ASSIGN_OR_RETURN(int64_t label, ReadI64(is));
+      RADB_ASSIGN_OR_RETURN(uint64_t n, ReadU64(is));
+      if (n > (1ULL << 32)) {
+        return Status::InvalidArgument("corrupt table file (vector size)");
+      }
+      la::Vector vec(n);
+      if (!is.read(reinterpret_cast<char*>(vec.data()),
+                   static_cast<std::streamsize>(n * sizeof(double)))) {
+        return Status::InvalidArgument("truncated table file (vector)");
+      }
+      return Value::FromVector(std::move(vec), label);
+    }
+    case Tag::kMatrix: {
+      RADB_ASSIGN_OR_RETURN(uint64_t r, ReadU64(is));
+      RADB_ASSIGN_OR_RETURN(uint64_t c, ReadU64(is));
+      if (r > (1ULL << 24) || c > (1ULL << 24)) {
+        return Status::InvalidArgument("corrupt table file (matrix dims)");
+      }
+      la::Matrix m(r, c);
+      if (!is.read(reinterpret_cast<char*>(m.data()),
+                   static_cast<std::streamsize>(r * c * sizeof(double)))) {
+        return Status::InvalidArgument("truncated table file (matrix)");
+      }
+      return Value::FromMatrix(std::move(m));
+    }
+  }
+  return Status::InvalidArgument("corrupt table file (unknown value tag)");
+}
+
+}  // namespace
+
+Status WriteTableFile(const Table& table, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  os.write(kMagic, sizeof(kMagic));
+  WriteString(os, table.name());
+  WriteU64(os, table.schema().size());
+  for (const Column& c : table.schema().columns()) {
+    WriteString(os, c.name);
+    WriteType(os, c.type);
+  }
+  WriteU64(os, table.num_rows());
+  for (size_t p = 0; p < table.num_partitions(); ++p) {
+    for (const Row& row : table.partition(p)) {
+      for (const Value& v : row) WriteValue(os, v);
+    }
+  }
+  os.flush();
+  if (!os) {
+    return Status::ExecutionError("write failed for " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Table>> ReadTableFile(const std::string& path,
+                                             size_t num_partitions) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    return Status::InvalidArgument("cannot open " + path + " for reading");
+  }
+  char magic[sizeof(kMagic)];
+  if (!is.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(path + " is not a radb table file");
+  }
+  RADB_ASSIGN_OR_RETURN(std::string name, ReadString(is));
+  RADB_ASSIGN_OR_RETURN(uint64_t num_cols, ReadU64(is));
+  if (num_cols > 4096) {
+    return Status::InvalidArgument("corrupt table file (column count)");
+  }
+  Schema schema;
+  for (uint64_t i = 0; i < num_cols; ++i) {
+    RADB_ASSIGN_OR_RETURN(std::string col_name, ReadString(is));
+    RADB_ASSIGN_OR_RETURN(DataType type, ReadType(is));
+    schema.Add(Column{"", std::move(col_name), type});
+  }
+  RADB_ASSIGN_OR_RETURN(uint64_t num_rows, ReadU64(is));
+  auto table = std::make_shared<Table>(name, std::move(schema),
+                                       num_partitions);
+  for (uint64_t r = 0; r < num_rows; ++r) {
+    Row row;
+    row.reserve(num_cols);
+    for (uint64_t c = 0; c < num_cols; ++c) {
+      RADB_ASSIGN_OR_RETURN(Value v, ReadValue(is));
+      row.push_back(std::move(v));
+    }
+    RADB_RETURN_NOT_OK(table->Insert(std::move(row)));
+  }
+  return table;
+}
+
+}  // namespace radb

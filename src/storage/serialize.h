@@ -1,0 +1,26 @@
+#ifndef RADB_STORAGE_SERIALIZE_H_
+#define RADB_STORAGE_SERIALIZE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace radb {
+
+/// Writes a table (schema + all rows) to `path` in the radb binary
+/// table format. The format is self-describing: a magic header, the
+/// column names and types (dimensions included), then length-prefixed
+/// values. LA payloads are stored as raw little-endian doubles.
+Status WriteTableFile(const Table& table, const std::string& path);
+
+/// Reads a table written by WriteTableFile. Rows are redistributed
+/// round-robin over `num_partitions`. Corrupt or truncated files
+/// produce InvalidArgument, never partial tables.
+Result<std::shared_ptr<Table>> ReadTableFile(const std::string& path,
+                                             size_t num_partitions);
+
+}  // namespace radb
+
+#endif  // RADB_STORAGE_SERIALIZE_H_

@@ -1,0 +1,88 @@
+#include "storage/table.h"
+
+namespace radb {
+
+Table::Table(std::string name, Schema schema, size_t num_partitions)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      partitions_(num_partitions == 0 ? 1 : num_partitions) {}
+
+size_t Table::num_rows() const {
+  size_t n = 0;
+  for (const RowSet& p : partitions_) n += p.size();
+  return n;
+}
+
+size_t Table::byte_size() const {
+  size_t n = 0;
+  for (const RowSet& p : partitions_) {
+    for (const Row& r : p) n += RowByteSize(r);
+  }
+  return n;
+}
+
+Status Table::ValidateRow(const Row& row) const {
+  if (row.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match table " +
+        name_ + " with " + std::to_string(schema_.size()) + " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    const DataType declared = schema_.at(i).type;
+    const DataType actual = row[i].RuntimeType();
+    // INTEGER literals may populate DOUBLE columns and vice versa for
+    // integral doubles; LA types must match kind and any known dims.
+    if (declared.is_numeric() && actual.is_numeric()) continue;
+    if (declared.kind() == actual.kind() && declared.CompatibleWith(actual)) {
+      continue;
+    }
+    return Status::TypeError("value of type " + actual.ToString() +
+                             " cannot be stored in column " +
+                             schema_.at(i).name + " of type " +
+                             declared.ToString());
+  }
+  return Status::OK();
+}
+
+Status Table::Insert(Row row) {
+  RADB_RETURN_NOT_OK(ValidateRow(row));
+  partitions_[next_rr_ % partitions_.size()].push_back(std::move(row));
+  ++next_rr_;
+  return Status::OK();
+}
+
+Status Table::InsertAll(std::vector<Row> rows) {
+  for (Row& r : rows) {
+    RADB_RETURN_NOT_OK(Insert(std::move(r)));
+  }
+  return Status::OK();
+}
+
+Status Table::RepartitionByHash(size_t column) {
+  if (column >= schema_.size()) {
+    return Status::InvalidArgument("hash column out of range");
+  }
+  std::vector<RowSet> next(partitions_.size());
+  for (RowSet& p : partitions_) {
+    for (Row& r : p) {
+      const size_t h = r[column].Hash();
+      next[h % next.size()].push_back(std::move(r));
+    }
+  }
+  partitions_ = std::move(next);
+  partitioning_.kind = Partitioning::Kind::kHash;
+  partitioning_.hash_column = column;
+  return Status::OK();
+}
+
+RowSet Table::Gather() const {
+  RowSet all;
+  all.reserve(num_rows());
+  for (const RowSet& p : partitions_) {
+    for (const Row& r : p) all.push_back(r);
+  }
+  return all;
+}
+
+}  // namespace radb

@@ -1,0 +1,75 @@
+#ifndef RADB_STORAGE_TABLE_H_
+#define RADB_STORAGE_TABLE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace radb {
+
+/// A batch of rows; the unit every physical operator consumes and
+/// produces per partition.
+using RowSet = std::vector<Row>;
+
+/// How a table's rows are laid out across the simulated cluster. The
+/// optimizer uses this to elide shuffles (paper §2.1: "R was already
+/// partitioned on the join key").
+struct Partitioning {
+  enum class Kind { kRoundRobin, kHash, kSingleton };
+  Kind kind = Kind::kRoundRobin;
+  /// Column index the hash partitioning is on (kind == kHash only).
+  size_t hash_column = 0;
+
+  bool IsHashOn(size_t col) const {
+    return kind == Kind::kHash && hash_column == col;
+  }
+};
+
+/// A stored base table: schema plus rows horizontally partitioned into
+/// `num_partitions` shards (one per simulated worker).
+class Table {
+ public:
+  Table(std::string name, Schema schema, size_t num_partitions);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_partitions() const { return partitions_.size(); }
+  const RowSet& partition(size_t i) const { return partitions_[i]; }
+  RowSet& mutable_partition(size_t i) { return partitions_[i]; }
+  const Partitioning& partitioning() const { return partitioning_; }
+
+  size_t num_rows() const;
+  /// Total payload bytes across all partitions.
+  size_t byte_size() const;
+
+  /// Appends a row, validating arity and (known) types/dims against
+  /// the schema; placed round-robin.
+  Status Insert(Row row);
+  /// Bulk append with round-robin placement.
+  Status InsertAll(std::vector<Row> rows);
+
+  /// Re-shards all rows by hash of `column`; updates partitioning
+  /// metadata. Used by tests and by the loader.
+  Status RepartitionByHash(size_t column);
+
+  /// All rows gathered into one RowSet (test/inspection helper).
+  RowSet Gather() const;
+
+ private:
+  Status ValidateRow(const Row& row) const;
+
+  std::string name_;
+  Schema schema_;
+  std::vector<RowSet> partitions_;
+  Partitioning partitioning_;
+  size_t next_rr_ = 0;
+};
+
+}  // namespace radb
+
+#endif  // RADB_STORAGE_TABLE_H_

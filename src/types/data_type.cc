@@ -1,0 +1,72 @@
+#include "types/data_type.h"
+
+namespace radb {
+
+const char* TypeKindName(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kNull:
+      return "NULL";
+    case TypeKind::kBoolean:
+      return "BOOLEAN";
+    case TypeKind::kInteger:
+      return "INTEGER";
+    case TypeKind::kDouble:
+      return "DOUBLE";
+    case TypeKind::kString:
+      return "STRING";
+    case TypeKind::kLabeledScalar:
+      return "LABELED_SCALAR";
+    case TypeKind::kVector:
+      return "VECTOR";
+    case TypeKind::kMatrix:
+      return "MATRIX";
+  }
+  return "UNKNOWN";
+}
+
+double DataType::EstimatedByteSize(double default_dim) const {
+  switch (kind_) {
+    case TypeKind::kNull:
+      return 1;
+    case TypeKind::kBoolean:
+      return 1;
+    case TypeKind::kInteger:
+    case TypeKind::kDouble:
+      return 8;
+    case TypeKind::kString:
+      return 16;
+    case TypeKind::kLabeledScalar:
+      return 16;
+    case TypeKind::kVector: {
+      const double n = rows_ ? static_cast<double>(*rows_) : default_dim;
+      return 8.0 * n;
+    }
+    case TypeKind::kMatrix: {
+      const double r = rows_ ? static_cast<double>(*rows_) : default_dim;
+      const double c = cols_ ? static_cast<double>(*cols_) : default_dim;
+      return 8.0 * r * c;
+    }
+  }
+  return 8;
+}
+
+bool DataType::CompatibleWith(const DataType& other) const {
+  if (kind_ != other.kind_) return false;
+  auto dims_ok = [](Dim a, Dim b) { return !a || !b || *a == *b; };
+  return dims_ok(rows_, other.rows_) && dims_ok(cols_, other.cols_);
+}
+
+std::string DataType::ToString() const {
+  std::string out = TypeKindName(kind_);
+  auto dim_str = [](Dim d) {
+    return d ? std::to_string(*d) : std::string();
+  };
+  if (kind_ == TypeKind::kVector) {
+    out += "[" + dim_str(rows_) + "]";
+  } else if (kind_ == TypeKind::kMatrix) {
+    out += "[" + dim_str(rows_) + "][" + dim_str(cols_) + "]";
+  }
+  return out;
+}
+
+}  // namespace radb

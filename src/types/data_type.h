@@ -1,0 +1,99 @@
+#ifndef RADB_TYPES_DATA_TYPE_H_
+#define RADB_TYPES_DATA_TYPE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+
+namespace radb {
+
+/// SQL column type kinds. kLabeledScalar, kVector and kMatrix are the
+/// paper's extension (§3.1); the rest are the classical scalar types.
+enum class TypeKind {
+  kNull = 0,
+  kBoolean,
+  kInteger,  // 64-bit
+  kDouble,
+  kString,
+  kLabeledScalar,  // DOUBLE with an integer label (§3.3)
+  kVector,         // VECTOR[n] or VECTOR[] — elements are double
+  kMatrix,         // MATRIX[r][c], either dim may be unspecified
+};
+
+const char* TypeKindName(TypeKind kind);
+
+/// A (possibly unspecified) dimension: VECTOR[] has no length,
+/// MATRIX[10][] knows only its row count. Unknown dims type-check at
+/// compile time and are validated at runtime (paper §3.1).
+using Dim = std::optional<int64_t>;
+
+/// A fully-resolved SQL data type: kind plus dimensions for the linear
+/// algebra kinds. Scalar kinds ignore the dims.
+class DataType {
+ public:
+  DataType() : kind_(TypeKind::kNull) {}
+  explicit DataType(TypeKind kind) : kind_(kind) {}
+
+  static DataType Null() { return DataType(TypeKind::kNull); }
+  static DataType Boolean() { return DataType(TypeKind::kBoolean); }
+  static DataType Integer() { return DataType(TypeKind::kInteger); }
+  static DataType Double() { return DataType(TypeKind::kDouble); }
+  static DataType String() { return DataType(TypeKind::kString); }
+  static DataType LabeledScalar() {
+    return DataType(TypeKind::kLabeledScalar);
+  }
+  static DataType MakeVector(Dim n = std::nullopt) {
+    DataType t(TypeKind::kVector);
+    t.rows_ = n;
+    return t;
+  }
+  static DataType MakeMatrix(Dim rows = std::nullopt,
+                             Dim cols = std::nullopt) {
+    DataType t(TypeKind::kMatrix);
+    t.rows_ = rows;
+    t.cols_ = cols;
+    return t;
+  }
+
+  TypeKind kind() const { return kind_; }
+  bool is_numeric() const {
+    return kind_ == TypeKind::kInteger || kind_ == TypeKind::kDouble;
+  }
+  bool is_la() const {
+    return kind_ == TypeKind::kVector || kind_ == TypeKind::kMatrix ||
+           kind_ == TypeKind::kLabeledScalar;
+  }
+
+  /// Vector length / matrix row count; nullopt when unspecified.
+  Dim rows() const { return rows_; }
+  /// Matrix column count; nullopt when unspecified or not a matrix.
+  Dim cols() const { return cols_; }
+
+  /// Estimated payload bytes of one value of this type — the quantity
+  /// the optimizer's cost model needs (§4.1). Unknown dims fall back
+  /// to `default_dim` so plans stay comparable rather than unknowable.
+  double EstimatedByteSize(double default_dim = 100.0) const;
+
+  /// Types are compatible when kinds match and every *known* pair of
+  /// dims agrees (an unknown dim is compatible with anything).
+  bool CompatibleWith(const DataType& other) const;
+
+  bool operator==(const DataType& other) const {
+    return kind_ == other.kind_ && rows_ == other.rows_ &&
+           cols_ == other.cols_;
+  }
+
+  /// "MATRIX[10][100]", "VECTOR[]", "DOUBLE", ...
+  std::string ToString() const;
+
+ private:
+  TypeKind kind_;
+  Dim rows_;
+  Dim cols_;
+};
+
+}  // namespace radb
+
+#endif  // RADB_TYPES_DATA_TYPE_H_

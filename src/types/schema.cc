@@ -1,0 +1,45 @@
+#include "types/schema.h"
+
+#include "common/string_util.h"
+
+namespace radb {
+
+Result<size_t> Schema::Resolve(const std::string& qualifier,
+                               const std::string& name) const {
+  const std::string q = ToLower(qualifier);
+  const std::string n = ToLower(name);
+  size_t found = columns_.size();
+  int matches = 0;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (ToLower(columns_[i].name) != n) continue;
+    if (!q.empty() && ToLower(columns_[i].qualifier) != q) continue;
+    ++matches;
+    found = i;
+  }
+  if (matches == 0) {
+    return Status::BindError("column not found: " +
+                             (q.empty() ? n : q + "." + n));
+  }
+  if (matches > 1) {
+    return Status::BindError("ambiguous column reference: " +
+                             (q.empty() ? n : q + "." + n));
+  }
+  return found;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Column> cols = left.columns();
+  for (const Column& c : right.columns()) cols.push_back(c);
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    parts.push_back(c.QualifiedName() + " " + c.type.ToString());
+  }
+  return "(" + Join(parts, ", ") + ")";
+}
+
+}  // namespace radb

@@ -1,0 +1,55 @@
+#ifndef RADB_TYPES_SCHEMA_H_
+#define RADB_TYPES_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/data_type.h"
+
+namespace radb {
+
+/// One column of a relation: qualified name plus type. `qualifier` is
+/// the table alias in scope ("x1" in `data AS x1`); it may be empty
+/// for derived columns.
+struct Column {
+  std::string qualifier;
+  std::string name;
+  DataType type;
+
+  std::string QualifiedName() const {
+    return qualifier.empty() ? name : qualifier + "." + name;
+  }
+};
+
+/// Ordered column list describing rows produced by an operator or
+/// stored in a table.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t size() const { return columns_.size(); }
+  const Column& at(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  void Add(Column c) { columns_.push_back(std::move(c)); }
+
+  /// Resolves `name`, optionally qualified by `qualifier`. BindError
+  /// when missing, ambiguous when multiple unqualified matches exist.
+  Result<size_t> Resolve(const std::string& qualifier,
+                         const std::string& name) const;
+
+  /// Concatenation (for joins).
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace radb
+
+#endif  // RADB_TYPES_SCHEMA_H_

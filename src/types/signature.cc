@@ -1,0 +1,138 @@
+#include "types/signature.h"
+
+#include "common/string_util.h"
+
+namespace radb {
+
+std::string DimParam::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return std::to_string(literal);
+    case Kind::kVariable:
+      return std::string(1, var);
+    case Kind::kAny:
+      return "";
+  }
+  return "";
+}
+
+std::string TypeTemplate::ToString() const {
+  std::string out = TypeKindName(kind);
+  if (kind == TypeKind::kVector) {
+    out += "[" + d0.ToString() + "]";
+  } else if (kind == TypeKind::kMatrix) {
+    out += "[" + d0.ToString() + "][" + d1.ToString() + "]";
+  }
+  return out;
+}
+
+namespace {
+
+/// Unifies one dimension slot of one argument against the template.
+/// `actual` may be unknown (VECTOR[]), which never constrains.
+Status UnifyDim(const std::string& fn, const DimParam& param, Dim actual,
+                DimBindings* bindings) {
+  if (!actual.has_value()) return Status::OK();
+  switch (param.kind) {
+    case DimParam::Kind::kAny:
+      return Status::OK();
+    case DimParam::Kind::kLiteral:
+      if (param.literal != *actual) {
+        return Status::TypeError(
+            fn + ": dimension " + std::to_string(*actual) +
+            " does not match required size " + std::to_string(param.literal));
+      }
+      return Status::OK();
+    case DimParam::Kind::kVariable: {
+      auto it = bindings->find(param.var);
+      if (it == bindings->end()) {
+        (*bindings)[param.var] = *actual;
+        return Status::OK();
+      }
+      if (it->second != *actual) {
+        return Status::TypeError(
+            fn + ": dimension variable '" + std::string(1, param.var) +
+            "' bound to both " + std::to_string(it->second) + " and " +
+            std::to_string(*actual));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+/// Projects a bound (or unbound) dimension slot into the result type.
+Dim ResolveDim(const DimParam& param, const DimBindings& bindings) {
+  switch (param.kind) {
+    case DimParam::Kind::kLiteral:
+      return param.literal;
+    case DimParam::Kind::kVariable: {
+      auto it = bindings.find(param.var);
+      if (it != bindings.end()) return it->second;
+      return std::nullopt;  // stays unspecified; checked at runtime
+    }
+    case DimParam::Kind::kAny:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+bool KindMatches(TypeKind param, TypeKind arg) {
+  if (param == arg) return true;
+  // Numeric coercions a database user expects: INTEGER/BOOLEAN read as
+  // DOUBLE; LABELED_SCALAR also carries a double payload.
+  if (param == TypeKind::kDouble &&
+      (arg == TypeKind::kInteger || arg == TypeKind::kBoolean ||
+       arg == TypeKind::kLabeledScalar)) {
+    return true;
+  }
+  if (param == TypeKind::kInteger && arg == TypeKind::kBoolean) return true;
+  return false;
+}
+
+}  // namespace
+
+Result<DataType> FunctionSignature::Bind(
+    const std::vector<DataType>& args) const {
+  if (args.size() != params_.size()) {
+    return Status::TypeError(name_ + ": expected " +
+                             std::to_string(params_.size()) +
+                             " argument(s), got " +
+                             std::to_string(args.size()));
+  }
+  DimBindings bindings;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const TypeTemplate& p = params_[i];
+    const DataType& a = args[i];
+    if (a.kind() == TypeKind::kNull) continue;  // NULL matches anything
+    if (!KindMatches(p.kind, a.kind())) {
+      return Status::TypeError(name_ + ": argument " + std::to_string(i + 1) +
+                               " has type " + a.ToString() + ", expected " +
+                               p.ToString());
+    }
+    if (p.kind == TypeKind::kVector) {
+      RADB_RETURN_NOT_OK(UnifyDim(name_, p.d0, a.rows(), &bindings));
+    } else if (p.kind == TypeKind::kMatrix) {
+      RADB_RETURN_NOT_OK(UnifyDim(name_, p.d0, a.rows(), &bindings));
+      RADB_RETURN_NOT_OK(UnifyDim(name_, p.d1, a.cols(), &bindings));
+    }
+  }
+  switch (result_.kind) {
+    case TypeKind::kVector:
+      return DataType::MakeVector(ResolveDim(result_.d0, bindings));
+    case TypeKind::kMatrix:
+      return DataType::MakeMatrix(ResolveDim(result_.d0, bindings),
+                                  ResolveDim(result_.d1, bindings));
+    default:
+      return DataType(result_.kind);
+  }
+}
+
+std::string FunctionSignature::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(params_.size());
+  for (const TypeTemplate& p : params_) parts.push_back(p.ToString());
+  return name_ + "(" + Join(parts, ", ") + ") -> " + result_.ToString();
+}
+
+}  // namespace radb

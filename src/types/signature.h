@@ -1,0 +1,90 @@
+#ifndef RADB_TYPES_SIGNATURE_H_
+#define RADB_TYPES_SIGNATURE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/data_type.h"
+
+namespace radb {
+
+/// One dimension slot in a templated type signature (paper §4.2):
+/// either a literal size, a named variable ('a', 'b', ...) unified
+/// across all parameters and the result, or a wildcard that matches
+/// anything without binding.
+struct DimParam {
+  enum class Kind { kLiteral, kVariable, kAny };
+  Kind kind = Kind::kAny;
+  int64_t literal = 0;
+  char var = 0;
+
+  static DimParam Lit(int64_t n) {
+    return DimParam{Kind::kLiteral, n, 0};
+  }
+  static DimParam Var(char v) { return DimParam{Kind::kVariable, 0, v}; }
+  static DimParam Any() { return DimParam{}; }
+
+  std::string ToString() const;
+};
+
+/// A parameter or result slot of a templated signature, e.g.
+/// MATRIX[a][b] or VECTOR[a] or DOUBLE.
+struct TypeTemplate {
+  TypeKind kind = TypeKind::kNull;
+  DimParam d0;  // vector length / matrix rows
+  DimParam d1;  // matrix cols
+
+  static TypeTemplate Scalar(TypeKind k) { return TypeTemplate{k, {}, {}}; }
+  static TypeTemplate Vec(DimParam n) {
+    return TypeTemplate{TypeKind::kVector, n, {}};
+  }
+  static TypeTemplate Mat(DimParam r, DimParam c) {
+    return TypeTemplate{TypeKind::kMatrix, r, c};
+  }
+
+  std::string ToString() const;
+};
+
+/// Dimension-variable bindings accumulated while matching arguments
+/// against a signature.
+using DimBindings = std::map<char, int64_t>;
+
+/// A templated function type signature: e.g.
+///   matrix_multiply(MATRIX[a][b], MATRIX[b][c]) -> MATRIX[a][c]
+/// Binding arguments unifies dimension variables: a variable bound to
+/// two different *known* sizes is a compile-time error (§4.2), while
+/// unknown argument dims leave the variable unbound and propagate
+/// "unspecified" into the result type (checked at runtime, §3.1).
+class FunctionSignature {
+ public:
+  FunctionSignature() = default;
+  FunctionSignature(std::string name, std::vector<TypeTemplate> params,
+                    TypeTemplate result)
+      : name_(std::move(name)),
+        params_(std::move(params)),
+        result_(result) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<TypeTemplate>& params() const { return params_; }
+  const TypeTemplate& result() const { return result_; }
+
+  /// Checks arity and kinds, unifies dimension variables across the
+  /// argument types, and returns the inferred result type. INTEGER
+  /// arguments coerce to DOUBLE parameters.
+  Result<DataType> Bind(const std::vector<DataType>& args) const;
+
+  /// "matrix_multiply(MATRIX[a][b], MATRIX[b][c]) -> MATRIX[a][c]"
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<TypeTemplate> params_;
+  TypeTemplate result_;
+};
+
+}  // namespace radb
+
+#endif  // RADB_TYPES_SIGNATURE_H_

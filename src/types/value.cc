@@ -1,0 +1,200 @@
+#include "types/value.h"
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+namespace radb {
+
+namespace {
+
+size_t HashCombine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+TypeKind Value::kind() const {
+  switch (v_.index()) {
+    case 0:
+      return TypeKind::kNull;
+    case 1:
+      return TypeKind::kBoolean;
+    case 2:
+      return TypeKind::kInteger;
+    case 3:
+      return TypeKind::kDouble;
+    case 4:
+      return TypeKind::kString;
+    case 5:
+      return TypeKind::kLabeledScalar;
+    case 6:
+      return TypeKind::kVector;
+    case 7:
+      return TypeKind::kMatrix;
+  }
+  return TypeKind::kNull;
+}
+
+DataType Value::RuntimeType() const {
+  switch (kind()) {
+    case TypeKind::kVector:
+      return DataType::MakeVector(static_cast<int64_t>(vector().size()));
+    case TypeKind::kMatrix:
+      return DataType::MakeMatrix(static_cast<int64_t>(matrix().rows()),
+                                  static_cast<int64_t>(matrix().cols()));
+    default:
+      return DataType(kind());
+  }
+}
+
+Result<double> Value::AsDouble() const {
+  switch (kind()) {
+    case TypeKind::kBoolean:
+      return bool_value() ? 1.0 : 0.0;
+    case TypeKind::kInteger:
+      return static_cast<double>(int_value());
+    case TypeKind::kDouble:
+      return double_value();
+    case TypeKind::kLabeledScalar:
+      return labeled().value;
+    default:
+      return Status::TypeError("cannot read " +
+                               std::string(TypeKindName(kind())) +
+                               " as DOUBLE");
+  }
+}
+
+Result<int64_t> Value::AsInt() const {
+  switch (kind()) {
+    case TypeKind::kBoolean:
+      return static_cast<int64_t>(bool_value());
+    case TypeKind::kInteger:
+      return int_value();
+    case TypeKind::kDouble: {
+      const double d = double_value();
+      if (d == std::floor(d)) return static_cast<int64_t>(d);
+      return Status::TypeError("non-integral DOUBLE used as INTEGER");
+    }
+    case TypeKind::kLabeledScalar:
+      return labeled().label;
+    default:
+      return Status::TypeError("cannot read " +
+                               std::string(TypeKindName(kind())) +
+                               " as INTEGER");
+  }
+}
+
+size_t Value::ByteSize() const {
+  switch (kind()) {
+    case TypeKind::kNull:
+      return 1;
+    case TypeKind::kBoolean:
+      return 1;
+    case TypeKind::kInteger:
+    case TypeKind::kDouble:
+      return 8;
+    case TypeKind::kString:
+      return string_value().size() + 8;
+    case TypeKind::kLabeledScalar:
+      return 16;
+    case TypeKind::kVector:
+      return vector().ByteSize() + 8;
+    case TypeKind::kMatrix:
+      return matrix().ByteSize() + 16;
+  }
+  return 8;
+}
+
+Result<int> Value::Compare(const Value& other) const {
+  // Numeric kinds compare through double; strings lexicographically.
+  const TypeKind a = kind(), b = other.kind();
+  const bool a_num = (a == TypeKind::kInteger || a == TypeKind::kDouble ||
+                      a == TypeKind::kBoolean || a == TypeKind::kLabeledScalar);
+  const bool b_num = (b == TypeKind::kInteger || b == TypeKind::kDouble ||
+                      b == TypeKind::kBoolean || b == TypeKind::kLabeledScalar);
+  if (a_num && b_num) {
+    RADB_ASSIGN_OR_RETURN(double x, AsDouble());
+    RADB_ASSIGN_OR_RETURN(double y, other.AsDouble());
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  if (a == TypeKind::kString && b == TypeKind::kString) {
+    const int c = string_value().compare(other.string_value());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  return Status::TypeError(std::string("cannot compare ") + TypeKindName(a) +
+                           " with " + TypeKindName(b));
+}
+
+size_t Value::Hash() const {
+  std::hash<double> hd;
+  std::hash<int64_t> hi;
+  switch (kind()) {
+    case TypeKind::kNull:
+      return 0x517cc1b727220a95ULL;
+    case TypeKind::kBoolean:
+      return bool_value() ? 0x9ae16a3b2f90404fULL : 0xc949d7c7509e6557ULL;
+    case TypeKind::kInteger:
+      // Integers hash like the equal double so 1 and 1.0 join/group
+      // together, matching numeric comparison semantics.
+      return hd(static_cast<double>(int_value()));
+    case TypeKind::kDouble:
+      return hd(double_value());
+    case TypeKind::kString:
+      return std::hash<std::string>()(string_value());
+    case TypeKind::kLabeledScalar:
+      return HashCombine(hd(labeled().value), hi(labeled().label));
+    case TypeKind::kVector: {
+      size_t h = hi(static_cast<int64_t>(vector().size()));
+      for (double d : vector().values()) h = HashCombine(h, hd(d));
+      return h;
+    }
+    case TypeKind::kMatrix: {
+      const la::Matrix& m = matrix();
+      size_t h = HashCombine(hi(static_cast<int64_t>(m.rows())),
+                             hi(static_cast<int64_t>(m.cols())));
+      const double* p = m.data();
+      for (size_t i = 0; i < m.rows() * m.cols(); ++i) {
+        h = HashCombine(h, hd(p[i]));
+      }
+      return h;
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  switch (kind()) {
+    case TypeKind::kNull:
+      return "NULL";
+    case TypeKind::kBoolean:
+      return bool_value() ? "true" : "false";
+    case TypeKind::kInteger:
+      os << int_value();
+      return os.str();
+    case TypeKind::kDouble:
+      os << double_value();
+      return os.str();
+    case TypeKind::kString:
+      return "'" + string_value() + "'";
+    case TypeKind::kLabeledScalar:
+      os << labeled().value << "@" << labeled().label;
+      return os.str();
+    case TypeKind::kVector:
+      return vector().ToString();
+    case TypeKind::kMatrix:
+      return matrix().ToString();
+  }
+  return "?";
+}
+
+size_t RowByteSize(const Row& row) {
+  size_t s = 0;
+  for (const Value& v : row) s += v.ByteSize();
+  return s;
+}
+
+}  // namespace radb

@@ -1,0 +1,135 @@
+#ifndef RADB_TYPES_VALUE_H_
+#define RADB_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "la/matrix.h"
+#include "la/vector.h"
+#include "types/data_type.h"
+
+namespace radb {
+
+/// A DOUBLE carrying an integer label; produced by label_scalar and
+/// consumed by the VECTORIZE aggregate (paper §3.3).
+struct LabeledScalarValue {
+  double value = 0.0;
+  int64_t label = -1;
+  bool operator==(const LabeledScalarValue&) const = default;
+};
+
+/// Runtime VECTOR payload. Vectors carry an implicit label (default
+/// -1) that label_vector can set and ROWMATRIX/COLMATRIX consume
+/// (paper §3.3). Payload is shared so copying a Value is O(1).
+struct VectorValue {
+  std::shared_ptr<const la::Vector> vec;
+  int64_t label = -1;
+  bool operator==(const VectorValue& o) const {
+    return label == o.label && (vec == o.vec || (vec && o.vec && *vec == *o.vec));
+  }
+};
+
+/// Runtime MATRIX payload, shared for O(1) Value copies.
+struct MatrixValue {
+  std::shared_ptr<const la::Matrix> mat;
+  bool operator==(const MatrixValue& o) const {
+    return mat == o.mat || (mat && o.mat && *mat == *o.mat);
+  }
+};
+
+/// A single SQL runtime value: the classical scalar types plus the
+/// paper's LABELED_SCALAR / VECTOR / MATRIX extension types.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Repr(b)); }
+  static Value Int(int64_t i) { return Value(Repr(i)); }
+  static Value Double(double d) { return Value(Repr(d)); }
+  static Value String(std::string s) { return Value(Repr(std::move(s))); }
+  static Value Labeled(double value, int64_t label) {
+    return Value(Repr(LabeledScalarValue{value, label}));
+  }
+  static Value FromVector(la::Vector v, int64_t label = -1) {
+    return Value(Repr(
+        VectorValue{std::make_shared<la::Vector>(std::move(v)), label}));
+  }
+  static Value FromSharedVector(std::shared_ptr<const la::Vector> v,
+                                int64_t label = -1) {
+    return Value(Repr(VectorValue{std::move(v), label}));
+  }
+  static Value FromMatrix(la::Matrix m) {
+    return Value(Repr(MatrixValue{std::make_shared<la::Matrix>(std::move(m))}));
+  }
+  static Value FromSharedMatrix(std::shared_ptr<const la::Matrix> m) {
+    return Value(Repr(MatrixValue{std::move(m)}));
+  }
+
+  TypeKind kind() const;
+  bool is_null() const { return kind() == TypeKind::kNull; }
+
+  /// The precise runtime type, dimensions included.
+  DataType RuntimeType() const;
+
+  bool bool_value() const { return std::get<bool>(v_); }
+  int64_t int_value() const { return std::get<int64_t>(v_); }
+  double double_value() const { return std::get<double>(v_); }
+  const std::string& string_value() const {
+    return std::get<std::string>(v_);
+  }
+  const LabeledScalarValue& labeled() const {
+    return std::get<LabeledScalarValue>(v_);
+  }
+  const VectorValue& vector_value() const {
+    return std::get<VectorValue>(v_);
+  }
+  const MatrixValue& matrix_value() const {
+    return std::get<MatrixValue>(v_);
+  }
+  const la::Vector& vector() const { return *vector_value().vec; }
+  const la::Matrix& matrix() const { return *matrix_value().mat; }
+
+  /// Numeric coercion: INTEGER, DOUBLE, BOOLEAN and LABELED_SCALAR all
+  /// read as double; anything else is a TypeError.
+  Result<double> AsDouble() const;
+  /// INTEGER or BOOLEAN as int64; DOUBLE only if integral.
+  Result<int64_t> AsInt() const;
+
+  /// Approximate in-memory size; drives shuffle byte accounting.
+  size_t ByteSize() const;
+
+  /// Deep equality (vectors/matrices compared element-wise). SQL
+  /// NULLs compare equal here — this is used by tests and group-by
+  /// keys, not three-valued logic.
+  bool Equals(const Value& other) const { return v_ == other.v_; }
+
+  /// Total order over comparable scalar kinds for MIN/MAX/ORDER BY.
+  /// TypeError on vectors/matrices or mismatched kinds.
+  Result<int> Compare(const Value& other) const;
+
+  /// Stable content hash (group-by / hash-join keys).
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  using Repr = std::variant<std::monostate, bool, int64_t, double,
+                            std::string, LabeledScalarValue, VectorValue,
+                            MatrixValue>;
+  explicit Value(Repr v) : v_(std::move(v)) {}
+  Repr v_;
+};
+
+/// Row of values. Tuples flowing through the engine are plain Rows.
+using Row = std::vector<Value>;
+
+/// Approximate payload size of a whole row.
+size_t RowByteSize(const Row& row);
+
+}  // namespace radb
+
+#endif  // RADB_TYPES_VALUE_H_

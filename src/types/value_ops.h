@@ -1,0 +1,41 @@
+#ifndef RADB_TYPES_VALUE_OPS_H_
+#define RADB_TYPES_VALUE_OPS_H_
+
+#include "common/result.h"
+#include "types/value.h"
+
+namespace radb {
+
+/// Binary arithmetic over runtime values implementing the paper's
+/// overloading rules (§3.2):
+///  * numeric op numeric     -> numeric (INTEGER preserved for + - *)
+///  * vector op vector       -> element-wise vector (shape-checked)
+///  * matrix op matrix       -> element-wise matrix (Hadamard for *)
+///  * scalar op vector/matrix (either side) -> broadcast
+/// LABELED_SCALAR participates as its double payload; the label is
+/// dropped by arithmetic (labels are only consumed by aggregates).
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+Result<Value> EvalArith(ArithOp op, const Value& lhs, const Value& rhs);
+
+/// Static type inference mirroring EvalArith, used by the binder.
+/// Dimension variables across the two sides are unified; a known
+/// mismatch is a compile-time TypeError.
+Result<DataType> InferArithType(ArithOp op, const DataType& lhs,
+                                const DataType& rhs);
+
+/// Unary minus.
+Result<Value> EvalNegate(const Value& v);
+Result<DataType> InferNegateType(const DataType& t);
+
+/// SQL comparison returning BOOLEAN. Vectors/matrices support =/<> by
+/// deep equality; ordering comparisons require comparable scalars.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+Result<Value> EvalCompare(CompareOp op, const Value& lhs, const Value& rhs);
+Result<DataType> InferCompareType(CompareOp op, const DataType& lhs,
+                                  const DataType& rhs);
+
+}  // namespace radb
+
+#endif  // RADB_TYPES_VALUE_OPS_H_

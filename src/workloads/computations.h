@@ -1,0 +1,107 @@
+#ifndef RADB_WORKLOADS_COMPUTATIONS_H_
+#define RADB_WORKLOADS_COMPUTATIONS_H_
+
+#include <memory>
+#include <string>
+
+#include "api/database.h"
+#include "engines/scidb/array.h"
+#include "engines/spark/rdd.h"
+#include "engines/systemml/dml.h"
+#include "workloads/datagen.h"
+
+namespace radb::workloads {
+
+/// Result of one (computation, platform) run: timings + the numeric
+/// answer so correctness can be cross-checked against the reference.
+struct RunOutcome {
+  /// Matches the paper's "Fail" entries (tuple-based distance): the
+  /// run was refused/aborted because intermediates exceed the budget.
+  bool failed = false;
+  std::string fail_reason;
+
+  double wall_seconds = 0.0;
+  double simulated_seconds = 0.0;  // per-stage max-over-workers sum
+  size_t bytes_shuffled = 0;
+  QueryMetrics metrics;  // merged over all statements/stages
+
+  la::Matrix gram;          // Gram computation
+  la::Vector beta;          // linear regression
+  DistanceAnswer distance;  // distance computation
+};
+
+/// SQL-based runs on the extended relational engine (the paper's
+/// Tuple / Vector / Block SimSQL rows). One instance owns a fresh
+/// Database; call a Load* method, then one computation.
+class SqlWorkload {
+ public:
+  explicit SqlWorkload(size_t num_workers);
+  /// With explicit optimizer options (used by the §4.1 bench).
+  SqlWorkload(size_t num_workers, const Optimizer::Options& opts);
+
+  Database& db() { return db_; }
+
+  /// Loads the pure-tuple encodings: x_tuple(row_index, col_index,
+  /// value), y(i, y_i), a_tuple(row_index, col_index, value).
+  Status LoadTuple(const Dataset& data);
+  /// Loads the vector/matrix encodings: x_vm(id, value VECTOR[d]),
+  /// y(i, y_i), mm(mapping MATRIX[d][d]).
+  Status LoadVector(const Dataset& data);
+
+  // --- Gram matrix (Figure 1) ---
+  Result<RunOutcome> GramTuple();
+  Result<RunOutcome> GramVector();
+  /// Includes the time to group vectors into blocks, as the paper
+  /// does. `block` must divide into the data reasonably; the last
+  /// block may be ragged for Gram/regression.
+  Result<RunOutcome> GramBlock(size_t block);
+
+  // --- Least squares linear regression (Figure 2) ---
+  Result<RunOutcome> LinRegTuple();
+  Result<RunOutcome> LinRegVector();
+  Result<RunOutcome> LinRegBlock(size_t block);
+
+  // --- Distance computation (Figure 3) ---
+  /// Refuses to run (returns failed=true) when the estimated
+  /// intermediate tuple count exceeds `tuple_budget` — reproducing the
+  /// paper's "Fail" row.
+  Result<RunOutcome> DistanceTuple(size_t tuple_budget = 50'000'000);
+  Result<RunOutcome> DistanceVector();
+  /// Requires block | n (uniform square blocks, as in the paper's
+  /// 10^5-points / 1000-block setup).
+  Result<RunOutcome> DistanceBlock(size_t block);
+
+ private:
+  Result<RunOutcome> RunScript(const std::vector<std::string>& statements,
+                               ResultSet* last);
+
+  Database db_;
+  size_t n_ = 0;
+  size_t d_ = 0;
+};
+
+// --- SystemML-style comparator --------------------------------------
+Result<RunOutcome> GramSystemML(const Dataset& data,
+                                const systemml::DmlConfig& config);
+Result<RunOutcome> LinRegSystemML(const Dataset& data,
+                                  const systemml::DmlConfig& config);
+Result<RunOutcome> DistanceSystemML(const Dataset& data,
+                                    const systemml::DmlConfig& config);
+
+// --- SciDB-style comparator ------------------------------------------
+Result<RunOutcome> GramSciDB(const Dataset& data, size_t instances,
+                             size_t chunk);
+Result<RunOutcome> LinRegSciDB(const Dataset& data, size_t instances,
+                               size_t chunk);
+Result<RunOutcome> DistanceSciDB(const Dataset& data, size_t instances,
+                                 size_t chunk);
+
+// --- Spark-mllib-style comparator --------------------------------------
+Result<RunOutcome> GramSpark(const Dataset& data, size_t partitions);
+Result<RunOutcome> LinRegSpark(const Dataset& data, size_t partitions);
+Result<RunOutcome> DistanceSpark(const Dataset& data, size_t partitions,
+                                 size_t block);
+
+}  // namespace radb::workloads
+
+#endif  // RADB_WORKLOADS_COMPUTATIONS_H_

@@ -1,0 +1,291 @@
+#include <chrono>
+#include <limits>
+
+#include "engines/spark/block_matrix.h"
+#include "workloads/computations.h"
+
+namespace radb::workloads {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+void FillFromMetrics(RunOutcome* out, const QueryMetrics& m,
+                     Clock::time_point t0) {
+  out->wall_seconds = SecondsSince(t0);
+  out->simulated_seconds = m.SimulatedParallelSeconds();
+  out->bytes_shuffled = m.TotalBytesShuffled();
+  out->metrics = m;
+  out->metrics.wall_seconds = out->wall_seconds;
+}
+
+la::Matrix OutcomesAsColumn(const Dataset& data) {
+  la::Matrix y(data.n, 1);
+  for (size_t i = 0; i < data.n; ++i) y.At(i, 0) = data.outcomes[i];
+  return y;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------------
+// SystemML-style (DML over square blocks, hybrid local/distributed)
+// ----------------------------------------------------------------------
+
+Result<RunOutcome> GramSystemML(const Dataset& data,
+                                const systemml::DmlConfig& config) {
+  systemml::DmlContext ctx(config);
+  systemml::DmlMatrix x =
+      systemml::DmlMatrix::FromDense(&ctx, PointsAsMatrix(data));
+  ctx.ResetMetrics();
+  const auto t0 = Clock::now();
+  // DML: result = t(X) %*% X
+  RADB_ASSIGN_OR_RETURN(systemml::DmlMatrix gram, x.Tsmm());
+  RunOutcome out;
+  RADB_ASSIGN_OR_RETURN(out.gram, gram.ToDense());
+  FillFromMetrics(&out, ctx.metrics(), t0);
+  return out;
+}
+
+Result<RunOutcome> LinRegSystemML(const Dataset& data,
+                                  const systemml::DmlConfig& config) {
+  systemml::DmlContext ctx(config);
+  systemml::DmlMatrix x =
+      systemml::DmlMatrix::FromDense(&ctx, PointsAsMatrix(data));
+  systemml::DmlMatrix y =
+      systemml::DmlMatrix::FromDense(&ctx, OutcomesAsColumn(data));
+  ctx.ResetMetrics();
+  const auto t0 = Clock::now();
+  // DML: beta = solve(t(X) %*% X, t(X) %*% y)
+  RADB_ASSIGN_OR_RETURN(systemml::DmlMatrix xtx, x.Tsmm());
+  RADB_ASSIGN_OR_RETURN(systemml::DmlMatrix xt, x.Transpose());
+  RADB_ASSIGN_OR_RETURN(systemml::DmlMatrix xty, xt.Multiply(y));
+  RADB_ASSIGN_OR_RETURN(la::Matrix xty_dense, xty.ToDense());
+  RADB_ASSIGN_OR_RETURN(la::Vector beta,
+                        systemml::DmlMatrix::Solve(xtx, xty_dense.Col(0)));
+  RunOutcome out;
+  out.beta = std::move(beta);
+  FillFromMetrics(&out, ctx.metrics(), t0);
+  return out;
+}
+
+Result<RunOutcome> DistanceSystemML(const Dataset& data,
+                                    const systemml::DmlConfig& config) {
+  systemml::DmlContext ctx(config);
+  systemml::DmlMatrix x =
+      systemml::DmlMatrix::FromDense(&ctx, PointsAsMatrix(data));
+  systemml::DmlMatrix m =
+      systemml::DmlMatrix::FromDense(&ctx, data.metric);
+  ctx.ResetMetrics();
+  const auto t0 = Clock::now();
+  // DML (paper §5): all_dist = X %*% m %*% t(X)
+  //                 all_dist = all_dist + diag(diag_inf)
+  //                 min_dist = rowMins(all_dist)
+  //                 result   = rowIndexMax(t(min_dist))
+  RADB_ASSIGN_OR_RETURN(systemml::DmlMatrix xm, x.Multiply(m));
+  RADB_ASSIGN_OR_RETURN(systemml::DmlMatrix xt, x.Transpose());
+  RADB_ASSIGN_OR_RETURN(systemml::DmlMatrix all, xm.Multiply(xt));
+  la::Vector diag_inf(data.n, 1e300);
+  RADB_ASSIGN_OR_RETURN(all, all.AddToDiagonal(diag_inf));
+  RADB_ASSIGN_OR_RETURN(la::Vector min_dist, all.RowMins());
+  RunOutcome out;
+  out.distance.point_id = min_dist.ArgMax();
+  out.distance.value = min_dist.Max();
+  FillFromMetrics(&out, ctx.metrics(), t0);
+  return out;
+}
+
+// ----------------------------------------------------------------------
+// SciDB-style (chunked arrays, AQL gemm/filter/aggregate)
+// ----------------------------------------------------------------------
+
+Result<RunOutcome> GramSciDB(const Dataset& data, size_t instances,
+                             size_t chunk) {
+  scidb::ArrayContext ctx(instances);
+  scidb::Array2D x =
+      scidb::Array2D::FromDense(&ctx, PointsAsMatrix(data), chunk);
+  ctx.ResetMetrics();
+  const auto t0 = Clock::now();
+  // AQL: SELECT * FROM gemm(transpose(x), x, build(<val>[d, d], 0))
+  RADB_ASSIGN_OR_RETURN(scidb::Array2D xt, scidb::Transpose(x));
+  scidb::Array2D zero =
+      scidb::Array2D::Build(&ctx, data.d, data.d, chunk, 0.0);
+  RADB_ASSIGN_OR_RETURN(scidb::Array2D gram, scidb::Gemm(xt, x, zero));
+  RunOutcome out;
+  RADB_ASSIGN_OR_RETURN(out.gram, gram.ToDense());
+  FillFromMetrics(&out, ctx.metrics(), t0);
+  return out;
+}
+
+Result<RunOutcome> LinRegSciDB(const Dataset& data, size_t instances,
+                               size_t chunk) {
+  scidb::ArrayContext ctx(instances);
+  scidb::Array2D x =
+      scidb::Array2D::FromDense(&ctx, PointsAsMatrix(data), chunk);
+  scidb::Array2D y =
+      scidb::Array2D::FromDense(&ctx, OutcomesAsColumn(data), chunk);
+  ctx.ResetMetrics();
+  const auto t0 = Clock::now();
+  RADB_ASSIGN_OR_RETURN(scidb::Array2D xt, scidb::Transpose(x));
+  scidb::Array2D zdd = scidb::Array2D::Build(&ctx, data.d, data.d, chunk);
+  scidb::Array2D zd1 = scidb::Array2D::Build(&ctx, data.d, 1, chunk);
+  RADB_ASSIGN_OR_RETURN(scidb::Array2D xtx, scidb::Gemm(xt, x, zdd));
+  RADB_ASSIGN_OR_RETURN(scidb::Array2D xty, scidb::Gemm(xt, y, zd1));
+  RADB_ASSIGN_OR_RETURN(la::Matrix xtx_d, xtx.ToDense());
+  RADB_ASSIGN_OR_RETURN(la::Matrix xty_d, xty.ToDense());
+  RADB_ASSIGN_OR_RETURN(la::Vector beta, la::Solve(xtx_d, xty_d.Col(0)));
+  RunOutcome out;
+  out.beta = std::move(beta);
+  FillFromMetrics(&out, ctx.metrics(), t0);
+  return out;
+}
+
+Result<RunOutcome> DistanceSciDB(const Dataset& data, size_t instances,
+                                 size_t chunk) {
+  scidb::ArrayContext ctx(instances);
+  scidb::Array2D x =
+      scidb::Array2D::FromDense(&ctx, PointsAsMatrix(data), chunk);
+  scidb::Array2D m = scidb::Array2D::FromDense(&ctx, data.metric, chunk);
+  ctx.ResetMetrics();
+  const auto t0 = Clock::now();
+  // AQL (paper §5): mxt = gemm(m, transpose(x), 0);
+  //   all_distance = filter(gemm(x, mxt, 0), t1 <> t2);
+  //   distance = min(all_distance) GROUP BY t1; then max + lookup.
+  RADB_ASSIGN_OR_RETURN(scidb::Array2D xt, scidb::Transpose(x));
+  scidb::Array2D zdn = scidb::Array2D::Build(&ctx, data.d, data.n, chunk);
+  RADB_ASSIGN_OR_RETURN(scidb::Array2D mxt, scidb::Gemm(m, xt, zdn));
+  scidb::Array2D znn = scidb::Array2D::Build(&ctx, data.n, data.n, chunk);
+  RADB_ASSIGN_OR_RETURN(scidb::Array2D all, scidb::Gemm(x, mxt, znn));
+  constexpr double kEmpty = 1e300;
+  RADB_ASSIGN_OR_RETURN(
+      scidb::Array2D filtered,
+      scidb::FilterCells(
+          all, [](size_t i, size_t j, double) { return i != j; }, kEmpty));
+  RADB_ASSIGN_OR_RETURN(la::Vector mins,
+                        scidb::MinOverRows(filtered, kEmpty));
+  RADB_ASSIGN_OR_RETURN(double max_min, scidb::MaxOfVector(&ctx, mins));
+  RunOutcome out;
+  out.distance.point_id = mins.ArgMax();
+  out.distance.value = max_min;
+  FillFromMetrics(&out, ctx.metrics(), t0);
+  return out;
+}
+
+// ----------------------------------------------------------------------
+// Spark-mllib-style (RDD closures + BlockMatrix)
+// ----------------------------------------------------------------------
+
+Result<RunOutcome> GramSpark(const Dataset& data, size_t partitions) {
+  spark::SparkContext ctx(partitions);
+  auto rdd = spark::Rdd<la::Vector>::Parallelize(&ctx, data.points);
+  ctx.ResetMetrics();
+  const auto t0 = Clock::now();
+  // Faithful to the paper's mllib code: each row materializes its
+  // d x d outer product, then element-wise adds (zipped map _+_).
+  RADB_ASSIGN_OR_RETURN(
+      la::Matrix gram,
+      rdd.Aggregate<la::Matrix>(
+          la::Matrix(data.d, data.d),
+          [](la::Matrix acc, const la::Vector& x) {
+            la::Matrix op = la::OuterProduct(x, x);
+            Result<la::Matrix> sum = la::Add(acc, op);
+            return std::move(sum).value();
+          },
+          [](la::Matrix a, const la::Matrix& b) {
+            Result<la::Matrix> sum = la::Add(a, b);
+            return std::move(sum).value();
+          },
+          "gram: map(outer) + reduce(add)"));
+  RunOutcome out;
+  out.gram = std::move(gram);
+  FillFromMetrics(&out, ctx.metrics(), t0);
+  return out;
+}
+
+Result<RunOutcome> LinRegSpark(const Dataset& data, size_t partitions) {
+  spark::SparkContext ctx(partitions);
+  std::vector<std::pair<la::Vector, double>> paired;
+  paired.reserve(data.n);
+  for (size_t i = 0; i < data.n; ++i) {
+    paired.emplace_back(data.points[i], data.outcomes[i]);
+  }
+  auto rdd = spark::Rdd<std::pair<la::Vector, double>>::Parallelize(
+      &ctx, std::move(paired));
+  ctx.ResetMetrics();
+  const auto t0 = Clock::now();
+  RADB_ASSIGN_OR_RETURN(
+      la::Matrix xtx,
+      rdd.Aggregate<la::Matrix>(
+          la::Matrix(data.d, data.d),
+          [](la::Matrix acc, const std::pair<la::Vector, double>& p) {
+            la::Matrix op = la::OuterProduct(p.first, p.first);
+            Result<la::Matrix> sum = la::Add(acc, op);
+            return std::move(sum).value();
+          },
+          [](la::Matrix a, const la::Matrix& b) {
+            Result<la::Matrix> sum = la::Add(a, b);
+            return std::move(sum).value();
+          },
+          "xtx: map(outer) + reduce(add)"));
+  RADB_ASSIGN_OR_RETURN(
+      la::Vector xty,
+      rdd.Aggregate<la::Vector>(
+          la::Vector(data.d),
+          [](la::Vector acc, const std::pair<la::Vector, double>& p) {
+            Result<la::Vector> sum =
+                la::Add(acc, la::MulScalar(p.first, p.second));
+            return std::move(sum).value();
+          },
+          [](la::Vector a, const la::Vector& b) {
+            Result<la::Vector> sum = la::Add(a, b);
+            return std::move(sum).value();
+          },
+          "xty: map(scale) + reduce(add)"));
+  RADB_ASSIGN_OR_RETURN(la::Vector beta, la::Solve(xtx, xty));
+  RunOutcome out;
+  out.beta = std::move(beta);
+  FillFromMetrics(&out, ctx.metrics(), t0);
+  return out;
+}
+
+Result<RunOutcome> DistanceSpark(const Dataset& data, size_t partitions,
+                                 size_t block) {
+  spark::SparkContext ctx(partitions);
+  spark::BlockMatrix xb =
+      spark::BlockMatrix::FromDense(&ctx, PointsAsMatrix(data), block, block);
+  spark::BlockMatrix mb =
+      spark::BlockMatrix::FromDense(&ctx, data.metric, block, block);
+  ctx.ResetMetrics();
+  const auto t0 = Clock::now();
+  // Paper: dist_matrix = X.multiply(M).multiply(X.transpose), then a
+  // per-row pass that knocks out the self-distance and takes the min,
+  // then a max by value.
+  RADB_ASSIGN_OR_RETURN(spark::BlockMatrix xm, xb.Multiply(mb));
+  RADB_ASSIGN_OR_RETURN(spark::BlockMatrix dist, xm.Multiply(xb.Transpose()));
+  auto rows = dist.ToIndexedRows();
+  auto mins = rows.Map(
+      [](const std::pair<size_t, la::Vector>& row) {
+        la::Vector v = row.second;
+        v[row.first] = std::numeric_limits<double>::infinity();
+        return std::make_pair(row.first, v.Min());
+      },
+      "rowMins(excluding self)");
+  RADB_ASSIGN_OR_RETURN(
+      auto best,
+      mins.MaxBy(
+          [](const std::pair<size_t, double>& a,
+             const std::pair<size_t, double>& b) {
+            return a.second < b.second;
+          },
+          "max by min-distance"));
+  RunOutcome out;
+  out.distance.point_id = best.first;
+  out.distance.value = best.second;
+  FillFromMetrics(&out, ctx.metrics(), t0);
+  return out;
+}
+
+}  // namespace radb::workloads

@@ -1,0 +1,73 @@
+#include "workloads/datagen.h"
+
+#include <limits>
+
+#include "common/rng.h"
+#include "la/random.h"
+
+namespace radb::workloads {
+
+Dataset GenerateDataset(uint64_t seed, size_t n, size_t d) {
+  Rng rng(seed);
+  Dataset data;
+  data.n = n;
+  data.d = d;
+  data.points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    data.points.push_back(la::RandomVector(rng, d));
+  }
+  data.outcomes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    data.outcomes.push_back(rng.Uniform(-1.0, 1.0));
+  }
+  data.metric = la::RandomSpdMatrix(rng, d);
+  return data;
+}
+
+la::Matrix PointsAsMatrix(const Dataset& data) {
+  la::Matrix x(data.n, data.d);
+  for (size_t i = 0; i < data.n; ++i) x.SetRow(i, data.points[i]);
+  return x;
+}
+
+la::Matrix ReferenceGram(const Dataset& data) {
+  return la::TransposeSelfMultiply(PointsAsMatrix(data));
+}
+
+Result<la::Vector> ReferenceLinReg(const Dataset& data) {
+  const la::Matrix x = PointsAsMatrix(data);
+  la::Matrix xtx = la::TransposeSelfMultiply(x);
+  la::Vector xty(data.d);
+  for (size_t i = 0; i < data.n; ++i) {
+    for (size_t j = 0; j < data.d; ++j) {
+      xty[j] += data.points[i][j] * data.outcomes[i];
+    }
+  }
+  return la::Solve(xtx, xty);
+}
+
+Result<DistanceAnswer> ReferenceDistance(const Dataset& data) {
+  if (data.n < 2) {
+    return Status::InvalidArgument("distance computation needs >= 2 points");
+  }
+  const la::Matrix x = PointsAsMatrix(data);
+  // all = X A Xᵀ, one n x n pass.
+  RADB_ASSIGN_OR_RETURN(la::Matrix xa, la::Multiply(x, data.metric));
+  RADB_ASSIGN_OR_RETURN(la::Matrix all, la::Multiply(xa, la::Transpose(x)));
+  DistanceAnswer best;
+  best.value = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < data.n; ++i) {
+    double min_d = std::numeric_limits<double>::infinity();
+    for (size_t j = 0; j < data.n; ++j) {
+      if (j == i) continue;
+      min_d = std::min(min_d, all.At(i, j));
+    }
+    if (min_d > best.value) {
+      best.value = min_d;
+      best.point_id = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace radb::workloads

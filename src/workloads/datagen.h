@@ -1,0 +1,50 @@
+#ifndef RADB_WORKLOADS_DATAGEN_H_
+#define RADB_WORKLOADS_DATAGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "la/matrix.h"
+#include "la/vector.h"
+
+namespace radb::workloads {
+
+/// The synthetic dense dataset the paper's experiments use (§5:
+/// "All data sets were dense, and all data were synthetic"): n points
+/// of dimensionality d, regression outcomes, and an SPD Riemannian
+/// metric for the distance computation.
+struct Dataset {
+  size_t n = 0;
+  size_t d = 0;
+  std::vector<la::Vector> points;  // n vectors of length d
+  std::vector<double> outcomes;    // y_i
+  la::Matrix metric;               // d x d, symmetric positive definite
+};
+
+/// Deterministic generator (same seed -> same data across platforms,
+/// so results can be cross-checked bit-for-bit).
+Dataset GenerateDataset(uint64_t seed, size_t n, size_t d);
+
+/// Points stacked into an n x d matrix (row = point).
+la::Matrix PointsAsMatrix(const Dataset& data);
+
+// --- Single-node reference implementations (ground truth) ----------
+
+/// G = XᵀX.
+la::Matrix ReferenceGram(const Dataset& data);
+
+/// β̂ = (XᵀX)⁻¹ Xᵀy.
+Result<la::Vector> ReferenceLinReg(const Dataset& data);
+
+/// The paper's distance computation: for each i, m_i = min_{j≠i}
+/// x_iᵀ A x_j; report argmax_i m_i and the max value.
+struct DistanceAnswer {
+  size_t point_id = 0;
+  double value = 0.0;
+};
+Result<DistanceAnswer> ReferenceDistance(const Dataset& data);
+
+}  // namespace radb::workloads
+
+#endif  // RADB_WORKLOADS_DATAGEN_H_

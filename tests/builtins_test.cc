@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "api/database.h"
+#include "common/rng.h"
+#include "la/random.h"
+
+namespace radb {
+namespace {
+
+/// Exercises every registered built-in through SQL end to end.
+class BuiltinsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(55);
+    mat_ = la::Matrix(3, 3, {4, 1, 0, 1, 5, 2, 0, 2, 6});  // SPD
+    rect_ = la::RandomMatrix(rng, 2, 4);
+    vec_ = la::Vector(std::vector<double>{1, -2, 3});
+    ASSERT_TRUE(db_.ExecuteSql("CREATE TABLE d (m MATRIX[3][3], "
+                               "r MATRIX[2][4], v VECTOR[3], s DOUBLE, "
+                               "i INTEGER)")
+                    .ok());
+    ASSERT_TRUE(db_.BulkInsert("d", {{Value::FromMatrix(mat_),
+                                      Value::FromMatrix(rect_),
+                                      Value::FromVector(vec_),
+                                      Value::Double(-2.25),
+                                      Value::Int(2)}})
+                    .ok());
+  }
+
+  Result<Value> Eval(const std::string& expr) {
+    auto rs = db_.ExecuteSql("SELECT " + expr + " FROM d");
+    if (!rs.ok()) return rs.status();
+    return rs->at(0, 0);
+  }
+
+  Database db_;
+  la::Matrix mat_, rect_;
+  la::Vector vec_;
+};
+
+TEST_F(BuiltinsTest, MultiplicationFamily) {
+  auto mm = Eval("matrix_multiply(m, m)");
+  ASSERT_TRUE(mm.ok());
+  auto expected = la::Multiply(mat_, mat_);
+  EXPECT_LT(mm->matrix().MaxAbsDiff(*expected), 1e-12);
+
+  auto mvm = Eval("matrix_vector_multiply(m, v)");
+  ASSERT_TRUE(mvm.ok());
+  EXPECT_LT(mvm->vector().MaxAbsDiff(
+                *la::MatrixVectorMultiply(mat_, vec_)),
+            1e-12);
+
+  auto vmm = Eval("vector_matrix_multiply(v, m)");
+  ASSERT_TRUE(vmm.ok());
+  EXPECT_LT(vmm->vector().MaxAbsDiff(
+                *la::VectorMatrixMultiply(vec_, mat_)),
+            1e-12);
+
+  auto outer = Eval("outer_product(v, v)");
+  ASSERT_TRUE(outer.ok());
+  EXPECT_DOUBLE_EQ(outer->matrix().At(2, 1), -6.0);
+
+  auto inner = Eval("inner_product(v, v)");
+  ASSERT_TRUE(inner.ok());
+  EXPECT_DOUBLE_EQ(inner->double_value(), 1 + 4 + 9);
+}
+
+TEST_F(BuiltinsTest, StructureFamily) {
+  auto t = Eval("trans_matrix(r)");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->matrix().rows(), 4u);
+  EXPECT_LT(t->matrix().MaxAbsDiff(la::Transpose(rect_)), 1e-12);
+
+  auto inv = Eval("matrix_multiply(matrix_inverse(m), m)");
+  ASSERT_TRUE(inv.ok());
+  EXPECT_LT(inv->matrix().MaxAbsDiff(la::Matrix::Identity(3)), 1e-10);
+
+  auto solve = Eval("matrix_solve(m, v)");
+  ASSERT_TRUE(solve.ok());
+  EXPECT_LT(solve->vector().MaxAbsDiff(*la::Solve(mat_, vec_)), 1e-12);
+
+  auto diag = Eval("diag(m)");
+  ASSERT_TRUE(diag.ok());
+  EXPECT_EQ(diag->vector().values(), (std::vector<double>{4, 5, 6}));
+
+  auto dm = Eval("diag(diag_matrix(v))");
+  ASSERT_TRUE(dm.ok());
+  EXPECT_EQ(dm->vector().values(), vec_.values());
+
+  EXPECT_DOUBLE_EQ(Eval("trace(m)")->double_value(), 15.0);
+  auto det = Eval("determinant(m)");
+  ASSERT_TRUE(det.ok());
+  EXPECT_NEAR(det->double_value(), *la::Determinant(mat_), 1e-10);
+
+  auto rm = Eval("row_matrix(v)");
+  ASSERT_TRUE(rm.ok());
+  EXPECT_EQ(rm->matrix().rows(), 1u);
+  EXPECT_EQ(rm->matrix().cols(), 3u);
+  auto cm = Eval("col_matrix(v)");
+  ASSERT_TRUE(cm.ok());
+  EXPECT_EQ(cm->matrix().rows(), 3u);
+  EXPECT_EQ(cm->matrix().cols(), 1u);
+  // row vector x matrix via row_matrix, as §3.1 describes.
+  auto rv = Eval("matrix_multiply(row_matrix(v), m)");
+  ASSERT_TRUE(rv.ok());
+  EXPECT_LT(rv->matrix().Row(0).MaxAbsDiff(
+                *la::VectorMatrixMultiply(vec_, mat_)),
+            1e-12);
+}
+
+TEST_F(BuiltinsTest, CholeskyFamily) {
+  auto l = Eval("cholesky(m)");
+  ASSERT_TRUE(l.ok()) << l.status();
+  auto llt = la::Multiply(l->matrix(), la::Transpose(l->matrix()));
+  ASSERT_TRUE(llt.ok());
+  EXPECT_LT(llt->MaxAbsDiff(mat_), 1e-10);
+  auto x = Eval("matrix_solve_spd(m, v)");
+  ASSERT_TRUE(x.ok());
+  EXPECT_LT(x->vector().MaxAbsDiff(*la::Solve(mat_, vec_)), 1e-10);
+  // Indefinite input is a numeric error.
+  ASSERT_TRUE(db_.ExecuteSql("CREATE TABLE ind (m MATRIX[2][2])").ok());
+  ASSERT_TRUE(db_.BulkInsert("ind", {{Value::FromMatrix(
+                                     la::Matrix(2, 2, {1, 2, 2, 1}))}})
+                  .ok());
+  EXPECT_EQ(db_.ExecuteSql("SELECT cholesky(m) FROM ind").status().code(),
+            StatusCode::kNumericError);
+}
+
+TEST_F(BuiltinsTest, LabelFamily) {
+  auto ls = Eval("label_scalar(s, i)");
+  ASSERT_TRUE(ls.ok());
+  EXPECT_DOUBLE_EQ(ls->labeled().value, -2.25);
+  EXPECT_EQ(ls->labeled().label, 2);
+  EXPECT_EQ(Eval("get_label(label_scalar(s, i))")->int_value(), 2);
+  EXPECT_DOUBLE_EQ(Eval("labeled_value(label_scalar(s, i))")->double_value(),
+                   -2.25);
+  EXPECT_EQ(Eval("get_vector_label(v)")->int_value(), -1);  // default
+  EXPECT_EQ(Eval("get_vector_label(label_vector(v, 9))")->int_value(), 9);
+  EXPECT_DOUBLE_EQ(Eval("get_scalar(v, 2)")->double_value(), 3.0);
+  EXPECT_FALSE(Eval("get_scalar(v, 3)").ok());
+  EXPECT_FALSE(Eval("get_scalar(v, 0 - 1)").ok());
+}
+
+TEST_F(BuiltinsTest, ElementAccessFamily) {
+  EXPECT_DOUBLE_EQ(Eval("get_entry(m, 1, 2)")->double_value(), 2.0);
+  EXPECT_FALSE(Eval("get_entry(m, 3, 0)").ok());
+  auto row = Eval("get_row(m, 1)");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->vector().values(), (std::vector<double>{1, 5, 2}));
+  auto col = Eval("get_col(m, 0)");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col->vector().values(), (std::vector<double>{4, 1, 0}));
+  EXPECT_FALSE(Eval("get_row(m, 5)").ok());
+  EXPECT_FALSE(Eval("get_col(m, 5)").ok());
+}
+
+TEST_F(BuiltinsTest, ConstructorsFamily) {
+  auto id = Eval("identity_matrix(4)");
+  ASSERT_TRUE(id.ok());
+  EXPECT_LT(id->matrix().MaxAbsDiff(la::Matrix::Identity(4)), 1e-15);
+  auto z = Eval("zeros_matrix(2, 5)");
+  ASSERT_TRUE(z.ok());
+  EXPECT_EQ(z->matrix().rows(), 2u);
+  EXPECT_EQ(z->matrix().cols(), 5u);
+  EXPECT_DOUBLE_EQ(z->matrix().Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(Eval("sum_vector(ones_vector(7))")->double_value(), 7.0);
+  EXPECT_DOUBLE_EQ(Eval("sum_vector(zeros_vector(7))")->double_value(), 0.0);
+  EXPECT_FALSE(Eval("zeros_vector(0 - 2)").ok());
+  EXPECT_FALSE(Eval("identity_matrix(0 - 1)").ok());
+}
+
+TEST_F(BuiltinsTest, IntrospectionAndReductions) {
+  EXPECT_EQ(Eval("vector_size(v)")->int_value(), 3);
+  EXPECT_EQ(Eval("matrix_rows(r)")->int_value(), 2);
+  EXPECT_EQ(Eval("matrix_cols(r)")->int_value(), 4);
+  EXPECT_DOUBLE_EQ(Eval("sum_vector(v)")->double_value(), 2.0);
+  EXPECT_DOUBLE_EQ(Eval("min_vector(v)")->double_value(), -2.0);
+  EXPECT_DOUBLE_EQ(Eval("max_vector(v)")->double_value(), 3.0);
+  EXPECT_EQ(Eval("argmin_vector(v)")->int_value(), 1);
+  EXPECT_EQ(Eval("argmax_vector(v)")->int_value(), 2);
+  EXPECT_NEAR(Eval("norm2(v)")->double_value(), std::sqrt(14.0), 1e-12);
+  EXPECT_DOUBLE_EQ(Eval("sum_matrix(m)")->double_value(), mat_.Sum());
+  EXPECT_DOUBLE_EQ(Eval("min_matrix(m)")->double_value(), 0.0);
+  EXPECT_DOUBLE_EQ(Eval("max_matrix(m)")->double_value(), 6.0);
+  EXPECT_NEAR(Eval("norm_f(m)")->double_value(), mat_.NormF(), 1e-12);
+  auto rmins = Eval("row_mins(m)");
+  ASSERT_TRUE(rmins.ok());
+  EXPECT_EQ(rmins->vector().values(), (std::vector<double>{0, 1, 0}));
+  auto rmaxs = Eval("row_maxs(m)");
+  ASSERT_TRUE(rmaxs.ok());
+  EXPECT_EQ(rmaxs->vector().values(), (std::vector<double>{4, 5, 6}));
+}
+
+TEST_F(BuiltinsTest, ScalarMathFamily) {
+  EXPECT_DOUBLE_EQ(Eval("abs_val(s)")->double_value(), 2.25);
+  EXPECT_DOUBLE_EQ(Eval("sqrt_val(abs_val(s) + 1.75)")->double_value(), 2.0);
+  EXPECT_FALSE(Eval("sqrt_val(s)").ok());  // negative
+  EXPECT_NEAR(Eval("ln_val(exp_val(1.5))")->double_value(), 1.5, 1e-12);
+  EXPECT_FALSE(Eval("ln_val(0.0)").ok());
+  EXPECT_DOUBLE_EQ(Eval("eq_indicator(i, 2)")->double_value(), 1.0);
+  EXPECT_DOUBLE_EQ(Eval("eq_indicator(i, 3)")->double_value(), 0.0);
+}
+
+TEST_F(BuiltinsTest, NullStrictness) {
+  // NULL anywhere in the arguments yields NULL (no evaluation).
+  ASSERT_TRUE(db_.ExecuteSql("CREATE TABLE n (m MATRIX[3][3], "
+                             "v VECTOR[3])")
+                  .ok());
+  ASSERT_TRUE(
+      db_.BulkInsert("n", {{Value::Null(), Value::FromVector(vec_)}}).ok());
+  auto rs =
+      db_.ExecuteSql("SELECT matrix_vector_multiply(m, v) FROM n");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  EXPECT_TRUE(rs->at(0, 0).is_null());
+}
+
+TEST_F(BuiltinsTest, ArityErrors) {
+  EXPECT_EQ(Eval("diag(m, m)").status().code(), StatusCode::kTypeError);
+  EXPECT_EQ(Eval("matrix_multiply(m)").status().code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(Eval("inner_product(v)").status().code(),
+            StatusCode::kTypeError);
+}
+
+}  // namespace
+}  // namespace radb

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace radb {
+namespace {
+
+TEST(StatusTest, CodesAndMessages) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status s = Status::TypeError("bad type");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+  EXPECT_EQ(s.message(), "bad type");
+  EXPECT_EQ(s.ToString(), "TypeError: bad type");
+  EXPECT_EQ(s, Status::TypeError("bad type"));
+  EXPECT_FALSE(s == Status::TypeError("other"));
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument,
+        StatusCode::kParseError, StatusCode::kBindError,
+        StatusCode::kTypeError, StatusCode::kCatalogError,
+        StatusCode::kExecutionError, StatusCode::kDimensionMismatch,
+        StatusCode::kNumericError, StatusCode::kNotImplemented,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x * 2;
+}
+
+Result<int> Chained(int x) {
+  RADB_ASSIGN_OR_RETURN(int doubled, ParsePositive(x));
+  return doubled + 1;
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> ok = ParsePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> err = ParsePositive(-1);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(Chained(5).value(), 11);
+  EXPECT_FALSE(Chained(0).ok());
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(RngTest, DeterministicAndWellDistributed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  Rng d(123);
+  (void)d.NextUint64();
+  EXPECT_NE(d.NextUint64(), c.NextUint64());
+
+  // Uniform doubles stay in [0, 1) and vary.
+  Rng r(7);
+  std::set<uint64_t> buckets;
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+    buckets.insert(static_cast<uint64_t>(x * 16));
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+  EXPECT_EQ(buckets.size(), 16u);  // every bucket hit
+}
+
+TEST(RngTest, UniformAndBelow) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.Uniform(-3.0, 5.0);
+    ASSERT_GE(x, -3.0);
+    ASSERT_LT(x, 5.0);
+    const uint64_t n = r.NextBelow(7);
+    ASSERT_LT(n, 7u);
+  }
+  EXPECT_EQ(r.NextBelow(0), 0u);
+}
+
+TEST(StringUtilTest, ToLowerAndJoin) {
+  EXPECT_EQ(ToLower("MiXeD_123"), "mixed_123");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, "-"), "a-b-c");
+}
+
+TEST(StringUtilTest, FormatHms) {
+  EXPECT_EQ(FormatHms(0.0042), "4.20ms");
+  EXPECT_EQ(FormatHms(1.5), "1.50s");
+  EXPECT_EQ(FormatHms(65.0), "00:01:05");
+  EXPECT_EQ(FormatHms(3 * 3600 + 19 * 60 + 45), "03:19:45");
+}
+
+TEST(StringUtilTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512.00 B");
+  EXPECT_EQ(FormatBytes(80.0 * 1024 * 1024), "80.00 MiB");
+  EXPECT_EQ(FormatBytes(3.5 * 1024 * 1024 * 1024), "3.50 GiB");
+}
+
+}  // namespace
+}  // namespace radb

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "api/database.h"
+#include "common/rng.h"
+#include "dsl/expr.h"
+#include "la/random.h"
+
+namespace radb::dsl {
+namespace {
+
+class DslTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(31);
+    a_ = la::RandomMatrix(rng, 6, 4);
+    b_ = la::RandomMatrix(rng, 4, 9);
+    c_ = la::RandomMatrix(rng, 9, 2);
+    spd_ = la::RandomSpdMatrix(rng, 4);
+    ASSERT_TRUE(db_.ExecuteSql("CREATE TABLE a (mat MATRIX[6][4]);"
+                               "CREATE TABLE b (mat MATRIX[4][9]);"
+                               "CREATE TABLE c (mat MATRIX[9][2]);"
+                               "CREATE TABLE s (mat MATRIX[4][4])")
+                    .ok());
+    ASSERT_TRUE(db_.BulkInsert("a", {{Value::FromMatrix(a_)}}).ok());
+    ASSERT_TRUE(db_.BulkInsert("b", {{Value::FromMatrix(b_)}}).ok());
+    ASSERT_TRUE(db_.BulkInsert("c", {{Value::FromMatrix(c_)}}).ok());
+    ASSERT_TRUE(db_.BulkInsert("s", {{Value::FromMatrix(spd_)}}).ok());
+  }
+
+  Database db_;
+  la::Matrix a_, b_, c_, spd_;
+};
+
+TEST_F(DslTest, ChainMultiplyMatchesDense) {
+  Expr e = Expr::Ref("a", "mat") * Expr::Ref("b", "mat") *
+           Expr::Ref("c", "mat");
+  auto result = e.Eval(&db_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto ab = la::Multiply(a_, b_);
+  ASSERT_TRUE(ab.ok());
+  auto abc = la::Multiply(*ab, c_);
+  ASSERT_TRUE(abc.ok());
+  EXPECT_LT(result->MaxAbsDiff(*abc), 1e-9);
+}
+
+TEST_F(DslTest, ChainReassociationReducesCost) {
+  // a (6x4) * b (4x9) * c (9x2): left-to-right costs
+  // 6*4*9 + 6*9*2 = 324; the optimal order (a * (b * c)) costs
+  // 4*9*2 + 6*4*2 = 120.
+  Expr chain = Expr::Ref("a", "mat") * Expr::Ref("b", "mat") *
+               Expr::Ref("c", "mat");
+  auto cost = chain.MultiplyCost(db_.catalog());
+  ASSERT_TRUE(cost.ok());
+  EXPECT_DOUBLE_EQ(*cost, 120.0);
+  auto sql = chain.ToSql(db_.catalog());
+  ASSERT_TRUE(sql.ok());
+  // The emitted SQL parenthesizes b*c first.
+  EXPECT_NE(sql->find("matrix_multiply(d0.mat, matrix_multiply(d1.mat, "
+                      "d2.mat))"),
+            std::string::npos)
+      << *sql;
+}
+
+TEST_F(DslTest, TypeInferenceAndErrors) {
+  Expr good = Expr::Ref("a", "mat") * Expr::Ref("b", "mat");
+  auto t = good.InferType(db_.catalog());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->ToString(), "MATRIX[6][9]");
+  // Inner-dim mismatch caught before any SQL runs.
+  Expr bad = Expr::Ref("b", "mat") * Expr::Ref("a", "mat");
+  EXPECT_EQ(bad.ToSql(db_.catalog()).status().code(),
+            StatusCode::kTypeError);
+  // Non-square inverse rejected.
+  EXPECT_FALSE(Expr::Ref("a", "mat").Inv().ToSql(db_.catalog()).ok());
+  // Unknown table / column.
+  EXPECT_FALSE(Expr::Ref("zz", "mat").ToSql(db_.catalog()).ok());
+  EXPECT_FALSE(Expr::Ref("a", "zz").ToSql(db_.catalog()).ok());
+}
+
+TEST_F(DslTest, TransposeInverseAndElementWise) {
+  // (aᵀ a)⁻¹ — a well-conditioned normal-equation kernel.
+  Expr a = Expr::Ref("a", "mat");
+  Expr e = (a.T() * a).Inv();
+  auto result = e.Eval(&db_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  la::Matrix ata = la::TransposeSelfMultiply(a_);
+  auto expected = la::Inverse(ata);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_LT(result->MaxAbsDiff(*expected), 1e-8);
+
+  // Element-wise ops and scaling.
+  Expr s = Expr::Ref("s", "mat");
+  Expr mixed = (s + s).Hadamard(s) - s.Scale(3.0);
+  auto got = mixed.Eval(&db_);
+  ASSERT_TRUE(got.ok()) << got.status();
+  la::Matrix expected2(spd_.rows(), spd_.cols());
+  for (size_t i = 0; i < spd_.rows(); ++i) {
+    for (size_t j = 0; j < spd_.cols(); ++j) {
+      const double v = spd_.At(i, j);
+      expected2.At(i, j) = 2 * v * v - 3 * v;
+    }
+  }
+  EXPECT_LT(got->MaxAbsDiff(expected2), 1e-9);
+}
+
+TEST_F(DslTest, SameTableReferencedTwice) {
+  Expr s = Expr::Ref("s", "mat");
+  Expr e = s * s;
+  auto result = e.Eval(&db_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto expected = la::Multiply(spd_, spd_);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_LT(result->MaxAbsDiff(*expected), 1e-9);
+  // Only one FROM entry is emitted for the shared table.
+  auto sql = e.ToSql(db_.catalog());
+  ASSERT_TRUE(sql.ok());
+  EXPECT_EQ(sql->find("s AS d0"), sql->rfind("s AS d0")) << *sql;
+}
+
+TEST_F(DslTest, LongChainPicksGlobalOptimum) {
+  // Five-factor chain with strongly skewed dims; verify both the
+  // result and that the cost equals the DP optimum computed here.
+  Database db;
+  Rng rng(77);
+  const std::vector<std::pair<size_t, size_t>> shapes = {
+      {30, 1}, {1, 40}, {40, 10}, {10, 25}, {25, 6}};
+  std::vector<la::Matrix> mats;
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    mats.push_back(
+        la::RandomMatrix(rng, shapes[i].first, shapes[i].second));
+    ASSERT_TRUE(db.ExecuteSql("CREATE TABLE m" + std::to_string(i) +
+                              " (mat MATRIX[" +
+                              std::to_string(shapes[i].first) + "][" +
+                              std::to_string(shapes[i].second) + "])")
+                    .ok());
+    ASSERT_TRUE(db.BulkInsert("m" + std::to_string(i),
+                              {{Value::FromMatrix(mats[i])}})
+                    .ok());
+  }
+  Expr chain = Expr::Ref("m0", "mat");
+  la::Matrix expected = mats[0];
+  for (size_t i = 1; i < mats.size(); ++i) {
+    chain = chain * Expr::Ref("m" + std::to_string(i), "mat");
+    auto next = la::Multiply(expected, mats[i]);
+    ASSERT_TRUE(next.ok());
+    expected = std::move(next).value();
+  }
+  auto result = chain.Eval(&db);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_LT(result->MaxAbsDiff(expected), 1e-8);
+
+  // Reference DP over the dimension sequence.
+  std::vector<double> p = {30, 1, 40, 10, 25, 6};
+  const size_t k = 5;
+  std::vector<std::vector<double>> dp(k, std::vector<double>(k, 0));
+  for (size_t len = 2; len <= k; ++len) {
+    for (size_t i = 0; i + len <= k; ++i) {
+      const size_t j = i + len - 1;
+      dp[i][j] = 1e300;
+      for (size_t s = i; s < j; ++s) {
+        dp[i][j] = std::min(
+            dp[i][j], dp[i][s] + dp[s + 1][j] + p[i] * p[s + 1] * p[j + 1]);
+      }
+    }
+  }
+  auto cost = chain.MultiplyCost(db.catalog());
+  ASSERT_TRUE(cost.ok());
+  EXPECT_DOUBLE_EQ(*cost, dp[0][k - 1]);
+}
+
+TEST_F(DslTest, EmittedSqlTypeChecksInTheDatabase) {
+  // The normal-equation kernel (XᵀX)⁻¹Xᵀy with X = a (6x4) and a
+  // 6x3 outcome matrix; the DSL's output must pass the SQL binder's
+  // own dimension checks and carry exact output dims.
+  ASSERT_TRUE(db_.ExecuteSql("CREATE TABLE y6 (mat MATRIX[6][3])").ok());
+  Rng rng(99);
+  ASSERT_TRUE(db_.BulkInsert(
+                    "y6", {{Value::FromMatrix(la::RandomMatrix(rng, 6, 3))}})
+                  .ok());
+  Expr a = Expr::Ref("a", "mat");
+  Expr e = (a.T() * a).Inv() * a.T() * Expr::Ref("y6", "mat");
+  auto sql = e.ToSql(db_.catalog());
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  auto plan = db_.PlanQuery(*sql);
+  ASSERT_TRUE(plan.ok()) << plan.status() << "\nSQL: " << *sql;
+  EXPECT_EQ((*plan)->output[0].type.ToString(), "MATRIX[4][3]");
+}
+
+}  // namespace
+}  // namespace radb::dsl

@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engines/scidb/array.h"
+#include "engines/spark/block_matrix.h"
+#include "engines/spark/rdd.h"
+#include "engines/systemml/dml.h"
+#include "la/random.h"
+
+namespace radb {
+namespace {
+
+// ------------------------- Spark-style --------------------------------
+
+TEST(SparkRddTest, MapFilterReduceCollect) {
+  spark::SparkContext ctx(4);
+  std::vector<int64_t> data;
+  for (int64_t i = 1; i <= 100; ++i) data.push_back(i);
+  auto rdd = spark::Rdd<int64_t>::Parallelize(&ctx, data);
+  EXPECT_EQ(rdd.Count(), 100u);
+  auto doubled = rdd.Map([](int64_t x) { return x * 2; });
+  auto evens = doubled.Filter([](int64_t x) { return x % 4 == 0; });
+  EXPECT_EQ(evens.Count(), 50u);
+  auto sum = rdd.Reduce([](int64_t a, int64_t b) { return a + b; });
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, 5050);
+  EXPECT_GT(ctx.metrics().operators.size(), 0u);
+}
+
+TEST(SparkRddTest, ReduceOnEmptyIsError) {
+  spark::SparkContext ctx(2);
+  auto rdd = spark::Rdd<int64_t>::Parallelize(&ctx, {});
+  EXPECT_FALSE(rdd.Reduce([](int64_t a, int64_t b) { return a + b; }).ok());
+}
+
+TEST(SparkRddTest, AggregateMatchesReduce) {
+  spark::SparkContext ctx(3);
+  std::vector<int64_t> data;
+  for (int64_t i = 1; i <= 30; ++i) data.push_back(i);
+  auto rdd = spark::Rdd<int64_t>::Parallelize(&ctx, data);
+  auto agg = rdd.Aggregate<int64_t>(
+      0, [](int64_t acc, int64_t x) { return acc + x; },
+      [](int64_t a, int64_t b) { return a + b; });
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(*agg, 465);
+}
+
+TEST(SparkBlockMatrixTest, MultiplyMatchesDense) {
+  spark::SparkContext ctx(4);
+  Rng rng(5);
+  la::Matrix a = la::RandomMatrix(rng, 12, 8);
+  la::Matrix b = la::RandomMatrix(rng, 8, 10);
+  auto ab = spark::BlockMatrix::FromDense(&ctx, a, 3, 3);
+  auto bb = spark::BlockMatrix::FromDense(&ctx, b, 3, 3);
+  auto prod = ab.Multiply(bb);
+  ASSERT_TRUE(prod.ok()) << prod.status();
+  auto local = prod->ToLocal();
+  ASSERT_TRUE(local.ok());
+  auto expected = la::Multiply(a, b);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_LT(local->MaxAbsDiff(*expected), 1e-9);
+  // Shuffle bytes were charged.
+  EXPECT_GT(ctx.metrics().TotalBytesShuffled(), 0u);
+}
+
+TEST(SparkBlockMatrixTest, TransposeAndIndexedRows) {
+  spark::SparkContext ctx(3);
+  Rng rng(6);
+  la::Matrix a = la::RandomMatrix(rng, 7, 5);
+  auto ab = spark::BlockMatrix::FromDense(&ctx, a, 2, 2);
+  auto t = ab.Transpose().ToLocal();
+  ASSERT_TRUE(t.ok());
+  EXPECT_LT(t->MaxAbsDiff(la::Transpose(a)), 1e-12);
+  auto rows = ab.ToIndexedRows().Collect();
+  EXPECT_EQ(rows.size(), 7u);
+  for (const auto& [idx, vec] : rows) {
+    EXPECT_LT(vec.MaxAbsDiff(a.Row(idx)), 1e-12);
+  }
+}
+
+TEST(SparkBlockMatrixTest, IncompatibleShapesRejected) {
+  spark::SparkContext ctx(2);
+  auto a = spark::BlockMatrix::FromDense(&ctx, la::Matrix(4, 4), 2, 2);
+  auto b = spark::BlockMatrix::FromDense(&ctx, la::Matrix(5, 4), 2, 2);
+  EXPECT_FALSE(a.Multiply(b).ok());
+}
+
+TEST(SparkBlockMatrixTest, RaggedBlocksStillCorrect) {
+  // Block size that does not divide the matrix dims.
+  spark::SparkContext ctx(3);
+  Rng rng(41);
+  la::Matrix a = la::RandomMatrix(rng, 7, 5);
+  la::Matrix b = la::RandomMatrix(rng, 5, 9);
+  auto ab = spark::BlockMatrix::FromDense(&ctx, a, 3, 2);
+  auto bb = spark::BlockMatrix::FromDense(&ctx, b, 2, 4);
+  auto prod = ab.Multiply(bb);
+  ASSERT_TRUE(prod.ok()) << prod.status();
+  auto local = prod->ToLocal();
+  ASSERT_TRUE(local.ok());
+  auto expected = la::Multiply(a, b);
+  EXPECT_LT(local->MaxAbsDiff(*expected), 1e-10);
+}
+
+TEST(SparkRddTest, MaxByPicksGlobalMax) {
+  spark::SparkContext ctx(4);
+  std::vector<std::pair<int64_t, double>> data;
+  for (int i = 0; i < 50; ++i) {
+    data.emplace_back(i, (i * 37 % 50) * 1.0);
+  }
+  auto rdd =
+      spark::Rdd<std::pair<int64_t, double>>::Parallelize(&ctx, data);
+  auto best = rdd.MaxBy([](const auto& a, const auto& b) {
+    return a.second < b.second;
+  });
+  ASSERT_TRUE(best.ok());
+  EXPECT_DOUBLE_EQ(best->second, 49.0);
+}
+
+// ------------------------- SciDB-style --------------------------------
+
+TEST(SciDbTest, GemmMatchesDense) {
+  scidb::ArrayContext ctx(4);
+  Rng rng(7);
+  la::Matrix a = la::RandomMatrix(rng, 9, 6);
+  la::Matrix b = la::RandomMatrix(rng, 6, 11);
+  auto aa = scidb::Array2D::FromDense(&ctx, a, 4);
+  auto bb = scidb::Array2D::FromDense(&ctx, b, 4);
+  auto zero = scidb::Array2D::Build(&ctx, 9, 11, 4);
+  auto prod = scidb::Gemm(aa, bb, zero);
+  ASSERT_TRUE(prod.ok()) << prod.status();
+  auto dense = prod->ToDense();
+  ASSERT_TRUE(dense.ok());
+  auto expected = la::Multiply(a, b);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_LT(dense->MaxAbsDiff(*expected), 1e-9);
+}
+
+TEST(SciDbTest, GemmAddsC) {
+  scidb::ArrayContext ctx(2);
+  la::Matrix a(2, 2, {1, 0, 0, 1});
+  la::Matrix c(2, 2, {5, 5, 5, 5});
+  auto aa = scidb::Array2D::FromDense(&ctx, a, 2);
+  auto cc = scidb::Array2D::FromDense(&ctx, c, 2);
+  auto out = scidb::Gemm(aa, aa, cc);
+  ASSERT_TRUE(out.ok());
+  auto dense = out->ToDense();
+  ASSERT_TRUE(dense.ok());
+  EXPECT_DOUBLE_EQ(dense->At(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(dense->At(0, 1), 5.0);
+}
+
+TEST(SciDbTest, TransposeFilterMinRows) {
+  scidb::ArrayContext ctx(3);
+  Rng rng(8);
+  la::Matrix a = la::RandomMatrix(rng, 6, 6);
+  auto arr = scidb::Array2D::FromDense(&ctx, a, 2);
+  auto t = scidb::Transpose(arr);
+  ASSERT_TRUE(t.ok());
+  auto td = t->ToDense();
+  ASSERT_TRUE(td.ok());
+  EXPECT_LT(td->MaxAbsDiff(la::Transpose(a)), 1e-12);
+
+  constexpr double kEmpty = 1e300;
+  auto filtered = scidb::FilterCells(
+      arr, [](size_t i, size_t j, double) { return i != j; }, kEmpty);
+  ASSERT_TRUE(filtered.ok());
+  auto mins = scidb::MinOverRows(*filtered, kEmpty);
+  ASSERT_TRUE(mins.ok());
+  for (size_t i = 0; i < 6; ++i) {
+    double expected = 1e308;
+    for (size_t j = 0; j < 6; ++j) {
+      if (j != i) expected = std::min(expected, a.At(i, j));
+    }
+    EXPECT_DOUBLE_EQ((*mins)[i], expected);
+  }
+}
+
+TEST(SciDbTest, ChunkMismatchRejected) {
+  scidb::ArrayContext ctx(2);
+  auto a = scidb::Array2D::FromDense(&ctx, la::Matrix(4, 4), 2);
+  auto b = scidb::Array2D::FromDense(&ctx, la::Matrix(4, 4), 3);
+  auto zero = scidb::Array2D::Build(&ctx, 4, 4, 2);
+  EXPECT_FALSE(scidb::Gemm(a, b, zero).ok());
+}
+
+TEST(SciDbTest, BuildFillsUniformly) {
+  scidb::ArrayContext ctx(2);
+  auto arr = scidb::Array2D::Build(&ctx, 5, 7, 3, 2.5);
+  auto dense = arr.ToDense();
+  ASSERT_TRUE(dense.ok());
+  EXPECT_EQ(dense->rows(), 5u);
+  EXPECT_EQ(dense->cols(), 7u);
+  EXPECT_DOUBLE_EQ(dense->Min(), 2.5);
+  EXPECT_DOUBLE_EQ(dense->Max(), 2.5);
+}
+
+TEST(SciDbTest, MaxOfVectorAndEmpty) {
+  scidb::ArrayContext ctx(2);
+  la::Vector v(std::vector<double>{3, 9, 1});
+  auto mx = scidb::MaxOfVector(&ctx, v);
+  ASSERT_TRUE(mx.ok());
+  EXPECT_DOUBLE_EQ(*mx, 9.0);
+  EXPECT_FALSE(scidb::MaxOfVector(&ctx, la::Vector()).ok());
+}
+
+// ------------------------- SystemML-style -----------------------------
+
+systemml::DmlConfig SmallClusterConfig() {
+  systemml::DmlConfig config;
+  config.num_workers = 4;
+  config.block_size = 4;
+  config.local_threshold_bytes = 256;  // force distribution in tests
+  return config;
+}
+
+TEST(SystemMlTest, TsmmMatchesDense) {
+  systemml::DmlContext ctx(SmallClusterConfig());
+  Rng rng(9);
+  la::Matrix x = la::RandomMatrix(rng, 20, 4);
+  auto xd = systemml::DmlMatrix::FromDense(&ctx, x);
+  EXPECT_FALSE(xd.IsLocal());
+  auto gram = xd.Tsmm();
+  ASSERT_TRUE(gram.ok()) << gram.status();
+  auto dense = gram->ToDense();
+  ASSERT_TRUE(dense.ok());
+  EXPECT_LT(dense->MaxAbsDiff(la::TransposeSelfMultiply(x)), 1e-9);
+}
+
+TEST(SystemMlTest, LocalModeForSmallOperands) {
+  systemml::DmlConfig config;
+  config.local_threshold_bytes = 1 << 20;
+  systemml::DmlContext ctx(config);
+  la::Matrix x(10, 3, 1.0);
+  auto xd = systemml::DmlMatrix::FromDense(&ctx, x);
+  EXPECT_TRUE(xd.IsLocal());
+  ctx.ResetMetrics();
+  auto gram = xd.Tsmm();
+  ASSERT_TRUE(gram.ok());
+  // Local mode: no shuffle at all (the paper's starred entries).
+  EXPECT_EQ(ctx.metrics().TotalBytesShuffled(), 0u);
+}
+
+TEST(SystemMlTest, MultiplyMatchesDense) {
+  systemml::DmlContext ctx(SmallClusterConfig());
+  Rng rng(10);
+  la::Matrix a = la::RandomMatrix(rng, 10, 6);
+  la::Matrix b = la::RandomMatrix(rng, 6, 9);
+  auto ad = systemml::DmlMatrix::FromDense(&ctx, a);
+  auto bd = systemml::DmlMatrix::FromDense(&ctx, b);
+  auto prod = ad.Multiply(bd);
+  ASSERT_TRUE(prod.ok()) << prod.status();
+  auto dense = prod->ToDense();
+  ASSERT_TRUE(dense.ok());
+  auto expected = la::Multiply(a, b);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_LT(dense->MaxAbsDiff(*expected), 1e-9);
+}
+
+TEST(SystemMlTest, RowMinsDiagIndexMax) {
+  systemml::DmlContext ctx(SmallClusterConfig());
+  la::Matrix a(3, 3, {5, 1, 9, 2, 8, 4, 7, 3, 6});
+  auto ad = systemml::DmlMatrix::FromDense(&ctx, a);
+  auto mins = ad.RowMins();
+  ASSERT_TRUE(mins.ok());
+  EXPECT_EQ(mins->values(), (std::vector<double>{1, 2, 3}));
+  auto diag = ad.Diag();
+  ASSERT_TRUE(diag.ok());
+  EXPECT_EQ(diag->values(), (std::vector<double>{5, 8, 6}));
+  la::Vector bump(std::vector<double>{100, 0, 0});
+  auto bumped = ad.AddToDiagonal(bump);
+  ASSERT_TRUE(bumped.ok());
+  auto dense = bumped->ToDense();
+  ASSERT_TRUE(dense.ok());
+  EXPECT_DOUBLE_EQ(dense->At(0, 0), 105);
+}
+
+TEST(SystemMlTest, SolveMatchesLa) {
+  systemml::DmlContext ctx(SmallClusterConfig());
+  Rng rng(11);
+  la::Matrix a = la::RandomSpdMatrix(rng, 6);
+  la::Vector b = la::RandomVector(rng, 6);
+  auto ad = systemml::DmlMatrix::FromDense(&ctx, a);
+  auto x = systemml::DmlMatrix::Solve(ad, b);
+  ASSERT_TRUE(x.ok());
+  auto expected = la::Solve(a, b);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_LT(x->MaxAbsDiff(*expected), 1e-9);
+}
+
+TEST(SystemMlTest, WideMatrixTsmmFallsBackToMultiply) {
+  // TSMM's block-local fast path needs a single block column; a wide
+  // matrix takes the transpose-multiply fallback and must still be
+  // exact.
+  systemml::DmlConfig config;
+  config.num_workers = 3;
+  config.block_size = 4;
+  config.local_threshold_bytes = 1;  // force distribution
+  systemml::DmlContext ctx(config);
+  Rng rng(43);
+  la::Matrix x = la::RandomMatrix(rng, 10, 9);  // 3 block columns
+  auto xd = systemml::DmlMatrix::FromDense(&ctx, x);
+  auto gram = xd.Tsmm();
+  ASSERT_TRUE(gram.ok()) << gram.status();
+  auto dense = gram->ToDense();
+  ASSERT_TRUE(dense.ok());
+  EXPECT_LT(dense->MaxAbsDiff(la::TransposeSelfMultiply(x)), 1e-9);
+}
+
+TEST(SystemMlTest, MapMmBroadcastsSmallSide) {
+  systemml::DmlConfig config;
+  config.num_workers = 4;
+  config.block_size = 8;
+  config.local_threshold_bytes = 300;  // small side local, big side not
+  systemml::DmlContext ctx(config);
+  Rng rng(44);
+  la::Matrix big = la::RandomMatrix(rng, 32, 6);   // 1.5 KiB: distributed
+  la::Matrix small = la::RandomMatrix(rng, 6, 4);  // 192 B: local
+  auto bigd = systemml::DmlMatrix::FromDense(&ctx, big);
+  auto smalld = systemml::DmlMatrix::FromDense(&ctx, small);
+  EXPECT_FALSE(bigd.IsLocal());
+  EXPECT_TRUE(smalld.IsLocal());
+  ctx.ResetMetrics();
+  auto prod = bigd.Multiply(smalld);
+  ASSERT_TRUE(prod.ok()) << prod.status();
+  auto dense = prod->ToDense();
+  ASSERT_TRUE(dense.ok());
+  auto expected = la::Multiply(big, small);
+  EXPECT_LT(dense->MaxAbsDiff(*expected), 1e-10);
+  bool saw_mapmm = false;
+  for (const auto& op : ctx.metrics().operators) {
+    if (op.name.find("mapmm(broadcast)") != std::string::npos) {
+      saw_mapmm = true;
+      EXPECT_GT(op.bytes_shuffled, 0u);  // broadcast is charged
+    }
+  }
+  EXPECT_TRUE(saw_mapmm);
+}
+
+TEST(SystemMlTest, DimensionMismatchErrors) {
+  systemml::DmlConfig config;
+  systemml::DmlContext ctx(config);
+  auto a = systemml::DmlMatrix::FromDense(&ctx, la::Matrix(3, 4));
+  auto b = systemml::DmlMatrix::FromDense(&ctx, la::Matrix(3, 4));
+  EXPECT_FALSE(a.Multiply(b).ok());
+  EXPECT_FALSE(a.AddToDiagonal(la::Vector(3)).ok());
+  auto c = systemml::DmlMatrix::FromDense(&ctx, la::Matrix(2, 2));
+  EXPECT_FALSE(a.Add(c).ok());
+}
+
+}  // namespace
+}  // namespace radb

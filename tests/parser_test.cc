@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "parser/lexer.h"
+#include "parser/parser.h"
+
+namespace radb::parser {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT x.y, 42, 3.14, 'it''s' <> <= >=");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "x");
+  EXPECT_EQ((*tokens)[2].type, TokenType::kDot);
+  EXPECT_EQ((*tokens)[5].int_value, 42);
+  EXPECT_DOUBLE_EQ((*tokens)[7].double_value, 3.14);
+  EXPECT_EQ((*tokens)[9].text, "it's");
+  EXPECT_EQ((*tokens)[10].type, TokenType::kNe);
+  EXPECT_EQ((*tokens)[11].type, TokenType::kLe);
+  EXPECT_EQ((*tokens)[12].type, TokenType::kGe);
+}
+
+TEST(LexerTest, CommentsAndErrors) {
+  auto ok = Tokenize("SELECT 1 -- trailing comment\n, 2");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_FALSE(Tokenize("SELECT 'unterminated").ok());
+  EXPECT_FALSE(Tokenize("SELECT @").ok());
+}
+
+TEST(LexerTest, ScientificNotation) {
+  auto tokens = Tokenize("1e300 2.5e-3 7");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_DOUBLE_EQ((*tokens)[0].double_value, 1e300);
+  EXPECT_DOUBLE_EQ((*tokens)[1].double_value, 2.5e-3);
+  EXPECT_EQ((*tokens)[2].int_value, 7);
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = ParseStatement("SELECT a, b AS c FROM t WHERE a = 1");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->kind, Statement::Kind::kSelect);
+  const SelectStmt& s = *stmt->select;
+  ASSERT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[1].alias, "c");
+  ASSERT_EQ(s.from.size(), 1u);
+  EXPECT_EQ(s.from[0].name, "t");
+  ASSERT_NE(s.where, nullptr);
+}
+
+TEST(ParserTest, CreateTableWithLaTypes) {
+  auto stmt = ParseStatement(
+      "CREATE TABLE m (mat MATRIX[10][10], vec VECTOR[100], "
+      "id INTEGER, lbl LABELED_SCALAR, v2 VECTOR[], m2 MATRIX[10][])");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->kind, Statement::Kind::kCreateTable);
+  ASSERT_EQ(stmt->columns.size(), 6u);
+  EXPECT_EQ(stmt->columns[0].type.ToString(), "MATRIX[10][10]");
+  EXPECT_EQ(stmt->columns[1].type.ToString(), "VECTOR[100]");
+  EXPECT_EQ(stmt->columns[3].type.ToString(), "LABELED_SCALAR");
+  EXPECT_EQ(stmt->columns[4].type.ToString(), "VECTOR[]");
+  EXPECT_EQ(stmt->columns[5].type.ToString(), "MATRIX[10][]");
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto stmt = ParseStatement("SELECT a + b * c FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->items[0].expr->ToString(), "(a + (b * c))");
+  auto stmt2 = ParseStatement("SELECT (a + b) * c FROM t");
+  ASSERT_TRUE(stmt2.ok());
+  EXPECT_EQ(stmt2->select->items[0].expr->ToString(), "((a + b) * c)");
+  auto stmt3 =
+      ParseStatement("SELECT 1 FROM t WHERE a = 1 AND b = 2 OR c = 3");
+  ASSERT_TRUE(stmt3.ok());
+  EXPECT_EQ(stmt3->select->where->ToString(),
+            "(((a = 1) AND (b = 2)) OR (c = 3))");
+}
+
+TEST(ParserTest, FunctionCallsAndNesting) {
+  auto stmt = ParseStatement(
+      "SELECT matrix_vector_multiply(matrix_inverse("
+      "SUM(outer_product(x.x_i, x.x_i))), SUM(x.x_i * y.y_i)) "
+      "FROM x, y WHERE x.i = y.i");
+  ASSERT_TRUE(stmt.ok());
+  const Expr& e = *stmt->select->items[0].expr;
+  EXPECT_EQ(e.kind, Expr::Kind::kFunctionCall);
+  EXPECT_EQ(e.name, "matrix_vector_multiply");
+  ASSERT_EQ(e.children.size(), 2u);
+}
+
+TEST(ParserTest, GroupByOrderLimit) {
+  auto stmt = ParseStatement(
+      "SELECT a, SUM(b) FROM t GROUP BY a ORDER BY a DESC, b LIMIT 5");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->group_by.size(), 1u);
+  ASSERT_EQ(stmt->select->order_by.size(), 2u);
+  EXPECT_TRUE(stmt->select->order_by[0].descending);
+  EXPECT_FALSE(stmt->select->order_by[1].descending);
+  EXPECT_EQ(stmt->select->limit, 5);
+}
+
+TEST(ParserTest, SubqueryInFrom) {
+  auto stmt = ParseStatement(
+      "SELECT t.a FROM (SELECT x AS a FROM u) AS t WHERE t.a > 0");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->select->from[0].kind, TableRef::Kind::kSubquery);
+  EXPECT_EQ(stmt->select->from[0].alias, "t");
+  // Alias is mandatory for derived tables.
+  EXPECT_FALSE(ParseStatement("SELECT 1 FROM (SELECT 2 FROM v)").ok());
+}
+
+TEST(ParserTest, JoinOnDesugarsToWhere) {
+  auto stmt = ParseStatement(
+      "SELECT 1 FROM a JOIN b ON a.x = b.y WHERE a.z > 2");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->from.size(), 2u);
+  // Both the ON and WHERE conditions are ANDed.
+  EXPECT_NE(stmt->select->where->ToString().find("AND"), std::string::npos);
+}
+
+TEST(ParserTest, CreateViewStoresSql) {
+  auto stmt = ParseStatement(
+      "CREATE VIEW v (a, b) AS SELECT x, y FROM t WHERE x > 1");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->kind, Statement::Kind::kCreateView);
+  EXPECT_EQ(stmt->view_aliases,
+            (std::vector<std::string>{"a", "b"}));
+  // The stored text must itself re-parse.
+  auto reparsed = ParseSelect(stmt->view_sql);
+  EXPECT_TRUE(reparsed.ok());
+}
+
+TEST(ParserTest, InsertValues) {
+  auto stmt = ParseStatement(
+      "INSERT INTO t VALUES (1, 2.5, 'a'), (-3, 4e2, 'b')");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->kind, Statement::Kind::kInsert);
+  ASSERT_EQ(stmt->insert_rows.size(), 2u);
+  EXPECT_EQ(stmt->insert_rows[0].size(), 3u);
+}
+
+TEST(ParserTest, ScriptWithMultipleStatements) {
+  auto script = ParseScript(
+      "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1); "
+      "SELECT a FROM t;");
+  ASSERT_TRUE(script.ok());
+  EXPECT_EQ(script->size(), 3u);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseStatement("SELEC 1").ok());
+  EXPECT_FALSE(ParseStatement("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseStatement("SELECT 1 FROM").ok());
+  EXPECT_FALSE(ParseStatement("CREATE TABLE t (a BADTYPE)").ok());
+  EXPECT_FALSE(ParseStatement("CREATE TABLE t (a VECTOR[-1])").ok());
+  EXPECT_FALSE(ParseStatement("SELECT 1 FROM t GROUP a").ok());
+  EXPECT_FALSE(ParseStatement("SELECT 1; SELECT 2 extra").ok());
+}
+
+TEST(ParserTest, SelectToStringRoundTrips) {
+  const char* queries[] = {
+      "SELECT a, SUM(b * 2) AS s FROM t, u WHERE t.x = u.y GROUP BY a",
+      "SELECT VECTORIZE(label_scalar(y_i, i)) FROM y",
+      "SELECT lhs.tileRow, rhs.tileCol, "
+      "SUM(matrix_multiply(lhs.mat, rhs.mat)) "
+      "FROM bigMatrix AS lhs, anotherBigMat AS rhs "
+      "WHERE lhs.tileCol = rhs.tileRow "
+      "GROUP BY lhs.tileRow, rhs.tileCol",
+  };
+  for (const char* q : queries) {
+    auto first = ParseSelect(q);
+    ASSERT_TRUE(first.ok()) << q;
+    const std::string printed = (*first)->ToString();
+    auto second = ParseSelect(printed);
+    ASSERT_TRUE(second.ok()) << printed;
+    EXPECT_EQ(printed, (*second)->ToString());
+  }
+}
+
+TEST(ParserTest, CountStar) {
+  auto stmt = ParseStatement("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(stmt.ok());
+  const Expr& e = *stmt->select->items[0].expr;
+  ASSERT_EQ(e.children.size(), 1u);
+  EXPECT_EQ(e.children[0]->kind, Expr::Kind::kStar);
+}
+
+}  // namespace
+}  // namespace radb::parser

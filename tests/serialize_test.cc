@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "api/database.h"
+#include "common/rng.h"
+#include "la/random.h"
+#include "storage/csv.h"
+#include "storage/serialize.h"
+
+namespace radb {
+namespace {
+
+/// Temp file that cleans up after itself.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(::testing::TempDir() + "/" + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(SerializeTest, RoundTripAllValueKinds) {
+  Schema schema({Column{"", "i", DataType::Integer()},
+                 Column{"", "d", DataType::Double()},
+                 Column{"", "s", DataType::String()},
+                 Column{"", "b", DataType::Boolean()},
+                 Column{"", "ls", DataType::LabeledScalar()},
+                 Column{"", "v", DataType::MakeVector(3)},
+                 Column{"", "m", DataType::MakeMatrix(2, 2)}});
+  Table table("mixed", schema, 3);
+  Rng rng(4);
+  for (int i = 0; i < 17; ++i) {
+    ASSERT_TRUE(table
+                    .Insert(Row{Value::Int(i), Value::Double(i * 1.5),
+                                Value::String("row" + std::to_string(i)),
+                                Value::Bool(i % 2 == 0),
+                                Value::Labeled(i * 0.5, i),
+                                Value::FromVector(la::RandomVector(rng, 3),
+                                                  i),
+                                Value::FromMatrix(
+                                    la::RandomMatrix(rng, 2, 2))})
+                    .ok());
+  }
+  ASSERT_TRUE(table.Insert(Row{Value::Null(), Value::Null(), Value::Null(),
+                               Value::Null(), Value::Null(), Value::Null(),
+                               Value::Null()})
+                  .ok());
+
+  TempFile file("roundtrip.radb");
+  ASSERT_TRUE(WriteTableFile(table, file.path()).ok());
+  auto loaded = ReadTableFile(file.path(), 5);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->name(), "mixed");
+  EXPECT_EQ((*loaded)->num_rows(), 18u);
+  EXPECT_EQ((*loaded)->num_partitions(), 5u);
+  EXPECT_EQ((*loaded)->schema().size(), 7u);
+  EXPECT_EQ((*loaded)->schema().at(6).type.ToString(), "MATRIX[2][2]");
+
+  // Row-level deep equality (gather both, compare as multisets keyed
+  // by the integer column; NULL row checked separately).
+  RowSet original = table.Gather();
+  RowSet restored = (*loaded)->Gather();
+  ASSERT_EQ(original.size(), restored.size());
+  auto find_by_key = [&](const RowSet& rows, const Value& key) -> const Row* {
+    for (const Row& r : rows) {
+      if (r[0].Equals(key)) return &r;
+    }
+    return nullptr;
+  };
+  for (const Row& row : original) {
+    const Row* match = find_by_key(restored, row[0]);
+    ASSERT_NE(match, nullptr);
+    for (size_t c = 0; c < row.size(); ++c) {
+      EXPECT_TRUE(row[c].Equals((*match)[c])) << "col " << c;
+    }
+    // Vector labels survive the round trip.
+    if (row[5].kind() == TypeKind::kVector) {
+      EXPECT_EQ(row[5].vector_value().label,
+                (*match)[5].vector_value().label);
+    }
+  }
+}
+
+TEST(SerializeTest, RejectsGarbageAndTruncation) {
+  TempFile garbage("garbage.radb");
+  {
+    std::ofstream os(garbage.path(), std::ios::binary);
+    os << "definitely not a table";
+  }
+  EXPECT_EQ(ReadTableFile(garbage.path(), 2).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Truncate a valid file and check we fail cleanly.
+  Schema schema({Column{"", "v", DataType::MakeVector(100)}});
+  Table table("t", schema, 1);
+  Rng rng(5);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        table.Insert(Row{Value::FromVector(la::RandomVector(rng, 100))})
+            .ok());
+  }
+  TempFile full("full.radb");
+  ASSERT_TRUE(WriteTableFile(table, full.path()).ok());
+  std::ifstream is(full.path(), std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(is)),
+                       std::istreambuf_iterator<char>());
+  TempFile cut("cut.radb");
+  {
+    std::ofstream os(cut.path(), std::ios::binary);
+    os.write(contents.data(),
+             static_cast<std::streamsize>(contents.size() / 2));
+  }
+  EXPECT_EQ(ReadTableFile(cut.path(), 2).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_FALSE(ReadTableFile("/no/such/dir/x.radb", 2).ok());
+}
+
+TEST(SerializeTest, DatabaseSaveLoadQueryable) {
+  TempFile file("db_table.radb");
+  {
+    Database db;
+    ASSERT_TRUE(db.ExecuteSql("CREATE TABLE pts (id INTEGER, "
+                              "vec VECTOR[4])")
+                    .ok());
+    Rng rng(6);
+    std::vector<Row> rows;
+    for (int i = 0; i < 32; ++i) {
+      rows.push_back({Value::Int(i),
+                      Value::FromVector(la::RandomVector(rng, 4))});
+    }
+    ASSERT_TRUE(db.BulkInsert("pts", std::move(rows)).ok());
+    ASSERT_TRUE(db.SaveTable("pts", file.path()).ok());
+    EXPECT_FALSE(db.SaveTable("missing", file.path()).ok());
+  }
+  {
+    Database db;
+    ASSERT_TRUE(db.LoadTable("pts2", file.path()).ok());
+    // Name collision refused.
+    EXPECT_FALSE(db.LoadTable("pts2", file.path()).ok());
+    auto rs = db.ExecuteSql(
+        "SELECT COUNT(*), SUM(inner_product(vec, vec)) FROM pts2");
+    ASSERT_TRUE(rs.ok()) << rs.status();
+    EXPECT_EQ(rs->at(0, 0).AsInt().value(), 32);
+    EXPECT_GT(rs->at(0, 1).AsDouble().value(), 0.0);
+  }
+}
+
+TEST(CsvTest, RoundTripAllKinds) {
+  Schema schema({Column{"", "i", DataType::Integer()},
+                 Column{"", "d", DataType::Double()},
+                 Column{"", "s", DataType::String()},
+                 Column{"", "ls", DataType::LabeledScalar()},
+                 Column{"", "v", DataType::MakeVector(3)},
+                 Column{"", "m", DataType::MakeMatrix(2, 2)}});
+  Table table("csvt", schema, 2);
+  Rng rng(14);
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(
+        table
+            .Insert(Row{Value::Int(i), Value::Double(i / 3.0),
+                        Value::String("quote\"and,comma" +
+                                      std::to_string(i)),
+                        Value::Labeled(i * 1.5, i),
+                        Value::FromVector(la::RandomVector(rng, 3)),
+                        Value::FromMatrix(la::RandomMatrix(rng, 2, 2))})
+            .ok());
+  }
+  ASSERT_TRUE(table.Insert(Row{Value::Null(), Value::Null(), Value::Null(),
+                               Value::Null(), Value::Null(), Value::Null()})
+                  .ok());
+  TempFile file("roundtrip.csv");
+  ASSERT_TRUE(WriteCsvFile(table, file.path()).ok());
+  auto loaded = ReadCsvFile(file.path(), "csvt2", schema, 3);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ((*loaded)->num_rows(), 10u);
+  RowSet original = table.Gather();
+  RowSet restored = (*loaded)->Gather();
+  auto find_by_key = [&](const RowSet& rows, const Value& key) -> const Row* {
+    for (const Row& r : rows) {
+      if (r[0].Equals(key)) return &r;
+    }
+    return nullptr;
+  };
+  for (const Row& row : original) {
+    const Row* match = find_by_key(restored, row[0]);
+    ASSERT_NE(match, nullptr);
+    for (size_t c = 0; c < row.size(); ++c) {
+      EXPECT_TRUE(row[c].Equals((*match)[c]))
+          << "col " << c << ": " << row[c].ToString() << " vs "
+          << (*match)[c].ToString();
+    }
+  }
+}
+
+TEST(CsvTest, RejectsMalformedInput) {
+  Schema schema({Column{"", "a", DataType::Integer()},
+                 Column{"", "v", DataType::MakeVector(2)}});
+  auto write = [](const std::string& path, const std::string& body) {
+    std::ofstream os(path);
+    os << body;
+  };
+  TempFile wrong_cols("wrong_cols.csv");
+  write(wrong_cols.path(), "a,v\n1,\"[1;2]\",extra\n");
+  EXPECT_FALSE(ReadCsvFile(wrong_cols.path(), "t", schema, 2).ok());
+
+  TempFile bad_vec("bad_vec.csv");
+  write(bad_vec.path(), "a,v\n1,\"1;2\"\n");  // missing brackets
+  EXPECT_FALSE(ReadCsvFile(bad_vec.path(), "t", schema, 2).ok());
+
+  TempFile unterminated("unterminated.csv");
+  write(unterminated.path(), "a,v\n1,\"[1;2]\n");
+  EXPECT_FALSE(ReadCsvFile(unterminated.path(), "t", schema, 2).ok());
+
+  TempFile empty("empty.csv");
+  write(empty.path(), "");
+  EXPECT_FALSE(ReadCsvFile(empty.path(), "t", schema, 2).ok());
+
+  // Vector length must match the declared VECTOR[2].
+  TempFile wrong_len("wrong_len.csv");
+  write(wrong_len.path(), "a,v\n1,\"[1;2;3]\"\n");
+  EXPECT_FALSE(ReadCsvFile(wrong_len.path(), "t", schema, 2).ok());
+}
+
+}  // namespace
+}  // namespace radb

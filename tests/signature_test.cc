@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "types/signature.h"
+
+namespace radb {
+namespace {
+
+using TT = TypeTemplate;
+using DP = DimParam;
+
+// matrix_multiply(MATRIX[a][b], MATRIX[b][c]) -> MATRIX[a][c]  (§4.2)
+FunctionSignature MatMulSig() {
+  return FunctionSignature(
+      "matrix_multiply",
+      {TT::Mat(DP::Var('a'), DP::Var('b')),
+       TT::Mat(DP::Var('b'), DP::Var('c'))},
+      TT::Mat(DP::Var('a'), DP::Var('c')));
+}
+
+TEST(SignatureTest, PaperSection42Example) {
+  // U(u_matrix MATRIX[1000][100]), V(v_matrix MATRIX[100][10000]):
+  // the optimizer infers a 1000 x 10000 (~80 MB) output.
+  auto result = MatMulSig().Bind(
+      {DataType::MakeMatrix(1000, 100), DataType::MakeMatrix(100, 10000)});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), "MATRIX[1000][10000]");
+  EXPECT_DOUBLE_EQ(result->EstimatedByteSize(), 8.0 * 1000 * 10000);
+}
+
+TEST(SignatureTest, ConflictingBindingIsCompileError) {
+  // b bound to 100 and then to 99 -> compile-time error (§4.2).
+  auto result = MatMulSig().Bind(
+      {DataType::MakeMatrix(1000, 100), DataType::MakeMatrix(99, 10000)});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTypeError);
+}
+
+TEST(SignatureTest, UnknownDimsStayUnknown) {
+  auto result = MatMulSig().Bind(
+      {DataType::MakeMatrix(1000, std::nullopt), DataType::MakeMatrix()});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), "MATRIX[1000][]");
+}
+
+TEST(SignatureTest, DiagConstrainsSquare) {
+  // diag(MATRIX[a][a]) -> VECTOR[a]
+  FunctionSignature diag("diag", {TT::Mat(DP::Var('a'), DP::Var('a'))},
+                         TT::Vec(DP::Var('a')));
+  auto ok = diag.Bind({DataType::MakeMatrix(7, 7)});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->ToString(), "VECTOR[7]");
+  EXPECT_FALSE(diag.Bind({DataType::MakeMatrix(7, 8)}).ok());
+  // One unknown dim binds through the other.
+  auto half = diag.Bind({DataType::MakeMatrix(std::nullopt, 9)});
+  ASSERT_TRUE(half.ok());
+  EXPECT_EQ(half->ToString(), "VECTOR[9]");
+}
+
+TEST(SignatureTest, ArityAndKindChecks) {
+  EXPECT_FALSE(MatMulSig().Bind({DataType::MakeMatrix(2, 2)}).ok());
+  EXPECT_FALSE(MatMulSig()
+                   .Bind({DataType::MakeMatrix(2, 2), DataType::Double()})
+                   .ok());
+}
+
+TEST(SignatureTest, IntegerCoercesToDouble) {
+  FunctionSignature f("f", {TT::Scalar(TypeKind::kDouble)},
+                      TT::Scalar(TypeKind::kDouble));
+  EXPECT_TRUE(f.Bind({DataType::Integer()}).ok());
+  EXPECT_TRUE(f.Bind({DataType::LabeledScalar()}).ok());
+  EXPECT_FALSE(f.Bind({DataType::String()}).ok());
+}
+
+TEST(SignatureTest, LiteralDims) {
+  // row_matrix(VECTOR[a]) -> MATRIX[1][a]
+  FunctionSignature rm("row_matrix", {TT::Vec(DP::Var('a'))},
+                       TT::Mat(DP::Lit(1), DP::Var('a')));
+  auto r = rm.Bind({DataType::MakeVector(12)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ToString(), "MATRIX[1][12]");
+}
+
+TEST(SignatureTest, ToStringRendering) {
+  EXPECT_EQ(MatMulSig().ToString(),
+            "matrix_multiply(MATRIX[a][b], MATRIX[b][c]) -> MATRIX[a][c]");
+}
+
+TEST(SignatureTest, NullArgumentsMatchAnything) {
+  auto result = MatMulSig().Bind({DataType::Null(), DataType::Null()});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), "MATRIX[][]");
+}
+
+// Parameterized sweep: inner_product(VECTOR[a], VECTOR[a]) must accept
+// equal sizes and reject unequal known sizes.
+class InnerProductSigTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(InnerProductSigTest, SizeUnification) {
+  FunctionSignature ip("inner_product",
+                       {TT::Vec(DP::Var('a')), TT::Vec(DP::Var('a'))},
+                       TT::Scalar(TypeKind::kDouble));
+  const auto [a, b] = GetParam();
+  auto result = ip.Bind({DataType::MakeVector(a), DataType::MakeVector(b)});
+  EXPECT_EQ(result.ok(), a == b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, InnerProductSigTest,
+    ::testing::Values(std::make_pair(1, 1), std::make_pair(10, 10),
+                      std::make_pair(10, 11), std::make_pair(1, 1000),
+                      std::make_pair(1000, 1000), std::make_pair(2, 1)));
+
+}  // namespace
+}  // namespace radb

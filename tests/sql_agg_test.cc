@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "api/database.h"
+#include "common/rng.h"
+#include "la/random.h"
+
+namespace radb {
+namespace {
+
+/// Aggregates over LA types through SQL, including distributed
+/// two-phase execution at several cluster widths.
+class SqlAggTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  void SetUp() override {
+    Database::Config config;
+    config.num_workers = GetParam();
+    db_ = std::make_unique<Database>(config);
+    ASSERT_TRUE(db_->ExecuteSql("CREATE TABLE v (g INTEGER, vec VECTOR[4], "
+                                "w DOUBLE)")
+                    .ok());
+    Rng rng(71);
+    std::vector<Row> rows;
+    for (int i = 0; i < 60; ++i) {
+      la::Vector x = la::RandomVector(rng, 4);
+      sums_[i % 3] = sums_.count(i % 3)
+                         ? *la::Add(sums_[i % 3], x)
+                         : x;
+      rows.push_back({Value::Int(i % 3), Value::FromVector(std::move(x)),
+                      Value::Double(i * 0.5)});
+    }
+    ASSERT_TRUE(db_->BulkInsert("v", std::move(rows)).ok());
+  }
+
+  std::unique_ptr<Database> db_;
+  std::map<int, la::Vector> sums_;
+};
+
+TEST_P(SqlAggTest, GroupedVectorSum) {
+  auto rs = db_->ExecuteSql(
+      "SELECT g, SUM(vec) FROM v GROUP BY g ORDER BY g");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  ASSERT_EQ(rs->num_rows(), 3u);
+  for (size_t r = 0; r < 3; ++r) {
+    const int g = static_cast<int>(rs->at(r, 0).AsInt().value());
+    EXPECT_LT(rs->at(r, 1).vector().MaxAbsDiff(sums_[g]), 1e-10) << g;
+  }
+}
+
+TEST_P(SqlAggTest, VectorAvgIsSumOverCount) {
+  auto rs = db_->ExecuteSql(
+      "SELECT g, AVG(vec), COUNT(*) FROM v GROUP BY g ORDER BY g");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  for (size_t r = 0; r < 3; ++r) {
+    const int g = static_cast<int>(rs->at(r, 0).AsInt().value());
+    const double n = static_cast<double>(rs->at(r, 2).AsInt().value());
+    EXPECT_LT(rs->at(r, 1).vector().MaxAbsDiff(
+                  la::DivScalar(sums_[g], n)),
+              1e-10);
+  }
+}
+
+TEST_P(SqlAggTest, ElementWiseMinMaxOverVectors) {
+  auto rs = db_->ExecuteSql(
+      "SELECT EMIN(vec), EMAX(vec) FROM v");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  const la::Vector& lo = rs->at(0, 0).vector();
+  const la::Vector& hi = rs->at(0, 1).vector();
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_LE(lo[i], hi[i]);
+    EXPECT_GE(lo[i], -1.0);
+    EXPECT_LE(hi[i], 1.0);
+  }
+}
+
+TEST_P(SqlAggTest, WeightedVectorSum) {
+  // SUM(vec * w): vector-scalar broadcast inside an aggregate.
+  auto rs = db_->ExecuteSql("SELECT SUM(vec * w) FROM v");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  EXPECT_EQ(rs->at(0, 0).vector().size(), 4u);
+}
+
+TEST_P(SqlAggTest, SumShapeMismatchIsRuntimeError) {
+  ASSERT_TRUE(db_->ExecuteSql("CREATE TABLE mixed (vec VECTOR[])").ok());
+  ASSERT_TRUE(db_->BulkInsert("mixed",
+                              {{Value::FromVector(la::Vector(3))},
+                               {Value::FromVector(la::Vector(4))}})
+                  .ok());
+  EXPECT_EQ(
+      db_->ExecuteSql("SELECT SUM(vec) FROM mixed").status().code(),
+      StatusCode::kDimensionMismatch);
+}
+
+TEST_P(SqlAggTest, ColMatrixFromGroupedVectors) {
+  // Build a matrix whose columns are the per-group vector sums.
+  auto rs = db_->ExecuteSql(
+      "SELECT COLMATRIX(label_vector(s.sv, s.g)) FROM "
+      "(SELECT g, SUM(vec) AS sv FROM v GROUP BY g) AS s");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  const la::Matrix& m = rs->at(0, 0).matrix();
+  ASSERT_EQ(m.rows(), 4u);
+  ASSERT_EQ(m.cols(), 3u);
+  for (int g = 0; g < 3; ++g) {
+    EXPECT_LT(m.Col(static_cast<size_t>(g)).MaxAbsDiff(sums_[g]), 1e-10);
+  }
+}
+
+TEST_P(SqlAggTest, GroupByVectorValue) {
+  // Vectors are hashable and comparable, so they can be group keys
+  // (the k-means example's assignment step relies on this).
+  ASSERT_TRUE(db_->ExecuteSql("CREATE TABLE dup (vec VECTOR[2])").ok());
+  la::Vector a(std::vector<double>{1, 2});
+  la::Vector b(std::vector<double>{3, 4});
+  ASSERT_TRUE(db_->BulkInsert("dup", {{Value::FromVector(a)},
+                                      {Value::FromVector(b)},
+                                      {Value::FromVector(a)}})
+                  .ok());
+  auto rs =
+      db_->ExecuteSql("SELECT vec, COUNT(*) FROM dup GROUP BY vec");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  EXPECT_EQ(rs->num_rows(), 2u);
+  int64_t total = 0;
+  for (size_t r = 0; r < rs->num_rows(); ++r) {
+    total += rs->at(r, 1).AsInt().value();
+  }
+  EXPECT_EQ(total, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, SqlAggTest,
+                         ::testing::Values(1, 3, 8));
+
+}  // namespace
+}  // namespace radb

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "storage/table.h"
+
+namespace radb {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({Column{"", "id", DataType::Integer()},
+                 Column{"", "vec", DataType::MakeVector(3)}});
+}
+
+TEST(TableTest, InsertValidatesArityAndTypes) {
+  Table t("t", TwoColSchema(), 4);
+  EXPECT_TRUE(
+      t.Insert(Row{Value::Int(1), Value::FromVector(la::Vector(3))}).ok());
+  // Wrong arity.
+  EXPECT_FALSE(t.Insert(Row{Value::Int(1)}).ok());
+  // Wrong kind.
+  EXPECT_FALSE(
+      t.Insert(Row{Value::String("x"), Value::FromVector(la::Vector(3))})
+          .ok());
+  // Known dim mismatch: declared VECTOR[3], inserting length 4.
+  EXPECT_FALSE(
+      t.Insert(Row{Value::Int(2), Value::FromVector(la::Vector(4))}).ok());
+  // NULLs are allowed anywhere.
+  EXPECT_TRUE(t.Insert(Row{Value::Null(), Value::Null()}).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, RoundRobinSpreadsRows) {
+  Table t("t", TwoColSchema(), 4);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        t.Insert(Row{Value::Int(i), Value::FromVector(la::Vector(3))}).ok());
+  }
+  for (size_t p = 0; p < t.num_partitions(); ++p) {
+    EXPECT_EQ(t.partition(p).size(), 2u);
+  }
+}
+
+TEST(TableTest, RepartitionByHashColocatesKeys) {
+  Table t("t", TwoColSchema(), 4);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(t.Insert(Row{Value::Int(i % 5),
+                             Value::FromVector(la::Vector(3))})
+                    .ok());
+  }
+  ASSERT_TRUE(t.RepartitionByHash(0).ok());
+  EXPECT_TRUE(t.partitioning().IsHashOn(0));
+  EXPECT_FALSE(t.partitioning().IsHashOn(1));
+  // All rows with equal keys are in the same partition.
+  for (size_t p = 0; p < t.num_partitions(); ++p) {
+    for (const Row& row : t.partition(p)) {
+      const size_t expected = row[0].Hash() % t.num_partitions();
+      EXPECT_EQ(expected, p);
+    }
+  }
+  EXPECT_EQ(t.num_rows(), 20u);
+  EXPECT_FALSE(t.RepartitionByHash(9).ok());
+}
+
+TEST(TableTest, GatherAndByteSize) {
+  Table t("t", TwoColSchema(), 2);
+  ASSERT_TRUE(
+      t.Insert(Row{Value::Int(1), Value::FromVector(la::Vector(3))}).ok());
+  EXPECT_EQ(t.Gather().size(), 1u);
+  EXPECT_GT(t.byte_size(), 3 * sizeof(double));
+}
+
+TEST(TableTest, NumericFlexibility) {
+  // DOUBLE columns accept INTEGER values and vice versa (coerced at
+  // read time by AsDouble/AsInt).
+  Table t("t", Schema({Column{"", "d", DataType::Double()}}), 1);
+  EXPECT_TRUE(t.Insert(Row{Value::Int(3)}).ok());
+}
+
+}  // namespace
+}  // namespace radb

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "la/random.h"
+#include "la/tiled.h"
+
+namespace radb::la {
+namespace {
+
+TEST(TiledTest, SplitAssembleRoundTrip) {
+  Rng rng(1);
+  Matrix m = RandomMatrix(rng, 10, 14);
+  auto tiles = SplitIntoTiles(m, 3, 5);
+  EXPECT_EQ(tiles.size(), 4u * 3u);
+  auto back = AssembleTiles(tiles);
+  ASSERT_TRUE(back.ok());
+  EXPECT_LT(back->MaxAbsDiff(m), 1e-15);
+}
+
+TEST(TiledTest, AssembleRejectsHoles) {
+  Rng rng(2);
+  Matrix m = RandomMatrix(rng, 4, 4);
+  auto tiles = SplitIntoTiles(m, 2, 2);
+  tiles.pop_back();
+  EXPECT_FALSE(AssembleTiles(tiles).ok());
+}
+
+TEST(TiledTest, AssembleRejectsDuplicates) {
+  Rng rng(3);
+  Matrix m = RandomMatrix(rng, 4, 4);
+  auto tiles = SplitIntoTiles(m, 2, 2);
+  tiles.push_back(tiles[0]);
+  EXPECT_FALSE(AssembleTiles(tiles).ok());
+}
+
+TEST(TiledTest, AssembleRejectsInconsistentSizes) {
+  std::vector<Tile> tiles;
+  tiles.push_back(Tile{0, 0, Matrix(2, 2)});
+  tiles.push_back(Tile{0, 1, Matrix(3, 2)});  // wrong height
+  EXPECT_FALSE(AssembleTiles(tiles).ok());
+}
+
+class TiledMultiplyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(TiledMultiplyTest, MatchesDense) {
+  const auto [m, k, n, tile] = GetParam();
+  Rng rng(17 + m + k + n + tile);
+  Matrix a = RandomMatrix(rng, m, k);
+  Matrix b = RandomMatrix(rng, k, n);
+  auto dense = Multiply(a, b);
+  ASSERT_TRUE(dense.ok());
+  auto prod_tiles = TiledMultiply(SplitIntoTiles(a, tile, tile),
+                                  SplitIntoTiles(b, tile, tile));
+  ASSERT_TRUE(prod_tiles.ok());
+  auto assembled = AssembleTiles(*prod_tiles);
+  ASSERT_TRUE(assembled.ok());
+  EXPECT_LT(assembled->MaxAbsDiff(*dense), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TiledMultiplyTest,
+    ::testing::Values(std::make_tuple(4, 4, 4, 2),
+                      std::make_tuple(10, 8, 6, 3),
+                      std::make_tuple(7, 7, 7, 7),
+                      std::make_tuple(9, 5, 11, 4),
+                      std::make_tuple(16, 16, 16, 5),
+                      std::make_tuple(1, 12, 1, 5)));
+
+}  // namespace
+}  // namespace radb::la

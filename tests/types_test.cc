@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "types/data_type.h"
+#include "types/schema.h"
+#include "types/value.h"
+#include "types/value_ops.h"
+
+namespace radb {
+namespace {
+
+TEST(DataTypeTest, ToStringForms) {
+  EXPECT_EQ(DataType::Integer().ToString(), "INTEGER");
+  EXPECT_EQ(DataType::MakeVector(10).ToString(), "VECTOR[10]");
+  EXPECT_EQ(DataType::MakeVector().ToString(), "VECTOR[]");
+  EXPECT_EQ(DataType::MakeMatrix(3, 4).ToString(), "MATRIX[3][4]");
+  EXPECT_EQ(DataType::MakeMatrix(3, std::nullopt).ToString(),
+            "MATRIX[3][]");
+}
+
+TEST(DataTypeTest, Compatibility) {
+  EXPECT_TRUE(DataType::MakeVector(10).CompatibleWith(
+      DataType::MakeVector(10)));
+  EXPECT_TRUE(
+      DataType::MakeVector().CompatibleWith(DataType::MakeVector(10)));
+  EXPECT_FALSE(
+      DataType::MakeVector(9).CompatibleWith(DataType::MakeVector(10)));
+  EXPECT_FALSE(
+      DataType::MakeVector(10).CompatibleWith(DataType::MakeMatrix(10, 1)));
+  EXPECT_TRUE(DataType::MakeMatrix(3, std::nullopt)
+                  .CompatibleWith(DataType::MakeMatrix(3, 7)));
+}
+
+TEST(DataTypeTest, ByteSizeEstimates) {
+  // The §4.1 numbers: MATRIX[100000][100] is ~80 MB.
+  EXPECT_DOUBLE_EQ(DataType::MakeMatrix(100000, 100).EstimatedByteSize(),
+                   8.0 * 100000 * 100);
+  EXPECT_DOUBLE_EQ(DataType::MakeMatrix(10, 100).EstimatedByteSize(),
+                   8.0 * 10 * 100);
+  // Unknown dims use the supplied default.
+  EXPECT_DOUBLE_EQ(DataType::MakeVector().EstimatedByteSize(50), 400.0);
+}
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(3).kind(), TypeKind::kInteger);
+  EXPECT_EQ(Value::Double(2.5).kind(), TypeKind::kDouble);
+  EXPECT_EQ(Value::String("x").kind(), TypeKind::kString);
+  EXPECT_EQ(Value::Labeled(1.5, 7).labeled().label, 7);
+  Value v = Value::FromVector(la::Vector(3, 1.0), 5);
+  EXPECT_EQ(v.kind(), TypeKind::kVector);
+  EXPECT_EQ(v.vector_value().label, 5);
+  EXPECT_EQ(v.RuntimeType().ToString(), "VECTOR[3]");
+  Value m = Value::FromMatrix(la::Matrix(2, 4));
+  EXPECT_EQ(m.RuntimeType().ToString(), "MATRIX[2][4]");
+}
+
+TEST(ValueTest, NumericCoercion) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsDouble().value(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Bool(true).AsDouble().value(), 1.0);
+  EXPECT_DOUBLE_EQ(Value::Labeled(2.5, 1).AsDouble().value(), 2.5);
+  EXPECT_FALSE(Value::String("a").AsDouble().ok());
+  EXPECT_EQ(Value::Double(4.0).AsInt().value(), 4);
+  EXPECT_FALSE(Value::Double(4.5).AsInt().ok());
+}
+
+TEST(ValueTest, EqualityAndHash) {
+  Value a = Value::FromVector(la::Vector(std::vector<double>{1, 2}));
+  Value b = Value::FromVector(la::Vector(std::vector<double>{1, 2}));
+  Value c = Value::FromVector(la::Vector(std::vector<double>{1, 3}));
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+  EXPECT_EQ(a.Hash(), b.Hash());
+  // 1 and 1.0 hash alike so numeric joins group them together.
+  EXPECT_EQ(Value::Int(1).Hash(), Value::Double(1.0).Hash());
+}
+
+TEST(ValueTest, Compare) {
+  EXPECT_EQ(Value::Int(1).Compare(Value::Double(2.0)).value(), -1);
+  EXPECT_EQ(Value::String("b").Compare(Value::String("a")).value(), 1);
+  EXPECT_FALSE(Value::Int(1).Compare(Value::String("a")).ok());
+  EXPECT_FALSE(Value::FromMatrix(la::Matrix(1, 1))
+                   .Compare(Value::FromMatrix(la::Matrix(1, 1)))
+                   .ok());
+}
+
+TEST(ValueOpsTest, ScalarArithmetic) {
+  EXPECT_EQ(EvalArith(ArithOp::kAdd, Value::Int(2), Value::Int(3))
+                .value()
+                .int_value(),
+            5);
+  // SQL integer division truncates.
+  EXPECT_EQ(EvalArith(ArithOp::kDiv, Value::Int(7), Value::Int(2))
+                .value()
+                .int_value(),
+            3);
+  EXPECT_FALSE(
+      EvalArith(ArithOp::kDiv, Value::Int(1), Value::Int(0)).ok());
+  EXPECT_DOUBLE_EQ(
+      EvalArith(ArithOp::kDiv, Value::Double(7), Value::Int(2))
+          .value()
+          .double_value(),
+      3.5);
+}
+
+TEST(ValueOpsTest, VectorScalarBroadcast) {
+  Value v = Value::FromVector(la::Vector(std::vector<double>{1, 2, 3}));
+  Value out = EvalArith(ArithOp::kMul, v, Value::Double(2)).value();
+  EXPECT_EQ(out.vector().values(), (std::vector<double>{2, 4, 6}));
+  Value out2 = EvalArith(ArithOp::kSub, Value::Double(1), v).value();
+  EXPECT_EQ(out2.vector().values(), (std::vector<double>{0, -1, -2}));
+}
+
+TEST(ValueOpsTest, MatrixHadamard) {
+  Value a = Value::FromMatrix(la::Matrix(2, 2, {1, 2, 3, 4}));
+  Value out = EvalArith(ArithOp::kMul, a, a).value();
+  EXPECT_DOUBLE_EQ(out.matrix().At(1, 1), 16);
+  // Shape mismatch is a runtime dimension error.
+  Value b = Value::FromMatrix(la::Matrix(2, 3));
+  EXPECT_EQ(EvalArith(ArithOp::kAdd, a, b).status().code(),
+            StatusCode::kDimensionMismatch);
+}
+
+TEST(ValueOpsTest, NullPropagation) {
+  EXPECT_TRUE(
+      EvalArith(ArithOp::kAdd, Value::Null(), Value::Int(1))->is_null());
+  EXPECT_TRUE(EvalCompare(CompareOp::kEq, Value::Null(), Value::Int(1))
+                  ->is_null());
+}
+
+TEST(ValueOpsTest, CompareLaValues) {
+  Value a = Value::FromVector(la::Vector(std::vector<double>{1, 2}));
+  Value b = Value::FromVector(la::Vector(std::vector<double>{1, 2}));
+  EXPECT_TRUE(
+      EvalCompare(CompareOp::kEq, a, b).value().bool_value());
+  EXPECT_FALSE(EvalCompare(CompareOp::kLt, a, b).ok());
+}
+
+TEST(ValueOpsTest, TypeInference) {
+  EXPECT_EQ(InferArithType(ArithOp::kAdd, DataType::Integer(),
+                           DataType::Integer())
+                ->kind(),
+            TypeKind::kInteger);
+  EXPECT_EQ(InferArithType(ArithOp::kDiv, DataType::Integer(),
+                           DataType::Integer())
+                ->kind(),
+            TypeKind::kInteger);
+  EXPECT_EQ(InferArithType(ArithOp::kAdd, DataType::Integer(),
+                           DataType::Double())
+                ->kind(),
+            TypeKind::kDouble);
+  auto vec = InferArithType(ArithOp::kMul, DataType::MakeVector(5),
+                            DataType::Double());
+  ASSERT_TRUE(vec.ok());
+  EXPECT_EQ(vec->ToString(), "VECTOR[5]");
+  // Known-size mismatch is a compile-time error (paper §3.1).
+  EXPECT_FALSE(InferArithType(ArithOp::kAdd, DataType::MakeVector(5),
+                              DataType::MakeVector(6))
+                   .ok());
+  // Unknown sizes unify.
+  auto unified = InferArithType(ArithOp::kAdd, DataType::MakeVector(),
+                                DataType::MakeVector(6));
+  ASSERT_TRUE(unified.ok());
+  EXPECT_EQ(unified->ToString(), "VECTOR[6]");
+}
+
+TEST(SchemaTest, ResolveAndAmbiguity) {
+  Schema s({Column{"a", "x", DataType::Integer()},
+            Column{"b", "x", DataType::Double()},
+            Column{"a", "y", DataType::Double()}});
+  EXPECT_EQ(s.Resolve("a", "x").value(), 0u);
+  EXPECT_EQ(s.Resolve("b", "x").value(), 1u);
+  EXPECT_EQ(s.Resolve("", "y").value(), 2u);
+  EXPECT_FALSE(s.Resolve("", "x").ok());  // ambiguous
+  EXPECT_FALSE(s.Resolve("", "z").ok());  // missing
+  // Case-insensitive resolution.
+  EXPECT_EQ(s.Resolve("A", "X").value(), 0u);
+}
+
+}  // namespace
+}  // namespace radb

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "workloads/computations.h"
+#include "workloads/datagen.h"
+
+namespace radb::workloads {
+namespace {
+
+constexpr size_t kWorkers = 4;
+constexpr double kTol = 1e-6;
+
+class WorkloadsTest : public ::testing::Test {
+ protected:
+  // 48 points, 6 dims, block of 12 (divides n for the distance path).
+  WorkloadsTest() : data_(GenerateDataset(/*seed=*/77, 48, 6)) {}
+  Dataset data_;
+};
+
+TEST_F(WorkloadsTest, GramAllPlatformsAgree) {
+  const la::Matrix expected = ReferenceGram(data_);
+
+  SqlWorkload tuple_wl(kWorkers);
+  ASSERT_TRUE(tuple_wl.LoadTuple(data_).ok());
+  auto tuple = tuple_wl.GramTuple();
+  ASSERT_TRUE(tuple.ok()) << tuple.status();
+  EXPECT_LT(tuple->gram.MaxAbsDiff(expected), kTol);
+
+  SqlWorkload vec_wl(kWorkers);
+  ASSERT_TRUE(vec_wl.LoadVector(data_).ok());
+  auto vec = vec_wl.GramVector();
+  ASSERT_TRUE(vec.ok()) << vec.status();
+  EXPECT_LT(vec->gram.MaxAbsDiff(expected), kTol);
+
+  SqlWorkload blk_wl(kWorkers);
+  ASSERT_TRUE(blk_wl.LoadVector(data_).ok());
+  auto blk = blk_wl.GramBlock(12);
+  ASSERT_TRUE(blk.ok()) << blk.status();
+  EXPECT_LT(blk->gram.MaxAbsDiff(expected), kTol);
+
+  systemml::DmlConfig dml;
+  dml.num_workers = kWorkers;
+  dml.block_size = 12;
+  dml.local_threshold_bytes = 64;  // force distributed path
+  auto sysml = GramSystemML(data_, dml);
+  ASSERT_TRUE(sysml.ok()) << sysml.status();
+  EXPECT_LT(sysml->gram.MaxAbsDiff(expected), kTol);
+
+  auto scidb = GramSciDB(data_, kWorkers, 12);
+  ASSERT_TRUE(scidb.ok()) << scidb.status();
+  EXPECT_LT(scidb->gram.MaxAbsDiff(expected), kTol);
+
+  auto spark = GramSpark(data_, kWorkers);
+  ASSERT_TRUE(spark.ok()) << spark.status();
+  EXPECT_LT(spark->gram.MaxAbsDiff(expected), kTol);
+}
+
+TEST_F(WorkloadsTest, LinRegAllPlatformsAgree) {
+  auto expected = ReferenceLinReg(data_);
+  ASSERT_TRUE(expected.ok());
+
+  SqlWorkload tuple_wl(kWorkers);
+  ASSERT_TRUE(tuple_wl.LoadTuple(data_).ok());
+  auto tuple = tuple_wl.LinRegTuple();
+  ASSERT_TRUE(tuple.ok()) << tuple.status();
+  EXPECT_LT(tuple->beta.MaxAbsDiff(*expected), kTol);
+
+  SqlWorkload vec_wl(kWorkers);
+  ASSERT_TRUE(vec_wl.LoadVector(data_).ok());
+  auto vec = vec_wl.LinRegVector();
+  ASSERT_TRUE(vec.ok()) << vec.status();
+  EXPECT_LT(vec->beta.MaxAbsDiff(*expected), kTol);
+
+  SqlWorkload blk_wl(kWorkers);
+  ASSERT_TRUE(blk_wl.LoadVector(data_).ok());
+  auto blk = blk_wl.LinRegBlock(12);
+  ASSERT_TRUE(blk.ok()) << blk.status();
+  EXPECT_LT(blk->beta.MaxAbsDiff(*expected), kTol);
+
+  systemml::DmlConfig dml;
+  dml.num_workers = kWorkers;
+  dml.block_size = 12;
+  dml.local_threshold_bytes = 64;
+  auto sysml = LinRegSystemML(data_, dml);
+  ASSERT_TRUE(sysml.ok()) << sysml.status();
+  EXPECT_LT(sysml->beta.MaxAbsDiff(*expected), kTol);
+
+  auto scidb = LinRegSciDB(data_, kWorkers, 12);
+  ASSERT_TRUE(scidb.ok()) << scidb.status();
+  EXPECT_LT(scidb->beta.MaxAbsDiff(*expected), kTol);
+
+  auto spark = LinRegSpark(data_, kWorkers);
+  ASSERT_TRUE(spark.ok()) << spark.status();
+  EXPECT_LT(spark->beta.MaxAbsDiff(*expected), kTol);
+}
+
+TEST_F(WorkloadsTest, DistanceAllPlatformsAgree) {
+  auto expected = ReferenceDistance(data_);
+  ASSERT_TRUE(expected.ok());
+
+  SqlWorkload tuple_wl(kWorkers);
+  ASSERT_TRUE(tuple_wl.LoadTuple(data_).ok());
+  auto tuple = tuple_wl.DistanceTuple(/*tuple_budget=*/1'000'000);
+  ASSERT_TRUE(tuple.ok()) << tuple.status();
+  ASSERT_FALSE(tuple->failed);
+  EXPECT_EQ(tuple->distance.point_id, expected->point_id);
+  EXPECT_NEAR(tuple->distance.value, expected->value, kTol);
+
+  SqlWorkload vec_wl(kWorkers);
+  ASSERT_TRUE(vec_wl.LoadVector(data_).ok());
+  auto vec = vec_wl.DistanceVector();
+  ASSERT_TRUE(vec.ok()) << vec.status();
+  EXPECT_EQ(vec->distance.point_id, expected->point_id);
+  EXPECT_NEAR(vec->distance.value, expected->value, kTol);
+
+  SqlWorkload blk_wl(kWorkers);
+  ASSERT_TRUE(blk_wl.LoadVector(data_).ok());
+  auto blk = blk_wl.DistanceBlock(12);
+  ASSERT_TRUE(blk.ok()) << blk.status();
+  EXPECT_EQ(blk->distance.point_id, expected->point_id);
+  EXPECT_NEAR(blk->distance.value, expected->value, kTol);
+
+  systemml::DmlConfig dml;
+  dml.num_workers = kWorkers;
+  dml.block_size = 12;
+  dml.local_threshold_bytes = 64;
+  auto sysml = DistanceSystemML(data_, dml);
+  ASSERT_TRUE(sysml.ok()) << sysml.status();
+  EXPECT_EQ(sysml->distance.point_id, expected->point_id);
+  EXPECT_NEAR(sysml->distance.value, expected->value, kTol);
+
+  auto scidb = DistanceSciDB(data_, kWorkers, 12);
+  ASSERT_TRUE(scidb.ok()) << scidb.status();
+  EXPECT_EQ(scidb->distance.point_id, expected->point_id);
+  EXPECT_NEAR(scidb->distance.value, expected->value, kTol);
+
+  auto spark = DistanceSpark(data_, kWorkers, 12);
+  ASSERT_TRUE(spark.ok()) << spark.status();
+  EXPECT_EQ(spark->distance.point_id, expected->point_id);
+  EXPECT_NEAR(spark->distance.value, expected->value, kTol);
+}
+
+TEST_F(WorkloadsTest, TupleDistanceFailsOverBudget) {
+  SqlWorkload wl(kWorkers);
+  ASSERT_TRUE(wl.LoadTuple(data_).ok());
+  auto out = wl.DistanceTuple(/*tuple_budget=*/100);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->failed);
+  EXPECT_FALSE(out->fail_reason.empty());
+}
+
+TEST_F(WorkloadsTest, DistanceBlockRequiresDivisibility) {
+  SqlWorkload wl(kWorkers);
+  ASSERT_TRUE(wl.LoadVector(data_).ok());
+  EXPECT_FALSE(wl.DistanceBlock(13).ok());
+}
+
+TEST(WorkloadsDatagenTest, Deterministic) {
+  Dataset a = GenerateDataset(5, 10, 3);
+  Dataset b = GenerateDataset(5, 10, 3);
+  EXPECT_EQ(a.points[7].values(), b.points[7].values());
+  EXPECT_EQ(a.metric, b.metric);
+  Dataset c = GenerateDataset(6, 10, 3);
+  EXPECT_NE(a.points[7].values(), c.points[7].values());
+}
+
+TEST(WorkloadsDatagenTest, RaggedLastBlockStillCorrect) {
+  // n = 50 with block 12 leaves a ragged last block; Gram and linreg
+  // must still be exact.
+  Dataset data = GenerateDataset(3, 50, 4);
+  SqlWorkload wl(kWorkers);
+  ASSERT_TRUE(wl.LoadVector(data).ok());
+  auto blk = wl.GramBlock(12);
+  ASSERT_TRUE(blk.ok()) << blk.status();
+  EXPECT_LT(blk->gram.MaxAbsDiff(ReferenceGram(data)), kTol);
+}
+
+}  // namespace
+}  // namespace radb::workloads
