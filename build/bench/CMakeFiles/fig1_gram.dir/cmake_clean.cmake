@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_gram.dir/fig1_gram.cc.o"
+  "CMakeFiles/fig1_gram.dir/fig1_gram.cc.o.d"
+  "fig1_gram"
+  "fig1_gram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_gram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_linreg.dir/fig2_linreg.cc.o"
+  "CMakeFiles/fig2_linreg.dir/fig2_linreg.cc.o.d"
+  "fig2_linreg"
+  "fig2_linreg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_linreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

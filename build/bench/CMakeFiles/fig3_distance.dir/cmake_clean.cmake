@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_distance.dir/fig3_distance.cc.o"
+  "CMakeFiles/fig3_distance.dir/fig3_distance.cc.o.d"
+  "fig3_distance"
+  "fig3_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

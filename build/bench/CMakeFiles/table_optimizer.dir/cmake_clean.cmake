@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_optimizer.dir/table_optimizer.cc.o"
+  "CMakeFiles/table_optimizer.dir/table_optimizer.cc.o.d"
+  "table_optimizer"
+  "table_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/big_matrix_multiply.dir/big_matrix_multiply.cpp.o"
+  "CMakeFiles/big_matrix_multiply.dir/big_matrix_multiply.cpp.o.d"
+  "big_matrix_multiply"
+  "big_matrix_multiply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/big_matrix_multiply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_pipeline.dir/dsl_pipeline.cpp.o"
+  "CMakeFiles/dsl_pipeline.dir/dsl_pipeline.cpp.o.d"
+  "dsl_pipeline"
+  "dsl_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradient_descent.dir/gradient_descent.cpp.o"
+  "CMakeFiles/gradient_descent.dir/gradient_descent.cpp.o.d"
+  "gradient_descent"
+  "gradient_descent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradient_descent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gradient_descent.
+# This may be replaced when dependencies are built.

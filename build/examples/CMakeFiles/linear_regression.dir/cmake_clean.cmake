@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_regression.dir/linear_regression.cpp.o"
+  "CMakeFiles/linear_regression.dir/linear_regression.cpp.o.d"
+  "linear_regression"
+  "linear_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

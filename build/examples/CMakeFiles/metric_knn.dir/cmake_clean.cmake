@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metric_knn.dir/metric_knn.cpp.o"
+  "CMakeFiles/metric_knn.dir/metric_knn.cpp.o.d"
+  "metric_knn"
+  "metric_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metric_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

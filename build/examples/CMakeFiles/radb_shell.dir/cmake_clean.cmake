@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radb_shell.dir/radb_shell.cpp.o"
+  "CMakeFiles/radb_shell.dir/radb_shell.cpp.o.d"
+  "radb_shell"
+  "radb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("la")
+subdirs("types")
+subdirs("catalog")
+subdirs("storage")
+subdirs("parser")
+subdirs("binder")
+subdirs("plan")
+subdirs("optimizer")
+subdirs("dist")
+subdirs("exec")
+subdirs("api")
+subdirs("dsl")
+subdirs("engines")
+subdirs("workloads")

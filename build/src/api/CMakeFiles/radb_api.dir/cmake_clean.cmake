@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radb_api.dir/database.cc.o"
+  "CMakeFiles/radb_api.dir/database.cc.o.d"
+  "libradb_api.a"
+  "libradb_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radb_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libradb_api.a"
+)

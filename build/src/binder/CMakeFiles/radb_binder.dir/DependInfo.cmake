@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/binder/binder.cc" "src/binder/CMakeFiles/radb_binder.dir/binder.cc.o" "gcc" "src/binder/CMakeFiles/radb_binder.dir/binder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/binder/CMakeFiles/radb_binder_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/radb_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/radb_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/radb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/radb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/radb_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/radb_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/radb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

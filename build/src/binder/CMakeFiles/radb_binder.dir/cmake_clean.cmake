@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radb_binder.dir/binder.cc.o"
+  "CMakeFiles/radb_binder.dir/binder.cc.o.d"
+  "libradb_binder.a"
+  "libradb_binder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radb_binder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

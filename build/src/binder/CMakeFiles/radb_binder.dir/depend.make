@@ -1,0 +1,2 @@
+# Empty dependencies file for radb_binder.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radb_binder_expr.dir/bound_expr.cc.o"
+  "CMakeFiles/radb_binder_expr.dir/bound_expr.cc.o.d"
+  "libradb_binder_expr.a"
+  "libradb_binder_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radb_binder_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

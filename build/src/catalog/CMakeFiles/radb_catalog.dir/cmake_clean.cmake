@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radb_catalog.dir/aggregate.cc.o"
+  "CMakeFiles/radb_catalog.dir/aggregate.cc.o.d"
+  "CMakeFiles/radb_catalog.dir/catalog.cc.o"
+  "CMakeFiles/radb_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/radb_catalog.dir/function_registry.cc.o"
+  "CMakeFiles/radb_catalog.dir/function_registry.cc.o.d"
+  "libradb_catalog.a"
+  "libradb_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radb_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

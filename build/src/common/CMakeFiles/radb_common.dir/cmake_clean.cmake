@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radb_common.dir/status.cc.o"
+  "CMakeFiles/radb_common.dir/status.cc.o.d"
+  "CMakeFiles/radb_common.dir/string_util.cc.o"
+  "CMakeFiles/radb_common.dir/string_util.cc.o.d"
+  "libradb_common.a"
+  "libradb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radb_dist.dir/metrics.cc.o"
+  "CMakeFiles/radb_dist.dir/metrics.cc.o.d"
+  "libradb_dist.a"
+  "libradb_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radb_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radb_dsl.dir/expr.cc.o"
+  "CMakeFiles/radb_dsl.dir/expr.cc.o.d"
+  "libradb_dsl.a"
+  "libradb_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radb_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

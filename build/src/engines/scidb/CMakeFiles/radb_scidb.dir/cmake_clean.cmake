@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radb_scidb.dir/array.cc.o"
+  "CMakeFiles/radb_scidb.dir/array.cc.o.d"
+  "libradb_scidb.a"
+  "libradb_scidb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radb_scidb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

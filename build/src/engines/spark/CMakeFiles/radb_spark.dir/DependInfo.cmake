@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engines/spark/block_matrix.cc" "src/engines/spark/CMakeFiles/radb_spark.dir/block_matrix.cc.o" "gcc" "src/engines/spark/CMakeFiles/radb_spark.dir/block_matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/radb_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/radb_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/radb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radb_spark.dir/block_matrix.cc.o"
+  "CMakeFiles/radb_spark.dir/block_matrix.cc.o.d"
+  "libradb_spark.a"
+  "libradb_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radb_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radb_systemml.dir/dml.cc.o"
+  "CMakeFiles/radb_systemml.dir/dml.cc.o.d"
+  "libradb_systemml.a"
+  "libradb_systemml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radb_systemml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radb_exec.dir/executor.cc.o"
+  "CMakeFiles/radb_exec.dir/executor.cc.o.d"
+  "CMakeFiles/radb_exec.dir/expr_eval.cc.o"
+  "CMakeFiles/radb_exec.dir/expr_eval.cc.o.d"
+  "libradb_exec.a"
+  "libradb_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radb_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radb_la.dir/matrix.cc.o"
+  "CMakeFiles/radb_la.dir/matrix.cc.o.d"
+  "CMakeFiles/radb_la.dir/random.cc.o"
+  "CMakeFiles/radb_la.dir/random.cc.o.d"
+  "CMakeFiles/radb_la.dir/tiled.cc.o"
+  "CMakeFiles/radb_la.dir/tiled.cc.o.d"
+  "CMakeFiles/radb_la.dir/vector.cc.o"
+  "CMakeFiles/radb_la.dir/vector.cc.o.d"
+  "libradb_la.a"
+  "libradb_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radb_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

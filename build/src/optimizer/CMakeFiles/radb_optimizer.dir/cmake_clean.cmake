@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radb_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/radb_optimizer.dir/optimizer.cc.o.d"
+  "libradb_optimizer.a"
+  "libradb_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radb_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radb_parser.dir/ast.cc.o"
+  "CMakeFiles/radb_parser.dir/ast.cc.o.d"
+  "CMakeFiles/radb_parser.dir/lexer.cc.o"
+  "CMakeFiles/radb_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/radb_parser.dir/parser.cc.o"
+  "CMakeFiles/radb_parser.dir/parser.cc.o.d"
+  "libradb_parser.a"
+  "libradb_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radb_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

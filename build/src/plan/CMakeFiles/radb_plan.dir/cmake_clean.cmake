@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radb_plan.dir/logical_plan.cc.o"
+  "CMakeFiles/radb_plan.dir/logical_plan.cc.o.d"
+  "libradb_plan.a"
+  "libradb_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radb_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radb_storage.dir/csv.cc.o"
+  "CMakeFiles/radb_storage.dir/csv.cc.o.d"
+  "CMakeFiles/radb_storage.dir/serialize.cc.o"
+  "CMakeFiles/radb_storage.dir/serialize.cc.o.d"
+  "CMakeFiles/radb_storage.dir/table.cc.o"
+  "CMakeFiles/radb_storage.dir/table.cc.o.d"
+  "libradb_storage.a"
+  "libradb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

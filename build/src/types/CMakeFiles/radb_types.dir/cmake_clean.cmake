@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radb_types.dir/data_type.cc.o"
+  "CMakeFiles/radb_types.dir/data_type.cc.o.d"
+  "CMakeFiles/radb_types.dir/schema.cc.o"
+  "CMakeFiles/radb_types.dir/schema.cc.o.d"
+  "CMakeFiles/radb_types.dir/signature.cc.o"
+  "CMakeFiles/radb_types.dir/signature.cc.o.d"
+  "CMakeFiles/radb_types.dir/value.cc.o"
+  "CMakeFiles/radb_types.dir/value.cc.o.d"
+  "CMakeFiles/radb_types.dir/value_ops.cc.o"
+  "CMakeFiles/radb_types.dir/value_ops.cc.o.d"
+  "libradb_types.a"
+  "libradb_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radb_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

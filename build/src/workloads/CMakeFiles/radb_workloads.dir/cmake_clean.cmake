@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radb_workloads.dir/computations.cc.o"
+  "CMakeFiles/radb_workloads.dir/computations.cc.o.d"
+  "CMakeFiles/radb_workloads.dir/computations_engines.cc.o"
+  "CMakeFiles/radb_workloads.dir/computations_engines.cc.o.d"
+  "CMakeFiles/radb_workloads.dir/datagen.cc.o"
+  "CMakeFiles/radb_workloads.dir/datagen.cc.o.d"
+  "libradb_workloads.a"
+  "libradb_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radb_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

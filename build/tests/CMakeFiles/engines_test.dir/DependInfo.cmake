@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engines_test.cc" "tests/CMakeFiles/engines_test.dir/engines_test.cc.o" "gcc" "tests/CMakeFiles/engines_test.dir/engines_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engines/systemml/CMakeFiles/radb_systemml.dir/DependInfo.cmake"
+  "/root/repo/build/src/engines/scidb/CMakeFiles/radb_scidb.dir/DependInfo.cmake"
+  "/root/repo/build/src/engines/spark/CMakeFiles/radb_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/radb_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/radb_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/radb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

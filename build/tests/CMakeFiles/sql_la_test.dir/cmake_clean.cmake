@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_la_test.dir/sql_la_test.cc.o"
+  "CMakeFiles/sql_la_test.dir/sql_la_test.cc.o.d"
+  "sql_la_test"
+  "sql_la_test.pdb"
+  "sql_la_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_la_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

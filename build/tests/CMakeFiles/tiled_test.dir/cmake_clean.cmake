@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiled_test.dir/tiled_test.cc.o"
+  "CMakeFiles/tiled_test.dir/tiled_test.cc.o.d"
+  "tiled_test"
+  "tiled_test.pdb"
+  "tiled_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiled_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
