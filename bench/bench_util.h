@@ -4,8 +4,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "obs/json.h"
 #include "workloads/computations.h"
 #include "workloads/datagen.h"
 
@@ -99,6 +105,65 @@ inline void ReportOutcome(benchmark::State& state,
   state.counters["cluster_s"] = ClusterSeconds(out);
   state.counters["shuffledMB"] =
       static_cast<double>(out.bytes_shuffled) / (1024.0 * 1024.0);
+}
+
+/// Collects one JSON record per (figure, label) and writes each figure
+/// to `BENCH_<figure>.json` in the working directory when the process
+/// exits — the machine-readable twin of the stdout tables. Repeated
+/// iterations of the same benchmark overwrite their record, so the
+/// file holds the last (post-warmup) run.
+class BenchJsonRegistry {
+ public:
+  static BenchJsonRegistry& Instance() {
+    static BenchJsonRegistry registry;
+    return registry;
+  }
+
+  void Record(const std::string& figure, const std::string& label,
+              const workloads::RunOutcome& out) {
+    std::ostringstream os;
+    os << "{\"label\":\"" << obs::JsonEscape(label) << "\""
+       << ",\"failed\":" << (out.failed ? "true" : "false")
+       << ",\"wall_seconds\":" << obs::JsonNumber(out.wall_seconds)
+       << ",\"simulated_seconds\":" << obs::JsonNumber(out.simulated_seconds)
+       << ",\"cluster_seconds\":" << obs::JsonNumber(ClusterSeconds(out))
+       << ",\"bytes_shuffled\":" << out.bytes_shuffled
+       << ",\"metrics\":" << out.metrics.ToJson() << "}";
+    auto& entries = figures_[figure];
+    for (auto& [l, json] : entries) {
+      if (l == label) {
+        json = os.str();
+        return;
+      }
+    }
+    entries.emplace_back(label, os.str());
+  }
+
+  ~BenchJsonRegistry() {
+    for (const auto& [figure, entries] : figures_) {
+      std::ofstream os("BENCH_" + figure + ".json", std::ios::trunc);
+      if (!os) continue;
+      os << "{\"figure\":\"" << obs::JsonEscape(figure) << "\""
+         << ",\"workers\":" << kWorkers << ",\"entries\":[\n";
+      for (size_t i = 0; i < entries.size(); ++i) {
+        os << entries[i].second << (i + 1 < entries.size() ? ",\n" : "\n");
+      }
+      os << "]}\n";
+    }
+  }
+
+ private:
+  std::map<std::string, std::vector<std::pair<std::string, std::string>>>
+      figures_;
+};
+
+/// ReportOutcome plus a record in the figure's BENCH_*.json.
+inline void ReportOutcome(benchmark::State& state,
+                          const workloads::RunOutcome& out,
+                          const std::string& figure,
+                          const std::string& label) {
+  ReportOutcome(state, out);
+  BenchJsonRegistry::Instance().Record(figure, label, out);
 }
 
 }  // namespace radb::bench

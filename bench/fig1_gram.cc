@@ -36,7 +36,8 @@ void BM_Gram_TupleSimSQL(benchmark::State& state) {
       break;
     }
     CheckGram(state, data, *out);
-    ReportOutcome(state, *out);
+    ReportOutcome(state, *out, "fig1_gram",
+                  "tuple_simsql/" + std::to_string(d));
   }
 }
 
@@ -55,7 +56,8 @@ void BM_Gram_VectorSimSQL(benchmark::State& state) {
       break;
     }
     CheckGram(state, data, *out);
-    ReportOutcome(state, *out);
+    ReportOutcome(state, *out, "fig1_gram",
+                  "vector_simsql/" + std::to_string(d));
   }
 }
 
@@ -75,7 +77,8 @@ void BM_Gram_BlockSimSQL(benchmark::State& state) {
       break;
     }
     CheckGram(state, data, *out);
-    ReportOutcome(state, *out);
+    ReportOutcome(state, *out, "fig1_gram",
+                  "block_simsql/" + std::to_string(d));
   }
 }
 
@@ -90,7 +93,8 @@ void BM_Gram_SystemML(benchmark::State& state) {
       break;
     }
     CheckGram(state, data, *out);
-    ReportOutcome(state, *out);
+    ReportOutcome(state, *out, "fig1_gram",
+                  "system_m_l/" + std::to_string(d));
   }
 }
 
@@ -105,7 +109,8 @@ void BM_Gram_SciDB(benchmark::State& state) {
       break;
     }
     CheckGram(state, data, *out);
-    ReportOutcome(state, *out);
+    ReportOutcome(state, *out, "fig1_gram",
+                  "sci_d_b/" + std::to_string(d));
   }
 }
 
@@ -119,7 +124,8 @@ void BM_Gram_SparkMllib(benchmark::State& state) {
       break;
     }
     CheckGram(state, data, *out);
-    ReportOutcome(state, *out);
+    ReportOutcome(state, *out, "fig1_gram",
+                  "spark_mllib/" + std::to_string(d));
   }
 }
 

@@ -45,7 +45,8 @@ void BM_LinReg_TupleSimSQL(benchmark::State& state) {
       break;
     }
     CheckBeta(state, data, *out);
-    ReportOutcome(state, *out);
+    ReportOutcome(state, *out, "fig2_linreg",
+                  "tuple_simsql/" + std::to_string(d));
   }
 }
 
@@ -64,7 +65,8 @@ void BM_LinReg_VectorSimSQL(benchmark::State& state) {
       break;
     }
     CheckBeta(state, data, *out);
-    ReportOutcome(state, *out);
+    ReportOutcome(state, *out, "fig2_linreg",
+                  "vector_simsql/" + std::to_string(d));
   }
 }
 
@@ -84,7 +86,8 @@ void BM_LinReg_BlockSimSQL(benchmark::State& state) {
       break;
     }
     CheckBeta(state, data, *out);
-    ReportOutcome(state, *out);
+    ReportOutcome(state, *out, "fig2_linreg",
+                  "block_simsql/" + std::to_string(d));
   }
 }
 
@@ -99,7 +102,8 @@ void BM_LinReg_SystemML(benchmark::State& state) {
       break;
     }
     CheckBeta(state, data, *out);
-    ReportOutcome(state, *out);
+    ReportOutcome(state, *out, "fig2_linreg",
+                  "system_m_l/" + std::to_string(d));
   }
 }
 
@@ -114,7 +118,8 @@ void BM_LinReg_SciDB(benchmark::State& state) {
       break;
     }
     CheckBeta(state, data, *out);
-    ReportOutcome(state, *out);
+    ReportOutcome(state, *out, "fig2_linreg",
+                  "sci_d_b/" + std::to_string(d));
   }
 }
 
@@ -128,7 +133,8 @@ void BM_LinReg_SparkMllib(benchmark::State& state) {
       break;
     }
     CheckBeta(state, data, *out);
-    ReportOutcome(state, *out);
+    ReportOutcome(state, *out, "fig2_linreg",
+                  "spark_mllib/" + std::to_string(d));
   }
 }
 

@@ -48,7 +48,8 @@ void BM_Distance_TupleSimSQL(benchmark::State& state) {
       break;
     }
     CheckDistance(state, data, *out);
-    ReportOutcome(state, *out);
+    ReportOutcome(state, *out, "fig3_distance",
+                  "tuple_simsql/" + std::to_string(d));
   }
 }
 
@@ -67,7 +68,8 @@ void BM_Distance_VectorSimSQL(benchmark::State& state) {
       break;
     }
     CheckDistance(state, data, *out);
-    ReportOutcome(state, *out);
+    ReportOutcome(state, *out, "fig3_distance",
+                  "vector_simsql/" + std::to_string(d));
   }
 }
 
@@ -87,7 +89,8 @@ void BM_Distance_BlockSimSQL(benchmark::State& state) {
       break;
     }
     CheckDistance(state, data, *out);
-    ReportOutcome(state, *out);
+    ReportOutcome(state, *out, "fig3_distance",
+                  "block_simsql/" + std::to_string(d));
   }
 }
 
@@ -102,7 +105,8 @@ void BM_Distance_SystemML(benchmark::State& state) {
       break;
     }
     CheckDistance(state, data, *out);
-    ReportOutcome(state, *out);
+    ReportOutcome(state, *out, "fig3_distance",
+                  "system_m_l/" + std::to_string(d));
   }
 }
 
@@ -117,7 +121,8 @@ void BM_Distance_SciDB(benchmark::State& state) {
       break;
     }
     CheckDistance(state, data, *out);
-    ReportOutcome(state, *out);
+    ReportOutcome(state, *out, "fig3_distance",
+                  "sci_d_b/" + std::to_string(d));
   }
 }
 
@@ -132,7 +137,8 @@ void BM_Distance_SparkMllib(benchmark::State& state) {
       break;
     }
     CheckDistance(state, data, *out);
-    ReportOutcome(state, *out);
+    ReportOutcome(state, *out, "fig3_distance",
+                  "spark_mllib/" + std::to_string(d));
   }
 }
 

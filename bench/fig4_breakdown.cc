@@ -61,6 +61,8 @@ void BM_Fig4_TupleGramBreakdown(benchmark::State& state) {
     }
     const Breakdown b = Decompose(out->metrics);
     PrintBreakdown("tuple-based:", b);
+    BenchJsonRegistry::Instance().Record("fig4_breakdown", "tuple_gram",
+                                         *out);
     state.SetIterationTime(out->wall_seconds);
     state.counters["join_s"] = b.join;
     state.counters["agg_s"] = b.aggregate;
@@ -85,6 +87,8 @@ void BM_Fig4_VectorGramBreakdown(benchmark::State& state) {
     }
     const Breakdown b = Decompose(out->metrics);
     PrintBreakdown("vector-based:", b);
+    BenchJsonRegistry::Instance().Record("fig4_breakdown", "vector_gram",
+                                         *out);
     state.SetIterationTime(out->wall_seconds);
     state.counters["join_s"] = b.join;
     state.counters["agg_s"] = b.aggregate;

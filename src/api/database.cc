@@ -1,9 +1,12 @@
 #include "api/database.h"
 
+#include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <sstream>
 
 #include "binder/binder.h"
+#include "common/string_util.h"
 #include "exec/executor.h"
 #include "exec/expr_eval.h"
 #include "parser/parser.h"
@@ -118,6 +121,25 @@ Result<Value> EvalConstExpr(const Catalog& catalog,
 Database::Database(const Config& config)
     : config_(config), cluster_(config.num_workers) {
   catalog_ = Catalog(config.num_workers);
+  if (config_.obs.enable_tracing || !config_.obs.trace_path.empty()) {
+    tracer_ = std::make_unique<obs::Tracer>();
+  }
+  if (config_.obs.enable_metrics || !config_.obs.metrics_path.empty()) {
+    metrics_registry_ = std::make_unique<obs::MetricsRegistry>();
+    // Install as the process-global registry so call sites with no
+    // path to a Database (LA kernels, storage I/O) report here too.
+    previous_global_metrics_ =
+        obs::SetGlobalMetrics(metrics_registry_.get());
+  }
+}
+
+Database::~Database() {
+  // Uninstall our registry only if it is still the current global one
+  // (a later Database may have replaced it).
+  if (metrics_registry_ &&
+      obs::GlobalMetrics() == metrics_registry_.get()) {
+    obs::SetGlobalMetrics(previous_global_metrics_);
+  }
 }
 
 Status Database::BulkInsert(const std::string& table, std::vector<Row> rows) {
@@ -126,22 +148,33 @@ Status Database::BulkInsert(const std::string& table, std::vector<Row> rows) {
 }
 
 Result<ResultSet> Database::RunSelect(const parser::SelectStmt& stmt) {
+  const obs::ObsContext obs = obs_context();
   Binder binder(catalog_);
-  RADB_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bound,
-                        binder.Bind(stmt));
+  std::unique_ptr<BoundQuery> bound;
+  {
+    obs::ScopedSpan bind_span(obs.tracer, "bind", "pipeline");
+    RADB_ASSIGN_OR_RETURN(bound, binder.Bind(stmt));
+  }
   std::vector<SlotInfo> out_columns = bound->output;
   const size_t visible = bound->num_visible_outputs == 0
                              ? out_columns.size()
                              : bound->num_visible_outputs;
   out_columns.resize(std::min(visible, out_columns.size()));
   Optimizer optimizer(config_.optimizer);
-  RADB_ASSIGN_OR_RETURN(LogicalOpPtr plan,
-                        optimizer.Plan(std::move(bound)));
+  LogicalOpPtr plan;
+  {
+    obs::ScopedSpan optimize_span(obs.tracer, "optimize", "pipeline");
+    RADB_ASSIGN_OR_RETURN(plan, optimizer.Plan(std::move(bound), obs));
+  }
 
   last_metrics_ = QueryMetrics{};
   const auto t0 = std::chrono::steady_clock::now();
-  Executor executor(cluster_, &last_metrics_);
-  RADB_ASSIGN_OR_RETURN(Dist dist, executor.Execute(*plan));
+  Dist dist;
+  {
+    obs::ScopedSpan exec_span(obs.tracer, "execute", "pipeline");
+    Executor executor(cluster_, &last_metrics_, obs);
+    RADB_ASSIGN_OR_RETURN(dist, executor.Execute(*plan));
+  }
   last_metrics_.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -165,8 +198,16 @@ Result<ResultSet> Database::RunSelect(const parser::SelectStmt& stmt) {
 }
 
 Result<ResultSet> Database::ExecuteSql(const std::string& sql) {
-  RADB_ASSIGN_OR_RETURN(std::vector<parser::Statement> stmts,
-                        parser::ParseScript(sql));
+  if (tracer_ != nullptr) tracer_->Clear();  // trace covers the last call
+  const obs::ObsContext obs = obs_context();
+  obs::ScopedSpan query_span(obs.tracer, "query", "pipeline");
+  query_span.AddArg("sql", sql);
+  std::vector<parser::Statement> stmts;
+  {
+    obs::ScopedSpan parse_span(obs.tracer, "parse", "pipeline");
+    RADB_ASSIGN_OR_RETURN(stmts, parser::ParseScript(sql));
+    parse_span.AddArg("statements", std::to_string(stmts.size()));
+  }
   ResultSet last;
   for (parser::Statement& stmt : stmts) {
     switch (stmt.kind) {
@@ -175,6 +216,10 @@ Result<ResultSet> Database::ExecuteSql(const std::string& sql) {
         break;
       }
       case parser::Statement::Kind::kExplain: {
+        if (stmt.explain_analyze) {
+          RADB_ASSIGN_OR_RETURN(last, ExplainAnalyzeSelect(*stmt.select));
+          break;
+        }
         Binder binder(catalog_);
         RADB_ASSIGN_OR_RETURN(std::unique_ptr<BoundQuery> bound,
                               binder.Bind(*stmt.select));
@@ -254,7 +299,115 @@ Result<ResultSet> Database::ExecuteSql(const std::string& sql) {
         break;
     }
   }
+  query_span.End();
+  RADB_RETURN_NOT_OK(WriteObsFiles());
   return last;
+}
+
+namespace {
+
+/// Appends `op`'s label plus an actual-metrics annotation line, then
+/// recurses into children. An Aggregate plan node runs as two physical
+/// operators (partial + final); their metrics fold into one line:
+/// actuals come from the final stage, shuffle/time are summed, skew is
+/// the worst of the two.
+void RenderAnalyzed(const LogicalOp& op, const Executor& executor,
+                    const QueryMetrics& qm, int indent,
+                    std::ostringstream& os) {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  os << pad << op.NodeLabel() << "\n";
+  const std::vector<size_t>* ids = executor.MetricsForNode(&op);
+  if (ids != nullptr && !ids->empty()) {
+    const OperatorMetrics& final_stage = qm.operators[ids->back()];
+    size_t rows_shuffled = 0, bytes_shuffled = 0;
+    double max_worker = 0.0, skew = 0.0;
+    for (size_t id : *ids) {
+      const OperatorMetrics& m = qm.operators[id];
+      rows_shuffled += m.rows_shuffled;
+      bytes_shuffled += m.bytes_shuffled;
+      max_worker += m.MaxWorkerSeconds();
+      skew = std::max(skew, m.Skew());
+    }
+    os << pad << "  (est rows=" << op.est_rows
+       << ", actual rows=" << final_stage.rows_out
+       << ", bytes out=" << FormatBytes(double(final_stage.bytes_out))
+       << ", shuffled=" << FormatBytes(double(bytes_shuffled)) << "/"
+       << rows_shuffled << " rows"
+       << ", max-worker=" << max_worker << " s"
+       << ", skew=" << skew << ")\n";
+  }
+  for (const auto& c : op.children) {
+    RenderAnalyzed(*c, executor, qm, indent + 1, os);
+  }
+}
+
+}  // namespace
+
+Result<ResultSet> Database::ExplainAnalyzeSelect(
+    const parser::SelectStmt& stmt) {
+  const obs::ObsContext obs = obs_context();
+  Binder binder(catalog_);
+  std::unique_ptr<BoundQuery> bound;
+  {
+    obs::ScopedSpan bind_span(obs.tracer, "bind", "pipeline");
+    RADB_ASSIGN_OR_RETURN(bound, binder.Bind(stmt));
+  }
+  Optimizer optimizer(config_.optimizer);
+  LogicalOpPtr plan;
+  {
+    obs::ScopedSpan optimize_span(obs.tracer, "optimize", "pipeline");
+    RADB_ASSIGN_OR_RETURN(plan, optimizer.Plan(std::move(bound), obs));
+  }
+
+  last_metrics_ = QueryMetrics{};
+  const auto t0 = std::chrono::steady_clock::now();
+  // The executor outlives Execute so its plan-node -> metrics map is
+  // available for rendering.
+  Executor executor(cluster_, &last_metrics_, obs);
+  {
+    obs::ScopedSpan exec_span(obs.tracer, "execute", "pipeline");
+    RADB_ASSIGN_OR_RETURN(Dist dist, executor.Execute(*plan));
+    (void)dist;
+  }
+  last_metrics_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::ostringstream os;
+  RenderAnalyzed(*plan, executor, last_metrics_, 0, os);
+  os << "wall time: " << last_metrics_.wall_seconds << " s"
+     << "; simulated parallel time: "
+     << last_metrics_.SimulatedParallelSeconds() << " s"
+     << "; total shuffled: "
+     << FormatBytes(double(last_metrics_.TotalBytesShuffled()));
+  ResultSet rs;
+  rs.columns.push_back(SlotInfo{0, "plan", DataType::String()});
+  std::istringstream lines(os.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    rs.rows.push_back({Value::String(line)});
+  }
+  return rs;
+}
+
+Status Database::WriteObsFiles() const {
+  if (tracer_ != nullptr && !config_.obs.trace_path.empty()) {
+    std::ofstream os(config_.obs.trace_path, std::ios::trunc);
+    if (!os) {
+      return Status::InvalidArgument("cannot open trace path " +
+                                     config_.obs.trace_path);
+    }
+    os << tracer_->ToChromeJson();
+  }
+  if (metrics_registry_ != nullptr && !config_.obs.metrics_path.empty()) {
+    std::ofstream os(config_.obs.metrics_path, std::ios::trunc);
+    if (!os) {
+      return Status::InvalidArgument("cannot open metrics path " +
+                                     config_.obs.metrics_path);
+    }
+    os << metrics_registry_->ToJson() << "\n";
+  }
+  return Status::OK();
 }
 
 Status Database::RepartitionTable(const std::string& table,

@@ -9,6 +9,9 @@
 #include "common/result.h"
 #include "dist/cluster.h"
 #include "dist/metrics.h"
+#include "obs/metrics_registry.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "plan/logical_plan.h"
 #include "storage/table.h"
@@ -48,15 +51,40 @@ struct ResultSet {
 ///       "SELECT SUM(outer_product(vec, vec)) FROM v");
 class Database {
  public:
+  /// Observability switches. Everything defaults to off, in which
+  /// case the pipeline runs through null-object fast paths (a handful
+  /// of branch-on-nullptr checks, no allocation, no clock reads).
+  struct ObsOptions {
+    /// Record a span tree (parse/bind/optimize/execute, per-operator
+    /// and per-worker children) for every ExecuteSql call.
+    bool enable_tracing = false;
+    /// Maintain a metrics registry (counters/gauges/histograms). The
+    /// registry is also installed as the process-global one so LA
+    /// kernels and storage I/O report into it.
+    bool enable_metrics = false;
+    /// When non-empty, the Chrome trace-event JSON of the most recent
+    /// ExecuteSql is rewritten here after each call (implies
+    /// enable_tracing). Load via chrome://tracing or Perfetto.
+    std::string trace_path;
+    /// When non-empty, the metrics JSON snapshot is rewritten here
+    /// after each ExecuteSql call (implies enable_metrics).
+    std::string metrics_path;
+  };
+
   struct Config {
     /// Simulated worker count (the paper uses 10 machines x 8 cores;
     /// workers here model the unit of data partitioning).
     size_t num_workers = 8;
     Optimizer::Options optimizer;
+    ObsOptions obs;
   };
 
   Database() : Database(Config{}) {}
   explicit Database(const Config& config);
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
 
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
@@ -97,13 +125,33 @@ class Database {
   /// shuffle volume — the Figure 4 data).
   const QueryMetrics& last_metrics() const { return last_metrics_; }
 
+  /// Span tracer (null unless Config::obs enables tracing). Holds the
+  /// span tree of the most recent ExecuteSql call.
+  obs::Tracer* tracer() { return tracer_.get(); }
+  /// Metrics registry (null unless Config::obs enables metrics).
+  /// Counters accumulate across the lifetime of the Database.
+  obs::MetricsRegistry* metrics_registry() { return metrics_registry_.get(); }
+  /// The tracer/metrics pair threaded through the pipeline; both
+  /// members are null when observability is off.
+  obs::ObsContext obs_context() {
+    return obs::ObsContext{tracer_.get(), metrics_registry_.get()};
+  }
+
  private:
   Result<ResultSet> RunSelect(const parser::SelectStmt& stmt);
+  /// EXPLAIN ANALYZE: executes the SELECT, then renders the plan tree
+  /// annotated with per-node actual metrics.
+  Result<ResultSet> ExplainAnalyzeSelect(const parser::SelectStmt& stmt);
+  /// Rewrites trace/metrics files if Config::obs names paths.
+  Status WriteObsFiles() const;
 
   Config config_;
   Cluster cluster_;
   Catalog catalog_;
   QueryMetrics last_metrics_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_registry_;
+  obs::MetricsRegistry* previous_global_metrics_ = nullptr;
 };
 
 }  // namespace radb

@@ -1,10 +1,11 @@
 #include "dist/metrics.h"
 
 #include <algorithm>
-#include <cstdio>
+#include <iomanip>
 #include <sstream>
 
 #include "common/string_util.h"
+#include "obs/json.h"
 
 namespace radb {
 
@@ -28,6 +29,13 @@ double OperatorMetrics::Skew() const {
   return MaxWorkerSeconds() / mean;
 }
 
+double OperatorMetrics::EstimationError() const {
+  if (estimated_rows <= 0.0) return 0.0;
+  const double est = std::max(estimated_rows, 1.0);
+  const double actual = std::max(static_cast<double>(rows_out), 1.0);
+  return std::max(est / actual, actual / est);
+}
+
 double QueryMetrics::SimulatedParallelSeconds() const {
   double s = 0.0;
   for (const OperatorMetrics& op : operators) s += op.MaxWorkerSeconds();
@@ -46,6 +54,14 @@ size_t QueryMetrics::TotalRowsProcessed() const {
   return s;
 }
 
+double QueryMetrics::MaxEstimationError() const {
+  double worst = 0.0;
+  for (const OperatorMetrics& op : operators) {
+    worst = std::max(worst, op.EstimationError());
+  }
+  return worst;
+}
+
 double QueryMetrics::SecondsForOperatorsContaining(
     const std::string& substr) const {
   double s = 0.0;
@@ -55,26 +71,87 @@ double QueryMetrics::SecondsForOperatorsContaining(
   return s;
 }
 
-std::string QueryMetrics::ToString() const {
+namespace {
+
+std::string FormatSeconds(double s) {
   std::ostringstream os;
-  char buf[256];
-  std::snprintf(buf, sizeof(buf), "%-28s %12s %12s %12s %10s %6s\n",
-                "operator", "rows_out", "bytes_out", "shuffled", "time",
-                "skew");
-  os << buf;
+  os << std::fixed << std::setprecision(3) << s << "s";
+  return os.str();
+}
+
+std::string FormatSkew(double skew) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << skew;
+  return os.str();
+}
+
+}  // namespace
+
+std::string QueryMetrics::ToString() const {
+  // Column widths adapt to the data: no operator name is ever
+  // truncated and numeric columns stay aligned however large the
+  // counts get.
+  const char* kHeaders[] = {"operator", "rows_out", "bytes_out",
+                            "shuffled", "time",     "skew"};
+  std::vector<std::vector<std::string>> cells;
   for (const OperatorMetrics& op : operators) {
-    std::snprintf(buf, sizeof(buf), "%-28s %12zu %12s %12s %9.3fs %6.2f\n",
-                  op.name.c_str(), op.rows_out,
-                  FormatBytes(static_cast<double>(op.bytes_out)).c_str(),
-                  FormatBytes(static_cast<double>(op.bytes_shuffled)).c_str(),
-                  op.TotalSeconds(), op.Skew());
-    os << buf;
+    cells.push_back({op.name, std::to_string(op.rows_out),
+                     FormatBytes(static_cast<double>(op.bytes_out)),
+                     FormatBytes(static_cast<double>(op.bytes_shuffled)),
+                     FormatSeconds(op.TotalSeconds()), FormatSkew(op.Skew())});
   }
-  std::snprintf(buf, sizeof(buf),
-                "total wall %.3fs | simulated parallel %.3fs | shuffled %s\n",
-                wall_seconds, SimulatedParallelSeconds(),
-                FormatBytes(static_cast<double>(TotalBytesShuffled())).c_str());
-  os << buf;
+  size_t widths[6];
+  for (size_t c = 0; c < 6; ++c) {
+    widths[c] = std::string(kHeaders[c]).size();
+    for (const auto& row : cells) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream os;
+  for (size_t c = 0; c < 6; ++c) {
+    if (c > 0) os << ' ';
+    // Name column left-aligned, numerics right-aligned.
+    os << (c == 0 ? std::left : std::right) << std::setw(static_cast<int>(widths[c]))
+       << kHeaders[c];
+  }
+  os << '\n';
+  for (const auto& row : cells) {
+    for (size_t c = 0; c < 6; ++c) {
+      if (c > 0) os << ' ';
+      os << (c == 0 ? std::left : std::right)
+         << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    os << '\n';
+  }
+  os << "total wall " << FormatSeconds(wall_seconds) << " | simulated parallel "
+     << FormatSeconds(SimulatedParallelSeconds()) << " | shuffled "
+     << FormatBytes(static_cast<double>(TotalBytesShuffled())) << '\n';
+  return os.str();
+}
+
+std::string QueryMetrics::ToJson() const {
+  using obs::JsonEscape;
+  using obs::JsonNumber;
+  std::ostringstream os;
+  os << "{\n  \"wall_seconds\": " << JsonNumber(wall_seconds)
+     << ",\n  \"simulated_parallel_seconds\": "
+     << JsonNumber(SimulatedParallelSeconds())
+     << ",\n  \"total_bytes_shuffled\": " << TotalBytesShuffled()
+     << ",\n  \"total_rows_processed\": " << TotalRowsProcessed()
+     << ",\n  \"max_estimation_error\": " << JsonNumber(MaxEstimationError())
+     << ",\n  \"operators\": [";
+  for (size_t i = 0; i < operators.size(); ++i) {
+    const OperatorMetrics& op = operators[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"name\": \"" << JsonEscape(op.name)
+       << "\", \"rows_in\": " << op.rows_in
+       << ", \"rows_out\": " << op.rows_out
+       << ", \"estimated_rows\": " << JsonNumber(op.estimated_rows)
+       << ", \"bytes_out\": " << op.bytes_out
+       << ", \"rows_shuffled\": " << op.rows_shuffled
+       << ", \"bytes_shuffled\": " << op.bytes_shuffled
+       << ", \"total_seconds\": " << JsonNumber(op.TotalSeconds())
+       << ", \"max_worker_seconds\": " << JsonNumber(op.MaxWorkerSeconds())
+       << ", \"skew\": " << JsonNumber(op.Skew()) << "}";
+  }
+  os << (operators.empty() ? "" : "\n  ") << "]\n}\n";
   return os.str();
 }
 

@@ -14,10 +14,15 @@ namespace radb {
 /// late).
 struct OperatorMetrics {
   std::string name;           // e.g. "HashJoin", "Aggregate(final)"
+  size_t rows_in = 0;         // rows consumed from the child operator(s)
   size_t rows_out = 0;
   size_t bytes_out = 0;
   size_t rows_shuffled = 0;   // rows that crossed worker boundaries
   size_t bytes_shuffled = 0;  // payload of those rows / partial states
+  /// The optimizer's cardinality estimate for the plan node this
+  /// operator executed (0 when unknown) — EXPLAIN ANALYZE's
+  /// estimate-vs-actual column.
+  double estimated_rows = 0.0;
   /// Wall-clock seconds spent per worker partition; the simulated
   /// parallel elapsed time of the operator is the max entry.
   std::vector<double> worker_seconds;
@@ -26,6 +31,10 @@ struct OperatorMetrics {
   double MaxWorkerSeconds() const;
   /// max/mean worker time; 1.0 = perfectly balanced.
   double Skew() const;
+  /// Relative cardinality misestimate: max(est/actual, actual/est),
+  /// with both sides clamped to >= 1 row. 1.0 = exact; 0.0 when no
+  /// estimate was recorded.
+  double EstimationError() const;
 };
 
 /// Whole-query metrics: the operator list in execution order.
@@ -40,8 +49,17 @@ struct QueryMetrics {
   size_t TotalBytesShuffled() const;
   size_t TotalRowsProcessed() const;
 
+  /// Worst per-operator EstimationError() across the query — how far
+  /// off the optimizer's costing was anywhere in the plan.
+  double MaxEstimationError() const;
+
   /// Human-readable per-operator breakdown table.
   std::string ToString() const;
+
+  /// Machine-readable export: the whole per-operator breakdown plus
+  /// the query totals, as one JSON object. This is what the bench
+  /// harness writes next to its stdout tables.
+  std::string ToJson() const;
 
   /// Sums the per-worker times of all operators whose name contains
   /// `substr` (e.g. "Join", "Aggregate") — used by the Figure 4

@@ -103,20 +103,78 @@ std::map<size_t, size_t> Executor::LayoutOf(const LogicalOp& op) {
   return layout;
 }
 
-OperatorMetrics* Executor::NewOp(std::string name) {
+OperatorMetrics* Executor::NewOp(std::string name, const LogicalOp& op) {
   metrics_->operators.push_back(OperatorMetrics{});
   OperatorMetrics* m = &metrics_->operators.back();
   m->name = std::move(name);
+  m->estimated_rows = op.est_rows;
   m->worker_seconds.assign(cluster_.num_workers(), 0.0);
+  node_metrics_[&op].push_back(metrics_->operators.size() - 1);
   return m;
+}
+
+void Executor::PublishObservability() {
+  if (obs_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *obs_.metrics;
+    size_t rows_out = 0, bytes_out = 0, rows_shuffled = 0, bytes_shuffled = 0;
+    for (const OperatorMetrics& op : metrics_->operators) {
+      rows_out += op.rows_out;
+      bytes_out += op.bytes_out;
+      rows_shuffled += op.rows_shuffled;
+      bytes_shuffled += op.bytes_shuffled;
+      reg.Observe("exec.operator_seconds", op.TotalSeconds());
+      reg.Observe("exec.operator_skew", op.Skew());
+    }
+    reg.Add("exec.operators", metrics_->operators.size());
+    reg.Add("exec.rows_out", rows_out);
+    reg.Add("exec.bytes_out", bytes_out);
+    reg.Add("exec.rows_shuffled", rows_shuffled);
+    reg.Add("exec.bytes_shuffled", bytes_shuffled);
+    reg.Set("exec.workers", static_cast<double>(cluster_.num_workers()));
+  }
 }
 
 Result<Dist> Executor::Execute(const LogicalOp& op) {
   RADB_ASSIGN_OR_RETURN(ExecResult out, ExecuteOp(op));
+  PublishObservability();
   return std::move(out.dist);
 }
 
 Result<ExecResult> Executor::ExecuteOp(const LogicalOp& op) {
+  if (obs_.tracer == nullptr) return DispatchOp(op);
+
+  // One span per plan node; children nest naturally because they
+  // execute inside this call. The physical name ("HashJoin(bcast
+  // right)") is known only after dispatch, so it is patched in then.
+  obs::ScopedSpan span(obs_.tracer, KindName(op.kind), "exec");
+  RADB_ASSIGN_OR_RETURN(ExecResult result, DispatchOp(op));
+  if (const std::vector<size_t>* ids = MetricsForNode(&op)) {
+    const OperatorMetrics& last = metrics_->operators[ids->back()];
+    span.SetName(last.name);
+    span.AddArg("rows_out", std::to_string(last.rows_out));
+    if (last.bytes_shuffled > 0) {
+      span.AddArg("bytes_shuffled", std::to_string(last.bytes_shuffled));
+    }
+    // Per-worker lanes: the accumulated per-worker seconds of every
+    // metrics entry of this node, rendered as end-aligned complete
+    // spans on tid 1+worker so chrome://tracing shows one row per
+    // simulated worker under the pipeline row.
+    const double end = obs_.tracer->NowSeconds();
+    for (size_t id : *ids) {
+      const OperatorMetrics& m = metrics_->operators[id];
+      for (size_t w = 0; w < m.worker_seconds.size(); ++w) {
+        const double dur = m.worker_seconds[w];
+        if (dur <= 0.0) continue;
+        obs_.tracer->AddCompleteSpan(m.name + " w" + std::to_string(w),
+                                     "worker", span.id(), end - dur, dur,
+                                     static_cast<int>(w) + 1);
+      }
+    }
+  }
+  return result;
+}
+
+Result<ExecResult> Executor::DispatchOp(const LogicalOp& op) {
   switch (op.kind) {
     case LogicalOp::Kind::kScan:
       return ExecuteScan(op);
@@ -139,7 +197,8 @@ Result<ExecResult> Executor::ExecuteOp(const LogicalOp& op) {
 }
 
 Result<ExecResult> Executor::ExecuteScan(const LogicalOp& op) {
-  OperatorMetrics* m = NewOp("Scan(" + op.table->name() + ")");
+  OperatorMetrics* m = NewOp("Scan(" + op.table->name() + ")", op);
+  m->rows_in = op.table->num_rows();
   const size_t w = cluster_.num_workers();
   Dist out(w);
   // Table partitions map onto workers round-robin when the counts
@@ -179,7 +238,8 @@ Result<ExecResult> Executor::ExecuteScan(const LogicalOp& op) {
 Result<ExecResult> Executor::ExecuteFilter(const LogicalOp& op) {
   RADB_ASSIGN_OR_RETURN(ExecResult child, ExecuteOp(*op.children[0]));
   Dist& in = child.dist;
-  OperatorMetrics* m = NewOp("Filter");
+  OperatorMetrics* m = NewOp("Filter", op);
+  m->rows_in = DistRowCount(in);
   const auto layout = LayoutOf(*op.children[0]);
   std::vector<BoundExprPtr> preds;
   for (const auto& p : op.predicates) {
@@ -212,7 +272,8 @@ Result<ExecResult> Executor::ExecuteFilter(const LogicalOp& op) {
 Result<ExecResult> Executor::ExecuteProject(const LogicalOp& op) {
   RADB_ASSIGN_OR_RETURN(ExecResult child, ExecuteOp(*op.children[0]));
   Dist& in = child.dist;
-  OperatorMetrics* m = NewOp("Project");
+  OperatorMetrics* m = NewOp("Project", op);
+  m->rows_in = DistRowCount(in);
   const auto layout = LayoutOf(*op.children[0]);
   std::vector<BoundExprPtr> exprs;
   for (const auto& e : op.exprs) {
@@ -288,6 +349,7 @@ Result<ExecResult> Executor::ExecuteJoin(const LogicalOp& op) {
   const bool is_cross = op.equi_keys.empty();
   const size_t left_bytes = DistByteSize(left);
   const size_t right_bytes = DistByteSize(right);
+  const size_t rows_in = DistRowCount(left) + DistRowCount(right);
 
   std::vector<BoundExprPtr> left_keys, right_keys;
   for (const auto& [l, r] : op.equi_keys) {
@@ -330,7 +392,9 @@ Result<ExecResult> Executor::ExecuteJoin(const LogicalOp& op) {
     // partition of the bigger side with the full smaller side.
     const bool broadcast_right = right_bytes <= left_bytes;
     m = NewOp(broadcast_right ? "CrossJoin(bcast right)"
-                              : "CrossJoin(bcast left)");
+                              : "CrossJoin(bcast left)",
+              op);
+    m->rows_in = rows_in;
     RowSet small;
     const Dist& small_side = broadcast_right ? right : left;
     for (const RowSet& p : small_side) {
@@ -362,7 +426,9 @@ Result<ExecResult> Executor::ExecuteJoin(const LogicalOp& op) {
     if (broadcast) {
       const bool broadcast_right = right_bytes <= left_bytes;
       m = NewOp(broadcast_right ? "HashJoin(bcast right)"
-                                : "HashJoin(bcast left)");
+                                : "HashJoin(bcast left)",
+                op);
+      m->rows_in = rows_in;
       // Build a replicated hash table of the small side.
       std::unordered_multimap<KeyRow, const Row*, KeyRowHash> table;
       const Dist& small_side = broadcast_right ? right : left;
@@ -409,7 +475,9 @@ Result<ExecResult> Executor::ExecuteJoin(const LogicalOp& op) {
                     ? "HashJoin(co-located)"
                     : (left_prehashed || right_prehashed
                            ? "HashJoin(shuffle one side)"
-                           : "HashJoin(shuffle)"));
+                           : "HashJoin(shuffle)"),
+                op);
+      m->rows_in = rows_in;
       // Re-partition by join key hash; `prehashed` sides stay put and
       // are charged nothing.
       auto shuffle = [&](Dist& side, const std::vector<BoundExprPtr>& keys,
@@ -489,7 +557,8 @@ Result<ExecResult> Executor::ExecuteAggregate(const LogicalOp& op) {
       std::unordered_map<KeyRow, std::unique_ptr<GroupState>, KeyRowHash>;
 
   // Phase 1: local partial aggregation on every worker.
-  OperatorMetrics* m1 = NewOp("Aggregate(partial)");
+  OperatorMetrics* m1 = NewOp("Aggregate(partial)", op);
+  m1->rows_in = DistRowCount(in);
   std::vector<GroupMap> partials(w);
   for (size_t wkr = 0; wkr < in.size(); ++wkr) {
     const auto t0 = Clock::now();
@@ -513,7 +582,11 @@ Result<ExecResult> Executor::ExecuteAggregate(const LogicalOp& op) {
 
   // Phase 2: shuffle partial states by group key hash (scalar
   // aggregates — no GROUP BY — all land on worker 0).
-  OperatorMetrics* m2 = NewOp("Aggregate(final)");
+  // NewOp can reallocate the metrics vector and invalidate m1, so the
+  // partial-stage count must be read first.
+  const size_t partial_rows_out = m1->rows_out;
+  OperatorMetrics* m2 = NewOp("Aggregate(final)", op);
+  m2->rows_in = partial_rows_out;
   std::vector<GroupMap> finals(w);
   for (size_t src = 0; src < w; ++src) {
     for (auto& [key, state] : partials[src]) {
@@ -572,7 +645,8 @@ Result<ExecResult> Executor::ExecuteAggregate(const LogicalOp& op) {
 Result<ExecResult> Executor::ExecuteDistinct(const LogicalOp& op) {
   RADB_ASSIGN_OR_RETURN(ExecResult child, ExecuteOp(*op.children[0]));
   Dist& in = child.dist;
-  OperatorMetrics* m = NewOp("Distinct");
+  OperatorMetrics* m = NewOp("Distinct", op);
+  m->rows_in = DistRowCount(in);
   const size_t w = cluster_.num_workers();
   // Shuffle by whole-row hash, then dedupe locally.
   std::vector<std::unordered_map<KeyRow, Row, KeyRowHash>> sets(w);
@@ -601,7 +675,8 @@ Result<ExecResult> Executor::ExecuteDistinct(const LogicalOp& op) {
 Result<ExecResult> Executor::ExecuteSort(const LogicalOp& op) {
   RADB_ASSIGN_OR_RETURN(ExecResult child, ExecuteOp(*op.children[0]));
   Dist& in = child.dist;
-  OperatorMetrics* m = NewOp("Sort");
+  OperatorMetrics* m = NewOp("Sort", op);
+  m->rows_in = DistRowCount(in);
   const auto layout = LayoutOf(*op.children[0]);
   std::vector<std::pair<BoundExprPtr, bool>> keys;
   for (const auto& [e, desc] : op.sort_keys) {
@@ -651,7 +726,8 @@ Result<ExecResult> Executor::ExecuteSort(const LogicalOp& op) {
 Result<ExecResult> Executor::ExecuteLimit(const LogicalOp& op) {
   RADB_ASSIGN_OR_RETURN(ExecResult child, ExecuteOp(*op.children[0]));
   Dist& in = child.dist;
-  OperatorMetrics* m = NewOp("Limit");
+  OperatorMetrics* m = NewOp("Limit", op);
+  m->rows_in = DistRowCount(in);
   Dist out(cluster_.num_workers());
   RowSet& dst = out[0];
   const size_t limit = static_cast<size_t>(std::max<int64_t>(0, op.limit));

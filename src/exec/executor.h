@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "dist/cluster.h"
 #include "dist/metrics.h"
+#include "obs/obs.h"
 #include "plan/logical_plan.h"
 #include "storage/table.h"
 
@@ -40,13 +41,26 @@ size_t DistRowCount(const Dist& d);
 /// data Figures 1-4 are built from.
 class Executor {
  public:
-  Executor(const Cluster& cluster, QueryMetrics* metrics)
-      : cluster_(cluster), metrics_(metrics) {}
+  /// `obs` carries the (optional) tracer and metrics registry; the
+  /// default is the disabled null-object fast path.
+  explicit Executor(const Cluster& cluster, QueryMetrics* metrics,
+                    obs::ObsContext obs = {})
+      : cluster_(cluster), metrics_(metrics), obs_(obs) {}
 
   Result<Dist> Execute(const LogicalOp& op);
 
+  /// Indexes into metrics()->operators of the OperatorMetrics this
+  /// execution produced for `node` (an Aggregate yields two: partial
+  /// and final). nullptr when the node was never executed. Used by
+  /// EXPLAIN ANALYZE to annotate the plan tree.
+  const std::vector<size_t>* MetricsForNode(const LogicalOp* node) const {
+    auto it = node_metrics_.find(node);
+    return it == node_metrics_.end() ? nullptr : &it->second;
+  }
+
  private:
   Result<ExecResult> ExecuteOp(const LogicalOp& op);
+  Result<ExecResult> DispatchOp(const LogicalOp& op);
   Result<ExecResult> ExecuteScan(const LogicalOp& op);
   Result<ExecResult> ExecuteFilter(const LogicalOp& op);
   Result<ExecResult> ExecuteProject(const LogicalOp& op);
@@ -59,10 +73,19 @@ class Executor {
   /// slot -> position map for an operator's output.
   static std::map<size_t, size_t> LayoutOf(const LogicalOp& op);
 
-  OperatorMetrics* NewOp(std::string name);
+  /// Appends an OperatorMetrics entry for `op`, seeded with the
+  /// optimizer's cardinality estimate, and records the node → entry
+  /// association for EXPLAIN ANALYZE.
+  OperatorMetrics* NewOp(std::string name, const LogicalOp& op);
+
+  /// Publishes whole-query totals to the metrics registry and
+  /// synthesizes per-worker trace lanes (no-op when obs is disabled).
+  void PublishObservability();
 
   const Cluster& cluster_;
   QueryMetrics* metrics_;
+  obs::ObsContext obs_;
+  std::map<const LogicalOp*, std::vector<size_t>> node_metrics_;
 };
 
 }  // namespace radb

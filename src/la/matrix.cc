@@ -1,5 +1,7 @@
 #include "la/matrix.h"
 
+#include "obs/metrics_registry.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -130,6 +132,10 @@ Result<Matrix> Multiply(const Matrix& a, const Matrix& b) {
                          b.cols());
   }
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  if (obs::MetricsRegistry* reg = obs::GlobalMetrics()) {
+    reg->Add("la.matmul_calls", 1);
+    reg->Add("la.matmul_flops", 2 * m * k * n);
+  }
   Matrix out(m, n);
   // Cache-blocked i-k-j: the inner loop streams over contiguous rows of
   // b and out, which is the right access pattern for row-major data.
@@ -155,6 +161,10 @@ Result<Matrix> Multiply(const Matrix& a, const Matrix& b) {
 
 Matrix TransposeSelfMultiply(const Matrix& a) {
   const size_t n = a.cols();
+  if (obs::MetricsRegistry* reg = obs::GlobalMetrics()) {
+    reg->Add("la.tsmm_calls", 1);
+    reg->Add("la.tsmm_flops", a.rows() * n * n);  // symmetric half x2
+  }
   Matrix out(n, n);
   // Accumulate rank-1 updates row by row; exploit symmetry.
   for (size_t r = 0; r < a.rows(); ++r) {
@@ -176,6 +186,10 @@ Result<Vector> MatrixVectorMultiply(const Matrix& a, const Vector& v) {
   if (a.cols() != v.size()) {
     return ShapeMismatch("matrix_vector_multiply", a.rows(), a.cols(),
                          v.size(), 1);
+  }
+  if (obs::MetricsRegistry* reg = obs::GlobalMetrics()) {
+    reg->Add("la.matvec_calls", 1);
+    reg->Add("la.matvec_flops", 2 * a.rows() * a.cols());
   }
   Vector out(a.rows());
   for (size_t r = 0; r < a.rows(); ++r) {
@@ -203,6 +217,10 @@ Result<Vector> VectorMatrixMultiply(const Vector& v, const Matrix& a) {
 }
 
 Matrix OuterProduct(const Vector& a, const Vector& b) {
+  if (obs::MetricsRegistry* reg = obs::GlobalMetrics()) {
+    reg->Add("la.outer_product_calls", 1);
+    reg->Add("la.outer_product_flops", a.size() * b.size());
+  }
   Matrix out(a.size(), b.size());
   for (size_t r = 0; r < a.size(); ++r) {
     const double ar = a[r];

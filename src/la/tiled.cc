@@ -1,5 +1,7 @@
 #include "la/tiled.h"
 
+#include "obs/metrics_registry.h"
+
 #include <algorithm>
 #include <map>
 
@@ -75,6 +77,11 @@ Result<Matrix> AssembleTiles(const std::vector<Tile>& tiles) {
 
 Result<std::vector<Tile>> TiledMultiply(const std::vector<Tile>& lhs,
                                         const std::vector<Tile>& rhs) {
+  if (obs::MetricsRegistry* reg = obs::GlobalMetrics()) {
+    reg->Add("la.tiled_multiply_calls", 1);
+    reg->Add("la.tiles_in", lhs.size() + rhs.size());
+  }
+
   // Group rhs tiles by tile_row for the "join".
   std::map<size_t, std::vector<const Tile*>> rhs_by_row;
   for (const Tile& t : rhs) rhs_by_row[t.tile_row].push_back(&t);

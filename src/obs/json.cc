@@ -1,0 +1,265 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace radb::obs {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  // Integers print without an exponent or trailing zeros.
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  const JsonValue* found = nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) found = &v;  // last wins
+  }
+  return found;
+}
+
+namespace {
+
+/// Single-pass recursive-descent JSON parser.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    RADB_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + msg);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* lit) {
+    const size_t n = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+    JsonValue v;
+    if (ConsumeLiteral("true")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.bool_value = true;
+      return v;
+    }
+    if (ConsumeLiteral("false")) {
+      v.kind = JsonValue::Kind::kBool;
+      return v;
+    }
+    if (ConsumeLiteral("null")) return v;
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+  Result<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (Consume('}')) return v;
+    do {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected string key in object");
+      }
+      RADB_ASSIGN_OR_RETURN(JsonValue key, ParseString());
+      if (!Consume(':')) return Error("expected ':' after object key");
+      RADB_ASSIGN_OR_RETURN(JsonValue val, ParseValue());
+      v.object.emplace_back(std::move(key.string_value), std::move(val));
+    } while (Consume(','));
+    if (!Consume('}')) return Error("expected '}' or ',' in object");
+    return v;
+  }
+
+  Result<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (Consume(']')) return v;
+    do {
+      RADB_ASSIGN_OR_RETURN(JsonValue item, ParseValue());
+      v.array.push_back(std::move(item));
+    } while (Consume(','));
+    if (!Consume(']')) return Error("expected ']' or ',' in array");
+    return v;
+  }
+
+  Result<JsonValue> ParseString() {
+    ++pos_;  // '"'
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+          case '\\':
+          case '/':
+            v.string_value += esc;
+            break;
+          case 'n':
+            v.string_value += '\n';
+            break;
+          case 't':
+            v.string_value += '\t';
+            break;
+          case 'r':
+            v.string_value += '\r';
+            break;
+          case 'b':
+            v.string_value += '\b';
+            break;
+          case 'f':
+            v.string_value += '\f';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Error("invalid hex digit in \\u escape");
+              }
+            }
+            // Keep it simple: encode as UTF-8 for BMP code points.
+            if (code < 0x80) {
+              v.string_value += static_cast<char>(code);
+            } else if (code < 0x800) {
+              v.string_value += static_cast<char>(0xC0 | (code >> 6));
+              v.string_value += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              v.string_value += static_cast<char>(0xE0 | (code >> 12));
+              v.string_value += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              v.string_value += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Error("unknown escape sequence");
+        }
+      } else {
+        v.string_value += c;
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    try {
+      size_t used = 0;
+      v.number = std::stod(text_.substr(start, pos_ - start), &used);
+      if (used != pos_ - start) return Error("malformed number");
+    } catch (const std::exception&) {
+      return Error("malformed number");
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return JsonParser(text).Parse();
+}
+
+}  // namespace radb::obs

@@ -1,0 +1,51 @@
+#ifndef RADB_OBS_JSON_H_
+#define RADB_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace radb::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string JsonEscape(const std::string& s);
+
+/// Formats a double the way JSON expects: no inf/nan (clamped to
+/// null-safe large values), enough digits to round-trip timings.
+std::string JsonNumber(double v);
+
+/// A parsed JSON value. This is deliberately minimal — just enough to
+/// round-trip the trace and metrics artifacts the obs layer emits, so
+/// tests can assert well-formedness without an external dependency.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  /// Key order preserved as encountered (duplicate keys: last wins).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+/// Parses a complete JSON document. Trailing garbage, unterminated
+/// strings, or malformed literals produce InvalidArgument.
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace radb::obs
+
+#endif  // RADB_OBS_JSON_H_

@@ -1,0 +1,116 @@
+#include "obs/metrics_registry.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace radb::obs {
+
+void Histogram::Observe(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  size_t b = 0;
+  if (v > 1.0 && std::isfinite(v)) {
+    b = std::min<size_t>(kBuckets - 1,
+                         static_cast<size_t>(std::ceil(std::log2(v))));
+  }
+  ++buckets_[b];
+}
+
+std::vector<std::pair<double, uint64_t>> Histogram::NonEmptyBuckets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<double, uint64_t>> out;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] != 0) {
+      out.emplace_back(std::exp2(static_cast<double>(i)), buckets_[i]);
+    }
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+       << "\": " << c->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+       << "\": " << JsonNumber(g->value());
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": {"
+       << "\"count\": " << h->count() << ", \"sum\": " << JsonNumber(h->sum())
+       << ", \"min\": " << JsonNumber(h->min())
+       << ", \"max\": " << JsonNumber(h->max())
+       << ", \"mean\": " << JsonNumber(h->mean()) << ", \"buckets\": [";
+    const auto buckets = h->NonEmptyBuckets();
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << "{\"le\": " << JsonNumber(buckets[i].first)
+         << ", \"count\": " << buckets[i].second << "}";
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+namespace {
+std::atomic<MetricsRegistry*> g_metrics{nullptr};
+}  // namespace
+
+MetricsRegistry* GlobalMetrics() {
+  return g_metrics.load(std::memory_order_acquire);
+}
+
+MetricsRegistry* SetGlobalMetrics(MetricsRegistry* m) {
+  return g_metrics.exchange(m, std::memory_order_acq_rel);
+}
+
+}  // namespace radb::obs

@@ -1,0 +1,21 @@
+#ifndef RADB_OBS_OBS_H_
+#define RADB_OBS_OBS_H_
+
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace radb::obs {
+
+/// The observability handles a pipeline stage receives. Both pointers
+/// null = observability disabled, the zero-cost default; everything
+/// downstream must treat them as optional.
+struct ObsContext {
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+
+  bool enabled() const { return tracer != nullptr || metrics != nullptr; }
+};
+
+}  // namespace radb::obs
+
+#endif  // RADB_OBS_OBS_H_

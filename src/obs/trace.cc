@@ -1,0 +1,126 @@
+#include "obs/trace.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace radb::obs {
+
+size_t Tracer::BeginSpan(std::string name, std::string category) {
+  Span s;
+  s.name = std::move(name);
+  s.category = std::move(category);
+  s.parent = open_.empty() ? Span::kNoParent : open_.back();
+  s.start_seconds = NowSeconds();
+  spans_.push_back(std::move(s));
+  const size_t id = spans_.size() - 1;
+  open_.push_back(id);
+  return id;
+}
+
+void Tracer::EndSpan(size_t id) {
+  assert(!open_.empty() && open_.back() == id &&
+         "spans must close innermost-first");
+  if (id < spans_.size() && !spans_[id].closed()) {
+    spans_[id].duration_seconds = NowSeconds() - spans_[id].start_seconds;
+  }
+  if (!open_.empty() && open_.back() == id) open_.pop_back();
+}
+
+size_t Tracer::AddCompleteSpan(std::string name, std::string category,
+                               size_t parent, double start_seconds,
+                               double duration_seconds, int tid) {
+  Span s;
+  s.name = std::move(name);
+  s.category = std::move(category);
+  s.parent = parent;
+  s.start_seconds = start_seconds;
+  s.duration_seconds = duration_seconds < 0.0 ? 0.0 : duration_seconds;
+  s.tid = tid;
+  spans_.push_back(std::move(s));
+  return spans_.size() - 1;
+}
+
+void Tracer::AddArg(size_t id, std::string key, std::string value) {
+  if (id < spans_.size()) {
+    spans_[id].args.emplace_back(std::move(key), std::move(value));
+  }
+}
+
+void Tracer::SetName(size_t id, std::string name) {
+  if (id < spans_.size()) spans_[id].name = std::move(name);
+}
+
+void Tracer::Clear() {
+  spans_.clear();
+  open_.clear();
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const Span& s : spans_) {
+    if (!first) os << ",";
+    first = false;
+    const double dur = s.closed() ? s.duration_seconds : 0.0;
+    os << "\n{\"name\":\"" << JsonEscape(s.name) << "\","
+       << "\"cat\":\"" << JsonEscape(s.category.empty() ? "radb" : s.category)
+       << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << s.tid
+       << ",\"ts\":" << JsonNumber(s.start_seconds * 1e6)
+       << ",\"dur\":" << JsonNumber(dur * 1e6);
+    if (!s.args.empty()) {
+      os << ",\"args\":{";
+      for (size_t i = 0; i < s.args.size(); ++i) {
+        if (i > 0) os << ",";
+        os << "\"" << JsonEscape(s.args[i].first) << "\":\""
+           << JsonEscape(s.args[i].second) << "\"";
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+namespace {
+
+void RenderTree(const std::vector<Span>& spans,
+                const std::vector<std::vector<size_t>>& children, size_t id,
+                int depth, std::ostringstream* os) {
+  const Span& s = spans[id];
+  std::string label(static_cast<size_t>(depth) * 2, ' ');
+  label += s.name;
+  (*os) << label;
+  if (label.size() < 48) (*os) << std::string(48 - label.size(), ' ');
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " %9.3f ms",
+                (s.closed() ? s.duration_seconds : 0.0) * 1e3);
+  (*os) << buf;
+  for (const auto& [k, v] : s.args) (*os) << "  " << k << "=" << v;
+  (*os) << "\n";
+  for (size_t c : children[id]) {
+    RenderTree(spans, children, c, depth + 1, os);
+  }
+}
+
+}  // namespace
+
+std::string Tracer::ToTextTree() const {
+  std::vector<std::vector<size_t>> children(spans_.size());
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    if (spans_[i].parent == Span::kNoParent) {
+      roots.push_back(i);
+    } else {
+      children[spans_[i].parent].push_back(i);
+    }
+  }
+  std::ostringstream os;
+  for (size_t r : roots) RenderTree(spans_, children, r, 0, &os);
+  return os.str();
+}
+
+}  // namespace radb::obs

@@ -1,0 +1,134 @@
+#ifndef RADB_OBS_TRACE_H_
+#define RADB_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace radb::obs {
+
+/// One completed (or still-open) wall-clock phase. Spans form a tree:
+/// `parent` indexes into the owning Tracer's span list (kNoParent for
+/// roots). `tid` is the lane the span renders on in chrome://tracing —
+/// lane 0 is the query pipeline, lanes 1..N are simulated workers.
+struct Span {
+  static constexpr size_t kNoParent = static_cast<size_t>(-1);
+
+  std::string name;
+  std::string category;  // "query", "optimizer", "exec", "worker", ...
+  size_t parent = kNoParent;
+  double start_seconds = 0.0;  // relative to the tracer epoch
+  double duration_seconds = -1.0;  // < 0 while still open
+  int tid = 0;
+  /// Free-form annotations (SQL text, row counts, ...).
+  std::vector<std::pair<std::string, std::string>> args;
+
+  bool closed() const { return duration_seconds >= 0.0; }
+};
+
+/// Span-based wall-clock tracer for one Database's query pipeline.
+///
+/// The tracer records every span since construction (or the last
+/// Clear()); exports render the whole recording. A null Tracer* is the
+/// disabled fast path — ScopedSpan and the Instrument* helpers all
+/// no-op on nullptr, so production code pays one pointer test when
+/// observability is off.
+///
+/// Not thread-safe: the simulated cluster executes on one thread, and
+/// each Database owns its tracer. (Cross-thread tracing would need a
+/// mutex here and nothing else.)
+class Tracer {
+ public:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+  /// Seconds elapsed since the tracer was created.
+  double NowSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+
+  /// Opens a span as a child of the innermost open span and returns
+  /// its id.
+  size_t BeginSpan(std::string name, std::string category = "");
+  /// Closes the span; must be the innermost open one (spans nest
+  /// strictly, like stack frames).
+  void EndSpan(size_t id);
+
+  /// Records an already-timed span (used to synthesize per-worker
+  /// lanes from accumulated per-worker seconds). `parent` may be any
+  /// span id.
+  size_t AddCompleteSpan(std::string name, std::string category,
+                         size_t parent, double start_seconds,
+                         double duration_seconds, int tid);
+
+  /// Attaches a key/value annotation to an open or closed span.
+  void AddArg(size_t id, std::string key, std::string value);
+  /// Replaces a span's name (operators learn their physical name —
+  /// e.g. "HashJoin(bcast right)" — after dispatch).
+  void SetName(size_t id, std::string name);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  const Span& span(size_t id) const { return spans_[id]; }
+  void Clear();
+
+  /// chrome://tracing "trace event" export: a JSON array of complete
+  /// ("ph":"X") events with microsecond timestamps. Load via
+  /// chrome://tracing or https://ui.perfetto.dev.
+  std::string ToChromeJson() const;
+
+  /// Indented text rendering of the span tree with durations, for
+  /// terminals and tests.
+  std::string ToTextTree() const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<Span> spans_;
+  std::vector<size_t> open_;  // stack of open span ids
+};
+
+/// RAII span handle. Null tracer = disabled: construction and
+/// destruction are branch-on-null only.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, std::string name, std::string category = "")
+      : tracer_(tracer) {
+    if (tracer_ != nullptr) {
+      id_ = tracer_->BeginSpan(std::move(name), std::move(category));
+    }
+  }
+  ~ScopedSpan() { End(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Closes the span early (e.g. before exporting the trace while this
+  /// handle is still in scope). Idempotent; the destructor then no-ops.
+  void End() {
+    if (tracer_ != nullptr) tracer_->EndSpan(id_);
+    tracer_ = nullptr;
+  }
+
+  Tracer* tracer() const { return tracer_; }
+  /// Valid only when tracer() != nullptr.
+  size_t id() const { return id_; }
+
+  void AddArg(std::string key, std::string value) {
+    if (tracer_ != nullptr) {
+      tracer_->AddArg(id_, std::move(key), std::move(value));
+    }
+  }
+  void SetName(std::string name) {
+    if (tracer_ != nullptr) tracer_->SetName(id_, std::move(name));
+  }
+
+ private:
+  Tracer* tracer_;
+  size_t id_ = 0;
+};
+
+}  // namespace radb::obs
+
+#endif  // RADB_OBS_TRACE_H_

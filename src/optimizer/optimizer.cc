@@ -30,8 +30,9 @@ double PredicateSelectivity(const BoundExpr& e) {
 
 class Optimizer::PlanBuilder {
  public:
-  PlanBuilder(const Options& options, size_t next_slot)
-      : options_(options), next_slot_(next_slot) {}
+  PlanBuilder(const Options& options, size_t next_slot,
+              obs::ObsContext obs = {})
+      : options_(options), next_slot_(next_slot), obs_(obs) {}
 
   Result<LogicalOpPtr> Build(BoundQuery& q);
 
@@ -115,6 +116,11 @@ class Optimizer::PlanBuilder {
 
   const Options& options_;
   size_t next_slot_;
+  obs::ObsContext obs_;
+  /// Candidate (sub)plans costed during the join-order search — the
+  /// optimizer.plans_considered counter.
+  size_t plans_considered_ = 0;
+  size_t early_projections_ = 0;
 
   std::vector<Conjunct> conjuncts_;
   std::vector<Pending> pendings_;
@@ -175,7 +181,7 @@ Result<Optimizer::PlanBuilder::SubPlan> Optimizer::PlanBuilder::MakeLeaf(
     plan.cost = NodeCost(*plan.op);
   } else {
     // Derived table / view: plan the nested query independently.
-    PlanBuilder nested(options_, next_slot_);
+    PlanBuilder nested(options_, next_slot_, obs_);
     RADB_ASSIGN_OR_RETURN(plan.op, nested.Build(*rel.subquery));
     next_slot_ = std::max(next_slot_, nested.next_slot_);
     plan.cost = plan.op->est_cost;
@@ -214,6 +220,7 @@ Result<Optimizer::PlanBuilder::SubPlan> Optimizer::PlanBuilder::JoinPlans(
     const SubPlan& left, const SubPlan& right, uint64_t left_mask,
     uint64_t right_mask) {
   const uint64_t mask = left_mask | right_mask;
+  ++plans_considered_;
   SubPlan plan;
   plan.placed = left.placed;
   plan.placed.insert(right.placed.begin(), right.placed.end());
@@ -295,6 +302,9 @@ Status Optimizer::PlanBuilder::TryEarlyProjection(SubPlan* plan,
   double added = 0.0;
   for (size_t pi : candidates) added += pendings_[pi].result_bytes;
   if (dropped <= added) return Status::OK();
+  ++early_projections_;
+  obs::ScopedSpan rule_span(obs_.tracer, "rule:early_projection",
+                            "optimizer");
 
   // Build the projection: surviving columns plus computed values.
   std::vector<BoundExprPtr> exprs;
@@ -438,6 +448,8 @@ Result<LogicalOpPtr> Optimizer::PlanBuilder::Build(BoundQuery& q) {
   // ---- Join order search. ----
   const size_t n = relations_.size();
   SubPlan best;
+  obs::ScopedSpan search_span(obs_.tracer, "rule:join_order_search",
+                              "optimizer");
   if (n == 1) {
     RADB_ASSIGN_OR_RETURN(best, MakeLeaf(0));
   } else if (n <= options_.dp_relation_limit) {
@@ -500,6 +512,8 @@ Result<LogicalOpPtr> Optimizer::PlanBuilder::Build(BoundQuery& q) {
     }
     best = std::move(current);
   }
+  search_span.AddArg("plans_considered", std::to_string(plans_considered_));
+  search_span.End();
 
   // Leftover conjuncts (e.g. slot-free predicates like WHERE 1 = 0).
   std::vector<BoundExprPtr> leftovers;
@@ -611,11 +625,19 @@ Result<LogicalOpPtr> Optimizer::PlanBuilder::Build(BoundQuery& q) {
   }
 
   root->est_cost = cost;
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->Add("optimizer.queries_planned", 1);
+    obs_.metrics->Add("optimizer.plans_considered", plans_considered_);
+    obs_.metrics->Add("optimizer.early_projections", early_projections_);
+    obs_.metrics->Observe("optimizer.relations_per_query",
+                          static_cast<double>(relations_.size()));
+  }
   return root;
 }
 
-Result<LogicalOpPtr> Optimizer::Plan(std::unique_ptr<BoundQuery> query) {
-  PlanBuilder builder(options_, query->next_slot);
+Result<LogicalOpPtr> Optimizer::Plan(std::unique_ptr<BoundQuery> query,
+                                     obs::ObsContext obs) {
+  PlanBuilder builder(options_, query->next_slot, obs);
   return builder.Build(*query);
 }
 

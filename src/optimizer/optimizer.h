@@ -5,6 +5,7 @@
 
 #include "binder/binder.h"
 #include "common/result.h"
+#include "obs/obs.h"
 #include "plan/logical_plan.h"
 
 namespace radb {
@@ -48,7 +49,14 @@ class Optimizer {
   explicit Optimizer(const Options& options) : options_(options) {}
 
   /// Produces an executable logical plan; consumes the bound query.
-  Result<LogicalOpPtr> Plan(std::unique_ptr<BoundQuery> query);
+  Result<LogicalOpPtr> Plan(std::unique_ptr<BoundQuery> query) {
+    return Plan(std::move(query), obs::ObsContext{});
+  }
+  /// As above, with tracing/metrics: emits per-rule sub-spans
+  /// (join-order search, early projection) and counters such as
+  /// optimizer.plans_considered.
+  Result<LogicalOpPtr> Plan(std::unique_ptr<BoundQuery> query,
+                            obs::ObsContext obs);
 
   const Options& options() const { return options_; }
 

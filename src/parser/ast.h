@@ -121,7 +121,7 @@ struct ColumnDef {
 struct Statement {
   enum class Kind {
     kSelect,
-    kExplain,            // EXPLAIN SELECT ... (plan as a result set)
+    kExplain,            // EXPLAIN [ANALYZE] SELECT ... (plan as a result set)
     kCreateTable,        // CREATE TABLE t (col TYPE, ...)
     kCreateTableAs,      // CREATE TABLE t AS SELECT ...
     kCreateView,         // CREATE VIEW v [(aliases)] AS SELECT ...
@@ -131,6 +131,7 @@ struct Statement {
   };
 
   Kind kind = Kind::kSelect;
+  bool explain_analyze = false;             // EXPLAIN ANALYZE: run + annotate
   std::unique_ptr<SelectStmt> select;       // kSelect/kCreateView/kCTAS
   std::string relation_name;                // target of CREATE/INSERT/DROP
   std::vector<ColumnDef> columns;           // kCreateTable

@@ -128,6 +128,7 @@ class Parser {
     if (AcceptKeyword("explain")) {
       Statement stmt;
       stmt.kind = Statement::Kind::kExplain;
+      stmt.explain_analyze = AcceptKeyword("analyze");
       RADB_RETURN_NOT_OK(ExpectKeyword("select"));
       RADB_ASSIGN_OR_RETURN(stmt.select, ParseSelectBody());
       return stmt;

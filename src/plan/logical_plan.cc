@@ -13,8 +13,6 @@ double LogicalOp::ComputeRowBytes() const {
   return bytes;
 }
 
-namespace {
-
 const char* KindName(LogicalOp::Kind k) {
   switch (k) {
     case LogicalOp::Kind::kScan:
@@ -37,12 +35,9 @@ const char* KindName(LogicalOp::Kind k) {
   return "?";
 }
 
-}  // namespace
-
-std::string LogicalOp::ToString(int indent) const {
+std::string LogicalOp::NodeLabel() const {
   std::ostringstream os;
-  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
-  os << pad << KindName(kind);
+  os << KindName(kind);
   switch (kind) {
     case Kind::kScan:
       os << " " << (table ? table->name() : "?");
@@ -100,6 +95,13 @@ std::string LogicalOp::ToString(int indent) const {
     default:
       break;
   }
+  return os.str();
+}
+
+std::string LogicalOp::ToString(int indent) const {
+  std::ostringstream os;
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  os << pad << NodeLabel();
   os << "  (rows=" << est_rows
      << ", bytes=" << FormatBytes(EstOutputBytes()) << ")";
   os << "\n";

@@ -86,6 +86,11 @@ struct LogicalOp {
   /// Sum of output column byte widths from their types.
   double ComputeRowBytes() const;
 
+  /// One-line description of this node alone (kind + salient exprs),
+  /// no cost annotation, no children — the building block ToString and
+  /// EXPLAIN ANALYZE share.
+  std::string NodeLabel() const;
+
   /// Indented EXPLAIN-style rendering of the subtree.
   std::string ToString(int indent = 0) const;
 
@@ -93,6 +98,9 @@ struct LogicalOp {
   /// candidate parents).
   LogicalOpPtr Clone() const;
 };
+
+/// Printable name of a plan-node kind ("Scan", "Join", ...).
+const char* KindName(LogicalOp::Kind k);
 
 LogicalOpPtr MakeScan(std::shared_ptr<Table> table, std::string alias,
                       std::vector<size_t> scan_columns,

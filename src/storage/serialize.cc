@@ -1,5 +1,7 @@
 #include "storage/serialize.h"
 
+#include "obs/metrics_registry.h"
+
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -231,6 +233,11 @@ Status WriteTableFile(const Table& table, const std::string& path) {
   if (!os) {
     return Status::ExecutionError("write failed for " + path);
   }
+  if (obs::MetricsRegistry* reg = obs::GlobalMetrics()) {
+    reg->Add("storage.tables_written", 1);
+    const auto pos = os.tellp();
+    if (pos > 0) reg->Add("storage.bytes_written", static_cast<uint64_t>(pos));
+  }
   return Status::OK();
 }
 
@@ -267,6 +274,11 @@ Result<std::shared_ptr<Table>> ReadTableFile(const std::string& path,
       row.push_back(std::move(v));
     }
     RADB_RETURN_NOT_OK(table->Insert(std::move(row)));
+  }
+  if (obs::MetricsRegistry* reg = obs::GlobalMetrics()) {
+    reg->Add("storage.tables_read", 1);
+    const auto pos = is.tellg();
+    if (pos > 0) reg->Add("storage.bytes_read", static_cast<uint64_t>(pos));
   }
   return table;
 }

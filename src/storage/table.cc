@@ -1,5 +1,7 @@
 #include "storage/table.h"
 
+#include "obs/metrics_registry.h"
+
 namespace radb {
 
 Table::Table(std::string name, Schema schema, size_t num_partitions)
@@ -53,8 +55,12 @@ Status Table::Insert(Row row) {
 }
 
 Status Table::InsertAll(std::vector<Row> rows) {
+  const size_t n = rows.size();
   for (Row& r : rows) {
     RADB_RETURN_NOT_OK(Insert(std::move(r)));
+  }
+  if (obs::MetricsRegistry* reg = obs::GlobalMetrics()) {
+    reg->Add("storage.rows_inserted", n);
   }
   return Status::OK();
 }
@@ -73,6 +79,9 @@ Status Table::RepartitionByHash(size_t column) {
   partitions_ = std::move(next);
   partitioning_.kind = Partitioning::Kind::kHash;
   partitioning_.hash_column = column;
+  if (obs::MetricsRegistry* reg = obs::GlobalMetrics()) {
+    reg->Add("storage.rows_repartitioned", num_rows());
+  }
   return Status::OK();
 }
 

@@ -225,6 +225,44 @@ TEST_F(SqlBasicTest, MetricsPopulated) {
   EXPECT_TRUE(saw_aggregate);
 }
 
+TEST_F(SqlBasicTest, ExplainAnalyzeAnnotatesEveryNode) {
+  auto rs =
+      db_.ExecuteSql("EXPLAIN ANALYZE SELECT c, SUM(a) FROM t GROUP BY c");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  ASSERT_EQ(rs->num_columns(), 1u);
+  std::string text;
+  for (size_t r = 0; r < rs->num_rows(); ++r) {
+    text += rs->at(r, 0).string_value();
+    text += "\n";
+  }
+  EXPECT_NE(text.find("Aggregate"), std::string::npos) << text;
+  EXPECT_NE(text.find("Scan t"), std::string::npos) << text;
+  EXPECT_NE(text.find("est rows="), std::string::npos) << text;
+  EXPECT_NE(text.find("actual rows="), std::string::npos) << text;
+  EXPECT_NE(text.find("max-worker="), std::string::npos) << text;
+  EXPECT_NE(text.find("skew="), std::string::npos) << text;
+  EXPECT_NE(text.find("wall time:"), std::string::npos) << text;
+  // EXPLAIN ANALYZE executed the query, so last_metrics() is the run
+  // it reports.
+  const QueryMetrics& m = db_.last_metrics();
+  EXPECT_GT(m.operators.size(), 0u);
+  EXPECT_GT(m.wall_seconds, 0.0);
+  // The Scan annotation carries that operator's actual row count.
+  EXPECT_NE(text.find("actual rows=4"), std::string::npos) << text;
+}
+
+TEST_F(SqlBasicTest, PlainExplainDoesNotExecute) {
+  auto rs = db_.ExecuteSql("EXPLAIN SELECT a FROM t");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  std::string text;
+  for (size_t r = 0; r < rs->num_rows(); ++r) {
+    text += rs->at(r, 0).string_value();
+    text += "\n";
+  }
+  EXPECT_EQ(text.find("actual rows="), std::string::npos) << text;
+  EXPECT_NE(text.find("estimated cost:"), std::string::npos) << text;
+}
+
 TEST_F(SqlBasicTest, DropTableAndView) {
   ASSERT_TRUE(db_.ExecuteSql("CREATE VIEW v AS SELECT a FROM t").ok());
   ASSERT_TRUE(db_.ExecuteSql("DROP VIEW v").ok());

@@ -2,6 +2,7 @@
 
 #include "api/database.h"
 #include "common/rng.h"
+#include "common/string_util.h"
 #include "la/random.h"
 #include "la/tiled.h"
 
@@ -396,6 +397,83 @@ TEST(SqlLaTest, RuntimeErrorsSurface) {
       db.BulkInsert("m2", {Row{Value::FromMatrix(la::Matrix(2, 3))}}).ok());
   EXPECT_EQ(db.ExecuteSql("SELECT diag(mat) FROM m2").status().code(),
             StatusCode::kDimensionMismatch);
+}
+
+// --- EXPLAIN ANALYZE over LA queries --------------------------------
+
+namespace {
+std::string PlanText(const ResultSet& rs) {
+  std::string text;
+  for (size_t r = 0; r < rs.num_rows(); ++r) {
+    text += rs.at(r, 0).string_value();
+    text += "\n";
+  }
+  return text;
+}
+}  // namespace
+
+TEST(SqlLaTest, ExplainAnalyzeOuterProductAgreesWithLastMetrics) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE v (vec VECTOR[4])").ok());
+  ASSERT_TRUE(db.ExecuteSql("INSERT INTO v VALUES (ones_vector(4)), "
+                            "(ones_vector(4)), (ones_vector(4))")
+                  .ok());
+  auto rs = db.ExecuteSql(
+      "EXPLAIN ANALYZE SELECT SUM(outer_product(vec, vec)) FROM v");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  const std::string text = PlanText(*rs);
+  EXPECT_NE(text.find("Aggregate"), std::string::npos) << text;
+  EXPECT_NE(text.find("Scan v"), std::string::npos) << text;
+  EXPECT_NE(text.find("actual rows=3"), std::string::npos) << text;  // scan
+  EXPECT_NE(text.find("actual rows=1"), std::string::npos) << text;  // agg
+
+  // The footer totals are the same numbers last_metrics() reports.
+  const QueryMetrics& m = db.last_metrics();
+  EXPECT_GT(m.operators.size(), 0u);
+  EXPECT_NE(
+      text.find("total shuffled: " +
+                FormatBytes(static_cast<double>(m.TotalBytesShuffled()))),
+      std::string::npos)
+      << text;
+  size_t agg_rows_out = 0;
+  for (const auto& op : m.operators) {
+    if (op.name.find("final") != std::string::npos) agg_rows_out = op.rows_out;
+  }
+  EXPECT_EQ(agg_rows_out, 1u);
+}
+
+TEST(SqlLaTest, ExplainAnalyzeGramSplitsJoinAndAggregateTime) {
+  // Figure 4's question — where does a Gram-style query spend its
+  // time? — asked of EXPLAIN ANALYZE: the join and the aggregation
+  // must be separately visible, each with its own timing.
+  Database db;
+  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE x (id INTEGER, vec VECTOR[4]);"
+                            "CREATE TABLE w (id INTEGER, scale DOUBLE)")
+                  .ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        db.BulkInsert(
+              "x", {Row{Value::Int(i), Value::FromVector(la::Vector(
+                                           std::vector<double>{1, 2, 3, 4}))}})
+            .ok());
+    ASSERT_TRUE(
+        db.BulkInsert("w", {Row{Value::Int(i), Value::Double(1.0)}}).ok());
+  }
+  auto rs = db.ExecuteSql(
+      "EXPLAIN ANALYZE SELECT SUM(outer_product(x.vec, x.vec)) "
+      "FROM x, w WHERE x.id = w.id");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  const std::string text = PlanText(*rs);
+  EXPECT_NE(text.find("Join"), std::string::npos) << text;
+  EXPECT_NE(text.find("Aggregate"), std::string::npos) << text;
+
+  const QueryMetrics& m = db.last_metrics();
+  const double join_s = m.SecondsForOperatorsContaining("Join");
+  const double agg_s = m.SecondsForOperatorsContaining("Aggregate");
+  EXPECT_GT(join_s, 0.0);
+  EXPECT_GT(agg_s, 0.0);
+  // Both phases carry per-node annotations in the rendering.
+  EXPECT_NE(text.find("max-worker="), std::string::npos) << text;
 }
 
 }  // namespace
