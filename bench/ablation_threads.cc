@@ -1,0 +1,115 @@
+// Ablation: real execution threads. Sweeps Config::num_threads over
+// the Figure 1 Gram computation (vector and blocked codings) with the
+// simulated cluster width held fixed, so the only variable is how
+// many pool threads the per-worker loops and LA kernels fan out
+// onto. Each run is cross-checked against the 1-thread reference
+// matrix bit-for-bit: the pool must change wall clock only, never
+// results. Emits BENCH_threads.json.
+//
+// Note: the speedup ceiling is min(num_threads, hardware cores) — on
+// a single-core container every setting measures pool overhead only.
+#include "bench/bench_util.h"
+
+#include "la/matrix.h"
+
+namespace radb::bench {
+namespace {
+
+using workloads::Dataset;
+using workloads::GenerateDataset;
+using workloads::SqlWorkload;
+
+// Large enough that the Gram aggregation dominates the fixed
+// parse/plan cost and each of the 8 simulated workers carries a
+// substantial partition.
+constexpr size_t kN = 1600;
+constexpr size_t kD = 200;
+constexpr size_t kBlock = 200;  // 8 blocked work units for 8 workers
+
+Database::Config ConfigFor(size_t threads) {
+  Database::Config config;
+  config.num_workers = kWorkers;
+  config.num_threads = threads;
+  return config;
+}
+
+// 1-thread reference results, computed once and compared against
+// every multi-threaded run (exact equality — the determinism
+// contract, not a tolerance).
+const la::Matrix& ReferenceGramVector(const Dataset& data) {
+  static const la::Matrix* ref = [&] {
+    SqlWorkload wl(ConfigFor(1));
+    if (!wl.LoadVector(data).ok()) return new la::Matrix();
+    auto out = wl.GramVector();
+    return new la::Matrix(out.ok() ? out->gram : la::Matrix());
+  }();
+  return *ref;
+}
+
+const la::Matrix& ReferenceGramBlock(const Dataset& data) {
+  static const la::Matrix* ref = [&] {
+    SqlWorkload wl(ConfigFor(1));
+    if (!wl.LoadVector(data).ok()) return new la::Matrix();
+    auto out = wl.GramBlock(kBlock);
+    return new la::Matrix(out.ok() ? out->gram : la::Matrix());
+  }();
+  return *ref;
+}
+
+void RunSweep(benchmark::State& state, bool blocked) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const Dataset data = GenerateDataset(kSeed, kN, kD);
+  const la::Matrix& ref =
+      blocked ? ReferenceGramBlock(data) : ReferenceGramVector(data);
+  for (auto _ : state) {
+    SqlWorkload wl(ConfigFor(threads));
+    if (!wl.LoadVector(data).ok()) {
+      state.SkipWithError("load failed");
+      break;
+    }
+    auto out = blocked ? wl.GramBlock(kBlock) : wl.GramVector();
+    if (!out.ok()) {
+      state.SkipWithError(out.status().ToString().c_str());
+      break;
+    }
+    if (out->gram.MaxAbsDiff(ref) != 0.0) {
+      state.SkipWithError("result differs from 1-thread reference");
+      break;
+    }
+    const std::string coding = blocked ? "block" : "vector";
+    ReportOutcome(state, *out, "threads",
+                  coding + " t=" + std::to_string(threads));
+    state.counters["threads"] = static_cast<double>(threads);
+  }
+}
+
+void BM_Ablation_ThreadsGramVector(benchmark::State& state) {
+  RunSweep(state, /*blocked=*/false);
+}
+
+void BM_Ablation_ThreadsGramBlock(benchmark::State& state) {
+  RunSweep(state, /*blocked=*/true);
+}
+
+BENCHMARK(BM_Ablation_ThreadsGramVector)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_Ablation_ThreadsGramBlock)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace radb::bench
+
+BENCHMARK_MAIN();

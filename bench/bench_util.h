@@ -124,6 +124,7 @@ class BenchJsonRegistry {
     std::ostringstream os;
     os << "{\"label\":\"" << obs::JsonEscape(label) << "\""
        << ",\"failed\":" << (out.failed ? "true" : "false")
+       << ",\"num_threads\":" << out.num_threads
        << ",\"wall_seconds\":" << obs::JsonNumber(out.wall_seconds)
        << ",\"simulated_seconds\":" << obs::JsonNumber(out.simulated_seconds)
        << ",\"cluster_seconds\":" << obs::JsonNumber(ClusterSeconds(out))

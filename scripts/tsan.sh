@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# ThreadSanitizer build-and-test: configures a dedicated build tree
+# with -DRADB_SANITIZE=thread (TSan excludes AddressSanitizer; see
+# scripts/ and the README's sanitizer notes for the asan/ubsan twin),
+# builds everything, and runs the full test suite. The determinism
+# and concurrent-obs tests drive the thread pool with real threads,
+# so this is the race detector for the parallel runtime.
+#
+# Usage: scripts/tsan.sh [build-dir]   (default: build-tsan)
+set -eu
+
+BUILD_DIR="${1:-build-tsan}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+cmake -S "$(dirname "$0")/.." -B "$BUILD_DIR" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DRADB_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j "$JOBS"
+# halt_on_error: fail the suite on the first race, not just the report.
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure

@@ -121,6 +121,12 @@ Result<Value> EvalConstExpr(const Catalog& catalog,
 Database::Database(const Config& config)
     : config_(config), cluster_(config.num_workers) {
   catalog_ = Catalog(config.num_workers);
+  pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  // Install as the process-global pool so the LA kernels — free
+  // functions with no path to a Database — parallelize over the same
+  // threads (and stay sequential when invoked from inside an already
+  // parallel executor loop).
+  previous_global_pool_ = SetGlobalPool(pool_.get());
   if (config_.obs.enable_tracing || !config_.obs.trace_path.empty()) {
     tracer_ = std::make_unique<obs::Tracer>();
   }
@@ -140,6 +146,7 @@ Database::~Database() {
       obs::GlobalMetrics() == metrics_registry_.get()) {
     obs::SetGlobalMetrics(previous_global_metrics_);
   }
+  if (GlobalPool() == pool_.get()) SetGlobalPool(previous_global_pool_);
 }
 
 Status Database::BulkInsert(const std::string& table, std::vector<Row> rows) {
@@ -172,7 +179,7 @@ Result<ResultSet> Database::RunSelect(const parser::SelectStmt& stmt) {
   Dist dist;
   {
     obs::ScopedSpan exec_span(obs.tracer, "execute", "pipeline");
-    Executor executor(cluster_, &last_metrics_, obs);
+    Executor executor(cluster_, &last_metrics_, obs, pool_.get());
     RADB_ASSIGN_OR_RETURN(dist, executor.Execute(*plan));
   }
   last_metrics_.wall_seconds =
@@ -363,7 +370,7 @@ Result<ResultSet> Database::ExplainAnalyzeSelect(
   const auto t0 = std::chrono::steady_clock::now();
   // The executor outlives Execute so its plan-node -> metrics map is
   // available for rendering.
-  Executor executor(cluster_, &last_metrics_, obs);
+  Executor executor(cluster_, &last_metrics_, obs, pool_.get());
   {
     obs::ScopedSpan exec_span(obs.tracer, "execute", "pipeline");
     RADB_ASSIGN_OR_RETURN(Dist dist, executor.Execute(*plan));

@@ -7,6 +7,7 @@
 
 #include "catalog/catalog.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "dist/cluster.h"
 #include "dist/metrics.h"
 #include "obs/metrics_registry.h"
@@ -75,6 +76,12 @@ class Database {
     /// Simulated worker count (the paper uses 10 machines x 8 cores;
     /// workers here model the unit of data partitioning).
     size_t num_workers = 8;
+    /// Real execution threads in the shared pool that the executor's
+    /// per-worker loops and the LA kernels dispatch onto. 0 = one per
+    /// hardware core; 1 = fully sequential (the pre-pool behavior).
+    /// Results are bit-identical at every setting — only wall-clock
+    /// changes.
+    size_t num_threads = 0;
     Optimizer::Options optimizer;
     ObsOptions obs;
   };
@@ -89,6 +96,12 @@ class Database {
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
   const Cluster& cluster() const { return cluster_; }
+  /// The execution thread pool (never null; a 1-thread pool runs
+  /// everything inline on the caller).
+  ThreadPool* pool() { return pool_.get(); }
+  /// Resolved Config::num_threads (0 resolves to the hardware core
+  /// count at construction).
+  size_t num_threads() const { return pool_->num_threads(); }
 
   /// Executes one or more ';'-separated statements. The returned
   /// ResultSet is that of the last SELECT (empty for DDL/DML-only
@@ -149,6 +162,8 @@ class Database {
   Cluster cluster_;
   Catalog catalog_;
   QueryMetrics last_metrics_;
+  std::unique_ptr<ThreadPool> pool_;
+  ThreadPool* previous_global_pool_ = nullptr;
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<obs::MetricsRegistry> metrics_registry_;
   obs::MetricsRegistry* previous_global_metrics_ = nullptr;

@@ -1,0 +1,167 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace radb {
+
+namespace {
+
+/// Set while a thread is executing region bodies (worker thread or
+/// participating caller inside another pool's region); nested regions
+/// started under it run inline.
+thread_local bool tls_in_worker = false;
+
+}  // namespace
+
+size_t ThreadPool::HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+bool ThreadPool::InWorker() { return tls_in_worker; }
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(num_threads == 0 ? HardwareThreads() : num_threads) {
+  // The caller participates in every region, so only n-1 extra
+  // threads are needed; a 1-thread pool is purely inline.
+  workers_.reserve(num_threads_ - 1);
+  for (size_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+// The claim cursor packs (generation low bits << 32 | next index) into
+// one atomic so a straggler that wakes after its region already
+// finished — and after a newer region reset the index — sees the
+// generation mismatch and claims nothing, instead of running a stale
+// body on the new region's indices.
+size_t ThreadPool::ClaimIndex(uint64_t generation, size_t n) {
+  const uint64_t tag = (generation & 0xffffffffULL) << 32;
+  uint64_t c = cursor_.load(std::memory_order_relaxed);
+  for (;;) {
+    if ((c & 0xffffffff00000000ULL) != tag) return kNoIndex;
+    const size_t i = static_cast<size_t>(c & 0xffffffffULL);
+    if (i >= n) return kNoIndex;
+    if (cursor_.compare_exchange_weak(c, c + 1, std::memory_order_relaxed)) {
+      return i;
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(size_t)>* job = nullptr;
+    size_t n = 0;
+    uint64_t generation = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      generation = generation_;
+      job = job_;
+      n = job_size_;
+    }
+    tls_in_worker = true;
+    size_t ran = 0;
+    for (;;) {
+      const size_t i = ClaimIndex(generation, n);
+      if (i == kNoIndex) break;
+      (*job)(i);
+      ++ran;
+    }
+    tls_in_worker = false;
+    if (ran > 0 &&
+        completed_.fetch_add(ran, std::memory_order_acq_rel) + ran == n) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::RunRegion(size_t n, const std::function<void(size_t)>& body) {
+  std::lock_guard<std::mutex> region_lock(region_mu_);
+  uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &body;
+    job_size_ = n;
+    completed_.store(0, std::memory_order_relaxed);
+    generation = ++generation_;
+    cursor_.store((generation & 0xffffffffULL) << 32,
+                  std::memory_order_relaxed);
+  }
+  work_cv_.notify_all();
+  // The driver claims indices alongside the workers.
+  tls_in_worker = true;
+  size_t ran = 0;
+  for (;;) {
+    const size_t i = ClaimIndex(generation, n);
+    if (i == kNoIndex) break;
+    body(i);
+    ++ran;
+  }
+  tls_in_worker = false;
+  completed_.fetch_add(ran, std::memory_order_acq_rel);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return completed_.load(std::memory_order_acquire) == n;
+    });
+    job_ = nullptr;
+    job_size_ = 0;
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1 || num_threads_ <= 1 || tls_in_worker) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  RunRegion(n, body);
+}
+
+void ThreadPool::ParallelRanges(
+    size_t total, const std::function<void(size_t, size_t)>& body) {
+  if (total == 0) return;
+  if (num_threads_ <= 1 || tls_in_worker) {
+    body(0, total);
+    return;
+  }
+  // A few chunks per thread so dynamic index claiming evens out
+  // ranges with unequal cost (e.g. the triangular TSMM bands).
+  const size_t target_chunks = num_threads_ * 4;
+  const size_t chunk =
+      std::max<size_t>(1, (total + target_chunks - 1) / target_chunks);
+  const size_t n_chunks = (total + chunk - 1) / chunk;
+  ParallelFor(n_chunks, [&](size_t c) {
+    const size_t begin = c * chunk;
+    body(begin, std::min(begin + chunk, total));
+  });
+}
+
+namespace {
+std::atomic<ThreadPool*> g_pool{nullptr};
+}  // namespace
+
+ThreadPool* GlobalPool() { return g_pool.load(std::memory_order_acquire); }
+
+ThreadPool* SetGlobalPool(ThreadPool* pool) {
+  return g_pool.exchange(pool, std::memory_order_acq_rel);
+}
+
+}  // namespace radb

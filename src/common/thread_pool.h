@@ -1,0 +1,103 @@
+#ifndef RADB_COMMON_THREAD_POOL_H_
+#define RADB_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace radb {
+
+/// Fixed-size thread pool driving fork/join `ParallelFor` regions.
+///
+/// One pool is owned per Database (sized by Config::num_threads) and
+/// shared by the executor's per-worker partition loops and, through
+/// the GlobalPool() hook, by the dense LA kernels. There is no work
+/// stealing and no general task queue: a region hands every pool
+/// thread the same body, indices are claimed from one atomic cursor,
+/// and the caller blocks (and participates) until all n indices ran.
+///
+/// Sequential guarantees, relied on for determinism:
+///  - a pool built with num_threads <= 1 spawns no threads and runs
+///    every region inline on the caller;
+///  - a region started from inside a pool worker (nested parallelism,
+///    e.g. an LA kernel invoked from a parallel executor loop) runs
+///    inline on that worker instead of deadlocking on busy threads;
+///  - bodies must write only disjoint state per index, which is how
+///    the executor keeps per-worker Dist outputs bit-identical at any
+///    thread count.
+class ThreadPool {
+ public:
+  /// `num_threads` = 0 picks one thread per hardware core.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return num_threads_; }
+
+  /// Runs body(i) for every i in [0, n) and blocks until all are
+  /// done. The calling thread participates. Concurrent ParallelFor
+  /// calls from different threads serialize on the region lock.
+  /// n must fit in 32 bits (indices share an atomic with the region
+  /// generation).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  /// Splits [0, total) into contiguous ranges (several per thread, so
+  /// dynamic claiming balances uneven work) and runs body(begin, end)
+  /// for each. Used by the LA kernels for row-band parallelism; each
+  /// output row is produced entirely by one range, so results are
+  /// identical to the sequential loop.
+  void ParallelRanges(size_t total,
+                      const std::function<void(size_t, size_t)>& body);
+
+  /// True when the calling thread is one of this process's pool
+  /// workers (any pool) — the signal that a region must run inline.
+  static bool InWorker();
+
+  /// hardware_concurrency, clamped to >= 1.
+  static size_t HardwareThreads();
+
+ private:
+  static constexpr size_t kNoIndex = static_cast<size_t>(-1);
+
+  void WorkerLoop();
+  void RunRegion(size_t n, const std::function<void(size_t)>& body);
+  /// Claims the next index of region `generation`, or kNoIndex when
+  /// the region is exhausted or no longer current.
+  size_t ClaimIndex(uint64_t generation, size_t n);
+
+  size_t num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex region_mu_;  // serializes whole ParallelFor regions
+
+  std::mutex mu_;  // guards the per-region fields below
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;
+  size_t job_size_ = 0;
+  const std::function<void(size_t)>* job_ = nullptr;
+  /// (generation low bits << 32) | next unclaimed index.
+  std::atomic<uint64_t> cursor_{0};
+  std::atomic<size_t> completed_{0};
+  bool shutdown_ = false;
+};
+
+/// Process-global pool hook for call sites with no natural path to a
+/// Database (the LA kernels), mirroring obs::GlobalMetrics(). Null
+/// means sequential execution — callers must test. A Database installs
+/// its pool here for the duration of its lifetime.
+ThreadPool* GlobalPool();
+/// Installs (or, with nullptr, uninstalls) the global pool; returns
+/// the previous one.
+ThreadPool* SetGlobalPool(ThreadPool* pool);
+
+}  // namespace radb
+
+#endif  // RADB_COMMON_THREAD_POOL_H_

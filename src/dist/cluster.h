@@ -8,9 +8,11 @@ namespace radb {
 /// Configuration of the simulated shared-nothing cluster. The paper
 /// evaluates on 10 EC2 machines x 8 cores; we model W workers, each
 /// owning one horizontal partition of every table. Execution is
-/// sequential in-process, but the executor records per-worker time and
-/// cross-worker byte movement so that simulated parallel runtimes and
-/// shuffle volumes match what a real deployment would see.
+/// in-process: each worker's partition loop runs as one task on the
+/// Database's thread pool (sequential when Config::num_threads is 1),
+/// and the executor records per-worker time and cross-worker byte
+/// movement so that simulated parallel runtimes and shuffle volumes
+/// match what a real deployment would see.
 class Cluster {
  public:
   explicit Cluster(size_t num_workers)

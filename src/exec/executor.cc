@@ -134,6 +134,22 @@ void Executor::PublishObservability() {
   }
 }
 
+Status Executor::ForEachWorker(size_t n,
+                               const std::function<Status(size_t)>& body) {
+  if (pool_ == nullptr || pool_->num_threads() <= 1 || n <= 1) {
+    for (size_t w = 0; w < n; ++w) {
+      RADB_RETURN_NOT_OK(body(w));
+    }
+    return Status::OK();
+  }
+  std::vector<Status> statuses(n, Status::OK());
+  pool_->ParallelFor(n, [&](size_t w) { statuses[w] = body(w); });
+  for (Status& s : statuses) {
+    if (!s.ok()) return std::move(s);
+  }
+  return Status::OK();
+}
+
 Result<Dist> Executor::Execute(const LogicalOp& op) {
   RADB_ASSIGN_OR_RETURN(ExecResult out, ExecuteOp(op));
   PublishObservability();
@@ -202,21 +218,23 @@ Result<ExecResult> Executor::ExecuteScan(const LogicalOp& op) {
   const size_t w = cluster_.num_workers();
   Dist out(w);
   // Table partitions map onto workers round-robin when the counts
-  // differ.
-  for (size_t p = 0; p < op.table->num_partitions(); ++p) {
-    const size_t target = p % w;
+  // differ; each worker copies out its own partitions in order.
+  RADB_RETURN_NOT_OK(ForEachWorker(w, [&](size_t target) -> Status {
     const auto t0 = Clock::now();
-    const RowSet& part = op.table->partition(p);
     RowSet& dst = out[target];
-    dst.reserve(dst.size() + part.size());
-    for (const Row& row : part) {
-      Row projected;
-      projected.reserve(op.scan_columns.size());
-      for (size_t col : op.scan_columns) projected.push_back(row[col]);
-      dst.push_back(std::move(projected));
+    for (size_t p = target; p < op.table->num_partitions(); p += w) {
+      const RowSet& part = op.table->partition(p);
+      dst.reserve(dst.size() + part.size());
+      for (const Row& row : part) {
+        Row projected;
+        projected.reserve(op.scan_columns.size());
+        for (size_t col : op.scan_columns) projected.push_back(row[col]);
+        dst.push_back(std::move(projected));
+      }
     }
     m->worker_seconds[target] += SecondsSince(t0);
-  }
+    return Status::OK();
+  }));
   m->rows_out = DistRowCount(out);
   m->bytes_out = DistByteSize(out);
   ExecResult result{std::move(out), std::nullopt};
@@ -248,7 +266,7 @@ Result<ExecResult> Executor::ExecuteFilter(const LogicalOp& op) {
     preds.push_back(std::move(rewritten));
   }
   Dist out(in.size());
-  for (size_t wkr = 0; wkr < in.size(); ++wkr) {
+  RADB_RETURN_NOT_OK(ForEachWorker(in.size(), [&](size_t wkr) -> Status {
     const auto t0 = Clock::now();
     for (Row& row : in[wkr]) {
       bool keep = true;
@@ -262,7 +280,8 @@ Result<ExecResult> Executor::ExecuteFilter(const LogicalOp& op) {
       if (keep) out[wkr].push_back(std::move(row));
     }
     m->worker_seconds[wkr] += SecondsSince(t0);
-  }
+    return Status::OK();
+  }));
   m->rows_out = DistRowCount(out);
   m->bytes_out = DistByteSize(out);
   // Filtering never moves rows, so placement survives.
@@ -282,7 +301,7 @@ Result<ExecResult> Executor::ExecuteProject(const LogicalOp& op) {
     exprs.push_back(std::move(rewritten));
   }
   Dist out(in.size());
-  for (size_t wkr = 0; wkr < in.size(); ++wkr) {
+  RADB_RETURN_NOT_OK(ForEachWorker(in.size(), [&](size_t wkr) -> Status {
     const auto t0 = Clock::now();
     out[wkr].reserve(in[wkr].size());
     for (const Row& row : in[wkr]) {
@@ -295,7 +314,8 @@ Result<ExecResult> Executor::ExecuteProject(const LogicalOp& op) {
       out[wkr].push_back(std::move(projected));
     }
     m->worker_seconds[wkr] += SecondsSince(t0);
-  }
+    return Status::OK();
+  }));
   m->rows_out = DistRowCount(out);
   m->bytes_out = DistByteSize(out);
   // Placement survives when the hashed column passes through as a
@@ -404,7 +424,9 @@ Result<ExecResult> Executor::ExecuteJoin(const LogicalOp& op) {
     m->bytes_shuffled += small_bytes * (w - 1);
     m->rows_shuffled += small.size() * (w - 1);
     const Dist& big = broadcast_right ? left : right;
-    for (size_t wkr = 0; wkr < w; ++wkr) {
+    // Each worker crosses its own big-side partition with the shared
+    // (read-only) broadcast copy.
+    RADB_RETURN_NOT_OK(ForEachWorker(w, [&](size_t wkr) -> Status {
       const auto t0 = Clock::now();
       for (const Row& b : big[wkr]) {
         for (const Row& s : small) {
@@ -414,7 +436,8 @@ Result<ExecResult> Executor::ExecuteJoin(const LogicalOp& op) {
         }
       }
       m->worker_seconds[wkr] += SecondsSince(t0);
-    }
+      return Status::OK();
+    }));
   } else {
     // Broadcast-vs-shuffle decision, the classical optimizer rule: if
     // replicating the small side everywhere moves fewer bytes than
@@ -444,7 +467,10 @@ Result<ExecResult> Executor::ExecuteJoin(const LogicalOp& op) {
       m->bytes_shuffled += small_bytes * (w - 1);
       const Dist& big = broadcast_right ? left : right;
       const auto& big_keys = broadcast_right ? left_keys : right_keys;
-      for (size_t wkr = 0; wkr < w; ++wkr) {
+      // The replicated hash table was built sequentially above (so its
+      // bucket chains — and therefore match order — are independent of
+      // the thread count); probing reads it concurrently.
+      RADB_RETURN_NOT_OK(ForEachWorker(w, [&](size_t wkr) -> Status {
         const auto t0 = Clock::now();
         for (const Row& b : big[wkr]) {
           RADB_ASSIGN_OR_RETURN(KeyRow key, EvalKey(big_keys, b));
@@ -458,7 +484,8 @@ Result<ExecResult> Executor::ExecuteJoin(const LogicalOp& op) {
           }
         }
         m->worker_seconds[wkr] += SecondsSince(t0);
-      }
+        return Status::OK();
+      }));
     } else {
       // A side already hash-placed on its (single, bare-column) join
       // key needs no movement — the §2.1 decision of which side to
@@ -479,32 +506,55 @@ Result<ExecResult> Executor::ExecuteJoin(const LogicalOp& op) {
                 op);
       m->rows_in = rows_in;
       // Re-partition by join key hash; `prehashed` sides stay put and
-      // are charged nothing.
+      // are charged nothing. Shuffle assembly runs in two parallel
+      // phases: each source worker splits its partition into per-
+      // destination runs, then each destination concatenates its runs
+      // in source order — the same bucket order the old sequential
+      // loop produced, so join output is independent of thread count.
+      using Buckets = std::vector<std::vector<std::pair<KeyRow, Row>>>;
       auto shuffle = [&](Dist& side, const std::vector<BoundExprPtr>& keys,
-                         bool prehashed)
-          -> Result<std::vector<std::vector<std::pair<KeyRow, Row>>>> {
-        std::vector<std::vector<std::pair<KeyRow, Row>>> buckets(w);
+                         bool prehashed) -> Result<Buckets> {
+        std::vector<Buckets> runs(side.size(), Buckets(w));
+        std::vector<size_t> local_bytes(side.size(), 0);
+        std::vector<size_t> local_rows(side.size(), 0);
+        RADB_RETURN_NOT_OK(
+            ForEachWorker(side.size(), [&](size_t src) -> Status {
+              for (Row& row : side[src]) {
+                RADB_ASSIGN_OR_RETURN(KeyRow key, EvalKey(keys, row));
+                if (KeyHasNull(key)) continue;  // inner join: NULL never
+                                                // matches
+                const size_t dst =
+                    prehashed ? src : cluster_.WorkerForHash(key.hash);
+                if (dst != src) {
+                  local_bytes[src] += RowByteSize(row);
+                  ++local_rows[src];
+                }
+                runs[src][dst].emplace_back(std::move(key), std::move(row));
+              }
+              side[src].clear();
+              return Status::OK();
+            }));
         for (size_t src = 0; src < side.size(); ++src) {
-          for (Row& row : side[src]) {
-            RADB_ASSIGN_OR_RETURN(KeyRow key, EvalKey(keys, row));
-            if (KeyHasNull(key)) continue;  // inner join: NULL never matches
-            const size_t dst =
-                prehashed ? src : cluster_.WorkerForHash(key.hash);
-            if (dst != src) {
-              m->bytes_shuffled += RowByteSize(row);
-              ++m->rows_shuffled;
-            }
-            buckets[dst].emplace_back(std::move(key), std::move(row));
-          }
-          side[src].clear();
+          m->bytes_shuffled += local_bytes[src];
+          m->rows_shuffled += local_rows[src];
         }
+        Buckets buckets(w);
+        RADB_RETURN_NOT_OK(ForEachWorker(w, [&](size_t dst) -> Status {
+          size_t total = 0;
+          for (const Buckets& r : runs) total += r[dst].size();
+          buckets[dst].reserve(total);
+          for (Buckets& r : runs) {
+            for (auto& kv : r[dst]) buckets[dst].push_back(std::move(kv));
+          }
+          return Status::OK();
+        }));
         return buckets;
       };
       RADB_ASSIGN_OR_RETURN(auto left_parts,
                             shuffle(left, left_keys, left_prehashed));
       RADB_ASSIGN_OR_RETURN(auto right_parts,
                             shuffle(right, right_keys, right_prehashed));
-      for (size_t wkr = 0; wkr < w; ++wkr) {
+      RADB_RETURN_NOT_OK(ForEachWorker(w, [&](size_t wkr) -> Status {
         const auto t0 = Clock::now();
         std::unordered_multimap<KeyRow, const Row*, KeyRowHash> table;
         table.reserve(right_parts[wkr].size());
@@ -519,7 +569,8 @@ Result<ExecResult> Executor::ExecuteJoin(const LogicalOp& op) {
           }
         }
         m->worker_seconds[wkr] += SecondsSince(t0);
-      }
+        return Status::OK();
+      }));
     }
   }
   m->rows_out = DistRowCount(out);
@@ -560,7 +611,7 @@ Result<ExecResult> Executor::ExecuteAggregate(const LogicalOp& op) {
   OperatorMetrics* m1 = NewOp("Aggregate(partial)", op);
   m1->rows_in = DistRowCount(in);
   std::vector<GroupMap> partials(w);
-  for (size_t wkr = 0; wkr < in.size(); ++wkr) {
+  RADB_RETURN_NOT_OK(ForEachWorker(in.size(), [&](size_t wkr) -> Status {
     const auto t0 = Clock::now();
     for (const Row& row : in[wkr]) {
       RADB_ASSIGN_OR_RETURN(KeyRow key, EvalKey(group_exprs, row));
@@ -577,44 +628,65 @@ Result<ExecResult> Executor::ExecuteAggregate(const LogicalOp& op) {
       }
     }
     m1->worker_seconds[wkr] += SecondsSince(t0);
+    return Status::OK();
+  }));
+  for (size_t wkr = 0; wkr < in.size(); ++wkr) {
     m1->rows_out += partials[wkr].size();
   }
 
   // Phase 2: shuffle partial states by group key hash (scalar
-  // aggregates — no GROUP BY — all land on worker 0).
+  // aggregates — no GROUP BY — all land on worker 0). Each
+  // destination worker walks every source's partial map and merges
+  // exactly the groups it owns, visiting sources in index order — the
+  // same merge order as a sequential src-major sweep, so floating-
+  // point aggregation results are independent of the thread count.
+  // (Tasks move states out of distinct map entries; the map structure
+  // itself is only read.)
   // NewOp can reallocate the metrics vector and invalidate m1, so the
   // partial-stage count must be read first.
   const size_t partial_rows_out = m1->rows_out;
   OperatorMetrics* m2 = NewOp("Aggregate(final)", op);
   m2->rows_in = partial_rows_out;
   std::vector<GroupMap> finals(w);
-  for (size_t src = 0; src < w; ++src) {
-    for (auto& [key, state] : partials[src]) {
-      const size_t dst =
-          group_exprs.empty() ? 0 : cluster_.WorkerForHash(key.hash);
-      if (dst != src) {
-        size_t state_bytes = RowByteSize(state->key);
-        for (const auto& agg : state->aggs) state_bytes += agg->StateBytes();
-        m2->bytes_shuffled += state_bytes;
-        ++m2->rows_shuffled;
-      }
-      auto it = finals[dst].find(key);
-      if (it == finals[dst].end()) {
-        finals[dst].emplace(key, std::move(state));
-      } else {
-        const auto t0 = Clock::now();
-        for (size_t i = 0; i < it->second->aggs.size(); ++i) {
-          RADB_RETURN_NOT_OK(it->second->aggs[i]->Merge(*state->aggs[i]));
+  std::vector<size_t> local_bytes(w, 0);
+  std::vector<size_t> local_rows(w, 0);
+  RADB_RETURN_NOT_OK(ForEachWorker(w, [&](size_t dst) -> Status {
+    for (size_t src = 0; src < w; ++src) {
+      for (auto& [key, state] : partials[src]) {
+        const size_t owner =
+            group_exprs.empty() ? 0 : cluster_.WorkerForHash(key.hash);
+        if (owner != dst) continue;
+        if (dst != src) {
+          size_t state_bytes = RowByteSize(state->key);
+          for (const auto& agg : state->aggs) {
+            state_bytes += agg->StateBytes();
+          }
+          local_bytes[dst] += state_bytes;
+          ++local_rows[dst];
         }
-        m2->worker_seconds[dst] += SecondsSince(t0);
+        auto it = finals[dst].find(key);
+        if (it == finals[dst].end()) {
+          finals[dst].emplace(key, std::move(state));
+        } else {
+          const auto t0 = Clock::now();
+          for (size_t i = 0; i < it->second->aggs.size(); ++i) {
+            RADB_RETURN_NOT_OK(it->second->aggs[i]->Merge(*state->aggs[i]));
+          }
+          m2->worker_seconds[dst] += SecondsSince(t0);
+        }
       }
     }
-    partials[src].clear();
+    return Status::OK();
+  }));
+  for (size_t dst = 0; dst < w; ++dst) {
+    m2->bytes_shuffled += local_bytes[dst];
+    m2->rows_shuffled += local_rows[dst];
   }
+  for (GroupMap& p : partials) p.clear();
 
   // Phase 3: finalize into output rows [group keys..., agg results...].
   Dist out(w);
-  for (size_t wkr = 0; wkr < w; ++wkr) {
+  RADB_RETURN_NOT_OK(ForEachWorker(w, [&](size_t wkr) -> Status {
     const auto t0 = Clock::now();
     for (auto& [key, state] : finals[wkr]) {
       Row row = state->key;
@@ -625,7 +697,8 @@ Result<ExecResult> Executor::ExecuteAggregate(const LogicalOp& op) {
       out[wkr].push_back(std::move(row));
     }
     m2->worker_seconds[wkr] += SecondsSince(t0);
-  }
+    return Status::OK();
+  }));
   // A scalar aggregate over zero rows still produces one row (SQL
   // semantics): COUNT() = 0, SUM() = NULL.
   if (group_exprs.empty() && DistRowCount(out) == 0) {
@@ -648,25 +721,47 @@ Result<ExecResult> Executor::ExecuteDistinct(const LogicalOp& op) {
   OperatorMetrics* m = NewOp("Distinct", op);
   m->rows_in = DistRowCount(in);
   const size_t w = cluster_.num_workers();
-  // Shuffle by whole-row hash, then dedupe locally.
-  std::vector<std::unordered_map<KeyRow, Row, KeyRowHash>> sets(w);
-  for (size_t src = 0; src < in.size(); ++src) {
+  // Shuffle by whole-row hash, then dedupe locally. Two phases so
+  // both sides parallelize with disjoint writes: every source worker
+  // splits its rows into per-destination runs, then every destination
+  // dedupes its runs in source order — the same insertion order as a
+  // sequential src-major sweep, so the surviving (first) duplicate
+  // and the set's iteration order match at any thread count.
+  std::vector<std::vector<std::vector<std::pair<KeyRow, Row>>>> runs(
+      in.size(), std::vector<std::vector<std::pair<KeyRow, Row>>>(w));
+  std::vector<size_t> local_bytes(in.size(), 0);
+  std::vector<size_t> local_rows(in.size(), 0);
+  RADB_RETURN_NOT_OK(ForEachWorker(in.size(), [&](size_t src) -> Status {
     const auto t0 = Clock::now();
     for (Row& row : in[src]) {
       KeyRow key{row, HashRow(row)};
       const size_t dst = cluster_.WorkerForHash(key.hash);
       if (dst != src) {
-        m->bytes_shuffled += RowByteSize(row);
-        ++m->rows_shuffled;
+        local_bytes[src] += RowByteSize(row);
+        ++local_rows[src];
       }
-      sets[dst].emplace(std::move(key), std::move(row));
+      runs[src][dst].emplace_back(std::move(key), std::move(row));
     }
     m->worker_seconds[src] += SecondsSince(t0);
+    return Status::OK();
+  }));
+  for (size_t src = 0; src < in.size(); ++src) {
+    m->bytes_shuffled += local_bytes[src];
+    m->rows_shuffled += local_rows[src];
   }
+  std::vector<std::unordered_map<KeyRow, Row, KeyRowHash>> sets(w);
   Dist out(w);
-  for (size_t wkr = 0; wkr < w; ++wkr) {
-    for (auto& [key, row] : sets[wkr]) out[wkr].push_back(std::move(row));
-  }
+  RADB_RETURN_NOT_OK(ForEachWorker(w, [&](size_t dst) -> Status {
+    const auto t0 = Clock::now();
+    for (size_t src = 0; src < in.size(); ++src) {
+      for (auto& [key, row] : runs[src][dst]) {
+        sets[dst].emplace(std::move(key), std::move(row));
+      }
+    }
+    for (auto& [key, row] : sets[dst]) out[dst].push_back(std::move(row));
+    m->worker_seconds[dst] += SecondsSince(t0);
+    return Status::OK();
+  }));
   m->rows_out = DistRowCount(out);
   m->bytes_out = DistByteSize(out);
   return ExecResult{std::move(out), std::nullopt};

@@ -1,11 +1,13 @@
 #ifndef RADB_EXEC_EXECUTOR_H_
 #define RADB_EXEC_EXECUTOR_H_
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "dist/cluster.h"
 #include "dist/metrics.h"
 #include "obs/obs.h"
@@ -39,13 +41,22 @@ size_t DistRowCount(const Dist& d);
 /// shuffle of partial states by group key), and every cross-worker
 /// byte is charged to the producing operator's metrics — that is the
 /// data Figures 1-4 are built from.
+///
+/// When a ThreadPool is supplied, each simulated worker's partition
+/// loop runs as one pool task, so the recorded max-worker time
+/// becomes an actual wall-clock speedup. Every parallel loop writes
+/// only per-worker state (out[w], worker_seconds[w], local shuffle
+/// tallies merged on the driver afterwards) and preserves the
+/// sequential iteration order within each worker, so results are
+/// bit-identical at any thread count.
 class Executor {
  public:
   /// `obs` carries the (optional) tracer and metrics registry; the
-  /// default is the disabled null-object fast path.
+  /// default is the disabled null-object fast path. `pool` is the
+  /// execution thread pool (null = sequential).
   explicit Executor(const Cluster& cluster, QueryMetrics* metrics,
-                    obs::ObsContext obs = {})
-      : cluster_(cluster), metrics_(metrics), obs_(obs) {}
+                    obs::ObsContext obs = {}, ThreadPool* pool = nullptr)
+      : cluster_(cluster), metrics_(metrics), obs_(obs), pool_(pool) {}
 
   Result<Dist> Execute(const LogicalOp& op);
 
@@ -82,9 +93,16 @@ class Executor {
   /// synthesizes per-worker trace lanes (no-op when obs is disabled).
   void PublishObservability();
 
+  /// Runs body(w) for w in [0, n), one pool task per simulated
+  /// worker (sequential without a pool). Each task must touch only
+  /// worker-w state. Returns the lowest-index non-OK status so error
+  /// reporting is deterministic across thread counts.
+  Status ForEachWorker(size_t n, const std::function<Status(size_t)>& body);
+
   const Cluster& cluster_;
   QueryMetrics* metrics_;
   obs::ObsContext obs_;
+  ThreadPool* pool_ = nullptr;
   std::map<const LogicalOp*, std::vector<size_t>> node_metrics_;
 };
 

@@ -1,10 +1,12 @@
 #include "la/matrix.h"
 
+#include "common/thread_pool.h"
 #include "obs/metrics_registry.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <sstream>
 
@@ -18,6 +20,26 @@ Status ShapeMismatch(const char* op, size_t ar, size_t ac, size_t br,
       std::string(op) + ": shapes " + std::to_string(ar) + "x" +
       std::to_string(ac) + " and " + std::to_string(br) + "x" +
       std::to_string(bc) + " are incompatible");
+}
+
+/// Dispatches band(row_begin, row_end) over contiguous bands of
+/// output rows on the process-global thread pool, or inline when
+/// there is no pool, the product is too small to amortize the
+/// fork/join (below ~64K flops), or we are already inside a pool
+/// worker (the executor's per-worker loops — ParallelRanges then runs
+/// inline by itself). Every output row is produced entirely by one
+/// band with the same inner-loop order as the sequential code, so
+/// kernel results are bit-identical at any thread count.
+void ForRowBands(size_t rows, size_t flops,
+                 const std::function<void(size_t, size_t)>& band) {
+  constexpr size_t kMinParallelFlops = 1 << 16;
+  ThreadPool* pool = GlobalPool();
+  if (pool == nullptr || pool->num_threads() <= 1 ||
+      flops < kMinParallelFlops) {
+    band(0, rows);
+    return;
+  }
+  pool->ParallelRanges(rows, band);
 }
 
 }  // namespace
@@ -139,23 +161,27 @@ Result<Matrix> Multiply(const Matrix& a, const Matrix& b) {
   Matrix out(m, n);
   // Cache-blocked i-k-j: the inner loop streams over contiguous rows of
   // b and out, which is the right access pattern for row-major data.
+  // Parallel bands split only the i dimension, so each output row keeps
+  // the sequential k-accumulation order.
   constexpr size_t kBlock = 64;
-  for (size_t i0 = 0; i0 < m; i0 += kBlock) {
-    const size_t i1 = std::min(i0 + kBlock, m);
-    for (size_t k0 = 0; k0 < k; k0 += kBlock) {
-      const size_t k1 = std::min(k0 + kBlock, k);
-      for (size_t i = i0; i < i1; ++i) {
-        double* out_row = out.RowPtr(i);
-        const double* a_row = a.RowPtr(i);
-        for (size_t kk = k0; kk < k1; ++kk) {
-          const double aik = a_row[kk];
-          if (aik == 0.0) continue;
-          const double* b_row = b.RowPtr(kk);
-          for (size_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+  ForRowBands(m, 2 * m * k * n, [&](size_t r0, size_t r1) {
+    for (size_t i0 = r0; i0 < r1; i0 += kBlock) {
+      const size_t i1 = std::min(i0 + kBlock, r1);
+      for (size_t k0 = 0; k0 < k; k0 += kBlock) {
+        const size_t k1 = std::min(k0 + kBlock, k);
+        for (size_t i = i0; i < i1; ++i) {
+          double* out_row = out.RowPtr(i);
+          const double* a_row = a.RowPtr(i);
+          for (size_t kk = k0; kk < k1; ++kk) {
+            const double aik = a_row[kk];
+            if (aik == 0.0) continue;
+            const double* b_row = b.RowPtr(kk);
+            for (size_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+          }
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -166,16 +192,21 @@ Matrix TransposeSelfMultiply(const Matrix& a) {
     reg->Add("la.tsmm_flops", a.rows() * n * n);  // symmetric half x2
   }
   Matrix out(n, n);
-  // Accumulate rank-1 updates row by row; exploit symmetry.
-  for (size_t r = 0; r < a.rows(); ++r) {
-    const double* row = a.RowPtr(r);
-    for (size_t i = 0; i < n; ++i) {
-      const double v = row[i];
-      if (v == 0.0) continue;
-      double* out_row = out.RowPtr(i);
-      for (size_t j = i; j < n; ++j) out_row[j] += v * row[j];
+  // Accumulate rank-1 updates row by row; exploit symmetry. Parallel
+  // bands split the output rows i: every band streams all data rows r
+  // in order, so each output element sees the sequential accumulation
+  // order.
+  ForRowBands(n, a.rows() * n * n, [&](size_t i_begin, size_t i_end) {
+    for (size_t r = 0; r < a.rows(); ++r) {
+      const double* row = a.RowPtr(r);
+      for (size_t i = i_begin; i < i_end; ++i) {
+        const double v = row[i];
+        if (v == 0.0) continue;
+        double* out_row = out.RowPtr(i);
+        for (size_t j = i; j < n; ++j) out_row[j] += v * row[j];
+      }
     }
-  }
+  });
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j < i; ++j) out.At(i, j) = out.At(j, i);
   }
@@ -192,12 +223,15 @@ Result<Vector> MatrixVectorMultiply(const Matrix& a, const Vector& v) {
     reg->Add("la.matvec_flops", 2 * a.rows() * a.cols());
   }
   Vector out(a.rows());
-  for (size_t r = 0; r < a.rows(); ++r) {
-    const double* row = a.RowPtr(r);
-    double s = 0.0;
-    for (size_t c = 0; c < a.cols(); ++c) s += row[c] * v[c];
-    out[r] = s;
-  }
+  // Each out[r] is an independent dot product — trivially band-safe.
+  ForRowBands(a.rows(), 2 * a.rows() * a.cols(), [&](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      const double* row = a.RowPtr(r);
+      double s = 0.0;
+      for (size_t c = 0; c < a.cols(); ++c) s += row[c] * v[c];
+      out[r] = s;
+    }
+  });
   return out;
 }
 

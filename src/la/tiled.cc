@@ -1,9 +1,11 @@
 #include "la/tiled.h"
 
+#include "common/thread_pool.h"
 #include "obs/metrics_registry.h"
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
 namespace radb::la {
 
@@ -87,19 +89,43 @@ Result<std::vector<Tile>> TiledMultiply(const std::vector<Tile>& lhs,
   for (const Tile& t : rhs) rhs_by_row[t.tile_row].push_back(&t);
 
   // "GROUP BY lhs.tileRow, rhs.tileCol" with SUM(matrix_multiply(..)).
-  std::map<std::pair<size_t, size_t>, Matrix> groups;
+  // The join's match list is built first so the per-tile products can
+  // run in parallel, each into its own slot; the SUM fold then walks
+  // the products sequentially in match order — the same accumulation
+  // order as the all-sequential code, so tiled results are
+  // bit-identical at any thread count.
+  std::vector<std::pair<const Tile*, const Tile*>> matches;
   for (const Tile& l : lhs) {
     auto it = rhs_by_row.find(l.tile_col);
     if (it == rhs_by_row.end()) continue;
-    for (const Tile* r : it->second) {
-      RADB_ASSIGN_OR_RETURN(Matrix prod, Multiply(l.mat, r->mat));
-      auto key = std::make_pair(l.tile_row, r->tile_col);
-      auto g = groups.find(key);
-      if (g == groups.end()) {
-        groups.emplace(key, std::move(prod));
-      } else {
-        RADB_ASSIGN_OR_RETURN(g->second, Add(g->second, prod));
-      }
+    for (const Tile* r : it->second) matches.emplace_back(&l, r);
+  }
+  std::vector<Matrix> products(matches.size());
+  std::vector<Status> statuses(matches.size(), Status::OK());
+  const auto compute = [&](size_t i) {
+    auto prod = Multiply(matches[i].first->mat, matches[i].second->mat);
+    if (prod.ok()) {
+      products[i] = std::move(*prod);
+    } else {
+      statuses[i] = prod.status();
+    }
+  };
+  ThreadPool* pool = GlobalPool();
+  if (pool != nullptr && pool->num_threads() > 1 && matches.size() > 1) {
+    pool->ParallelFor(matches.size(), compute);
+  } else {
+    for (size_t i = 0; i < matches.size(); ++i) compute(i);
+  }
+  for (Status& s : statuses) RADB_RETURN_NOT_OK(std::move(s));
+  std::map<std::pair<size_t, size_t>, Matrix> groups;
+  for (size_t i = 0; i < matches.size(); ++i) {
+    auto key = std::make_pair(matches[i].first->tile_row,
+                              matches[i].second->tile_col);
+    auto g = groups.find(key);
+    if (g == groups.end()) {
+      groups.emplace(key, std::move(products[i]));
+    } else {
+      RADB_ASSIGN_OR_RETURN(g->second, Add(g->second, products[i]));
     }
   }
   std::vector<Tile> out;

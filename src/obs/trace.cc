@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <cassert>
+#include <mutex>
 #include <sstream>
 
 #include "obs/json.h"
@@ -8,6 +9,7 @@
 namespace radb::obs {
 
 size_t Tracer::BeginSpan(std::string name, std::string category) {
+  std::lock_guard<std::mutex> lock(mu_);
   Span s;
   s.name = std::move(name);
   s.category = std::move(category);
@@ -20,6 +22,7 @@ size_t Tracer::BeginSpan(std::string name, std::string category) {
 }
 
 void Tracer::EndSpan(size_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
   assert(!open_.empty() && open_.back() == id &&
          "spans must close innermost-first");
   if (id < spans_.size() && !spans_[id].closed()) {
@@ -31,6 +34,7 @@ void Tracer::EndSpan(size_t id) {
 size_t Tracer::AddCompleteSpan(std::string name, std::string category,
                                size_t parent, double start_seconds,
                                double duration_seconds, int tid) {
+  std::lock_guard<std::mutex> lock(mu_);
   Span s;
   s.name = std::move(name);
   s.category = std::move(category);
@@ -43,21 +47,25 @@ size_t Tracer::AddCompleteSpan(std::string name, std::string category,
 }
 
 void Tracer::AddArg(size_t id, std::string key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (id < spans_.size()) {
     spans_[id].args.emplace_back(std::move(key), std::move(value));
   }
 }
 
 void Tracer::SetName(size_t id, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (id < spans_.size()) spans_[id].name = std::move(name);
 }
 
 void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   spans_.clear();
   open_.clear();
 }
 
 std::string Tracer::ToChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   os << "[";
   bool first = true;
@@ -109,6 +117,7 @@ void RenderTree(const std::vector<Span>& spans,
 }  // namespace
 
 std::string Tracer::ToTextTree() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::vector<size_t>> children(spans_.size());
   std::vector<size_t> roots;
   for (size_t i = 0; i < spans_.size(); ++i) {

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -36,9 +37,16 @@ struct Span {
 /// no-op on nullptr, so production code pays one pointer test when
 /// observability is off.
 ///
-/// Not thread-safe: the simulated cluster executes on one thread, and
-/// each Database owns its tracer. (Cross-thread tracing would need a
-/// mutex here and nothing else.)
+/// Thread-safe: all mutators and exports are serialized by an
+/// internal mutex, so pool workers may record spans or annotations
+/// concurrently with the driver. Begin/EndSpan nesting is still
+/// tracked by one shared stack — interleaving *open* spans from
+/// several threads mis-parents them, so the query pipeline keeps
+/// driving nested spans from the driver thread and parallel workers
+/// use AddCompleteSpan (parent given explicitly) instead. The
+/// spans()/span() accessors return references into live storage:
+/// call them only while no other thread is recording (tests and
+/// post-query exports), like any container.
 class Tracer {
  public:
   Tracer() : epoch_(std::chrono::steady_clock::now()) {}
@@ -84,7 +92,8 @@ class Tracer {
   std::string ToTextTree() const;
 
  private:
-  std::chrono::steady_clock::time_point epoch_;
+  std::chrono::steady_clock::time_point epoch_;  // immutable after ctor
+  mutable std::mutex mu_;     // guards spans_ and open_
   std::vector<Span> spans_;
   std::vector<size_t> open_;  // stack of open span ids
 };

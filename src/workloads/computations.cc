@@ -22,8 +22,14 @@ SqlWorkload::SqlWorkload(size_t num_workers, const Optimizer::Options& opts)
         Database::Config config;
         config.num_workers = num_workers;
         config.optimizer = opts;
+        // Benches compare simulated runtimes across encodings; a
+        // fixed single thread keeps wall clocks comparable run to
+        // run. The thread-scaling bench opts in via the Config ctor.
+        config.num_threads = 1;
         return config;
       }()) {}
+
+SqlWorkload::SqlWorkload(const Database::Config& config) : db_(config) {}
 
 Status SqlWorkload::LoadTuple(const Dataset& data) {
   n_ = data.n;
@@ -97,6 +103,7 @@ Status SqlWorkload::LoadVector(const Dataset& data) {
 Result<RunOutcome> SqlWorkload::RunScript(
     const std::vector<std::string>& statements, ResultSet* last) {
   RunOutcome out;
+  out.num_threads = db_.num_threads();
   const auto t0 = Clock::now();
   for (const std::string& sql : statements) {
     RADB_ASSIGN_OR_RETURN(*last, db_.ExecuteSql(sql));

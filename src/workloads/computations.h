@@ -23,6 +23,9 @@ struct RunOutcome {
   double wall_seconds = 0.0;
   double simulated_seconds = 0.0;  // per-stage max-over-workers sum
   size_t bytes_shuffled = 0;
+  /// Real execution threads the run used (Database::num_threads()).
+  /// 1 for the non-SQL comparator engines, which stay sequential.
+  size_t num_threads = 1;
   QueryMetrics metrics;  // merged over all statements/stages
 
   la::Matrix gram;          // Gram computation
@@ -38,6 +41,9 @@ class SqlWorkload {
   explicit SqlWorkload(size_t num_workers);
   /// With explicit optimizer options (used by the §4.1 bench).
   SqlWorkload(size_t num_workers, const Optimizer::Options& opts);
+  /// Full control over the Database (thread count, obs — used by the
+  /// thread-scaling bench).
+  explicit SqlWorkload(const Database::Config& config);
 
   Database& db() { return db_; }
 

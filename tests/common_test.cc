@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace radb {
 namespace {
@@ -115,6 +119,78 @@ TEST(StringUtilTest, FormatBytes) {
   EXPECT_EQ(FormatBytes(512), "512.00 B");
   EXPECT_EQ(FormatBytes(80.0 * 1024 * 1024), "80.00 MiB");
   EXPECT_EQ(FormatBytes(3.5 * 1024 * 1024 * 1024), "3.50 GiB");
+}
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  constexpr size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  size_t count = 0;
+  pool.ParallelFor(64, [&](size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++count;
+  });
+  EXPECT_EQ(count, 64u);
+}
+
+TEST(ThreadPoolTest, RepeatedRegionsDoNotLeakOrMisattributeWork) {
+  // Back-to-back regions stress the generation handoff: a straggler
+  // from region G must never claim an index of region G+1.
+  ThreadPool pool(8);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(17, [&](size_t i) { sum.fetch_add(i + 1); });
+    ASSERT_EQ(sum.load(), 17u * 18u / 2);
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.ParallelFor(8, [&](size_t outer) {
+    EXPECT_TRUE(ThreadPool::InWorker());
+    pool.ParallelFor(8, [&](size_t inner) {
+      hits[outer * 8 + inner].fetch_add(1);
+    });
+  });
+  EXPECT_FALSE(ThreadPool::InWorker());
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelRangesCoversAllOfTotalDisjointly) {
+  ThreadPool pool(4);
+  constexpr size_t kTotal = 1003;  // not a multiple of the chunk count
+  std::vector<std::atomic<int>> hits(kTotal);
+  pool.ParallelRanges(kTotal, [&](size_t begin, size_t end) {
+    ASSERT_LT(begin, end);
+    ASSERT_LE(end, kTotal);
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kTotal; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, GlobalPoolInstallAndRestore) {
+  ThreadPool* before = GlobalPool();
+  ThreadPool pool(2);
+  ThreadPool* previous = SetGlobalPool(&pool);
+  EXPECT_EQ(previous, before);
+  EXPECT_EQ(GlobalPool(), &pool);
+  SetGlobalPool(previous);
+  EXPECT_EQ(GlobalPool(), before);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsResolvesToHardware) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), ThreadPool::HardwareThreads());
+  EXPECT_GE(pool.num_threads(), 1u);
 }
 
 }  // namespace

@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "api/database.h"
 #include "common/rng.h"
 #include "dist/metrics.h"
+#include "la/vector.h"
 
 namespace radb {
 namespace {
@@ -316,6 +321,107 @@ TEST(QueryMetricsTest, AggregationAcrossOperators) {
   EXPECT_DOUBLE_EQ(q.SecondsForOperatorsContaining("Join"), 4.0);
   EXPECT_DOUBLE_EQ(q.SecondsForOperatorsContaining("Aggregate"), 4.0);
   EXPECT_NE(q.ToString().find("HashJoin"), std::string::npos);
+}
+
+// --- thread-count determinism ----------------------------------------
+
+/// Runs a full workload — scans, filters, shuffle and broadcast
+/// joins, two-phase group-by aggregation, DISTINCT, ORDER BY, and a
+/// vector-coded Gram computation — on a database with the given
+/// thread count and returns every result set.
+std::vector<ResultSet> RunWorkloadWithThreads(size_t num_threads) {
+  Database::Config config;
+  config.num_workers = 4;
+  config.num_threads = num_threads;
+  Database db(config);
+  EXPECT_TRUE(db.ExecuteSql("CREATE TABLE points (id INTEGER, grp INTEGER, "
+                            "val DOUBLE, vec VECTOR[8]); "
+                            "CREATE TABLE labels (grp INTEGER, bonus DOUBLE)")
+                  .ok());
+  std::vector<Row> point_rows;
+  for (int i = 0; i < 600; ++i) {
+    la::Vector v(8);
+    for (size_t c = 0; c < 8; ++c) {
+      v[c] = static_cast<double>((i * 31 + static_cast<int>(c) * 7) % 97) / 9.0;
+    }
+    point_rows.push_back({Value::Int(i), Value::Int(i % 23),
+                          Value::Double(static_cast<double>(i % 41) / 3.0),
+                          Value::FromVector(std::move(v))});
+  }
+  EXPECT_TRUE(db.BulkInsert("points", std::move(point_rows)).ok());
+  std::vector<Row> label_rows;
+  for (int g = 0; g < 23; ++g) {
+    label_rows.push_back({Value::Int(g), Value::Double(g * 1.5)});
+  }
+  EXPECT_TRUE(db.BulkInsert("labels", std::move(label_rows)).ok());
+
+  const std::vector<std::string> queries = {
+      "SELECT grp, COUNT(*), SUM(val), AVG(val) FROM points GROUP BY grp",
+      "SELECT points.id, labels.bonus FROM points, labels "
+      "WHERE points.grp = labels.grp AND points.val > 5.0",
+      "SELECT DISTINCT grp FROM points WHERE id < 400",
+      "SELECT id, val FROM points ORDER BY val DESC, id LIMIT 50",
+      "SELECT SUM(outer_product(vec, vec)) FROM points",
+      "SELECT grp, SUM(outer_product(vec, vec)) FROM points GROUP BY grp",
+  };
+  std::vector<ResultSet> results;
+  for (const std::string& q : queries) {
+    auto rs = db.ExecuteSql(q);
+    EXPECT_TRUE(rs.ok()) << q << ": " << rs.status();
+    results.push_back(rs.ok() ? std::move(*rs) : ResultSet{});
+  }
+  return results;
+}
+
+TEST(ExecDeterminismTest, ResultsIdenticalAtOneAndEightThreads) {
+  const std::vector<ResultSet> seq = RunWorkloadWithThreads(1);
+  const std::vector<ResultSet> par = RunWorkloadWithThreads(8);
+  ASSERT_EQ(seq.size(), par.size());
+  for (size_t q = 0; q < seq.size(); ++q) {
+    ASSERT_EQ(seq[q].num_rows(), par[q].num_rows()) << "query " << q;
+    ASSERT_EQ(seq[q].num_columns(), par[q].num_columns()) << "query " << q;
+    for (size_t r = 0; r < seq[q].num_rows(); ++r) {
+      for (size_t c = 0; c < seq[q].num_columns(); ++c) {
+        // Deep bit-exact equality, including row order: the parallel
+        // runtime must be invisible in every result.
+        EXPECT_TRUE(seq[q].at(r, c).Equals(par[q].at(r, c)))
+            << "query " << q << " row " << r << " col " << c << ": "
+            << seq[q].at(r, c).ToString() << " vs "
+            << par[q].at(r, c).ToString();
+      }
+    }
+  }
+}
+
+TEST(ExecDeterminismTest, ShuffleAccountingMatchesAcrossThreadCounts) {
+  // Shuffle accounting is summed from per-worker tallies when
+  // parallel; totals must equal the sequential run's exactly.
+  std::vector<std::pair<size_t, size_t>> totals;  // (rows, bytes) per run
+  for (const size_t threads : {size_t{1}, size_t{8}}) {
+    Database::Config config;
+    config.num_workers = 4;
+    config.num_threads = threads;
+    Database db(config);
+    ASSERT_TRUE(db.ExecuteSql("CREATE TABLE t (k INTEGER, v DOUBLE)").ok());
+    std::vector<Row> rows;
+    for (int i = 0; i < 800; ++i) {
+      rows.push_back({Value::Int(i % 50), Value::Double(i)});
+    }
+    ASSERT_TRUE(db.BulkInsert("t", std::move(rows)).ok());
+    auto rs = db.ExecuteSql("SELECT k, SUM(v) FROM t GROUP BY k");
+    ASSERT_TRUE(rs.ok()) << rs.status();
+    EXPECT_EQ(rs->num_rows(), 50u);
+    size_t rows_shuffled = 0;
+    size_t bytes_shuffled = 0;
+    for (const auto& op : db.last_metrics().operators) {
+      rows_shuffled += op.rows_shuffled;
+      bytes_shuffled += op.bytes_shuffled;
+    }
+    EXPECT_GT(rows_shuffled, 0u);
+    totals.emplace_back(rows_shuffled, bytes_shuffled);
+  }
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_EQ(totals[0], totals[1]);
 }
 
 }  // namespace

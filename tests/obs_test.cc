@@ -7,6 +7,7 @@
 #include <string>
 
 #include "api/database.h"
+#include "common/thread_pool.h"
 #include "obs/json.h"
 #include "obs/metrics_registry.h"
 #include "obs/obs.h"
@@ -183,6 +184,47 @@ TEST(MetricsRegistryTest, GlobalHookInstallsAndRestores) {
   EXPECT_EQ(obs::GlobalMetrics(), &reg);
   EXPECT_EQ(obs::SetGlobalMetrics(nullptr), &reg);
   EXPECT_EQ(obs::GlobalMetrics(), nullptr);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsLoseNothing) {
+  obs::MetricsRegistry reg;
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerTask = 5'000;
+  ThreadPool pool(kThreads);
+  // Hammer one pre-created counter, one lazily-created counter (which
+  // also races instrument creation), a gauge, and a histogram from
+  // every pool thread at once.
+  obs::Counter* warm = reg.counter("warm");
+  pool.ParallelFor(kThreads, [&](size_t t) {
+    for (size_t i = 0; i < kPerTask; ++i) {
+      warm->Increment();
+      reg.Add("cold", 2);
+      reg.Set("gauge", static_cast<double>(t));
+      reg.Observe("hist", 1.0);
+    }
+  });
+  EXPECT_EQ(warm->value(), kThreads * kPerTask);
+  EXPECT_EQ(reg.counter("cold")->value(), 2 * kThreads * kPerTask);
+  EXPECT_EQ(reg.histogram("hist")->count(), kThreads * kPerTask);
+  EXPECT_DOUBLE_EQ(reg.histogram("hist")->sum(),
+                   static_cast<double>(kThreads * kPerTask));
+  EXPECT_LT(reg.gauge("gauge")->value(), static_cast<double>(kThreads));
+}
+
+TEST(TracerTest, ConcurrentCompleteSpansAllRecorded) {
+  obs::Tracer tracer;
+  const size_t root = tracer.BeginSpan("query", "pipeline");
+  constexpr size_t kSpans = 2'000;
+  ThreadPool pool(8);
+  pool.ParallelFor(kSpans, [&](size_t i) {
+    tracer.AddCompleteSpan("w" + std::to_string(i), "worker", root,
+                           0.0, 1e-6, static_cast<int>(i % 8) + 1);
+  });
+  tracer.EndSpan(root);
+  EXPECT_EQ(tracer.spans().size(), kSpans + 1);
+  // Export still renders a parseable JSON array.
+  auto parsed = obs::ParseJson(tracer.ToChromeJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
 }
 
 // --- estimation error -------------------------------------------------
