@@ -1,0 +1,158 @@
+// Differential query fuzzer (standalone driver, not a Google
+// benchmark). Generates seeded random catalogs and queries, runs each
+// query through every StandardConfigs() engine configuration plus the
+// brute-force reference evaluator, and fails loudly (exit 1) on any
+// divergence — after shrinking it to a minimal repro suitable for
+// pinning in src/testing/regression_seeds.h.
+//
+// Usage:
+//   fuzz_queries [--queries N] [--seed S] [--queries-per-catalog K]
+//
+// Every run starts by replaying the pinned regression seeds.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics_registry.h"
+#include "testing/catalog_gen.h"
+#include "testing/differ.h"
+#include "testing/query_gen.h"
+#include "testing/regression_seeds.h"
+
+namespace {
+
+struct Args {
+  uint64_t queries = 600;
+  uint64_t seed = 1;
+  uint64_t queries_per_catalog = 25;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    auto want = [&](const char* flag) -> const char* {
+      if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+        return argv[++i];
+      }
+      return nullptr;
+    };
+    if (const char* v = want("--queries")) {
+      args.queries = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = want("--seed")) {
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = want("--queries-per-catalog")) {
+      args.queries_per_catalog = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--queries N] [--seed S] "
+                   "[--queries-per-catalog K]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  if (args.queries_per_catalog == 0) args.queries_per_catalog = 1;
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace radb;
+  using namespace radb::testing;
+
+  const Args args = ParseArgs(argc, argv);
+
+  // The fuzzer's own metrics registry; per-config plans_considered is
+  // folded in from each Differ before it is destroyed.
+  obs::MetricsRegistry metrics;
+  uint64_t queries_run = 0;
+  uint64_t divergences = 0;
+
+  auto note_plans = [&](const Differ& differ) {
+    const std::vector<FuzzConfig> configs = StandardConfigs();
+    const std::vector<uint64_t> plans = differ.PlansConsidered();
+    for (size_t i = 0; i < plans.size(); ++i) {
+      metrics.counter("fuzz.plans_considered." + configs[i].name)
+          ->Add(plans[i]);
+    }
+  };
+
+  auto diverge = [&](const DiffOutcome& outcome, const CatalogSpec& catalog,
+                     const QuerySpec& query) {
+    ++divergences;
+    metrics.counter("fuzz.divergences")->Add(1);
+    std::fprintf(stderr, "%s\n", outcome.report.c_str());
+    std::fprintf(stderr, "shrinking...\n");
+    const Repro repro = Shrink(catalog, query);
+    std::fprintf(stderr, "%s\n", ReproReport(repro).c_str());
+  };
+
+  // ---- Phase 1: pinned regression seeds. ----
+  for (size_t i = 0; i < kNumRegressionSeeds; ++i) {
+    const RegressionSeed& seed = kRegressionSeeds[i];
+    const CatalogSpec catalog = GenerateCatalog(seed.catalog_seed);
+    Differ differ(catalog);
+    if (!differ.init_status().ok()) {
+      std::fprintf(stderr, "regression seed %zu: catalog load failed: %s\n",
+                   i, differ.init_status().message().c_str());
+      return 1;
+    }
+    const DiffOutcome outcome = differ.RunOne(seed.sql);
+    ++queries_run;
+    metrics.counter("fuzz.queries_run")->Add(1);
+    note_plans(differ);
+    if (outcome.diverged) {
+      ++divergences;
+      metrics.counter("fuzz.divergences")->Add(1);
+      std::fprintf(stderr, "regression seed %zu diverged:\n%s\n", i,
+                   outcome.report.c_str());
+    }
+  }
+
+  // ---- Phase 2: random catalogs x random queries. ----
+  Rng meta_rng(args.seed);
+  uint64_t remaining = args.queries;
+  uint64_t catalog_idx = 0;
+  while (remaining > 0) {
+    const uint64_t catalog_seed =
+        args.seed * 1000003ULL + catalog_idx++;
+    const CatalogSpec catalog = GenerateCatalog(catalog_seed);
+    Differ differ(catalog);
+    if (!differ.init_status().ok()) {
+      std::fprintf(stderr, "catalog seed %llu: load failed: %s\n",
+                   static_cast<unsigned long long>(catalog_seed),
+                   differ.init_status().message().c_str());
+      return 1;
+    }
+    const uint64_t batch =
+        remaining < args.queries_per_catalog ? remaining
+                                             : args.queries_per_catalog;
+    Rng rng(catalog_seed ^ 0xd1b54a32d192ed03ULL);
+    for (uint64_t i = 0; i < batch; ++i) {
+      const QuerySpec query = GenerateQuery(catalog, &rng);
+      const DiffOutcome outcome = differ.RunOne(query.ToSql());
+      ++queries_run;
+      metrics.counter("fuzz.queries_run")->Add(1);
+      if (outcome.diverged) diverge(outcome, catalog, query);
+    }
+    note_plans(differ);
+    remaining -= batch;
+    if (catalog_idx % 4 == 0 || remaining == 0) {
+      std::fprintf(stderr, "  ... %llu/%llu queries, %llu divergence(s)\n",
+                   static_cast<unsigned long long>(queries_run),
+                   static_cast<unsigned long long>(args.queries +
+                                                   kNumRegressionSeeds),
+                   static_cast<unsigned long long>(divergences));
+    }
+  }
+
+  std::printf("%s\n", metrics.ToJson().c_str());
+  std::printf("fuzz: %llu queries x %zu configs, %llu divergence(s)\n",
+              static_cast<unsigned long long>(queries_run),
+              StandardConfigs().size(),
+              static_cast<unsigned long long>(divergences));
+  return divergences == 0 ? 0 : 1;
+}

@@ -22,7 +22,16 @@ class SumAggregator : public Aggregator {
     // MATRIX/VECTOR inputs accumulate into owned storage in place —
     // a fresh d x d allocation per input row would otherwise dominate
     // Gram-style SUM(outer_product(...)) queries.
-    if (v.kind() == TypeKind::kMatrix && (!init_ || mat_)) {
+    // A group must be uniformly MATRIX, uniformly VECTOR, or uniformly
+    // scalar — checked in every direction so the result cannot depend
+    // on which kind happened to arrive first.
+    const bool la_mix = init_ && ((v.kind() == TypeKind::kMatrix) != mat_.has_value() ||
+                                  (v.kind() == TypeKind::kVector) != vec_.has_value());
+    if (la_mix) {
+      return Status::TypeError(
+          "SUM: mixed scalar and MATRIX/VECTOR inputs in one group");
+    }
+    if (v.kind() == TypeKind::kMatrix) {
       if (!init_) {
         mat_ = v.matrix();
         init_ = true;
@@ -30,17 +39,13 @@ class SumAggregator : public Aggregator {
       }
       return la::AddInPlace(&*mat_, v.matrix());
     }
-    if (v.kind() == TypeKind::kVector && (!init_ || vec_)) {
+    if (v.kind() == TypeKind::kVector) {
       if (!init_) {
         vec_ = v.vector();
         init_ = true;
         return Status::OK();
       }
       return la::AddInPlace(&*vec_, v.vector());
-    }
-    if (mat_ || vec_) {
-      return Status::TypeError(
-          "SUM: mixed scalar and MATRIX/VECTOR inputs in one group");
     }
     if (!init_) {
       acc_ = v;
@@ -240,9 +245,14 @@ class VectorizeAggregator : public Aggregator {
       return Status::TypeError("VECTORIZE expects LABELED_SCALAR input");
     }
     const LabeledScalarValue& ls = v.labeled();
-    if (ls.label < 0) {
+    if (ls.label == kNoLabel) {
       return Status::ExecutionError(
           "VECTORIZE: labeled scalar has no label set (use label_scalar)");
+    }
+    if (ls.label < 0) {
+      return Status::ExecutionError(
+          "VECTORIZE: negative label " + std::to_string(ls.label) +
+          " (labels are 0-based vector indexes)");
     }
     entries_.emplace_back(ls.label, ls.value);
     return Status::OK();
@@ -290,9 +300,14 @@ class RowColMatrixAggregator : public Aggregator {
       return Status::TypeError(Name() + " expects VECTOR input");
     }
     const VectorValue& vv = v.vector_value();
-    if (vv.label < 0) {
+    if (vv.label == kNoLabel) {
       return Status::ExecutionError(
           Name() + ": vector has no label set (use label_vector)");
+    }
+    if (vv.label < 0) {
+      return Status::ExecutionError(
+          Name() + ": negative label " + std::to_string(vv.label) +
+          " (labels are 0-based row/column indexes)");
     }
     entries_.emplace_back(vv.label, vv.vec);
     return Status::OK();

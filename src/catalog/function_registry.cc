@@ -186,13 +186,18 @@ FunctionRegistry::FunctionRegistry() {
         }
         return Value::Double(v[static_cast<size_t>(i)]);
       });
+  // Unlabeled values report -1, the documented "no label" answer;
+  // internally the unset state is kNoLabel so genuinely negative user
+  // labels stay distinguishable.
   add("get_label", {kLabeled}, kInt,
       [](const std::vector<Value>& args) -> Result<Value> {
-        return Value::Int(args[0].labeled().label);
+        const int64_t label = args[0].labeled().label;
+        return Value::Int(label == kNoLabel ? -1 : label);
       });
   add("get_vector_label", {TT::Vec(DP::Any())}, kInt,
       [](const std::vector<Value>& args) -> Result<Value> {
-        return Value::Int(args[0].vector_value().label);
+        const int64_t label = args[0].vector_value().label;
+        return Value::Int(label == kNoLabel ? -1 : label);
       });
   add("labeled_value", {kLabeled}, kDouble,
       [](const std::vector<Value>& args) -> Result<Value> {

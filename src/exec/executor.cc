@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "exec/expr_eval.h"
+#include "exec/row_key.h"
 
 namespace radb {
 
@@ -17,55 +18,18 @@ double SecondsSince(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-/// Composite key for hash join / group-by: a row of values compared by
-/// deep equality.
-struct KeyRow {
-  Row values;
-  size_t hash = 0;
-
-  bool operator==(const KeyRow& other) const {
-    if (values.size() != other.values.size()) return false;
-    for (size_t i = 0; i < values.size(); ++i) {
-      if (!values[i].Equals(other.values[i])) return false;
-    }
-    return true;
-  }
-};
-
-struct KeyRowHash {
-  size_t operator()(const KeyRow& k) const { return k.hash; }
-};
-
-size_t HashRow(const Row& row) {
-  size_t h = 0x9e3779b97f4a7c15ULL;
-  for (const Value& v : row) {
-    h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  }
-  return h;
-}
-
-/// Inner-join semantics: a NULL in any key column means the row can
-/// never match (unlike GROUP BY, where NULLs form one group).
-bool KeyHasNull(const KeyRow& key) {
-  for (const Value& v : key.values) {
-    if (v.is_null()) return true;
-  }
-  return false;
-}
+// KeyRow / KeyRowHash / HashRow / KeyHasNull live in exec/row_key.h,
+// shared with the differential reference evaluator.
 
 Result<KeyRow> EvalKey(const std::vector<BoundExprPtr>& key_exprs,
                        const Row& row) {
-  KeyRow key;
-  key.values.reserve(key_exprs.size());
+  Row values;
+  values.reserve(key_exprs.size());
   for (const auto& e : key_exprs) {
     RADB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, row));
-    key.values.push_back(std::move(v));
+    values.push_back(std::move(v));
   }
-  // Single-column keys hash exactly like Table::RepartitionByHash so
-  // pre-partitioned base tables stay aligned with shuffled inputs.
-  key.hash =
-      key.values.size() == 1 ? key.values[0].Hash() : HashRow(key.values);
-  return key;
+  return KeyRow::Of(std::move(values));
 }
 
 /// The slot a single equi-key expression reads, when the expression is

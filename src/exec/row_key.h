@@ -1,0 +1,63 @@
+#ifndef RADB_EXEC_ROW_KEY_H_
+#define RADB_EXEC_ROW_KEY_H_
+
+#include <cstddef>
+#include <utility>
+
+#include "types/value.h"
+
+namespace radb {
+
+/// Seeded fold of Value::Hash over a row (boost-style combine).
+inline size_t HashRow(const Row& row) {
+  size_t h = 0x9e3779b97f4a7c15ULL;
+  for (const Value& v : row) {
+    h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+/// Composite key for hash join / group-by / DISTINCT: a row of values
+/// compared by deep equality (Value::Equals — NULLs equal, Int(1) !=
+/// Double(1.0)). Shared between the executor and the differential
+/// reference evaluator so both sides form identical equivalence
+/// classes by construction.
+struct KeyRow {
+  Row values;
+  size_t hash = 0;
+
+  /// Computes the hash the way every engine path does: single-column
+  /// keys hash exactly like Table::RepartitionByHash so
+  /// pre-partitioned base tables stay aligned with shuffled inputs.
+  static KeyRow Of(Row values) {
+    KeyRow key;
+    key.hash = values.size() == 1 ? values[0].Hash() : HashRow(values);
+    key.values = std::move(values);
+    return key;
+  }
+
+  bool operator==(const KeyRow& other) const {
+    if (values.size() != other.values.size()) return false;
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (!values[i].Equals(other.values[i])) return false;
+    }
+    return true;
+  }
+};
+
+struct KeyRowHash {
+  size_t operator()(const KeyRow& k) const { return k.hash; }
+};
+
+/// Inner-join semantics: a NULL in any key column means the row can
+/// never match (unlike GROUP BY, where NULLs form one group).
+inline bool KeyHasNull(const KeyRow& key) {
+  for (const Value& v : key.values) {
+    if (v.is_null()) return true;
+  }
+  return false;
+}
+
+}  // namespace radb
+
+#endif  // RADB_EXEC_ROW_KEY_H_

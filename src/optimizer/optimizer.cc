@@ -10,6 +10,11 @@ namespace radb {
 
 namespace {
 
+/// Placement marker for slots that exist only hypothetically while
+/// TryEarlyProjection evaluates the §4.1 rule. Must not collide with a
+/// real slot id — 0 is a real slot, so SIZE_MAX is used.
+constexpr size_t kHypotheticalSlot = SIZE_MAX;
+
 /// Selectivity guesses for non-join predicates, in the tradition of
 /// System R's magic numbers.
 double PredicateSelectivity(const BoundExpr& e) {
@@ -143,7 +148,9 @@ std::set<size_t> Optimizer::PlanBuilder::NeededAbove(
   for (size_t pi = 0; pi < pendings_.size(); ++pi) {
     auto it = plan.placed.find(pi);
     if (it != plan.placed.end()) {
-      needed.insert(it->second);  // the computed value itself
+      // The computed value itself — unless it is only hypothetically
+      // placed, in which case it has no slot yet.
+      if (it->second != kHypotheticalSlot) needed.insert(it->second);
     } else {
       needed.insert(pendings_[pi].slots.begin(), pendings_[pi].slots.end());
     }
@@ -290,7 +297,7 @@ Status Optimizer::PlanBuilder::TryEarlyProjection(SubPlan* plan,
   SubPlan hypothetical;
   hypothetical.applied = plan->applied;
   hypothetical.placed = plan->placed;
-  for (size_t pi : candidates) hypothetical.placed[pi] = 0;  // marker
+  for (size_t pi : candidates) hypothetical.placed[pi] = kHypotheticalSlot;
   std::set<size_t> needed = NeededAbove(mask, hypothetical);
 
   // Benefit: bytes of columns we could drop vs bytes of the computed

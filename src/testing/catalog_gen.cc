@@ -1,0 +1,151 @@
+#include "testing/catalog_gen.h"
+
+#include <sstream>
+
+namespace radb::testing {
+
+namespace {
+
+/// Integers small enough that any product/sum chain the query
+/// generator can build stays exactly representable.
+int64_t RandInt(Rng* rng) {
+  return static_cast<int64_t>(rng->NextBelow(7)) - 3;  // [-3, 3]
+}
+
+/// Doubles on a 0.25 grid in [-3, 3]: sums and products of such
+/// values (at the depths the query generator emits) are exact in
+/// binary floating point, so aggregation order cannot matter.
+double RandDouble(Rng* rng) {
+  return (static_cast<double>(rng->NextBelow(25)) - 12.0) * 0.25;
+}
+
+/// Vector/matrix entries on a 0.5 grid in [-2, 2].
+double RandEntry(Rng* rng) {
+  return (static_cast<double>(rng->NextBelow(9)) - 4.0) * 0.5;
+}
+
+std::string RandString(Rng* rng) {
+  static const char* kPool[] = {"a", "b", "c", "dd", "e"};
+  return kPool[rng->NextBelow(5)];
+}
+
+Value RandValue(const DataType& t, Rng* rng) {
+  switch (t.kind()) {
+    case TypeKind::kInteger:
+      return Value::Int(RandInt(rng));
+    case TypeKind::kDouble:
+      return Value::Double(RandDouble(rng));
+    case TypeKind::kBoolean:
+      return Value::Bool(rng->NextBelow(2) == 1);
+    case TypeKind::kString:
+      return Value::String(RandString(rng));
+    case TypeKind::kVector: {
+      la::Vector v(static_cast<size_t>(*t.rows()));
+      for (size_t i = 0; i < v.size(); ++i) v[i] = RandEntry(rng);
+      return Value::FromVector(std::move(v));
+    }
+    case TypeKind::kMatrix: {
+      la::Matrix m(static_cast<size_t>(*t.rows()),
+                   static_cast<size_t>(*t.cols()));
+      for (size_t i = 0; i < m.rows() * m.cols(); ++i) {
+        m.data()[i] = RandEntry(rng);
+      }
+      return Value::FromMatrix(std::move(m));
+    }
+    default:
+      return Value::Null();
+  }
+}
+
+DataType RandColumnType(Rng* rng) {
+  // Weighted toward scalars; every LA column gets fully declared
+  // dimensions so the binder can type-check calls at bind time.
+  switch (rng->NextBelow(10)) {
+    case 0:
+    case 1:
+    case 2:
+      return DataType::Integer();
+    case 3:
+    case 4:
+      return DataType::Double();
+    case 5:
+      return DataType::Boolean();
+    case 6:
+      return DataType::String();
+    case 7:
+    case 8:
+      return DataType::MakeVector(2 + static_cast<int64_t>(rng->NextBelow(3)));
+    default:
+      return DataType::MakeMatrix(
+          2 + static_cast<int64_t>(rng->NextBelow(3)),
+          2 + static_cast<int64_t>(rng->NextBelow(3)));
+  }
+}
+
+}  // namespace
+
+CatalogSpec GenerateCatalog(uint64_t seed) {
+  Rng rng(seed ^ 0x9d2c5680a76b1c3dULL);
+  CatalogSpec spec;
+  spec.seed = seed;
+  const size_t num_tables = 2 + rng.NextBelow(4);  // 2-5
+  for (size_t t = 0; t < num_tables; ++t) {
+    TableSpec table;
+    table.name = "t" + std::to_string(t);
+    // Always lead with an INTEGER column: the join-key / group-key
+    // workhorse. Then 0-4 random extras.
+    table.columns.push_back(ColumnSpec{"k", DataType::Integer()});
+    const size_t extras = rng.NextBelow(5);
+    for (size_t c = 0; c < extras; ++c) {
+      table.columns.push_back(
+          ColumnSpec{"c" + std::to_string(c), RandColumnType(&rng)});
+    }
+    // 0-8 rows; empty tables keep the empty-input paths honest.
+    const size_t num_rows = rng.NextBelow(9);
+    for (size_t r = 0; r < num_rows; ++r) {
+      Row row;
+      for (const ColumnSpec& col : table.columns) {
+        row.push_back(RandValue(col.type, &rng));
+      }
+      table.rows.push_back(std::move(row));
+    }
+    spec.tables.push_back(std::move(table));
+  }
+  return spec;
+}
+
+Status LoadCatalog(const CatalogSpec& spec, Database* db) {
+  for (const TableSpec& t : spec.tables) {
+    Schema schema;
+    for (const ColumnSpec& c : t.columns) {
+      schema.Add(Column{"", c.name, c.type});
+    }
+    RADB_RETURN_NOT_OK(db->catalog().CreateTable(t.name, schema).status());
+    RADB_RETURN_NOT_OK(db->BulkInsert(t.name, t.rows));
+  }
+  return Status::OK();
+}
+
+std::string CatalogSpec::ToString() const {
+  std::ostringstream os;
+  os << "catalog seed=" << seed << "\n";
+  for (const TableSpec& t : tables) {
+    os << "  TABLE " << t.name << " (";
+    for (size_t i = 0; i < t.columns.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << t.columns[i].name << " " << t.columns[i].type.ToString();
+    }
+    os << ")  -- " << t.rows.size() << " rows\n";
+    for (const Row& row : t.rows) {
+      os << "    (";
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << row[i].ToString();
+      }
+      os << ")\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace radb::testing

@@ -1,0 +1,57 @@
+#ifndef RADB_TESTING_CATALOG_GEN_H_
+#define RADB_TESTING_CATALOG_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "types/data_type.h"
+#include "types/value.h"
+
+namespace radb::testing {
+
+/// One column of a generated table.
+struct ColumnSpec {
+  std::string name;
+  DataType type;
+};
+
+/// One generated table: schema plus fully materialized rows.
+struct TableSpec {
+  std::string name;
+  std::vector<ColumnSpec> columns;
+  std::vector<Row> rows;
+};
+
+/// A reproducible random catalog. The spec is pure data — it can be
+/// loaded into any number of Databases (one per fuzzer config) and
+/// dumped as text for a standalone repro.
+struct CatalogSpec {
+  uint64_t seed = 0;
+  std::vector<TableSpec> tables;
+
+  /// Human-readable dump (schemas + row data) for divergence repros.
+  std::string ToString() const;
+};
+
+/// Generates a random catalog: 2-5 tables, 1-5 columns each (always at
+/// least one INTEGER column so joins and group keys are available),
+/// 0-8 rows per table.
+///
+/// Data values are deliberately restricted so that every arithmetic
+/// fold the engine can produce is *exact* in double precision
+/// regardless of evaluation order: integers in [-3, 3], doubles on a
+/// 0.25 grid, vector/matrix entries on a 0.5 grid with dimensions
+/// 2-4. See DESIGN.md §9 (float exactness policy).
+CatalogSpec GenerateCatalog(uint64_t seed);
+
+/// Creates the spec's tables in `db` (CreateTable + BulkInsert). The
+/// same spec loaded into several databases yields identical storage:
+/// BulkInsert round-robins rows across partitions deterministically.
+Status LoadCatalog(const CatalogSpec& spec, Database* db);
+
+}  // namespace radb::testing
+
+#endif  // RADB_TESTING_CATALOG_GEN_H_

@@ -1,0 +1,412 @@
+#include "testing/differ.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "testing/reference_eval.h"
+
+namespace radb::testing {
+
+namespace {
+
+int KindRank(const Value& v) {
+  switch (v.kind()) {
+    case TypeKind::kNull:
+      return 0;
+    case TypeKind::kBoolean:
+      return 1;
+    case TypeKind::kInteger:
+      return 2;
+    case TypeKind::kDouble:
+      return 3;
+    case TypeKind::kString:
+      return 4;
+    case TypeKind::kLabeledScalar:
+      return 5;
+    case TypeKind::kVector:
+      return 6;
+    default:
+      return 7;
+  }
+}
+
+/// Total order used only for canonical sorting, never for SQL
+/// semantics. Generated data has no NaNs, so double < is total.
+bool ValueLess(const Value& a, const Value& b) {
+  const int ra = KindRank(a), rb = KindRank(b);
+  if (ra != rb) return ra < rb;
+  switch (a.kind()) {
+    case TypeKind::kNull:
+      return false;
+    case TypeKind::kBoolean:
+      return a.bool_value() < b.bool_value();
+    case TypeKind::kInteger:
+      return a.int_value() < b.int_value();
+    case TypeKind::kDouble:
+      return a.double_value() < b.double_value();
+    case TypeKind::kString:
+      return a.string_value() < b.string_value();
+    case TypeKind::kLabeledScalar: {
+      const auto& la = a.labeled();
+      const auto& lb = b.labeled();
+      if (la.value != lb.value) return la.value < lb.value;
+      return la.label < lb.label;
+    }
+    case TypeKind::kVector: {
+      const auto& va = a.vector_value();
+      const auto& vb = b.vector_value();
+      if (va.label != vb.label) return va.label < vb.label;
+      const la::Vector& xa = *va.vec;
+      const la::Vector& xb = *vb.vec;
+      if (xa.size() != xb.size()) return xa.size() < xb.size();
+      for (size_t i = 0; i < xa.size(); ++i) {
+        if (xa[i] != xb[i]) return xa[i] < xb[i];
+      }
+      return false;
+    }
+    default: {
+      const la::Matrix& ma = a.matrix();
+      const la::Matrix& mb = b.matrix();
+      if (ma.rows() != mb.rows()) return ma.rows() < mb.rows();
+      if (ma.cols() != mb.cols()) return ma.cols() < mb.cols();
+      const size_t n = ma.rows() * ma.cols();
+      for (size_t i = 0; i < n; ++i) {
+        if (ma.data()[i] != mb.data()[i]) return ma.data()[i] < mb.data()[i];
+      }
+      return false;
+    }
+  }
+}
+
+bool RowLess(const Row& a, const Row& b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (ValueLess(a[i], b[i])) return true;
+    if (ValueLess(b[i], a[i])) return false;
+  }
+  return a.size() < b.size();
+}
+
+std::string RowsToString(const RowSet& rows, size_t max_rows = 12) {
+  std::ostringstream os;
+  for (size_t i = 0; i < rows.size() && i < max_rows; ++i) {
+    os << "      (";
+    for (size_t j = 0; j < rows[i].size(); ++j) {
+      if (j > 0) os << ", ";
+      os << rows[i][j].ToString();
+    }
+    os << ")\n";
+  }
+  if (rows.size() > max_rows) {
+    os << "      ... " << rows.size() - max_rows << " more\n";
+  }
+  return os.str();
+}
+
+std::string OutcomeToString(const Result<ResultSet>& r) {
+  if (!r.ok()) {
+    return std::string("    ERROR ") + StatusCodeName(r.status().code()) +
+           ": " + r.status().message() + "\n";
+  }
+  std::ostringstream os;
+  os << "    " << r->rows.size() << " row(s):\n"
+     << RowsToString(Normalized(r->rows));
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<FuzzConfig> StandardConfigs() {
+  std::vector<FuzzConfig> out;
+  for (const bool threads8 : {false, true}) {
+    for (const char* kind : {"dp", "greedy", "noearly"}) {
+      FuzzConfig fc;
+      fc.name = std::string(kind) + (threads8 ? "-8t" : "-1t");
+      fc.config.num_workers = 8;
+      fc.config.num_threads = threads8 ? 8 : 1;
+      fc.config.obs.enable_metrics = true;
+      if (std::string(kind) == "greedy") {
+        fc.config.optimizer.dp_relation_limit = 1;  // force greedy search
+      } else if (std::string(kind) == "noearly") {
+        fc.config.optimizer.enable_early_projection = false;
+      }
+      out.push_back(std::move(fc));
+    }
+  }
+  return out;
+}
+
+RowSet Normalized(RowSet rows) {
+  std::sort(rows.begin(), rows.end(), RowLess);
+  return rows;
+}
+
+bool SameCells(const RowSet& a, const RowSet& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    for (size_t j = 0; j < a[i].size(); ++j) {
+      if (!a[i][j].Equals(b[i][j])) return false;
+    }
+  }
+  return true;
+}
+
+Differ::Differ(const CatalogSpec& spec) : configs_(StandardConfigs()) {
+  for (const FuzzConfig& fc : configs_) {
+    dbs_.push_back(std::make_unique<Database>(fc.config));
+    Status s = LoadCatalog(spec, dbs_.back().get());
+    if (!s.ok() && init_status_.ok()) init_status_ = s;
+  }
+}
+
+DiffOutcome Differ::RunOne(const std::string& sql) {
+  // The reference binds against the same catalog contents; any of the
+  // databases' catalogs is equivalent, use the first.
+  Result<ResultSet> reference = ReferenceExecute(sql, dbs_[0]->catalog());
+
+  std::vector<Result<ResultSet>> results;
+  results.reserve(dbs_.size());
+  for (auto& db : dbs_) results.push_back(db->ExecuteSql(sql));
+
+  // Compare every engine configuration against the reference: equal
+  // error StatusCode, or cell-exact equality of normalized rows.
+  std::vector<size_t> bad;
+  RowSet ref_norm;
+  if (reference.ok()) ref_norm = Normalized(reference->rows);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result<ResultSet>& r = results[i];
+    if (reference.ok() != r.ok()) {
+      bad.push_back(i);
+      continue;
+    }
+    if (!reference.ok()) {
+      if (reference.status().code() != r.status().code()) bad.push_back(i);
+      continue;
+    }
+    if (!SameCells(ref_norm, Normalized(r->rows))) bad.push_back(i);
+  }
+
+  DiffOutcome out;
+  if (bad.empty()) return out;
+  out.diverged = true;
+  std::ostringstream os;
+  os << "DIVERGENCE on:\n  " << sql << "\n";
+  os << "  reference:\n" << OutcomeToString(reference);
+  for (size_t i = 0; i < results.size(); ++i) {
+    os << "  " << configs_[i].name
+       << (std::count(bad.begin(), bad.end(), i) ? " [DIVERGED]" : " [ok]")
+       << ":\n"
+       << OutcomeToString(results[i]);
+  }
+  out.report = os.str();
+  return out;
+}
+
+std::vector<uint64_t> Differ::PlansConsidered() const {
+  std::vector<uint64_t> out;
+  for (const auto& db : dbs_) {
+    obs::MetricsRegistry* reg =
+        const_cast<Database*>(db.get())->metrics_registry();
+    out.push_back(
+        reg == nullptr
+            ? 0
+            : static_cast<uint64_t>(
+                  reg->counter("optimizer.plans_considered")->value()));
+  }
+  return out;
+}
+
+namespace {
+
+/// True when the (catalog, query) pair still diverges. Builds a fresh
+/// Differ per call — candidate catalogs are tiny, so this is cheap.
+bool StillDiverges(const CatalogSpec& cat, const QuerySpec& q) {
+  Differ differ(cat);
+  if (!differ.init_status().ok()) return false;
+  return differ.RunOne(q.ToSql()).diverged;
+}
+
+/// Applies `mutate` to a copy; keeps it if the divergence persists.
+template <typename Fn>
+bool TryMutation(CatalogSpec* cat, QuerySpec* q, Fn mutate) {
+  CatalogSpec c2 = *cat;
+  QuerySpec q2 = *q;
+  if (!mutate(&c2, &q2)) return false;
+  if (!StillDiverges(c2, q2)) return false;
+  *cat = std::move(c2);
+  *q = std::move(q2);
+  return true;
+}
+
+/// Does any clause fragment mention alias `rK.`?
+bool AliasReferenced(const QuerySpec& q, const std::string& alias) {
+  const std::string needle = alias + ".";
+  for (const auto& s : q.select_items) {
+    if (s.text.find(needle) != std::string::npos) return true;
+  }
+  for (const auto& w : q.where) {
+    if (w.find(needle) != std::string::npos) return true;
+  }
+  for (const auto& g : q.group_by) {
+    if (g.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool TableReferenced(const QuerySpec& q, const std::string& table) {
+  for (const auto& f : q.from) {
+    if (f.table == table) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Repro Shrink(CatalogSpec catalog, QuerySpec query) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+
+    // Clause-level drops, cheapest first.
+    progress |= TryMutation(&catalog, &query, [](CatalogSpec*, QuerySpec* q) {
+      if (!q->limit.has_value()) return false;
+      q->limit.reset();
+      return true;
+    });
+    progress |= TryMutation(&catalog, &query, [](CatalogSpec*, QuerySpec* q) {
+      if (!q->distinct) return false;
+      q->distinct = false;
+      return true;
+    });
+    progress |= TryMutation(&catalog, &query, [](CatalogSpec*, QuerySpec* q) {
+      if (q->order_by.empty() || q->limit.has_value()) return false;
+      q->order_by.clear();
+      return true;
+    });
+
+    // Drop one WHERE conjunct.
+    for (size_t i = 0; i < query.where.size(); ++i) {
+      progress |=
+          TryMutation(&catalog, &query, [i](CatalogSpec*, QuerySpec* q) {
+            if (i >= q->where.size()) return false;
+            q->where.erase(q->where.begin() + static_cast<long>(i));
+            return true;
+          });
+    }
+
+    // Drop one GROUP BY key (and select items textually equal to it).
+    for (size_t i = 0; i < query.group_by.size(); ++i) {
+      progress |=
+          TryMutation(&catalog, &query, [i](CatalogSpec*, QuerySpec* q) {
+            if (i >= q->group_by.size()) return false;
+            const std::string key = q->group_by[i];
+            q->group_by.erase(q->group_by.begin() + static_cast<long>(i));
+            for (size_t s = q->select_items.size(); s > 0; --s) {
+              if (q->select_items[s - 1].text == key) {
+                if (q->select_items.size() == 1) return false;
+                // Fix up ORDER BY indexes for the removed item.
+                const size_t gone = s - 1;
+                std::vector<QuerySpec::OrderKey> keep;
+                for (const auto& ok : q->order_by) {
+                  if (ok.item == gone) continue;
+                  keep.push_back(
+                      {ok.item > gone ? ok.item - 1 : ok.item, ok.desc});
+                }
+                q->order_by = std::move(keep);
+                q->select_items.erase(q->select_items.begin() +
+                                      static_cast<long>(gone));
+              }
+            }
+            return true;
+          });
+    }
+
+    // Drop one select item (keeping at least one; LIMIT queries must
+    // keep ORDER BY covering all items, so drop LIMIT first there).
+    for (size_t i = 0; i < query.select_items.size(); ++i) {
+      progress |=
+          TryMutation(&catalog, &query, [i](CatalogSpec*, QuerySpec* q) {
+            if (q->select_items.size() <= 1 || i >= q->select_items.size()) {
+              return false;
+            }
+            if (q->limit.has_value()) return false;
+            std::vector<QuerySpec::OrderKey> keep;
+            for (const auto& ok : q->order_by) {
+              if (ok.item == i) continue;
+              keep.push_back({ok.item > i ? ok.item - 1 : ok.item, ok.desc});
+            }
+            q->order_by = std::move(keep);
+            q->select_items.erase(q->select_items.begin() +
+                                  static_cast<long>(i));
+            return true;
+          });
+    }
+
+    // Drop one FROM item whose alias no clause mentions.
+    for (size_t i = 0; i < query.from.size(); ++i) {
+      progress |=
+          TryMutation(&catalog, &query, [i](CatalogSpec*, QuerySpec* q) {
+            if (q->from.size() <= 1 || i >= q->from.size()) return false;
+            if (AliasReferenced(*q, q->from[i].alias)) return false;
+            q->from.erase(q->from.begin() + static_cast<long>(i));
+            return true;
+          });
+    }
+
+    // Shrink table data: halve row counts, then drop rows one by one.
+    for (size_t t = 0; t < catalog.tables.size(); ++t) {
+      progress |=
+          TryMutation(&catalog, &query, [t](CatalogSpec* c, QuerySpec*) {
+            TableSpec& tab = c->tables[t];
+            if (tab.rows.size() < 2) return false;
+            tab.rows.resize(tab.rows.size() / 2);
+            return true;
+          });
+      const size_t nrows = catalog.tables[t].rows.size();
+      for (size_t r = 0; r < nrows; ++r) {
+        progress |=
+            TryMutation(&catalog, &query, [t, r](CatalogSpec* c, QuerySpec*) {
+              TableSpec& tab = c->tables[t];
+              if (r >= tab.rows.size()) return false;
+              tab.rows.erase(tab.rows.begin() + static_cast<long>(r));
+              return true;
+            });
+      }
+    }
+
+    // Drop whole tables the query never names.
+    for (size_t t = catalog.tables.size(); t > 0; --t) {
+      progress |= TryMutation(
+          &catalog, &query, [t, &query](CatalogSpec* c, QuerySpec*) {
+            if (t - 1 >= c->tables.size()) return false;
+            if (TableReferenced(query, c->tables[t - 1].name)) return false;
+            c->tables.erase(c->tables.begin() + static_cast<long>(t - 1));
+            return true;
+          });
+    }
+  }
+  return Repro{std::move(catalog), std::move(query)};
+}
+
+std::string ReproReport(const Repro& repro) {
+  std::ostringstream os;
+  os << "=== shrunk repro ===\n";
+  os << repro.catalog.ToString();
+  os << "  SQL: " << repro.query.ToSql() << "\n";
+  Differ differ(repro.catalog);
+  if (!differ.init_status().ok()) {
+    os << "  (catalog reload failed: " << differ.init_status().message()
+       << ")\n";
+    return os.str();
+  }
+  DiffOutcome outcome = differ.RunOne(repro.query.ToSql());
+  os << (outcome.diverged ? outcome.report
+                          : "  (no longer diverges after reload?)\n");
+  os << "=== end repro ===\n";
+  return os.str();
+}
+
+}  // namespace radb::testing

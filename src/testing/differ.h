@@ -1,0 +1,89 @@
+#ifndef RADB_TESTING_DIFFER_H_
+#define RADB_TESTING_DIFFER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+#include "testing/catalog_gen.h"
+#include "testing/query_gen.h"
+
+namespace radb::testing {
+
+/// One engine configuration under differential test.
+struct FuzzConfig {
+  std::string name;
+  Database::Config config;
+};
+
+/// The six standard configurations: {DP join search, greedy join
+/// search, early projection off} x {1 thread, 8 threads}. All use
+/// 8 simulated workers so shuffle/merge paths are always exercised.
+std::vector<FuzzConfig> StandardConfigs();
+
+/// Canonicalizes a row set for order-insensitive comparison: rows are
+/// sorted by a total order over values (kind rank first — NULL < BOOL
+/// < INTEGER < DOUBLE < STRING < LABELED < VECTOR < MATRIX — then
+/// value-wise within a kind, element-wise for LA types). Generated
+/// data contains no NaNs, so the order is total.
+RowSet Normalized(RowSet rows);
+
+/// Cell-exact comparison of two normalized row sets (Value::Equals:
+/// Int(1) != Double(1.0), NULLs equal, -0.0 == 0.0).
+bool SameCells(const RowSet& a, const RowSet& b);
+
+/// Outcome of running one query through every configuration.
+struct DiffOutcome {
+  bool diverged = false;
+  /// Human-readable divergence report (empty when !diverged).
+  std::string report;
+};
+
+/// Holds one Database per FuzzConfig, all loaded with the same
+/// CatalogSpec, plus the reference evaluator. A query "passes" when
+/// all engine configurations and the reference agree on either the
+/// exact multiset of result cells or the error StatusCode.
+class Differ {
+ public:
+  explicit Differ(const CatalogSpec& spec);
+
+  /// Non-OK when catalog loading failed (generator bug; fatal).
+  const Status& init_status() const { return init_status_; }
+
+  /// Runs `sql` through the reference and every configuration and
+  /// compares. Row order is normalized away unless the query's LIMIT
+  /// rules make it semantically binding (see query_gen.h).
+  DiffOutcome RunOne(const std::string& sql);
+
+  /// Cumulative optimizer.plans_considered per configuration, read
+  /// from each Database's metrics registry.
+  std::vector<uint64_t> PlansConsidered() const;
+
+  size_t num_configs() const { return dbs_.size(); }
+
+ private:
+  std::vector<FuzzConfig> configs_;
+  std::vector<std::unique_ptr<Database>> dbs_;
+  Status init_status_;
+};
+
+/// Greedily minimizes a diverging (catalog, query) pair: drops
+/// relations, conjuncts, select items, ORDER BY / LIMIT / DISTINCT /
+/// GROUP BY clauses, table rows and unreferenced tables, keeping each
+/// mutation only if the divergence persists. Returns the smallest
+/// still-diverging pair.
+struct Repro {
+  CatalogSpec catalog;
+  QuerySpec query;
+};
+Repro Shrink(CatalogSpec catalog, QuerySpec query);
+
+/// Renders a standalone repro: the shrunk SQL, the catalog seed and
+/// dump, and the per-configuration divergence report — everything
+/// needed to paste into regression_seeds.h.
+std::string ReproReport(const Repro& repro);
+
+}  // namespace radb::testing
+
+#endif  // RADB_TESTING_DIFFER_H_

@@ -1,0 +1,495 @@
+#include "testing/query_gen.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace radb::testing {
+
+namespace {
+
+/// A column visible in the generated query's scope.
+struct ColRef {
+  std::string text;  // "r0.c1"
+  DataType type;
+};
+
+/// Columns bucketed by kind for quick "give me an X" picks.
+struct Scope {
+  std::vector<ColRef> ints, doubles, bools, strings, vectors, matrices;
+
+  bool HasNumeric() const { return !ints.empty() || !doubles.empty(); }
+};
+
+const ColRef* Pick(const std::vector<ColRef>& v, Rng* rng) {
+  return v.empty() ? nullptr : &v[rng->NextBelow(v.size())];
+}
+
+/// Generates total, exact expressions only: no division, no partial
+/// builtins (sqrt/ln/inverse/...), every index a literal in range.
+/// Divergence-by-construction hazards this sidesteps are documented
+/// in DESIGN.md §9.
+class ExprGen {
+ public:
+  ExprGen(const Scope& scope, Rng* rng) : s_(scope), rng_(rng) {}
+
+  /// INTEGER-kind expression (never promotes to double).
+  std::string IntExpr(int depth) {
+    const uint64_t roll = rng_->NextBelow(10);
+    if (depth <= 0 || roll < 3) {
+      if (const ColRef* c = Pick(s_.ints, rng_); c != nullptr && roll != 0) {
+        return c->text;
+      }
+      return std::to_string(static_cast<int64_t>(rng_->NextBelow(7)) - 3);
+    }
+    if (roll < 8 || (s_.vectors.empty() && s_.matrices.empty())) {
+      static const char* kOps[] = {" + ", " - ", " * "};
+      return "(" + IntExpr(depth - 1) + kOps[rng_->NextBelow(3)] +
+             IntExpr(depth - 1) + ")";
+    }
+    if (const ColRef* v = Pick(s_.vectors, rng_); v != nullptr && roll == 8) {
+      return rng_->NextBelow(2) == 0 ? "vector_size(" + v->text + ")"
+                                     : "argmax_vector(" + v->text + ")";
+    }
+    if (const ColRef* m = Pick(s_.matrices, rng_)) {
+      return rng_->NextBelow(2) == 0 ? "matrix_rows(" + m->text + ")"
+                                     : "matrix_cols(" + m->text + ")";
+    }
+    return IntExpr(0);
+  }
+
+  /// Numeric expression; *is_double reports the statically known kind
+  /// (the engine never produces a mixed-kind column: int arithmetic
+  /// stays int, anything touching a double is double).
+  std::string NumExpr(int depth, bool* is_double) {
+    const uint64_t roll = rng_->NextBelow(12);
+    if (roll < 4) {
+      *is_double = false;
+      return IntExpr(depth);
+    }
+    if (roll < 6 || depth <= 0) {
+      *is_double = true;
+      if (const ColRef* c = Pick(s_.doubles, rng_); c != nullptr) {
+        return c->text;
+      }
+      // Doubles on the 0.25 grid keep every downstream sum exact.
+      const double v = (static_cast<double>(rng_->NextBelow(25)) - 12.0) * 0.25;
+      std::ostringstream os;
+      os << v;
+      std::string text = os.str();
+      if (text.find('.') == std::string::npos) text += ".0";
+      return text;
+    }
+    if (roll < 9) {
+      bool ld = false, rd = false;
+      static const char* kOps[] = {" + ", " - ", " * "};
+      const std::string e = "(" + NumExpr(depth - 1, &ld) +
+                            kOps[rng_->NextBelow(3)] +
+                            NumExpr(depth - 1, &rd) + ")";
+      *is_double = ld || rd;
+      return e;
+    }
+    // LA-flavored scalar reductions (all exact on the generated grid).
+    *is_double = true;
+    if (const ColRef* v = Pick(s_.vectors, rng_); v != nullptr && roll == 9) {
+      static const char* kFns[] = {"sum_vector", "min_vector", "max_vector"};
+      return std::string(kFns[rng_->NextBelow(3)]) + "(" + v->text + ")";
+    }
+    if (const ColRef* m = Pick(s_.matrices, rng_); m != nullptr && roll == 10) {
+      if (m->type.rows() == m->type.cols() && rng_->NextBelow(2) == 0) {
+        return "trace(" + m->text + ")";
+      }
+      static const char* kFns[] = {"sum_matrix", "min_matrix", "max_matrix"};
+      return std::string(kFns[rng_->NextBelow(3)]) + "(" + m->text + ")";
+    }
+    if (const ColRef* m = Pick(s_.matrices, rng_); m != nullptr && roll == 11) {
+      const int64_t r = static_cast<int64_t>(rng_->NextBelow(
+          static_cast<uint64_t>(*m->type.rows())));
+      const int64_t c = static_cast<int64_t>(rng_->NextBelow(
+          static_cast<uint64_t>(*m->type.cols())));
+      return "get_entry(" + m->text + ", " + std::to_string(r) + ", " +
+             std::to_string(c) + ")";
+    }
+    if (const ColRef* v = Pick(s_.vectors, rng_); v != nullptr) {
+      const int64_t i = static_cast<int64_t>(
+          rng_->NextBelow(static_cast<uint64_t>(*v->type.rows())));
+      return "get_scalar(" + v->text + ", " + std::to_string(i) + ")";
+    }
+    bool d = false;
+    const std::string e = "abs_val(" + NumExpr(0, &d) + " + 0.0)";
+    return e;
+  }
+
+  /// Boolean predicate. Equality comparisons are restricted to
+  /// same-kind sides of hashable kinds (int/bool/string): `=` between
+  /// relations becomes a hash-join key, and the engine's hash/Equals
+  /// key semantics must coincide with EvalCompare for the comparison
+  /// the reference evaluator performs.
+  std::string BoolExpr(int depth) {
+    const uint64_t roll = rng_->NextBelow(10);
+    if (roll == 0 && !s_.bools.empty()) {
+      return Pick(s_.bools, rng_)->text;
+    }
+    if (depth > 0 && roll < 3) {
+      const char* op = rng_->NextBelow(2) == 0 ? " AND " : " OR ";
+      return "(" + BoolExpr(depth - 1) + op + BoolExpr(depth - 1) + ")";
+    }
+    if (depth > 0 && roll == 3) {
+      return "(NOT " + BoolExpr(depth - 1) + ")";
+    }
+    if (roll == 4 && s_.strings.size() >= 1) {
+      const ColRef* a = Pick(s_.strings, rng_);
+      const ColRef* b = Pick(s_.strings, rng_);
+      static const char* kOps[] = {" = ", " < ", " <= ", " <> "};
+      return "(" + a->text + kOps[rng_->NextBelow(4)] + b->text + ")";
+    }
+    static const char* kCmp[] = {" < ", " <= ", " > ", " >= ", " <> "};
+    const uint64_t cmp = rng_->NextBelow(6);
+    if (cmp == 5) {
+      // Equality: int-only on both sides.
+      return "(" + IntExpr(1) + " = " + IntExpr(1) + ")";
+    }
+    bool ld = false, rd = false;
+    return "(" + NumExpr(1, &ld) + kCmp[cmp] + NumExpr(1, &rd) + ")";
+  }
+
+  /// LA-valued (VECTOR/MATRIX) expression, or empty when the scope has
+  /// no LA columns to build from.
+  std::string LaExpr() {
+    const uint64_t roll = rng_->NextBelow(8);
+    const ColRef* v = Pick(s_.vectors, rng_);
+    const ColRef* m = Pick(s_.matrices, rng_);
+    if (v != nullptr && (roll < 2 || m == nullptr)) {
+      switch (rng_->NextBelow(4)) {
+        case 0: {
+          // Same-length pair for elementwise +/-.
+          for (const ColRef& o : s_.vectors) {
+            if (o.type.rows() == v->type.rows()) {
+              return "(" + v->text + (rng_->NextBelow(2) == 0 ? " + " : " - ") +
+                     o.text + ")";
+            }
+          }
+          return v->text;
+        }
+        case 1:
+          return "outer_product(" + v->text + ", " +
+                 Pick(s_.vectors, rng_)->text + ")";
+        case 2:
+          return "diag_matrix(" + v->text + ")";
+        default:
+          return v->text;
+      }
+    }
+    if (m != nullptr) {
+      switch (roll) {
+        case 2:
+          return "trans_matrix(" + m->text + ")";
+        case 3: {
+          // matrix_multiply with compatible inner dimensions.
+          for (const ColRef& o : s_.matrices) {
+            if (m->type.cols() == o.type.rows()) {
+              return "matrix_multiply(" + m->text + ", " + o.text + ")";
+            }
+          }
+          return "trans_matrix(" + m->text + ")";
+        }
+        case 4: {
+          const int64_t r = static_cast<int64_t>(rng_->NextBelow(
+              static_cast<uint64_t>(*m->type.rows())));
+          return "get_row(" + m->text + ", " + std::to_string(r) + ")";
+        }
+        case 5: {
+          // Same-shape pair for elementwise +.
+          for (const ColRef& o : s_.matrices) {
+            if (o.type.rows() == m->type.rows() &&
+                o.type.cols() == m->type.cols()) {
+              return "(" + m->text + " + " + o.text + ")";
+            }
+          }
+          return m->text;
+        }
+        case 6:
+          return "row_mins(" + m->text + ")";
+        default:
+          return m->text;
+      }
+    }
+    return "";
+  }
+
+  /// One aggregate call, e.g. "SUM((r0.k * r1.c0))".
+  QuerySpec::SelectItem AggItem() {
+    const Scope& s = s_;
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      switch (rng_->NextBelow(10)) {
+        case 0:
+          return {"COUNT(*)", true};
+        case 1: {
+          bool d = false;
+          return {"COUNT(" + NumExpr(1, &d) + ")", true};
+        }
+        case 2: {
+          bool d = false;
+          return {"SUM(" + NumExpr(1, &d) + ")", true};
+        }
+        case 3: {
+          bool d = false;
+          return {"AVG(" + NumExpr(1, &d) + ")", true};
+        }
+        case 4: {
+          bool d = false;
+          const char* fn = rng_->NextBelow(2) == 0 ? "MIN(" : "MAX(";
+          if (!s.strings.empty() && rng_->NextBelow(3) == 0) {
+            return {fn + Pick(s.strings, rng_)->text + ")", true};
+          }
+          return {fn + NumExpr(1, &d) + ")", true};
+        }
+        case 5: {
+          // SUM over VECTOR/MATRIX — the §3.2 elementwise overloads.
+          const std::string la = LaExpr();
+          if (la.empty()) continue;
+          return {"SUM(" + la + ")", false};
+        }
+        case 6: {
+          const std::string la = LaExpr();
+          if (la.empty()) continue;
+          const char* fn = rng_->NextBelow(2) == 0 ? "EMIN(" : "EMAX(";
+          return {fn + la + ")", false};
+        }
+        case 7: {
+          // VECTORIZE over labeled scalars (§3.3). Labels may collide
+          // or go negative — both are deterministic execution errors.
+          if (!s.HasNumeric()) continue;
+          bool d = false;
+          const std::string val = NumExpr(0, &d);
+          const std::string lbl =
+              rng_->NextBelow(2) == 0 ? IntExpr(1)
+                                      : "(" + IntExpr(0) + " + 3)";
+          return {"VECTORIZE(label_scalar(" + val + " + 0.0, " + lbl + "))",
+                  false};
+        }
+        case 8: {
+          if (s.vectors.empty()) continue;
+          const char* fn =
+              rng_->NextBelow(2) == 0 ? "ROWMATRIX(" : "COLMATRIX(";
+          return {std::string(fn) + "label_vector(" +
+                      Pick(s.vectors, rng_)->text + ", " + IntExpr(1) + "))",
+                  false};
+        }
+        default: {
+          bool d = false;
+          return {"AVG((" + NumExpr(0, &d) + " + 0.0))", true};
+        }
+      }
+    }
+    return {"COUNT(*)", true};
+  }
+
+  /// One plain (non-aggregate) select item.
+  QuerySpec::SelectItem PlainItem() {
+    switch (rng_->NextBelow(8)) {
+      case 0:
+        if (!s_.strings.empty()) return {Pick(s_.strings, rng_)->text, true};
+        [[fallthrough]];
+      case 1:
+        if (!s_.bools.empty()) return {BoolExpr(1), true};
+        [[fallthrough]];
+      case 2:
+      case 3: {
+        const std::string la = LaExpr();
+        if (!la.empty() && rng_->NextBelow(2) == 0) return {la, false};
+        bool d = false;
+        return {NumExpr(2, &d), true};
+      }
+      case 4: {
+        // LABELED_SCALAR output value.
+        if (s_.HasNumeric()) {
+          bool d = false;
+          return {"label_scalar(" + NumExpr(0, &d) + " + 0.0, " + IntExpr(1) +
+                      ")",
+                  false};
+        }
+        [[fallthrough]];
+      }
+      default: {
+        bool d = false;
+        return {NumExpr(2, &d), true};
+      }
+    }
+  }
+
+  /// Group key: int/bool/string valued only. Doubles are excluded so
+  /// the hash-based grouping key semantics stay trivially aligned
+  /// between engine and reference; labeled values are excluded because
+  /// Compare ignores labels while Equals does not.
+  std::string GroupKey() {
+    const uint64_t roll = rng_->NextBelow(6);
+    if (roll == 0 && !s_.bools.empty()) return Pick(s_.bools, rng_)->text;
+    if (roll == 1 && !s_.strings.empty()) return Pick(s_.strings, rng_)->text;
+    if (roll < 4 && !s_.ints.empty()) return Pick(s_.ints, rng_)->text;
+    return IntExpr(1);
+  }
+
+ private:
+  const Scope& s_;
+  Rng* rng_;
+};
+
+}  // namespace
+
+std::string QuerySpec::ToSql() const {
+  std::ostringstream os;
+  os << "SELECT ";
+  if (distinct) os << "DISTINCT ";
+  for (size_t i = 0; i < select_items.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << select_items[i].text << " AS o" << i;
+  }
+  os << " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << from[i].table << " AS " << from[i].alias;
+  }
+  if (!where.empty()) {
+    os << " WHERE ";
+    for (size_t i = 0; i < where.size(); ++i) {
+      if (i > 0) os << " AND ";
+      os << where[i];
+    }
+  }
+  if (!group_by.empty()) {
+    os << " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << group_by[i];
+    }
+  }
+  if (!order_by.empty()) {
+    os << " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "o" << order_by[i].item;
+      if (order_by[i].desc) os << " DESC";
+    }
+  }
+  if (limit.has_value()) os << " LIMIT " << *limit;
+  return os.str();
+}
+
+QuerySpec GenerateQuery(const CatalogSpec& catalog, Rng* rng) {
+  QuerySpec q;
+
+  // ---- FROM: 1-5 relations, repeats allowed, always aliased. ----
+  const size_t nrel = 1 + rng->NextBelow(5);
+  for (size_t i = 0; i < nrel; ++i) {
+    const TableSpec& t = catalog.tables[rng->NextBelow(catalog.tables.size())];
+    q.from.push_back({t.name, "r" + std::to_string(i)});
+  }
+
+  // ---- Scope. ----
+  Scope scope;
+  for (const QuerySpec::FromItem& f : q.from) {
+    const TableSpec* t = nullptr;
+    for (const TableSpec& cand : catalog.tables) {
+      if (cand.name == f.table) t = &cand;
+    }
+    for (const ColumnSpec& c : t->columns) {
+      ColRef ref{f.alias + "." + c.name, c.type};
+      switch (c.type.kind()) {
+        case TypeKind::kInteger:
+          scope.ints.push_back(ref);
+          break;
+        case TypeKind::kDouble:
+          scope.doubles.push_back(ref);
+          break;
+        case TypeKind::kBoolean:
+          scope.bools.push_back(ref);
+          break;
+        case TypeKind::kString:
+          scope.strings.push_back(ref);
+          break;
+        case TypeKind::kVector:
+          scope.vectors.push_back(ref);
+          break;
+        case TypeKind::kMatrix:
+          scope.matrices.push_back(ref);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  ExprGen gen(scope, rng);
+
+  // ---- Join conjuncts: chain consecutive relations on INTEGER
+  // columns (every generated table has one). ----
+  for (size_t i = 1; i < nrel; ++i) {
+    if (rng->NextBelow(10) < 8) {
+      const size_t j = rng->NextBelow(i);
+      q.where.push_back(q.from[j].alias + ".k = " + q.from[i].alias + ".k");
+    }
+  }
+  // ---- Extra filters. ----
+  const size_t nfilters = rng->NextBelow(3);
+  for (size_t i = 0; i < nfilters; ++i) {
+    q.where.push_back(gen.BoolExpr(2));
+  }
+
+  // ---- SELECT list (aggregate or plain). ----
+  const bool agg = rng->NextBelow(2) == 0;
+  if (agg) {
+    const size_t ngroups = rng->NextBelow(3);
+    std::set<std::string> seen;
+    for (size_t i = 0; i < ngroups; ++i) {
+      std::string key = gen.GroupKey();
+      if (seen.insert(key).second) q.group_by.push_back(std::move(key));
+    }
+    // Selected group keys must textually match the GROUP BY entry
+    // (the binder matches them by rendered expression text).
+    for (const std::string& key : q.group_by) {
+      if (rng->NextBelow(4) < 3) q.select_items.push_back({key, true});
+    }
+    const size_t naggs = 1 + rng->NextBelow(3);
+    for (size_t i = 0; i < naggs; ++i) {
+      q.select_items.push_back(gen.AggItem());
+    }
+  } else {
+    const size_t nitems = 1 + rng->NextBelow(4);
+    for (size_t i = 0; i < nitems; ++i) {
+      q.select_items.push_back(gen.PlainItem());
+    }
+  }
+
+  q.distinct = rng->NextBelow(5) == 0;
+
+  // ---- ORDER BY / LIMIT. LIMIT requires a total order: every select
+  // item must be an ORDER BY key (ties are then whole-row duplicates
+  // and any stable sort yields the same multiset prefix). ----
+  bool all_orderable = true;
+  for (const QuerySpec::SelectItem& item : q.select_items) {
+    all_orderable = all_orderable && item.orderable;
+  }
+  const uint64_t order_roll = rng->NextBelow(10);
+  if (order_roll < 3 && all_orderable) {
+    std::vector<size_t> perm(q.select_items.size());
+    for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    for (size_t i = perm.size(); i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng->NextBelow(i)]);
+    }
+    for (size_t i : perm) {
+      q.order_by.push_back({i, rng->NextBelow(2) == 0});
+    }
+    q.limit = 1 + static_cast<int64_t>(rng->NextBelow(6));
+  } else if (order_roll < 6) {
+    // Partial ORDER BY without LIMIT: the comparison normalizes row
+    // order anyway, this just exercises the Sort operator.
+    for (size_t i = 0; i < q.select_items.size(); ++i) {
+      if (q.select_items[i].orderable && rng->NextBelow(2) == 0) {
+        q.order_by.push_back({i, rng->NextBelow(2) == 0});
+      }
+    }
+  }
+  return q;
+}
+
+}  // namespace radb::testing

@@ -1,0 +1,60 @@
+#ifndef RADB_TESTING_QUERY_GEN_H_
+#define RADB_TESTING_QUERY_GEN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "testing/catalog_gen.h"
+
+namespace radb::testing {
+
+/// A generated query kept as structured clause fragments rather than a
+/// flat SQL string, so the shrinker can delete relations / conjuncts /
+/// select items independently and re-render.
+struct QuerySpec {
+  struct FromItem {
+    std::string table;
+    std::string alias;  // r0..r4, single digit, so "rK." searches are exact
+  };
+  struct SelectItem {
+    std::string text;
+    /// True when the item's type supports Value::Compare (int, double,
+    /// bool, string) — the precondition for using it as an ORDER BY
+    /// key and hence for a deterministic LIMIT.
+    bool orderable = false;
+  };
+  struct OrderKey {
+    size_t item;  // index into select_items (rendered alias oN)
+    bool desc;
+  };
+
+  std::vector<FromItem> from;
+  std::vector<SelectItem> select_items;
+  std::vector<std::string> where;     // conjunct texts, ANDed
+  std::vector<std::string> group_by;  // group key texts
+  bool distinct = false;
+  std::vector<OrderKey> order_by;
+  std::optional<int64_t> limit;
+
+  /// Renders "SELECT ... AS o0, ... FROM t AS r0, ... WHERE ...".
+  std::string ToSql() const;
+};
+
+/// Generates one random query over the catalog: 1-5 relations
+/// (repeats allowed, always aliased), equi-join conjuncts on INTEGER
+/// columns, scalar and LA expressions, optional GROUP BY with the full
+/// aggregate roster, optional DISTINCT / ORDER BY / LIMIT.
+///
+/// Determinism-by-construction rules (DESIGN.md §9): every generated
+/// expression is total (no division, no partial builtins, indexes in
+/// range), all data-driven arithmetic is exact in double precision,
+/// ORDER BY uses only orderable select items, and LIMIT appears only
+/// when ORDER BY covers every select item (so ties are full-row
+/// duplicates and any stable order yields the same multiset prefix).
+QuerySpec GenerateQuery(const CatalogSpec& catalog, Rng* rng);
+
+}  // namespace radb::testing
+
+#endif  // RADB_TESTING_QUERY_GEN_H_

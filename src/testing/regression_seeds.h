@@ -1,0 +1,46 @@
+#ifndef RADB_TESTING_REGRESSION_SEEDS_H_
+#define RADB_TESTING_REGRESSION_SEEDS_H_
+
+#include <cstdint>
+
+namespace radb::testing {
+
+/// Pinned differential-test cases. This is the permanent home for
+/// shrunk fuzzer repros: when `fuzz_queries` reports a divergence, it
+/// prints a catalog seed + SQL pair — append it here (with a comment
+/// naming the bug) and it will be replayed by fuzz_test and by every
+/// `fuzz_queries` run forever after.
+///
+/// The catalog is regenerated from `catalog_seed` via
+/// GenerateCatalog(), so entries stay valid as long as catalog_gen's
+/// seeded generation stays stable; if the generator ever changes
+/// shape, freeze the affected entries as explicit CREATE/INSERT SQL
+/// in fuzz_test instead.
+struct RegressionSeed {
+  uint64_t catalog_seed;
+  const char* sql;
+};
+
+inline constexpr RegressionSeed kRegressionSeeds[] = {
+    // Hand-pinned sentinels for the three PR-3 bug fixes and the
+    // trickiest executor paths (empty inputs, two-phase aggregation,
+    // DISTINCT over mixed kinds). None of these diverged at pin time;
+    // they guard against regressions in the paths the fixes touched.
+    {1, "SELECT COUNT(*) AS o0 FROM t0 AS r0, t1 AS r1 WHERE r0.k = r1.k"},
+    {1, "SELECT r0.k AS o0, COUNT(*) AS o1, SUM(r0.k + 2) AS o2 "
+        "FROM t0 AS r0 GROUP BY r0.k"},
+    {2, "SELECT DISTINCT r0.k AS o0 FROM t0 AS r0, t1 AS r1"},
+    {3, "SELECT SUM(r0.k) AS o0, AVG(r0.k + 0.0) AS o1 FROM t0 AS r0 "
+        "WHERE r0.k > 100"},  // empty input: one row, NULL sum
+    {4, "SELECT VECTORIZE(label_scalar(r0.k + 0.0, r0.k + 3)) AS o0 "
+        "FROM t0 AS r0"},
+    {5, "SELECT MIN(r0.k) AS o0, MAX(r0.k) AS o1 FROM t0 AS r0 "
+        "GROUP BY r0.k = 0"},
+};
+
+inline constexpr size_t kNumRegressionSeeds =
+    sizeof(kRegressionSeeds) / sizeof(kRegressionSeeds[0]);
+
+}  // namespace radb::testing
+
+#endif  // RADB_TESTING_REGRESSION_SEEDS_H_

@@ -181,7 +181,12 @@ std::string Value::ToString() const {
     case TypeKind::kString:
       return "'" + string_value() + "'";
     case TypeKind::kLabeledScalar:
-      os << labeled().value << "@" << labeled().label;
+      os << labeled().value << "@";
+      if (labeled().label == kNoLabel) {
+        os << "?";
+      } else {
+        os << labeled().label;
+      }
       return os.str();
     case TypeKind::kVector:
       return vector().ToString();

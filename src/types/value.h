@@ -2,6 +2,7 @@
 #define RADB_TYPES_VALUE_H_
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <variant>
@@ -13,20 +14,26 @@
 
 namespace radb {
 
+/// Sentinel meaning "no label has been assigned". Distinct from every
+/// value a user can plausibly compute (labels like `id - 1000` can be
+/// genuinely negative, so -1 is NOT a safe sentinel — see VECTORIZE /
+/// ROWMATRIX error reporting).
+inline constexpr int64_t kNoLabel = std::numeric_limits<int64_t>::min();
+
 /// A DOUBLE carrying an integer label; produced by label_scalar and
 /// consumed by the VECTORIZE aggregate (paper §3.3).
 struct LabeledScalarValue {
   double value = 0.0;
-  int64_t label = -1;
+  int64_t label = kNoLabel;
   bool operator==(const LabeledScalarValue&) const = default;
 };
 
-/// Runtime VECTOR payload. Vectors carry an implicit label (default
-/// -1) that label_vector can set and ROWMATRIX/COLMATRIX consume
+/// Runtime VECTOR payload. Vectors carry an implicit label (unset by
+/// default) that label_vector can set and ROWMATRIX/COLMATRIX consume
 /// (paper §3.3). Payload is shared so copying a Value is O(1).
 struct VectorValue {
   std::shared_ptr<const la::Vector> vec;
-  int64_t label = -1;
+  int64_t label = kNoLabel;
   bool operator==(const VectorValue& o) const {
     return label == o.label && (vec == o.vec || (vec && o.vec && *vec == *o.vec));
   }
@@ -54,12 +61,12 @@ class Value {
   static Value Labeled(double value, int64_t label) {
     return Value(Repr(LabeledScalarValue{value, label}));
   }
-  static Value FromVector(la::Vector v, int64_t label = -1) {
+  static Value FromVector(la::Vector v, int64_t label = kNoLabel) {
     return Value(Repr(
         VectorValue{std::make_shared<la::Vector>(std::move(v)), label}));
   }
   static Value FromSharedVector(std::shared_ptr<const la::Vector> v,
-                                int64_t label = -1) {
+                                int64_t label = kNoLabel) {
     return Value(Repr(VectorValue{std::move(v), label}));
   }
   static Value FromMatrix(la::Matrix m) {

@@ -1,0 +1,145 @@
+// Regression tests for the aggregate-layer fixes:
+//  - SUM must reject scalar/LA mixtures in BOTH directions (the
+//    scalar-first direction used to silently broadcast the scalar).
+//  - VECTORIZE / ROWMATRIX / COLMATRIX must distinguish "no label
+//    set" from a genuinely negative user label, and report the
+//    offending value.
+
+#include <gtest/gtest.h>
+
+#include "api/database.h"
+#include "catalog/aggregate.h"
+#include "la/matrix.h"
+#include "la/vector.h"
+#include "types/value.h"
+
+namespace radb {
+namespace {
+
+std::unique_ptr<Aggregator> Make(const std::string& name) {
+  auto fn = AggregateRegistry::Global().Lookup(name);
+  EXPECT_TRUE(fn.ok()) << name;
+  return (*fn)->make();
+}
+
+// ---------------------------------------------------------------------
+// SUM mixed-kind groups.
+// ---------------------------------------------------------------------
+
+TEST(SumAggregatorTest, RejectsScalarThenMatrix) {
+  auto agg = Make("sum");
+  ASSERT_TRUE(agg->Update(Value::Double(1.5)).ok());
+  Status s = agg->Update(Value::FromMatrix(la::Matrix(2, 2, 1.0)));
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+  EXPECT_NE(s.message().find("mixed"), std::string::npos) << s.message();
+}
+
+TEST(SumAggregatorTest, RejectsMatrixThenScalar) {
+  auto agg = Make("sum");
+  ASSERT_TRUE(agg->Update(Value::FromMatrix(la::Matrix(2, 2, 1.0))).ok());
+  EXPECT_EQ(agg->Update(Value::Double(1.5)).code(), StatusCode::kTypeError);
+  EXPECT_EQ(agg->Update(Value::Int(7)).code(), StatusCode::kTypeError);
+}
+
+TEST(SumAggregatorTest, RejectsScalarThenVector) {
+  auto agg = Make("sum");
+  ASSERT_TRUE(agg->Update(Value::Int(2)).ok());
+  EXPECT_EQ(agg->Update(Value::FromVector(la::Vector(3, 1.0))).code(),
+            StatusCode::kTypeError);
+}
+
+TEST(SumAggregatorTest, RejectsVectorThenMatrix) {
+  auto agg = Make("sum");
+  ASSERT_TRUE(agg->Update(Value::FromVector(la::Vector(3, 1.0))).ok());
+  EXPECT_EQ(agg->Update(Value::FromMatrix(la::Matrix(3, 3, 1.0))).code(),
+            StatusCode::kTypeError);
+}
+
+TEST(SumAggregatorTest, HomogeneousGroupsStillWork) {
+  auto scalars = Make("sum");
+  ASSERT_TRUE(scalars->Update(Value::Int(2)).ok());
+  ASSERT_TRUE(scalars->Update(Value::Double(0.5)).ok());  // numeric widening
+  EXPECT_DOUBLE_EQ(scalars->Finalize()->AsDouble().value(), 2.5);
+
+  auto matrices = Make("sum");
+  ASSERT_TRUE(matrices->Update(Value::FromMatrix(la::Matrix(2, 2, 1.0))).ok());
+  ASSERT_TRUE(matrices->Update(Value::FromMatrix(la::Matrix(2, 2, 2.0))).ok());
+  EXPECT_DOUBLE_EQ(matrices->Finalize()->matrix().At(1, 1), 3.0);
+}
+
+// ---------------------------------------------------------------------
+// Label diagnostics: unset vs genuinely negative.
+// ---------------------------------------------------------------------
+
+TEST(VectorizeAggregatorTest, UnsetLabelReportedAsUnset) {
+  auto agg = Make("vectorize");
+  Status s = agg->Update(Value::Labeled(1.0, kNoLabel));
+  EXPECT_EQ(s.code(), StatusCode::kExecutionError);
+  EXPECT_NE(s.message().find("no label set"), std::string::npos)
+      << s.message();
+}
+
+TEST(VectorizeAggregatorTest, NegativeLabelReportedWithValue) {
+  auto agg = Make("vectorize");
+  Status s = agg->Update(Value::Labeled(1.0, -1000));
+  EXPECT_EQ(s.code(), StatusCode::kExecutionError);
+  EXPECT_NE(s.message().find("-1000"), std::string::npos) << s.message();
+  EXPECT_EQ(s.message().find("no label set"), std::string::npos)
+      << s.message();
+}
+
+TEST(RowColMatrixAggregatorTest, UnsetVsNegativeLabel) {
+  for (const char* name : {"rowmatrix", "colmatrix"}) {
+    auto unset = Make(name);
+    Status s1 = unset->Update(Value::FromVector(la::Vector(2, 1.0)));
+    EXPECT_EQ(s1.code(), StatusCode::kExecutionError);
+    EXPECT_NE(s1.message().find("no label set"), std::string::npos)
+        << name << ": " << s1.message();
+
+    auto negative = Make(name);
+    Status s2 =
+        negative->Update(Value::FromVector(la::Vector(2, 1.0), -7));
+    EXPECT_EQ(s2.code(), StatusCode::kExecutionError);
+    EXPECT_NE(s2.message().find("-7"), std::string::npos)
+        << name << ": " << s2.message();
+    EXPECT_EQ(s2.message().find("no label set"), std::string::npos)
+        << name << ": " << s2.message();
+  }
+}
+
+// End-to-end: a blocking-style query whose computed labels go
+// negative (the paper's `x.id - mi*1000` pattern with a wrong block
+// offset) must name the bad label, not claim the label was never set.
+TEST(VectorizeAggregatorTest, NegativeComputedLabelThroughSql) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE t (k INTEGER, d DOUBLE)").ok());
+  std::vector<Row> rows;
+  for (int i = 0; i < 3; ++i) {
+    rows.push_back({Value::Int(i), Value::Double(i + 0.5)});
+  }
+  ASSERT_TRUE(db.BulkInsert("t", std::move(rows)).ok());
+  auto rs =
+      db.ExecuteSql("SELECT VECTORIZE(label_scalar(d, k - 1000)) FROM t");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kExecutionError);
+  EXPECT_NE(rs.status().message().find("negative label"), std::string::npos)
+      << rs.status().message();
+  EXPECT_EQ(rs.status().message().find("no label set"), std::string::npos)
+      << rs.status().message();
+}
+
+// The legacy introspection builtins still report -1 for "unset" (the
+// documented public contract) even though the internal sentinel moved
+// off -1.
+TEST(LabelSentinelTest, GetLabelStillReportsMinusOneForUnset) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE v (x VECTOR[3])").ok());
+  ASSERT_TRUE(db.BulkInsert("v", {{Value::FromVector(la::Vector(3, 1.0))}})
+                  .ok());
+  auto rs = db.ExecuteSql("SELECT get_vector_label(x) FROM v");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  EXPECT_EQ(rs->at(0, 0).int_value(), -1);
+}
+
+}  // namespace
+}  // namespace radb

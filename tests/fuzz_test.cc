@@ -1,0 +1,136 @@
+// Differential-testing subsystem tests: a fixed-seed fuzz sweep (the
+// CI gate for "all six engine configurations agree with the reference
+// evaluator"), replay of the pinned regression seeds, and unit tests
+// of the comparison machinery itself.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "testing/catalog_gen.h"
+#include "testing/differ.h"
+#include "testing/query_gen.h"
+#include "testing/reference_eval.h"
+#include "testing/regression_seeds.h"
+
+namespace radb::testing {
+namespace {
+
+TEST(CatalogGenTest, Deterministic) {
+  const CatalogSpec a = GenerateCatalog(42);
+  const CatalogSpec b = GenerateCatalog(42);
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_GE(a.tables.size(), 2u);
+  for (const TableSpec& t : a.tables) {
+    ASSERT_FALSE(t.columns.empty());
+    EXPECT_EQ(t.columns[0].name, "k");
+    EXPECT_EQ(t.columns[0].type.kind(), TypeKind::kInteger);
+  }
+}
+
+TEST(QueryGenTest, DeterministicAndParseable) {
+  const CatalogSpec catalog = GenerateCatalog(7);
+  Rng r1(99), r2(99);
+  for (int i = 0; i < 50; ++i) {
+    const QuerySpec a = GenerateQuery(catalog, &r1);
+    const QuerySpec b = GenerateQuery(catalog, &r2);
+    EXPECT_EQ(a.ToSql(), b.ToSql());
+    // LIMIT only with a total order over the whole select list.
+    if (a.limit.has_value()) {
+      EXPECT_EQ(a.order_by.size(), a.select_items.size());
+    }
+  }
+}
+
+TEST(NormalizeTest, SortsRowsCanonically) {
+  RowSet rows;
+  rows.push_back({Value::Int(2), Value::String("b")});
+  rows.push_back({Value::Int(1), Value::String("z")});
+  rows.push_back({Value::Int(1), Value::String("a")});
+  const RowSet norm = Normalized(rows);
+  EXPECT_EQ(norm[0][0].int_value(), 1);
+  EXPECT_EQ(norm[0][1].string_value(), "a");
+  EXPECT_EQ(norm[2][0].int_value(), 2);
+}
+
+TEST(NormalizeTest, KindRankSeparatesIntFromDouble) {
+  // Int(1) and Double(1.0) are different cells; normalization must
+  // order them stably, and SameCells must tell them apart.
+  RowSet a, b;
+  a.push_back({Value::Int(1)});
+  b.push_back({Value::Double(1.0)});
+  EXPECT_FALSE(SameCells(Normalized(a), Normalized(b)));
+}
+
+TEST(SameCellsTest, ExactOnLaValues) {
+  RowSet a, b;
+  la::Vector v1(3, 1.0), v2(3, 1.0);
+  a.push_back({Value::FromVector(std::move(v1))});
+  b.push_back({Value::FromVector(std::move(v2))});
+  EXPECT_TRUE(SameCells(a, b));
+  la::Vector v3(3, 1.0);
+  v3[2] = 1.0 + 1e-12;  // off by one ulp-ish: must NOT compare equal
+  RowSet c;
+  c.push_back({Value::FromVector(std::move(v3))});
+  EXPECT_FALSE(SameCells(a, c));
+}
+
+TEST(ReferenceEvalTest, MatchesHandComputedJoinAggregate) {
+  CatalogSpec spec;
+  spec.seed = 0;
+  TableSpec t0{"t0", {{"k", DataType::Integer()}}, {}};
+  TableSpec t1{"t1", {{"k", DataType::Integer()}}, {}};
+  for (int i = 0; i < 3; ++i) t0.rows.push_back({Value::Int(i)});
+  for (int i = 1; i < 4; ++i) t1.rows.push_back({Value::Int(i)});
+  spec.tables = {t0, t1};
+
+  Differ differ(spec);
+  ASSERT_TRUE(differ.init_status().ok());
+
+  Database db;
+  ASSERT_TRUE(LoadCatalog(spec, &db).ok());
+  auto ref = ReferenceExecute(
+      "SELECT COUNT(*) FROM t0 AS r0, t1 AS r1 WHERE r0.k = r1.k",
+      db.catalog());
+  ASSERT_TRUE(ref.ok()) << ref.status();
+  ASSERT_EQ(ref->rows.size(), 1u);
+  EXPECT_EQ(ref->rows[0][0].int_value(), 2);  // keys 1 and 2 match
+
+  const DiffOutcome outcome = differ.RunOne(
+      "SELECT COUNT(*) FROM t0 AS r0, t1 AS r1 WHERE r0.k = r1.k");
+  EXPECT_FALSE(outcome.diverged) << outcome.report;
+}
+
+TEST(RegressionSeedsTest, AllPinnedCasesAgree) {
+  for (size_t i = 0; i < kNumRegressionSeeds; ++i) {
+    const RegressionSeed& seed = kRegressionSeeds[i];
+    Differ differ(GenerateCatalog(seed.catalog_seed));
+    ASSERT_TRUE(differ.init_status().ok()) << "seed index " << i;
+    const DiffOutcome outcome = differ.RunOne(seed.sql);
+    EXPECT_FALSE(outcome.diverged)
+        << "regression seed " << i << ":\n" << outcome.report;
+  }
+}
+
+// The CI differential gate: 200 fixed-seed random queries across 8
+// random catalogs, every engine configuration vs the reference.
+TEST(FuzzTest, TwoHundredFixedSeedQueries) {
+  size_t ran = 0;
+  for (uint64_t catalog_seed = 100; catalog_seed < 108; ++catalog_seed) {
+    const CatalogSpec catalog = GenerateCatalog(catalog_seed);
+    Differ differ(catalog);
+    ASSERT_TRUE(differ.init_status().ok()) << "catalog " << catalog_seed;
+    Rng rng(catalog_seed * 7919);
+    for (int i = 0; i < 25; ++i) {
+      const QuerySpec query = GenerateQuery(catalog, &rng);
+      const DiffOutcome outcome = differ.RunOne(query.ToSql());
+      ++ran;
+      ASSERT_FALSE(outcome.diverged)
+          << "catalog seed " << catalog_seed << ", query " << i << ":\n"
+          << outcome.report;
+    }
+  }
+  EXPECT_EQ(ran, 200u);
+}
+
+}  // namespace
+}  // namespace radb::testing

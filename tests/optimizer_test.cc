@@ -296,5 +296,34 @@ TEST(OptimizerTest, EarlyProjectionCanBeDisabled) {
   walk(**plan);
 }
 
+TEST(OptimizerTest, EarlyProjectionPrunesSlotZeroColumn) {
+  // Regression: TryEarlyProjection used slot id 0 as its
+  // "hypothetically placed" marker, so NeededAbove always treated the
+  // column occupying slot 0 as live above the projection point. A
+  // wide MATRIX in the first column of the first relation could then
+  // never be projected away — the §4.1 rule silently never fired for
+  // it. The marker is now an impossible slot id (SIZE_MAX).
+  Database::Config config;
+  config.obs.enable_metrics = true;
+  Database db(config);
+  ASSERT_TRUE(
+      db.ExecuteSql("CREATE TABLE a (m MATRIX[32][32], k INTEGER)").ok());
+  std::vector<Row> rows;
+  for (int i = 0; i < 4; ++i) {
+    rows.push_back({Value::FromMatrix(la::Matrix(32, 32, 1.0)), Value::Int(i)});
+  }
+  ASSERT_TRUE(db.BulkInsert("a", std::move(rows)).ok());
+
+  // m binds to slot 0; trace(m) shrinks 32x32 doubles to one, so the
+  // rule must fire (and the result must still be correct).
+  auto rs = db.ExecuteSql("SELECT trace(m) FROM a");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  ASSERT_EQ(rs->num_rows(), 4u);
+  EXPECT_DOUBLE_EQ(rs->at(0, 0).AsDouble().value(), 32.0);
+  EXPECT_GE(db.metrics_registry()->counter("optimizer.early_projections")
+                ->value(),
+            1u);
+}
+
 }  // namespace
 }  // namespace radb
