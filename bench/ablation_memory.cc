@@ -1,0 +1,144 @@
+// Ablation: per-query memory budget. Sweeps
+// Config::memory_budget_bytes over the Figure 1 Gram computation
+// (vector and blocked codings) with cluster width held fixed, so the
+// only variable is how much operator state may stay resident before
+// buffers spill to disk (the 16 MB cell additionally runs at 1 and 8
+// threads). Every budgeted run is
+// cross-checked bit-for-bit against the unbudgeted reference: spill
+// and replay must change peak memory only, never results. At the
+// tightest setting the run is additionally required to have actually
+// spilled — otherwise the sweep proves nothing. Emits
+// BENCH_memory.json.
+//
+// Dataset sizes differ per coding on purpose. The vector coding's
+// aggregate state is one d×d accumulator, so pressure comes from the
+// ~20 MB of scanned vector rows and the 16 MB budget forces the scan
+// buffers to spill. The blocked coding's ROWMATRIX grouping state is
+// unspillable and roughly the size of the dataset, so its data must
+// *fit* in 16 MB; spill pressure comes instead from the join/scan
+// row buffers that are live at the same time as the growing state.
+#include "bench/bench_util.h"
+
+#include "la/matrix.h"
+
+namespace radb::bench {
+namespace {
+
+using workloads::Dataset;
+using workloads::GenerateDataset;
+using workloads::SqlWorkload;
+
+constexpr size_t kD = 100;
+// ~830 bytes per vector row: 24k rows ≈ 19.8 MB of scanned state,
+// comfortably past the 16 MB budget.
+constexpr size_t kNVector = 24000;
+// ~10 MB of rows → ~10 MB of unspillable ROWMATRIX state, leaving
+// headroom under 16 MB while the buffered join around it spills.
+constexpr size_t kNBlock = 12000;
+constexpr size_t kBlock = 1500;  // 8 blocks of 1500×100
+
+Database::Config ConfigFor(size_t budget_mb, size_t threads) {
+  Database::Config config;
+  config.num_workers = kWorkers;
+  config.num_threads = threads;
+  config.memory_budget_bytes = budget_mb << 20;  // 0 = unlimited
+  return config;
+}
+
+// Unbudgeted reference results, computed once and compared against
+// every budgeted run (exact equality — the spill-replay determinism
+// contract, not a tolerance).
+const la::Matrix& ReferenceGramVector(const Dataset& data) {
+  static const la::Matrix* ref = [&] {
+    SqlWorkload wl(ConfigFor(0, 8));
+    if (!wl.LoadVector(data).ok()) return new la::Matrix();
+    auto out = wl.GramVector();
+    return new la::Matrix(out.ok() ? out->gram : la::Matrix());
+  }();
+  return *ref;
+}
+
+const la::Matrix& ReferenceGramBlock(const Dataset& data) {
+  static const la::Matrix* ref = [&] {
+    SqlWorkload wl(ConfigFor(0, 8));
+    if (!wl.LoadVector(data).ok()) return new la::Matrix();
+    auto out = wl.GramBlock(kBlock);
+    return new la::Matrix(out.ok() ? out->gram : la::Matrix());
+  }();
+  return *ref;
+}
+
+void RunSweep(benchmark::State& state, bool blocked) {
+  const size_t budget_mb = static_cast<size_t>(state.range(0));
+  const size_t threads = static_cast<size_t>(state.range(1));
+  const Dataset data =
+      GenerateDataset(kSeed, blocked ? kNBlock : kNVector, kD);
+  const la::Matrix& ref =
+      blocked ? ReferenceGramBlock(data) : ReferenceGramVector(data);
+  for (auto _ : state) {
+    SqlWorkload wl(ConfigFor(budget_mb, threads));
+    if (!wl.LoadVector(data).ok()) {
+      state.SkipWithError("load failed");
+      break;
+    }
+    auto out = blocked ? wl.GramBlock(kBlock) : wl.GramVector();
+    if (!out.ok()) {
+      state.SkipWithError(out.status().ToString().c_str());
+      break;
+    }
+    if (out->gram.MaxAbsDiff(ref) != 0.0) {
+      state.SkipWithError("result differs from unbudgeted reference");
+      break;
+    }
+    if (budget_mb == 16 && out->spill_bytes == 0) {
+      state.SkipWithError("16MB budget run did not spill");
+      break;
+    }
+    const std::string coding = blocked ? "block" : "vector";
+    const std::string label =
+        (budget_mb == 0 ? "unlimited" : std::to_string(budget_mb) + "MB") +
+        " threads=" + std::to_string(threads);
+    ReportOutcome(state, *out, "memory", coding + " budget=" + label);
+    state.counters["budget_mb"] = static_cast<double>(budget_mb);
+    state.counters["spillMB"] =
+        static_cast<double>(out->spill_bytes) / (1024.0 * 1024.0);
+    state.counters["peakMB"] =
+        static_cast<double>(out->peak_tracked_bytes) / (1024.0 * 1024.0);
+  }
+}
+
+void BM_Ablation_MemoryGramVector(benchmark::State& state) {
+  RunSweep(state, /*blocked=*/false);
+}
+
+void BM_Ablation_MemoryGramBlock(benchmark::State& state) {
+  RunSweep(state, /*blocked=*/true);
+}
+
+// Args are {budget in MB (0 = unlimited), threads}. The tightest
+// budget also runs single-threaded: bit-identity must hold at any
+// budget AND any thread count, against the same 8-thread reference.
+BENCHMARK(BM_Ablation_MemoryGramVector)
+    ->Args({0, 8})
+    ->Args({256, 8})
+    ->Args({64, 8})
+    ->Args({16, 8})
+    ->Args({16, 1})
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_Ablation_MemoryGramBlock)
+    ->Args({0, 8})
+    ->Args({256, 8})
+    ->Args({64, 8})
+    ->Args({16, 8})
+    ->Args({16, 1})
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace radb::bench
+
+BENCHMARK_MAIN();

@@ -129,6 +129,8 @@ class BenchJsonRegistry {
        << ",\"simulated_seconds\":" << obs::JsonNumber(out.simulated_seconds)
        << ",\"cluster_seconds\":" << obs::JsonNumber(ClusterSeconds(out))
        << ",\"bytes_shuffled\":" << out.bytes_shuffled
+       << ",\"spill_bytes\":" << out.spill_bytes
+       << ",\"peak_tracked_bytes\":" << out.peak_tracked_bytes
        << ",\"metrics\":" << out.metrics.ToJson() << "}";
     auto& entries = figures_[figure];
     for (auto& [l, json] : entries) {

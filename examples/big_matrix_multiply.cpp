@@ -67,13 +67,19 @@ int main() {
   auto rs = db.ExecuteSql(kQuery);
   if (!rs.ok()) return Fail(rs.status());
 
-  // Reassemble and verify against a dense multiply.
+  // Reassemble and verify against a dense multiply, reading cells
+  // through the bounds-checked accessor.
   std::vector<radb::la::Tile> tiles;
   for (size_t r = 0; r < rs->num_rows(); ++r) {
+    auto tr = rs->Get(r, 0);
+    auto tc = rs->Get(r, 1);
+    auto mat = rs->Get(r, 2);
+    if (!tr.ok()) return Fail(tr.status());
+    if (!tc.ok()) return Fail(tc.status());
+    if (!mat.ok()) return Fail(mat.status());
     tiles.push_back(radb::la::Tile{
-        static_cast<size_t>(rs->at(r, 0).AsInt().value()),
-        static_cast<size_t>(rs->at(r, 1).AsInt().value()),
-        rs->at(r, 2).matrix()});
+        static_cast<size_t>(tr->AsInt().value()),
+        static_cast<size_t>(tc->AsInt().value()), mat->matrix()});
   }
   auto assembled = radb::la::AssembleTiles(tiles);
   if (!assembled.ok()) return Fail(assembled.status());

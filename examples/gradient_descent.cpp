@@ -64,8 +64,18 @@ int main() {
         "           (inner_product(xy.x, beta.b) - xy.y)) AS loss "
         "FROM xy, beta");
     if (!rs.ok()) return Fail(rs.status());
-    auto grad = rs->at(0, 0).vector();
-    const double loss = rs->at(0, 1).AsDouble().value() / kN;
+    // Look the output columns up by name instead of trusting their
+    // positions in the SELECT list.
+    auto g_col = rs->ColumnIndex("g");
+    auto loss_col = rs->ColumnIndex("loss");
+    if (!g_col.ok()) return Fail(g_col.status());
+    if (!loss_col.ok()) return Fail(loss_col.status());
+    auto g_cell = rs->Get(0, *g_col);
+    auto loss_cell = rs->Get(0, *loss_col);
+    if (!g_cell.ok()) return Fail(g_cell.status());
+    if (!loss_cell.ok()) return Fail(loss_cell.status());
+    auto grad = g_cell->vector();
+    const double loss = loss_cell->AsDouble().value() / kN;
 
     // beta <- beta - lr * (2/n) * grad, written back through SQL.
     auto updated = db.ExecuteSql(

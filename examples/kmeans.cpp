@@ -102,7 +102,11 @@ int main() {
   if (!rs.ok()) return Fail(rs.status());
   double worst = 0;
   for (size_t r = 0; r < rs->num_rows(); ++r) {
-    const radb::la::Vector& c = rs->at(r, 1).vector();
+    auto cid_cell = rs->Get(r, 0);
+    auto c_cell = rs->Get(r, 1);
+    if (!cid_cell.ok()) return Fail(cid_cell.status());
+    if (!c_cell.ok()) return Fail(c_cell.status());
+    const radb::la::Vector& c = c_cell->vector();
     double best = 1e300;
     size_t best_true = 0;
     for (size_t t = 0; t < kK; ++t) {
@@ -114,7 +118,7 @@ int main() {
     }
     worst = std::max(worst, best);
     std::printf("  centroid %lld -> true center %zu, max coord error %.4f\n",
-                static_cast<long long>(rs->at(r, 0).AsInt().value()),
+                static_cast<long long>(cid_cell->AsInt().value()),
                 best_true, best);
   }
   std::printf("worst centroid error: %.4f (noise half-width is 0.5)\n",

@@ -68,8 +68,12 @@ int main() {
               kQueryPoint);
   std::printf("%-10s %-14s %-14s\n", "pointID", "SQL d^2", "check d^2");
   for (size_t r = 0; r < rs->num_rows(); ++r) {
-    const int64_t pid = rs->at(r, 0).AsInt().value();
-    const double dist = rs->at(r, 1).AsDouble().value();
+    auto pid_cell = rs->Get(r, 0);
+    auto dist_cell = rs->Get(r, 1);
+    if (!pid_cell.ok()) return Fail(pid_cell.status());
+    if (!dist_cell.ok()) return Fail(dist_cell.status());
+    const int64_t pid = pid_cell->AsInt().value();
+    const double dist = dist_cell->AsDouble().value();
     // Direct verification.
     auto diff = radb::la::Sub(points[kQueryPoint],
                               points[static_cast<size_t>(pid)]);

@@ -98,8 +98,12 @@ int main() {
   if (!rs.ok()) return Fail(rs.status());
   std::vector<double> rank(kNodes);
   for (size_t r = 0; r < rs->num_rows(); ++r) {
-    const size_t tr = static_cast<size_t>(rs->at(r, 0).AsInt().value());
-    const radb::la::Matrix& m = rs->at(r, 1).matrix();
+    auto tr_cell = rs->Get(r, 0);
+    auto m_cell = rs->Get(r, 1);
+    if (!tr_cell.ok()) return Fail(tr_cell.status());
+    if (!m_cell.ok()) return Fail(m_cell.status());
+    const size_t tr = static_cast<size_t>(tr_cell->AsInt().value());
+    const radb::la::Matrix& m = m_cell->matrix();
     for (size_t i = 0; i < m.rows(); ++i) rank[tr * kTile + i] = m.At(i, 0);
   }
 

@@ -62,7 +62,8 @@ Status Run() {
                         db.ExecuteSql("EXPLAIN ANALYZE " + query));
   std::printf("=== EXPLAIN ANALYZE ===\n");
   for (size_t i = 0; i < analyzed.num_rows(); ++i) {
-    std::printf("%s\n", analyzed.at(i, 0).string_value().c_str());
+    RADB_ASSIGN_OR_RETURN(Value line, analyzed.Get(i, 0));
+    std::printf("%s\n", line.string_value().c_str());
   }
 
   std::printf("\n=== per-operator metrics of that run ===\n%s\n",

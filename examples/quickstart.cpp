@@ -69,5 +69,22 @@ int main() {
     std::cout << "\nEXPLAIN SELECT SUM(outer_product(vec, vec)) FROM m:\n"
               << *explain;
   }
+
+  // 7. Per-query execution options: a memory budget makes large
+  //    intermediates spill to disk (results stay bit-identical), and
+  //    the bounds-checked Get() reads cells without UB on bad indices.
+  auto budgeted = db.Execute("SELECT SUM(y_i) AS total FROM y",
+                             radb::QueryOptions{
+                                 .memory_budget_bytes = 16u << 20,
+                             });
+  if (!budgeted.ok()) {
+    std::cerr << budgeted.status() << "\n";
+    return 1;
+  }
+  auto total = budgeted->last().Get(0, 0);
+  if (total.ok()) {
+    std::cout << "\nSUM(y) under a 16 MB budget = " << total->ToString()
+              << " (spilled " << db.last_spill_bytes() << " bytes)\n";
+  }
   return 0;
 }

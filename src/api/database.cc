@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -9,6 +10,7 @@
 #include "common/string_util.h"
 #include "exec/executor.h"
 #include "exec/expr_eval.h"
+#include "mem/memory_tracker.h"
 #include "parser/parser.h"
 #include "storage/serialize.h"
 
@@ -39,6 +41,34 @@ Result<la::Vector> ResultSet::ScalarVector() const {
     return Status::TypeError("result is not a VECTOR");
   }
   return rows[0][0].vector();
+}
+
+Result<Value> ResultSet::Get(size_t row, size_t col) const {
+  if (row >= rows.size()) {
+    return Status::InvalidArgument(
+        "row index " + std::to_string(row) + " out of range (result has " +
+        std::to_string(rows.size()) + " rows)");
+  }
+  if (col >= rows[row].size()) {
+    return Status::InvalidArgument(
+        "column index " + std::to_string(col) +
+        " out of range (result has " + std::to_string(rows[row].size()) +
+        " columns)");
+  }
+  return rows[row][col];
+}
+
+Result<size_t> ResultSet::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == name) return i;
+  }
+  std::string available;
+  for (const SlotInfo& s : columns) {
+    if (!available.empty()) available += ", ";
+    available += s.name;
+  }
+  return Status::InvalidArgument("no column named '" + name +
+                                 "' (available: " + available + ")");
 }
 
 std::string ResultSet::ToString(size_t max_rows) const {
@@ -121,6 +151,13 @@ Result<Value> EvalConstExpr(const Catalog& catalog,
 Database::Database(const Config& config)
     : config_(config), cluster_(config.num_workers) {
   catalog_ = Catalog(config.num_workers);
+  if (config_.memory_budget_bytes == 0) {
+    // Test hook: RADB_TEST_MEMORY_BUDGET=16MB reruns any suite under
+    // a tight default budget (the ctest `memory_budget` label).
+    if (const char* env = std::getenv("RADB_TEST_MEMORY_BUDGET")) {
+      config_.memory_budget_bytes = ParseByteSize(env);
+    }
+  }
   pool_ = std::make_unique<ThreadPool>(config_.num_threads);
   // Install as the process-global pool so the LA kernels — free
   // functions with no path to a Database — parallelize over the same
@@ -154,8 +191,16 @@ Status Database::BulkInsert(const std::string& table, std::vector<Row> rows) {
   return t->InsertAll(std::move(rows));
 }
 
-Result<ResultSet> Database::RunSelect(const parser::SelectStmt& stmt) {
-  const obs::ObsContext obs = obs_context();
+obs::ObsContext Database::QueryObs(const QueryOptions& options) {
+  obs::ObsContext obs = obs_context();
+  if (!options.trace) obs.tracer = nullptr;
+  if (!options.collect_metrics) obs.metrics = nullptr;
+  return obs;
+}
+
+Result<ResultSet> Database::RunSelect(const parser::SelectStmt& stmt,
+                                      const QueryOptions& options) {
+  const obs::ObsContext obs = QueryObs(options);
   Binder binder(catalog_);
   std::unique_ptr<BoundQuery> bound;
   {
@@ -174,13 +219,34 @@ Result<ResultSet> Database::RunSelect(const parser::SelectStmt& stmt) {
     RADB_ASSIGN_OR_RETURN(plan, optimizer.Plan(std::move(bound), obs));
   }
 
+  // Per-query memory governance: a fresh root tracker per SELECT, so
+  // a ResourceExhausted query releases everything it charged and the
+  // next query starts from a clean slate. Budget 0 = unlimited (the
+  // tracker still records the peak, which the ablation benchmark
+  // reads).
+  const size_t budget = options.memory_budget_bytes != 0
+                            ? options.memory_budget_bytes
+                            : config_.memory_budget_bytes;
+  mem::MemoryTracker tracker("query", budget, obs.metrics);
+  MemoryContext mem{&tracker, config_.spill_dir};
+  std::unique_ptr<ThreadPool> tmp_pool;
+  ThreadPool* pool = pool_.get();
+  if (options.num_threads_override != 0 &&
+      options.num_threads_override != pool_->num_threads()) {
+    tmp_pool = std::make_unique<ThreadPool>(options.num_threads_override);
+    pool = tmp_pool.get();
+  }
+
   last_metrics_ = QueryMetrics{};
   const auto t0 = std::chrono::steady_clock::now();
   Dist dist;
   {
     obs::ScopedSpan exec_span(obs.tracer, "execute", "pipeline");
-    Executor executor(cluster_, &last_metrics_, obs, pool_.get());
-    RADB_ASSIGN_OR_RETURN(dist, executor.Execute(*plan));
+    Executor executor(cluster_, &last_metrics_, obs, pool, mem);
+    auto result = executor.Execute(*plan);
+    last_spill_bytes_ = tracker.spill_bytes();
+    last_peak_bytes_ = tracker.peak_bytes();
+    RADB_ASSIGN_OR_RETURN(dist, std::move(result));
   }
   last_metrics_.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -205,8 +271,21 @@ Result<ResultSet> Database::RunSelect(const parser::SelectStmt& stmt) {
 }
 
 Result<ResultSet> Database::ExecuteSql(const std::string& sql) {
-  if (tracer_ != nullptr) tracer_->Clear();  // trace covers the last call
-  const obs::ObsContext obs = obs_context();
+  RADB_ASSIGN_OR_RETURN(ScriptResult script, Execute(sql));
+  if (script.result_sets.empty()) return ResultSet{};
+  return std::move(script.result_sets.back());
+}
+
+Result<ScriptResult> Database::Execute(const std::string& sql) {
+  return Execute(sql, QueryOptions{});
+}
+
+Result<ScriptResult> Database::Execute(const std::string& sql,
+                                       const QueryOptions& options) {
+  if (tracer_ != nullptr && options.trace) {
+    tracer_->Clear();  // trace covers the last call
+  }
+  const obs::ObsContext obs = QueryObs(options);
   obs::ScopedSpan query_span(obs.tracer, "query", "pipeline");
   query_span.AddArg("sql", sql);
   std::vector<parser::Statement> stmts;
@@ -215,16 +294,25 @@ Result<ResultSet> Database::ExecuteSql(const std::string& sql) {
     RADB_ASSIGN_OR_RETURN(stmts, parser::ParseScript(sql));
     parse_span.AddArg("statements", std::to_string(stmts.size()));
   }
-  ResultSet last;
+  ScriptResult script;
   for (parser::Statement& stmt : stmts) {
+    const auto stmt_t0 = std::chrono::steady_clock::now();
+    last_spill_bytes_ = 0;
+    last_peak_bytes_ = 0;
+    size_t stmt_rows = 0;
     switch (stmt.kind) {
       case parser::Statement::Kind::kSelect: {
-        RADB_ASSIGN_OR_RETURN(last, RunSelect(*stmt.select));
+        RADB_ASSIGN_OR_RETURN(ResultSet rs, RunSelect(*stmt.select, options));
+        stmt_rows = rs.num_rows();
+        script.result_sets.push_back(std::move(rs));
         break;
       }
       case parser::Statement::Kind::kExplain: {
         if (stmt.explain_analyze) {
-          RADB_ASSIGN_OR_RETURN(last, ExplainAnalyzeSelect(*stmt.select));
+          RADB_ASSIGN_OR_RETURN(ResultSet rs,
+                                ExplainAnalyzeSelect(*stmt.select, options));
+          stmt_rows = rs.num_rows();
+          script.result_sets.push_back(std::move(rs));
           break;
         }
         Binder binder(catalog_);
@@ -241,7 +329,8 @@ Result<ResultSet> Database::ExecuteSql(const std::string& sql) {
         while (std::getline(lines, line)) {
           rs.rows.push_back({Value::String(line)});
         }
-        last = std::move(rs);
+        stmt_rows = rs.num_rows();
+        script.result_sets.push_back(std::move(rs));
         break;
       }
       case parser::Statement::Kind::kCreateTable: {
@@ -256,7 +345,8 @@ Result<ResultSet> Database::ExecuteSql(const std::string& sql) {
         break;
       }
       case parser::Statement::Kind::kCreateTableAs: {
-        RADB_ASSIGN_OR_RETURN(ResultSet rs, RunSelect(*stmt.select));
+        RADB_ASSIGN_OR_RETURN(ResultSet rs, RunSelect(*stmt.select, options));
+        stmt_rows = rs.num_rows();
         Schema schema;
         for (const SlotInfo& s : rs.columns) {
           schema.Add(Column{"", s.name, s.type});
@@ -305,10 +395,18 @@ Result<ResultSet> Database::ExecuteSql(const std::string& sql) {
         RADB_RETURN_NOT_OK(catalog_.DropView(stmt.relation_name));
         break;
     }
+    QueryStats stats;
+    stats.rows = stmt_rows;
+    stats.wall_seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - stmt_t0)
+                             .count();
+    stats.spill_bytes = last_spill_bytes_;
+    stats.peak_memory_bytes = last_peak_bytes_;
+    script.statements.push_back(stats);
   }
   query_span.End();
   RADB_RETURN_NOT_OK(WriteObsFiles());
-  return last;
+  return script;
 }
 
 namespace {
@@ -327,11 +425,14 @@ void RenderAnalyzed(const LogicalOp& op, const Executor& executor,
   if (ids != nullptr && !ids->empty()) {
     const OperatorMetrics& final_stage = qm.operators[ids->back()];
     size_t rows_shuffled = 0, bytes_shuffled = 0;
+    size_t bytes_spilled = 0, spill_runs = 0;
     double max_worker = 0.0, skew = 0.0;
     for (size_t id : *ids) {
       const OperatorMetrics& m = qm.operators[id];
       rows_shuffled += m.rows_shuffled;
       bytes_shuffled += m.bytes_shuffled;
+      bytes_spilled += m.bytes_spilled;
+      spill_runs += m.spill_runs;
       max_worker += m.MaxWorkerSeconds();
       skew = std::max(skew, m.Skew());
     }
@@ -339,8 +440,12 @@ void RenderAnalyzed(const LogicalOp& op, const Executor& executor,
        << ", actual rows=" << final_stage.rows_out
        << ", bytes out=" << FormatBytes(double(final_stage.bytes_out))
        << ", shuffled=" << FormatBytes(double(bytes_shuffled)) << "/"
-       << rows_shuffled << " rows"
-       << ", max-worker=" << max_worker << " s"
+       << rows_shuffled << " rows";
+    if (bytes_spilled > 0) {
+      os << ", spilled=" << FormatBytes(double(bytes_spilled)) << "/"
+         << spill_runs << " runs";
+    }
+    os << ", max-worker=" << max_worker << " s"
        << ", skew=" << skew << ")\n";
   }
   for (const auto& c : op.children) {
@@ -351,8 +456,8 @@ void RenderAnalyzed(const LogicalOp& op, const Executor& executor,
 }  // namespace
 
 Result<ResultSet> Database::ExplainAnalyzeSelect(
-    const parser::SelectStmt& stmt) {
-  const obs::ObsContext obs = obs_context();
+    const parser::SelectStmt& stmt, const QueryOptions& options) {
+  const obs::ObsContext obs = QueryObs(options);
   Binder binder(catalog_);
   std::unique_ptr<BoundQuery> bound;
   {
@@ -366,14 +471,30 @@ Result<ResultSet> Database::ExplainAnalyzeSelect(
     RADB_ASSIGN_OR_RETURN(plan, optimizer.Plan(std::move(bound), obs));
   }
 
+  const size_t budget = options.memory_budget_bytes != 0
+                            ? options.memory_budget_bytes
+                            : config_.memory_budget_bytes;
+  mem::MemoryTracker tracker("query", budget, obs.metrics);
+  MemoryContext mem{&tracker, config_.spill_dir};
+  std::unique_ptr<ThreadPool> tmp_pool;
+  ThreadPool* pool = pool_.get();
+  if (options.num_threads_override != 0 &&
+      options.num_threads_override != pool_->num_threads()) {
+    tmp_pool = std::make_unique<ThreadPool>(options.num_threads_override);
+    pool = tmp_pool.get();
+  }
+
   last_metrics_ = QueryMetrics{};
   const auto t0 = std::chrono::steady_clock::now();
   // The executor outlives Execute so its plan-node -> metrics map is
   // available for rendering.
-  Executor executor(cluster_, &last_metrics_, obs, pool_.get());
+  Executor executor(cluster_, &last_metrics_, obs, pool, mem);
   {
     obs::ScopedSpan exec_span(obs.tracer, "execute", "pipeline");
-    RADB_ASSIGN_OR_RETURN(Dist dist, executor.Execute(*plan));
+    auto result = executor.Execute(*plan);
+    last_spill_bytes_ = tracker.spill_bytes();
+    last_peak_bytes_ = tracker.peak_bytes();
+    RADB_ASSIGN_OR_RETURN(Dist dist, std::move(result));
     (void)dist;
   }
   last_metrics_.wall_seconds =
@@ -387,6 +508,10 @@ Result<ResultSet> Database::ExplainAnalyzeSelect(
      << last_metrics_.SimulatedParallelSeconds() << " s"
      << "; total shuffled: "
      << FormatBytes(double(last_metrics_.TotalBytesShuffled()));
+  if (last_spill_bytes_ > 0) {
+    os << "; total spilled: " << FormatBytes(double(last_spill_bytes_))
+       << " (peak memory " << FormatBytes(double(last_peak_bytes_)) << ")";
+  }
   ResultSet rs;
   rs.columns.push_back(SlotInfo{0, "plan", DataType::String()});
   std::istringstream lines(os.str());

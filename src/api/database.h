@@ -26,7 +26,17 @@ struct ResultSet {
 
   size_t num_rows() const { return rows.size(); }
   size_t num_columns() const { return columns.size(); }
+  /// Unchecked fast path: indices must be in range (use Get() for the
+  /// bounds-checked accessor).
   const Value& at(size_t row, size_t col) const { return rows[row][col]; }
+
+  /// Bounds-checked cell access: InvalidArgument (with the actual
+  /// result shape in the message) instead of undefined behavior on a
+  /// bad index.
+  Result<Value> Get(size_t row, size_t col) const;
+  /// Position of the column named `name`; InvalidArgument (listing
+  /// the available columns) when absent.
+  Result<size_t> ColumnIndex(const std::string& name) const;
 
   /// First value of a single-cell result as double (common for
   /// scalar aggregates). TypeError/ExecutionError when unsuitable.
@@ -40,16 +50,60 @@ struct ResultSet {
   std::string ToString(size_t max_rows = 20) const;
 };
 
+/// Per-call execution knobs for Database::Execute. Defaults mean
+/// "inherit the Database's Config" for every field.
+struct QueryOptions {
+  /// Memory budget for this call's queries (intermediates, hash
+  /// tables, aggregation state). 0 = Config::memory_budget_bytes
+  /// (whose 0 = unlimited). Over-budget operators spill to disk where
+  /// possible and produce bit-identical results; unspillable state
+  /// that cannot fit fails the statement with ResourceExhausted.
+  size_t memory_budget_bytes = 0;
+  /// Run this call on a temporary thread pool with this many threads
+  /// instead of the database's pool. 0 = use the database pool.
+  /// Results are identical at every setting.
+  size_t num_threads_override = 0;
+  /// When false, this call does not report to the metrics registry
+  /// (per-statement QueryStats are still collected — they are free).
+  bool collect_metrics = true;
+  /// When false, this call records no trace spans even when tracing
+  /// is configured on.
+  bool trace = true;
+};
+
+/// Cheap per-statement execution summary, collected for every
+/// statement of an Execute call regardless of observability settings.
+struct QueryStats {
+  size_t rows = 0;           // rows in the statement's result set
+  double wall_seconds = 0.0;
+  size_t spill_bytes = 0;       // bytes written to spill files
+  size_t peak_memory_bytes = 0; // tracked high-water mark
+};
+
+/// Everything an Execute call produced: one ResultSet per
+/// result-producing statement (SELECT / EXPLAIN / EXPLAIN ANALYZE, in
+/// script order — not just the last one) and one QueryStats per
+/// statement of the script.
+struct ScriptResult {
+  std::vector<ResultSet> result_sets;
+  std::vector<QueryStats> statements;
+
+  bool has_results() const { return !result_sets.empty(); }
+  /// The last result set; result_sets must be non-empty.
+  const ResultSet& last() const { return result_sets.back(); }
+};
+
 /// The user-facing database engine: a catalog, a simulated cluster,
 /// and the parse → bind → optimize → execute pipeline. This is the
 /// "SimSQL with LA extensions" of the paper, as a C++ library.
 ///
 /// Example:
 ///   Database db;
-///   db.ExecuteSql("CREATE TABLE v (vec VECTOR[10])").status();
+///   db.Execute("CREATE TABLE v (vec VECTOR[10])").status();
 ///   ...
-///   auto rs = db.ExecuteSql(
-///       "SELECT SUM(outer_product(vec, vec)) FROM v");
+///   auto script = db.Execute(
+///       "SELECT SUM(outer_product(vec, vec)) FROM v",
+///       QueryOptions{.memory_budget_bytes = 64 << 20});
 class Database {
  public:
   /// Observability switches. Everything defaults to off, in which
@@ -82,6 +136,14 @@ class Database {
     /// Results are bit-identical at every setting — only wall-clock
     /// changes.
     size_t num_threads = 0;
+    /// Default per-query memory budget in bytes; 0 = unlimited. When
+    /// 0, the RADB_TEST_MEMORY_BUDGET environment variable (a byte
+    /// size like "16MB") supplies the default — the hook the
+    /// memory_budget ctest label uses to rerun suites under pressure.
+    /// QueryOptions::memory_budget_bytes overrides per call.
+    size_t memory_budget_bytes = 0;
+    /// Directory spill files are created in ("" = system temp dir).
+    std::string spill_dir;
     Optimizer::Options optimizer;
     ObsOptions obs;
   };
@@ -103,9 +165,18 @@ class Database {
   /// count at construction).
   size_t num_threads() const { return pool_->num_threads(); }
 
-  /// Executes one or more ';'-separated statements. The returned
-  /// ResultSet is that of the last SELECT (empty for DDL/DML-only
-  /// scripts).
+  /// Executes one or more ';'-separated statements with default
+  /// QueryOptions. Returns every result set the script produced plus
+  /// per-statement execution stats.
+  Result<ScriptResult> Execute(const std::string& sql);
+  /// Same, with per-call knobs (memory budget, thread override,
+  /// observability toggles).
+  Result<ScriptResult> Execute(const std::string& sql,
+                               const QueryOptions& options);
+
+  /// DEPRECATED — use Execute(). Forwarding shim kept for existing
+  /// callers: runs the script with default options and returns only
+  /// the last result set (empty for DDL/DML-only scripts).
   Result<ResultSet> ExecuteSql(const std::string& sql);
 
   /// Optimizes a SELECT and returns the EXPLAIN rendering with cost
@@ -137,6 +208,10 @@ class Database {
   /// Metrics of the most recent ExecuteSql call (per-operator times,
   /// shuffle volume — the Figure 4 data).
   const QueryMetrics& last_metrics() const { return last_metrics_; }
+  /// Spill volume / tracked peak memory of the most recent statement
+  /// (the ablation benchmark's measurement hooks).
+  size_t last_spill_bytes() const { return last_spill_bytes_; }
+  size_t last_peak_memory_bytes() const { return last_peak_bytes_; }
 
   /// Span tracer (null unless Config::obs enables tracing). Holds the
   /// span tree of the most recent ExecuteSql call.
@@ -151,10 +226,14 @@ class Database {
   }
 
  private:
-  Result<ResultSet> RunSelect(const parser::SelectStmt& stmt);
+  Result<ResultSet> RunSelect(const parser::SelectStmt& stmt,
+                              const QueryOptions& options);
   /// EXPLAIN ANALYZE: executes the SELECT, then renders the plan tree
-  /// annotated with per-node actual metrics.
-  Result<ResultSet> ExplainAnalyzeSelect(const parser::SelectStmt& stmt);
+  /// annotated with per-node actual metrics (including spill volume).
+  Result<ResultSet> ExplainAnalyzeSelect(const parser::SelectStmt& stmt,
+                                         const QueryOptions& options);
+  /// The ObsContext for one call, with QueryOptions toggles applied.
+  obs::ObsContext QueryObs(const QueryOptions& options);
   /// Rewrites trace/metrics files if Config::obs names paths.
   Status WriteObsFiles() const;
 
@@ -162,6 +241,8 @@ class Database {
   Cluster cluster_;
   Catalog catalog_;
   QueryMetrics last_metrics_;
+  size_t last_spill_bytes_ = 0;
+  size_t last_peak_bytes_ = 0;
   std::unique_ptr<ThreadPool> pool_;
   ThreadPool* previous_global_pool_ = nullptr;
   std::unique_ptr<obs::Tracer> tracer_;

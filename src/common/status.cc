@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "DimensionMismatch";
     case StatusCode::kNumericError:
       return "NumericError";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
     case StatusCode::kNotImplemented:
       return "NotImplemented";
     case StatusCode::kInternal:

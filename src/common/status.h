@@ -19,6 +19,7 @@ enum class StatusCode {
   kExecutionError,    // runtime failure while evaluating a plan
   kDimensionMismatch, // runtime linear-algebra shape mismatch
   kNumericError,      // singular matrix, overflow, ...
+  kResourceExhausted, // per-query memory budget exceeded (unspillable)
   kNotImplemented,
   kInternal,
 };
@@ -59,6 +60,9 @@ class Status {
   }
   static Status NumericError(std::string msg) {
     return Status(StatusCode::kNumericError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));

@@ -44,6 +44,53 @@ std::string FormatHms(double seconds) {
   return buf;
 }
 
+size_t ParseByteSize(const std::string& s) {
+  size_t i = 0;
+  while (i < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[i]))) {
+    ++i;
+  }
+  double value = 0.0;
+  bool any_digit = false;
+  for (; i < s.size() &&
+         std::isdigit(static_cast<unsigned char>(s[i]));
+       ++i) {
+    value = value * 10.0 + (s[i] - '0');
+    any_digit = true;
+  }
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    double frac = 0.1;
+    for (; i < s.size() &&
+           std::isdigit(static_cast<unsigned char>(s[i]));
+         ++i, frac /= 10.0) {
+      value += (s[i] - '0') * frac;
+      any_digit = true;
+    }
+  }
+  if (!any_digit) return 0;
+  std::string unit;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    unit.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  double mult = 1.0;
+  if (unit.empty() || unit == "b") {
+    mult = 1.0;
+  } else if (unit == "k" || unit == "kb" || unit == "kib") {
+    mult = 1024.0;
+  } else if (unit == "m" || unit == "mb" || unit == "mib") {
+    mult = 1024.0 * 1024.0;
+  } else if (unit == "g" || unit == "gb" || unit == "gib") {
+    mult = 1024.0 * 1024.0 * 1024.0;
+  } else {
+    return 0;
+  }
+  return static_cast<size_t>(value * mult);
+}
+
 std::string FormatBytes(double bytes) {
   static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
   int unit = 0;

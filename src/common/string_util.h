@@ -21,6 +21,12 @@ std::string FormatHms(double seconds);
 /// Formats a byte count with binary units ("1.25 MiB").
 std::string FormatBytes(double bytes);
 
+/// Parses a byte-size string: a plain number ("16777216") or a number
+/// with a binary-unit suffix ("16MB", "16MiB", "4k", "1g" — B/KB/MB/GB
+/// and their *iB forms, case-insensitive, all meaning powers of 1024).
+/// Returns 0 for empty/unparseable input.
+size_t ParseByteSize(const std::string& s);
+
 }  // namespace radb
 
 #endif  // RADB_COMMON_STRING_UTIL_H_

@@ -54,6 +54,12 @@ size_t QueryMetrics::TotalRowsProcessed() const {
   return s;
 }
 
+size_t QueryMetrics::TotalBytesSpilled() const {
+  size_t s = 0;
+  for (const OperatorMetrics& op : operators) s += op.bytes_spilled;
+  return s;
+}
+
 double QueryMetrics::MaxEstimationError() const {
   double worst = 0.0;
   for (const OperatorMetrics& op : operators) {
@@ -91,22 +97,26 @@ std::string QueryMetrics::ToString() const {
   // Column widths adapt to the data: no operator name is ever
   // truncated and numeric columns stay aligned however large the
   // counts get.
-  const char* kHeaders[] = {"operator", "rows_out", "bytes_out",
-                            "shuffled", "time",     "skew"};
+  const char* kHeaders[] = {"operator", "rows_out", "bytes_out", "shuffled",
+                            "spilled",  "time",     "skew"};
   std::vector<std::vector<std::string>> cells;
   for (const OperatorMetrics& op : operators) {
     cells.push_back({op.name, std::to_string(op.rows_out),
                      FormatBytes(static_cast<double>(op.bytes_out)),
                      FormatBytes(static_cast<double>(op.bytes_shuffled)),
+                     op.bytes_spilled == 0
+                         ? "-"
+                         : FormatBytes(static_cast<double>(op.bytes_spilled)),
                      FormatSeconds(op.TotalSeconds()), FormatSkew(op.Skew())});
   }
-  size_t widths[6];
-  for (size_t c = 0; c < 6; ++c) {
+  constexpr size_t kCols = 7;
+  size_t widths[kCols];
+  for (size_t c = 0; c < kCols; ++c) {
     widths[c] = std::string(kHeaders[c]).size();
     for (const auto& row : cells) widths[c] = std::max(widths[c], row[c].size());
   }
   std::ostringstream os;
-  for (size_t c = 0; c < 6; ++c) {
+  for (size_t c = 0; c < kCols; ++c) {
     if (c > 0) os << ' ';
     // Name column left-aligned, numerics right-aligned.
     os << (c == 0 ? std::left : std::right) << std::setw(static_cast<int>(widths[c]))
@@ -114,7 +124,7 @@ std::string QueryMetrics::ToString() const {
   }
   os << '\n';
   for (const auto& row : cells) {
-    for (size_t c = 0; c < 6; ++c) {
+    for (size_t c = 0; c < kCols; ++c) {
       if (c > 0) os << ' ';
       os << (c == 0 ? std::left : std::right)
          << std::setw(static_cast<int>(widths[c])) << row[c];
@@ -123,7 +133,11 @@ std::string QueryMetrics::ToString() const {
   }
   os << "total wall " << FormatSeconds(wall_seconds) << " | simulated parallel "
      << FormatSeconds(SimulatedParallelSeconds()) << " | shuffled "
-     << FormatBytes(static_cast<double>(TotalBytesShuffled())) << '\n';
+     << FormatBytes(static_cast<double>(TotalBytesShuffled()));
+  if (TotalBytesSpilled() > 0) {
+    os << " | spilled " << FormatBytes(static_cast<double>(TotalBytesSpilled()));
+  }
+  os << '\n';
   return os.str();
 }
 
@@ -135,6 +149,7 @@ std::string QueryMetrics::ToJson() const {
      << ",\n  \"simulated_parallel_seconds\": "
      << JsonNumber(SimulatedParallelSeconds())
      << ",\n  \"total_bytes_shuffled\": " << TotalBytesShuffled()
+     << ",\n  \"total_bytes_spilled\": " << TotalBytesSpilled()
      << ",\n  \"total_rows_processed\": " << TotalRowsProcessed()
      << ",\n  \"max_estimation_error\": " << JsonNumber(MaxEstimationError())
      << ",\n  \"operators\": [";
@@ -147,6 +162,8 @@ std::string QueryMetrics::ToJson() const {
        << ", \"bytes_out\": " << op.bytes_out
        << ", \"rows_shuffled\": " << op.rows_shuffled
        << ", \"bytes_shuffled\": " << op.bytes_shuffled
+       << ", \"bytes_spilled\": " << op.bytes_spilled
+       << ", \"spill_runs\": " << op.spill_runs
        << ", \"total_seconds\": " << JsonNumber(op.TotalSeconds())
        << ", \"max_worker_seconds\": " << JsonNumber(op.MaxWorkerSeconds())
        << ", \"skew\": " << JsonNumber(op.Skew()) << "}";

@@ -19,6 +19,8 @@ struct OperatorMetrics {
   size_t bytes_out = 0;
   size_t rows_shuffled = 0;   // rows that crossed worker boundaries
   size_t bytes_shuffled = 0;  // payload of those rows / partial states
+  size_t bytes_spilled = 0;   // bytes this operator wrote to spill files
+  size_t spill_runs = 0;      // number of spill runs it flushed
   /// The optimizer's cardinality estimate for the plan node this
   /// operator executed (0 when unknown) — EXPLAIN ANALYZE's
   /// estimate-vs-actual column.
@@ -48,6 +50,8 @@ struct QueryMetrics {
   double SimulatedParallelSeconds() const;
   size_t TotalBytesShuffled() const;
   size_t TotalRowsProcessed() const;
+  /// Bytes the whole query spilled to disk under memory pressure.
+  size_t TotalBytesSpilled() const;
 
   /// Worst per-operator EstimationError() across the query — how far
   /// off the optimizer's costing was anywhere in the plan.

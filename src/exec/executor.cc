@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <iterator>
 #include <memory>
+#include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "exec/expr_eval.h"
 #include "exec/row_key.h"
@@ -43,6 +47,56 @@ std::optional<size_t> SingleColumnKeySlot(
   return e.slot;
 }
 
+/// Approximate bookkeeping overhead of one hash-table entry (node,
+/// bucket slot, key copy headers) charged on top of the row payload.
+constexpr size_t kHashEntryOverhead = 64;
+/// Same for one aggregation group / DISTINCT set entry.
+constexpr size_t kGroupStateOverhead = 128;
+/// Grace-hash partition fanout: a build side that misses the budget
+/// is split 16 ways, so each sub-build needs ~1/16 of the memory.
+constexpr size_t kGraceFanout = 16;
+
+/// Secondary hash for Grace partitioning. Must be independent of the
+/// primary bucket hash (all rows on a worker already share
+/// hash % num_workers), so the primary hash is remixed and the top
+/// bits select the partition.
+size_t GracePartition(size_t hash) {
+  return (hash * 0x9e3779b97f4a7c15ULL) >> 60;  // top 4 bits: 0..15
+}
+
+/// Streams every row out of `buf` (exact append order) into `fn`,
+/// then clears the buffer. Rows that never spilled are moved out of
+/// the resident tail — the no-budget fast path has no serialization
+/// or copy cost.
+template <typename Fn>
+Status ConsumeRows(SpillableRowBuffer& buf, Fn&& fn) {
+  if (!buf.has_spilled_rows()) {
+    for (Row& row : buf.resident_rows()) {
+      RADB_RETURN_NOT_OK(fn(std::move(row)));
+    }
+  } else {
+    SpillableRowBuffer::Reader reader(&buf);
+    while (true) {
+      RADB_ASSIGN_OR_RETURN(std::optional<Row> row, reader.Next());
+      if (!row.has_value()) break;
+      RADB_RETURN_NOT_OK(fn(std::move(*row)));
+    }
+  }
+  buf.Clear();
+  return Status::OK();
+}
+
+/// Rolls a consumed buffer's lifetime-cumulative spill totals into an
+/// operator's metrics.
+void CollectSpill(OperatorMetrics* m, const SpillableRowBuffer& buf) {
+  m->bytes_spilled += buf.spill_bytes();
+  m->spill_runs += buf.spill_runs();
+}
+
+void CollectSpill(OperatorMetrics* m, const SpillableDist& d) {
+  for (const SpillableRowBuffer& b : d) CollectSpill(m, b);
+}
+
 }  // namespace
 
 size_t DistByteSize(const Dist& d) {
@@ -57,6 +111,50 @@ size_t DistRowCount(const Dist& d) {
   size_t s = 0;
   for (const RowSet& p : d) s += p.size();
   return s;
+}
+
+size_t SpillDistByteSize(const SpillableDist& d) {
+  size_t s = 0;
+  for (const SpillableRowBuffer& b : d) s += b.byte_size();
+  return s;
+}
+
+size_t SpillDistRowCount(const SpillableDist& d) {
+  size_t s = 0;
+  for (const SpillableRowBuffer& b : d) s += b.num_rows();
+  return s;
+}
+
+namespace {
+
+/// Spills the resident tails of the given dists to disk when fewer
+/// than `needed` bytes of the budget remain free. Operators call this
+/// right before hard-reserving unspillable state while their
+/// (spillable) inputs are still charged: without it, a budget fully
+/// pinned by buffered input rows would fail the query even though
+/// those rows could simply move to disk and be replayed. The decision
+/// depends only on byte totals, never on thread timing, so it is
+/// deterministic for a given budget. Callers must not hold a live
+/// Reader on any of the buffers.
+Status MakeHeadroom(const MemoryContext& mem, size_t needed,
+                    const std::vector<SpillableDist*>& dists) {
+  if (!mem.has_budget()) return Status::OK();
+  if (mem.tracker->remaining() >= needed) return Status::OK();
+  for (SpillableDist* d : dists) {
+    for (SpillableRowBuffer& buf : *d) {
+      RADB_RETURN_NOT_OK(buf.SpillToDisk());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+SpillableDist Executor::NewDist(size_t n) const {
+  SpillableDist d;
+  d.reserve(n);
+  for (size_t i = 0; i < n; ++i) d.emplace_back(mem_);
+  return d;
 }
 
 std::map<size_t, size_t> Executor::LayoutOf(const LogicalOp& op) {
@@ -81,11 +179,13 @@ void Executor::PublishObservability() {
   if (obs_.metrics != nullptr) {
     obs::MetricsRegistry& reg = *obs_.metrics;
     size_t rows_out = 0, bytes_out = 0, rows_shuffled = 0, bytes_shuffled = 0;
+    size_t bytes_spilled = 0;
     for (const OperatorMetrics& op : metrics_->operators) {
       rows_out += op.rows_out;
       bytes_out += op.bytes_out;
       rows_shuffled += op.rows_shuffled;
       bytes_shuffled += op.bytes_shuffled;
+      bytes_spilled += op.bytes_spilled;
       reg.Observe("exec.operator_seconds", op.TotalSeconds());
       reg.Observe("exec.operator_skew", op.Skew());
     }
@@ -94,6 +194,7 @@ void Executor::PublishObservability() {
     reg.Add("exec.bytes_out", bytes_out);
     reg.Add("exec.rows_shuffled", rows_shuffled);
     reg.Add("exec.bytes_shuffled", bytes_shuffled);
+    if (bytes_spilled > 0) reg.Add("exec.bytes_spilled", bytes_spilled);
     reg.Set("exec.workers", static_cast<double>(cluster_.num_workers()));
   }
 }
@@ -117,7 +218,14 @@ Status Executor::ForEachWorker(size_t n,
 Result<Dist> Executor::Execute(const LogicalOp& op) {
   RADB_ASSIGN_OR_RETURN(ExecResult out, ExecuteOp(op));
   PublishObservability();
-  return std::move(out.dist);
+  // The final result set is always materialized (it leaves the
+  // governed execution pipeline here); draining releases the buffers'
+  // budget charges.
+  Dist dist(out.dist.size());
+  for (size_t w = 0; w < out.dist.size(); ++w) {
+    RADB_ASSIGN_OR_RETURN(dist[w], out.dist[w].Drain());
+  }
+  return dist;
 }
 
 Result<ExecResult> Executor::ExecuteOp(const LogicalOp& op) {
@@ -134,6 +242,9 @@ Result<ExecResult> Executor::ExecuteOp(const LogicalOp& op) {
     span.AddArg("rows_out", std::to_string(last.rows_out));
     if (last.bytes_shuffled > 0) {
       span.AddArg("bytes_shuffled", std::to_string(last.bytes_shuffled));
+    }
+    if (last.bytes_spilled > 0) {
+      span.AddArg("bytes_spilled", std::to_string(last.bytes_spilled));
     }
     // Per-worker lanes: the accumulated per-worker seconds of every
     // metrics entry of this node, rendered as end-aligned complete
@@ -180,27 +291,29 @@ Result<ExecResult> Executor::ExecuteScan(const LogicalOp& op) {
   OperatorMetrics* m = NewOp("Scan(" + op.table->name() + ")", op);
   m->rows_in = op.table->num_rows();
   const size_t w = cluster_.num_workers();
-  Dist out(w);
+  SpillableDist out = NewDist(w);
   // Table partitions map onto workers round-robin when the counts
-  // differ; each worker copies out its own partitions in order.
+  // differ; each worker copies out its own partitions in order. The
+  // resident base table is not charged against the query budget —
+  // only the scanned-out copies are, and they spill under pressure.
   RADB_RETURN_NOT_OK(ForEachWorker(w, [&](size_t target) -> Status {
     const auto t0 = Clock::now();
-    RowSet& dst = out[target];
+    SpillableRowBuffer& dst = out[target];
     for (size_t p = target; p < op.table->num_partitions(); p += w) {
       const RowSet& part = op.table->partition(p);
-      dst.reserve(dst.size() + part.size());
       for (const Row& row : part) {
         Row projected;
         projected.reserve(op.scan_columns.size());
         for (size_t col : op.scan_columns) projected.push_back(row[col]);
-        dst.push_back(std::move(projected));
+        RADB_RETURN_NOT_OK(dst.Append(std::move(projected)));
       }
     }
     m->worker_seconds[target] += SecondsSince(t0);
     return Status::OK();
   }));
-  m->rows_out = DistRowCount(out);
-  m->bytes_out = DistByteSize(out);
+  m->rows_out = SpillDistRowCount(out);
+  m->bytes_out = SpillDistByteSize(out);
+  CollectSpill(m, out);
   ExecResult result{std::move(out), std::nullopt};
   // A base table hash-partitioned on an emitted column, with one
   // partition per worker, is already placed the way a join shuffle
@@ -219,9 +332,9 @@ Result<ExecResult> Executor::ExecuteScan(const LogicalOp& op) {
 
 Result<ExecResult> Executor::ExecuteFilter(const LogicalOp& op) {
   RADB_ASSIGN_OR_RETURN(ExecResult child, ExecuteOp(*op.children[0]));
-  Dist& in = child.dist;
+  SpillableDist& in = child.dist;
   OperatorMetrics* m = NewOp("Filter", op);
-  m->rows_in = DistRowCount(in);
+  m->rows_in = SpillDistRowCount(in);
   const auto layout = LayoutOf(*op.children[0]);
   std::vector<BoundExprPtr> preds;
   for (const auto& p : op.predicates) {
@@ -229,34 +342,31 @@ Result<ExecResult> Executor::ExecuteFilter(const LogicalOp& op) {
                           RewriteToPositions(*p, layout));
     preds.push_back(std::move(rewritten));
   }
-  Dist out(in.size());
+  SpillableDist out = NewDist(in.size());
   RADB_RETURN_NOT_OK(ForEachWorker(in.size(), [&](size_t wkr) -> Status {
     const auto t0 = Clock::now();
-    for (Row& row : in[wkr]) {
-      bool keep = true;
+    RADB_RETURN_NOT_OK(ConsumeRows(in[wkr], [&](Row row) -> Status {
       for (const auto& p : preds) {
         RADB_ASSIGN_OR_RETURN(Value v, EvalExpr(*p, row));
-        if (v.is_null() || !v.bool_value()) {
-          keep = false;
-          break;
-        }
+        if (v.is_null() || !v.bool_value()) return Status::OK();
       }
-      if (keep) out[wkr].push_back(std::move(row));
-    }
+      return out[wkr].Append(std::move(row));
+    }));
     m->worker_seconds[wkr] += SecondsSince(t0);
     return Status::OK();
   }));
-  m->rows_out = DistRowCount(out);
-  m->bytes_out = DistByteSize(out);
+  m->rows_out = SpillDistRowCount(out);
+  m->bytes_out = SpillDistByteSize(out);
+  CollectSpill(m, out);
   // Filtering never moves rows, so placement survives.
   return ExecResult{std::move(out), child.hashed_slot};
 }
 
 Result<ExecResult> Executor::ExecuteProject(const LogicalOp& op) {
   RADB_ASSIGN_OR_RETURN(ExecResult child, ExecuteOp(*op.children[0]));
-  Dist& in = child.dist;
+  SpillableDist& in = child.dist;
   OperatorMetrics* m = NewOp("Project", op);
-  m->rows_in = DistRowCount(in);
+  m->rows_in = SpillDistRowCount(in);
   const auto layout = LayoutOf(*op.children[0]);
   std::vector<BoundExprPtr> exprs;
   for (const auto& e : op.exprs) {
@@ -264,24 +374,24 @@ Result<ExecResult> Executor::ExecuteProject(const LogicalOp& op) {
                           RewriteToPositions(*e, layout));
     exprs.push_back(std::move(rewritten));
   }
-  Dist out(in.size());
+  SpillableDist out = NewDist(in.size());
   RADB_RETURN_NOT_OK(ForEachWorker(in.size(), [&](size_t wkr) -> Status {
     const auto t0 = Clock::now();
-    out[wkr].reserve(in[wkr].size());
-    for (const Row& row : in[wkr]) {
+    RADB_RETURN_NOT_OK(ConsumeRows(in[wkr], [&](Row row) -> Status {
       Row projected;
       projected.reserve(exprs.size());
       for (const auto& e : exprs) {
         RADB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, row));
         projected.push_back(std::move(v));
       }
-      out[wkr].push_back(std::move(projected));
-    }
+      return out[wkr].Append(std::move(projected));
+    }));
     m->worker_seconds[wkr] += SecondsSince(t0);
     return Status::OK();
   }));
-  m->rows_out = DistRowCount(out);
-  m->bytes_out = DistByteSize(out);
+  m->rows_out = SpillDistRowCount(out);
+  m->bytes_out = SpillDistByteSize(out);
+  CollectSpill(m, out);
   // Placement survives when the hashed column passes through as a
   // bare reference; its slot id changes to the projection's output
   // slot only if the expression is an identity reference.
@@ -301,8 +411,8 @@ Result<ExecResult> Executor::ExecuteProject(const LogicalOp& op) {
 Result<ExecResult> Executor::ExecuteJoin(const LogicalOp& op) {
   RADB_ASSIGN_OR_RETURN(ExecResult left_in, ExecuteOp(*op.children[0]));
   RADB_ASSIGN_OR_RETURN(ExecResult right_in, ExecuteOp(*op.children[1]));
-  Dist& left = left_in.dist;
-  Dist& right = right_in.dist;
+  SpillableDist& left = left_in.dist;
+  SpillableDist& right = right_in.dist;
   const size_t w = cluster_.num_workers();
   const auto left_layout = LayoutOf(*op.children[0]);
   const auto right_layout = LayoutOf(*op.children[1]);
@@ -331,9 +441,9 @@ Result<ExecResult> Executor::ExecuteJoin(const LogicalOp& op) {
   }
 
   const bool is_cross = op.equi_keys.empty();
-  const size_t left_bytes = DistByteSize(left);
-  const size_t right_bytes = DistByteSize(right);
-  const size_t rows_in = DistRowCount(left) + DistRowCount(right);
+  const size_t left_bytes = SpillDistByteSize(left);
+  const size_t right_bytes = SpillDistByteSize(right);
+  const size_t rows_in = SpillDistRowCount(left) + SpillDistRowCount(right);
 
   std::vector<BoundExprPtr> left_keys, right_keys;
   for (const auto& [l, r] : op.equi_keys) {
@@ -346,16 +456,19 @@ Result<ExecResult> Executor::ExecuteJoin(const LogicalOp& op) {
   }
 
   OperatorMetrics* m = nullptr;
-  Dist out(w);
+  SpillableDist out = NewDist(w);
 
-  auto emit = [&](size_t wkr, const Row& l, const Row& r) -> Result<bool> {
+  // Joins a left/right row pair: applies residual predicates and the
+  // fused projection; nullopt when a residual rejects the pair.
+  auto make_joined = [&](const Row& l,
+                         const Row& r) -> Result<std::optional<Row>> {
     Row joined;
     joined.reserve(l.size() + r.size());
     for (const Value& v : l) joined.push_back(v);
     for (const Value& v : r) joined.push_back(v);
     for (const auto& p : residual) {
       RADB_ASSIGN_OR_RETURN(Value v, EvalExpr(*p, joined));
-      if (v.is_null() || !v.bool_value()) return false;
+      if (v.is_null() || !v.bool_value()) return std::optional<Row>();
     }
     if (!fused.empty()) {
       Row projected;
@@ -364,48 +477,65 @@ Result<ExecResult> Executor::ExecuteJoin(const LogicalOp& op) {
         RADB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, joined));
         projected.push_back(std::move(v));
       }
-      out[wkr].push_back(std::move(projected));
-      return true;
+      return std::optional<Row>(std::move(projected));
     }
-    out[wkr].push_back(std::move(joined));
-    return true;
+    return std::optional<Row>(std::move(joined));
+  };
+  auto emit = [&](size_t wkr, const Row& l, const Row& r) -> Status {
+    RADB_ASSIGN_OR_RETURN(std::optional<Row> j, make_joined(l, r));
+    if (j.has_value()) return out[wkr].Append(std::move(*j));
+    return Status::OK();
   };
 
   if (is_cross) {
     // Broadcast the smaller side; each worker crosses its local
-    // partition of the bigger side with the full smaller side.
+    // partition of the bigger side with the full smaller side. The
+    // broadcast copy cannot spill (every probe row scans all of it),
+    // so it reserves hard.
     const bool broadcast_right = right_bytes <= left_bytes;
     m = NewOp(broadcast_right ? "CrossJoin(bcast right)"
                               : "CrossJoin(bcast left)",
               op);
     m->rows_in = rows_in;
-    RowSet small;
-    const Dist& small_side = broadcast_right ? right : left;
-    for (const RowSet& p : small_side) {
-      for (const Row& r : p) small.push_back(r);
-    }
+    SpillableDist& small_side = broadcast_right ? right : left;
     const size_t small_bytes = broadcast_right ? right_bytes : left_bytes;
+    std::optional<mem::MemoryTracker> bt;
+    if (mem_.tracker != nullptr) {
+      RADB_RETURN_NOT_OK(MakeHeadroom(mem_, small_bytes, {&left, &right}));
+      bt.emplace("CrossJoin broadcast side", mem_.tracker);
+      RADB_RETURN_NOT_OK(bt->Reserve(small_bytes));
+    }
+    RowSet small;
+    small.reserve(SpillDistRowCount(small_side));
+    for (SpillableRowBuffer& buf : small_side) {
+      RADB_RETURN_NOT_OK(ConsumeRows(buf, [&](Row row) -> Status {
+        small.push_back(std::move(row));
+        return Status::OK();
+      }));
+    }
     m->bytes_shuffled += small_bytes * (w - 1);
     m->rows_shuffled += small.size() * (w - 1);
-    const Dist& big = broadcast_right ? left : right;
+    SpillableDist& big = broadcast_right ? left : right;
     // Each worker crosses its own big-side partition with the shared
     // (read-only) broadcast copy.
     RADB_RETURN_NOT_OK(ForEachWorker(w, [&](size_t wkr) -> Status {
       const auto t0 = Clock::now();
-      for (const Row& b : big[wkr]) {
+      RADB_RETURN_NOT_OK(ConsumeRows(big[wkr], [&](Row b) -> Status {
         for (const Row& s : small) {
-          RADB_ASSIGN_OR_RETURN(
-              bool kept, broadcast_right ? emit(wkr, b, s) : emit(wkr, s, b));
-          (void)kept;
+          RADB_RETURN_NOT_OK(broadcast_right ? emit(wkr, b, s)
+                                             : emit(wkr, s, b));
         }
-      }
+        return Status::OK();
+      }));
       m->worker_seconds[wkr] += SecondsSince(t0);
       return Status::OK();
     }));
   } else {
     // Broadcast-vs-shuffle decision, the classical optimizer rule: if
     // replicating the small side everywhere moves fewer bytes than
-    // re-hashing both sides, broadcast.
+    // re-hashing both sides, broadcast. (The decision depends only on
+    // input sizes, never on the memory budget, so plans — and
+    // therefore output orders — are identical with and without one.)
     const size_t shuffle_cost = left_bytes + right_bytes;
     const size_t bcast_small =
         std::min(left_bytes, right_bytes) * (w > 0 ? (w - 1) : 0);
@@ -416,37 +546,54 @@ Result<ExecResult> Executor::ExecuteJoin(const LogicalOp& op) {
                                 : "HashJoin(bcast left)",
                 op);
       m->rows_in = rows_in;
-      // Build a replicated hash table of the small side.
-      std::unordered_multimap<KeyRow, const Row*, KeyRowHash> table;
-      const Dist& small_side = broadcast_right ? right : left;
-      const auto& small_keys = broadcast_right ? right_keys : left_keys;
-      for (const RowSet& p : small_side) {
-        for (const Row& r : p) {
-          RADB_ASSIGN_OR_RETURN(KeyRow key, EvalKey(small_keys, r));
-          if (KeyHasNull(key)) continue;
-          table.emplace(std::move(key), &r);
-        }
-      }
+      // The replicated hash table is unspillable: a Grace fallback
+      // would have to re-shuffle both sides, changing the physical
+      // plan (and output order) under budget. Reserve hard instead.
+      SpillableDist& small_side = broadcast_right ? right : left;
       const size_t small_bytes = broadcast_right ? right_bytes : left_bytes;
+      const size_t small_rows = SpillDistRowCount(small_side);
+      std::optional<mem::MemoryTracker> bt;
+      if (mem_.tracker != nullptr) {
+        RADB_RETURN_NOT_OK(MakeHeadroom(
+            mem_, small_bytes + small_rows * kHashEntryOverhead,
+            {&left, &right}));
+        bt.emplace("HashJoin broadcast build side", mem_.tracker);
+        RADB_RETURN_NOT_OK(
+            bt->Reserve(small_bytes + small_rows * kHashEntryOverhead));
+      }
+      RowSet small;
+      small.reserve(small_rows);
+      for (SpillableRowBuffer& buf : small_side) {
+        RADB_RETURN_NOT_OK(ConsumeRows(buf, [&](Row row) -> Status {
+          small.push_back(std::move(row));
+          return Status::OK();
+        }));
+      }
+      const auto& small_keys = broadcast_right ? right_keys : left_keys;
+      std::unordered_multimap<KeyRow, const Row*, KeyRowHash> table;
+      for (const Row& r : small) {
+        RADB_ASSIGN_OR_RETURN(KeyRow key, EvalKey(small_keys, r));
+        if (KeyHasNull(key)) continue;
+        table.emplace(std::move(key), &r);
+      }
       m->bytes_shuffled += small_bytes * (w - 1);
-      const Dist& big = broadcast_right ? left : right;
+      SpillableDist& big = broadcast_right ? left : right;
       const auto& big_keys = broadcast_right ? left_keys : right_keys;
       // The replicated hash table was built sequentially above (so its
       // bucket chains — and therefore match order — are independent of
       // the thread count); probing reads it concurrently.
       RADB_RETURN_NOT_OK(ForEachWorker(w, [&](size_t wkr) -> Status {
         const auto t0 = Clock::now();
-        for (const Row& b : big[wkr]) {
+        RADB_RETURN_NOT_OK(ConsumeRows(big[wkr], [&](Row b) -> Status {
           RADB_ASSIGN_OR_RETURN(KeyRow key, EvalKey(big_keys, b));
-          if (KeyHasNull(key)) continue;
+          if (KeyHasNull(key)) return Status::OK();
           auto [begin, end] = table.equal_range(key);
           for (auto it = begin; it != end; ++it) {
-            RADB_ASSIGN_OR_RETURN(bool kept,
-                                  broadcast_right ? emit(wkr, b, *it->second)
-                                                  : emit(wkr, *it->second, b));
-            (void)kept;
+            RADB_RETURN_NOT_OK(broadcast_right ? emit(wkr, b, *it->second)
+                                               : emit(wkr, *it->second, b));
           }
-        }
+          return Status::OK();
+        }));
         m->worker_seconds[wkr] += SecondsSince(t0);
         return Status::OK();
       }));
@@ -469,82 +616,232 @@ Result<ExecResult> Executor::ExecuteJoin(const LogicalOp& op) {
                            : "HashJoin(shuffle)"),
                 op);
       m->rows_in = rows_in;
-      // Re-partition by join key hash; `prehashed` sides stay put and
-      // are charged nothing. Shuffle assembly runs in two parallel
-      // phases: each source worker splits its partition into per-
-      // destination runs, then each destination concatenates its runs
-      // in source order — the same bucket order the old sequential
-      // loop produced, so join output is independent of thread count.
-      using Buckets = std::vector<std::vector<std::pair<KeyRow, Row>>>;
-      auto shuffle = [&](Dist& side, const std::vector<BoundExprPtr>& keys,
-                         bool prehashed) -> Result<Buckets> {
-        std::vector<Buckets> runs(side.size(), Buckets(w));
+      // Re-partition by join key hash into spillable per-(src,dst)
+      // runs; `prehashed` sides stay put and are charged nothing.
+      // Each destination later consumes its runs in source order —
+      // the same bucket order the old sequential loop produced, so
+      // join output is independent of thread count.
+      auto route = [&](SpillableDist& side,
+                       const std::vector<BoundExprPtr>& keys,
+                       bool prehashed) -> Result<std::vector<SpillableDist>> {
+        std::vector<SpillableDist> runs;
+        runs.reserve(side.size());
+        for (size_t s = 0; s < side.size(); ++s) runs.push_back(NewDist(w));
         std::vector<size_t> local_bytes(side.size(), 0);
         std::vector<size_t> local_rows(side.size(), 0);
         RADB_RETURN_NOT_OK(
             ForEachWorker(side.size(), [&](size_t src) -> Status {
-              for (Row& row : side[src]) {
-                RADB_ASSIGN_OR_RETURN(KeyRow key, EvalKey(keys, row));
-                if (KeyHasNull(key)) continue;  // inner join: NULL never
-                                                // matches
-                const size_t dst =
-                    prehashed ? src : cluster_.WorkerForHash(key.hash);
-                if (dst != src) {
-                  local_bytes[src] += RowByteSize(row);
-                  ++local_rows[src];
-                }
-                runs[src][dst].emplace_back(std::move(key), std::move(row));
-              }
-              side[src].clear();
+              const auto t0 = Clock::now();
+              RADB_RETURN_NOT_OK(ConsumeRows(
+                  side[src], [&](Row row) -> Status {
+                    RADB_ASSIGN_OR_RETURN(KeyRow key, EvalKey(keys, row));
+                    if (KeyHasNull(key)) {
+                      return Status::OK();  // inner join: NULL never matches
+                    }
+                    const size_t dst =
+                        prehashed ? src : cluster_.WorkerForHash(key.hash);
+                    if (dst != src) {
+                      local_bytes[src] += RowByteSize(row);
+                      ++local_rows[src];
+                    }
+                    return runs[src][dst].Append(std::move(row));
+                  }));
+              m->worker_seconds[src] += SecondsSince(t0);
               return Status::OK();
             }));
         for (size_t src = 0; src < side.size(); ++src) {
           m->bytes_shuffled += local_bytes[src];
           m->rows_shuffled += local_rows[src];
         }
-        Buckets buckets(w);
-        RADB_RETURN_NOT_OK(ForEachWorker(w, [&](size_t dst) -> Status {
-          size_t total = 0;
-          for (const Buckets& r : runs) total += r[dst].size();
-          buckets[dst].reserve(total);
-          for (Buckets& r : runs) {
-            for (auto& kv : r[dst]) buckets[dst].push_back(std::move(kv));
-          }
-          return Status::OK();
-        }));
-        return buckets;
+        return runs;
       };
-      RADB_ASSIGN_OR_RETURN(auto left_parts,
-                            shuffle(left, left_keys, left_prehashed));
-      RADB_ASSIGN_OR_RETURN(auto right_parts,
-                            shuffle(right, right_keys, right_prehashed));
+      RADB_ASSIGN_OR_RETURN(auto left_runs,
+                            route(left, left_keys, left_prehashed));
+      RADB_ASSIGN_OR_RETURN(auto right_runs,
+                            route(right, right_keys, right_prehashed));
+
+      // Grace-hash fallback for one worker: both sides are split into
+      // sub-partitions by a secondary hash. All rows with one key land
+      // in one sub-partition with their relative order intact, so each
+      // sub-build's equal_range chains equal the monolithic table's.
+      // Probe rows carry their arrival sequence; merging sub-partition
+      // outputs by that sequence restores the exact probe-major output
+      // order — budgeted results stay bit-identical.
+      auto grace = [&](size_t wkr, mem::MemoryTracker& wt, size_t* spill_b,
+                       size_t* spill_r) -> Status {
+        SpillableDist bparts = NewDist(kGraceFanout);
+        SpillableDist pparts = NewDist(kGraceFanout);
+        SpillableDist pout = NewDist(kGraceFanout);
+        for (size_t src = 0; src < right_runs.size(); ++src) {
+          RADB_RETURN_NOT_OK(
+              ConsumeRows(right_runs[src][wkr], [&](Row row) -> Status {
+                RADB_ASSIGN_OR_RETURN(KeyRow key, EvalKey(right_keys, row));
+                return bparts[GracePartition(key.hash)].Append(std::move(row));
+              }));
+        }
+        int64_t seq = 0;
+        for (size_t src = 0; src < left_runs.size(); ++src) {
+          RADB_RETURN_NOT_OK(
+              ConsumeRows(left_runs[src][wkr], [&](Row row) -> Status {
+                RADB_ASSIGN_OR_RETURN(KeyRow key, EvalKey(left_keys, row));
+                Row tagged;
+                tagged.reserve(row.size() + 1);
+                tagged.push_back(Value::Int(seq++));
+                for (Value& v : row) tagged.push_back(std::move(v));
+                return pparts[GracePartition(key.hash)].Append(
+                    std::move(tagged));
+              }));
+        }
+        for (size_t p = 0; p < kGraceFanout; ++p) {
+          const size_t part_rows = bparts[p].num_rows();
+          const size_t charge =
+              bparts[p].byte_size() + part_rows * kHashEntryOverhead;
+          // A sub-build that still misses the budget fails the query:
+          // one level of partitioning is the depth this engine goes.
+          RADB_RETURN_NOT_OK(wt.Reserve(charge));
+          std::vector<std::pair<KeyRow, Row>> build;
+          build.reserve(part_rows);
+          RADB_RETURN_NOT_OK(ConsumeRows(bparts[p], [&](Row row) -> Status {
+            RADB_ASSIGN_OR_RETURN(KeyRow key, EvalKey(right_keys, row));
+            build.emplace_back(std::move(key), std::move(row));
+            return Status::OK();
+          }));
+          std::unordered_multimap<KeyRow, const Row*, KeyRowHash> table;
+          table.reserve(build.size());
+          for (auto& [key, row] : build) table.emplace(key, &row);
+          RADB_RETURN_NOT_OK(
+              ConsumeRows(pparts[p], [&](Row tagged) -> Status {
+                const Value seq_v = tagged[0];
+                Row probe(std::make_move_iterator(tagged.begin() + 1),
+                          std::make_move_iterator(tagged.end()));
+                RADB_ASSIGN_OR_RETURN(KeyRow key, EvalKey(left_keys, probe));
+                auto [begin, end] = table.equal_range(key);
+                for (auto it = begin; it != end; ++it) {
+                  RADB_ASSIGN_OR_RETURN(std::optional<Row> j,
+                                        make_joined(probe, *it->second));
+                  if (!j.has_value()) continue;
+                  Row tagged_out;
+                  tagged_out.reserve(j->size() + 1);
+                  tagged_out.push_back(seq_v);
+                  for (Value& v : *j) tagged_out.push_back(std::move(v));
+                  RADB_RETURN_NOT_OK(pout[p].Append(std::move(tagged_out)));
+                }
+                return Status::OK();
+              }));
+          build.clear();
+          table.clear();
+          wt.Release(charge);
+        }
+        // Merge sub-partition outputs back into probe-arrival order.
+        // Each pout[p] is already ascending in seq, and all matches of
+        // one probe row live in one partition, so a min-seq merge
+        // reproduces the monolithic probe loop's output exactly.
+        {
+          std::vector<std::unique_ptr<SpillableRowBuffer::Reader>> readers;
+          std::vector<std::optional<Row>> heads(kGraceFanout);
+          for (size_t p = 0; p < kGraceFanout; ++p) {
+            readers.push_back(
+                std::make_unique<SpillableRowBuffer::Reader>(&pout[p]));
+            RADB_ASSIGN_OR_RETURN(heads[p], readers[p]->Next());
+          }
+          while (true) {
+            int best = -1;
+            for (size_t p = 0; p < kGraceFanout; ++p) {
+              if (!heads[p].has_value()) continue;
+              if (best < 0 || (*heads[p])[0].int_value() <
+                                  (*heads[best])[0].int_value()) {
+                best = static_cast<int>(p);
+              }
+            }
+            if (best < 0) break;
+            Row& t = *heads[best];
+            Row row(std::make_move_iterator(t.begin() + 1),
+                    std::make_move_iterator(t.end()));
+            RADB_RETURN_NOT_OK(out[wkr].Append(std::move(row)));
+            RADB_ASSIGN_OR_RETURN(heads[best], readers[best]->Next());
+          }
+        }
+        for (const SpillableDist* d : {&bparts, &pparts, &pout}) {
+          for (const SpillableRowBuffer& b : *d) {
+            *spill_b += b.spill_bytes();
+            *spill_r += b.spill_runs();
+          }
+        }
+        return Status::OK();
+      };
+
+      std::vector<size_t> grace_spill_b(w, 0), grace_spill_r(w, 0);
       RADB_RETURN_NOT_OK(ForEachWorker(w, [&](size_t wkr) -> Status {
         const auto t0 = Clock::now();
-        std::unordered_multimap<KeyRow, const Row*, KeyRowHash> table;
-        table.reserve(right_parts[wkr].size());
-        for (const auto& [key, row] : right_parts[wkr]) {
-          table.emplace(key, &row);
+        size_t build_bytes = 0, build_rows = 0;
+        for (size_t src = 0; src < right_runs.size(); ++src) {
+          build_bytes += right_runs[src][wkr].byte_size();
+          build_rows += right_runs[src][wkr].num_rows();
         }
-        for (const auto& [key, row] : left_parts[wkr]) {
-          auto [begin, end] = table.equal_range(key);
-          for (auto it = begin; it != end; ++it) {
-            RADB_ASSIGN_OR_RETURN(bool kept, emit(wkr, row, *it->second));
-            (void)kept;
+        bool classic = true;
+        std::optional<mem::MemoryTracker> wt;
+        if (mem_.tracker != nullptr) {
+          wt.emplace("HashJoin build (worker " + std::to_string(wkr) + ")",
+                     mem_.tracker);
+          classic =
+              wt->TryReserve(build_bytes + build_rows * kHashEntryOverhead);
+        }
+        if (classic) {
+          // In-memory path: materialize the build side in source
+          // order, probe in source order — the seed implementation's
+          // exact behavior. The worker tracker releases the build
+          // charge when it goes out of scope.
+          std::vector<std::pair<KeyRow, Row>> build;
+          build.reserve(build_rows);
+          for (size_t src = 0; src < right_runs.size(); ++src) {
+            RADB_RETURN_NOT_OK(
+                ConsumeRows(right_runs[src][wkr], [&](Row row) -> Status {
+                  RADB_ASSIGN_OR_RETURN(KeyRow key, EvalKey(right_keys, row));
+                  build.emplace_back(std::move(key), std::move(row));
+                  return Status::OK();
+                }));
           }
+          std::unordered_multimap<KeyRow, const Row*, KeyRowHash> table;
+          table.reserve(build.size());
+          for (auto& [key, row] : build) table.emplace(key, &row);
+          for (size_t src = 0; src < left_runs.size(); ++src) {
+            RADB_RETURN_NOT_OK(
+                ConsumeRows(left_runs[src][wkr], [&](Row row) -> Status {
+                  RADB_ASSIGN_OR_RETURN(KeyRow key, EvalKey(left_keys, row));
+                  auto [begin, end] = table.equal_range(key);
+                  for (auto it = begin; it != end; ++it) {
+                    RADB_RETURN_NOT_OK(emit(wkr, row, *it->second));
+                  }
+                  return Status::OK();
+                }));
+          }
+        } else {
+          RADB_RETURN_NOT_OK(
+              grace(wkr, *wt, &grace_spill_b[wkr], &grace_spill_r[wkr]));
         }
         m->worker_seconds[wkr] += SecondsSince(t0);
         return Status::OK();
       }));
+      for (size_t wkr = 0; wkr < w; ++wkr) {
+        m->bytes_spilled += grace_spill_b[wkr];
+        m->spill_runs += grace_spill_r[wkr];
+      }
+      for (const auto& runs : {std::cref(left_runs), std::cref(right_runs)}) {
+        for (const SpillableDist& per_src : runs.get()) {
+          CollectSpill(m, per_src);
+        }
+      }
     }
   }
-  m->rows_out = DistRowCount(out);
-  m->bytes_out = DistByteSize(out);
+  m->rows_out = SpillDistRowCount(out);
+  m->bytes_out = SpillDistByteSize(out);
+  CollectSpill(m, out);
   return ExecResult{std::move(out), std::nullopt};
 }
 
 Result<ExecResult> Executor::ExecuteAggregate(const LogicalOp& op) {
   RADB_ASSIGN_OR_RETURN(ExecResult child, ExecuteOp(*op.children[0]));
-  Dist& in = child.dist;
+  SpillableDist& in = child.dist;
   const size_t w = cluster_.num_workers();
   const auto layout = LayoutOf(*op.children[0]);
 
@@ -567,43 +864,117 @@ Result<ExecResult> Executor::ExecuteAggregate(const LogicalOp& op) {
   struct GroupState {
     Row key;
     std::vector<std::unique_ptr<Aggregator>> aggs;
+    size_t base = 0;     // admission charge (key copies + map entry)
+    size_t charged = 0;  // total bytes currently reserved for this group
   };
   using GroupMap =
       std::unordered_map<KeyRow, std::unique_ptr<GroupState>, KeyRowHash>;
 
-  // Phase 1: local partial aggregation on every worker.
+  // Group state cannot spill (a partially-aggregated accumulator must
+  // stay addressable), so it charges a dedicated child tracker:
+  // admission of a new group may be refused under pressure (the rows
+  // overflow to a later pass, below), but growth of an already-
+  // admitted accumulator reserves hard. The scoped child releases
+  // whatever is still charged when the operator finishes.
+  std::optional<mem::MemoryTracker> agg_tracker;
+  if (mem_.tracker != nullptr) {
+    agg_tracker.emplace("Aggregate state", mem_.tracker);
+  }
+
+  // Phase 1: local partial aggregation on every worker, in admission
+  // passes. When a pass cannot admit a new group within the budget,
+  // that group's rows are diverted (in order) to a spillable overflow
+  // buffer, which becomes the next pass's input. Admission is sticky-
+  // off per pass — after the first refusal no new groups are admitted
+  // for the rest of the pass — so every group's updates happen in
+  // exactly one pass, in original row order: floating-point results
+  // are bit-identical to the unbudgeted single pass. The first group
+  // of each pass reserves hard (guaranteed progress, so the pass loop
+  // terminates or fails with ResourceExhausted). Group state is gated
+  // against the unspillable pool only, so a refusal means real state
+  // pressure — a later pass can recover only if some of it is
+  // released in the meantime; when the total state simply exceeds the
+  // budget, the next pass fails cleanly instead of thrashing.
   OperatorMetrics* m1 = NewOp("Aggregate(partial)", op);
-  m1->rows_in = DistRowCount(in);
-  std::vector<GroupMap> partials(w);
+  m1->rows_in = SpillDistRowCount(in);
+  // Worst case the group state approaches the input's full size
+  // (ROWMATRIX/VECTORIZE rebuild their input inside accumulators). If
+  // that much of the budget isn't free while the input rows sit
+  // resident, push the input to disk first and stream it back.
+  RADB_RETURN_NOT_OK(MakeHeadroom(mem_, SpillDistByteSize(in), {&in}));
+  std::vector<std::vector<GroupMap>> partials(w);
+  std::vector<size_t> agg_spill_b(w, 0), agg_spill_r(w, 0);
   RADB_RETURN_NOT_OK(ForEachWorker(in.size(), [&](size_t wkr) -> Status {
     const auto t0 = Clock::now();
-    for (const Row& row : in[wkr]) {
-      RADB_ASSIGN_OR_RETURN(KeyRow key, EvalKey(group_exprs, row));
-      auto it = partials[wkr].find(key);
-      if (it == partials[wkr].end()) {
-        auto state = std::make_unique<GroupState>();
-        state->key = key.values;
-        for (const AggCall& a : op.aggs) state->aggs.push_back(a.fn->make());
-        it = partials[wkr].emplace(std::move(key), std::move(state)).first;
-      }
-      for (size_t i = 0; i < agg_args.size(); ++i) {
-        RADB_ASSIGN_OR_RETURN(Value v, EvalExpr(*agg_args[i], row));
-        RADB_RETURN_NOT_OK(it->second->aggs[i]->Update(v));
-      }
+    SpillableRowBuffer carried;  // overflow rows between passes
+    SpillableRowBuffer* input = &in[wkr];
+    while (true) {
+      partials[wkr].emplace_back();
+      GroupMap& map = partials[wkr].back();
+      SpillableRowBuffer overflow(mem_);
+      bool admitting = true;
+      RADB_RETURN_NOT_OK(ConsumeRows(*input, [&](Row row) -> Status {
+        RADB_ASSIGN_OR_RETURN(KeyRow key, EvalKey(group_exprs, row));
+        auto it = map.find(key);
+        if (it == map.end()) {
+          const size_t admit =
+              2 * RowByteSize(key.values) + kGroupStateOverhead;
+          if (agg_tracker.has_value()) {
+            if (map.empty()) {
+              RADB_RETURN_NOT_OK(agg_tracker->Reserve(admit));
+            } else if (!admitting || !agg_tracker->TryReserve(admit)) {
+              admitting = false;
+              return overflow.Append(std::move(row));
+            }
+          }
+          auto state = std::make_unique<GroupState>();
+          state->key = key.values;
+          state->base = admit;
+          state->charged = admit;
+          for (const AggCall& a : op.aggs) {
+            state->aggs.push_back(a.fn->make());
+          }
+          it = map.emplace(std::move(key), std::move(state)).first;
+        }
+        GroupState& g = *it->second;
+        for (size_t i = 0; i < agg_args.size(); ++i) {
+          RADB_ASSIGN_OR_RETURN(Value v, EvalExpr(*agg_args[i], row));
+          RADB_RETURN_NOT_OK(g.aggs[i]->Update(v));
+        }
+        if (agg_tracker.has_value()) {
+          size_t needed = g.base;
+          for (const auto& agg : g.aggs) needed += agg->StateBytes();
+          if (needed > g.charged) {
+            // Accumulator growth (e.g. a Gram-matrix SUM state) is
+            // unspillable: reserve hard or fail the query.
+            RADB_RETURN_NOT_OK(agg_tracker->Reserve(needed - g.charged));
+            g.charged = needed;
+          }
+        }
+        return Status::OK();
+      }));
+      agg_spill_b[wkr] += overflow.spill_bytes();
+      agg_spill_r[wkr] += overflow.spill_runs();
+      if (overflow.empty()) break;
+      carried = std::move(overflow);
+      input = &carried;
     }
     m1->worker_seconds[wkr] += SecondsSince(t0);
     return Status::OK();
   }));
   for (size_t wkr = 0; wkr < in.size(); ++wkr) {
-    m1->rows_out += partials[wkr].size();
+    m1->bytes_spilled += agg_spill_b[wkr];
+    m1->spill_runs += agg_spill_r[wkr];
+    for (const GroupMap& map : partials[wkr]) m1->rows_out += map.size();
   }
 
   // Phase 2: shuffle partial states by group key hash (scalar
   // aggregates — no GROUP BY — all land on worker 0). Each
-  // destination worker walks every source's partial map and merges
-  // exactly the groups it owns, visiting sources in index order — the
-  // same merge order as a sequential src-major sweep, so floating-
-  // point aggregation results are independent of the thread count.
+  // destination worker walks every source's partial maps and merges
+  // exactly the groups it owns, visiting sources (and, within one,
+  // admission passes) in index order — the same merge order as a
+  // sequential src-major sweep, so floating-point aggregation results
+  // are independent of the thread count and of the budget.
   // (Tasks move states out of distinct map entries; the map structure
   // itself is only read.)
   // NewOp can reallocate the metrics vector and invalidate m1, so the
@@ -616,27 +987,43 @@ Result<ExecResult> Executor::ExecuteAggregate(const LogicalOp& op) {
   std::vector<size_t> local_rows(w, 0);
   RADB_RETURN_NOT_OK(ForEachWorker(w, [&](size_t dst) -> Status {
     for (size_t src = 0; src < w; ++src) {
-      for (auto& [key, state] : partials[src]) {
-        const size_t owner =
-            group_exprs.empty() ? 0 : cluster_.WorkerForHash(key.hash);
-        if (owner != dst) continue;
-        if (dst != src) {
-          size_t state_bytes = RowByteSize(state->key);
-          for (const auto& agg : state->aggs) {
-            state_bytes += agg->StateBytes();
+      for (GroupMap& pass : partials[src]) {
+        for (auto& [key, state] : pass) {
+          const size_t owner =
+              group_exprs.empty() ? 0 : cluster_.WorkerForHash(key.hash);
+          if (owner != dst) continue;
+          if (dst != src) {
+            size_t state_bytes = RowByteSize(state->key);
+            for (const auto& agg : state->aggs) {
+              state_bytes += agg->StateBytes();
+            }
+            local_bytes[dst] += state_bytes;
+            ++local_rows[dst];
           }
-          local_bytes[dst] += state_bytes;
-          ++local_rows[dst];
-        }
-        auto it = finals[dst].find(key);
-        if (it == finals[dst].end()) {
-          finals[dst].emplace(key, std::move(state));
-        } else {
-          const auto t0 = Clock::now();
-          for (size_t i = 0; i < it->second->aggs.size(); ++i) {
-            RADB_RETURN_NOT_OK(it->second->aggs[i]->Merge(*state->aggs[i]));
+          auto it = finals[dst].find(key);
+          if (it == finals[dst].end()) {
+            finals[dst].emplace(key, std::move(state));
+          } else {
+            const auto t0 = Clock::now();
+            GroupState& target = *it->second;
+            for (size_t i = 0; i < target.aggs.size(); ++i) {
+              RADB_RETURN_NOT_OK(target.aggs[i]->Merge(*state->aggs[i]));
+            }
+            if (agg_tracker.has_value()) {
+              size_t needed = target.base;
+              for (const auto& agg : target.aggs) {
+                needed += agg->StateBytes();
+              }
+              if (needed > target.charged) {
+                RADB_RETURN_NOT_OK(
+                    agg_tracker->Reserve(needed - target.charged));
+                target.charged = needed;
+              }
+              // The merged-away source state is dead now.
+              agg_tracker->Release(state->charged);
+            }
+            m2->worker_seconds[dst] += SecondsSince(t0);
           }
-          m2->worker_seconds[dst] += SecondsSince(t0);
         }
       }
     }
@@ -646,10 +1033,11 @@ Result<ExecResult> Executor::ExecuteAggregate(const LogicalOp& op) {
     m2->bytes_shuffled += local_bytes[dst];
     m2->rows_shuffled += local_rows[dst];
   }
-  for (GroupMap& p : partials) p.clear();
+  for (auto& passes : partials) passes.clear();
 
-  // Phase 3: finalize into output rows [group keys..., agg results...].
-  Dist out(w);
+  // Phase 3: finalize into output rows [group keys..., agg results...],
+  // releasing each group's charge as its row is emitted.
+  SpillableDist out = NewDist(w);
   RADB_RETURN_NOT_OK(ForEachWorker(w, [&](size_t wkr) -> Status {
     const auto t0 = Clock::now();
     for (auto& [key, state] : finals[wkr]) {
@@ -658,54 +1046,58 @@ Result<ExecResult> Executor::ExecuteAggregate(const LogicalOp& op) {
         RADB_ASSIGN_OR_RETURN(Value v, agg->Finalize());
         row.push_back(std::move(v));
       }
-      out[wkr].push_back(std::move(row));
+      RADB_RETURN_NOT_OK(out[wkr].Append(std::move(row)));
+      if (agg_tracker.has_value()) agg_tracker->Release(state->charged);
     }
     m2->worker_seconds[wkr] += SecondsSince(t0);
     return Status::OK();
   }));
   // A scalar aggregate over zero rows still produces one row (SQL
   // semantics): COUNT() = 0, SUM() = NULL.
-  if (group_exprs.empty() && DistRowCount(out) == 0) {
+  if (group_exprs.empty() && SpillDistRowCount(out) == 0) {
     Row row;
     for (const AggCall& a : op.aggs) {
       auto agg = a.fn->make();
       RADB_ASSIGN_OR_RETURN(Value v, agg->Finalize());
       row.push_back(std::move(v));
     }
-    out[0].push_back(std::move(row));
+    RADB_RETURN_NOT_OK(out[0].Append(std::move(row)));
   }
-  m2->rows_out = DistRowCount(out);
-  m2->bytes_out = DistByteSize(out);
+  m2->rows_out = SpillDistRowCount(out);
+  m2->bytes_out = SpillDistByteSize(out);
+  CollectSpill(m2, out);
   return ExecResult{std::move(out), std::nullopt};
 }
 
 Result<ExecResult> Executor::ExecuteDistinct(const LogicalOp& op) {
   RADB_ASSIGN_OR_RETURN(ExecResult child, ExecuteOp(*op.children[0]));
-  Dist& in = child.dist;
+  SpillableDist& in = child.dist;
   OperatorMetrics* m = NewOp("Distinct", op);
-  m->rows_in = DistRowCount(in);
+  m->rows_in = SpillDistRowCount(in);
   const size_t w = cluster_.num_workers();
   // Shuffle by whole-row hash, then dedupe locally. Two phases so
   // both sides parallelize with disjoint writes: every source worker
   // splits its rows into per-destination runs, then every destination
   // dedupes its runs in source order — the same insertion order as a
   // sequential src-major sweep, so the surviving (first) duplicate
-  // and the set's iteration order match at any thread count.
-  std::vector<std::vector<std::vector<std::pair<KeyRow, Row>>>> runs(
-      in.size(), std::vector<std::vector<std::pair<KeyRow, Row>>>(w));
+  // and the set's iteration order match at any thread count. The
+  // shuffle runs are spillable; the dedupe set is not (it IS the
+  // output), so it reserves hard.
+  std::vector<SpillableDist> runs;
+  runs.reserve(in.size());
+  for (size_t src = 0; src < in.size(); ++src) runs.push_back(NewDist(w));
   std::vector<size_t> local_bytes(in.size(), 0);
   std::vector<size_t> local_rows(in.size(), 0);
   RADB_RETURN_NOT_OK(ForEachWorker(in.size(), [&](size_t src) -> Status {
     const auto t0 = Clock::now();
-    for (Row& row : in[src]) {
-      KeyRow key{row, HashRow(row)};
-      const size_t dst = cluster_.WorkerForHash(key.hash);
+    RADB_RETURN_NOT_OK(ConsumeRows(in[src], [&](Row row) -> Status {
+      const size_t dst = cluster_.WorkerForHash(HashRow(row));
       if (dst != src) {
         local_bytes[src] += RowByteSize(row);
         ++local_rows[src];
       }
-      runs[src][dst].emplace_back(std::move(key), std::move(row));
-    }
+      return runs[src][dst].Append(std::move(row));
+    }));
     m->worker_seconds[src] += SecondsSince(t0);
     return Status::OK();
   }));
@@ -713,46 +1105,87 @@ Result<ExecResult> Executor::ExecuteDistinct(const LogicalOp& op) {
     m->bytes_shuffled += local_bytes[src];
     m->rows_shuffled += local_rows[src];
   }
-  std::vector<std::unordered_map<KeyRow, Row, KeyRowHash>> sets(w);
-  Dist out(w);
+  // The dedup sets are unspillable and charge 2× each distinct row
+  // (key copy + stored row); free that much budget up front by
+  // pushing the routed runs to disk if needed.
+  {
+    size_t runs_bytes = 0;
+    std::vector<SpillableDist*> run_ptrs;
+    for (SpillableDist& per_src : runs) {
+      runs_bytes += SpillDistByteSize(per_src);
+      run_ptrs.push_back(&per_src);
+    }
+    RADB_RETURN_NOT_OK(MakeHeadroom(mem_, 2 * runs_bytes, run_ptrs));
+  }
+  SpillableDist out = NewDist(w);
   RADB_RETURN_NOT_OK(ForEachWorker(w, [&](size_t dst) -> Status {
     const auto t0 = Clock::now();
-    for (size_t src = 0; src < in.size(); ++src) {
-      for (auto& [key, row] : runs[src][dst]) {
-        sets[dst].emplace(std::move(key), std::move(row));
-      }
+    std::optional<mem::MemoryTracker> st;
+    if (mem_.tracker != nullptr) {
+      st.emplace("DISTINCT set (worker " + std::to_string(dst) + ")",
+                 mem_.tracker);
     }
-    for (auto& [key, row] : sets[dst]) out[dst].push_back(std::move(row));
+    std::unordered_map<KeyRow, Row, KeyRowHash> set;
+    for (size_t src = 0; src < runs.size(); ++src) {
+      RADB_RETURN_NOT_OK(
+          ConsumeRows(runs[src][dst], [&](Row row) -> Status {
+            const size_t rb = RowByteSize(row);
+            KeyRow key{row, HashRow(row)};
+            const auto [it, inserted] =
+                set.emplace(std::move(key), std::move(row));
+            if (inserted && st.has_value()) {
+              // Key copy + stored row + map entry, unspillable.
+              RADB_RETURN_NOT_OK(
+                  st->Reserve(2 * rb + kGroupStateOverhead));
+            }
+            return Status::OK();
+          }));
+    }
+    for (auto& [key, row] : set) {
+      RADB_RETURN_NOT_OK(out[dst].Append(std::move(row)));
+    }
     m->worker_seconds[dst] += SecondsSince(t0);
     return Status::OK();
   }));
-  m->rows_out = DistRowCount(out);
-  m->bytes_out = DistByteSize(out);
+  for (const SpillableDist& per_src : runs) CollectSpill(m, per_src);
+  m->rows_out = SpillDistRowCount(out);
+  m->bytes_out = SpillDistByteSize(out);
+  CollectSpill(m, out);
   return ExecResult{std::move(out), std::nullopt};
 }
 
 Result<ExecResult> Executor::ExecuteSort(const LogicalOp& op) {
   RADB_ASSIGN_OR_RETURN(ExecResult child, ExecuteOp(*op.children[0]));
-  Dist& in = child.dist;
+  SpillableDist& in = child.dist;
   OperatorMetrics* m = NewOp("Sort", op);
-  m->rows_in = DistRowCount(in);
+  m->rows_in = SpillDistRowCount(in);
   const auto layout = LayoutOf(*op.children[0]);
   std::vector<std::pair<BoundExprPtr, bool>> keys;
   for (const auto& [e, desc] : op.sort_keys) {
     RADB_ASSIGN_OR_RETURN(BoundExprPtr r, RewriteToPositions(*e, layout));
     keys.emplace_back(std::move(r), desc);
   }
-  // Gather everything onto worker 0 and sort there.
-  Dist out(cluster_.num_workers());
-  RowSet& all = out[0];
+  // Gather everything onto worker 0 and sort there. An external
+  // (spilling) sort would need run-merging that reorders comparisons;
+  // this engine keeps ORDER BY in memory, so the gather buffer
+  // reserves hard and the query fails cleanly when it doesn't fit.
+  std::optional<mem::MemoryTracker> st;
+  if (mem_.tracker != nullptr) {
+    RADB_RETURN_NOT_OK(MakeHeadroom(mem_, SpillDistByteSize(in), {&in}));
+    st.emplace("Sort buffer", mem_.tracker);
+    RADB_RETURN_NOT_OK(st->Reserve(SpillDistByteSize(in)));
+  }
+  RowSet all;
+  all.reserve(SpillDistRowCount(in));
   for (size_t src = 0; src < in.size(); ++src) {
-    for (Row& row : in[src]) {
+    RADB_RETURN_NOT_OK(ConsumeRows(in[src], [&](Row row) -> Status {
       if (src != 0) {
         m->bytes_shuffled += RowByteSize(row);
         ++m->rows_shuffled;
       }
       all.push_back(std::move(row));
-    }
+      return Status::OK();
+    }));
   }
   const auto t0 = Clock::now();
   Status sort_status = Status::OK();
@@ -777,31 +1210,46 @@ Result<ExecResult> Executor::ExecuteSort(const LogicalOp& op) {
                    });
   RADB_RETURN_NOT_OK(sort_status);
   m->worker_seconds[0] += SecondsSince(t0);
-  m->rows_out = all.size();
-  m->bytes_out = DistByteSize(out);
+  SpillableDist out = NewDist(cluster_.num_workers());
+  for (Row& row : all) {
+    // Hand the charge over row by row: the output buffer charges the
+    // row on Append, then the gather reservation shrinks by the same
+    // amount, keeping the tracked total flat.
+    const size_t b = st.has_value() ? RowByteSize(row) : 0;
+    RADB_RETURN_NOT_OK(out[0].Append(std::move(row)));
+    if (st.has_value()) st->Release(b);
+  }
+  m->rows_out = SpillDistRowCount(out);
+  m->bytes_out = SpillDistByteSize(out);
+  CollectSpill(m, out);
   return ExecResult{std::move(out), std::nullopt};
 }
 
 Result<ExecResult> Executor::ExecuteLimit(const LogicalOp& op) {
   RADB_ASSIGN_OR_RETURN(ExecResult child, ExecuteOp(*op.children[0]));
-  Dist& in = child.dist;
+  SpillableDist& in = child.dist;
   OperatorMetrics* m = NewOp("Limit", op);
-  m->rows_in = DistRowCount(in);
-  Dist out(cluster_.num_workers());
-  RowSet& dst = out[0];
+  m->rows_in = SpillDistRowCount(in);
+  SpillableDist out = NewDist(cluster_.num_workers());
   const size_t limit = static_cast<size_t>(std::max<int64_t>(0, op.limit));
-  for (size_t src = 0; src < in.size() && dst.size() < limit; ++src) {
-    for (Row& row : in[src]) {
-      if (dst.size() >= limit) break;
+  size_t taken = 0;
+  for (size_t src = 0; src < in.size() && taken < limit; ++src) {
+    SpillableRowBuffer::Reader reader(&in[src]);
+    while (taken < limit) {
+      RADB_ASSIGN_OR_RETURN(std::optional<Row> row, reader.Next());
+      if (!row.has_value()) break;
       if (src != 0) {
-        m->bytes_shuffled += RowByteSize(row);
+        m->bytes_shuffled += RowByteSize(*row);
         ++m->rows_shuffled;
       }
-      dst.push_back(std::move(row));
+      RADB_RETURN_NOT_OK(out[0].Append(std::move(*row)));
+      ++taken;
     }
   }
-  m->rows_out = dst.size();
-  m->bytes_out = DistByteSize(out);
+  for (SpillableRowBuffer& buf : in) buf.Clear();
+  m->rows_out = SpillDistRowCount(out);
+  m->bytes_out = SpillDistByteSize(out);
+  CollectSpill(m, out);
   return ExecResult{std::move(out), std::nullopt};
 }
 

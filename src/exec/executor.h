@@ -12,12 +12,15 @@
 #include "dist/metrics.h"
 #include "obs/obs.h"
 #include "plan/logical_plan.h"
+#include "storage/spill.h"
 #include "storage/table.h"
 
 namespace radb {
 
 /// Rows distributed across the simulated cluster: one RowSet per
-/// worker.
+/// worker. This is the fully-materialized form the Database gathers
+/// results from; between operators rows travel as a SpillableDist so
+/// intermediates can overflow to disk under a memory budget.
 using Dist = std::vector<RowSet>;
 
 /// An operator's distributed output plus its physical property: if
@@ -26,7 +29,7 @@ using Dist = std::vector<RowSet>;
 /// join skip re-shuffling that side (paper §2.1: "R was already
 /// partitioned on the join key").
 struct ExecResult {
-  Dist dist;
+  SpillableDist dist;
   std::optional<size_t> hashed_slot;
 };
 
@@ -34,6 +37,10 @@ struct ExecResult {
 size_t DistByteSize(const Dist& d);
 /// Total row count across all partitions.
 size_t DistRowCount(const Dist& d);
+/// The same totals for the spillable form (O(workers), from the
+/// buffers' running counters).
+size_t SpillDistByteSize(const SpillableDist& d);
+size_t SpillDistRowCount(const SpillableDist& d);
 
 /// Executes optimized logical plans over the simulated shared-nothing
 /// cluster. Hash joins shuffle (or broadcast) their inputs, group-by
@@ -49,14 +56,30 @@ size_t DistRowCount(const Dist& d);
 /// tallies merged on the driver afterwards) and preserves the
 /// sequential iteration order within each worker, so results are
 /// bit-identical at any thread count.
+///
+/// Memory governance: when a MemoryContext with a budgeted tracker is
+/// supplied, every inter-operator row buffer is spillable (exact
+/// append-order replay keeps floating-point results bit-identical),
+/// hash-join build sides fall back to Grace-style partition spilling,
+/// and aggregation admits groups against the budget, spilling rows of
+/// unadmitted groups for later passes. State that cannot spill (sort
+/// buffers, DISTINCT sets, broadcast tables, aggregate accumulator
+/// growth) reserves hard and fails the query with ResourceExhausted,
+/// leaving the Database healthy.
 class Executor {
  public:
   /// `obs` carries the (optional) tracer and metrics registry; the
   /// default is the disabled null-object fast path. `pool` is the
-  /// execution thread pool (null = sequential).
+  /// execution thread pool (null = sequential). `mem` is the per-query
+  /// memory context (null tracker = untracked, unlimited).
   explicit Executor(const Cluster& cluster, QueryMetrics* metrics,
-                    obs::ObsContext obs = {}, ThreadPool* pool = nullptr)
-      : cluster_(cluster), metrics_(metrics), obs_(obs), pool_(pool) {}
+                    obs::ObsContext obs = {}, ThreadPool* pool = nullptr,
+                    MemoryContext mem = {})
+      : cluster_(cluster),
+        metrics_(metrics),
+        obs_(obs),
+        pool_(pool),
+        mem_(std::move(mem)) {}
 
   Result<Dist> Execute(const LogicalOp& op);
 
@@ -84,6 +107,9 @@ class Executor {
   /// slot -> position map for an operator's output.
   static std::map<size_t, size_t> LayoutOf(const LogicalOp& op);
 
+  /// `n` empty spillable buffers wired to this query's MemoryContext.
+  SpillableDist NewDist(size_t n) const;
+
   /// Appends an OperatorMetrics entry for `op`, seeded with the
   /// optimizer's cardinality estimate, and records the node → entry
   /// association for EXPLAIN ANALYZE.
@@ -103,6 +129,7 @@ class Executor {
   QueryMetrics* metrics_;
   obs::ObsContext obs_;
   ThreadPool* pool_ = nullptr;
+  MemoryContext mem_;
   std::map<const LogicalOp*, std::vector<size_t>> node_metrics_;
 };
 

@@ -1,0 +1,109 @@
+#include "mem/spill_file.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace radb::mem {
+
+SpillFile::~SpillFile() { Close(); }
+
+SpillFile::SpillFile(SpillFile&& o) noexcept
+    : fd_(std::exchange(o.fd_, -1)),
+      bytes_written_(std::exchange(o.bytes_written_, 0)),
+      runs_(std::move(o.runs_)) {}
+
+SpillFile& SpillFile::operator=(SpillFile&& o) noexcept {
+  if (this != &o) {
+    Close();
+    fd_ = std::exchange(o.fd_, -1);
+    bytes_written_ = std::exchange(o.bytes_written_, 0);
+    runs_ = std::move(o.runs_);
+  }
+  return *this;
+}
+
+void SpillFile::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  bytes_written_ = 0;
+  runs_.clear();
+}
+
+Status SpillFile::Create(const std::string& dir) {
+  if (fd_ >= 0) return Status::OK();
+  std::string base = dir;
+  if (base.empty()) {
+    if (const char* tmp = std::getenv("TMPDIR"); tmp != nullptr && *tmp) {
+      base = tmp;
+    } else {
+      base = "/tmp";
+    }
+  }
+  std::string tmpl = base + "/radb-spill-XXXXXX";
+  const int fd = ::mkstemp(tmpl.data());
+  if (fd < 0) {
+    return Status::ExecutionError("cannot create spill file in " + base +
+                                  ": " + std::strerror(errno));
+  }
+  // Unlink immediately: the fd keeps the storage alive, the name never
+  // lingers even if the process is killed mid-query.
+  ::unlink(tmpl.c_str());
+  fd_ = fd;
+  return Status::OK();
+}
+
+Result<size_t> SpillFile::WriteRun(const char* data, size_t size) {
+  if (fd_ < 0) {
+    return Status::ExecutionError("spill file not open");
+  }
+  const size_t offset = bytes_written_;
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::pwrite(fd_, data + done, size - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::ExecutionError(std::string("spill write failed: ") +
+                                    std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  bytes_written_ += size;
+  runs_.push_back(RunExtent{offset, size});
+  return runs_.size() - 1;
+}
+
+Result<std::string> SpillFile::ReadRun(size_t index) const {
+  if (fd_ < 0) {
+    return Status::ExecutionError("spill file not open");
+  }
+  if (index >= runs_.size()) {
+    return Status::ExecutionError("spill run index out of range");
+  }
+  const RunExtent& ext = runs_[index];
+  std::string buf(ext.size, '\0');
+  size_t done = 0;
+  while (done < ext.size) {
+    const ssize_t n = ::pread(fd_, buf.data() + done, ext.size - done,
+                              static_cast<off_t>(ext.offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::ExecutionError(std::string("spill read failed: ") +
+                                    std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::ExecutionError("spill file truncated");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return buf;
+}
+
+}  // namespace radb::mem

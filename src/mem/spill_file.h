@@ -1,0 +1,63 @@
+#ifndef RADB_MEM_SPILL_FILE_H_
+#define RADB_MEM_SPILL_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace radb::mem {
+
+/// Append-only run storage backing spilled operator state. One file
+/// holds many runs; each run is an opaque byte blob the caller encoded
+/// (row codec, raw tile doubles, ...). The backing file is created
+/// with mkstemp and unlinked immediately, so it vanishes with the
+/// process no matter how the query ends; a SpillFile is therefore
+/// single-owner and never visible in the filesystem after Create
+/// returns.
+///
+/// Not thread-safe: each spilling buffer owns its own SpillFile, and
+/// the executor's per-worker loops never share one.
+class SpillFile {
+ public:
+  SpillFile() = default;
+  ~SpillFile();
+
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+  SpillFile(SpillFile&& o) noexcept;
+  SpillFile& operator=(SpillFile&& o) noexcept;
+
+  /// Creates the backing temp file under `dir` (empty = the system
+  /// temp directory, honoring $TMPDIR).
+  Status Create(const std::string& dir = "");
+
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Appends one run; returns its index for ReadRun.
+  Result<size_t> WriteRun(const char* data, size_t size);
+
+  /// Reads back run `index` in full.
+  Result<std::string> ReadRun(size_t index) const;
+
+  size_t num_runs() const { return runs_.size(); }
+  size_t bytes_written() const { return bytes_written_; }
+  size_t run_size(size_t index) const { return runs_[index].size; }
+
+ private:
+  struct RunExtent {
+    size_t offset;
+    size_t size;
+  };
+
+  void Close();
+
+  int fd_ = -1;
+  size_t bytes_written_ = 0;
+  std::vector<RunExtent> runs_;
+};
+
+}  // namespace radb::mem
+
+#endif  // RADB_MEM_SPILL_FILE_H_

@@ -211,6 +211,31 @@ Result<Value> ReadValue(std::istream& is) {
 
 }  // namespace
 
+void WriteValueBinary(std::ostream& os, const Value& v) {
+  WriteValue(os, v);
+}
+
+Result<Value> ReadValueBinary(std::istream& is) { return ReadValue(is); }
+
+void WriteRowBinary(std::ostream& os, const Row& row) {
+  WriteU64(os, row.size());
+  for (const Value& v : row) WriteValue(os, v);
+}
+
+Result<Row> ReadRowBinary(std::istream& is) {
+  RADB_ASSIGN_OR_RETURN(uint64_t arity, ReadU64(is));
+  if (arity > 65536) {
+    return Status::InvalidArgument("corrupt spill run (row arity)");
+  }
+  Row row;
+  row.reserve(arity);
+  for (uint64_t i = 0; i < arity; ++i) {
+    RADB_ASSIGN_OR_RETURN(Value v, ReadValue(is));
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
 Status WriteTableFile(const Table& table, const std::string& path) {
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   if (!os) {

@@ -1,6 +1,7 @@
 #ifndef RADB_STORAGE_SERIALIZE_H_
 #define RADB_STORAGE_SERIALIZE_H_
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 
@@ -8,6 +9,17 @@
 #include "storage/table.h"
 
 namespace radb {
+
+/// Value-level binary codec (the format table files and spill runs
+/// share): one tag byte then the payload; LA payloads as raw
+/// little-endian doubles. The bytes written for a value are exactly
+/// Value::ByteSize().
+void WriteValueBinary(std::ostream& os, const Value& v);
+Result<Value> ReadValueBinary(std::istream& is);
+
+/// Row codec: arity-prefixed sequence of values.
+void WriteRowBinary(std::ostream& os, const Row& row);
+Result<Row> ReadRowBinary(std::istream& is);
 
 /// Writes a table (schema + all rows) to `path` in the radb binary
 /// table format. The format is self-describing: a magic header, the

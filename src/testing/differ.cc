@@ -189,8 +189,37 @@ DiffOutcome Differ::RunOne(const std::string& sql) {
     if (!SameCells(ref_norm, Normalized(r->rows))) bad.push_back(i);
   }
 
+  // Memory-governance rerun: the same query once more on the first
+  // configuration, under a per-query budget tight enough to force the
+  // spill paths on fuzz-sized data. Spilling must not change a single
+  // cell; a clean ResourceExhausted (some unspillable state did not
+  // fit) is the one tolerated difference.
+  constexpr size_t kTightBudget = 64 << 10;  // 64 KB
+  std::string budget_report;
+  {
+    Result<ScriptResult> budgeted = dbs_[0]->Execute(
+        sql, QueryOptions{.memory_budget_bytes = kTightBudget});
+    if (budgeted.ok()) {
+      ResultSet rs;
+      if (budgeted->has_results()) rs = std::move(budgeted->result_sets.back());
+      if (!reference.ok()) {
+        budget_report = "budgeted run succeeded but reference failed: " +
+                        reference.status().ToString() + "\n";
+      } else if (!SameCells(ref_norm, Normalized(rs.rows))) {
+        budget_report =
+            "budgeted rerun (64 KB) produced different cells than the "
+            "reference — spilling changed the result\n";
+      }
+    } else if (budgeted.status().code() != StatusCode::kResourceExhausted &&
+               (reference.ok() ||
+                budgeted.status().code() != reference.status().code())) {
+      budget_report = "budgeted rerun failed with unexpected error: " +
+                      budgeted.status().ToString() + "\n";
+    }
+  }
+
   DiffOutcome out;
-  if (bad.empty()) return out;
+  if (bad.empty() && budget_report.empty()) return out;
   out.diverged = true;
   std::ostringstream os;
   os << "DIVERGENCE on:\n  " << sql << "\n";
@@ -200,6 +229,10 @@ DiffOutcome Differ::RunOne(const std::string& sql) {
        << (std::count(bad.begin(), bad.end(), i) ? " [DIVERGED]" : " [ok]")
        << ":\n"
        << OutcomeToString(results[i]);
+  }
+  if (!budget_report.empty()) {
+    os << "  " << configs_[0].name << " under 64 KB budget [DIVERGED]: "
+       << budget_report;
   }
   out.report = os.str();
   return out;

@@ -86,24 +86,30 @@ Result<int64_t> Value::AsInt() const {
 }
 
 size_t Value::ByteSize() const {
+  // Exactly the radb binary serialization size (1 tag byte + payload;
+  // LA payloads count element data plus their dimension/label header).
+  // Spill files, shuffle accounting, and the memory tracker all agree
+  // on this number; tests/mem_test.cc pins it against the serializer.
   switch (kind()) {
     case TypeKind::kNull:
       return 1;
     case TypeKind::kBoolean:
-      return 1;
+      return 2;
     case TypeKind::kInteger:
     case TypeKind::kDouble:
-      return 8;
+      return 1 + 8;
     case TypeKind::kString:
-      return string_value().size() + 8;
+      return 1 + 8 + string_value().size();
     case TypeKind::kLabeledScalar:
-      return 16;
+      return 1 + 8 + 8;
     case TypeKind::kVector:
-      return vector().ByteSize() + 8;
+      // tag + label + size + elements.
+      return 1 + 8 + 8 + vector().ByteSize();
     case TypeKind::kMatrix:
-      return matrix().ByteSize() + 16;
+      // tag + rows + cols + elements.
+      return 1 + 8 + 8 + matrix().ByteSize();
   }
-  return 8;
+  return 1 + 8;
 }
 
 Result<int> Value::Compare(const Value& other) const {

@@ -106,7 +106,10 @@ class Value {
   /// INTEGER or BOOLEAN as int64; DOUBLE only if integral.
   Result<int64_t> AsInt() const;
 
-  /// Approximate in-memory size; drives shuffle byte accounting.
+  /// Exact serialized payload size (the radb binary value format:
+  /// tag byte + payload, element data and dims for MATRIX/VECTOR).
+  /// Drives shuffle byte accounting and the memory tracker's charges,
+  /// and equals the bytes a spill file writes for this value.
   size_t ByteSize() const;
 
   /// Deep equality (vectors/matrices compared element-wise). SQL

@@ -23,6 +23,10 @@ struct RunOutcome {
   double wall_seconds = 0.0;
   double simulated_seconds = 0.0;  // per-stage max-over-workers sum
   size_t bytes_shuffled = 0;
+  /// Spill volume and tracked peak memory across all statements (SQL
+  /// runs only; zero for the comparator engines).
+  size_t spill_bytes = 0;
+  size_t peak_tracked_bytes = 0;
   /// Real execution threads the run used (Database::num_threads()).
   /// 1 for the non-SQL comparator engines, which stay sequential.
   size_t num_threads = 1;

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "la/matrix.h"
+#include "la/vector.h"
+#include "mem/memory_tracker.h"
+#include "storage/serialize.h"
+#include "storage/spill.h"
+#include "types/value.h"
+
+namespace radb {
+namespace {
+
+// ----------------------------------------------------------------------
+// Byte sizing: the tracker's accounting is only as good as
+// Value::ByteSize(), which must be EXACTLY the radb binary
+// serialization size — including MATRIX/VECTOR element payloads.
+// ----------------------------------------------------------------------
+
+size_t SerializedSize(const Value& v) {
+  std::ostringstream os(std::ios::binary);
+  WriteValueBinary(os, v);
+  return os.str().size();
+}
+
+TEST(ByteSizeTest, PinnedScalarSizes) {
+  EXPECT_EQ(Value::Null().ByteSize(), 1u);
+  EXPECT_EQ(Value::Bool(true).ByteSize(), 2u);
+  EXPECT_EQ(Value::Int(42).ByteSize(), 9u);
+  EXPECT_EQ(Value::Double(3.5).ByteSize(), 9u);
+  EXPECT_EQ(Value::String("").ByteSize(), 9u);
+  EXPECT_EQ(Value::String("hello").ByteSize(), 14u);
+  EXPECT_EQ(Value::Labeled(1.0, 7).ByteSize(), 17u);
+}
+
+TEST(ByteSizeTest, PinnedLaSizes) {
+  // tag + label + size + 8 bytes per element.
+  EXPECT_EQ(Value::FromVector(la::Vector(100)).ByteSize(), 17u + 800u);
+  // tag + rows + cols + 8 bytes per element — element data, not
+  // sizeof(Value).
+  EXPECT_EQ(Value::FromMatrix(la::Matrix(20, 30)).ByteSize(),
+            17u + 8u * 20 * 30);
+}
+
+TEST(ByteSizeTest, MatchesSerializer) {
+  const std::vector<Value> values = {
+      Value::Null(),
+      Value::Bool(false),
+      Value::Int(-1),
+      Value::Double(2.75),
+      Value::String("abcdefg"),
+      Value::Labeled(0.5, 3),
+      Value::FromVector(la::Vector(17)),
+      Value::FromMatrix(la::Matrix(5, 9)),
+  };
+  for (const Value& v : values) {
+    EXPECT_EQ(v.ByteSize(), SerializedSize(v)) << v.ToString();
+  }
+  Row row = {Value::Int(1), Value::FromVector(la::Vector(8))};
+  // Row charge excludes the arity prefix on purpose: it counts the
+  // payload the engine keeps in memory.
+  EXPECT_EQ(RowByteSize(row), row[0].ByteSize() + row[1].ByteSize());
+}
+
+TEST(ByteSizeTest, ParseByteSizeUnits) {
+  EXPECT_EQ(ParseByteSize("1024"), 1024u);
+  EXPECT_EQ(ParseByteSize("16MB"), size_t{16} << 20);
+  EXPECT_EQ(ParseByteSize("16MiB"), size_t{16} << 20);
+  EXPECT_EQ(ParseByteSize(" 64 kb "), size_t{64} << 10);
+  EXPECT_EQ(ParseByteSize("2g"), size_t{2} << 30);
+  EXPECT_EQ(ParseByteSize("1.5k"), 1536u);
+  EXPECT_EQ(ParseByteSize("garbage"), 0u);
+  EXPECT_EQ(ParseByteSize("12parsecs"), 0u);
+}
+
+// ----------------------------------------------------------------------
+// MemoryTracker: budget enforcement and hierarchical accounting.
+// ----------------------------------------------------------------------
+
+TEST(MemoryTrackerTest, UnlimitedIsPureBookkeeping) {
+  mem::MemoryTracker t("query", size_t{0});
+  EXPECT_FALSE(t.has_budget());
+  EXPECT_TRUE(t.TryReserve(size_t{1} << 40));
+  EXPECT_EQ(t.bytes_in_use(), size_t{1} << 40);
+  EXPECT_EQ(t.peak_bytes(), size_t{1} << 40);
+  t.Release(size_t{1} << 40);
+  EXPECT_EQ(t.bytes_in_use(), 0u);
+  EXPECT_EQ(t.peak_bytes(), size_t{1} << 40);  // peak survives
+}
+
+TEST(MemoryTrackerTest, BudgetEnforced) {
+  mem::MemoryTracker t("query", 1000);
+  EXPECT_TRUE(t.TryReserve(600));
+  EXPECT_EQ(t.remaining(), 400u);
+  EXPECT_FALSE(t.TryReserve(500));  // refused, nothing charged
+  EXPECT_EQ(t.bytes_in_use(), 600u);
+  Status s = t.Reserve(500);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  // ForceReserve overshoots without failing.
+  t.ForceReserve(500);
+  EXPECT_EQ(t.bytes_in_use(), 1100u);
+  EXPECT_EQ(t.remaining(), 0u);
+  t.Release(1100);
+  EXPECT_TRUE(t.TryReserve(1000));
+}
+
+TEST(MemoryTrackerTest, ChildChargesRootAndAutoReleases) {
+  mem::MemoryTracker root("query", 1000);
+  {
+    mem::MemoryTracker child("operator", &root);
+    EXPECT_TRUE(child.TryReserve(700));
+    EXPECT_EQ(child.bytes_in_use(), 700u);
+    EXPECT_EQ(root.bytes_in_use(), 700u);
+    EXPECT_EQ(child.budget(), 1000u);
+    // The root's budget gates the child's reservations.
+    EXPECT_FALSE(child.TryReserve(400));
+    // The child destructor releases whatever it still holds — an
+    // aborted operator cannot poison later queries.
+  }
+  EXPECT_EQ(root.bytes_in_use(), 0u);
+}
+
+TEST(MemoryTrackerTest, UnspillableClassIgnoresSpillableResidency) {
+  mem::MemoryTracker root("query", 1000);
+  // Spillable charges (buffers) nearly fill the total pool...
+  ASSERT_TRUE(root.TryReserve(900));
+  // ...but an operator-state child is gated only against other
+  // unspillable state, so its reservation is deterministic.
+  mem::MemoryTracker state("operator", &root);
+  EXPECT_TRUE(state.Reserve(700).ok());
+  EXPECT_EQ(root.unspillable_bytes(), 700u);
+  EXPECT_EQ(root.bytes_in_use(), 1600u);  // total is honest
+  // Spillable reservations now see a full total pool: spill signal.
+  EXPECT_FALSE(root.TryReserve(1));
+  // The unspillable pool still enforces the budget among state.
+  EXPECT_FALSE(state.TryReserve(400));
+  EXPECT_EQ(state.Reserve(400).code(), StatusCode::kResourceExhausted);
+  state.Release(700);
+  EXPECT_EQ(root.unspillable_bytes(), 0u);
+  EXPECT_EQ(root.bytes_in_use(), 900u);
+  root.Release(900);
+}
+
+TEST(MemoryTrackerTest, SpillCountersRollUp) {
+  mem::MemoryTracker root("query", 1000);
+  mem::MemoryTracker child("operator", &root);
+  child.RecordSpill(256, 2);
+  EXPECT_EQ(child.spill_bytes(), 256u);
+  EXPECT_EQ(child.spill_runs(), 2u);
+  EXPECT_EQ(root.spill_bytes(), 256u);
+  EXPECT_EQ(root.spill_runs(), 2u);
+}
+
+// ----------------------------------------------------------------------
+// SpillableRowBuffer: spill under pressure, replay in exact order.
+// ----------------------------------------------------------------------
+
+Row MakeRow(int64_t i) {
+  return {Value::Int(i), Value::String("row-" + std::to_string(i))};
+}
+
+TEST(SpillableRowBufferTest, NoContextDegeneratesToVector) {
+  SpillableRowBuffer buf;
+  for (int64_t i = 0; i < 10; ++i) ASSERT_TRUE(buf.Append(MakeRow(i)).ok());
+  EXPECT_FALSE(buf.has_spilled_rows());
+  EXPECT_EQ(buf.num_rows(), 10u);
+  auto rows = buf.Drain();
+  ASSERT_TRUE(rows.ok());
+  for (int64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ((*rows)[i][0].int_value(), i);
+  }
+}
+
+TEST(SpillableRowBufferTest, SpillsUnderPressureAndReplaysInOrder) {
+  mem::MemoryTracker tracker("query", 2048);  // a few rows' worth
+  MemoryContext ctx{&tracker, ""};
+  SpillableRowBuffer buf(ctx);
+  constexpr int64_t kRows = 200;
+  for (int64_t i = 0; i < kRows; ++i) {
+    ASSERT_TRUE(buf.Append(MakeRow(i)).ok());
+  }
+  EXPECT_TRUE(buf.has_spilled_rows());
+  EXPECT_GT(buf.spill_bytes(), 0u);
+  EXPECT_GT(buf.spill_runs(), 0u);
+  EXPECT_EQ(buf.num_rows(), static_cast<size_t>(kRows));
+  // The resident charge never exceeded the budget.
+  EXPECT_LE(tracker.peak_bytes(), 2048u + RowByteSize(MakeRow(0)));
+  // Replay: spilled runs first, then the tail — exactly append order.
+  SpillableRowBuffer::Reader reader(&buf);
+  for (int64_t i = 0; i < kRows; ++i) {
+    auto row = reader.Next();
+    ASSERT_TRUE(row.ok());
+    ASSERT_TRUE(row->has_value());
+    EXPECT_EQ((**row)[0].int_value(), i);
+    EXPECT_EQ((**row)[1].string_value(), "row-" + std::to_string(i));
+  }
+  auto end = reader.Next();
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(end->has_value());
+}
+
+TEST(SpillableRowBufferTest, SpillTotalsSurviveClear) {
+  mem::MemoryTracker tracker("query", 1024);
+  SpillableRowBuffer buf(MemoryContext{&tracker, ""});
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(buf.Append(MakeRow(i)).ok());
+  }
+  ASSERT_TRUE(buf.has_spilled_rows());
+  const size_t spilled = buf.spill_bytes();
+  const size_t runs = buf.spill_runs();
+  buf.Clear();
+  EXPECT_EQ(buf.num_rows(), 0u);
+  EXPECT_EQ(buf.spill_bytes(), spilled);  // cumulative, for operators
+  EXPECT_EQ(buf.spill_runs(), runs);
+  EXPECT_EQ(tracker.bytes_in_use(), 0u);
+}
+
+TEST(SpillableRowBufferTest, SpillToDiskFreesTheBudget) {
+  mem::MemoryTracker tracker("query", 1u << 20);
+  SpillableRowBuffer buf(MemoryContext{&tracker, ""});
+  for (int64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(buf.Append(MakeRow(i)).ok());
+  }
+  EXPECT_FALSE(buf.has_spilled_rows());  // fits comfortably
+  EXPECT_GT(tracker.bytes_in_use(), 0u);
+  ASSERT_TRUE(buf.SpillToDisk().ok());
+  EXPECT_TRUE(buf.has_spilled_rows());
+  EXPECT_EQ(tracker.bytes_in_use(), 0u);  // charge moved to disk
+  auto rows = buf.Drain();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 50u);
+  for (int64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ((*rows)[i][0].int_value(), i);
+  }
+}
+
+TEST(SpillableRowBufferTest, MoveTransfersCharges) {
+  mem::MemoryTracker tracker("query", 1u << 20);
+  SpillableRowBuffer a(MemoryContext{&tracker, ""});
+  for (int64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(a.Append(MakeRow(i)).ok());
+  }
+  const size_t in_use = tracker.bytes_in_use();
+  SpillableRowBuffer b(std::move(a));
+  // The move must not double-release: dropping the moved-from buffer
+  // leaves b's charge intact.
+  a.Clear();
+  EXPECT_EQ(tracker.bytes_in_use(), in_use);
+  b.Clear();
+  EXPECT_EQ(tracker.bytes_in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace radb
