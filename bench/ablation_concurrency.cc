@@ -1,0 +1,267 @@
+// Ablation: concurrent query service. A closed-loop multi-session
+// stress driver (standalone, like fuzz_queries — not a Google
+// benchmark): N sessions on one Database each run a mixed
+// Gram / linear-regression / short-scan workload back to back, and
+// EVERY result is cross-checked bit-for-bit against single-session
+// execution of the same query — the determinism contract must survive
+// admission, fair scheduling, and interleaved execution. Sweeps
+// N in {1, 2, 4, 8} and emits BENCH_concurrency.json with per-N
+// throughput plus queue-wait and end-to-end latency percentiles from
+// the service histograms.
+//
+// Usage:
+//   ablation_concurrency [--quick] [--per-session N]
+//
+// --quick shrinks the dataset and per-session query count (the ctest
+// `concurrency` smoke configuration).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/database.h"
+#include "common/rng.h"
+#include "la/random.h"
+#include "obs/json.h"
+#include "service/session.h"
+#include "storage/serialize.h"
+
+namespace {
+
+using namespace radb;
+using service::SessionManager;
+
+constexpr size_t kWorkers = 8;
+constexpr size_t kThreads = 8;
+constexpr uint64_t kSeed = 20170419;  // ICDE 2017
+
+struct Args {
+  size_t dims = 40;
+  size_t rows = 1500;
+  size_t per_session = 6;  // closed-loop queries per session
+  bool quick = false;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      args.quick = true;
+      args.dims = 16;
+      args.rows = 300;
+      args.per_session = 3;
+    } else if (std::strcmp(argv[i], "--per-session") == 0 && i + 1 < argc) {
+      args.per_session = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--per-session N]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  if (args.per_session == 0) args.per_session = 1;
+  return args;
+}
+
+/// The mixed workload: a heavy Gram aggregate, the paper's §3.2
+/// linear-regression solve, and a short scan — so the fair scheduler
+/// has to multiplex long LA work with latency-sensitive queries.
+std::vector<std::string> WorkloadQueries() {
+  return {
+      // Gram matrix (Figure 1 vector coding).
+      "SELECT SUM(outer_product(x.value, x.value)) FROM x_vm AS x",
+      // Linear regression (§3.2 code, verbatim shape).
+      "SELECT matrix_vector_multiply("
+      "  matrix_inverse(SUM(outer_product(x.x_i, x.x_i))), "
+      "  SUM(x.x_i * y.y_i)) "
+      "FROM (SELECT id AS i, value AS x_i FROM x_vm) AS x, y "
+      "WHERE x.i = y.i",
+      // Short scan: must not be starved behind the LA queries.
+      "SELECT COUNT(*), SUM(y.y_i) FROM y WHERE y.y_i > 0.0",
+  };
+}
+
+Status LoadDataset(Database* db, size_t n, size_t d) {
+  RADB_RETURN_NOT_OK(
+      db->Execute("CREATE TABLE x_vm (id INTEGER, value VECTOR[" +
+                  std::to_string(d) + "])")
+          .status());
+  RADB_RETURN_NOT_OK(
+      db->Execute("CREATE TABLE y (i INTEGER, y_i DOUBLE)").status());
+  Rng rng(kSeed);
+  std::vector<Row> xs, ys;
+  for (size_t i = 0; i < n; ++i) {
+    xs.push_back({Value::Int(static_cast<int64_t>(i)),
+                  Value::FromVector(la::RandomVector(rng, d))});
+    ys.push_back({Value::Int(static_cast<int64_t>(i)),
+                  Value::Double(rng.NextDouble() * 2.0 - 1.0)});
+  }
+  RADB_RETURN_NOT_OK(db->BulkInsert("x_vm", std::move(xs)));
+  return db->BulkInsert("y", std::move(ys));
+}
+
+std::string Fingerprint(const ResultSet& rs) {
+  std::ostringstream os(std::ios::binary);
+  for (const Row& row : rs.rows) WriteRowBinary(os, row);
+  return os.str();
+}
+
+Database::Config MakeConfig() {
+  Database::Config config;
+  config.num_workers = kWorkers;
+  config.num_threads = kThreads;
+  config.obs.enable_metrics = true;
+  return config;
+}
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct SweepEntry {
+  size_t sessions = 0;
+  size_t queries = 0;
+  size_t mismatches = 0;
+  size_t errors = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;           // end-to-end seconds
+  double queue_p50 = 0.0, queue_p95 = 0.0, queue_p99 = 0.0;
+  uint64_t admitted = 0, queued = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  const std::vector<std::string> queries = WorkloadQueries();
+
+  // Single-session reference fingerprints: the oracle every
+  // concurrent result must match bit for bit.
+  Database ref_db(MakeConfig());
+  if (Status s = LoadDataset(&ref_db, args.rows, args.dims); !s.ok()) {
+    std::fprintf(stderr, "reference load failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+  std::vector<std::string> want;
+  for (const auto& q : queries) {
+    auto rs = ref_db.Execute(q);
+    if (!rs.ok() || !rs->has_results()) {
+      std::fprintf(stderr, "reference query failed: %s\n",
+                   rs.ok() ? "no result set" : rs.status().ToString().c_str());
+      return 1;
+    }
+    want.push_back(Fingerprint(rs->last()));
+  }
+
+  std::vector<SweepEntry> entries;
+  size_t total_mismatches = 0;
+  size_t total_errors = 0;
+  for (size_t sessions : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    // Fresh Database per sweep point so the service histograms cover
+    // exactly this window (SessionManager resolves instrument pointers
+    // at construction, so clearing a live registry is not an option).
+    Database db(MakeConfig());
+    if (Status s = LoadDataset(&db, args.rows, args.dims); !s.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    SessionManager manager(&db);
+
+    SweepEntry entry;
+    entry.sessions = sessions;
+    entry.queries = sessions * args.per_session;
+    std::atomic<size_t> mismatches{0};
+    std::atomic<size_t> errors{0};
+    std::vector<std::thread> threads;
+    const double start = NowSeconds();
+    for (size_t s = 0; s < sessions; ++s) {
+      threads.emplace_back([&, s] {
+        auto session = manager.CreateSession();
+        // Closed loop: each session issues its next query as soon as
+        // the previous one returns; sessions start at staggered
+        // offsets so the mix stays mixed.
+        for (size_t i = 0; i < args.per_session; ++i) {
+          const size_t qi = (s + i) % queries.size();
+          auto got = session->Execute(queries[qi]);
+          if (!got.ok() || !got->has_results()) {
+            errors.fetch_add(1);
+          } else if (Fingerprint(got->last()) != want[qi]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    entry.wall_seconds = NowSeconds() - start;
+    entry.mismatches = mismatches.load();
+    entry.errors = errors.load();
+    entry.qps = entry.wall_seconds > 0.0
+                    ? static_cast<double>(entry.queries) / entry.wall_seconds
+                    : 0.0;
+    obs::MetricsRegistry* metrics = db.metrics_registry();
+    obs::Histogram* lat = metrics->histogram("service.query_seconds");
+    obs::Histogram* qw = metrics->histogram("service.queue_wait_seconds");
+    entry.p50 = lat->Percentile(0.5);
+    entry.p95 = lat->Percentile(0.95);
+    entry.p99 = lat->Percentile(0.99);
+    entry.queue_p50 = qw->Percentile(0.5);
+    entry.queue_p95 = qw->Percentile(0.95);
+    entry.queue_p99 = qw->Percentile(0.99);
+    entry.admitted = metrics->counter("service.queries_admitted")->value();
+    entry.queued = metrics->counter("service.queries_queued")->value();
+    total_mismatches += entry.mismatches;
+    total_errors += entry.errors;
+    entries.push_back(entry);
+    std::printf(
+        "sessions=%zu  queries=%zu  wall=%.3fs  qps=%.2f  "
+        "p50=%.4fs p95=%.4fs p99=%.4fs  queue_p95=%.4fs  "
+        "mismatches=%zu errors=%zu\n",
+        entry.sessions, entry.queries, entry.wall_seconds, entry.qps,
+        entry.p50, entry.p95, entry.p99, entry.queue_p95, entry.mismatches,
+        entry.errors);
+  }
+
+  std::ofstream os("BENCH_concurrency.json", std::ios::trunc);
+  os << "{\"figure\":\"concurrency\",\"workers\":" << kWorkers
+     << ",\"threads\":" << kThreads
+     << ",\"rows\":" << args.rows << ",\"dims\":" << args.dims
+     << ",\"per_session\":" << args.per_session << ",\"entries\":[\n";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const SweepEntry& e = entries[i];
+    os << "{\"label\":\"sessions=" << e.sessions << "\""
+       << ",\"sessions\":" << e.sessions << ",\"queries\":" << e.queries
+       << ",\"wall_seconds\":" << obs::JsonNumber(e.wall_seconds)
+       << ",\"qps\":" << obs::JsonNumber(e.qps)
+       << ",\"latency_p50\":" << obs::JsonNumber(e.p50)
+       << ",\"latency_p95\":" << obs::JsonNumber(e.p95)
+       << ",\"latency_p99\":" << obs::JsonNumber(e.p99)
+       << ",\"queue_wait_p50\":" << obs::JsonNumber(e.queue_p50)
+       << ",\"queue_wait_p95\":" << obs::JsonNumber(e.queue_p95)
+       << ",\"queue_wait_p99\":" << obs::JsonNumber(e.queue_p99)
+       << ",\"admitted\":" << e.admitted << ",\"queued\":" << e.queued
+       << ",\"mismatches\":" << e.mismatches << ",\"errors\":" << e.errors
+       << "}" << (i + 1 < entries.size() ? ",\n" : "\n");
+  }
+  os << "]}\n";
+
+  if (total_mismatches + total_errors > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %zu mismatched / %zu errored results vs the "
+                 "single-session oracle\n",
+                 total_mismatches, total_errors);
+    return 1;
+  }
+  std::printf("all concurrent results bit-identical to single-session "
+              "execution\n");
+  return 0;
+}

@@ -7,8 +7,13 @@
 //
 // Usage:
 //   fuzz_queries [--queries N] [--seed S] [--queries-per-catalog K]
+//                [--sessions M]
 //
 // Every run starts by replaying the pinned regression seeds.
+// With --sessions M > 1, a third phase replays generated query
+// batches across M concurrent service sessions on one Database and
+// requires every result to be bit-identical to serial execution of
+// the same query (the concurrency determinism contract).
 
 #include <cstdint>
 #include <cstdio>
@@ -18,6 +23,7 @@
 
 #include "obs/metrics_registry.h"
 #include "testing/catalog_gen.h"
+#include "testing/concurrent_differ.h"
 #include "testing/differ.h"
 #include "testing/query_gen.h"
 #include "testing/regression_seeds.h"
@@ -28,6 +34,7 @@ struct Args {
   uint64_t queries = 600;
   uint64_t seed = 1;
   uint64_t queries_per_catalog = 25;
+  uint64_t sessions = 1;  // > 1 enables the concurrent phase
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -45,10 +52,12 @@ Args ParseArgs(int argc, char** argv) {
       args.seed = std::strtoull(v, nullptr, 10);
     } else if (const char* v = want("--queries-per-catalog")) {
       args.queries_per_catalog = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = want("--sessions")) {
+      args.sessions = std::strtoull(v, nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--queries N] [--seed S] "
-                   "[--queries-per-catalog K]\n",
+                   "[--queries-per-catalog K] [--sessions M]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -146,6 +155,42 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(args.queries +
                                                    kNumRegressionSeeds),
                    static_cast<unsigned long long>(divergences));
+    }
+  }
+
+  // ---- Phase 3: concurrent sessions vs the serial oracle. ----
+  if (args.sessions > 1) {
+    // Reuse a slice of the generated stream: a few catalogs, each
+    // with a batch big enough to keep all sessions busy.
+    const uint64_t rounds = 3;
+    const uint64_t batch = args.sessions * 6;
+    for (uint64_t round = 0; round < rounds; ++round) {
+      const uint64_t catalog_seed =
+          args.seed * 7000003ULL + round;
+      const CatalogSpec catalog = GenerateCatalog(catalog_seed);
+      Rng rng(catalog_seed ^ 0x9e3779b97f4a7c15ULL);
+      std::vector<std::string> sqls;
+      for (uint64_t i = 0; i < batch; ++i) {
+        sqls.push_back(GenerateQuery(catalog, &rng).ToSql());
+      }
+      const ConcurrentDiffOutcome outcome =
+          RunConcurrentRound(catalog, sqls, args.sessions);
+      queries_run += outcome.queries_run;
+      metrics.counter("fuzz.concurrent_queries_run")
+          ->Add(outcome.queries_run);
+      if (outcome.diverged) {
+        ++divergences;
+        metrics.counter("fuzz.divergences")->Add(1);
+        std::fprintf(stderr, "%s\n", outcome.report.c_str());
+      }
+      std::fprintf(stderr,
+                   "  ... concurrent round %llu/%llu: %zu queries x %llu "
+                   "sessions, %s\n",
+                   static_cast<unsigned long long>(round + 1),
+                   static_cast<unsigned long long>(rounds),
+                   outcome.queries_run,
+                   static_cast<unsigned long long>(args.sessions),
+                   outcome.diverged ? "DIVERGED" : "ok");
     }
   }
 

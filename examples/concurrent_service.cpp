@@ -1,0 +1,123 @@
+// Concurrent query service: many sessions on one Database, with
+// admission control, a deadline that fires, and a mid-query cancel.
+// Build and run:
+//   cmake -B build && cmake --build build
+//   ./build/examples/concurrent_service
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "api/database.h"
+#include "common/rng.h"
+#include "la/random.h"
+#include "service/session.h"
+
+using radb::Database;
+using radb::QueryOptions;
+using radb::Value;
+
+int main() {
+  // One Database, shared by every session. Metrics are on so the
+  // service's admitted/queued/cancelled counters and latency
+  // histograms land in the same registry as the executor's.
+  Database::Config config;
+  config.num_workers = 8;
+  config.obs.enable_metrics = true;
+  Database db(config);
+
+  if (auto s = db.Execute("CREATE TABLE x_vm (id INTEGER, value VECTOR[40])");
+      !s.ok()) {
+    std::cerr << s.status() << "\n";
+    return 1;
+  }
+  radb::Rng rng(7);
+  std::vector<radb::Row> rows;
+  for (int64_t i = 0; i < 4000; ++i) {
+    rows.push_back({Value::Int(i), Value::FromVector(
+                                       radb::la::RandomVector(rng, 40))});
+  }
+  if (auto s = db.BulkInsert("x_vm", std::move(rows)); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+
+  // 1. A service: admission caps how many queries run at once and how
+  //    much memory their budgets may claim in total.
+  radb::service::ServiceConfig service_config;
+  service_config.admission.max_concurrent_queries = 4;
+  service_config.admission.global_memory_budget_bytes = 256u << 20;
+  radb::service::SessionManager manager(&db, service_config);
+
+  // 2. Concurrent sessions: three clients compute the same Gram
+  //    matrix while a fourth interleaves short scans. Results are
+  //    bit-identical to running each query alone.
+  const char* kGram =
+      "SELECT SUM(outer_product(x.value, x.value)) FROM x_vm AS x";
+  std::atomic<int> errors{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&] {
+      auto session = manager.CreateSession();
+      auto rs = session->Execute(kGram);
+      if (!rs.ok()) errors.fetch_add(1);
+    });
+  }
+  clients.emplace_back([&] {
+    auto session = manager.CreateSession();
+    for (int i = 0; i < 5; ++i) {
+      auto rs = session->Execute("SELECT COUNT(*) FROM x_vm");
+      if (!rs.ok()) errors.fetch_add(1);
+    }
+  });
+  for (auto& t : clients) t.join();
+  std::printf("concurrent phase: %d error(s) across 4 sessions\n",
+              errors.load());
+
+  // 3. Deadlines: the clock starts at submission and covers admission
+  //    queue wait. A 1 ms deadline on the heavy Gram query fires
+  //    mid-execution and the call returns DeadlineExceeded.
+  {
+    auto session = manager.CreateSession();
+    QueryOptions opts;
+    opts.deadline_ms = 1;
+    auto rs = session->Execute(kGram, opts);
+    std::printf("deadline_ms=1  -> %s\n",
+                rs.ok() ? "ok (machine too fast!)"
+                        : rs.status().ToString().c_str());
+  }
+
+  // 4. Cancellation: query sequence numbers are handed out before
+  //    execution starts, so another thread can cancel a running (or
+  //    even not-yet-started) query. The executor notices at row-batch
+  //    granularity and unwinds, releasing spill files and memory.
+  {
+    auto session = manager.CreateSession();
+    const uint64_t seq = session->next_query_seq();
+    std::thread canceller([&session, seq] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      session->Cancel(seq);
+    });
+    auto rs = session->Execute(kGram);
+    canceller.join();
+    std::printf("Cancel(seq=%llu) -> %s\n",
+                static_cast<unsigned long long>(seq),
+                rs.ok() ? "ok (finished before the cancel)"
+                        : rs.status().ToString().c_str());
+  }
+
+  // 5. The service counters tell the story.
+  auto* m = db.metrics_registry();
+  std::printf("admitted=%llu queued=%llu cancelled=%llu rejected=%llu\n",
+              static_cast<unsigned long long>(
+                  m->counter("service.queries_admitted")->value()),
+              static_cast<unsigned long long>(
+                  m->counter("service.queries_queued")->value()),
+              static_cast<unsigned long long>(
+                  m->counter("service.queries_cancelled")->value()),
+              static_cast<unsigned long long>(
+                  m->counter("service.queries_rejected")->value()));
+  return errors.load() == 0 ? 0 : 1;
+}

@@ -33,3 +33,10 @@ UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
 cmake --build "$BUILD_DIR" -j "$JOBS" \
   --target sql_la_test tiled_test sql_agg_test
 (cd "$BUILD_DIR" && ctest -L memory_budget --output-on-failure)
+
+# Concurrency pass: the service/cancellation suites and the
+# multi-session bench smoke under ASan+UBSan (scripts/stress.sh runs
+# the same label under TSan).
+cmake --build "$BUILD_DIR" -j "$JOBS" \
+  --target service_test cancel_test ablation_concurrency
+(cd "$BUILD_DIR" && ctest -L concurrency --output-on-failure)

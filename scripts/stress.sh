@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Concurrency stress campaign under ThreadSanitizer:
+# configures a dedicated build tree with -DRADB_SANITIZE=thread, runs
+# the concurrency-labeled ctest suites (service admission/sessions,
+# cancellation/deadlines, the multi-session spill regression, and the
+# ablation_concurrency smoke — every result cross-checked bit-for-bit
+# against single-session execution), then a multi-session
+# differential-fuzzer round: 4 concurrent service sessions replaying
+# generated query batches against the serial oracle. Exits non-zero on
+# any divergence, test failure, or TSan report.
+#
+# Usage: scripts/stress.sh [build-dir] [queries] [seed]
+#   defaults: build-tsan 120 1
+set -eu
+
+BUILD_DIR="${1:-build-tsan}"
+QUERIES="${2:-120}"
+SEED="${3:-1}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+cmake -S "$(dirname "$0")/.." -B "$BUILD_DIR" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DRADB_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j "$JOBS" \
+  --target service_test cancel_test ablation_concurrency fuzz_queries
+
+# halt_on_error so a race report fails the run instead of scrolling by.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+
+# Concurrency suites (ctest label shared with scripts/fuzz.sh).
+(cd "$BUILD_DIR" && ctest -L concurrency --output-on-failure)
+
+# Multi-session differential fuzzing: 4 concurrent sessions vs the
+# serial oracle, plus the usual single-threaded sweep for coverage.
+"$BUILD_DIR/bench/fuzz_queries" --queries "$QUERIES" --seed "$SEED" \
+  --sessions 4

@@ -162,8 +162,11 @@ Database::Database(const Config& config)
   // Install as the process-global pool so the LA kernels — free
   // functions with no path to a Database — parallelize over the same
   // threads (and stay sequential when invoked from inside an already
-  // parallel executor loop).
-  previous_global_pool_ = SetGlobalPool(pool_.get());
+  // parallel executor loop). The scoped install removes this entry
+  // from anywhere in the registration stack at destruction, so two
+  // live Databases can be torn down in any order without one
+  // resurrecting the other's freed pool.
+  InstallGlobalPool(pool_.get());
   if (config_.obs.enable_tracing || !config_.obs.trace_path.empty()) {
     tracer_ = std::make_unique<obs::Tracer>();
   }
@@ -171,19 +174,13 @@ Database::Database(const Config& config)
     metrics_registry_ = std::make_unique<obs::MetricsRegistry>();
     // Install as the process-global registry so call sites with no
     // path to a Database (LA kernels, storage I/O) report here too.
-    previous_global_metrics_ =
-        obs::SetGlobalMetrics(metrics_registry_.get());
+    obs::InstallGlobalMetrics(metrics_registry_.get());
   }
 }
 
 Database::~Database() {
-  // Uninstall our registry only if it is still the current global one
-  // (a later Database may have replaced it).
-  if (metrics_registry_ &&
-      obs::GlobalMetrics() == metrics_registry_.get()) {
-    obs::SetGlobalMetrics(previous_global_metrics_);
-  }
-  if (GlobalPool() == pool_.get()) SetGlobalPool(previous_global_pool_);
+  obs::UninstallGlobalMetrics(metrics_registry_.get());
+  UninstallGlobalPool(pool_.get());
 }
 
 Status Database::BulkInsert(const std::string& table, std::vector<Row> rows) {
@@ -199,7 +196,8 @@ obs::ObsContext Database::QueryObs(const QueryOptions& options) {
 }
 
 Result<ResultSet> Database::RunSelect(const parser::SelectStmt& stmt,
-                                      const QueryOptions& options) {
+                                      const QueryOptions& options,
+                                      QueryStats* stats) {
   const obs::ObsContext obs = QueryObs(options);
   Binder binder(catalog_);
   std::unique_ptr<BoundQuery> bound;
@@ -227,8 +225,14 @@ Result<ResultSet> Database::RunSelect(const parser::SelectStmt& stmt,
   const size_t budget = options.memory_budget_bytes != 0
                             ? options.memory_budget_bytes
                             : config_.memory_budget_bytes;
-  mem::MemoryTracker tracker("query", budget, obs.metrics);
-  MemoryContext mem{&tracker, config_.spill_dir};
+  const uint64_t query_id =
+      options.query_id != 0
+          ? options.query_id
+          : next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  mem::MemoryTracker tracker("query", budget, options.memory_parent,
+                             obs.metrics);
+  MemoryContext mem{&tracker, config_.spill_dir, query_id,
+                    options.cancellation.get()};
   std::unique_ptr<ThreadPool> tmp_pool;
   ThreadPool* pool = pool_.get();
   if (options.num_threads_override != 0 &&
@@ -237,20 +241,36 @@ Result<ResultSet> Database::RunSelect(const parser::SelectStmt& stmt,
     pool = tmp_pool.get();
   }
 
-  last_metrics_ = QueryMetrics{};
+  // Execution writes into a per-call QueryMetrics: concurrent
+  // sessions must never share mid-flight metrics state. The finished
+  // snapshot is copied to the legacy last_* accessors at the end.
+  QueryMetrics qm;
   const auto t0 = std::chrono::steady_clock::now();
   Dist dist;
   {
     obs::ScopedSpan exec_span(obs.tracer, "execute", "pipeline");
-    Executor executor(cluster_, &last_metrics_, obs, pool, mem);
+    Executor executor(cluster_, &qm, obs, pool, mem);
     auto result = executor.Execute(*plan);
-    last_spill_bytes_ = tracker.spill_bytes();
-    last_peak_bytes_ = tracker.peak_bytes();
+    const size_t spill = tracker.spill_bytes();
+    const size_t peak = tracker.peak_bytes();
+    if (stats != nullptr) {
+      stats->spill_bytes = spill;
+      stats->peak_memory_bytes = peak;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      last_spill_bytes_ = spill;
+      last_peak_bytes_ = peak;
+    }
     RADB_ASSIGN_OR_RETURN(dist, std::move(result));
   }
-  last_metrics_.wall_seconds =
+  qm.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    last_metrics_ = std::move(qm);
+  }
 
   ResultSet rs;
   rs.columns = plan->output;
@@ -282,10 +302,24 @@ Result<ScriptResult> Database::Execute(const std::string& sql) {
 
 Result<ScriptResult> Database::Execute(const std::string& sql,
                                        const QueryOptions& options) {
-  if (tracer_ != nullptr && options.trace) {
+  // Deadline handling: the deadline covers this whole call (all
+  // statements), so the token is armed once up front. A caller-
+  // supplied token with an already-armed deadline (a service session
+  // that started the clock at submission, before queue wait) is left
+  // alone.
+  QueryOptions opts = options;
+  if (opts.deadline_ms != 0) {
+    if (opts.cancellation == nullptr) {
+      opts.cancellation = std::make_shared<CancellationToken>();
+    }
+    if (!opts.cancellation->has_deadline()) {
+      opts.cancellation->ArmDeadlineMs(opts.deadline_ms);
+    }
+  }
+  if (tracer_ != nullptr && opts.trace) {
     tracer_->Clear();  // trace covers the last call
   }
-  const obs::ObsContext obs = QueryObs(options);
+  const obs::ObsContext obs = QueryObs(opts);
   obs::ScopedSpan query_span(obs.tracer, "query", "pipeline");
   query_span.AddArg("sql", sql);
   std::vector<parser::Statement> stmts;
@@ -296,21 +330,32 @@ Result<ScriptResult> Database::Execute(const std::string& sql,
   }
   ScriptResult script;
   for (parser::Statement& stmt : stmts) {
+    // Between statements is the cheapest cancellation point a script
+    // has: a fired token (or expired deadline) stops the script
+    // before the next statement starts.
+    if (opts.cancellation != nullptr) {
+      RADB_RETURN_NOT_OK(opts.cancellation->Check());
+    }
     const auto stmt_t0 = std::chrono::steady_clock::now();
-    last_spill_bytes_ = 0;
-    last_peak_bytes_ = 0;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      last_spill_bytes_ = 0;
+      last_peak_bytes_ = 0;
+    }
+    QueryStats stats;
     size_t stmt_rows = 0;
     switch (stmt.kind) {
       case parser::Statement::Kind::kSelect: {
-        RADB_ASSIGN_OR_RETURN(ResultSet rs, RunSelect(*stmt.select, options));
+        RADB_ASSIGN_OR_RETURN(ResultSet rs,
+                              RunSelect(*stmt.select, opts, &stats));
         stmt_rows = rs.num_rows();
         script.result_sets.push_back(std::move(rs));
         break;
       }
       case parser::Statement::Kind::kExplain: {
         if (stmt.explain_analyze) {
-          RADB_ASSIGN_OR_RETURN(ResultSet rs,
-                                ExplainAnalyzeSelect(*stmt.select, options));
+          RADB_ASSIGN_OR_RETURN(
+              ResultSet rs, ExplainAnalyzeSelect(*stmt.select, opts, &stats));
           stmt_rows = rs.num_rows();
           script.result_sets.push_back(std::move(rs));
           break;
@@ -345,7 +390,8 @@ Result<ScriptResult> Database::Execute(const std::string& sql,
         break;
       }
       case parser::Statement::Kind::kCreateTableAs: {
-        RADB_ASSIGN_OR_RETURN(ResultSet rs, RunSelect(*stmt.select, options));
+        RADB_ASSIGN_OR_RETURN(ResultSet rs,
+                              RunSelect(*stmt.select, opts, &stats));
         stmt_rows = rs.num_rows();
         Schema schema;
         for (const SlotInfo& s : rs.columns) {
@@ -395,13 +441,10 @@ Result<ScriptResult> Database::Execute(const std::string& sql,
         RADB_RETURN_NOT_OK(catalog_.DropView(stmt.relation_name));
         break;
     }
-    QueryStats stats;
     stats.rows = stmt_rows;
     stats.wall_seconds = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - stmt_t0)
                              .count();
-    stats.spill_bytes = last_spill_bytes_;
-    stats.peak_memory_bytes = last_peak_bytes_;
     script.statements.push_back(stats);
   }
   query_span.End();
@@ -456,7 +499,8 @@ void RenderAnalyzed(const LogicalOp& op, const Executor& executor,
 }  // namespace
 
 Result<ResultSet> Database::ExplainAnalyzeSelect(
-    const parser::SelectStmt& stmt, const QueryOptions& options) {
+    const parser::SelectStmt& stmt, const QueryOptions& options,
+    QueryStats* stats) {
   const obs::ObsContext obs = QueryObs(options);
   Binder binder(catalog_);
   std::unique_ptr<BoundQuery> bound;
@@ -474,8 +518,14 @@ Result<ResultSet> Database::ExplainAnalyzeSelect(
   const size_t budget = options.memory_budget_bytes != 0
                             ? options.memory_budget_bytes
                             : config_.memory_budget_bytes;
-  mem::MemoryTracker tracker("query", budget, obs.metrics);
-  MemoryContext mem{&tracker, config_.spill_dir};
+  const uint64_t query_id =
+      options.query_id != 0
+          ? options.query_id
+          : next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  mem::MemoryTracker tracker("query", budget, options.memory_parent,
+                             obs.metrics);
+  MemoryContext mem{&tracker, config_.spill_dir, query_id,
+                    options.cancellation.get()};
   std::unique_ptr<ThreadPool> tmp_pool;
   ThreadPool* pool = pool_.get();
   if (options.num_threads_override != 0 &&
@@ -484,33 +534,45 @@ Result<ResultSet> Database::ExplainAnalyzeSelect(
     pool = tmp_pool.get();
   }
 
-  last_metrics_ = QueryMetrics{};
+  QueryMetrics qm;
   const auto t0 = std::chrono::steady_clock::now();
   // The executor outlives Execute so its plan-node -> metrics map is
   // available for rendering.
-  Executor executor(cluster_, &last_metrics_, obs, pool, mem);
+  Executor executor(cluster_, &qm, obs, pool, mem);
+  size_t spill = 0, peak = 0;
   {
     obs::ScopedSpan exec_span(obs.tracer, "execute", "pipeline");
     auto result = executor.Execute(*plan);
-    last_spill_bytes_ = tracker.spill_bytes();
-    last_peak_bytes_ = tracker.peak_bytes();
+    spill = tracker.spill_bytes();
+    peak = tracker.peak_bytes();
+    if (stats != nullptr) {
+      stats->spill_bytes = spill;
+      stats->peak_memory_bytes = peak;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      last_spill_bytes_ = spill;
+      last_peak_bytes_ = peak;
+    }
     RADB_ASSIGN_OR_RETURN(Dist dist, std::move(result));
     (void)dist;
   }
-  last_metrics_.wall_seconds =
+  qm.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
   std::ostringstream os;
-  RenderAnalyzed(*plan, executor, last_metrics_, 0, os);
-  os << "wall time: " << last_metrics_.wall_seconds << " s"
-     << "; simulated parallel time: "
-     << last_metrics_.SimulatedParallelSeconds() << " s"
-     << "; total shuffled: "
-     << FormatBytes(double(last_metrics_.TotalBytesShuffled()));
-  if (last_spill_bytes_ > 0) {
-    os << "; total spilled: " << FormatBytes(double(last_spill_bytes_))
-       << " (peak memory " << FormatBytes(double(last_peak_bytes_)) << ")";
+  RenderAnalyzed(*plan, executor, qm, 0, os);
+  os << "wall time: " << qm.wall_seconds << " s"
+     << "; simulated parallel time: " << qm.SimulatedParallelSeconds() << " s"
+     << "; total shuffled: " << FormatBytes(double(qm.TotalBytesShuffled()));
+  if (spill > 0) {
+    os << "; total spilled: " << FormatBytes(double(spill))
+       << " (peak memory " << FormatBytes(double(peak)) << ")";
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    last_metrics_ = std::move(qm);
   }
   ResultSet rs;
   rs.columns.push_back(SlotInfo{0, "plan", DataType::String()});

@@ -1,13 +1,17 @@
 #ifndef RADB_API_DATABASE_H_
 #define RADB_API_DATABASE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "mem/memory_tracker.h"
 #include "dist/cluster.h"
 #include "dist/metrics.h"
 #include "obs/metrics_registry.h"
@@ -69,6 +73,25 @@ struct QueryOptions {
   /// When false, this call records no trace spans even when tracing
   /// is configured on.
   bool trace = true;
+  /// Wall-clock deadline for the whole call, in milliseconds from the
+  /// moment Execute starts (0 = none). The clock covers queue wait
+  /// when the call goes through a service::Session. On expiry the
+  /// statement fails with DeadlineExceeded; already-completed
+  /// statements of the script are discarded with it.
+  uint64_t deadline_ms = 0;
+  /// Cooperative cancellation handle. When set, executor row loops
+  /// and LA kernels poll it; Cancel() from any thread aborts the call
+  /// with Cancelled. Execute creates one internally when deadline_ms
+  /// is set without a token.
+  std::shared_ptr<CancellationToken> cancellation;
+  /// Query id used for spill-file attribution and thread-pool task
+  /// tagging. 0 = the Database assigns a fresh id per call.
+  uint64_t query_id = 0;
+  /// Service-level global memory root this call's per-query tracker
+  /// mirrors its charges into (null = standalone). Set by the
+  /// admission controller; the global budget itself is enforced at
+  /// admission, not per byte.
+  mem::MemoryTracker* memory_parent = nullptr;
 };
 
 /// Cheap per-statement execution summary, collected for every
@@ -206,7 +229,9 @@ class Database {
   Status LoadTable(const std::string& table, const std::string& path);
 
   /// Metrics of the most recent ExecuteSql call (per-operator times,
-  /// shuffle volume — the Figure 4 data).
+  /// shuffle volume — the Figure 4 data). Single-caller accessors:
+  /// with concurrent sessions, read per-call stats from ScriptResult
+  /// instead.
   const QueryMetrics& last_metrics() const { return last_metrics_; }
   /// Spill volume / tracked peak memory of the most recent statement
   /// (the ablation benchmark's measurement hooks).
@@ -226,12 +251,17 @@ class Database {
   }
 
  private:
+  /// `stats`, when non-null, receives this statement's spill/peak
+  /// totals — the race-free path for concurrent sessions, which must
+  /// not read them back from the shared last_* members.
   Result<ResultSet> RunSelect(const parser::SelectStmt& stmt,
-                              const QueryOptions& options);
+                              const QueryOptions& options,
+                              QueryStats* stats = nullptr);
   /// EXPLAIN ANALYZE: executes the SELECT, then renders the plan tree
   /// annotated with per-node actual metrics (including spill volume).
   Result<ResultSet> ExplainAnalyzeSelect(const parser::SelectStmt& stmt,
-                                         const QueryOptions& options);
+                                         const QueryOptions& options,
+                                         QueryStats* stats = nullptr);
   /// The ObsContext for one call, with QueryOptions toggles applied.
   obs::ObsContext QueryObs(const QueryOptions& options);
   /// Rewrites trace/metrics files if Config::obs names paths.
@@ -240,14 +270,20 @@ class Database {
   Config config_;
   Cluster cluster_;
   Catalog catalog_;
+  /// Guards the last-call snapshots below. Execution itself writes
+  /// into per-call QueryMetrics locals; only the final copy-back to
+  /// these legacy accessors takes the lock, so concurrent sessions
+  /// never race on mid-flight metrics.
+  mutable std::mutex stats_mu_;
   QueryMetrics last_metrics_;
   size_t last_spill_bytes_ = 0;
   size_t last_peak_bytes_ = 0;
+  /// Ids handed to calls that did not bring one (spill attribution,
+  /// pool task tags). Starts at 1; 0 means "unassigned".
+  std::atomic<uint64_t> next_query_id_{1};
   std::unique_ptr<ThreadPool> pool_;
-  ThreadPool* previous_global_pool_ = nullptr;
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<obs::MetricsRegistry> metrics_registry_;
-  obs::MetricsRegistry* previous_global_metrics_ = nullptr;
 };
 
 }  // namespace radb

@@ -24,6 +24,10 @@ const char* StatusCodeName(StatusCode code) {
       return "NumericError";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
     case StatusCode::kNotImplemented:
       return "NotImplemented";
     case StatusCode::kInternal:

@@ -20,6 +20,8 @@ enum class StatusCode {
   kDimensionMismatch, // runtime linear-algebra shape mismatch
   kNumericError,      // singular matrix, overflow, ...
   kResourceExhausted, // per-query memory budget exceeded (unspillable)
+  kCancelled,         // query cancelled via CancellationToken
+  kDeadlineExceeded,  // QueryOptions::deadline_ms elapsed
   kNotImplemented,
   kInternal,
 };
@@ -63,6 +65,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));

@@ -11,7 +11,20 @@ namespace {
 /// started under it run inline.
 thread_local bool tls_in_worker = false;
 
+/// Ambient task tag; inherited by regions started without an explicit
+/// tag and re-established on worker threads while they run a region's
+/// bodies, so nested GlobalPool() use stays attributed to the query.
+thread_local uint64_t tls_task_tag = 0;
+
 }  // namespace
+
+uint64_t CurrentTaskTag() { return tls_task_tag; }
+
+ScopedTaskTag::ScopedTaskTag(uint64_t tag) : previous_(tls_task_tag) {
+  tls_task_tag = tag;
+}
+
+ScopedTaskTag::~ScopedTaskTag() { tls_task_tag = previous_; }
 
 size_t ThreadPool::HardwareThreads() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -39,104 +52,137 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-// The claim cursor packs (generation low bits << 32 | next index) into
-// one atomic so a straggler that wakes after its region already
-// finished — and after a newer region reset the index — sees the
-// generation mismatch and claims nothing, instead of running a stale
-// body on the new region's indices.
-size_t ThreadPool::ClaimIndex(uint64_t generation, size_t n) {
-  const uint64_t tag = (generation & 0xffffffffULL) << 32;
-  uint64_t c = cursor_.load(std::memory_order_relaxed);
-  for (;;) {
-    if ((c & 0xffffffff00000000ULL) != tag) return kNoIndex;
-    const size_t i = static_cast<size_t>(c & 0xffffffffULL);
-    if (i >= n) return kNoIndex;
-    if (cursor_.compare_exchange_weak(c, c + 1, std::memory_order_relaxed)) {
-      return i;
+bool ThreadPool::HasClaimableLocked() const {
+  for (const Region* r : regions_) {
+    if (r->next < r->n) return true;
+  }
+  return false;
+}
+
+ThreadPool::Region* ThreadPool::PickRegionLocked() {
+  Region* best = nullptr;
+  uint64_t best_service = 0;
+  for (Region* r : regions_) {
+    if (r->next >= r->n) continue;
+    uint64_t service = 0;
+    for (const auto& [tag, tick] : tag_service_) {
+      if (tag == r->tag) {
+        service = tick;
+        break;
+      }
+    }
+    // Least-recently-served tag wins; within a tag, the oldest region
+    // (smallest id) so a query's own regions finish in FIFO order.
+    if (best == nullptr || service < best_service ||
+        (service == best_service && r->id < best->id)) {
+      best = r;
+      best_service = service;
     }
   }
+  return best;
+}
+
+void ThreadPool::TouchTagLocked(uint64_t tag) {
+  ++service_clock_;
+  for (auto& [t, tick] : tag_service_) {
+    if (t == tag) {
+      tick = service_clock_;
+      return;
+    }
+  }
+  tag_service_.emplace_back(tag, service_clock_);
 }
 
 void ThreadPool::WorkerLoop() {
-  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    const std::function<void(size_t)>* job = nullptr;
-    size_t n = 0;
-    uint64_t generation = 0;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
-      });
-      if (shutdown_) return;
-      seen_generation = generation_;
-      generation = generation_;
-      job = job_;
-      n = job_size_;
-    }
+    work_cv_.wait(lock, [&] { return shutdown_ || HasClaimableLocked(); });
+    if (shutdown_) return;
+    Region* r = PickRegionLocked();
+    if (r == nullptr) continue;
+    const size_t i = r->next++;
+    const uint64_t tag = r->tag;
+    const std::function<void(size_t)>* body = r->body;
+    TouchTagLocked(tag);
+    lock.unlock();
     tls_in_worker = true;
-    size_t ran = 0;
-    for (;;) {
-      const size_t i = ClaimIndex(generation, n);
-      if (i == kNoIndex) break;
-      (*job)(i);
-      ++ran;
-    }
+    tls_task_tag = tag;
+    (*body)(i);
+    tls_task_tag = 0;
     tls_in_worker = false;
-    if (ran > 0 &&
-        completed_.fetch_add(ran, std::memory_order_acq_rel) + ran == n) {
-      std::lock_guard<std::mutex> lock(mu_);
-      done_cv_.notify_all();
-    }
+    lock.lock();
+    // After this increment the submitting caller may retire the
+    // region, so `r` must not be dereferenced again once we notify.
+    if (++r->completed == r->n) done_cv_.notify_all();
   }
 }
 
-void ThreadPool::RunRegion(size_t n, const std::function<void(size_t)>& body) {
-  std::lock_guard<std::mutex> region_lock(region_mu_);
-  uint64_t generation = 0;
+void ThreadPool::RunRegion(size_t n, const std::function<void(size_t)>& body,
+                           uint64_t tag) {
+  Region region;
+  region.tag = tag;
+  region.n = n;
+  region.body = &body;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    job_ = &body;
-    job_size_ = n;
-    completed_.store(0, std::memory_order_relaxed);
-    generation = ++generation_;
-    cursor_.store((generation & 0xffffffffULL) << 32,
-                  std::memory_order_relaxed);
+    region.id = ++region_counter_;
+    regions_.push_back(&region);
   }
   work_cv_.notify_all();
-  // The driver claims indices alongside the workers.
+  // The submitting thread claims indices alongside the workers, but
+  // only from its own region: it never blocks on another query's
+  // bodies, so every region is guaranteed forward progress even when
+  // all pool workers are busy elsewhere.
   tls_in_worker = true;
-  size_t ran = 0;
-  for (;;) {
-    const size_t i = ClaimIndex(generation, n);
-    if (i == kNoIndex) break;
+  const uint64_t previous_tag = tls_task_tag;
+  tls_task_tag = tag;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (region.next < region.n) {
+    const size_t i = region.next++;
+    TouchTagLocked(tag);
+    lock.unlock();
     body(i);
-    ++ran;
+    lock.lock();
+    ++region.completed;
   }
+  done_cv_.wait(lock, [&] { return region.completed == region.n; });
+  regions_.erase(std::find(regions_.begin(), regions_.end(), &region));
+  // Drop the tag's service entry once its last live region retires so
+  // a long-lived service does not accumulate one slot per query ever
+  // run.
+  bool tag_live = false;
+  for (const Region* r : regions_) {
+    if (r->tag == tag) {
+      tag_live = true;
+      break;
+    }
+  }
+  if (!tag_live) {
+    for (auto it = tag_service_.begin(); it != tag_service_.end(); ++it) {
+      if (it->first == tag) {
+        tag_service_.erase(it);
+        break;
+      }
+    }
+  }
+  lock.unlock();
+  tls_task_tag = previous_tag;
   tls_in_worker = false;
-  completed_.fetch_add(ran, std::memory_order_acq_rel);
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] {
-      return completed_.load(std::memory_order_acquire) == n;
-    });
-    job_ = nullptr;
-    job_size_ = 0;
-  }
 }
 
-void ThreadPool::ParallelFor(size_t n,
-                             const std::function<void(size_t)>& body) {
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body,
+                             uint64_t tag) {
   if (n == 0) return;
   if (n == 1 || num_threads_ <= 1 || tls_in_worker) {
     for (size_t i = 0; i < n; ++i) body(i);
     return;
   }
-  RunRegion(n, body);
+  RunRegion(n, body, tag == 0 ? tls_task_tag : tag);
 }
 
-void ThreadPool::ParallelRanges(
-    size_t total, const std::function<void(size_t, size_t)>& body) {
+void ThreadPool::ParallelRanges(size_t total,
+                                const std::function<void(size_t, size_t)>& body,
+                                uint64_t tag) {
   if (total == 0) return;
   if (num_threads_ <= 1 || tls_in_worker) {
     body(0, total);
@@ -148,20 +194,48 @@ void ThreadPool::ParallelRanges(
   const size_t chunk =
       std::max<size_t>(1, (total + target_chunks - 1) / target_chunks);
   const size_t n_chunks = (total + chunk - 1) / chunk;
-  ParallelFor(n_chunks, [&](size_t c) {
-    const size_t begin = c * chunk;
-    body(begin, std::min(begin + chunk, total));
-  });
+  ParallelFor(
+      n_chunks,
+      [&](size_t c) {
+        const size_t begin = c * chunk;
+        body(begin, std::min(begin + chunk, total));
+      },
+      tag);
 }
 
 namespace {
 std::atomic<ThreadPool*> g_pool{nullptr};
+// Registration stack behind Install/UninstallGlobalPool; mirrors
+// obs::InstallGlobalMetrics. The atomic stays the lock-free read
+// path.
+std::mutex g_pool_stack_mu;
+std::vector<ThreadPool*> g_pool_stack;
 }  // namespace
 
 ThreadPool* GlobalPool() { return g_pool.load(std::memory_order_acquire); }
 
 ThreadPool* SetGlobalPool(ThreadPool* pool) {
   return g_pool.exchange(pool, std::memory_order_acq_rel);
+}
+
+void InstallGlobalPool(ThreadPool* pool) {
+  if (pool == nullptr) return;
+  std::lock_guard<std::mutex> lock(g_pool_stack_mu);
+  g_pool_stack.push_back(pool);
+  g_pool.store(pool, std::memory_order_release);
+}
+
+void UninstallGlobalPool(ThreadPool* pool) {
+  if (pool == nullptr) return;
+  std::lock_guard<std::mutex> lock(g_pool_stack_mu);
+  for (auto it = g_pool_stack.rbegin(); it != g_pool_stack.rend(); ++it) {
+    if (*it == pool) {
+      g_pool_stack.erase(std::next(it).base());
+      break;
+    }
+  }
+  g_pool.store(g_pool_stack.empty() ? nullptr : g_pool_stack.back(),
+               std::memory_order_release);
 }
 
 }  // namespace radb

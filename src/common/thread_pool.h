@@ -12,14 +12,43 @@
 
 namespace radb {
 
+/// Ambient per-thread task tag (usually a query id). Regions started
+/// without an explicit tag inherit it, so LA kernels reached through
+/// GlobalPool() are attributed to the query that called them without
+/// plumbing a tag through every signature.
+uint64_t CurrentTaskTag();
+
+/// RAII setter for the ambient task tag; restores the previous tag on
+/// destruction. The executor opens one at the top of each query.
+class ScopedTaskTag {
+ public:
+  explicit ScopedTaskTag(uint64_t tag);
+  ~ScopedTaskTag();
+  ScopedTaskTag(const ScopedTaskTag&) = delete;
+  ScopedTaskTag& operator=(const ScopedTaskTag&) = delete;
+
+ private:
+  uint64_t previous_;
+};
+
 /// Fixed-size thread pool driving fork/join `ParallelFor` regions.
 ///
 /// One pool is owned per Database (sized by Config::num_threads) and
 /// shared by the executor's per-worker partition loops and, through
 /// the GlobalPool() hook, by the dense LA kernels. There is no work
-/// stealing and no general task queue: a region hands every pool
-/// thread the same body, indices are claimed from one atomic cursor,
-/// and the caller blocks (and participates) until all n indices ran.
+/// stealing and no general task queue: a region hands every claimant
+/// the same body and indices are claimed one at a time under the pool
+/// lock (bodies are chunky — a partition, a tile product, a row band —
+/// so per-claim locking is noise).
+///
+/// Concurrency model: many regions may be live at once, one per
+/// submitting thread. Pool workers multiplex across live regions and
+/// pick, at every claim, a region whose *tag* has gone longest without
+/// service — per-query fair scheduling, so a heavy tiled multiply
+/// (many long regions under one tag) cannot starve a short scan that
+/// arrives under another tag. The submitting caller participates but
+/// claims only from its own region, which guarantees every region
+/// makes progress even when all workers are busy elsewhere.
 ///
 /// Sequential guarantees, relied on for determinism:
 ///  - a pool built with num_threads <= 1 spawns no threads and runs
@@ -43,10 +72,11 @@ class ThreadPool {
 
   /// Runs body(i) for every i in [0, n) and blocks until all are
   /// done. The calling thread participates. Concurrent ParallelFor
-  /// calls from different threads serialize on the region lock.
-  /// n must fit in 32 bits (indices share an atomic with the region
-  /// generation).
-  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+  /// calls from different threads proceed as concurrent regions and
+  /// share the workers fairly by tag. `tag` = 0 inherits the ambient
+  /// CurrentTaskTag().
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body,
+                   uint64_t tag = 0);
 
   /// Splits [0, total) into contiguous ranges (several per thread, so
   /// dynamic claiming balances uneven work) and runs body(begin, end)
@@ -54,7 +84,8 @@ class ThreadPool {
   /// output row is produced entirely by one range, so results are
   /// identical to the sequential loop.
   void ParallelRanges(size_t total,
-                      const std::function<void(size_t, size_t)>& body);
+                      const std::function<void(size_t, size_t)>& body,
+                      uint64_t tag = 0);
 
   /// True when the calling thread is one of this process's pool
   /// workers (any pool) — the signal that a region must run inline.
@@ -64,28 +95,42 @@ class ThreadPool {
   static size_t HardwareThreads();
 
  private:
-  static constexpr size_t kNoIndex = static_cast<size_t>(-1);
+  /// A live fork/join region. Stack-allocated by RunRegion; the entry
+  /// in regions_ is removed (under mu_) before RunRegion returns, and
+  /// workers never touch a Region pointer after bumping `completed`
+  /// past the claim they served.
+  struct Region {
+    uint64_t id = 0;
+    uint64_t tag = 0;
+    size_t n = 0;
+    const std::function<void(size_t)>* body = nullptr;
+    size_t next = 0;       // next unclaimed index
+    size_t completed = 0;  // bodies that have returned
+  };
 
   void WorkerLoop();
-  void RunRegion(size_t n, const std::function<void(size_t)>& body);
-  /// Claims the next index of region `generation`, or kNoIndex when
-  /// the region is exhausted or no longer current.
-  size_t ClaimIndex(uint64_t generation, size_t n);
+  void RunRegion(size_t n, const std::function<void(size_t)>& body,
+                 uint64_t tag);
+  /// Under mu_: true if any live region still has unclaimed indices.
+  bool HasClaimableLocked() const;
+  /// Under mu_: fair pick — least-recently-served tag, oldest region
+  /// breaking ties. Returns nullptr when nothing is claimable.
+  Region* PickRegionLocked();
+  /// Under mu_: records that `tag` was just served.
+  void TouchTagLocked(uint64_t tag);
 
   size_t num_threads_ = 1;
   std::vector<std::thread> workers_;
 
-  std::mutex region_mu_;  // serializes whole ParallelFor regions
-
-  std::mutex mu_;  // guards the per-region fields below
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  uint64_t generation_ = 0;
-  size_t job_size_ = 0;
-  const std::function<void(size_t)>* job_ = nullptr;
-  /// (generation low bits << 32) | next unclaimed index.
-  std::atomic<uint64_t> cursor_{0};
-  std::atomic<size_t> completed_{0};
+  std::mutex mu_;  // guards regions_, tag bookkeeping, shutdown_
+  std::condition_variable work_cv_;  // workers: a region gained work
+  std::condition_variable done_cv_;  // callers: some region completed
+  std::vector<Region*> regions_;
+  /// tag -> logical tick of its most recent index claim. Entries are
+  /// erased when the last live region with the tag retires.
+  std::vector<std::pair<uint64_t, uint64_t>> tag_service_;
+  uint64_t service_clock_ = 0;
+  uint64_t region_counter_ = 0;
   bool shutdown_ = false;
 };
 
@@ -95,8 +140,19 @@ class ThreadPool {
 /// its pool here for the duration of its lifetime.
 ThreadPool* GlobalPool();
 /// Installs (or, with nullptr, uninstalls) the global pool; returns
-/// the previous one.
+/// the previous one. Prefer the scoped Install/Uninstall pair below —
+/// raw save/restore breaks when two installers are destroyed out of
+/// LIFO order (the restorer can resurrect a freed pool).
 ThreadPool* SetGlobalPool(ThreadPool* pool);
+
+/// Scoped installation: pushes `pool` onto a registration stack and
+/// makes it current. UninstallGlobalPool removes `pool` from anywhere
+/// in the stack (not just the top), then the newest surviving entry
+/// becomes current again — so two Databases (or a Database plus a
+/// temporary per-query override pool) may come and go in any order
+/// without one resurrecting the other's freed pool. No-ops on nullptr.
+void InstallGlobalPool(ThreadPool* pool);
+void UninstallGlobalPool(ThreadPool* pool);
 
 }  // namespace radb
 

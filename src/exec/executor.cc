@@ -64,19 +64,36 @@ size_t GracePartition(size_t hash) {
   return (hash * 0x9e3779b97f4a7c15ULL) >> 60;  // top 4 bits: 0..15
 }
 
+/// Rows between cooperative cancellation checks in streaming loops.
+/// Small enough that a cancel lands within microseconds, large enough
+/// that the atomic load vanishes against per-row evaluation cost.
+constexpr size_t kCancelCheckRows = 256;
+
 /// Streams every row out of `buf` (exact append order) into `fn`,
 /// then clears the buffer. Rows that never spilled are moved out of
 /// the resident tail — the no-budget fast path has no serialization
-/// or copy cost.
+/// or copy cost. Polls the query's cancellation token (carried by the
+/// buffer's MemoryContext) every kCancelCheckRows rows.
 template <typename Fn>
 Status ConsumeRows(SpillableRowBuffer& buf, Fn&& fn) {
+  const CancellationToken* cancel = buf.context().cancel;
+  size_t since_check = 0;
+  const auto maybe_check = [&]() -> Status {
+    if (cancel != nullptr && ++since_check >= kCancelCheckRows) {
+      since_check = 0;
+      return cancel->Check();
+    }
+    return Status::OK();
+  };
   if (!buf.has_spilled_rows()) {
     for (Row& row : buf.resident_rows()) {
+      RADB_RETURN_NOT_OK(maybe_check());
       RADB_RETURN_NOT_OK(fn(std::move(row)));
     }
   } else {
     SpillableRowBuffer::Reader reader(&buf);
     while (true) {
+      RADB_RETURN_NOT_OK(maybe_check());
       RADB_ASSIGN_OR_RETURN(std::optional<Row> row, reader.Next());
       if (!row.has_value()) break;
       RADB_RETURN_NOT_OK(fn(std::move(*row)));
@@ -216,6 +233,11 @@ Status Executor::ForEachWorker(size_t n,
 }
 
 Result<Dist> Executor::Execute(const LogicalOp& op) {
+  // All pool regions started under this call — including nested LA
+  // kernels reached through GlobalPool() — carry the query id as
+  // their task tag, so the pool's fair scheduler can interleave this
+  // query with concurrently running ones.
+  ScopedTaskTag tag(mem_.query_id);
   RADB_ASSIGN_OR_RETURN(ExecResult out, ExecuteOp(op));
   PublishObservability();
   // The final result set is always materialized (it leaves the
@@ -229,6 +251,10 @@ Result<Dist> Executor::Execute(const LogicalOp& op) {
 }
 
 Result<ExecResult> Executor::ExecuteOp(const LogicalOp& op) {
+  // Operator-granular cancellation: a fired token stops the plan
+  // before the next operator starts; row loops inside operators poll
+  // at kCancelCheckRows granularity via ConsumeRows.
+  if (mem_.cancel != nullptr) RADB_RETURN_NOT_OK(mem_.cancel->Check());
   if (obs_.tracer == nullptr) return DispatchOp(op);
 
   // One span per plan node; children nest naturally because they
@@ -299,9 +325,14 @@ Result<ExecResult> Executor::ExecuteScan(const LogicalOp& op) {
   RADB_RETURN_NOT_OK(ForEachWorker(w, [&](size_t target) -> Status {
     const auto t0 = Clock::now();
     SpillableRowBuffer& dst = out[target];
+    size_t since_check = 0;
     for (size_t p = target; p < op.table->num_partitions(); p += w) {
       const RowSet& part = op.table->partition(p);
       for (const Row& row : part) {
+        if (mem_.cancel != nullptr && ++since_check >= kCancelCheckRows) {
+          since_check = 0;
+          RADB_RETURN_NOT_OK(mem_.cancel->Check());
+        }
         Row projected;
         projected.reserve(op.scan_columns.size());
         for (size_t col : op.scan_columns) projected.push_back(row[col]);
@@ -520,8 +551,16 @@ Result<ExecResult> Executor::ExecuteJoin(const LogicalOp& op) {
     // (read-only) broadcast copy.
     RADB_RETURN_NOT_OK(ForEachWorker(w, [&](size_t wkr) -> Status {
       const auto t0 = Clock::now();
+      // Cross joins poll the token per produced pair, not per probe
+      // row — one probe row fans out into |small| pairs, which would
+      // stretch the row-granular poll interval by that factor.
+      size_t since_check = 0;
       RADB_RETURN_NOT_OK(ConsumeRows(big[wkr], [&](Row b) -> Status {
         for (const Row& s : small) {
+          if (mem_.cancel != nullptr && ++since_check >= kCancelCheckRows) {
+            since_check = 0;
+            RADB_RETURN_NOT_OK(mem_.cancel->Check());
+          }
           RADB_RETURN_NOT_OK(broadcast_right ? emit(wkr, b, s)
                                              : emit(wkr, s, b));
         }

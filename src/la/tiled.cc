@@ -133,6 +133,16 @@ Result<std::vector<Tile>> TiledMultiply(const std::vector<Tile>& lhs,
     std::vector<Matrix> products(matches.size());
     std::vector<Status> statuses(matches.size(), Status::OK());
     const auto compute = [&](size_t i) {
+      // Tile-granular cancellation: a fired token skips the remaining
+      // products; the lowest-index status wins below, so the reported
+      // error does not depend on which thread noticed first.
+      if (options.cancel != nullptr) {
+        Status cancelled = options.cancel->Check();
+        if (!cancelled.ok()) {
+          statuses[i] = std::move(cancelled);
+          return;
+        }
+      }
       auto prod = Multiply(matches[i].first->mat, matches[i].second->mat);
       if (prod.ok()) {
         products[i] = std::move(*prod);
@@ -190,7 +200,11 @@ Result<std::vector<Tile>> TiledMultiply(const std::vector<Tile>& lhs,
     if (victim == nullptr) return false;
     if (file == nullptr) {
       file = std::make_unique<mem::SpillFile>();
-      RADB_RETURN_NOT_OK(file->Create(options.spill_dir));
+      const std::string tag =
+          options.query_id == 0
+              ? std::string()
+              : "q" + std::to_string(options.query_id) + "-tiles";
+      RADB_RETURN_NOT_OK(file->Create(options.spill_dir, tag));
     }
     const size_t n = victim->rows * victim->cols * sizeof(double);
     RADB_ASSIGN_OR_RETURN(
@@ -225,6 +239,7 @@ Result<std::vector<Tile>> TiledMultiply(const std::vector<Tile>& lhs,
   };
 
   for (const auto& [l, r] : matches) {
+    if (options.cancel != nullptr) RADB_RETURN_NOT_OK(options.cancel->Check());
     const size_t prod_bytes = l->mat.rows() * r->mat.cols() * sizeof(double);
     RADB_RETURN_NOT_OK(make_room(prod_bytes));
     RADB_ASSIGN_OR_RETURN(Matrix prod, Multiply(l->mat, r->mat));

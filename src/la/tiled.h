@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "la/matrix.h"
 #include "mem/memory_tracker.h"
@@ -38,6 +39,11 @@ Result<Matrix> AssembleTiles(const std::vector<Tile>& tiles);
 struct TiledOptions {
   mem::MemoryTracker* tracker = nullptr;
   std::string spill_dir;  // "" = system temp dir
+  /// Owning query's id; embedded in accumulator spill-file names.
+  uint64_t query_id = 0;
+  /// Checked once per tile-product match (tile granularity); a fired
+  /// token aborts the multiply with Cancelled/DeadlineExceeded.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Reference tiled multiply: joins tiles on lhs.tile_col ==

@@ -14,6 +14,13 @@ MemoryTracker::MemoryTracker(std::string label, size_t budget_bytes,
   }
 }
 
+MemoryTracker::MemoryTracker(std::string label, size_t budget_bytes,
+                             MemoryTracker* global_parent,
+                             obs::MetricsRegistry* metrics)
+    : MemoryTracker(std::move(label), budget_bytes, metrics) {
+  global_ = global_parent;
+}
+
 MemoryTracker::MemoryTracker(std::string label, MemoryTracker* parent,
                              bool unspillable)
     : label_(std::move(label)), unspillable_(unspillable), parent_(parent) {}
@@ -43,7 +50,17 @@ MemoryTracker::~MemoryTracker() {
     MemoryTracker* root = Root();
     ClampedSub(root->used_, held);
     if (unspillable_) ClampedSub(root->pinned_used_, held);
+    if (root->global_ != nullptr) {
+      ClampedSub(root->global_->used_, held);
+      root->global_->PublishGauge();
+    }
     root->PublishGauge();
+  } else if (parent_ == nullptr && global_ != nullptr && held > 0) {
+    // A retiring query root returns whatever it still holds to the
+    // service-level mirror, so an aborted (or cancelled) query cannot
+    // leak bytes out of the global accounting.
+    ClampedSub(global_->used_, held);
+    global_->PublishGauge();
   }
 }
 
@@ -119,6 +136,7 @@ bool MemoryTracker::TryReserve(size_t bytes) {
                            peak, now, std::memory_order_relaxed)) {
   }
   if (root != this) AddLocal(bytes);
+  if (root->global_ != nullptr) root->global_->ForceReserveTotal(bytes);
   root->PublishGauge();
   return true;
 }
@@ -142,6 +160,7 @@ void MemoryTracker::ForceReserveTotal(size_t bytes) {
                            peak, now, std::memory_order_relaxed)) {
   }
   if (root != this) AddLocal(bytes);
+  if (root->global_ != nullptr) root->global_->ForceReserveTotal(bytes);
   root->PublishGauge();
 }
 
@@ -159,6 +178,10 @@ void MemoryTracker::Release(size_t bytes) {
     root->pinned_used_.fetch_sub(bytes, std::memory_order_relaxed);
   }
   if (root != this) used_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (root->global_ != nullptr) {
+    ClampedSub(root->global_->used_, bytes);
+    root->global_->PublishGauge();
+  }
   root->PublishGauge();
 }
 

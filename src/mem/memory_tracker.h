@@ -51,6 +51,17 @@ class MemoryTracker {
   /// `mem.spill_runs` counters up to date.
   MemoryTracker(std::string label, size_t budget_bytes,
                 obs::MetricsRegistry* metrics = nullptr);
+  /// Query root under a service-level GLOBAL root. Budget gating is
+  /// identical to the plain root constructor (this tracker IS the
+  /// budget root for its children), but every total-pool charge and
+  /// release is mirrored, ungated, into `global_parent` so a service
+  /// can observe cluster-wide bytes in use. The global budget itself
+  /// is enforced at admission time (whole queries), never per byte —
+  /// a query that was admitted must not start failing because of
+  /// *other* queries' allocations, or results would depend on
+  /// scheduling.
+  MemoryTracker(std::string label, size_t budget_bytes,
+                MemoryTracker* global_parent, obs::MetricsRegistry* metrics);
   /// Child tracker: charges forward to `parent`'s root; local usage
   /// is tracked separately for per-operator reporting. Children
   /// default to the UNSPILLABLE class because every operator-state
@@ -105,6 +116,9 @@ class MemoryTracker {
 
   const std::string& label() const { return label_; }
   MemoryTracker* parent() { return parent_; }
+  /// The service-level global root this (query-root) tracker mirrors
+  /// its charges into, or null.
+  MemoryTracker* global_parent() { return global_; }
 
  private:
   MemoryTracker* Root();
@@ -118,6 +132,7 @@ class MemoryTracker {
   size_t budget_ = 0;  // root only
   bool unspillable_ = false;
   MemoryTracker* parent_ = nullptr;
+  MemoryTracker* global_ = nullptr;  // root only: service-level mirror
   obs::MetricsRegistry* metrics_ = nullptr;  // root only
   obs::Gauge* in_use_gauge_ = nullptr;
   obs::Counter* spill_bytes_counter_ = nullptr;

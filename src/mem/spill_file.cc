@@ -1,5 +1,6 @@
 #include "mem/spill_file.h"
 
+#include <atomic>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -14,6 +15,7 @@ SpillFile::~SpillFile() { Close(); }
 
 SpillFile::SpillFile(SpillFile&& o) noexcept
     : fd_(std::exchange(o.fd_, -1)),
+      path_(std::move(o.path_)),
       bytes_written_(std::exchange(o.bytes_written_, 0)),
       runs_(std::move(o.runs_)) {}
 
@@ -21,6 +23,7 @@ SpillFile& SpillFile::operator=(SpillFile&& o) noexcept {
   if (this != &o) {
     Close();
     fd_ = std::exchange(o.fd_, -1);
+    path_ = std::move(o.path_);
     bytes_written_ = std::exchange(o.bytes_written_, 0);
     runs_ = std::move(o.runs_);
   }
@@ -32,11 +35,18 @@ void SpillFile::Close() {
     ::close(fd_);
     fd_ = -1;
   }
+  path_.clear();
   bytes_written_ = 0;
   runs_.clear();
 }
 
-Status SpillFile::Create(const std::string& dir) {
+namespace {
+// Process-wide spill-file sequence number: concurrent queries sharing
+// one spill_dir each get a distinct name even with identical tags.
+std::atomic<uint64_t> g_spill_seq{0};
+}  // namespace
+
+Status SpillFile::Create(const std::string& dir, const std::string& tag) {
   if (fd_ >= 0) return Status::OK();
   std::string base = dir;
   if (base.empty()) {
@@ -46,7 +56,11 @@ Status SpillFile::Create(const std::string& dir) {
       base = "/tmp";
     }
   }
-  std::string tmpl = base + "/radb-spill-XXXXXX";
+  const uint64_t seq =
+      g_spill_seq.fetch_add(1, std::memory_order_relaxed);
+  std::string tmpl = base + "/radb-spill-";
+  if (!tag.empty()) tmpl += tag + "-";
+  tmpl += std::to_string(seq) + "-XXXXXX";
   const int fd = ::mkstemp(tmpl.data());
   if (fd < 0) {
     return Status::ExecutionError("cannot create spill file in " + base +
@@ -56,6 +70,7 @@ Status SpillFile::Create(const std::string& dir) {
   // lingers even if the process is killed mid-query.
   ::unlink(tmpl.c_str());
   fd_ = fd;
+  path_ = tmpl;
   return Status::OK();
 }
 

@@ -30,10 +30,18 @@ class SpillFile {
   SpillFile& operator=(SpillFile&& o) noexcept;
 
   /// Creates the backing temp file under `dir` (empty = the system
-  /// temp directory, honoring $TMPDIR).
-  Status Create(const std::string& dir = "");
+  /// temp directory, honoring $TMPDIR). `tag` (e.g. "q12" for query
+  /// 12) is embedded in the file name together with a process-wide
+  /// atomic sequence number, so concurrent queries sharing one
+  /// spill_dir produce distinguishable, collision-free names:
+  /// radb-spill-<tag>-<seq>-XXXXXX.
+  Status Create(const std::string& dir = "", const std::string& tag = "");
 
   bool is_open() const { return fd_ >= 0; }
+
+  /// The path mkstemp chose (already unlinked — the name is for
+  /// attribution/diagnostics, not for reopening).
+  const std::string& path() const { return path_; }
 
   /// Appends one run; returns its index for ReadRun.
   Result<size_t> WriteRun(const char* data, size_t size);
@@ -54,6 +62,7 @@ class SpillFile {
   void Close();
 
   int fd_ = -1;
+  std::string path_;
   size_t bytes_written_ = 0;
   std::vector<RunExtent> runs_;
 };

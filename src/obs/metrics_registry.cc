@@ -25,6 +25,30 @@ void Histogram::Observe(double v) {
   ++buckets_[b];
 }
 
+double Histogram::Percentile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  // Nearest-rank over the bucket cumulative counts, then linear
+  // interpolation between the bucket's bounds for a smoother value.
+  const double rank = q * static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const uint64_t before = cumulative;
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    const double lower = i == 0 ? 0.0 : std::exp2(static_cast<double>(i) - 1);
+    const double upper = std::exp2(static_cast<double>(i));
+    const double frac =
+        (rank - static_cast<double>(before)) / static_cast<double>(buckets_[i]);
+    const double v = lower + (upper - lower) * frac;
+    return std::min(max_, std::max(min_, v));
+  }
+  return max_;
+}
+
 std::vector<std::pair<double, uint64_t>> Histogram::NonEmptyBuckets() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::pair<double, uint64_t>> out;
@@ -81,7 +105,10 @@ std::string MetricsRegistry::ToJson() const {
        << "\"count\": " << h->count() << ", \"sum\": " << JsonNumber(h->sum())
        << ", \"min\": " << JsonNumber(h->min())
        << ", \"max\": " << JsonNumber(h->max())
-       << ", \"mean\": " << JsonNumber(h->mean()) << ", \"buckets\": [";
+       << ", \"mean\": " << JsonNumber(h->mean())
+       << ", \"p50\": " << JsonNumber(h->Percentile(0.50))
+       << ", \"p95\": " << JsonNumber(h->Percentile(0.95))
+       << ", \"p99\": " << JsonNumber(h->Percentile(0.99)) << ", \"buckets\": [";
     const auto buckets = h->NonEmptyBuckets();
     for (size_t i = 0; i < buckets.size(); ++i) {
       os << (i == 0 ? "" : ", ") << "{\"le\": " << JsonNumber(buckets[i].first)
@@ -103,6 +130,12 @@ void MetricsRegistry::Clear() {
 
 namespace {
 std::atomic<MetricsRegistry*> g_metrics{nullptr};
+// Registration stack behind Install/UninstallGlobalMetrics. The
+// atomic above stays the lock-free read path; the stack (under its
+// own mutex) only exists so uninstalls can remove an entry from the
+// middle without resurrecting an already-destroyed registry.
+std::mutex g_metrics_stack_mu;
+std::vector<MetricsRegistry*> g_metrics_stack;
 }  // namespace
 
 MetricsRegistry* GlobalMetrics() {
@@ -111,6 +144,27 @@ MetricsRegistry* GlobalMetrics() {
 
 MetricsRegistry* SetGlobalMetrics(MetricsRegistry* m) {
   return g_metrics.exchange(m, std::memory_order_acq_rel);
+}
+
+void InstallGlobalMetrics(MetricsRegistry* m) {
+  if (m == nullptr) return;
+  std::lock_guard<std::mutex> lock(g_metrics_stack_mu);
+  g_metrics_stack.push_back(m);
+  g_metrics.store(m, std::memory_order_release);
+}
+
+void UninstallGlobalMetrics(MetricsRegistry* m) {
+  if (m == nullptr) return;
+  std::lock_guard<std::mutex> lock(g_metrics_stack_mu);
+  for (auto it = g_metrics_stack.rbegin(); it != g_metrics_stack.rend();
+       ++it) {
+    if (*it == m) {
+      g_metrics_stack.erase(std::next(it).base());
+      break;
+    }
+  }
+  g_metrics.store(g_metrics_stack.empty() ? nullptr : g_metrics_stack.back(),
+                  std::memory_order_release);
 }
 
 }  // namespace radb::obs

@@ -65,6 +65,11 @@ class Histogram {
     std::lock_guard<std::mutex> lock(mu_);
     return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
   }
+  /// Approximate quantile (q in [0,1]): nearest-rank bucket walk with
+  /// linear interpolation inside the winning power-of-two bucket,
+  /// clamped to the observed min/max so small samples stay exact at
+  /// the extremes.
+  double Percentile(double q) const;
   /// Non-empty buckets as (upper_bound, count) pairs.
   std::vector<std::pair<double, uint64_t>> NonEmptyBuckets() const;
 
@@ -115,8 +120,19 @@ class MetricsRegistry {
 /// installs its registry here for the duration of its lifetime.
 MetricsRegistry* GlobalMetrics();
 /// Installs (or, with nullptr, uninstalls) the global registry;
-/// returns the previous one.
+/// returns the previous one. Prefer the scoped Install/Uninstall pair
+/// below — raw save/restore breaks when two installers are destroyed
+/// out of LIFO order (the restorer can resurrect a freed registry).
 MetricsRegistry* SetGlobalMetrics(MetricsRegistry* m);
+
+/// Scoped installation: pushes `m` onto a registration stack and makes
+/// it current. UninstallGlobalMetrics removes `m` from *anywhere* in
+/// the stack (not just the top), then the newest surviving entry
+/// becomes current again — so two Databases may be constructed and
+/// destroyed in any order without one resurrecting the other's freed
+/// registry. No-ops on nullptr.
+void InstallGlobalMetrics(MetricsRegistry* m);
+void UninstallGlobalMetrics(MetricsRegistry* m);
 
 }  // namespace radb::obs
 

@@ -1,0 +1,203 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace radb::service {
+
+namespace {
+// steady_clock nanoseconds — the same clock CancellationToken's
+// deadline_ns() uses, so the two are directly comparable.
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionConfig config,
+                                         obs::MetricsRegistry* metrics)
+    : config_(config),
+      metrics_(metrics),
+      global_tracker_("service-global", config.global_memory_budget_bytes,
+                      metrics) {
+  if (metrics_ != nullptr) {
+    admitted_counter_ = metrics_->counter("service.queries_admitted");
+    queued_counter_ = metrics_->counter("service.queries_queued");
+    rejected_counter_ = metrics_->counter("service.queries_rejected");
+    running_gauge_ = metrics_->gauge("service.admitted_running");
+    claimed_gauge_ = metrics_->gauge("service.claimed_bytes");
+  }
+}
+
+void AdmissionController::PublishGauges() {
+  if (running_gauge_ != nullptr) {
+    running_gauge_->Set(static_cast<double>(running_));
+  }
+  if (claimed_gauge_ != nullptr) {
+    claimed_gauge_->Set(static_cast<double>(claimed_bytes_));
+  }
+}
+
+size_t AdmissionController::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+size_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+size_t AdmissionController::claimed_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return claimed_bytes_;
+}
+
+Result<AdmissionController::Slot> AdmissionController::Admit(
+    size_t claim_bytes, const CancellationToken* cancel,
+    double* queue_wait_seconds) {
+  if (queue_wait_seconds != nullptr) {
+    *queue_wait_seconds = 0.0;
+  }
+  size_t claim = claim_bytes == 0 ? config_.default_query_claim_bytes
+                                  : claim_bytes;
+  // A query larger than the whole budget must still be admittable
+  // (alone); otherwise it would queue forever.
+  if (config_.global_memory_budget_bytes > 0) {
+    claim = std::min(claim, config_.global_memory_budget_bytes);
+  }
+
+  auto admissible = [&]() {
+    if (running_ >= config_.max_concurrent_queries) return false;
+    if (config_.global_memory_budget_bytes > 0 &&
+        claimed_bytes_ + claim > config_.global_memory_budget_bytes) {
+      return false;
+    }
+    return true;
+  };
+
+  // A token that already fired (pre-cancel, or a deadline spent
+  // entirely upstream) never takes a slot. Token-fired exits are NOT
+  // "rejected" — that counter is for admission refusals (queue full /
+  // timeout); the session layer counts cancellations.
+  if (cancel != nullptr) {
+    RADB_RETURN_NOT_OK(cancel->Check());
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (queue_.empty() && admissible()) {
+    running_ += 1;
+    claimed_bytes_ += claim;
+    PublishGauges();
+    if (admitted_counter_ != nullptr) admitted_counter_->Add(1);
+    return Slot(this, claim);
+  }
+
+  // Must wait. Reject immediately when the queue is full — blocking
+  // here would just move the pile-up upstream.
+  if (queue_.size() >= config_.max_queue_length) {
+    if (rejected_counter_ != nullptr) rejected_counter_->Add(1);
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(queue_.size()) +
+        " waiting, max " + std::to_string(config_.max_queue_length) + ")");
+  }
+
+  const uint64_t ticket = next_ticket_++;
+  queue_.push_back(ticket);
+  if (queued_counter_ != nullptr) queued_counter_->Add(1);
+  const int64_t wait_start_ns = NowNs();
+
+  // The waiter's hard exit time: queue timeout and/or token deadline,
+  // whichever comes first (0 = unbounded).
+  int64_t exit_ns = 0;
+  if (config_.queue_timeout_ms > 0) {
+    exit_ns = wait_start_ns +
+              static_cast<int64_t>(config_.queue_timeout_ms) * 1000000;
+  }
+  if (cancel != nullptr && cancel->has_deadline()) {
+    const int64_t dl = cancel->deadline_ns();
+    exit_ns = exit_ns == 0 ? dl : std::min(exit_ns, dl);
+  }
+
+  auto leave_queue = [&]() {
+    auto it = std::find(queue_.begin(), queue_.end(), ticket);
+    if (it != queue_.end()) queue_.erase(it);
+    // Our departure may unblock the new front ticket.
+    cv_.notify_all();
+  };
+  auto record_wait = [&]() {
+    if (queue_wait_seconds != nullptr) {
+      *queue_wait_seconds =
+          static_cast<double>(NowNs() - wait_start_ns) * 1e-9;
+    }
+  };
+
+  while (true) {
+    const bool at_front = !queue_.empty() && queue_.front() == ticket;
+    if (at_front && admissible()) {
+      queue_.pop_front();
+      running_ += 1;
+      claimed_bytes_ += claim;
+      PublishGauges();
+      if (admitted_counter_ != nullptr) admitted_counter_->Add(1);
+      record_wait();
+      // There may be capacity for the next waiter too (e.g. two slots
+      // freed at once).
+      cv_.notify_all();
+      return Slot(this, claim);
+    }
+    if (cancel != nullptr) {
+      Status s = cancel->Check();
+      if (!s.ok()) {
+        // Not "rejected": the query's own token fired (the session
+        // layer counts these under service.queries_cancelled).
+        leave_queue();
+        record_wait();
+        return s;
+      }
+    }
+    const int64_t now = NowNs();
+    if (exit_ns != 0 && now >= exit_ns) {
+      leave_queue();
+      record_wait();
+      if (rejected_counter_ != nullptr) rejected_counter_->Add(1);
+      return Status::ResourceExhausted(
+          "timed out in admission queue after " +
+          std::to_string((now - wait_start_ns) / 1000000) + " ms (" +
+          std::to_string(running_) + " running, " +
+          std::to_string(queue_.size()) + " queued)");
+    }
+    if (exit_ns != 0) {
+      // Wake at the exit time; also re-check the token periodically so
+      // a Cancel() without a deadline is noticed promptly even though
+      // Cancel does not know our cv. 50ms poll keeps cancellation
+      // latency low without busy-waiting.
+      int64_t wake_ns = std::min<int64_t>(exit_ns, now + 50000000);
+      cv_.wait_for(lock, std::chrono::nanoseconds(wake_ns - now));
+    } else if (cancel != nullptr) {
+      cv_.wait_for(lock, std::chrono::milliseconds(50));
+    } else {
+      cv_.wait(lock);
+    }
+  }
+}
+
+void AdmissionController::ReleaseClaim(size_t claim_bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ -= 1;
+    claimed_bytes_ -= std::min(claimed_bytes_, claim_bytes);
+    PublishGauges();
+  }
+  cv_.notify_all();
+}
+
+void AdmissionController::Slot::Release() {
+  if (controller_ != nullptr) {
+    controller_->ReleaseClaim(claim_bytes_);
+    controller_ = nullptr;
+  }
+}
+
+}  // namespace radb::service

@@ -1,0 +1,147 @@
+#ifndef RADB_SERVICE_ADMISSION_H_
+#define RADB_SERVICE_ADMISSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "common/cancellation.h"
+#include "common/result.h"
+#include "mem/memory_tracker.h"
+#include "obs/metrics_registry.h"
+
+namespace radb::service {
+
+/// Knobs for AdmissionController. Defaults are sized for a test/bench
+/// process, not a production server.
+struct AdmissionConfig {
+  /// Queries allowed to execute at once; further arrivals queue.
+  size_t max_concurrent_queries = 8;
+  /// Global memory budget the sum of admitted queries' claims must
+  /// stay under (0 = unlimited). A claim larger than the whole budget
+  /// is clamped to it, so an oversized query can still run alone
+  /// rather than being unadmittable forever.
+  size_t global_memory_budget_bytes = 0;
+  /// Memory claim for a query that brings no per-query budget of its
+  /// own (an unbudgeted query's usage is unbounded in principle; this
+  /// is the planning number admission charges for it).
+  size_t default_query_claim_bytes = 64ull << 20;
+  /// Waiters allowed in the FIFO queue; arrivals beyond this are
+  /// rejected immediately with ResourceExhausted.
+  size_t max_queue_length = 64;
+  /// How long a waiter may sit in the queue before it is rejected
+  /// with ResourceExhausted (0 = wait forever).
+  uint64_t queue_timeout_ms = 30000;
+};
+
+/// Gates query starts against a global memory budget and a
+/// max-concurrent-queries knob, with a bounded FIFO wait queue.
+///
+/// Admission is claim-based: each query charges a fixed claim (its
+/// per-query budget, or default_query_claim_bytes) for its whole
+/// lifetime, and the sum of admitted claims stays under the global
+/// budget. Actual usage is NOT gated here — an admitted query must
+/// never start failing because of other queries' allocations, or
+/// results would depend on scheduling. The `global_tracker()` root
+/// mirrors admitted queries' real usage for observability (and is
+/// what the leak checks in the tests read).
+///
+/// Waiters are strictly FIFO: a small claim never overtakes a large
+/// one (no starvation of big queries). A waiter leaves the queue by
+/// admission, by timeout (ResourceExhausted), or by its cancellation
+/// token firing (Cancelled / DeadlineExceeded — so a deadline can
+/// expire while still queued).
+///
+/// Thread-safe; one instance is shared by all sessions of a
+/// SessionManager.
+class AdmissionController {
+ public:
+  /// `metrics` may be null. When set, maintains:
+  ///   service.queries_admitted / queued / rejected (counters)
+  ///   service.admitted_running / service.claimed_bytes (gauges)
+  /// (the queue-wait and end-to-end latency histograms live in
+  /// SessionManager, which sees both ends of a query).
+  AdmissionController(AdmissionConfig config,
+                      obs::MetricsRegistry* metrics = nullptr);
+  ~AdmissionController() = default;
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// RAII admission slot: releases its claim (and wakes the queue) on
+  /// destruction. Movable so Admit can return it by value.
+  class Slot {
+   public:
+    Slot() = default;
+    Slot(AdmissionController* controller, size_t claim_bytes)
+        : controller_(controller), claim_bytes_(claim_bytes) {}
+    ~Slot() { Release(); }
+    Slot(Slot&& o) noexcept
+        : controller_(o.controller_), claim_bytes_(o.claim_bytes_) {
+      o.controller_ = nullptr;
+    }
+    Slot& operator=(Slot&& o) noexcept {
+      if (this != &o) {
+        Release();
+        controller_ = o.controller_;
+        claim_bytes_ = o.claim_bytes_;
+        o.controller_ = nullptr;
+      }
+      return *this;
+    }
+    bool admitted() const { return controller_ != nullptr; }
+    size_t claim_bytes() const { return claim_bytes_; }
+    void Release();
+
+   private:
+    AdmissionController* controller_ = nullptr;
+    size_t claim_bytes_ = 0;
+  };
+
+  /// Blocks until the query may start (FIFO), then returns its slot.
+  /// `claim_bytes` = 0 charges default_query_claim_bytes. `cancel`
+  /// may be null; when set, a fired token aborts the wait with its
+  /// status. Queue-full and timeout reject with ResourceExhausted.
+  /// `queue_wait_seconds`, when non-null, receives the time spent
+  /// waiting (0.0 for immediate admission).
+  Result<Slot> Admit(size_t claim_bytes, const CancellationToken* cancel,
+                     double* queue_wait_seconds = nullptr);
+
+  /// Service-level memory root: admitted queries mirror their real
+  /// usage here via QueryOptions::memory_parent.
+  mem::MemoryTracker* global_tracker() { return &global_tracker_; }
+
+  const AdmissionConfig& config() const { return config_; }
+
+  size_t running() const;
+  size_t queued() const;
+  size_t claimed_bytes() const;
+
+ private:
+  friend class Slot;
+  void ReleaseClaim(size_t claim_bytes);
+  void PublishGauges();  // callers hold mu_
+
+  const AdmissionConfig config_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* admitted_counter_ = nullptr;
+  obs::Counter* queued_counter_ = nullptr;
+  obs::Counter* rejected_counter_ = nullptr;
+  obs::Gauge* running_gauge_ = nullptr;
+  obs::Gauge* claimed_gauge_ = nullptr;
+  mem::MemoryTracker global_tracker_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t running_ = 0;
+  size_t claimed_bytes_ = 0;
+  /// FIFO of waiting tickets; only the front ticket may be admitted.
+  std::deque<uint64_t> queue_;
+  uint64_t next_ticket_ = 1;
+};
+
+}  // namespace radb::service
+
+#endif  // RADB_SERVICE_ADMISSION_H_

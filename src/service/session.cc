@@ -1,0 +1,138 @@
+#include "service/session.h"
+
+#include <chrono>
+#include <utility>
+
+#include "parser/parser.h"
+
+namespace radb::service {
+
+namespace {
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A script is read-only when every statement is a SELECT or EXPLAIN.
+/// Unparseable scripts classify as writers: the unique latch is the
+/// safe default, and the parse error surfaces from Database::Execute
+/// exactly as it would standalone.
+bool IsReadOnlyScript(const std::string& sql) {
+  auto parsed = parser::ParseScript(sql);
+  if (!parsed.ok()) return false;
+  for (const auto& stmt : parsed.value()) {
+    if (stmt.kind != parser::Statement::Kind::kSelect &&
+        stmt.kind != parser::Statement::Kind::kExplain) {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+SessionManager::SessionManager(Database* db, ServiceConfig config)
+    : db_(db),
+      config_(std::move(config)),
+      admission_(config_.admission, db->metrics_registry()) {
+  obs::MetricsRegistry* metrics = db_->metrics_registry();
+  if (metrics != nullptr) {
+    queue_wait_hist_ = metrics->histogram("service.queue_wait_seconds");
+    query_seconds_hist_ = metrics->histogram("service.query_seconds");
+    cancelled_counter_ = metrics->counter("service.queries_cancelled");
+  }
+}
+
+std::unique_ptr<Session> SessionManager::CreateSession() {
+  const uint64_t id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  // Session's constructor is private; can't use make_unique.
+  return std::unique_ptr<Session>(new Session(this, id));
+}
+
+Session::~Session() = default;
+
+std::shared_ptr<CancellationToken> Session::TokenFor(uint64_t seq) {
+  std::lock_guard<std::mutex> lock(tokens_mu_);
+  auto& slot = tokens_[seq];
+  if (slot == nullptr) slot = std::make_shared<CancellationToken>();
+  return slot;
+}
+
+void Session::ForgetToken(uint64_t seq) {
+  std::lock_guard<std::mutex> lock(tokens_mu_);
+  tokens_.erase(seq);
+}
+
+void Session::Cancel(uint64_t query_seq) {
+  // TokenFor creates the token when the query hasn't started yet, so
+  // a Cancel that races ahead of Execute still lands: Execute finds
+  // the pre-fired token and returns Cancelled before running anything.
+  TokenFor(query_seq)->Cancel();
+}
+
+Result<ScriptResult> Session::Execute(const std::string& sql,
+                                      uint64_t* query_seq) {
+  return Execute(sql, manager_->config_.default_options, query_seq);
+}
+
+Result<ScriptResult> Session::Execute(const std::string& sql,
+                                      const QueryOptions& options,
+                                      uint64_t* query_seq) {
+  const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (query_seq != nullptr) *query_seq = seq;
+  std::shared_ptr<CancellationToken> token = TokenFor(seq);
+  // Arm at submission: the deadline clock covers admission-queue wait,
+  // not just execution (a query stuck behind heavy work still times
+  // out on schedule).
+  if (options.deadline_ms > 0 && !token->has_deadline()) {
+    token->ArmDeadlineMs(options.deadline_ms);
+  }
+  const double start = NowSeconds();
+
+  auto finish = [&](Result<ScriptResult> result) -> Result<ScriptResult> {
+    if (manager_->query_seconds_hist_ != nullptr) {
+      manager_->query_seconds_hist_->Observe(NowSeconds() - start);
+    }
+    if (!result.ok() && cancelled_counter_bump(result.status())) {
+      manager_->cancelled_counter_->Add(1);
+    }
+    ForgetToken(seq);
+    return result;
+  };
+
+  // Admission: claim the per-call budget (or the controller's default
+  // for unbudgeted calls) against the global budget + concurrency cap.
+  double queue_wait = 0.0;
+  size_t claim = options.memory_budget_bytes;
+  auto slot_or = manager_->admission_.Admit(claim, token.get(), &queue_wait);
+  if (manager_->queue_wait_hist_ != nullptr) {
+    manager_->queue_wait_hist_->Observe(queue_wait);
+  }
+  if (!slot_or.ok()) {
+    return finish(slot_or.status());
+  }
+  AdmissionController::Slot slot = std::move(slot_or).value();
+
+  QueryOptions opts = options;
+  opts.cancellation = token;
+  // Globally unique query id: session id in the high half, the
+  // session-local sequence number in the low. Drives spill-file
+  // attribution and thread-pool fair-scheduling tags.
+  opts.query_id = (id_ << 32) | seq;
+  opts.memory_parent = manager_->admission_.global_tracker();
+
+  if (IsReadOnlyScript(sql)) {
+    std::shared_lock<std::shared_mutex> latch(manager_->catalog_latch_);
+    return finish(manager_->db_->Execute(sql, opts));
+  }
+  std::unique_lock<std::shared_mutex> latch(manager_->catalog_latch_);
+  return finish(manager_->db_->Execute(sql, opts));
+}
+
+bool Session::cancelled_counter_bump(const Status& s) const {
+  if (manager_->cancelled_counter_ == nullptr) return false;
+  return s.code() == StatusCode::kCancelled ||
+         s.code() == StatusCode::kDeadlineExceeded;
+}
+
+}  // namespace radb::service

@@ -99,7 +99,7 @@ Status SpillableRowBuffer::FlushTail() {
   if (tail_.empty()) return Status::OK();
   if (file_ == nullptr) {
     file_ = std::make_unique<mem::SpillFile>();
-    RADB_RETURN_NOT_OK(file_->Create(ctx_.spill_dir));
+    RADB_RETURN_NOT_OK(file_->Create(ctx_.spill_dir, ctx_.spill_tag()));
   }
   std::ostringstream os(std::ios::binary);
   size_t run_rows = 0;

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "mem/memory_tracker.h"
 #include "mem/spill_file.h"
@@ -21,9 +22,21 @@ namespace radb {
 struct MemoryContext {
   mem::MemoryTracker* tracker = nullptr;
   std::string spill_dir;  // "" = system temp dir
+  /// Owning query's id (0 = standalone); embedded in spill-file names
+  /// so concurrent queries sharing one spill_dir stay distinguishable,
+  /// and used as the thread-pool task tag for fair scheduling.
+  uint64_t query_id = 0;
+  /// Cooperative cancellation handle, polled by operator row loops at
+  /// row-batch granularity (null = never cancelled). Not owned; the
+  /// submitter keeps it alive for the query's duration.
+  const CancellationToken* cancel = nullptr;
 
   bool has_budget() const {
     return tracker != nullptr && tracker->has_budget();
+  }
+  /// Spill-file name tag for this query ("q<id>", or "" standalone).
+  std::string spill_tag() const {
+    return query_id == 0 ? std::string() : "q" + std::to_string(query_id);
   }
 };
 
@@ -66,6 +79,10 @@ class SpillableRowBuffer {
   /// operator can collect them after consuming the buffer.
   size_t spill_bytes() const { return spill_bytes_; }
   size_t spill_runs() const { return spill_run_count_; }
+
+  /// This buffer's memory context (for the cancellation token and
+  /// query id shared by every buffer of one query).
+  const MemoryContext& context() const { return ctx_; }
 
   /// The resident rows, exposed for move-consumption on the fast path
   /// (nothing spilled): callers may move individual rows out and must

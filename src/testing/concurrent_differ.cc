@@ -1,0 +1,116 @@
+#include "testing/concurrent_differ.h"
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "api/database.h"
+#include "service/session.h"
+#include "storage/serialize.h"
+
+namespace radb::testing {
+
+namespace {
+
+/// Per-query oracle: either a binary fingerprint of the result rows
+/// (exact order, exact FP bits) or the error code.
+struct Oracle {
+  bool ok = false;
+  StatusCode code = StatusCode::kOk;
+  std::string fingerprint;
+};
+
+std::string Fingerprint(const ResultSet& rs) {
+  std::ostringstream os(std::ios::binary);
+  for (const Row& row : rs.rows) WriteRowBinary(os, row);
+  return os.str();
+}
+
+Oracle OracleFor(const Result<ScriptResult>& result) {
+  Oracle o;
+  if (result.ok()) {
+    o.ok = true;
+    if (result->has_results()) o.fingerprint = Fingerprint(result->last());
+  } else {
+    o.code = result.status().code();
+  }
+  return o;
+}
+
+Database::Config ServiceFuzzConfig() {
+  Database::Config config;
+  config.num_workers = 8;
+  config.num_threads = 8;
+  return config;
+}
+
+}  // namespace
+
+ConcurrentDiffOutcome RunConcurrentRound(const CatalogSpec& spec,
+                                         const std::vector<std::string>& sqls,
+                                         size_t num_sessions) {
+  ConcurrentDiffOutcome outcome;
+  if (num_sessions == 0) num_sessions = 1;
+
+  Database db(ServiceFuzzConfig());
+  if (Status s = LoadCatalog(spec, &db); !s.ok()) {
+    outcome.diverged = true;
+    outcome.report = "concurrent round: catalog load failed: " + s.ToString();
+    return outcome;
+  }
+
+  // Serial oracle, straight through the Database.
+  std::vector<Oracle> oracles;
+  oracles.reserve(sqls.size());
+  for (const std::string& sql : sqls) {
+    oracles.push_back(OracleFor(db.Execute(sql)));
+  }
+
+  // Concurrent replay: session s takes queries s, s+N, s+2N, ...
+  service::SessionManager manager(&db);
+  std::mutex report_mu;
+  std::ostringstream report;
+  std::atomic<size_t> divergences{0};
+  std::vector<std::thread> threads;
+  for (size_t s = 0; s < num_sessions; ++s) {
+    threads.emplace_back([&, s] {
+      auto session = manager.CreateSession();
+      for (size_t q = s; q < sqls.size(); q += num_sessions) {
+        const Oracle got = OracleFor(session->Execute(sqls[q]));
+        const Oracle& want = oracles[q];
+        if (got.ok == want.ok && got.code == want.code &&
+            got.fingerprint == want.fingerprint) {
+          continue;
+        }
+        divergences.fetch_add(1);
+        std::lock_guard<std::mutex> lock(report_mu);
+        report << "concurrent divergence (session " << s << ", "
+               << num_sessions << " sessions):\n  " << sqls[q]
+               << "\n  serial:     "
+               << (want.ok ? "ok, " + std::to_string(want.fingerprint.size()) +
+                                 " result bytes"
+                           : std::string(StatusCodeName(want.code)))
+               << "\n  concurrent: "
+               << (got.ok ? "ok, " + std::to_string(got.fingerprint.size()) +
+                                " result bytes" +
+                                (got.fingerprint != want.fingerprint &&
+                                         got.ok == want.ok
+                                     ? " (bits differ)"
+                                     : "")
+                          : std::string(StatusCodeName(got.code)))
+               << "\n";
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  outcome.queries_run = sqls.size();
+  if (divergences.load() > 0) {
+    outcome.diverged = true;
+    outcome.report = report.str();
+  }
+  return outcome;
+}
+
+}  // namespace radb::testing

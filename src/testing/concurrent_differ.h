@@ -1,0 +1,35 @@
+#ifndef RADB_TESTING_CONCURRENT_DIFFER_H_
+#define RADB_TESTING_CONCURRENT_DIFFER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "testing/catalog_gen.h"
+
+namespace radb::testing {
+
+/// Outcome of one concurrent differential round.
+struct ConcurrentDiffOutcome {
+  bool diverged = false;
+  size_t queries_run = 0;
+  /// Human-readable divergence report (empty when !diverged).
+  std::string report;
+};
+
+/// Multi-session differential round: loads `spec` into one Database,
+/// runs every query in `sqls` serially to collect the oracle (result
+/// fingerprint or error StatusCode per query), then replays the same
+/// queries across `num_sessions` concurrent service sessions
+/// (round-robin assignment) and requires each concurrent result to be
+/// BIT-IDENTICAL to its serial oracle — same cells in the same order,
+/// or the same error code. This is the determinism contract extended
+/// to the query service: admission, the catalog latch, and fair
+/// scheduling may change timing only, never results.
+ConcurrentDiffOutcome RunConcurrentRound(const CatalogSpec& spec,
+                                         const std::vector<std::string>& sqls,
+                                         size_t num_sessions);
+
+}  // namespace radb::testing
+
+#endif  // RADB_TESTING_CONCURRENT_DIFFER_H_

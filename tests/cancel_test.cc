@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/database.h"
+#include "common/rng.h"
+#include "la/random.h"
+#include "la/tiled.h"
+#include "service/session.h"
+
+namespace radb {
+namespace {
+
+using service::ServiceConfig;
+using service::SessionManager;
+
+/// Sizable cross join (~10M pairs) whose row loops poll the token
+/// every 256 rows — long enough that a cancel landing ~50 ms in is
+/// always mid-flight, short enough to finish if never cancelled.
+constexpr char kLongJoin[] =
+    "SELECT a.k, COUNT(*) FROM pts a, pts b WHERE a.k < 20 GROUP BY a.k";
+
+class CancelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>();
+    ASSERT_TRUE(
+        db_->ExecuteSql("CREATE TABLE pts (k INTEGER, x DOUBLE)").ok());
+    std::vector<Row> rows;
+    for (int64_t i = 0; i < 5000; ++i) {
+      rows.push_back({Value::Int(i % 50), Value::Double(0.5 * (i % 31))});
+    }
+    ASSERT_TRUE(db_->BulkInsert("pts", std::move(rows)).ok());
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+// ----------------------------------------------------------------------
+// Mid-join cancellation from another thread.
+// ----------------------------------------------------------------------
+
+TEST_F(CancelTest, CancelMidJoinAbortsPromptlyAndKeepsDatabaseHealthy) {
+  QueryOptions opts;
+  opts.cancellation = std::make_shared<CancellationToken>();
+  std::thread canceller([token = opts.cancellation] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    token->Cancel();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  auto got = db_->Execute(kLongJoin, opts);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  canceller.join();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kCancelled) << got.status();
+  // Cooperative polling is row-batch granular: the abort lands well
+  // before the join would have finished.
+  EXPECT_LT(seconds, 5.0);
+
+  // The Database is not poisoned: the same query runs to completion.
+  auto again = db_->ExecuteSql("SELECT COUNT(*) FROM pts");
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again->at(0, 0).int_value(), 5000);
+}
+
+TEST_F(CancelTest, DeadlineMidExecutionReturnsDeadlineExceeded) {
+  QueryOptions opts;
+  opts.deadline_ms = 50;
+  auto got = db_->Execute(kLongJoin, opts);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded)
+      << got.status();
+}
+
+TEST_F(CancelTest, CancelBetweenStatementsDropsTheRestOfTheScript) {
+  // The token fires during the long first statement; the script's
+  // later DDL must not run.
+  QueryOptions opts;
+  opts.cancellation = std::make_shared<CancellationToken>();
+  std::thread canceller([token = opts.cancellation] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    token->Cancel();
+  });
+  auto got = db_->Execute(std::string(kLongJoin) +
+                              "; CREATE TABLE leftover (v INTEGER)",
+                          opts);
+  canceller.join();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kCancelled);
+  // leftover was never created.
+  EXPECT_FALSE(db_->ExecuteSql("SELECT COUNT(*) FROM leftover").ok());
+}
+
+// ----------------------------------------------------------------------
+// LA kernel cancellation (TiledMultiply checks per tile match).
+// ----------------------------------------------------------------------
+
+TEST(TiledCancelTest, PreCancelledTokenStopsTiledMultiply) {
+  Rng rng(11);
+  const auto ta = la::SplitIntoTiles(la::RandomMatrix(rng, 64, 64), 16, 16);
+  const auto tb = la::SplitIntoTiles(la::RandomMatrix(rng, 64, 64), 16, 16);
+  CancellationToken token;
+  token.Cancel();
+  la::TiledOptions options;
+  options.cancel = &token;
+  auto got = la::TiledMultiply(ta, tb, options);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kCancelled) << got.status();
+}
+
+TEST(TiledCancelTest, DeadlineExpiresMidTiledMultiply) {
+  Rng rng(12);
+  // 8x8 grid of 64x64 tiles: 512 tile products — far more work than
+  // a 1 ms deadline allows, so the per-tile check fires mid-kernel.
+  const auto ta = la::SplitIntoTiles(la::RandomMatrix(rng, 512, 512), 64, 64);
+  const auto tb = la::SplitIntoTiles(la::RandomMatrix(rng, 512, 512), 64, 64);
+  CancellationToken token;
+  token.ArmDeadlineMs(1);
+  la::TiledOptions options;
+  options.cancel = &token;
+  auto got = la::TiledMultiply(ta, tb, options);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded)
+      << got.status();
+}
+
+TEST(TiledCancelTest, BudgetedTiledMultiplyReleasesTrackerOnCancel) {
+  Rng rng(13);
+  const auto ta = la::SplitIntoTiles(la::RandomMatrix(rng, 64, 64), 16, 16);
+  const auto tb = la::SplitIntoTiles(la::RandomMatrix(rng, 64, 64), 16, 16);
+  mem::MemoryTracker tracker("query", 8u << 10);
+  CancellationToken token;
+  token.ArmDeadlineMs(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  la::TiledOptions options;
+  options.tracker = &tracker;
+  options.cancel = &token;
+  options.query_id = 42;
+  auto got = la::TiledMultiply(ta, tb, options);
+  ASSERT_FALSE(got.ok());
+  // Everything the kernel reserved before the abort was handed back.
+  EXPECT_EQ(tracker.bytes_in_use(), 0u);
+}
+
+// ----------------------------------------------------------------------
+// Cancelled budgeted queries leave no spill files and no tracker
+// charges behind.
+// ----------------------------------------------------------------------
+
+TEST(CancelCleanupTest, CancelledSpillingQueryLeavesNoFilesOrCharges) {
+  namespace fs = std::filesystem;
+  // Private spill dir so the emptiness check cannot see anyone else's
+  // files.
+  std::string dir_template =
+      (fs::temp_directory_path() / "radb-cancel-XXXXXX").string();
+  ASSERT_NE(mkdtemp(dir_template.data()), nullptr);
+  const fs::path spill_dir(dir_template);
+
+  {
+    Database::Config cfg;
+    cfg.spill_dir = spill_dir.string();
+    Database db(cfg);
+    ASSERT_TRUE(db.ExecuteSql("CREATE TABLE big (k INTEGER, pad STRING)")
+                    .ok());
+    std::vector<Row> rows;
+    for (int64_t i = 0; i < 4000; ++i) {
+      rows.push_back(
+          {Value::Int(i % 40), Value::String(std::string(100, 'p'))});
+    }
+    ASSERT_TRUE(db.BulkInsert("big", std::move(rows)).ok());
+
+    SessionManager manager(&db);
+    auto session = manager.CreateSession();
+    // A spilling join (64 KB budget) cancelled mid-flight.
+    QueryOptions opts;
+    opts.memory_budget_bytes = 64u << 10;
+    // The sequence number the upcoming Execute will get, captured
+    // before launching the canceller so nothing races on it.
+    const uint64_t seq = session->next_query_seq();
+    std::thread canceller([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      session->Cancel(seq);
+    });
+    auto got = session->Execute(
+        "SELECT a.k, COUNT(*) FROM big a, big b WHERE a.k = b.k GROUP BY a.k",
+        opts);
+    canceller.join();
+    ASSERT_FALSE(got.ok());
+    EXPECT_EQ(got.status().code(), StatusCode::kCancelled) << got.status();
+
+    // No tracker charges survived the abort, at either level.
+    EXPECT_EQ(manager.admission().global_tracker()->bytes_in_use(), 0u);
+    EXPECT_EQ(manager.admission().claimed_bytes(), 0u);
+    // Spill files are mkstemp'd and unlinked at creation, so even
+    // mid-spill cancellation leaves the directory empty.
+    EXPECT_TRUE(fs::is_empty(spill_dir));
+  }
+  std::error_code ec;
+  fs::remove_all(spill_dir, ec);
+}
+
+}  // namespace
+}  // namespace radb
