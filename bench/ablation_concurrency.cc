@@ -117,6 +117,9 @@ Database::Config MakeConfig() {
   config.num_workers = kWorkers;
   config.num_threads = kThreads;
   config.obs.enable_metrics = true;
+  // Large enough that no sweep point evicts a record before the
+  // post-run radb_query_phases rollup reads it.
+  config.telemetry.query_log_capacity = 8192;
   return config;
 }
 
@@ -136,7 +139,40 @@ struct SweepEntry {
   double p50 = 0.0, p95 = 0.0, p99 = 0.0;           // end-to-end seconds
   double queue_p50 = 0.0, queue_p95 = 0.0, queue_p99 = 0.0;
   uint64_t admitted = 0, queued = 0;
+  /// Where the time went, summed across every session query at this
+  /// sweep point: radb_query_phases rolled up through SQL. Index is
+  /// obs::QueryPhase.
+  uint64_t phase_micros[obs::kNumQueryPhases] = {};
+  /// Catalog-latch and thread-pool contention distributions (seconds).
+  double latch_read_p50 = 0.0, latch_read_p95 = 0.0, latch_read_p99 = 0.0;
+  double latch_write_p95 = 0.0;
+  double region_wait_p50 = 0.0, region_wait_p95 = 0.0,
+         region_wait_p99 = 0.0;
 };
+
+/// Rolls up the per-phase time of every session-issued query at this
+/// sweep point, read back through the system tables themselves
+/// (session_id > 0 excludes the dataset-loading DDL/DML, which runs
+/// through Database::Execute directly).
+Status RollupPhases(Database* db, SweepEntry* entry) {
+  auto rs = db->Execute(
+      "SELECT phase, SUM(micros) AS total FROM radb_query_phases "
+      "WHERE session_id > 0 GROUP BY phase");
+  if (!rs.ok()) return rs.status();
+  const ResultSet& result = rs->last();
+  for (size_t r = 0; r < result.num_rows(); ++r) {
+    const std::string& phase = result.at(r, 0).string_value();
+    for (size_t p = 0; p < obs::kNumQueryPhases; ++p) {
+      if (phase == obs::QueryPhaseName(static_cast<obs::QueryPhase>(p))) {
+        const Value& total = result.at(r, 1);
+        entry->phase_micros[p] = static_cast<uint64_t>(
+            total.kind() == TypeKind::kInteger ? total.int_value()
+                                               : total.double_value());
+      }
+    }
+  }
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -219,6 +255,20 @@ int main(int argc, char** argv) {
     entry.queue_p99 = qw->Percentile(0.99);
     entry.admitted = metrics->counter("service.queries_admitted")->value();
     entry.queued = metrics->counter("service.queries_queued")->value();
+    obs::Histogram* lr = metrics->histogram("service.latch_wait_read_seconds");
+    obs::Histogram* lw = metrics->histogram("service.latch_wait_write_seconds");
+    obs::Histogram* rw = metrics->histogram("pool.region_wait_seconds");
+    entry.latch_read_p50 = lr->Percentile(0.5);
+    entry.latch_read_p95 = lr->Percentile(0.95);
+    entry.latch_read_p99 = lr->Percentile(0.99);
+    entry.latch_write_p95 = lw->Percentile(0.95);
+    entry.region_wait_p50 = rw->Percentile(0.5);
+    entry.region_wait_p95 = rw->Percentile(0.95);
+    entry.region_wait_p99 = rw->Percentile(0.99);
+    if (Status s = RollupPhases(&db, &entry); !s.ok()) {
+      std::fprintf(stderr, "phase rollup failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
     total_mismatches += entry.mismatches;
     total_errors += entry.errors;
     entries.push_back(entry);
@@ -229,6 +279,14 @@ int main(int argc, char** argv) {
         entry.sessions, entry.queries, entry.wall_seconds, entry.qps,
         entry.p50, entry.p95, entry.p99, entry.queue_p95, entry.mismatches,
         entry.errors);
+    std::printf("  phases(ms):");
+    for (size_t p = 0; p < obs::kNumQueryPhases; ++p) {
+      std::printf(" %s=%.1f",
+                  obs::QueryPhaseName(static_cast<obs::QueryPhase>(p)),
+                  static_cast<double>(entry.phase_micros[p]) / 1000.0);
+    }
+    std::printf("  latch_read_p95=%.4fs region_wait_p95=%.4fs\n",
+                entry.latch_read_p95, entry.region_wait_p95);
   }
 
   std::ofstream os("BENCH_concurrency.json", std::ios::trunc);
@@ -249,6 +307,20 @@ int main(int argc, char** argv) {
        << ",\"queue_wait_p95\":" << obs::JsonNumber(e.queue_p95)
        << ",\"queue_wait_p99\":" << obs::JsonNumber(e.queue_p99)
        << ",\"admitted\":" << e.admitted << ",\"queued\":" << e.queued
+       << ",\"phase_micros\":{";
+    for (size_t p = 0; p < obs::kNumQueryPhases; ++p) {
+      os << (p == 0 ? "" : ",") << "\""
+         << obs::QueryPhaseName(static_cast<obs::QueryPhase>(p))
+         << "\":" << e.phase_micros[p];
+    }
+    os << "}"
+       << ",\"latch_read_p50\":" << obs::JsonNumber(e.latch_read_p50)
+       << ",\"latch_read_p95\":" << obs::JsonNumber(e.latch_read_p95)
+       << ",\"latch_read_p99\":" << obs::JsonNumber(e.latch_read_p99)
+       << ",\"latch_write_p95\":" << obs::JsonNumber(e.latch_write_p95)
+       << ",\"region_wait_p50\":" << obs::JsonNumber(e.region_wait_p50)
+       << ",\"region_wait_p95\":" << obs::JsonNumber(e.region_wait_p95)
+       << ",\"region_wait_p99\":" << obs::JsonNumber(e.region_wait_p99)
        << ",\"mismatches\":" << e.mismatches << ",\"errors\":" << e.errors
        << "}" << (i + 1 < entries.size() ? ",\n" : "\n");
   }

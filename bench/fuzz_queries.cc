@@ -141,10 +141,16 @@ int main(int argc, char** argv) {
                                              : args.queries_per_catalog;
     Rng rng(catalog_seed ^ 0xd1b54a32d192ed03ULL);
     for (uint64_t i = 0; i < batch; ++i) {
-      const QuerySpec query = GenerateQuery(catalog, &rng);
+      // ~1 in 8 queries targets the radb_ system tables (compared in
+      // shape mode — see Differ::RunOne); the rest are value-compared
+      // against the reference evaluator as before.
+      const bool system = rng.NextBelow(8) == 0;
+      const QuerySpec query = system ? GenerateSystemTableQuery(catalog, &rng)
+                                     : GenerateQuery(catalog, &rng);
       const DiffOutcome outcome = differ.RunOne(query.ToSql());
       ++queries_run;
       metrics.counter("fuzz.queries_run")->Add(1);
+      if (system) metrics.counter("fuzz.system_queries_run")->Add(1);
       if (outcome.diverged) diverge(outcome, catalog, query);
     }
     note_plans(differ);

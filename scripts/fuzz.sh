@@ -38,5 +38,9 @@ cmake --build "$BUILD_DIR" -j "$JOBS" \
 # multi-session bench smoke under ASan+UBSan (scripts/stress.sh runs
 # the same label under TSan).
 cmake --build "$BUILD_DIR" -j "$JOBS" \
-  --target service_test cancel_test ablation_concurrency
+  --target service_test cancel_test systab_test ablation_concurrency
 (cd "$BUILD_DIR" && ctest -L concurrency --output-on-failure)
+
+# Observability pass: system tables, telemetry ring, exporter — the
+# same `obs` label scripts/stress.sh runs under TSan.
+(cd "$BUILD_DIR" && ctest -L obs --output-on-failure)

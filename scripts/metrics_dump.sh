@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Runs the example telemetry workload and prints what an operator
+# would see: the radb_* system tables queried through SQL, the
+# Prometheus text exposition, and the JSONL query-record feed.
+#
+# Usage: scripts/metrics_dump.sh [build-dir]
+#   default: build
+set -eu
+
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake -S "$(dirname "$0")/.." -B "$BUILD_DIR"
+fi
+cmake --build "$BUILD_DIR" -j "$JOBS" --target telemetry_export
+
+"$BUILD_DIR/examples/telemetry_export"

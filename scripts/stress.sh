@@ -22,13 +22,19 @@ cmake -S "$(dirname "$0")/.." -B "$BUILD_DIR" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRADB_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$JOBS" \
-  --target service_test cancel_test ablation_concurrency fuzz_queries
+  --target service_test cancel_test systab_test ablation_concurrency \
+  fuzz_queries
 
 # halt_on_error so a race report fails the run instead of scrolling by.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 
 # Concurrency suites (ctest label shared with scripts/fuzz.sh).
 (cd "$BUILD_DIR" && ctest -L concurrency --output-on-failure)
+
+# Observability suite: system-table scans racing workload sessions,
+# the exporter sampler thread, and the telemetry ring — the prime
+# TSan targets this tree adds.
+(cd "$BUILD_DIR" && ctest -L obs --output-on-failure)
 
 # Multi-session differential fuzzing: 4 concurrent sessions vs the
 # serial oracle, plus the usual single-threaded sweep for coverage.

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "api/system_tables.h"
 #include "binder/binder.h"
 #include "common/string_util.h"
 #include "exec/executor.h"
@@ -146,6 +148,54 @@ Result<Value> EvalConstExpr(const Catalog& catalog,
   }
 }
 
+/// Accumulates wall time into one phase of a QueryRecord on scope
+/// exit, so early error returns still charge the partial phase.
+/// No-ops on a null record.
+class PhaseTimer {
+ public:
+  PhaseTimer(obs::QueryRecord* record, obs::QueryPhase phase)
+      : record_(record),
+        phase_(phase),
+        start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    if (record_ == nullptr) return;
+    record_->phases[phase_] += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  obs::QueryRecord* record_;
+  obs::QueryPhase phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Flattens a query's executed-operator metrics into the persistable
+/// records radb_operators serves.
+void AppendOperatorRecords(const QueryMetrics& qm, obs::QueryRecord* record) {
+  if (record == nullptr) return;
+  for (size_t i = 0; i < qm.operators.size(); ++i) {
+    const OperatorMetrics& m = qm.operators[i];
+    obs::OperatorRecord op;
+    op.op_index = static_cast<int64_t>(record->operators.size());
+    op.name = m.name;
+    op.estimated_rows = m.estimated_rows;
+    op.actual_rows = static_cast<int64_t>(m.rows_out);
+    op.rows_in = static_cast<int64_t>(m.rows_in);
+    op.worker_seconds = m.TotalSeconds();
+    op.max_worker_seconds = m.MaxWorkerSeconds();
+    op.skew = m.Skew();
+    op.rows_shuffled = static_cast<int64_t>(m.rows_shuffled);
+    op.bytes_shuffled = static_cast<int64_t>(m.bytes_shuffled);
+    op.bytes_spilled = static_cast<int64_t>(m.bytes_spilled);
+    op.spill_runs = static_cast<int64_t>(m.spill_runs);
+    record->operators.push_back(std::move(op));
+  }
+}
+
 }  // namespace
 
 Database::Database(const Config& config)
@@ -176,14 +226,54 @@ Database::Database(const Config& config)
     // path to a Database (LA kernels, storage I/O) report here too.
     obs::InstallGlobalMetrics(metrics_registry_.get());
   }
+  // Contention profiling: every retired pool region reports its
+  // startup wait (submission -> first index claim, i.e. time the
+  // region sat queued behind other queries' work) and total run time.
+  if (metrics_registry_ != nullptr) {
+    obs::Histogram* wait =
+        metrics_registry_->histogram("pool.region_wait_seconds");
+    obs::Histogram* run =
+        metrics_registry_->histogram("pool.region_run_seconds");
+    pool_->SetRegionObserver([wait, run](double wait_s, double run_s) {
+      wait->Observe(wait_s);
+      run->Observe(run_s);
+    });
+  }
+  telemetry_ = std::make_unique<obs::TelemetryStore>(
+      obs::TelemetryStore::Options{config_.telemetry.query_log_capacity,
+                                   config_.telemetry.max_operators_per_query,
+                                   config_.telemetry.max_sql_bytes});
+  if (config_.telemetry.enable_system_tables) {
+    system_tables_ = std::make_unique<SystemTableCatalog>(this);
+    catalog_.RegisterSystemTableProvider(system_tables_.get());
+  }
+  const TelemetryOptions& t = config_.telemetry;
+  if (!t.prometheus_path.empty() || !t.jsonl_path.empty() ||
+      t.prometheus_callback || t.jsonl_callback ||
+      t.sampler_interval_ms != 0) {
+    obs::TelemetryExporter::Options eo;
+    eo.prometheus_path = t.prometheus_path;
+    eo.jsonl_path = t.jsonl_path;
+    eo.prometheus_callback = t.prometheus_callback;
+    eo.jsonl_callback = t.jsonl_callback;
+    eo.interval_ms = t.sampler_interval_ms == 0 ? 1000 : t.sampler_interval_ms;
+    exporter_ = std::make_unique<obs::TelemetryExporter>(
+        metrics_registry_.get(), telemetry_.get(), std::move(eo));
+    if (t.sampler_interval_ms != 0) exporter_->StartSampler();
+  }
 }
 
 Database::~Database() {
+  if (exporter_ != nullptr) exporter_->StopSampler();
   obs::UninstallGlobalMetrics(metrics_registry_.get());
   UninstallGlobalPool(pool_.get());
 }
 
 Status Database::BulkInsert(const std::string& table, std::vector<Row> rows) {
+  if (Catalog::IsSystemName(table)) {
+    return Status::CatalogError("system table " + ToLower(table) +
+                                " is read-only");
+  }
   RADB_ASSIGN_OR_RETURN(std::shared_ptr<Table> t, catalog_.GetTable(table));
   return t->InsertAll(std::move(rows));
 }
@@ -197,12 +287,14 @@ obs::ObsContext Database::QueryObs(const QueryOptions& options) {
 
 Result<ResultSet> Database::RunSelect(const parser::SelectStmt& stmt,
                                       const QueryOptions& options,
-                                      QueryStats* stats) {
+                                      QueryStats* stats,
+                                      obs::QueryRecord* record) {
   const obs::ObsContext obs = QueryObs(options);
   Binder binder(catalog_);
   std::unique_ptr<BoundQuery> bound;
   {
     obs::ScopedSpan bind_span(obs.tracer, "bind", "pipeline");
+    PhaseTimer bind_timer(record, obs::QueryPhase::kBind);
     RADB_ASSIGN_OR_RETURN(bound, binder.Bind(stmt));
   }
   std::vector<SlotInfo> out_columns = bound->output;
@@ -214,6 +306,7 @@ Result<ResultSet> Database::RunSelect(const parser::SelectStmt& stmt,
   LogicalOpPtr plan;
   {
     obs::ScopedSpan optimize_span(obs.tracer, "optimize", "pipeline");
+    PhaseTimer optimize_timer(record, obs::QueryPhase::kOptimize);
     RADB_ASSIGN_OR_RETURN(plan, optimizer.Plan(std::move(bound), obs));
   }
 
@@ -249,6 +342,7 @@ Result<ResultSet> Database::RunSelect(const parser::SelectStmt& stmt,
   Dist dist;
   {
     obs::ScopedSpan exec_span(obs.tracer, "execute", "pipeline");
+    PhaseTimer exec_timer(record, obs::QueryPhase::kExecute);
     Executor executor(cluster_, &qm, obs, pool, mem);
     auto result = executor.Execute(*plan);
     const size_t spill = tracker.spill_bytes();
@@ -262,6 +356,7 @@ Result<ResultSet> Database::RunSelect(const parser::SelectStmt& stmt,
       last_spill_bytes_ = spill;
       last_peak_bytes_ = peak;
     }
+    AppendOperatorRecords(qm, record);
     RADB_ASSIGN_OR_RETURN(dist, std::move(result));
   }
   qm.wall_seconds =
@@ -272,6 +367,7 @@ Result<ResultSet> Database::RunSelect(const parser::SelectStmt& stmt,
     last_metrics_ = std::move(qm);
   }
 
+  PhaseTimer serialize_timer(record, obs::QueryPhase::kSerialize);
   ResultSet rs;
   rs.columns = plan->output;
   // Trim hidden sort columns and restore binder-declared names.
@@ -316,6 +412,78 @@ Result<ScriptResult> Database::Execute(const std::string& sql,
       opts.cancellation->ArmDeadlineMs(opts.deadline_ms);
     }
   }
+  // One id per call: every statement of the script shares it, and the
+  // telemetry record, spill files and pool task tags all agree.
+  if (opts.query_id == 0) {
+    opts.query_id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  obs::QueryRecord record;
+  record.query_id = opts.query_id;
+  record.session_id = opts.session_id;
+  record.sql = sql;
+  record.phases[obs::QueryPhase::kQueue] = opts.queue_wait_micros;
+  record.phases[obs::QueryPhase::kLatch] = opts.latch_wait_micros;
+  const auto call_t0 = std::chrono::steady_clock::now();
+  Result<ScriptResult> result = ExecuteScript(sql, opts, &record);
+  const uint64_t wall_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - call_t0)
+          .count());
+  // End-to-end time includes the blocked time the service attributed
+  // to this call before Execute started.
+  record.total_micros =
+      wall_micros + opts.queue_wait_micros + opts.latch_wait_micros;
+  record.status = StatusCodeName(
+      result.ok() ? StatusCode::kOk : result.status().code());
+  if (result.ok()) {
+    for (const ResultSet& rs : result->result_sets) {
+      record.rows += static_cast<int64_t>(rs.num_rows());
+    }
+    for (const QueryStats& s : result->statements) {
+      record.spill_bytes += static_cast<int64_t>(s.spill_bytes);
+      record.peak_memory_bytes =
+          std::max(record.peak_memory_bytes,
+                   static_cast<int64_t>(s.peak_memory_bytes));
+    }
+  }
+  RecordQueryTelemetry(std::move(record));
+  return result;
+}
+
+void Database::RecordQueryTelemetry(obs::QueryRecord record) {
+  const uint64_t threshold = config_.telemetry.slow_query_micros;
+  const bool slow = threshold != 0 && record.total_micros >= threshold;
+  std::string line;
+  if (slow) {
+    line = obs::TelemetryExporter::QueryRecordJson(record);
+  }
+  telemetry_->RecordQuery(std::move(record));
+  if (!slow) return;
+  if (metrics_registry_ != nullptr) {
+    metrics_registry_->Add("obs.slow_queries", 1);
+  }
+  if (config_.telemetry.slow_query_sink) {
+    config_.telemetry.slow_query_sink(line);
+    return;
+  }
+  if (!config_.telemetry.slow_query_log_path.empty()) {
+    std::lock_guard<std::mutex> lock(slow_log_mu_);
+    if (!slow_log_.is_open()) {
+      slow_log_.open(config_.telemetry.slow_query_log_path, std::ios::app);
+    }
+    if (slow_log_.is_open()) {
+      slow_log_ << line << "\n";
+      slow_log_.flush();
+      return;
+    }
+  }
+  std::fprintf(stderr, "[radb slow_query] %s\n", line.c_str());
+}
+
+Result<ScriptResult> Database::ExecuteScript(const std::string& sql,
+                                             const QueryOptions& options,
+                                             obs::QueryRecord* record) {
+  const QueryOptions& opts = options;
   if (tracer_ != nullptr && opts.trace) {
     tracer_->Clear();  // trace covers the last call
   }
@@ -325,6 +493,7 @@ Result<ScriptResult> Database::Execute(const std::string& sql,
   std::vector<parser::Statement> stmts;
   {
     obs::ScopedSpan parse_span(obs.tracer, "parse", "pipeline");
+    PhaseTimer parse_timer(record, obs::QueryPhase::kParse);
     RADB_ASSIGN_OR_RETURN(stmts, parser::ParseScript(sql));
     parse_span.AddArg("statements", std::to_string(stmts.size()));
   }
@@ -347,7 +516,7 @@ Result<ScriptResult> Database::Execute(const std::string& sql,
     switch (stmt.kind) {
       case parser::Statement::Kind::kSelect: {
         RADB_ASSIGN_OR_RETURN(ResultSet rs,
-                              RunSelect(*stmt.select, opts, &stats));
+                              RunSelect(*stmt.select, opts, &stats, record));
         stmt_rows = rs.num_rows();
         script.result_sets.push_back(std::move(rs));
         break;
@@ -355,7 +524,8 @@ Result<ScriptResult> Database::Execute(const std::string& sql,
       case parser::Statement::Kind::kExplain: {
         if (stmt.explain_analyze) {
           RADB_ASSIGN_OR_RETURN(
-              ResultSet rs, ExplainAnalyzeSelect(*stmt.select, opts, &stats));
+              ResultSet rs,
+              ExplainAnalyzeSelect(*stmt.select, opts, &stats, record));
           stmt_rows = rs.num_rows();
           script.result_sets.push_back(std::move(rs));
           break;
@@ -391,7 +561,7 @@ Result<ScriptResult> Database::Execute(const std::string& sql,
       }
       case parser::Statement::Kind::kCreateTableAs: {
         RADB_ASSIGN_OR_RETURN(ResultSet rs,
-                              RunSelect(*stmt.select, opts, &stats));
+                              RunSelect(*stmt.select, opts, &stats, record));
         stmt_rows = rs.num_rows();
         Schema schema;
         for (const SlotInfo& s : rs.columns) {
@@ -422,6 +592,13 @@ Result<ScriptResult> Database::Execute(const std::string& sql,
         break;
       }
       case parser::Statement::Kind::kInsert: {
+        // Without this guard an INSERT would silently write into a
+        // discarded snapshot table.
+        if (Catalog::IsSystemName(stmt.relation_name)) {
+          return Status::CatalogError("system table " +
+                                      ToLower(stmt.relation_name) +
+                                      " is read-only");
+        }
         RADB_ASSIGN_OR_RETURN(std::shared_ptr<Table> t,
                               catalog_.GetTable(stmt.relation_name));
         for (const auto& row_exprs : stmt.insert_rows) {
@@ -500,18 +677,20 @@ void RenderAnalyzed(const LogicalOp& op, const Executor& executor,
 
 Result<ResultSet> Database::ExplainAnalyzeSelect(
     const parser::SelectStmt& stmt, const QueryOptions& options,
-    QueryStats* stats) {
+    QueryStats* stats, obs::QueryRecord* record) {
   const obs::ObsContext obs = QueryObs(options);
   Binder binder(catalog_);
   std::unique_ptr<BoundQuery> bound;
   {
     obs::ScopedSpan bind_span(obs.tracer, "bind", "pipeline");
+    PhaseTimer bind_timer(record, obs::QueryPhase::kBind);
     RADB_ASSIGN_OR_RETURN(bound, binder.Bind(stmt));
   }
   Optimizer optimizer(config_.optimizer);
   LogicalOpPtr plan;
   {
     obs::ScopedSpan optimize_span(obs.tracer, "optimize", "pipeline");
+    PhaseTimer optimize_timer(record, obs::QueryPhase::kOptimize);
     RADB_ASSIGN_OR_RETURN(plan, optimizer.Plan(std::move(bound), obs));
   }
 
@@ -542,6 +721,7 @@ Result<ResultSet> Database::ExplainAnalyzeSelect(
   size_t spill = 0, peak = 0;
   {
     obs::ScopedSpan exec_span(obs.tracer, "execute", "pipeline");
+    PhaseTimer exec_timer(record, obs::QueryPhase::kExecute);
     auto result = executor.Execute(*plan);
     spill = tracker.spill_bytes();
     peak = tracker.peak_bytes();
@@ -554,6 +734,7 @@ Result<ResultSet> Database::ExplainAnalyzeSelect(
       last_spill_bytes_ = spill;
       last_peak_bytes_ = peak;
     }
+    AppendOperatorRecords(qm, record);
     RADB_ASSIGN_OR_RETURN(Dist dist, std::move(result));
     (void)dist;
   }
@@ -606,6 +787,10 @@ Status Database::WriteObsFiles() const {
 
 Status Database::RepartitionTable(const std::string& table,
                                   const std::string& column) {
+  if (Catalog::IsSystemName(table)) {
+    return Status::CatalogError("system table " + ToLower(table) +
+                                " is read-only");
+  }
   RADB_ASSIGN_OR_RETURN(std::shared_ptr<Table> t, catalog_.GetTable(table));
   RADB_ASSIGN_OR_RETURN(size_t idx, t->schema().Resolve("", column));
   return t->RepartitionByHash(idx);

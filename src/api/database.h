@@ -2,6 +2,8 @@
 #define RADB_API_DATABASE_H_
 
 #include <atomic>
+#include <fstream>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -14,14 +16,18 @@
 #include "mem/memory_tracker.h"
 #include "dist/cluster.h"
 #include "dist/metrics.h"
+#include "obs/exporter.h"
 #include "obs/metrics_registry.h"
 #include "obs/obs.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "plan/logical_plan.h"
 #include "storage/table.h"
 
 namespace radb {
+
+class SystemTableCatalog;  // api/system_tables.h
 
 /// Materialized result of a SELECT, gathered from all workers.
 struct ResultSet {
@@ -92,6 +98,14 @@ struct QueryOptions {
   /// admission controller; the global budget itself is enforced at
   /// admission, not per byte.
   mem::MemoryTracker* memory_parent = nullptr;
+  /// Session attribution for the radb_queries record (0 = standalone
+  /// call, no service session). Set by service::Session.
+  uint64_t session_id = 0;
+  /// Time this call already spent blocked before reaching Execute —
+  /// admission-queue wait and catalog-latch wait — credited to the
+  /// record's queue/latch phases. Set by service::Session.
+  uint64_t queue_wait_micros = 0;
+  uint64_t latch_wait_micros = 0;
 };
 
 /// Cheap per-statement execution summary, collected for every
@@ -149,6 +163,42 @@ class Database {
     std::string metrics_path;
   };
 
+  /// Telemetry knobs: the query-record ring behind the radb_* system
+  /// tables, the slow-query log, and the exporter/sampler. The store
+  /// itself is always on (it is a bounded in-memory ring and costs a
+  /// few microseconds per query); only the export paths need opting
+  /// into.
+  struct TelemetryOptions {
+    /// Serve the radb_* system tables through the catalog. When off,
+    /// queries against them fail with CatalogError (the reserved
+    /// prefix stays reserved either way).
+    bool enable_system_tables = true;
+    /// Completed-query records retained for radb_queries /
+    /// radb_operators (oldest evicted first).
+    size_t query_log_capacity = 256;
+    /// Per-query cap on persisted operator records.
+    size_t max_operators_per_query = 64;
+    /// SQL text is truncated to this many bytes in records.
+    size_t max_sql_bytes = 1024;
+    /// Queries whose end-to-end time (queue wait included) reaches
+    /// this threshold emit one structured JSON line with the full
+    /// phase breakdown. 0 = slow-query log off.
+    uint64_t slow_query_micros = 0;
+    /// Slow-query log sink: appended to this file when non-empty,
+    /// else stderr. `slow_query_sink` overrides both (test hook).
+    std::string slow_query_log_path;
+    std::function<void(const std::string&)> slow_query_sink;
+    /// Exporter sinks (see obs::TelemetryExporter). The exporter is
+    /// created when any of these is set; the periodic sampler thread
+    /// additionally requires sampler_interval_ms != 0 and shuts down
+    /// cleanly with the Database.
+    std::string prometheus_path;
+    std::string jsonl_path;
+    std::function<void(const std::string&)> prometheus_callback;
+    std::function<void(const std::string&)> jsonl_callback;
+    uint64_t sampler_interval_ms = 0;
+  };
+
   struct Config {
     /// Simulated worker count (the paper uses 10 machines x 8 cores;
     /// workers here model the unit of data partitioning).
@@ -169,6 +219,7 @@ class Database {
     std::string spill_dir;
     Optimizer::Options optimizer;
     ObsOptions obs;
+    TelemetryOptions telemetry;
   };
 
   Database() : Database(Config{}) {}
@@ -250,18 +301,40 @@ class Database {
     return obs::ObsContext{tracer_.get(), metrics_registry_.get()};
   }
 
+  /// Completed-query ring + live session registry behind the radb_*
+  /// system tables. Never null.
+  obs::TelemetryStore* telemetry_store() { return telemetry_.get(); }
+  const obs::TelemetryStore* telemetry_store() const {
+    return telemetry_.get();
+  }
+  /// Exporter (null unless Config::telemetry configures a sink or the
+  /// sampler).
+  obs::TelemetryExporter* exporter() { return exporter_.get(); }
+
  private:
+  friend class SystemTableCatalog;
   /// `stats`, when non-null, receives this statement's spill/peak
   /// totals — the race-free path for concurrent sessions, which must
   /// not read them back from the shared last_* members.
   Result<ResultSet> RunSelect(const parser::SelectStmt& stmt,
                               const QueryOptions& options,
-                              QueryStats* stats = nullptr);
+                              QueryStats* stats = nullptr,
+                              obs::QueryRecord* record = nullptr);
   /// EXPLAIN ANALYZE: executes the SELECT, then renders the plan tree
   /// annotated with per-node actual metrics (including spill volume).
   Result<ResultSet> ExplainAnalyzeSelect(const parser::SelectStmt& stmt,
                                          const QueryOptions& options,
-                                         QueryStats* stats = nullptr);
+                                         QueryStats* stats = nullptr,
+                                         obs::QueryRecord* record = nullptr);
+  /// The statement loop behind Execute(); `record` accumulates the
+  /// phase breakdown and operator records for telemetry.
+  Result<ScriptResult> ExecuteScript(const std::string& sql,
+                                     const QueryOptions& options,
+                                     obs::QueryRecord* record);
+  /// Inserts the finished record into the telemetry ring and, when it
+  /// crosses Config::telemetry.slow_query_micros, emits one structured
+  /// slow-query-log line.
+  void RecordQueryTelemetry(obs::QueryRecord record);
   /// The ObsContext for one call, with QueryOptions toggles applied.
   obs::ObsContext QueryObs(const QueryOptions& options);
   /// Rewrites trace/metrics files if Config::obs names paths.
@@ -284,6 +357,16 @@ class Database {
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<obs::MetricsRegistry> metrics_registry_;
+  std::unique_ptr<obs::TelemetryStore> telemetry_;
+  /// The radb_* system-table provider (null when disabled); registered
+  /// with catalog_ at construction. Defined in api/system_tables.h.
+  std::unique_ptr<SystemTableCatalog> system_tables_;
+  /// Declared after the registry/store it reads so its destructor
+  /// (which joins the sampler thread) runs first.
+  std::unique_ptr<obs::TelemetryExporter> exporter_;
+  /// Lazily-opened append sink for the slow-query log.
+  std::mutex slow_log_mu_;
+  std::ofstream slow_log_;
 };
 
 }  // namespace radb

@@ -1,0 +1,58 @@
+#ifndef RADB_API_SYSTEM_TABLES_H_
+#define RADB_API_SYSTEM_TABLES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+#include "catalog/catalog.h"
+
+namespace radb {
+
+/// The Database's SystemTableProvider: serves the virtual radb_*
+/// tables from live engine state. Every GetTable hit materializes a
+/// fresh single-partition snapshot Table, so one scan sees one
+/// consistent point in time and the ordinary executor path (filters,
+/// joins, aggregates, EXPLAIN) needs no special cases.
+///
+/// Tables served:
+///   radb_metrics   — registry counters/gauges/histogram percentiles
+///   radb_queries   — completed-query ring: status, rows, peak/spill
+///                    bytes, per-phase micros (wide format)
+///   radb_query_phases — the same breakdown in long format
+///                    (query_id, phase, micros) for GROUP BY phase
+///   radb_operators — per-operator est vs. actual rows, worker
+///                    seconds, skew, shuffle/spill bytes
+///   radb_sessions  — live service sessions and what they run
+///   radb_threads   — pool workers (busy/wait time) and live regions
+///                    (queue depth)
+///   radb_tables    — user tables with row counts and byte sizes
+///
+/// Latch rules (DESIGN.md §12): snapshots take only leaf locks (the
+/// telemetry-store mutex, the registry mutex, the pool mutex) — never
+/// the service's catalog latch, which readers already hold.
+class SystemTableCatalog : public SystemTableProvider {
+ public:
+  explicit SystemTableCatalog(Database* db) : db_(db) {}
+
+  std::vector<std::string> TableNames() const override;
+  bool Has(const std::string& lower_name) const override;
+  Result<std::shared_ptr<Table>> Snapshot(
+      const std::string& lower_name) const override;
+
+ private:
+  std::shared_ptr<Table> MetricsTable() const;
+  std::shared_ptr<Table> QueriesTable() const;
+  std::shared_ptr<Table> QueryPhasesTable() const;
+  std::shared_ptr<Table> OperatorsTable() const;
+  std::shared_ptr<Table> SessionsTable() const;
+  std::shared_ptr<Table> ThreadsTable() const;
+  std::shared_ptr<Table> TablesTable() const;
+
+  Database* db_;
+};
+
+}  // namespace radb
+
+#endif  // RADB_API_SYSTEM_TABLES_H_

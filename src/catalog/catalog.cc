@@ -4,8 +4,19 @@
 
 namespace radb {
 
+bool Catalog::IsSystemName(const std::string& name) {
+  const std::string key = ToLower(name);
+  return key.rfind(kSystemPrefix, 0) == 0;
+}
+
 Result<std::shared_ptr<Table>> Catalog::CreateTable(const std::string& name,
                                                     Schema schema) {
+  if (IsSystemName(name)) {
+    return Status::CatalogError(
+        "cannot create table " + name + ": the '" +
+        std::string(kSystemPrefix) +
+        "' prefix is reserved for system tables (see radb_tables)");
+  }
   const std::string key = ToLower(name);
   if (tables_.count(key) || views_.count(key)) {
     return Status::CatalogError("relation already exists: " + name);
@@ -18,7 +29,15 @@ Result<std::shared_ptr<Table>> Catalog::CreateTable(const std::string& name,
 
 Result<std::shared_ptr<Table>> Catalog::GetTable(
     const std::string& name) const {
-  auto it = tables_.find(ToLower(name));
+  const std::string key = ToLower(name);
+  if (IsSystemName(key)) {
+    if (system_tables_ != nullptr && system_tables_->Has(key)) {
+      return system_tables_->Snapshot(key);
+    }
+    return Status::CatalogError("unknown system table: " + name +
+                                " (see radb_tables for user tables)");
+  }
+  auto it = tables_.find(key);
   if (it == tables_.end()) {
     return Status::CatalogError("table not found: " + name);
   }
@@ -26,10 +45,18 @@ Result<std::shared_ptr<Table>> Catalog::GetTable(
 }
 
 bool Catalog::HasTable(const std::string& name) const {
-  return tables_.count(ToLower(name)) > 0;
+  const std::string key = ToLower(name);
+  if (IsSystemName(key)) {
+    return system_tables_ != nullptr && system_tables_->Has(key);
+  }
+  return tables_.count(key) > 0;
 }
 
 Status Catalog::DropTable(const std::string& name) {
+  if (IsSystemName(name)) {
+    return Status::CatalogError("system table " + ToLower(name) +
+                                " is read-only and cannot be dropped");
+  }
   if (tables_.erase(ToLower(name)) == 0) {
     return Status::CatalogError("table not found: " + name);
   }
@@ -37,6 +64,12 @@ Status Catalog::DropTable(const std::string& name) {
 }
 
 Status Catalog::CreateView(ViewEntry view) {
+  if (IsSystemName(view.name)) {
+    return Status::CatalogError(
+        "cannot create view " + view.name + ": the '" +
+        std::string(kSystemPrefix) +
+        "' prefix is reserved for system tables");
+  }
   const std::string key = ToLower(view.name);
   if (tables_.count(key) || views_.count(key)) {
     return Status::CatalogError("relation already exists: " + view.name);
@@ -58,6 +91,10 @@ bool Catalog::HasView(const std::string& name) const {
 }
 
 Status Catalog::DropView(const std::string& name) {
+  if (IsSystemName(name)) {
+    return Status::CatalogError("system relation " + ToLower(name) +
+                                " is read-only and cannot be dropped");
+  }
   if (views_.erase(ToLower(name)) == 0) {
     return Status::CatalogError("view not found: " + name);
   }

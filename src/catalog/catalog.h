@@ -23,12 +23,41 @@ struct ViewEntry {
   std::string select_sql;
 };
 
+/// Serves the virtual read-only system tables living under the
+/// reserved "radb_" name prefix (radb_metrics, radb_queries, ...).
+/// GetTable/HasTable consult the registered provider for names
+/// carrying the prefix; every Snapshot call materializes a fresh
+/// point-in-time Table, so a query sees one consistent snapshot per
+/// scan and never observes later mutations (DESIGN.md §12).
+///
+/// Latch rules: providers are invoked on the read path, where service
+/// callers already hold the catalog *shared* latch. A provider must
+/// never take the catalog writer latch (deadlock) and must restrict
+/// itself to its own leaf locks.
+class SystemTableProvider {
+ public:
+  virtual ~SystemTableProvider() = default;
+  /// Lowercase names of every table this provider serves.
+  virtual std::vector<std::string> TableNames() const = 0;
+  /// True when `lower_name` (already lowercased) is served.
+  virtual bool Has(const std::string& lower_name) const = 0;
+  /// Builds a fresh snapshot Table for `lower_name`.
+  virtual Result<std::shared_ptr<Table>> Snapshot(
+      const std::string& lower_name) const = 0;
+};
+
 /// Database catalog: tables, views, and the function/aggregate
 /// registries. The catalog also records what the optimizer needs:
 /// per-table row counts (from storage) and column types with known
 /// matrix/vector dimensions (§4.1-4.2).
 class Catalog {
  public:
+  /// Reserved prefix for system tables; user relations cannot be
+  /// created (or dropped) under it.
+  static constexpr const char* kSystemPrefix = "radb_";
+  /// True when `name` (any case) falls in the reserved namespace.
+  static bool IsSystemName(const std::string& name);
+
   explicit Catalog(size_t default_partitions = 4)
       : default_partitions_(default_partitions),
         functions_(&FunctionRegistry::Global()),
@@ -49,6 +78,16 @@ class Catalog {
 
   std::vector<std::string> TableNames() const;
 
+  /// Registers (or, with nullptr, unregisters) the system-table
+  /// provider. Not synchronized: install once at Database
+  /// construction, before any concurrent use.
+  void RegisterSystemTableProvider(const SystemTableProvider* provider) {
+    system_tables_ = provider;
+  }
+  const SystemTableProvider* system_table_provider() const {
+    return system_tables_;
+  }
+
   const FunctionRegistry& functions() const { return *functions_; }
   const AggregateRegistry& aggregates() const { return *aggregates_; }
 
@@ -56,6 +95,7 @@ class Catalog {
   size_t default_partitions_;
   std::map<std::string, std::shared_ptr<Table>> tables_;
   std::map<std::string, ViewEntry> views_;
+  const SystemTableProvider* system_tables_ = nullptr;
   const FunctionRegistry* functions_;
   const AggregateRegistry* aggregates_;
 };

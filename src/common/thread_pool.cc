@@ -38,8 +38,9 @@ ThreadPool::ThreadPool(size_t num_threads)
   // The caller participates in every region, so only n-1 extra
   // threads are needed; a 1-thread pool is purely inline.
   workers_.reserve(num_threads_ - 1);
+  worker_stats_.resize(num_threads_ == 0 ? 0 : num_threads_ - 1);
   for (size_t i = 0; i + 1 < num_threads_; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -93,24 +94,38 @@ void ThreadPool::TouchTagLocked(uint64_t tag) {
   tag_service_.emplace_back(tag, service_clock_);
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  using Clock = std::chrono::steady_clock;
+  WorkerStats& stats = worker_stats_[worker_index];
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
+    const auto wait_start = Clock::now();
     work_cv_.wait(lock, [&] { return shutdown_ || HasClaimableLocked(); });
+    stats.wait_seconds +=
+        std::chrono::duration<double>(Clock::now() - wait_start).count();
     if (shutdown_) return;
     Region* r = PickRegionLocked();
     if (r == nullptr) continue;
     const size_t i = r->next++;
+    if (!r->claimed) {
+      r->claimed = true;
+      r->first_claim = Clock::now();
+    }
     const uint64_t tag = r->tag;
     const std::function<void(size_t)>* body = r->body;
     TouchTagLocked(tag);
     lock.unlock();
     tls_in_worker = true;
     tls_task_tag = tag;
+    const auto body_start = Clock::now();
     (*body)(i);
+    const double body_seconds =
+        std::chrono::duration<double>(Clock::now() - body_start).count();
     tls_task_tag = 0;
     tls_in_worker = false;
     lock.lock();
+    ++stats.tasks;
+    stats.busy_seconds += body_seconds;
     // After this increment the submitting caller may retire the
     // region, so `r` must not be dereferenced again once we notify.
     if (++r->completed == r->n) done_cv_.notify_all();
@@ -119,10 +134,12 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::RunRegion(size_t n, const std::function<void(size_t)>& body,
                            uint64_t tag) {
+  using Clock = std::chrono::steady_clock;
   Region region;
   region.tag = tag;
   region.n = n;
   region.body = &body;
+  region.created = Clock::now();
   {
     std::lock_guard<std::mutex> lock(mu_);
     region.id = ++region_counter_;
@@ -139,13 +156,24 @@ void ThreadPool::RunRegion(size_t n, const std::function<void(size_t)>& body,
   std::unique_lock<std::mutex> lock(mu_);
   while (region.next < region.n) {
     const size_t i = region.next++;
+    if (!region.claimed) {
+      region.claimed = true;
+      region.first_claim = Clock::now();
+    }
     TouchTagLocked(tag);
     lock.unlock();
+    const auto body_start = Clock::now();
     body(i);
+    const double body_seconds =
+        std::chrono::duration<double>(Clock::now() - body_start).count();
     lock.lock();
+    ++caller_stats_.tasks;
+    caller_stats_.busy_seconds += body_seconds;
     ++region.completed;
   }
   done_cv_.wait(lock, [&] { return region.completed == region.n; });
+  ++regions_completed_;
+  const std::function<void(double, double)> observer = region_observer_;
   regions_.erase(std::find(regions_.begin(), regions_.end(), &region));
   // Drop the tag's service entry once its last live region retires so
   // a long-lived service does not accumulate one slot per query ever
@@ -168,6 +196,42 @@ void ThreadPool::RunRegion(size_t n, const std::function<void(size_t)>& body,
   lock.unlock();
   tls_task_tag = previous_tag;
   tls_in_worker = false;
+  if (observer) {
+    const auto end = Clock::now();
+    const auto first = region.claimed ? region.first_claim : end;
+    observer(std::chrono::duration<double>(first - region.created).count(),
+             std::chrono::duration<double>(end - region.created).count());
+  }
+}
+
+ThreadPool::PoolStats ThreadPool::Stats() const {
+  using Clock = std::chrono::steady_clock;
+  const auto now = Clock::now();
+  PoolStats out;
+  out.num_threads = num_threads_;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.workers = worker_stats_;
+  out.caller = caller_stats_;
+  out.regions_started = region_counter_;
+  out.regions_completed = regions_completed_;
+  out.regions.reserve(regions_.size());
+  for (const Region* r : regions_) {
+    RegionStats s;
+    s.id = r->id;
+    s.tag = r->tag;
+    s.n = r->n;
+    s.next = r->next;
+    s.completed = r->completed;
+    s.age_seconds = std::chrono::duration<double>(now - r->created).count();
+    out.regions.push_back(s);
+  }
+  return out;
+}
+
+void ThreadPool::SetRegionObserver(
+    std::function<void(double wait_seconds, double run_seconds)> observer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  region_observer_ = std::move(observer);
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body,

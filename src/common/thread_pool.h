@@ -2,6 +2,7 @@
 #define RADB_COMMON_THREAD_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -91,6 +92,43 @@ class ThreadPool {
   /// workers (any pool) — the signal that a region must run inline.
   static bool InWorker();
 
+  /// Cumulative per-thread accounting: bodies run, time spent running
+  /// them, time spent blocked waiting for work.
+  struct WorkerStats {
+    uint64_t tasks = 0;
+    double busy_seconds = 0.0;
+    double wait_seconds = 0.0;
+  };
+  /// A live region as seen at snapshot time; queue_depth = n - next is
+  /// the number of still-unclaimed indices.
+  struct RegionStats {
+    uint64_t id = 0;
+    uint64_t tag = 0;
+    size_t n = 0;
+    size_t next = 0;
+    size_t completed = 0;
+    double age_seconds = 0.0;
+  };
+  /// Point-in-time pool snapshot (the radb_threads system table).
+  struct PoolStats {
+    size_t num_threads = 1;
+    std::vector<WorkerStats> workers;  // one per spawned worker thread
+    WorkerStats caller;  // aggregate over submitting threads' own claims
+    std::vector<RegionStats> regions;  // live regions, oldest first
+    uint64_t regions_started = 0;
+    uint64_t regions_completed = 0;
+  };
+  /// Thread-safe; takes the pool lock briefly, never blocks on work.
+  PoolStats Stats() const;
+
+  /// Observer called once per retired region (outside the pool lock,
+  /// on the submitting thread) with the region's startup wait — time
+  /// from submission to first index claim — and its total run time.
+  /// Set once, before concurrent use; the Database installs one that
+  /// feeds the pool.region_* wait histograms.
+  void SetRegionObserver(
+      std::function<void(double wait_seconds, double run_seconds)> observer);
+
   /// hardware_concurrency, clamped to >= 1.
   static size_t HardwareThreads();
 
@@ -106,9 +144,14 @@ class ThreadPool {
     const std::function<void(size_t)>* body = nullptr;
     size_t next = 0;       // next unclaimed index
     size_t completed = 0;  // bodies that have returned
+    std::chrono::steady_clock::time_point created;
+    /// Set (under mu_) when the first index is claimed; the gap from
+    /// `created` is the region's queue wait.
+    std::chrono::steady_clock::time_point first_claim;
+    bool claimed = false;
   };
 
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
   void RunRegion(size_t n, const std::function<void(size_t)>& body,
                  uint64_t tag);
   /// Under mu_: true if any live region still has unclaimed indices.
@@ -122,7 +165,7 @@ class ThreadPool {
   size_t num_threads_ = 1;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;  // guards regions_, tag bookkeeping, shutdown_
+  mutable std::mutex mu_;  // guards regions_, tag bookkeeping, shutdown_
   std::condition_variable work_cv_;  // workers: a region gained work
   std::condition_variable done_cv_;  // callers: some region completed
   std::vector<Region*> regions_;
@@ -131,7 +174,13 @@ class ThreadPool {
   std::vector<std::pair<uint64_t, uint64_t>> tag_service_;
   uint64_t service_clock_ = 0;
   uint64_t region_counter_ = 0;
+  uint64_t regions_completed_ = 0;
   bool shutdown_ = false;
+  /// Per-worker accounting, indexed like workers_; updated only under
+  /// mu_ at points where the loops already hold it.
+  std::vector<WorkerStats> worker_stats_;
+  WorkerStats caller_stats_;
+  std::function<void(double, double)> region_observer_;
 };
 
 /// Process-global pool hook for call sites with no natural path to a

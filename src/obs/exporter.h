@@ -1,0 +1,97 @@
+#ifndef RADB_OBS_EXPORTER_H_
+#define RADB_OBS_EXPORTER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "obs/metrics_registry.h"
+#include "obs/telemetry.h"
+
+namespace radb::obs {
+
+/// Renders the metrics registry and the telemetry store's query
+/// records to external formats:
+///
+///  - Prometheus text exposition format (RenderPrometheus): counters
+///    and gauges as single samples, histograms as summaries with
+///    quantile labels plus _sum/_count. Metric names are sanitized
+///    ("service.query_seconds" -> "radb_service_query_seconds").
+///  - JSONL (RenderJsonl): one JSON object per completed query record,
+///    with the phase breakdown and per-operator est-vs-actual stats
+///    nested — the machine-readable feed for a learned-cardinality
+///    pass. An internal cursor makes repeated renders incremental
+///    (each record is emitted exactly once).
+///
+/// ExportOnce() writes both renders to the configured sinks (file
+/// paths or callbacks; JSONL files are appended to, the Prometheus
+/// file is rewritten). StartSampler() runs ExportOnce on a background
+/// thread every interval_ms; the destructor (or StopSampler) joins it
+/// cleanly. Either source may be null — that side is simply skipped.
+class TelemetryExporter {
+ public:
+  struct Options {
+    /// Rewritten with the full Prometheus render on each export.
+    std::string prometheus_path;
+    /// Appended with new query records on each export.
+    std::string jsonl_path;
+    /// Callback sinks; invoked with the rendered text when set. The
+    /// JSONL callback receives only new-since-last-export records
+    /// (possibly the empty string).
+    std::function<void(const std::string&)> prometheus_callback;
+    std::function<void(const std::string&)> jsonl_callback;
+    /// Sampler period. The sampler is only ever started explicitly.
+    uint64_t interval_ms = 1000;
+  };
+
+  TelemetryExporter(const MetricsRegistry* registry,
+                    const TelemetryStore* store);
+  TelemetryExporter(const MetricsRegistry* registry,
+                    const TelemetryStore* store, Options options);
+  ~TelemetryExporter();
+
+  TelemetryExporter(const TelemetryExporter&) = delete;
+  TelemetryExporter& operator=(const TelemetryExporter&) = delete;
+
+  /// Full Prometheus exposition of the registry snapshot. Stateless.
+  std::string RenderPrometheus() const;
+  /// JSONL of query records newer than the cursor; advances the
+  /// cursor. Thread-safe.
+  std::string RenderJsonl();
+  /// One line for a single record (used by the slow-query log too).
+  static std::string QueryRecordJson(const QueryRecord& record);
+
+  /// Renders and writes to every configured sink. Returns the first
+  /// I/O error, after attempting all sinks.
+  Status ExportOnce();
+
+  /// Starts the periodic sampler thread (no-op when already running).
+  void StartSampler();
+  /// Stops and joins the sampler (no-op when not running).
+  void StopSampler();
+  bool sampler_running() const;
+
+ private:
+  void SamplerLoop();
+
+  const MetricsRegistry* registry_;  // may be null
+  const TelemetryStore* store_;      // may be null
+  const Options options_;
+
+  std::mutex cursor_mu_;
+  uint64_t jsonl_cursor_ = 0;
+
+  mutable std::mutex sampler_mu_;
+  std::condition_variable sampler_cv_;
+  bool sampler_stop_ = false;
+  bool sampler_running_ = false;
+  std::thread sampler_;
+};
+
+}  // namespace radb::obs
+
+#endif  // RADB_OBS_EXPORTER_H_

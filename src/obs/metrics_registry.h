@@ -83,6 +83,25 @@ class Histogram {
   uint64_t buckets_[kBuckets] = {};
 };
 
+/// One instrument's point-in-time reading, in a uniform shape the
+/// radb_metrics system table and the TelemetryExporter both consume.
+/// Counters fill only `value` (== count); gauges only `value`;
+/// histograms fill everything (`value` is the mean).
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  double value = 0.0;
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+const char* MetricKindName(MetricSample::Kind kind);
+
 /// Named metric store. Names follow "<subsystem>.<metric>" snake_case
 /// ("la.matmul_flops", "optimizer.plans_considered"); see DESIGN.md §7
 /// for the convention. Instrument lookup is mutex-guarded; the handles
@@ -103,6 +122,11 @@ class MetricsRegistry {
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,
   ///  min,max,mean,buckets:[{"le":..,"count":..}]}}}
   std::string ToJson() const;
+
+  /// Point-in-time structured snapshot of every instrument, sorted by
+  /// (name, kind). The relational twin of ToJson(): radb_metrics rows
+  /// and the Prometheus exporter are both rendered from this.
+  std::vector<MetricSample> Snapshot() const;
 
   /// Drops every instrument (used between bench figures).
   void Clear();

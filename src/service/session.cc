@@ -34,22 +34,26 @@ bool IsReadOnlyScript(const std::string& sql) {
 SessionManager::SessionManager(Database* db, ServiceConfig config)
     : db_(db),
       config_(std::move(config)),
-      admission_(config_.admission, db->metrics_registry()) {
+      admission_(config_.admission, db->metrics_registry()),
+      telemetry_(db->telemetry_store()) {
   obs::MetricsRegistry* metrics = db_->metrics_registry();
   if (metrics != nullptr) {
     queue_wait_hist_ = metrics->histogram("service.queue_wait_seconds");
     query_seconds_hist_ = metrics->histogram("service.query_seconds");
+    latch_read_hist_ = metrics->histogram("service.latch_wait_read_seconds");
+    latch_write_hist_ = metrics->histogram("service.latch_wait_write_seconds");
     cancelled_counter_ = metrics->counter("service.queries_cancelled");
   }
 }
 
 std::unique_ptr<Session> SessionManager::CreateSession() {
   const uint64_t id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  telemetry_->RegisterSession(id);
   // Session's constructor is private; can't use make_unique.
   return std::unique_ptr<Session>(new Session(this, id));
 }
 
-Session::~Session() = default;
+Session::~Session() { manager_->telemetry_->DeregisterSession(id_); }
 
 std::shared_ptr<CancellationToken> Session::TokenFor(uint64_t seq) {
   std::lock_guard<std::mutex> lock(tokens_mu_);
@@ -88,6 +92,12 @@ Result<ScriptResult> Session::Execute(const std::string& sql,
     token->ArmDeadlineMs(options.deadline_ms);
   }
   const double start = NowSeconds();
+  // Globally unique query id: session id in the high half, the
+  // session-local sequence number in the low. Drives spill-file
+  // attribution, thread-pool fair-scheduling tags, and the telemetry
+  // record.
+  const uint64_t query_id = (id_ << 32) | seq;
+  obs::TelemetryStore* telemetry = manager_->telemetry_;
 
   auto finish = [&](Result<ScriptResult> result) -> Result<ScriptResult> {
     if (manager_->query_seconds_hist_ != nullptr) {
@@ -96,37 +106,60 @@ Result<ScriptResult> Session::Execute(const std::string& sql,
     if (!result.ok() && cancelled_counter_bump(result.status())) {
       manager_->cancelled_counter_->Add(1);
     }
+    telemetry->SetSessionState(id_, "idle", 0, "");
     ForgetToken(seq);
     return result;
   };
 
   // Admission: claim the per-call budget (or the controller's default
   // for unbudgeted calls) against the global budget + concurrency cap.
+  telemetry->SetSessionState(id_, "queued", query_id, sql);
   double queue_wait = 0.0;
   size_t claim = options.memory_budget_bytes;
   auto slot_or = manager_->admission_.Admit(claim, token.get(), &queue_wait);
   if (manager_->queue_wait_hist_ != nullptr) {
     manager_->queue_wait_hist_->Observe(queue_wait);
   }
+  const uint64_t queue_micros = static_cast<uint64_t>(queue_wait * 1e6);
   if (!slot_or.ok()) {
+    // Rejected/cancelled in the queue: Database::Execute never runs,
+    // so the radb_queries record is written here — all blocked time is
+    // queue wait.
+    obs::QueryRecord record;
+    record.query_id = query_id;
+    record.session_id = id_;
+    record.sql = sql;
+    record.status = StatusCodeName(slot_or.status().code());
+    record.phases[obs::QueryPhase::kQueue] = queue_micros;
+    record.total_micros = queue_micros;
+    telemetry->RecordQuery(std::move(record));
     return finish(slot_or.status());
   }
   AdmissionController::Slot slot = std::move(slot_or).value();
 
   QueryOptions opts = options;
   opts.cancellation = token;
-  // Globally unique query id: session id in the high half, the
-  // session-local sequence number in the low. Drives spill-file
-  // attribution and thread-pool fair-scheduling tags.
-  opts.query_id = (id_ << 32) | seq;
+  opts.query_id = query_id;
   opts.memory_parent = manager_->admission_.global_tracker();
+  opts.session_id = id_;
+  opts.queue_wait_micros = queue_micros;
 
-  if (IsReadOnlyScript(sql)) {
-    std::shared_lock<std::shared_mutex> latch(manager_->catalog_latch_);
+  const bool read_only = IsReadOnlyScript(sql);
+  const double latch_t0 = NowSeconds();
+  auto run = [&](double latch_wait_seconds) -> Result<ScriptResult> {
+    obs::Histogram* hist = read_only ? manager_->latch_read_hist_
+                                     : manager_->latch_write_hist_;
+    if (hist != nullptr) hist->Observe(latch_wait_seconds);
+    opts.latch_wait_micros = static_cast<uint64_t>(latch_wait_seconds * 1e6);
+    telemetry->SetSessionState(id_, "running", query_id, sql);
     return finish(manager_->db_->Execute(sql, opts));
+  };
+  if (read_only) {
+    std::shared_lock<std::shared_mutex> latch(manager_->catalog_latch_);
+    return run(NowSeconds() - latch_t0);
   }
   std::unique_lock<std::shared_mutex> latch(manager_->catalog_latch_);
-  return finish(manager_->db_->Execute(sql, opts));
+  return run(NowSeconds() - latch_t0);
 }
 
 bool Session::cancelled_counter_bump(const Status& s) const {

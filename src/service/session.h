@@ -73,7 +73,15 @@ class SessionManager {
   /// Query-latency histogram names are resolved once here.
   obs::Histogram* queue_wait_hist_ = nullptr;
   obs::Histogram* query_seconds_hist_ = nullptr;
+  /// Catalog-latch wait distributions, split by acquisition mode, so
+  /// reader-vs-writer contention is attributable separately.
+  obs::Histogram* latch_read_hist_ = nullptr;
+  obs::Histogram* latch_write_hist_ = nullptr;
   obs::Counter* cancelled_counter_ = nullptr;
+  /// The database's telemetry store (never null): live-session state
+  /// for radb_sessions plus records for admission-rejected calls that
+  /// never reach Database::Execute.
+  obs::TelemetryStore* telemetry_ = nullptr;
   std::atomic<uint64_t> next_session_id_{1};
 };
 

@@ -116,6 +116,19 @@ std::string OutcomeToString(const Result<ResultSet>& r) {
   return os.str();
 }
 
+/// "name:KIND, name:KIND, ..." — the schema identity compared in
+/// shape mode. Full DataType::ToString (with dimensions) would be too
+/// strict only if system tables ever grew LA columns; today they are
+/// scalar-only, so render the full type for better error messages.
+std::string SchemaSignature(const ResultSet& rs) {
+  std::ostringstream os;
+  for (size_t i = 0; i < rs.columns.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << rs.columns[i].name << ":" << rs.columns[i].type.ToString();
+  }
+  return os.str();
+}
+
 }  // namespace
 
 std::vector<FuzzConfig> StandardConfigs() {
@@ -162,7 +175,78 @@ Differ::Differ(const CatalogSpec& spec) : configs_(StandardConfigs()) {
   }
 }
 
+DiffOutcome Differ::RunOneSystem(const std::string& sql) {
+  std::vector<Result<ResultSet>> results;
+  results.reserve(dbs_.size());
+  for (auto& db : dbs_) results.push_back(db->ExecuteSql(sql));
+
+  // Config 0 is the baseline every other configuration must match on
+  // status code and (on success) schema signature. Values are never
+  // compared: each database's metric values, thread stats, and query
+  // history differ by design.
+  std::vector<size_t> bad;
+  const Result<ResultSet>& base = results[0];
+  const std::string base_sig = base.ok() ? SchemaSignature(*base) : "";
+  for (size_t i = 1; i < results.size(); ++i) {
+    const Result<ResultSet>& r = results[i];
+    if (base.ok() != r.ok()) {
+      bad.push_back(i);
+    } else if (!base.ok()) {
+      if (base.status().code() != r.status().code()) bad.push_back(i);
+    } else if (SchemaSignature(*r) != base_sig) {
+      bad.push_back(i);
+    }
+  }
+
+  // Budget rerun: a system-table scan under a tight budget must either
+  // succeed with the same schema or fail cleanly ResourceExhausted.
+  constexpr size_t kTightBudget = 64 << 10;
+  std::string budget_report;
+  {
+    Result<ScriptResult> budgeted = dbs_[0]->Execute(
+        sql, QueryOptions{.memory_budget_bytes = kTightBudget});
+    if (budgeted.ok()) {
+      if (base.ok() && budgeted->has_results() &&
+          SchemaSignature(budgeted->last()) != base_sig) {
+        budget_report =
+            "budgeted rerun (64 KB) produced a different schema: " +
+            SchemaSignature(budgeted->last()) + " vs " + base_sig + "\n";
+      }
+    } else if (budgeted.status().code() != StatusCode::kResourceExhausted &&
+               (base.ok() ||
+                budgeted.status().code() != base.status().code())) {
+      budget_report = "budgeted rerun failed with unexpected error: " +
+                      budgeted.status().ToString() + "\n";
+    }
+  }
+
+  DiffOutcome out;
+  if (bad.empty() && budget_report.empty()) return out;
+  out.diverged = true;
+  std::ostringstream os;
+  os << "DIVERGENCE (system-table shape mode) on:\n  " << sql << "\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    os << "  " << configs_[i].name
+       << (std::count(bad.begin(), bad.end(), i) ? " [DIVERGED]" : " [ok]")
+       << ": ";
+    if (results[i].ok()) {
+      os << "schema {" << SchemaSignature(*results[i]) << "}, "
+         << results[i]->rows.size() << " row(s)\n";
+    } else {
+      os << "ERROR " << StatusCodeName(results[i].status().code()) << ": "
+         << results[i].status().message() << "\n";
+    }
+  }
+  if (!budget_report.empty()) {
+    os << "  " << configs_[0].name << " under 64 KB budget [DIVERGED]: "
+       << budget_report;
+  }
+  out.report = os.str();
+  return out;
+}
+
 DiffOutcome Differ::RunOne(const std::string& sql) {
+  if (sql.find("radb_") != std::string::npos) return RunOneSystem(sql);
   // The reference binds against the same catalog contents; any of the
   // databases' catalogs is equivalent, use the first.
   Result<ResultSet> reference = ReferenceExecute(sql, dbs_[0]->catalog());

@@ -376,6 +376,104 @@ std::string QuerySpec::ToSql() const {
   return os.str();
 }
 
+std::vector<TableSpec> SystemTableFuzzSchemas() {
+  // Keep this list boring on purpose: stable identity columns plus a
+  // few counters, no timing columns (those exist, they're just not
+  // interesting to a shape oracle). Types must match the live schemas
+  // in src/api/system_tables.cc — systab_test enforces that.
+  std::vector<TableSpec> out;
+  out.push_back({"radb_tables",
+                 {{"name", DataType::String()},
+                  {"columns", DataType::Integer()},
+                  {"num_rows", DataType::Integer()},
+                  {"bytes", DataType::Integer()},
+                  {"num_partitions", DataType::Integer()}},
+                 {}});
+  out.push_back({"radb_metrics",
+                 {{"name", DataType::String()},
+                  {"kind", DataType::String()},
+                  {"value", DataType::Double()},
+                  {"count", DataType::Integer()}},
+                 {}});
+  out.push_back({"radb_queries",
+                 {{"query_id", DataType::Integer()},
+                  {"session_id", DataType::Integer()},
+                  {"sql", DataType::String()},
+                  {"status", DataType::String()},
+                  {"rows", DataType::Integer()},
+                  {"total_micros", DataType::Integer()}},
+                 {}});
+  out.push_back({"radb_threads",
+                 {{"kind", DataType::String()},
+                  {"id", DataType::Integer()},
+                  {"tasks", DataType::Integer()}},
+                 {}});
+  return out;
+}
+
+QuerySpec GenerateSystemTableQuery(const CatalogSpec& catalog, Rng* rng) {
+  const std::vector<TableSpec> sys = SystemTableFuzzSchemas();
+  const TableSpec& st = sys[rng->NextBelow(sys.size())];
+
+  QuerySpec q;
+  q.from.push_back({st.name, "r0"});
+
+  // Column buckets of the system table.
+  std::vector<std::string> ints, strings;
+  for (const ColumnSpec& c : st.columns) {
+    if (c.type.kind() == TypeKind::kInteger) {
+      ints.push_back("r0." + c.name);
+    } else if (c.type.kind() == TypeKind::kString) {
+      strings.push_back("r0." + c.name);
+    }
+  }
+
+  // Optionally join a user table on its INTEGER key `k` (every
+  // generated table has one). Equality drives the hash-join path;
+  // inequality drives the nested-loop path. Either way row contents
+  // are volatile, so only the status + schema must agree.
+  if (!catalog.tables.empty() && rng->NextBelow(2) == 0) {
+    const TableSpec& ut =
+        catalog.tables[rng->NextBelow(catalog.tables.size())];
+    q.from.push_back({ut.name, "r1"});
+    if (!ints.empty()) {
+      const std::string& lhs = ints[rng->NextBelow(ints.size())];
+      const char* op = rng->NextBelow(2) == 0 ? " = " : " >= ";
+      q.where.push_back("(" + lhs + op + "r1.k)");
+    }
+  }
+
+  const bool agg = rng->NextBelow(3) == 0;
+  if (agg) {
+    q.select_items.push_back({"COUNT(*)", true});
+    if (!ints.empty() && rng->NextBelow(2) == 0) {
+      const char* fn = rng->NextBelow(2) == 0 ? "MIN(" : "MAX(";
+      q.select_items.push_back(
+          {fn + ints[rng->NextBelow(ints.size())] + ")", true});
+    }
+  } else {
+    const size_t nitems = 1 + rng->NextBelow(3);
+    for (size_t i = 0; i < nitems; ++i) {
+      const uint64_t roll = rng->NextBelow(3);
+      if (roll == 0 && !strings.empty()) {
+        q.select_items.push_back({strings[rng->NextBelow(strings.size())],
+                                  true});
+      } else if (!ints.empty()) {
+        q.select_items.push_back({ints[rng->NextBelow(ints.size())], true});
+      } else {
+        q.select_items.push_back({"COUNT(*)", true});
+      }
+    }
+    // A volatile-free filter every config evaluates identically is
+    // impossible in general; any predicate is fine under shape mode.
+    if (!ints.empty() && rng->NextBelow(3) == 0) {
+      q.where.push_back(
+          "(" + ints[rng->NextBelow(ints.size())] + " >= 0)");
+    }
+  }
+  return q;
+}
+
 QuerySpec GenerateQuery(const CatalogSpec& catalog, Rng* rng) {
   QuerySpec q;
 

@@ -55,6 +55,23 @@ struct QuerySpec {
 /// duplicates and any stable order yields the same multiset prefix).
 QuerySpec GenerateQuery(const CatalogSpec& catalog, Rng* rng);
 
+/// Curated column subsets of the radb_ system tables the fuzzer may
+/// query (rows are always empty — only the schemas matter). This is a
+/// deliberate SUBSET of the live columns: the contract is that every
+/// listed column binds with the listed type kind; the engine may add
+/// columns freely without touching the fuzzer. systab_test pins each
+/// schema against the live tables so drift is caught immediately.
+std::vector<TableSpec> SystemTableFuzzSchemas();
+
+/// Generates a query over one system table, optionally joined against
+/// a user table from `catalog`. System-table contents are volatile
+/// (metrics move between runs, each config's query history differs),
+/// so the differ compares these in SHAPE mode — status codes and
+/// result schemas across configurations, never cell values. Generated
+/// shapes: plain column selections, COUNT(*)/MIN/MAX aggregates, and
+/// INTEGER-column join predicates against the user table's `k` key.
+QuerySpec GenerateSystemTableQuery(const CatalogSpec& catalog, Rng* rng);
+
 }  // namespace radb::testing
 
 #endif  // RADB_TESTING_QUERY_GEN_H_
