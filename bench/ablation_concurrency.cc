@@ -5,9 +5,13 @@
 // EVERY result is cross-checked bit-for-bit against single-session
 // execution of the same query — the determinism contract must survive
 // admission, fair scheduling, and interleaved execution. Sweeps
-// N in {1, 2, 4, 8} and emits BENCH_concurrency.json with per-N
-// throughput plus queue-wait and end-to-end latency percentiles from
-// the service histograms.
+// N in {1, 2, 4, 8} on the default 8-thread pool, plus an
+// {8 sessions, 16-thread pool} point: the PR 6 phase attribution
+// concluded the 4→8-session flatline is pool capacity, not
+// scheduling, so doubling Config::num_threads should move the qps
+// ceiling where a scheduler fix would not. Emits
+// BENCH_concurrency.json with per-point throughput plus queue-wait
+// and end-to-end latency percentiles from the service histograms.
 //
 // Usage:
 //   ablation_concurrency [--quick] [--per-session N]
@@ -24,6 +28,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "api/database.h"
@@ -112,10 +117,10 @@ std::string Fingerprint(const ResultSet& rs) {
   return os.str();
 }
 
-Database::Config MakeConfig() {
+Database::Config MakeConfig(size_t threads = kThreads) {
   Database::Config config;
   config.num_workers = kWorkers;
-  config.num_threads = kThreads;
+  config.num_threads = threads;
   config.obs.enable_metrics = true;
   // Large enough that no sweep point evicts a record before the
   // post-run radb_query_phases rollup reads it.
@@ -131,6 +136,7 @@ double NowSeconds() {
 
 struct SweepEntry {
   size_t sessions = 0;
+  size_t threads = kThreads;  // Config::num_threads at this point
   size_t queries = 0;
   size_t mismatches = 0;
   size_t errors = 0;
@@ -202,11 +208,17 @@ int main(int argc, char** argv) {
   std::vector<SweepEntry> entries;
   size_t total_mismatches = 0;
   size_t total_errors = 0;
-  for (size_t sessions : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+  // (sessions, pool threads): the 1→8-session sweep on the default
+  // 8-thread pool, then 8 sessions against a 16-thread pool — the
+  // capacity experiment the PR 6 saturation diagnosis called for.
+  const std::pair<size_t, size_t> sweep[] = {
+      {1, kThreads}, {2, kThreads}, {4, kThreads}, {8, kThreads},
+      {8, 2 * kThreads}};
+  for (const auto& [sessions, threads] : sweep) {
     // Fresh Database per sweep point so the service histograms cover
     // exactly this window (SessionManager resolves instrument pointers
     // at construction, so clearing a live registry is not an option).
-    Database db(MakeConfig());
+    Database db(MakeConfig(threads));
     if (Status s = LoadDataset(&db, args.rows, args.dims); !s.ok()) {
       std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
       return 1;
@@ -215,13 +227,14 @@ int main(int argc, char** argv) {
 
     SweepEntry entry;
     entry.sessions = sessions;
+    entry.threads = threads;
     entry.queries = sessions * args.per_session;
     std::atomic<size_t> mismatches{0};
     std::atomic<size_t> errors{0};
-    std::vector<std::thread> threads;
+    std::vector<std::thread> session_threads;
     const double start = NowSeconds();
     for (size_t s = 0; s < sessions; ++s) {
-      threads.emplace_back([&, s] {
+      session_threads.emplace_back([&, s] {
         auto session = manager.CreateSession();
         // Closed loop: each session issues its next query as soon as
         // the previous one returns; sessions start at staggered
@@ -237,7 +250,7 @@ int main(int argc, char** argv) {
         }
       });
     }
-    for (auto& t : threads) t.join();
+    for (auto& t : session_threads) t.join();
     entry.wall_seconds = NowSeconds() - start;
     entry.mismatches = mismatches.load();
     entry.errors = errors.load();
@@ -273,12 +286,12 @@ int main(int argc, char** argv) {
     total_errors += entry.errors;
     entries.push_back(entry);
     std::printf(
-        "sessions=%zu  queries=%zu  wall=%.3fs  qps=%.2f  "
+        "sessions=%zu  threads=%zu  queries=%zu  wall=%.3fs  qps=%.2f  "
         "p50=%.4fs p95=%.4fs p99=%.4fs  queue_p95=%.4fs  "
         "mismatches=%zu errors=%zu\n",
-        entry.sessions, entry.queries, entry.wall_seconds, entry.qps,
-        entry.p50, entry.p95, entry.p99, entry.queue_p95, entry.mismatches,
-        entry.errors);
+        entry.sessions, entry.threads, entry.queries, entry.wall_seconds,
+        entry.qps, entry.p50, entry.p95, entry.p99, entry.queue_p95,
+        entry.mismatches, entry.errors);
     std::printf("  phases(ms):");
     for (size_t p = 0; p < obs::kNumQueryPhases; ++p) {
       std::printf(" %s=%.1f",
@@ -296,8 +309,10 @@ int main(int argc, char** argv) {
      << ",\"per_session\":" << args.per_session << ",\"entries\":[\n";
   for (size_t i = 0; i < entries.size(); ++i) {
     const SweepEntry& e = entries[i];
-    os << "{\"label\":\"sessions=" << e.sessions << "\""
-       << ",\"sessions\":" << e.sessions << ",\"queries\":" << e.queries
+    os << "{\"label\":\"sessions=" << e.sessions << ",threads=" << e.threads
+       << "\""
+       << ",\"sessions\":" << e.sessions << ",\"threads\":" << e.threads
+       << ",\"queries\":" << e.queries
        << ",\"wall_seconds\":" << obs::JsonNumber(e.wall_seconds)
        << ",\"qps\":" << obs::JsonNumber(e.qps)
        << ",\"latency_p50\":" << obs::JsonNumber(e.p50)

@@ -22,8 +22,8 @@ cmake -S "$(dirname "$0")/.." -B "$BUILD_DIR" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRADB_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$JOBS" \
-  --target service_test cancel_test systab_test ablation_concurrency \
-  fuzz_queries
+  --target service_test cancel_test systab_test vectorized_test \
+  ablation_concurrency fuzz_queries
 
 # halt_on_error so a race report fails the run instead of scrolling by.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
@@ -35,6 +35,12 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 # the exporter sampler thread, and the telemetry ring — the prime
 # TSan targets this tree adds.
 (cd "$BUILD_DIR" && ctest -L obs --output-on-failure)
+
+# Vectorized engine suite: the batch pipeline fans partitions out over
+# the worker pool and merges per-worker aggregate states, so the
+# bit-identity battery doubles as a race detector for the columnar
+# path (same label scripts/fuzz.sh runs under ASan).
+(cd "$BUILD_DIR" && ctest -L vectorized --output-on-failure)
 
 # Multi-session differential fuzzing: 4 concurrent sessions vs the
 # serial oracle, plus the usual single-threaded sweep for coverage.

@@ -192,6 +192,8 @@ void AppendOperatorRecords(const QueryMetrics& qm, obs::QueryRecord* record) {
     op.bytes_shuffled = static_cast<int64_t>(m.bytes_shuffled);
     op.bytes_spilled = static_cast<int64_t>(m.bytes_spilled);
     op.spill_runs = static_cast<int64_t>(m.spill_runs);
+    op.exec_mode = m.vectorized ? "batch" : "row";
+    op.batches = static_cast<int64_t>(m.batches);
     record->operators.push_back(std::move(op));
   }
 }
@@ -343,7 +345,9 @@ Result<ResultSet> Database::RunSelect(const parser::SelectStmt& stmt,
   {
     obs::ScopedSpan exec_span(obs.tracer, "execute", "pipeline");
     PhaseTimer exec_timer(record, obs::QueryPhase::kExecute);
-    Executor executor(cluster_, &qm, obs, pool, mem);
+    Executor executor(cluster_, &qm, obs, pool, mem,
+                      ExecOptions{config_.enable_vectorized,
+                                  config_.vectorized_batch_rows});
     auto result = executor.Execute(*plan);
     const size_t spill = tracker.spill_bytes();
     const size_t peak = tracker.peak_bytes();
@@ -666,7 +670,13 @@ void RenderAnalyzed(const LogicalOp& op, const Executor& executor,
          << spill_runs << " runs";
     }
     os << ", max-worker=" << max_worker << " s"
-       << ", skew=" << skew << ")\n";
+       << ", skew=" << skew;
+    if (final_stage.vectorized) {
+      size_t batches = 0;
+      for (size_t id : *ids) batches += qm.operators[id].batches;
+      os << ", exec=batch, batches=" << batches;
+    }
+    os << ")\n";
   }
   for (const auto& c : op.children) {
     RenderAnalyzed(*c, executor, qm, indent + 1, os);
@@ -717,7 +727,9 @@ Result<ResultSet> Database::ExplainAnalyzeSelect(
   const auto t0 = std::chrono::steady_clock::now();
   // The executor outlives Execute so its plan-node -> metrics map is
   // available for rendering.
-  Executor executor(cluster_, &qm, obs, pool, mem);
+  Executor executor(cluster_, &qm, obs, pool, mem,
+                    ExecOptions{config_.enable_vectorized,
+                                config_.vectorized_batch_rows});
   size_t spill = 0, peak = 0;
   {
     obs::ScopedSpan exec_span(obs.tracer, "execute", "pipeline");

@@ -217,6 +217,13 @@ class Database {
     size_t memory_budget_bytes = 0;
     /// Directory spill files are created in ("" = system temp dir).
     std::string spill_dir;
+    /// Master switch for the columnar batch engine. Even when on, a
+    /// pipeline runs vectorized only if the optimizer marked its
+    /// nodes batch-capable, and never under a memory budget; results
+    /// are bit-identical to the row engine either way.
+    bool enable_vectorized = true;
+    /// Lanes per ColumnBatch on the vectorized path.
+    size_t vectorized_batch_rows = 1024;
     Optimizer::Options optimizer;
     ObsOptions obs;
     TelemetryOptions telemetry;

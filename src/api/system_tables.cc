@@ -151,7 +151,9 @@ std::shared_ptr<Table> SystemTableCatalog::OperatorsTable() const {
                   {"bytes_shuffled", DataType::Integer()},
                   {"bytes_spilled", DataType::Integer()},
                   {"spill_runs", DataType::Integer()},
-                  {"est_error", DataType::Double()}}));
+                  {"est_error", DataType::Double()},
+                  {"exec_mode", DataType::String()},
+                  {"batches", DataType::Integer()}}));
   for (const obs::QueryRecord& q : db_->telemetry_store()->SnapshotQueries()) {
     for (const obs::OperatorRecord& op : q.operators) {
       // Relative misestimate with both sides clamped to >= 1 row
@@ -173,7 +175,9 @@ std::shared_ptr<Table> SystemTableCatalog::OperatorsTable() const {
                            Value::Int(op.bytes_shuffled),
                            Value::Int(op.bytes_spilled),
                            Value::Int(op.spill_runs),
-                           Value::Double(est_error)});
+                           Value::Double(est_error),
+                           Value::String(op.exec_mode),
+                           Value::Int(op.batches)});
     }
   }
   return table;

@@ -164,6 +164,8 @@ std::string QueryMetrics::ToJson() const {
        << ", \"bytes_shuffled\": " << op.bytes_shuffled
        << ", \"bytes_spilled\": " << op.bytes_spilled
        << ", \"spill_runs\": " << op.spill_runs
+       << ", \"exec_mode\": \"" << (op.vectorized ? "batch" : "row")
+       << "\", \"batches\": " << op.batches
        << ", \"total_seconds\": " << JsonNumber(op.TotalSeconds())
        << ", \"max_worker_seconds\": " << JsonNumber(op.MaxWorkerSeconds())
        << ", \"skew\": " << JsonNumber(op.Skew()) << "}";

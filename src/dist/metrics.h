@@ -25,6 +25,11 @@ struct OperatorMetrics {
   /// operator executed (0 when unknown) — EXPLAIN ANALYZE's
   /// estimate-vs-actual column.
   double estimated_rows = 0.0;
+  /// True when the columnar batch engine executed this operator (the
+  /// row engine otherwise); `batches` counts the column batches it
+  /// processed across all workers (0 on the row path).
+  bool vectorized = false;
+  size_t batches = 0;
   /// Wall-clock seconds spent per worker partition; the simulated
   /// parallel elapsed time of the operator is the max entry.
   std::vector<double> worker_seconds;

@@ -292,6 +292,13 @@ Result<ExecResult> Executor::ExecuteOp(const LogicalOp& op) {
 }
 
 Result<ExecResult> Executor::DispatchOp(const LogicalOp& op) {
+  // Columnar fast path: vectorize the maximal batch-capable chain
+  // rooted here. Never under a memory budget — columnar operator
+  // state cannot spill, and the budgeted row path can.
+  if (opts_.enable_vectorized && !mem_.has_budget()) {
+    RADB_ASSIGN_OR_RETURN(std::optional<ExecResult> v, TryVectorized(op));
+    if (v.has_value()) return std::move(*v);
+  }
   switch (op.kind) {
     case LogicalOp::Kind::kScan:
       return ExecuteScan(op);
@@ -488,6 +495,12 @@ Result<ExecResult> Executor::ExecuteJoin(const LogicalOp& op) {
 
   OperatorMetrics* m = nullptr;
   SpillableDist out = NewDist(w);
+  // When a vectorized pipeline owns this join as its boundary, joined
+  // rows stream into its column batches instead of `out` (which then
+  // stays empty; the pipeline patches rows_out/bytes_out). The guard
+  // is the exact node pointer, so joins nested deeper in this subtree
+  // still materialize normally.
+  JoinBatchSink* sink = (join_sink_op_ == &op) ? join_sink_ : nullptr;
 
   // Joins a left/right row pair: applies residual predicates and the
   // fused projection; nullopt when a residual rejects the pair.
@@ -513,9 +526,15 @@ Result<ExecResult> Executor::ExecuteJoin(const LogicalOp& op) {
     return std::optional<Row>(std::move(joined));
   };
   auto emit = [&](size_t wkr, const Row& l, const Row& r) -> Status {
+    if (sink != nullptr && residual.empty() && fused.empty()) {
+      // Fast path: hand the sink the two sides as-is — the
+      // concatenated Row is never built.
+      return sink->AppendPair(wkr, l, r);
+    }
     RADB_ASSIGN_OR_RETURN(std::optional<Row> j, make_joined(l, r));
-    if (j.has_value()) return out[wkr].Append(std::move(*j));
-    return Status::OK();
+    if (!j.has_value()) return Status::OK();
+    if (sink != nullptr) return sink->AppendRow(wkr, std::move(*j));
+    return out[wkr].Append(std::move(*j));
   };
 
   if (is_cross) {
@@ -796,7 +815,9 @@ Result<ExecResult> Executor::ExecuteJoin(const LogicalOp& op) {
             Row& t = *heads[best];
             Row row(std::make_move_iterator(t.begin() + 1),
                     std::make_move_iterator(t.end()));
-            RADB_RETURN_NOT_OK(out[wkr].Append(std::move(row)));
+            RADB_RETURN_NOT_OK(sink != nullptr
+                                   ? sink->AppendRow(wkr, std::move(row))
+                                   : out[wkr].Append(std::move(row)));
             RADB_ASSIGN_OR_RETURN(heads[best], readers[best]->Next());
           }
         }

@@ -66,6 +66,17 @@ size_t SpillDistRowCount(const SpillableDist& d);
 /// buffers, DISTINCT sets, broadcast tables, aggregate accumulator
 /// growth) reserves hard and fails the query with ResourceExhausted,
 /// leaving the Database healthy.
+/// Engine selection knobs, threaded down from Database::Config.
+struct ExecOptions {
+  /// Master switch for the columnar batch engine. Even when on, a
+  /// pipeline runs vectorized only if the optimizer marked its nodes
+  /// batch-capable, and never under a memory budget (columnar
+  /// operator state cannot spill; the row engine can).
+  bool enable_vectorized = true;
+  /// Lanes per ColumnBatch on the vectorized path.
+  size_t batch_rows = 1024;
+};
+
 class Executor {
  public:
   /// `obs` carries the (optional) tracer and metrics registry; the
@@ -74,14 +85,34 @@ class Executor {
   /// memory context (null tracker = untracked, unlimited).
   explicit Executor(const Cluster& cluster, QueryMetrics* metrics,
                     obs::ObsContext obs = {}, ThreadPool* pool = nullptr,
-                    MemoryContext mem = {})
+                    MemoryContext mem = {}, ExecOptions opts = {})
       : cluster_(cluster),
         metrics_(metrics),
         obs_(obs),
         pool_(pool),
-        mem_(std::move(mem)) {}
+        mem_(std::move(mem)),
+        opts_(opts) {}
 
   Result<Dist> Execute(const LogicalOp& op);
+
+  /// Per-worker columnar consumer a vectorized pipeline installs on
+  /// its boundary join (vectorized.cc): ExecuteJoin streams joined
+  /// pairs straight into the pipeline's column batches instead of
+  /// materializing every joined Row into its output distribution —
+  /// the dominant cost of high-fanout joins like the paper's
+  /// tuple-coded Gram self-join. AppendPair carries the unconcatenated
+  /// sides (left columns then right columns); AppendRow carries a
+  /// materialized row where the join had to build one anyway
+  /// (residual predicates, fused projection, the Grace merge).
+  /// Calls for worker w arrive on w's thread and touch only worker-w
+  /// state.
+  class JoinBatchSink {
+   public:
+    virtual ~JoinBatchSink() = default;
+    virtual Status AppendPair(size_t wkr, const Row& left,
+                              const Row& right) = 0;
+    virtual Status AppendRow(size_t wkr, Row joined) = 0;
+  };
 
   /// Indexes into metrics()->operators of the OperatorMetrics this
   /// execution produced for `node` (an Aggregate yields two: partial
@@ -93,8 +124,16 @@ class Executor {
   }
 
  private:
+  friend class VectorizedPipeline;
+
   Result<ExecResult> ExecuteOp(const LogicalOp& op);
   Result<ExecResult> DispatchOp(const LogicalOp& op);
+  /// Columnar fast path (vectorized.cc): when `op` heads a
+  /// batch-capable scan/filter/project[/aggregate] chain, executes the
+  /// whole chain batch-at-a-time and returns its result; nullopt means
+  /// "not vectorizable here", and the caller dispatches to the row
+  /// engine. Results are bit-identical to the row path.
+  Result<std::optional<ExecResult>> TryVectorized(const LogicalOp& op);
   Result<ExecResult> ExecuteScan(const LogicalOp& op);
   Result<ExecResult> ExecuteFilter(const LogicalOp& op);
   Result<ExecResult> ExecuteProject(const LogicalOp& op);
@@ -130,7 +169,14 @@ class Executor {
   obs::ObsContext obs_;
   ThreadPool* pool_ = nullptr;
   MemoryContext mem_;
+  ExecOptions opts_;
   std::map<const LogicalOp*, std::vector<size_t>> node_metrics_;
+  /// Installed (and save/restored) by VectorizedPipeline around the
+  /// execution of a boundary join; `join_sink_op_` pins the sink to
+  /// that one join node so joins nested deeper in the subtree are
+  /// unaffected.
+  JoinBatchSink* join_sink_ = nullptr;
+  const LogicalOp* join_sink_op_ = nullptr;
 };
 
 }  // namespace radb

@@ -57,6 +57,10 @@ struct OperatorRecord {
   int64_t bytes_shuffled = 0;
   int64_t bytes_spilled = 0;
   int64_t spill_runs = 0;
+  /// "batch" when the columnar engine executed this operator, "row"
+  /// otherwise; `batches` counts column batches processed (0 on row).
+  std::string exec_mode = "row";
+  int64_t batches = 0;
 };
 
 /// One completed (or failed) Execute call. Everything radb_queries /

@@ -645,7 +645,12 @@ Result<LogicalOpPtr> Optimizer::PlanBuilder::Build(BoundQuery& q) {
 Result<LogicalOpPtr> Optimizer::Plan(std::unique_ptr<BoundQuery> query,
                                      obs::ObsContext obs) {
   PlanBuilder builder(options_, query->next_slot, obs);
-  return builder.Build(*query);
+  RADB_ASSIGN_OR_RETURN(LogicalOpPtr plan, builder.Build(*query));
+  // Physical annotation pass: mark which nodes the columnar engine can
+  // take, so the executor's pipeline choice is a plan property (visible
+  // in EXPLAIN ANALYZE) rather than a runtime guess.
+  AnnotateBatchCapability(*plan);
+  return plan;
 }
 
 }  // namespace radb

@@ -7,7 +7,8 @@ namespace radb {
 Table::Table(std::string name, Schema schema, size_t num_partitions)
     : name_(std::move(name)),
       schema_(std::move(schema)),
-      partitions_(num_partitions == 0 ? 1 : num_partitions) {}
+      partitions_(num_partitions == 0 ? 1 : num_partitions),
+      kind_pure_(schema_.size(), 1) {}
 
 size_t Table::num_rows() const {
   size_t n = 0;
@@ -49,6 +50,12 @@ Status Table::ValidateRow(const Row& row) const {
 
 Status Table::Insert(Row row) {
   RADB_RETURN_NOT_OK(ValidateRow(row));
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (kind_pure_[i] != 0 && !row[i].is_null() &&
+        row[i].kind() != schema_.at(i).type.kind()) {
+      kind_pure_[i] = 0;
+    }
+  }
   partitions_[next_rr_ % partitions_.size()].push_back(std::move(row));
   ++next_rr_;
   return Status::OK();
@@ -92,6 +99,24 @@ RowSet Table::Gather() const {
     for (const Row& r : p) all.push_back(r);
   }
   return all;
+}
+
+void Table::ExtractColumns(size_t partition,
+                           const std::vector<size_t>& columns,
+                           size_t row_begin, size_t row_count,
+                           ColumnBatch* out) const {
+  const RowSet& rows = partitions_[partition];
+  out->Clear();
+  out->num_rows = row_count;
+  out->columns.resize(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    ColumnVector& col = out->columns[c];
+    col.Reset(schema_.columns()[columns[c]].type.kind(), 0);
+    col.null.reserve(row_count);
+    for (size_t r = 0; r < row_count; ++r) {
+      col.AppendValue(rows[row_begin + r][columns[c]]);
+    }
+  }
 }
 
 }  // namespace radb

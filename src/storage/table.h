@@ -1,12 +1,14 @@
 #ifndef RADB_STORAGE_TABLE_H_
 #define RADB_STORAGE_TABLE_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "types/column.h"
 #include "types/schema.h"
 #include "types/value.h"
 
@@ -40,7 +42,12 @@ class Table {
   const Schema& schema() const { return schema_; }
   size_t num_partitions() const { return partitions_.size(); }
   const RowSet& partition(size_t i) const { return partitions_[i]; }
-  RowSet& mutable_partition(size_t i) { return partitions_[i]; }
+  RowSet& mutable_partition(size_t i) {
+    // The caller may rewrite rows arbitrarily; conservatively drop the
+    // kind-purity knowledge (re-established only by a fresh load).
+    std::fill(kind_pure_.begin(), kind_pure_.end(), 0);
+    return partitions_[i];
+  }
   const Partitioning& partitioning() const { return partitioning_; }
 
   size_t num_rows() const;
@@ -60,6 +67,27 @@ class Table {
   /// All rows gathered into one RowSet (test/inspection helper).
   RowSet Gather() const;
 
+  /// True when every non-NULL value currently stored in `column` has
+  /// the column's declared type kind. ValidateRow legally admits
+  /// INTEGER values into DOUBLE columns (and integral DOUBLEs into
+  /// INTEGER columns), and the row engine's semantics follow the
+  /// *runtime* kind — so the typed columnar scan requires kind-pure
+  /// columns. Inserts maintain these flags incrementally; the
+  /// optimizer consults them when marking scans batch-capable.
+  bool ColumnKindPure(size_t column) const {
+    return kind_pure_[column] != 0;
+  }
+
+  /// Columnar extraction for the vectorized scan: fills `out` with
+  /// rows [row_begin, row_begin + row_count) of partition `partition`,
+  /// one Column per entry of `columns` (schema column indexes), dense
+  /// (no selection). Column storage is reused across calls. The caller
+  /// guarantees every extracted column's type kind is representable
+  /// (Column::KindSupported).
+  void ExtractColumns(size_t partition, const std::vector<size_t>& columns,
+                      size_t row_begin, size_t row_count,
+                      ColumnBatch* out) const;
+
  private:
   Status ValidateRow(const Row& row) const;
 
@@ -68,6 +96,9 @@ class Table {
   std::vector<RowSet> partitions_;
   Partitioning partitioning_;
   size_t next_rr_ = 0;
+  /// Per column: 1 while every stored non-NULL value matches the
+  /// declared kind (see ColumnKindPure).
+  std::vector<uint8_t> kind_pure_;
 };
 
 }  // namespace radb

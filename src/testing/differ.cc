@@ -135,17 +135,21 @@ std::vector<FuzzConfig> StandardConfigs() {
   std::vector<FuzzConfig> out;
   for (const bool threads8 : {false, true}) {
     for (const char* kind : {"dp", "greedy", "noearly"}) {
-      FuzzConfig fc;
-      fc.name = std::string(kind) + (threads8 ? "-8t" : "-1t");
-      fc.config.num_workers = 8;
-      fc.config.num_threads = threads8 ? 8 : 1;
-      fc.config.obs.enable_metrics = true;
-      if (std::string(kind) == "greedy") {
-        fc.config.optimizer.dp_relation_limit = 1;  // force greedy search
-      } else if (std::string(kind) == "noearly") {
-        fc.config.optimizer.enable_early_projection = false;
+      for (const bool batch : {false, true}) {
+        FuzzConfig fc;
+        fc.name = std::string(kind) + (threads8 ? "-8t" : "-1t") +
+                  (batch ? "-batch" : "-row");
+        fc.config.num_workers = 8;
+        fc.config.num_threads = threads8 ? 8 : 1;
+        fc.config.obs.enable_metrics = true;
+        fc.config.enable_vectorized = batch;
+        if (std::string(kind) == "greedy") {
+          fc.config.optimizer.dp_relation_limit = 1;  // force greedy search
+        } else if (std::string(kind) == "noearly") {
+          fc.config.optimizer.enable_early_projection = false;
+        }
+        out.push_back(std::move(fc));
       }
-      out.push_back(std::move(fc));
     }
   }
   return out;

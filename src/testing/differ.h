@@ -17,9 +17,12 @@ struct FuzzConfig {
   Database::Config config;
 };
 
-/// The six standard configurations: {DP join search, greedy join
-/// search, early projection off} x {1 thread, 8 threads}. All use
-/// 8 simulated workers so shuffle/merge paths are always exercised.
+/// The twelve standard configurations: {DP join search, greedy join
+/// search, early projection off} x {1 thread, 8 threads} x {row
+/// engine, vectorized batch engine}. All use 8 simulated workers so
+/// shuffle/merge paths are always exercised; the row/batch axis
+/// cross-checks the columnar kernels against the row engine on every
+/// generated query (configs[0], dp-1t-row, is the baseline).
 std::vector<FuzzConfig> StandardConfigs();
 
 /// Canonicalizes a row set for order-insensitive comparison: rows are

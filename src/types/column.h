@@ -1,0 +1,85 @@
+#ifndef RADB_TYPES_COLUMN_H_
+#define RADB_TYPES_COLUMN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "types/data_type.h"
+#include "types/value.h"
+
+namespace radb {
+
+/// One typed column vector of a batch: contiguous primitive storage
+/// plus a null bitmap (one byte per lane — branch-light to test and
+/// trivially vectorizable to OR/accumulate). Only the scalar SQL kinds
+/// are representable; LA values (VECTOR/MATRIX/LABELED_SCALAR) never
+/// enter the columnar engine — pipelines touching them stay on the
+/// row engine.
+///
+/// Storage by kind:
+///   kBoolean / kInteger -> i64 (booleans stored as 0/1)
+///   kDouble             -> f64
+///   kString             -> str
+/// Lanes whose null byte is set hold an unspecified payload; kernels
+/// must not read them except to copy them around.
+struct ColumnVector {
+  TypeKind kind = TypeKind::kNull;
+  std::vector<uint8_t> null;  // 1 = SQL NULL in that lane
+  std::vector<int64_t> i64;
+  std::vector<double> f64;
+  std::vector<std::string> str;
+
+  /// True for the kinds a Column can hold. kNull is allowed (a column
+  /// of a statically-NULL expression: every lane null, no payload).
+  static bool KindSupported(TypeKind k) {
+    return k == TypeKind::kNull || k == TypeKind::kBoolean ||
+           k == TypeKind::kInteger || k == TypeKind::kDouble ||
+           k == TypeKind::kString;
+  }
+
+  size_t size() const { return null.size(); }
+
+  /// Re-types the column and resizes it to `n` lanes (payloads
+  /// unspecified, all lanes non-null). Keeps capacity across batches.
+  void Reset(TypeKind k, size_t n);
+
+  /// Appends one Value (accessor: row -> column). The value's kind
+  /// must match `kind` or be NULL.
+  void AppendValue(const Value& v);
+
+  /// Materializes lane `i` back into a Value (column -> row).
+  Value GetValue(size_t i) const;
+
+  /// Serialized payload size of lane `i`; equals GetValue(i).ByteSize()
+  /// so columnar byte accounting matches the row engine's.
+  size_t LaneBytes(size_t i) const;
+};
+
+/// A batch of rows in columnar layout. `num_rows` lanes per column;
+/// when `has_selection` is set only the lanes listed in `selection`
+/// (strictly ascending) are live — filters narrow the selection
+/// instead of compacting payloads, so passing operators stay
+/// zero-copy.
+struct ColumnBatch {
+  size_t num_rows = 0;
+  std::vector<ColumnVector> columns;
+  bool has_selection = false;
+  std::vector<uint32_t> selection;
+
+  size_t num_live() const {
+    return has_selection ? selection.size() : num_rows;
+  }
+
+  /// Drops rows and selection, keeping column capacity for reuse.
+  void Clear() {
+    num_rows = 0;
+    has_selection = false;
+    selection.clear();
+  }
+};
+
+}  // namespace radb
+
+#endif  // RADB_TYPES_COLUMN_H_

@@ -1,0 +1,319 @@
+// Vectorized-engine battery: the columnar batch engine must be
+// bit-identical to the row engine on every query it accepts, fall
+// back (silently and correctly) on everything else, and honor
+// selection-vector edge cases at any batch size or thread count.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+#include "common/rng.h"
+#include "testing/catalog_gen.h"
+#include "testing/differ.h"
+#include "testing/query_gen.h"
+
+namespace radb {
+namespace {
+
+using testing::Normalized;
+using testing::SameCells;
+
+Database::Config EngineConfig(bool vectorized, size_t threads,
+                              size_t batch_rows = 1024) {
+  Database::Config cfg;
+  cfg.num_workers = 8;
+  cfg.num_threads = threads;
+  cfg.enable_vectorized = vectorized;
+  cfg.vectorized_batch_rows = batch_rows;
+  return cfg;
+}
+
+/// Runs `sql` (after `setup`) on the row engine at 1 thread — the
+/// baseline — and on {row-8t, batch-1t, batch-8t}; every run must
+/// produce the same cells (or the same error) as the baseline.
+void ExpectEnginesAgree(const std::string& setup, const std::string& sql,
+                        size_t batch_rows = 1024) {
+  struct Variant {
+    const char* name;
+    bool vectorized;
+    size_t threads;
+  };
+  const Variant variants[] = {{"row-1t", false, 1},
+                              {"row-8t", false, 8},
+                              {"batch-1t", true, 1},
+                              {"batch-8t", true, 8}};
+  Result<ResultSet> baseline = Status::OK();
+  for (const Variant& v : variants) {
+    Database db(EngineConfig(v.vectorized, v.threads, batch_rows));
+    ASSERT_TRUE(db.ExecuteSql(setup).ok()) << v.name;
+    Result<ResultSet> got = db.ExecuteSql(sql);
+    if (std::string(v.name) == "row-1t") {
+      baseline = std::move(got);
+      continue;
+    }
+    ASSERT_EQ(baseline.ok(), got.ok())
+        << v.name << ": " << (got.ok() ? "ok" : got.status().message());
+    if (!baseline.ok()) {
+      EXPECT_EQ(baseline.status().code(), got.status().code()) << v.name;
+      EXPECT_EQ(baseline.status().message(), got.status().message())
+          << v.name;
+      continue;
+    }
+    EXPECT_TRUE(SameCells(Normalized(baseline->rows), Normalized(got->rows)))
+        << v.name << " diverged on: " << sql;
+  }
+}
+
+constexpr const char* kSetup =
+    "CREATE TABLE t (a INTEGER, b DOUBLE, c STRING, d INTEGER);"
+    "INSERT INTO t VALUES"
+    " (1, 1.5, 'x', 10), (2, 2.5, 'y', NULL), (3, -3.5, 'x', 30),"
+    " (4, 0.0, 'z', 40), (NULL, 4.5, NULL, 50), (6, NULL, 'y', NULL),"
+    " (-7, 7.25, 'w', 70), (8, -0.0, 'x', 80)";
+
+TEST(VectorizedTest, FilterProjectBitIdentity) {
+  ExpectEnginesAgree(kSetup, "SELECT a * 2 + d, b - a FROM t WHERE a > 1");
+  ExpectEnginesAgree(kSetup, "SELECT -a, -b, a - d * 2 FROM t WHERE b < 3.0");
+  ExpectEnginesAgree(kSetup, "SELECT a FROM t WHERE c = 'x' OR c = 'y'");
+  ExpectEnginesAgree(kSetup, "SELECT a, b FROM t WHERE NOT (a >= 4)");
+  ExpectEnginesAgree(kSetup, "SELECT a + b FROM t WHERE a <> d");
+}
+
+TEST(VectorizedTest, MixedIntDoubleArithmeticWidensIdentically) {
+  // INTEGER x INTEGER stays int64; any DOUBLE operand widens through
+  // AsDouble — the cell kinds must match exactly, not just the values.
+  ExpectEnginesAgree(kSetup, "SELECT a + 1, a + 1.0, b * a, a * a FROM t");
+}
+
+TEST(VectorizedTest, ThreeValuedLogicAndNullPropagation) {
+  ExpectEnginesAgree(kSetup, "SELECT a FROM t WHERE d > 20 AND b > 0.0");
+  ExpectEnginesAgree(kSetup, "SELECT a FROM t WHERE d > 20 OR b > 0.0");
+  ExpectEnginesAgree(kSetup,
+                     "SELECT a FROM t WHERE (a > 2 AND d < 60) OR c = 'w'");
+  // NULL comparisons stay NULL and the filter drops them.
+  ExpectEnginesAgree(kSetup, "SELECT a FROM t WHERE d = d");
+}
+
+TEST(VectorizedTest, LogicShortCircuitSuppressesRhsErrors) {
+  // Row engine: a non-null false lhs skips the rhs entirely, so the
+  // division never errors on the a = 0 row. The batch engine must
+  // evaluate the rhs only on undecided lanes to match.
+  const char* setup =
+      "CREATE TABLE s (a INTEGER);"
+      "INSERT INTO s VALUES (0), (1), (2), (5)";
+  ExpectEnginesAgree(setup,
+                     "SELECT a FROM s WHERE a <> 0 AND 10 / a > 1");
+}
+
+TEST(VectorizedTest, DivisionByZeroErrorsIdentically) {
+  const char* setup =
+      "CREATE TABLE s (a INTEGER);"
+      "INSERT INTO s VALUES (4), (0), (2)";
+  // Both engines must fail with the same NumericError.
+  ExpectEnginesAgree(setup, "SELECT 8 / a FROM s");
+  // Double division by zero is inf, never an error.
+  ExpectEnginesAgree(setup, "SELECT 8.0 / a FROM s");
+}
+
+TEST(VectorizedTest, AggregateBattery) {
+  ExpectEnginesAgree(kSetup,
+                     "SELECT COUNT(*), COUNT(a), COUNT(d), SUM(a), SUM(b), "
+                     "AVG(a), AVG(b), MIN(a), MAX(b), MIN(c), MAX(c) FROM t");
+  ExpectEnginesAgree(kSetup,
+                     "SELECT c, COUNT(*), SUM(a), AVG(b), MIN(d), MAX(a) "
+                     "FROM t GROUP BY c");
+  ExpectEnginesAgree(kSetup,
+                     "SELECT a > 2, SUM(b), COUNT(d) FROM t GROUP BY a > 2");
+  // Aggregate over a filtered + projected chain.
+  ExpectEnginesAgree(kSetup,
+                     "SELECT c, SUM(a * 2 + 1) FROM t WHERE a > 0 GROUP BY c");
+}
+
+TEST(VectorizedTest, NullGroupKeysAndNullArguments) {
+  // NULL keys form their own group in both engines; SUM of an all-NULL
+  // group is NULL while COUNT is 0.
+  ExpectEnginesAgree(kSetup, "SELECT c, COUNT(b), SUM(d) FROM t GROUP BY c");
+  ExpectEnginesAgree(kSetup, "SELECT d, COUNT(*) FROM t GROUP BY d");
+}
+
+TEST(VectorizedTest, ScalarAggregateOverZeroRows) {
+  ExpectEnginesAgree(kSetup,
+                     "SELECT COUNT(*), SUM(a), AVG(b), MIN(c) FROM t "
+                     "WHERE a > 1000");
+  ExpectEnginesAgree("CREATE TABLE e (x INTEGER);",
+                     "SELECT COUNT(*), SUM(x) FROM e");
+  // Grouped aggregate over zero rows emits zero rows.
+  ExpectEnginesAgree("CREATE TABLE e (x INTEGER);",
+                     "SELECT x, COUNT(*) FROM e GROUP BY x");
+}
+
+TEST(VectorizedTest, NegativeZeroSurvivesSumFirstValue) {
+  // SUM keeps the first non-null value raw: a leading -0.0 must
+  // surface as -0.0 from both engines (SameCells treats -0.0 == 0.0,
+  // so compare the sign bit explicitly).
+  for (const bool vectorized : {false, true}) {
+    Database db(EngineConfig(vectorized, 1));
+    ASSERT_TRUE(db.ExecuteSql("CREATE TABLE z (g INTEGER, v DOUBLE);"
+                              "INSERT INTO z VALUES (1, -0.0)")
+                    .ok());
+    auto rs = db.ExecuteSql("SELECT SUM(v) FROM z GROUP BY g");
+    ASSERT_TRUE(rs.ok()) << rs.status();
+    ASSERT_EQ(rs->num_rows(), 1u);
+    EXPECT_TRUE(std::signbit(rs->at(0, 0).double_value()))
+        << (vectorized ? "batch" : "row");
+  }
+}
+
+TEST(VectorizedTest, JoinFeedsVectorizedAggregate) {
+  // The join runs on the row engine; its output crosses the boundary
+  // into a vectorized aggregate chain.
+  const char* setup =
+      "CREATE TABLE r (k INTEGER, v INTEGER);"
+      "CREATE TABLE s (k INTEGER, w DOUBLE);"
+      "INSERT INTO r VALUES (1, 10), (2, 20), (2, 21), (3, 30), (4, 40);"
+      "INSERT INTO s VALUES (1, 0.5), (2, 1.5), (3, 2.5), (3, 3.5), (5, 9.9)";
+  ExpectEnginesAgree(setup,
+                     "SELECT r.k, SUM(r.v), AVG(s.w) FROM r, s "
+                     "WHERE r.k = s.k GROUP BY r.k");
+  ExpectEnginesAgree(setup,
+                     "SELECT COUNT(*) FROM r, s WHERE r.k = s.k AND r.v > 15");
+}
+
+TEST(VectorizedTest, FallbackOperatorsStillAgree) {
+  // DISTINCT / ORDER BY / LIMIT run on the row engine above (or
+  // below) vectorized segments; results must be unchanged.
+  ExpectEnginesAgree(kSetup, "SELECT DISTINCT c FROM t");
+  ExpectEnginesAgree(kSetup, "SELECT a, b FROM t ORDER BY a, b");
+  ExpectEnginesAgree(kSetup,
+                     "SELECT a FROM t WHERE a > 0 ORDER BY a LIMIT 3");
+  ExpectEnginesAgree(kSetup,
+                     "SELECT c, SUM(a) FROM t GROUP BY c HAVING SUM(a) > 2");
+}
+
+TEST(VectorizedTest, LinearAlgebraStaysOnRowEngine) {
+  const char* setup =
+      "CREATE TABLE v (id INTEGER, vec VECTOR[3]);"
+      "INSERT INTO v VALUES (1, ones_vector(3)), (2, ones_vector(3))";
+  ExpectEnginesAgree(setup, "SELECT SUM(outer_product(vec, vec)) FROM v");
+  ExpectEnginesAgree(setup, "SELECT id + 1 FROM v WHERE id > 0");
+}
+
+TEST(VectorizedTest, BatchBoundaryAndOddBatchSizes) {
+  // 1030 rows with batch sizes that do and do not divide the row
+  // count: partial batches, batch-spanning groups, LIMIT across a
+  // batch edge.
+  std::string setup = "CREATE TABLE big (a INTEGER, b DOUBLE);";
+  setup += "INSERT INTO big VALUES ";
+  for (int i = 0; i < 1030; ++i) {
+    if (i > 0) setup += ", ";
+    setup += "(" + std::to_string(i % 97) + ", " +
+             std::to_string((i % 13) * 0.25) + ")";
+  }
+  for (const size_t batch_rows : {1u, 3u, 256u, 1024u, 4096u}) {
+    ExpectEnginesAgree(setup,
+                       "SELECT a, COUNT(*), SUM(b) FROM big GROUP BY a",
+                       batch_rows);
+    ExpectEnginesAgree(setup, "SELECT SUM(a), AVG(b) FROM big WHERE a > 11",
+                       batch_rows);
+  }
+  ExpectEnginesAgree(setup, "SELECT a FROM big ORDER BY a, b LIMIT 1024");
+  ExpectEnginesAgree(setup, "SELECT a FROM big ORDER BY a, b LIMIT 1025");
+}
+
+TEST(VectorizedTest, AllRowsFilteredOutMidPipeline) {
+  // The selection vector collapses to empty before the project /
+  // aggregate stages — downstream stages must cope with 0 live lanes.
+  ExpectEnginesAgree(kSetup, "SELECT a * 2 FROM t WHERE a > 100");
+  ExpectEnginesAgree(kSetup,
+                     "SELECT c, SUM(a) FROM t WHERE a > 100 GROUP BY c");
+}
+
+TEST(VectorizedTest, KindImpureColumnFallsBackToRowEngine) {
+  // ValidateRow legally admits an INTEGER value into a DOUBLE column;
+  // the row engine then groups/aggregates by the RUNTIME kind. The
+  // scan's purity flag must force the row path so the stored Int cell
+  // survives identically.
+  for (const bool vectorized : {false, true}) {
+    Database db(EngineConfig(vectorized, 1));
+    ASSERT_TRUE(db.ExecuteSql("CREATE TABLE p (d DOUBLE)").ok());
+    // The INSERT parser may coerce; BulkInsert stores the raw value.
+    ASSERT_TRUE(db.BulkInsert("p", {{Value::Int(1)}, {Value::Double(1.0)},
+                                    {Value::Double(2.5)}})
+                    .ok());
+    auto rs = db.ExecuteSql("SELECT d, COUNT(*) FROM p GROUP BY d");
+    ASSERT_TRUE(rs.ok()) << rs.status();
+    // Int(1) and Double(1.0) are distinct group keys in the row
+    // engine; the batch config must agree (by falling back).
+    EXPECT_EQ(rs->num_rows(), 3u) << (vectorized ? "batch" : "row");
+  }
+}
+
+TEST(VectorizedTest, ExplainAnalyzeReportsExecMode) {
+  Database batch_db(EngineConfig(true, 1));
+  ASSERT_TRUE(batch_db.ExecuteSql(kSetup).ok());
+  auto rs = batch_db.ExecuteSql(
+      "EXPLAIN ANALYZE SELECT c, SUM(a) FROM t WHERE a > 0 GROUP BY c");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  std::string plan;
+  for (size_t i = 0; i < rs->num_rows(); ++i) {
+    plan += rs->at(i, 0).string_value() + "\n";
+  }
+  EXPECT_NE(plan.find("exec=batch"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("batches="), std::string::npos) << plan;
+
+  Database row_db(EngineConfig(false, 1));
+  ASSERT_TRUE(row_db.ExecuteSql(kSetup).ok());
+  auto row_rs = row_db.ExecuteSql(
+      "EXPLAIN ANALYZE SELECT c, SUM(a) FROM t WHERE a > 0 GROUP BY c");
+  ASSERT_TRUE(row_rs.ok()) << row_rs.status();
+  std::string row_plan;
+  for (size_t i = 0; i < row_rs->num_rows(); ++i) {
+    row_plan += row_rs->at(i, 0).string_value() + "\n";
+  }
+  EXPECT_EQ(row_plan.find("exec=batch"), std::string::npos) << row_plan;
+}
+
+TEST(VectorizedTest, RadbOperatorsExposesExecMode) {
+  Database db(EngineConfig(true, 1));
+  ASSERT_TRUE(db.ExecuteSql(kSetup).ok());
+  ASSERT_TRUE(db.ExecuteSql("SELECT c, SUM(a) FROM t GROUP BY c").ok());
+  auto rs = db.ExecuteSql(
+      "SELECT COUNT(*) FROM radb_operators WHERE exec_mode = 'batch' "
+      "AND batches > 0");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  ASSERT_EQ(rs->num_rows(), 1u);
+  EXPECT_GT(rs->at(0, 0).AsInt().value(), 0);
+}
+
+TEST(VectorizedTest, MiniFuzzRowVsBatch) {
+  // A focused row-vs-batch sweep over generated queries: quicker than
+  // the full 12-config differ, run on every ctest invocation.
+  const testing::CatalogSpec spec = testing::GenerateCatalog(20170419);
+  Database row_db(EngineConfig(false, 1));
+  Database batch_db(EngineConfig(true, 8, 256));
+  ASSERT_TRUE(testing::LoadCatalog(spec, &row_db).ok());
+  ASSERT_TRUE(testing::LoadCatalog(spec, &batch_db).ok());
+  Rng rng(7);
+  int compared = 0;
+  for (int i = 0; i < 60; ++i) {
+    const testing::QuerySpec q = testing::GenerateQuery(spec, &rng);
+    const std::string sql = q.ToSql();
+    auto a = row_db.ExecuteSql(sql);
+    auto b = batch_db.ExecuteSql(sql);
+    ASSERT_EQ(a.ok(), b.ok()) << sql << "\nrow: "
+                              << (a.ok() ? "ok" : a.status().message())
+                              << "\nbatch: "
+                              << (b.ok() ? "ok" : b.status().message());
+    if (!a.ok()) continue;
+    EXPECT_TRUE(SameCells(Normalized(a->rows), Normalized(b->rows)))
+        << "row-vs-batch divergence on: " << sql;
+    ++compared;
+  }
+  EXPECT_GT(compared, 30);
+}
+
+}  // namespace
+}  // namespace radb
