@@ -9,7 +9,11 @@
 // {8 sessions, 16-thread pool} point: the PR 6 phase attribution
 // concluded the 4→8-session flatline is pool capacity, not
 // scheduling, so doubling Config::num_threads should move the qps
-// ceiling where a scheduler fix would not. Emits
+// ceiling where a scheduler fix would not. A final {8 sessions,
+// caches on} point re-runs the workload with the plan/result caches
+// enabled and asserts every warm hit is bit-identical to the
+// caches-off cold-miss oracle (the fingerprint covers column
+// metadata as well as row bytes). Emits
 // BENCH_concurrency.json with per-point throughput plus queue-wait
 // and end-to-end latency percentiles from the service histograms.
 //
@@ -111,17 +115,30 @@ Status LoadDataset(Database* db, size_t n, size_t d) {
   return db->BulkInsert("y", std::move(ys));
 }
 
+/// Serialized bytes of the whole visible result: column names and
+/// types first, then every row. A cache hit replays stored column
+/// metadata as well as rows, so the fingerprint must cover both — the
+/// old rows-only fingerprint would have called a hit with mangled
+/// column names or types "identical".
 std::string Fingerprint(const ResultSet& rs) {
   std::ostringstream os(std::ios::binary);
+  for (const SlotInfo& c : rs.columns) {
+    os << c.name << '\0' << c.type.ToString() << '\0';
+  }
   for (const Row& row : rs.rows) WriteRowBinary(os, row);
   return os.str();
 }
 
-Database::Config MakeConfig(size_t threads = kThreads) {
+Database::Config MakeConfig(size_t threads = kThreads, bool caches = false) {
   Database::Config config;
   config.num_workers = kWorkers;
   config.num_threads = threads;
   config.obs.enable_metrics = true;
+  // The contention sweep runs caches-off so its numbers keep measuring
+  // admission/scheduling, not cache residency; the dedicated
+  // caches-on point flips this to assert warm hits stay bit-identical.
+  config.enable_plan_cache = caches;
+  config.enable_result_cache = caches;
   // Large enough that no sweep point evicts a record before the
   // post-run radb_query_phases rollup reads it.
   config.telemetry.query_log_capacity = 8192;
@@ -137,6 +154,8 @@ double NowSeconds() {
 struct SweepEntry {
   size_t sessions = 0;
   size_t threads = kThreads;  // Config::num_threads at this point
+  bool caches = false;        // plan + result caches enabled
+  uint64_t result_hits = 0, plan_hits = 0;
   size_t queries = 0;
   size_t mismatches = 0;
   size_t errors = 0;
@@ -208,17 +227,25 @@ int main(int argc, char** argv) {
   std::vector<SweepEntry> entries;
   size_t total_mismatches = 0;
   size_t total_errors = 0;
-  // (sessions, pool threads): the 1→8-session sweep on the default
-  // 8-thread pool, then 8 sessions against a 16-thread pool — the
-  // capacity experiment the PR 6 saturation diagnosis called for.
-  const std::pair<size_t, size_t> sweep[] = {
-      {1, kThreads}, {2, kThreads}, {4, kThreads}, {8, kThreads},
-      {8, 2 * kThreads}};
-  for (const auto& [sessions, threads] : sweep) {
+  // (sessions, pool threads, caches): the 1→8-session sweep on the
+  // default 8-thread pool, then 8 sessions against a 16-thread pool —
+  // the capacity experiment the PR 6 saturation diagnosis called for —
+  // and finally 8 sessions with the plan/result caches enabled, where
+  // every warm hit must still fingerprint-match the caches-off
+  // cold-miss oracle computed above.
+  struct Point {
+    size_t sessions;
+    size_t threads;
+    bool caches;
+  };
+  const Point sweep[] = {{1, kThreads, false}, {2, kThreads, false},
+                         {4, kThreads, false}, {8, kThreads, false},
+                         {8, 2 * kThreads, false}, {8, kThreads, true}};
+  for (const auto& [sessions, threads, caches] : sweep) {
     // Fresh Database per sweep point so the service histograms cover
     // exactly this window (SessionManager resolves instrument pointers
     // at construction, so clearing a live registry is not an option).
-    Database db(MakeConfig(threads));
+    Database db(MakeConfig(threads, caches));
     if (Status s = LoadDataset(&db, args.rows, args.dims); !s.ok()) {
       std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
       return 1;
@@ -228,6 +255,7 @@ int main(int argc, char** argv) {
     SweepEntry entry;
     entry.sessions = sessions;
     entry.threads = threads;
+    entry.caches = caches;
     entry.queries = sessions * args.per_session;
     std::atomic<size_t> mismatches{0};
     std::atomic<size_t> errors{0};
@@ -268,6 +296,16 @@ int main(int argc, char** argv) {
     entry.queue_p99 = qw->Percentile(0.99);
     entry.admitted = metrics->counter("service.queries_admitted")->value();
     entry.queued = metrics->counter("service.queries_queued")->value();
+    entry.result_hits = metrics->counter("cache.result_hits")->value();
+    entry.plan_hits = metrics->counter("cache.plan_hits")->value();
+    if (caches && entry.result_hits == 0) {
+      // A caches-on point that never hits proves nothing about warm
+      // correctness — treat it as a bench failure, not a quiet pass.
+      std::fprintf(stderr,
+                   "FAIL: caches-on sweep point recorded zero result-cache "
+                   "hits\n");
+      return 1;
+    }
     obs::Histogram* lr = metrics->histogram("service.latch_wait_read_seconds");
     obs::Histogram* lw = metrics->histogram("service.latch_wait_write_seconds");
     obs::Histogram* rw = metrics->histogram("pool.region_wait_seconds");
@@ -286,12 +324,15 @@ int main(int argc, char** argv) {
     total_errors += entry.errors;
     entries.push_back(entry);
     std::printf(
-        "sessions=%zu  threads=%zu  queries=%zu  wall=%.3fs  qps=%.2f  "
-        "p50=%.4fs p95=%.4fs p99=%.4fs  queue_p95=%.4fs  "
-        "mismatches=%zu errors=%zu\n",
-        entry.sessions, entry.threads, entry.queries, entry.wall_seconds,
-        entry.qps, entry.p50, entry.p95, entry.p99, entry.queue_p95,
-        entry.mismatches, entry.errors);
+        "sessions=%zu  threads=%zu  caches=%s  queries=%zu  wall=%.3fs  "
+        "qps=%.2f  p50=%.4fs p95=%.4fs p99=%.4fs  queue_p95=%.4fs  "
+        "result_hits=%llu plan_hits=%llu  mismatches=%zu errors=%zu\n",
+        entry.sessions, entry.threads, entry.caches ? "on" : "off",
+        entry.queries, entry.wall_seconds, entry.qps, entry.p50, entry.p95,
+        entry.p99, entry.queue_p95,
+        static_cast<unsigned long long>(entry.result_hits),
+        static_cast<unsigned long long>(entry.plan_hits), entry.mismatches,
+        entry.errors);
     std::printf("  phases(ms):");
     for (size_t p = 0; p < obs::kNumQueryPhases; ++p) {
       std::printf(" %s=%.1f",
@@ -310,8 +351,11 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < entries.size(); ++i) {
     const SweepEntry& e = entries[i];
     os << "{\"label\":\"sessions=" << e.sessions << ",threads=" << e.threads
-       << "\""
+       << ",caches=" << (e.caches ? "on" : "off") << "\""
        << ",\"sessions\":" << e.sessions << ",\"threads\":" << e.threads
+       << ",\"caches\":" << (e.caches ? "true" : "false")
+       << ",\"cache_result_hits\":" << e.result_hits
+       << ",\"cache_plan_hits\":" << e.plan_hits
        << ",\"queries\":" << e.queries
        << ",\"wall_seconds\":" << obs::JsonNumber(e.wall_seconds)
        << ",\"qps\":" << obs::JsonNumber(e.qps)

@@ -7,13 +7,17 @@
 //
 // Usage:
 //   fuzz_queries [--queries N] [--seed S] [--queries-per-catalog K]
-//                [--sessions M]
+//                [--sessions M] [--ddl-churn R]
 //
 // Every run starts by replaying the pinned regression seeds.
 // With --sessions M > 1, a third phase replays generated query
 // batches across M concurrent service sessions on one Database and
 // requires every result to be bit-identical to serial execution of
 // the same query (the concurrency determinism contract).
+// With --ddl-churn R > 0, a fourth phase runs R DDL-interleaved
+// cache-differential rounds: the same hot-query/churn stream on a
+// caches-on and a caches-off database, which must agree on every
+// statement (the stale-cache contract; see RunCacheDiffRounds).
 
 #include <cstdint>
 #include <cstdio>
@@ -34,7 +38,8 @@ struct Args {
   uint64_t queries = 600;
   uint64_t seed = 1;
   uint64_t queries_per_catalog = 25;
-  uint64_t sessions = 1;  // > 1 enables the concurrent phase
+  uint64_t sessions = 1;   // > 1 enables the concurrent phase
+  uint64_t ddl_churn = 0;  // > 0 enables the cache-differential phase
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -54,10 +59,13 @@ Args ParseArgs(int argc, char** argv) {
       args.queries_per_catalog = std::strtoull(v, nullptr, 10);
     } else if (const char* v = want("--sessions")) {
       args.sessions = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = want("--ddl-churn")) {
+      args.ddl_churn = std::strtoull(v, nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--queries N] [--seed S] "
-                   "[--queries-per-catalog K] [--sessions M]\n",
+                   "[--queries-per-catalog K] [--sessions M] "
+                   "[--ddl-churn R]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -196,6 +204,34 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(rounds),
                    outcome.queries_run,
                    static_cast<unsigned long long>(args.sessions),
+                   outcome.diverged ? "DIVERGED" : "ok");
+    }
+  }
+
+  // ---- Phase 4: DDL-interleaved cache differential. ----
+  if (args.ddl_churn > 0) {
+    // Several catalogs, splitting the round budget: catalog variety
+    // matters as much as stream length for cache-keying bugs.
+    const uint64_t catalogs = args.ddl_churn < 100 ? 1 : 4;
+    const uint64_t per_catalog = (args.ddl_churn + catalogs - 1) / catalogs;
+    for (uint64_t c = 0; c < catalogs; ++c) {
+      const uint64_t catalog_seed = args.seed * 9000011ULL + c;
+      const CatalogSpec catalog = GenerateCatalog(catalog_seed);
+      const CacheDiffOutcome outcome =
+          RunCacheDiffRounds(catalog, args.seed + c, per_catalog);
+      queries_run += outcome.statements_run;
+      metrics.counter("fuzz.cache_diff_statements")
+          ->Add(outcome.statements_run);
+      if (outcome.diverged) {
+        ++divergences;
+        metrics.counter("fuzz.divergences")->Add(1);
+        std::fprintf(stderr, "%s\n", outcome.report.c_str());
+      }
+      std::fprintf(stderr,
+                   "  ... cache-diff catalog %llu/%llu: %zu statements, %s\n",
+                   static_cast<unsigned long long>(c + 1),
+                   static_cast<unsigned long long>(catalogs),
+                   outcome.statements_run,
                    outcome.diverged ? "DIVERGED" : "ok");
     }
   }

@@ -52,3 +52,14 @@ cmake --build "$BUILD_DIR" -j "$JOBS" \
 # first (scripts/stress.sh runs the same label under TSan).
 cmake --build "$BUILD_DIR" -j "$JOBS" --target vectorized_test
 (cd "$BUILD_DIR" && ctest -L vectorized --output-on-failure)
+
+# Cache pass: plan/result cache hit/miss/invalidation suites and the
+# cache ablation smoke (label `cache`), then the DDL-interleaved
+# differential rounds — caches-on vs caches-off databases replaying
+# hot statements across INSERT / CREATE-DROP / PREPARE churn — all
+# under ASan+UBSan. A stale-cache bug surfaces here as a divergence;
+# a lifetime bug in the shared entries surfaces as a sanitizer report
+# (scripts/stress.sh runs the same label + rounds under TSan).
+cmake --build "$BUILD_DIR" -j "$JOBS" --target cache_test ablation_cache
+(cd "$BUILD_DIR" && ctest -L cache --output-on-failure)
+"$BUILD_DIR/bench/fuzz_queries" --queries 0 --ddl-churn 200 --seed "$SEED"

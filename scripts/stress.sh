@@ -23,7 +23,7 @@ cmake -S "$(dirname "$0")/.." -B "$BUILD_DIR" \
   -DRADB_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$JOBS" \
   --target service_test cancel_test systab_test vectorized_test \
-  ablation_concurrency fuzz_queries
+  cache_test ablation_concurrency ablation_cache fuzz_queries
 
 # halt_on_error so a race report fails the run instead of scrolling by.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
@@ -42,7 +42,15 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 # path (same label scripts/fuzz.sh runs under ASan).
 (cd "$BUILD_DIR" && ctest -L vectorized --output-on-failure)
 
+# Cache suite: the plan/result caches are shared mutable state across
+# sessions — the 8-session hit storm, cancel-during-fill, and the
+# ablation smoke's warm phase are the races TSan should chew on
+# (same label scripts/fuzz.sh runs under ASan).
+(cd "$BUILD_DIR" && ctest -L cache --output-on-failure)
+
 # Multi-session differential fuzzing: 4 concurrent sessions vs the
-# serial oracle, plus the usual single-threaded sweep for coverage.
+# serial oracle, plus the usual single-threaded sweep for coverage,
+# then the DDL-interleaved caches-on-vs-off rounds.
 "$BUILD_DIR/bench/fuzz_queries" --queries "$QUERIES" --seed "$SEED" \
   --sessions 4
+"$BUILD_DIR/bench/fuzz_queries" --queries 0 --ddl-churn 100 --seed "$SEED"

@@ -13,6 +13,8 @@
 #include "exec/executor.h"
 #include "exec/expr_eval.h"
 #include "mem/memory_tracker.h"
+#include "mem/spill_file.h"
+#include "parser/normalize.h"
 #include "parser/parser.h"
 #include "storage/serialize.h"
 
@@ -143,6 +145,9 @@ Result<Value> EvalConstExpr(const Catalog& catalog,
       }
       return fn->eval(args);
     }
+    case PK::kParam:
+      return Status::BindError(
+          "parameter marker ? is not allowed in a constant expression");
     default:
       return Status::BindError("INSERT VALUES allows constants only");
   }
@@ -241,6 +246,20 @@ Database::Database(const Config& config)
       run->Observe(run_s);
     });
   }
+  if (config_.enable_plan_cache && config_.plan_cache_entries > 0) {
+    plan_cache_ = std::make_unique<PlanCache>(config_.plan_cache_entries);
+  }
+  if (config_.enable_result_cache && config_.result_cache_bytes > 0) {
+    // A dedicated standalone tracker root: cache residency is a
+    // database-lifetime charge, deliberately NOT part of any query or
+    // service budget (whose leak assertions expect zero at idle).
+    result_cache_ = std::make_unique<ResultCache>(
+        "result_cache", config_.result_cache_bytes);
+  }
+  // Startup hygiene: reclaim spill files orphaned by a previous
+  // process that died between mkstemp and unlink. Live owners (pid
+  // probe) and young pid-less files (age check) are left alone.
+  (void)mem::SweepOrphanedSpillFiles(config_.spill_dir);
   telemetry_ = std::make_unique<obs::TelemetryStore>(
       obs::TelemetryStore::Options{config_.telemetry.query_log_capacity,
                                    config_.telemetry.max_operators_per_query,
@@ -277,7 +296,9 @@ Status Database::BulkInsert(const std::string& table, std::vector<Row> rows) {
                                 " is read-only");
   }
   RADB_ASSIGN_OR_RETURN(std::shared_ptr<Table> t, catalog_.GetTable(table));
-  return t->InsertAll(std::move(rows));
+  RADB_RETURN_NOT_OK(t->InsertAll(std::move(rows)));
+  catalog_.BumpDataVersion();
+  return Status::OK();
 }
 
 obs::ObsContext Database::QueryObs(const QueryOptions& options) {
@@ -290,28 +311,121 @@ obs::ObsContext Database::QueryObs(const QueryOptions& options) {
 Result<ResultSet> Database::RunSelect(const parser::SelectStmt& stmt,
                                       const QueryOptions& options,
                                       QueryStats* stats,
-                                      obs::QueryRecord* record) {
+                                      obs::QueryRecord* record,
+                                      const std::string* cache_key) {
   const obs::ObsContext obs = QueryObs(options);
-  Binder binder(catalog_);
-  std::unique_ptr<BoundQuery> bound;
-  {
-    obs::ScopedSpan bind_span(obs.tracer, "bind", "pipeline");
-    PhaseTimer bind_timer(record, obs::QueryPhase::kBind);
-    RADB_ASSIGN_OR_RETURN(bound, binder.Bind(stmt));
-  }
-  std::vector<SlotInfo> out_columns = bound->output;
-  const size_t visible = bound->num_visible_outputs == 0
-                             ? out_columns.size()
-                             : bound->num_visible_outputs;
-  out_columns.resize(std::min(visible, out_columns.size()));
-  Optimizer optimizer(config_.optimizer);
-  LogicalOpPtr plan;
-  {
-    obs::ScopedSpan optimize_span(obs.tracer, "optimize", "pipeline");
-    PhaseTimer optimize_timer(record, obs::QueryPhase::kOptimize);
-    RADB_ASSIGN_OR_RETURN(plan, optimizer.Plan(std::move(bound), obs));
+  const size_t budget = options.memory_budget_bytes != 0
+                            ? options.memory_budget_bytes
+                            : config_.memory_budget_bytes;
+  // 1. Result cache: replay a materialized result while every source
+  // table (and the schema) is unchanged. Served only when this call's
+  // budget is unlimited or at least the filling run's peak, so a
+  // budget that would have failed the cold run with ResourceExhausted
+  // is never satisfied from cache.
+  if (cache_key != nullptr && result_cache_ != nullptr) {
+    if (auto hit = result_cache_->Lookup(*cache_key, catalog_, budget)) {
+      if (record != nullptr) record->cache_result_hits++;
+      if (obs.metrics != nullptr) obs.metrics->Add("cache.result_hits", 1);
+      PhaseTimer serialize_timer(record, obs::QueryPhase::kSerialize);
+      ResultSet rs;
+      rs.columns = hit->columns;
+      rs.rows = hit->rows;
+      return rs;
+    }
+    if (obs.metrics != nullptr) {
+      obs.metrics->Add("cache.result_misses", 1);
+    }
   }
 
+  // 2. Plan cache: skip bind + optimize when this exact normalized
+  // statement was planned against this exact catalog version.
+  std::shared_ptr<const CachedPlan> cached;
+  if (cache_key != nullptr && plan_cache_ != nullptr) {
+    cached = plan_cache_->Lookup(*cache_key, catalog_.version());
+    if (obs.metrics != nullptr) {
+      obs.metrics->Add(cached != nullptr ? "cache.plan_hits"
+                                         : "cache.plan_misses",
+                       1);
+    }
+  }
+  std::shared_ptr<const LogicalOp> plan;
+  std::vector<SlotInfo> out_columns;
+  std::vector<TableDep> deps;
+  bool result_cacheable = false;
+  if (cached != nullptr) {
+    if (record != nullptr) record->cache_plan_hits++;
+    plan = cached->plan;
+    out_columns = cached->out_columns;
+    deps = cached->deps;
+    result_cacheable = cached->result_cacheable;
+  } else {
+    Binder binder(catalog_);
+    std::unique_ptr<BoundQuery> bound;
+    {
+      obs::ScopedSpan bind_span(obs.tracer, "bind", "pipeline");
+      PhaseTimer bind_timer(record, obs::QueryPhase::kBind);
+      RADB_ASSIGN_OR_RETURN(bound, binder.Bind(stmt));
+    }
+    out_columns = bound->output;
+    const size_t visible = bound->num_visible_outputs == 0
+                               ? out_columns.size()
+                               : bound->num_visible_outputs;
+    out_columns.resize(std::min(visible, out_columns.size()));
+    Optimizer optimizer(config_.optimizer);
+    LogicalOpPtr planned;
+    {
+      obs::ScopedSpan optimize_span(obs.tracer, "optimize", "pipeline");
+      PhaseTimer optimize_timer(record, obs::QueryPhase::kOptimize);
+      RADB_ASSIGN_OR_RETURN(planned, optimizer.Plan(std::move(bound), obs));
+    }
+    PlanDeps pd = CollectTableDeps(*planned);
+    deps = std::move(pd.deps);
+    // Plans over radb_* system tables embed a point-in-time snapshot
+    // Table and must be rebuilt every execution.
+    result_cacheable = !pd.has_system_table;
+    plan = std::shared_ptr<const LogicalOp>(std::move(planned));
+    if (cache_key != nullptr && plan_cache_ != nullptr && result_cacheable) {
+      auto entry = std::make_shared<CachedPlan>();
+      entry->plan = plan;
+      entry->out_columns = out_columns;
+      entry->catalog_version = catalog_.version();
+      entry->schema_version = catalog_.schema_version();
+      entry->deps = deps;
+      entry->result_cacheable = true;
+      plan_cache_->Insert(*cache_key, std::move(entry));
+    }
+  }
+
+  QueryStats local_stats;
+  QueryStats* st = stats != nullptr ? stats : &local_stats;
+  RADB_ASSIGN_OR_RETURN(
+      ResultSet rs, ExecutePlanRows(*plan, out_columns, options, st, record));
+  if (cache_key != nullptr && result_cacheable) {
+    MaybeCacheResult(*cache_key, rs, deps, st->peak_memory_bytes);
+  }
+  return rs;
+}
+
+void Database::MaybeCacheResult(const std::string& cache_key,
+                                const ResultSet& rs,
+                                const std::vector<TableDep>& deps,
+                                size_t fill_peak) {
+  if (result_cache_ == nullptr) return;
+  auto entry = std::make_shared<CachedResult>();
+  entry->columns = rs.columns;
+  entry->rows = rs.rows;
+  entry->bytes = ResultBytes(rs.rows);
+  entry->fill_peak_bytes = fill_peak;
+  entry->schema_version = catalog_.schema_version();
+  entry->deps = deps;
+  result_cache_->Insert(cache_key, std::move(entry));
+}
+
+Result<ResultSet> Database::ExecutePlanRows(
+    const LogicalOp& plan, const std::vector<SlotInfo>& out_columns,
+    const QueryOptions& options, QueryStats* stats,
+    obs::QueryRecord* record) {
+  const obs::ObsContext obs = QueryObs(options);
   // Per-query memory governance: a fresh root tracker per SELECT, so
   // a ResourceExhausted query releases everything it charged and the
   // next query starts from a clean slate. Budget 0 = unlimited (the
@@ -348,7 +462,7 @@ Result<ResultSet> Database::RunSelect(const parser::SelectStmt& stmt,
     Executor executor(cluster_, &qm, obs, pool, mem,
                       ExecOptions{config_.enable_vectorized,
                                   config_.vectorized_batch_rows});
-    auto result = executor.Execute(*plan);
+    auto result = executor.Execute(plan);
     const size_t spill = tracker.spill_bytes();
     const size_t peak = tracker.peak_bytes();
     if (stats != nullptr) {
@@ -373,7 +487,7 @@ Result<ResultSet> Database::RunSelect(const parser::SelectStmt& stmt,
 
   PhaseTimer serialize_timer(record, obs::QueryPhase::kSerialize);
   ResultSet rs;
-  rs.columns = plan->output;
+  rs.columns = plan.output;
   // Trim hidden sort columns and restore binder-declared names.
   if (rs.columns.size() >= out_columns.size()) {
     rs.columns.resize(out_columns.size());
@@ -388,6 +502,166 @@ Result<ResultSet> Database::RunSelect(const parser::SelectStmt& stmt,
     }
   }
   return rs;
+}
+
+Result<ResultSet> Database::RunExecutePrepared(const parser::Statement& stmt,
+                                               const QueryOptions& options,
+                                               QueryStats* stats,
+                                               obs::QueryRecord* record) {
+  const obs::ObsContext obs = QueryObs(options);
+  const std::string name = ToLower(stmt.relation_name);
+  std::shared_ptr<PreparedStatement> prep;
+  {
+    std::lock_guard<std::mutex> lock(prepared_mu_);
+    auto it = prepared_.find(name);
+    if (it != prepared_.end()) prep = it->second;
+  }
+  if (prep == nullptr) {
+    return Status::BindError("prepared statement " + name +
+                             " does not exist");
+  }
+  if (stmt.execute_args.size() != prep->num_params) {
+    return Status::BindError(
+        "prepared statement " + name + " expects " +
+        std::to_string(prep->num_params) + " argument(s), got " +
+        std::to_string(stmt.execute_args.size()));
+  }
+  std::vector<Value> args;
+  std::vector<DataType> arg_types;
+  args.reserve(stmt.execute_args.size());
+  for (const auto& e : stmt.execute_args) {
+    RADB_ASSIGN_OR_RETURN(Value v, EvalConstExpr(catalog_, *e));
+    arg_types.push_back(v.RuntimeType());
+    args.push_back(std::move(v));
+  }
+
+  // Reuse the bound+optimized template while the catalog and the
+  // argument types are unchanged; any catalog change or a type switch
+  // (say, EXECUTE q(1) after EXECUTE q(1.5)) forces a rebind.
+  std::shared_ptr<const CachedPlan> tmpl;
+  {
+    std::lock_guard<std::mutex> lock(prepared_mu_);
+    if (prep->plan != nullptr &&
+        prep->plan->catalog_version == catalog_.version() &&
+        prep->param_types == arg_types) {
+      tmpl = prep->plan;
+    }
+  }
+  if (tmpl != nullptr) {
+    if (record != nullptr) record->cache_plan_hits++;
+    if (obs.metrics != nullptr) obs.metrics->Add("cache.plan_hits", 1);
+  } else {
+    if (obs.metrics != nullptr) obs.metrics->Add("cache.plan_misses", 1);
+    Binder binder(catalog_);
+    binder.SetParamTypes(&arg_types);
+    std::unique_ptr<BoundQuery> bound;
+    {
+      obs::ScopedSpan bind_span(obs.tracer, "bind", "pipeline");
+      PhaseTimer bind_timer(record, obs::QueryPhase::kBind);
+      RADB_ASSIGN_OR_RETURN(bound, binder.Bind(*prep->body));
+    }
+    auto entry = std::make_shared<CachedPlan>();
+    entry->out_columns = bound->output;
+    const size_t visible = bound->num_visible_outputs == 0
+                               ? entry->out_columns.size()
+                               : bound->num_visible_outputs;
+    entry->out_columns.resize(
+        std::min(visible, entry->out_columns.size()));
+    Optimizer optimizer(config_.optimizer);
+    LogicalOpPtr planned;
+    {
+      obs::ScopedSpan optimize_span(obs.tracer, "optimize", "pipeline");
+      PhaseTimer optimize_timer(record, obs::QueryPhase::kOptimize);
+      RADB_ASSIGN_OR_RETURN(planned, optimizer.Plan(std::move(bound), obs));
+    }
+    PlanDeps pd = CollectTableDeps(*planned);
+    entry->plan = std::shared_ptr<const LogicalOp>(std::move(planned));
+    entry->catalog_version = catalog_.version();
+    entry->schema_version = catalog_.schema_version();
+    entry->deps = std::move(pd.deps);
+    // EXECUTE results are never cached: the name -> body mapping can
+    // be replaced by PREPARE without any catalog change, so a textual
+    // "execute q(...)" key could go stale invisibly.
+    entry->result_cacheable = false;
+    tmpl = entry;
+    {
+      std::lock_guard<std::mutex> lock(prepared_mu_);
+      prep->plan = tmpl;
+      prep->param_types = arg_types;
+    }
+  }
+
+  // Substitute the arguments into a private clone; the template stays
+  // parameter-abstract for the next EXECUTE. Re-annotate batch
+  // capability: literals vectorize where an abstract parameter
+  // could not.
+  LogicalOpPtr plan = tmpl->plan->Clone();
+  RADB_RETURN_NOT_OK(SubstituteParams(plan.get(), args));
+  AnnotateBatchCapability(*plan);
+  return ExecutePlanRows(*plan, tmpl->out_columns, options, stats, record);
+}
+
+std::optional<ScriptResult> Database::ExecuteCachedOnly(
+    const std::string& sql, const QueryOptions& options) {
+  if (result_cache_ == nullptr) return std::nullopt;
+  auto normalized = parser::NormalizeScript(sql);
+  if (!normalized.ok() || normalized->empty()) return std::nullopt;
+  const size_t budget = options.memory_budget_bytes != 0
+                            ? options.memory_budget_bytes
+                            : config_.memory_budget_bytes;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::shared_ptr<const CachedResult>> hits;
+  hits.reserve(normalized->size());
+  for (const std::string& key : *normalized) {
+    auto hit = result_cache_->Lookup(key, catalog_, budget);
+    if (hit == nullptr) return std::nullopt;
+    hits.push_back(std::move(hit));
+  }
+  // Whole-script hit: serve without parsing. Only SELECT results are
+  // ever inserted, so full resolution implies a read-only script.
+  ScriptResult script;
+  obs::QueryRecord record;
+  record.query_id =
+      options.query_id != 0
+          ? options.query_id
+          : next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  record.session_id = options.session_id;
+  record.sql = sql;
+  record.status = StatusCodeName(StatusCode::kOk);
+  record.cache_result_hits = static_cast<int64_t>(hits.size());
+  record.phases[obs::QueryPhase::kQueue] = options.queue_wait_micros;
+  record.phases[obs::QueryPhase::kLatch] = options.latch_wait_micros;
+  for (const auto& hit : hits) {
+    ResultSet rs;
+    rs.columns = hit->columns;
+    rs.rows = hit->rows;
+    QueryStats qs;
+    qs.rows = rs.num_rows();
+    record.rows += static_cast<int64_t>(rs.num_rows());
+    script.result_sets.push_back(std::move(rs));
+    script.statements.push_back(qs);
+  }
+  const uint64_t serve_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  record.phases[obs::QueryPhase::kSerialize] = serve_micros;
+  record.total_micros =
+      serve_micros + options.queue_wait_micros + options.latch_wait_micros;
+  if (!script.statements.empty()) {
+    script.statements.front().wall_seconds = serve_micros * 1e-6;
+  }
+  if (metrics_registry_ != nullptr && options.collect_metrics) {
+    metrics_registry_->Add("cache.result_hits",
+                           static_cast<int64_t>(hits.size()));
+  }
+  RecordQueryTelemetry(std::move(record));
+  return script;
+}
+
+size_t Database::prepared_count() const {
+  std::lock_guard<std::mutex> lock(prepared_mu_);
+  return prepared_.size();
 }
 
 Result<ResultSet> Database::ExecuteSql(const std::string& sql) {
@@ -501,8 +775,23 @@ Result<ScriptResult> Database::ExecuteScript(const std::string& sql,
     RADB_ASSIGN_OR_RETURN(stmts, parser::ParseScript(sql));
     parse_span.AddArg("statements", std::to_string(stmts.size()));
   }
+  // Per-statement normalized texts = cache keys, aligned with stmts.
+  // A normalization failure or count mismatch (both should be
+  // impossible for a script that just parsed) disables caching for
+  // this call rather than risking key/statement misalignment.
+  std::vector<std::string> cache_keys;
+  if (plan_cache_ != nullptr || result_cache_ != nullptr) {
+    auto normalized = parser::NormalizeScript(sql);
+    if (normalized.ok() && normalized->size() == stmts.size()) {
+      cache_keys = std::move(*normalized);
+    }
+  }
   ScriptResult script;
+  size_t stmt_index = static_cast<size_t>(-1);
   for (parser::Statement& stmt : stmts) {
+    ++stmt_index;
+    const std::string* cache_key =
+        cache_keys.size() == stmts.size() ? &cache_keys[stmt_index] : nullptr;
     // Between statements is the cheapest cancellation point a script
     // has: a fired token (or expired deadline) stops the script
     // before the next statement starts.
@@ -519,8 +808,9 @@ Result<ScriptResult> Database::ExecuteScript(const std::string& sql,
     size_t stmt_rows = 0;
     switch (stmt.kind) {
       case parser::Statement::Kind::kSelect: {
-        RADB_ASSIGN_OR_RETURN(ResultSet rs,
-                              RunSelect(*stmt.select, opts, &stats, record));
+        RADB_ASSIGN_OR_RETURN(
+            ResultSet rs,
+            RunSelect(*stmt.select, opts, &stats, record, cache_key));
         stmt_rows = rs.num_rows();
         script.result_sets.push_back(std::move(rs));
         break;
@@ -528,8 +818,8 @@ Result<ScriptResult> Database::ExecuteScript(const std::string& sql,
       case parser::Statement::Kind::kExplain: {
         if (stmt.explain_analyze) {
           RADB_ASSIGN_OR_RETURN(
-              ResultSet rs,
-              ExplainAnalyzeSelect(*stmt.select, opts, &stats, record));
+              ResultSet rs, ExplainAnalyzeSelect(*stmt.select, opts, &stats,
+                                                 record, cache_key));
           stmt_rows = rs.num_rows();
           script.result_sets.push_back(std::move(rs));
           break;
@@ -613,6 +903,9 @@ Result<ScriptResult> Database::ExecuteScript(const std::string& sql,
           }
           RADB_RETURN_NOT_OK(t->Insert(std::move(row)));
         }
+        // Retire cached plans (their cardinality estimates are stale);
+        // result entries invalidate via the table's own version.
+        catalog_.BumpDataVersion();
         break;
       }
       case parser::Statement::Kind::kDropTable:
@@ -621,6 +914,32 @@ Result<ScriptResult> Database::ExecuteScript(const std::string& sql,
       case parser::Statement::Kind::kDropView:
         RADB_RETURN_NOT_OK(catalog_.DropView(stmt.relation_name));
         break;
+      case parser::Statement::Kind::kPrepare: {
+        // Binding is deferred to the first EXECUTE, whose argument
+        // values supply the parameter types.
+        auto prep = std::make_shared<PreparedStatement>();
+        prep->body = std::move(stmt.select);
+        prep->num_params = stmt.num_params;
+        std::lock_guard<std::mutex> lock(prepared_mu_);
+        prepared_[ToLower(stmt.relation_name)] = std::move(prep);
+        break;
+      }
+      case parser::Statement::Kind::kExecutePrepared: {
+        RADB_ASSIGN_OR_RETURN(
+            ResultSet rs, RunExecutePrepared(stmt, opts, &stats, record));
+        stmt_rows = rs.num_rows();
+        script.result_sets.push_back(std::move(rs));
+        break;
+      }
+      case parser::Statement::Kind::kDeallocate: {
+        std::lock_guard<std::mutex> lock(prepared_mu_);
+        const std::string name = ToLower(stmt.relation_name);
+        if (prepared_.erase(name) == 0) {
+          return Status::BindError("prepared statement " + name +
+                                   " does not exist");
+        }
+        break;
+      }
     }
     stats.rows = stmt_rows;
     stats.wall_seconds = std::chrono::duration<double>(
@@ -687,22 +1006,55 @@ void RenderAnalyzed(const LogicalOp& op, const Executor& executor,
 
 Result<ResultSet> Database::ExplainAnalyzeSelect(
     const parser::SelectStmt& stmt, const QueryOptions& options,
-    QueryStats* stats, obs::QueryRecord* record) {
+    QueryStats* stats, obs::QueryRecord* record,
+    const std::string* cache_key) {
   const obs::ObsContext obs = QueryObs(options);
-  Binder binder(catalog_);
-  std::unique_ptr<BoundQuery> bound;
-  {
-    obs::ScopedSpan bind_span(obs.tracer, "bind", "pipeline");
-    PhaseTimer bind_timer(record, obs::QueryPhase::kBind);
-    RADB_ASSIGN_OR_RETURN(bound, binder.Bind(stmt));
+  // Plan-cache consult under the EXPLAIN's own normalized text (a
+  // different key space from the bare SELECT; both resolve to the
+  // same plan shape). Results of EXPLAIN ANALYZE are never cached —
+  // the point is fresh execution metrics.
+  std::shared_ptr<const CachedPlan> cached;
+  if (cache_key != nullptr && plan_cache_ != nullptr) {
+    cached = plan_cache_->Lookup(*cache_key, catalog_.version());
+    if (obs.metrics != nullptr) {
+      obs.metrics->Add(cached != nullptr ? "cache.plan_hits"
+                                         : "cache.plan_misses",
+                       1);
+    }
   }
-  Optimizer optimizer(config_.optimizer);
-  LogicalOpPtr plan;
-  {
-    obs::ScopedSpan optimize_span(obs.tracer, "optimize", "pipeline");
-    PhaseTimer optimize_timer(record, obs::QueryPhase::kOptimize);
-    RADB_ASSIGN_OR_RETURN(plan, optimizer.Plan(std::move(bound), obs));
+  std::shared_ptr<const LogicalOp> splan;
+  if (cached != nullptr) {
+    if (record != nullptr) record->cache_plan_hits++;
+    splan = cached->plan;
+  } else {
+    Binder binder(catalog_);
+    std::unique_ptr<BoundQuery> bound;
+    {
+      obs::ScopedSpan bind_span(obs.tracer, "bind", "pipeline");
+      PhaseTimer bind_timer(record, obs::QueryPhase::kBind);
+      RADB_ASSIGN_OR_RETURN(bound, binder.Bind(stmt));
+    }
+    Optimizer optimizer(config_.optimizer);
+    LogicalOpPtr planned;
+    {
+      obs::ScopedSpan optimize_span(obs.tracer, "optimize", "pipeline");
+      PhaseTimer optimize_timer(record, obs::QueryPhase::kOptimize);
+      RADB_ASSIGN_OR_RETURN(planned, optimizer.Plan(std::move(bound), obs));
+    }
+    PlanDeps pd = CollectTableDeps(*planned);
+    splan = std::shared_ptr<const LogicalOp>(std::move(planned));
+    if (cache_key != nullptr && plan_cache_ != nullptr &&
+        !pd.has_system_table) {
+      auto entry = std::make_shared<CachedPlan>();
+      entry->plan = splan;
+      entry->catalog_version = catalog_.version();
+      entry->schema_version = catalog_.schema_version();
+      entry->deps = std::move(pd.deps);
+      entry->result_cacheable = false;
+      plan_cache_->Insert(*cache_key, std::move(entry));
+    }
   }
+  const LogicalOp* plan = splan.get();
 
   const size_t budget = options.memory_budget_bytes != 0
                             ? options.memory_budget_bytes
@@ -763,6 +1115,9 @@ Result<ResultSet> Database::ExplainAnalyzeSelect(
     os << "; total spilled: " << FormatBytes(double(spill))
        << " (peak memory " << FormatBytes(double(peak)) << ")";
   }
+  if (cache_key != nullptr && plan_cache_ != nullptr) {
+    os << "; cache=" << (cached != nullptr ? "plan-hit" : "miss");
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     last_metrics_ = std::move(qm);
@@ -805,7 +1160,9 @@ Status Database::RepartitionTable(const std::string& table,
   }
   RADB_ASSIGN_OR_RETURN(std::shared_ptr<Table> t, catalog_.GetTable(table));
   RADB_ASSIGN_OR_RETURN(size_t idx, t->schema().Resolve("", column));
-  return t->RepartitionByHash(idx);
+  RADB_RETURN_NOT_OK(t->RepartitionByHash(idx));
+  catalog_.BumpDataVersion();
+  return Status::OK();
 }
 
 Status Database::SaveTable(const std::string& table,

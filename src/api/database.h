@@ -4,8 +4,10 @@
 #include <atomic>
 #include <fstream>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,6 +24,7 @@
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "optimizer/optimizer.h"
+#include "optimizer/query_cache.h"
 #include "plan/logical_plan.h"
 #include "storage/table.h"
 
@@ -224,6 +227,19 @@ class Database {
     bool enable_vectorized = true;
     /// Lanes per ColumnBatch on the vectorized path.
     size_t vectorized_batch_rows = 1024;
+    /// Plan cache: normalized statement text -> optimized plan,
+    /// invalidated by any catalog change (DDL or DML — a plan embeds
+    /// table pointers and cardinality estimates). Capacity is an
+    /// entry count; 0 or enable_plan_cache=false turns it off.
+    bool enable_plan_cache = true;
+    size_t plan_cache_entries = 256;
+    /// Result cache: materialized result sets of deterministic
+    /// read-only statements, replayed while every source table is
+    /// unchanged (per-table versions + schema version). Bytes are
+    /// charged against a dedicated MemoryTracker root with LRU
+    /// eviction; 0 bytes or enable_result_cache=false turns it off.
+    bool enable_result_cache = true;
+    size_t result_cache_bytes = 64u << 20;
     Optimizer::Options optimizer;
     ObsOptions obs;
     TelemetryOptions telemetry;
@@ -254,6 +270,16 @@ class Database {
   /// observability toggles).
   Result<ScriptResult> Execute(const std::string& sql,
                                const QueryOptions& options);
+
+  /// Cache-only fast path: serves the whole script from the result
+  /// cache WITHOUT parsing when every statement's normalized text has
+  /// a valid entry (source tables unchanged, schema unchanged, and
+  /// the entry's fill ran within this call's memory budget). Returns
+  /// nullopt on any miss — the caller falls back to Execute() — and
+  /// records telemetry only on a hit. Service sessions call this
+  /// under the shared catalog latch before paying for admission.
+  std::optional<ScriptResult> ExecuteCachedOnly(const std::string& sql,
+                                                const QueryOptions& options);
 
   /// DEPRECATED — use Execute(). Forwarding shim kept for existing
   /// callers: runs the script with default options and returns only
@@ -318,21 +344,68 @@ class Database {
   /// sampler).
   obs::TelemetryExporter* exporter() { return exporter_.get(); }
 
+  /// Plan / result caches (null when disabled by Config).
+  PlanCache* plan_cache() { return plan_cache_.get(); }
+  ResultCache* result_cache() { return result_cache_.get(); }
+  /// Number of PREPAREd statements currently registered.
+  size_t prepared_count() const;
+
  private:
   friend class SystemTableCatalog;
+
+  /// One PREPAREd statement: the AST template plus, after the first
+  /// EXECUTE, the bound+optimized plan template (parameters still
+  /// abstract). The plan is reused while the catalog version and the
+  /// arguments' types match; otherwise EXECUTE rebinds. Guarded by
+  /// prepared_mu_.
+  struct PreparedStatement {
+    std::unique_ptr<parser::SelectStmt> body;
+    size_t num_params = 0;
+    std::shared_ptr<const CachedPlan> plan;  // null until first EXECUTE
+    std::vector<DataType> param_types;       // types `plan` was bound with
+  };
+
   /// `stats`, when non-null, receives this statement's spill/peak
   /// totals — the race-free path for concurrent sessions, which must
-  /// not read them back from the shared last_* members.
+  /// not read them back from the shared last_* members. `cache_key`,
+  /// when non-null, is the statement's normalized text and enables
+  /// the plan/result caches for this statement.
   Result<ResultSet> RunSelect(const parser::SelectStmt& stmt,
                               const QueryOptions& options,
                               QueryStats* stats = nullptr,
-                              obs::QueryRecord* record = nullptr);
+                              obs::QueryRecord* record = nullptr,
+                              const std::string* cache_key = nullptr);
+  /// Executes an already-optimized plan: per-query memory tracker,
+  /// executor, stats copy-back, and serialization to a ResultSet with
+  /// `out_columns` (hidden sort keys trimmed). The shared tail of the
+  /// cold path, the plan-cache hit path, and EXECUTE.
+  Result<ResultSet> ExecutePlanRows(const LogicalOp& plan,
+                                    const std::vector<SlotInfo>& out_columns,
+                                    const QueryOptions& options,
+                                    QueryStats* stats,
+                                    obs::QueryRecord* record);
+  /// EXECUTE name (args): evaluates the constant arguments, reuses or
+  /// (re)builds the prepared plan template, substitutes parameters
+  /// into a private clone, and executes it.
+  Result<ResultSet> RunExecutePrepared(const parser::Statement& stmt,
+                                       const QueryOptions& options,
+                                       QueryStats* stats,
+                                       obs::QueryRecord* record);
+  /// Inserts a successful SELECT's result into the result cache when
+  /// eligible (cache on, key present, deterministic plan).
+  void MaybeCacheResult(const std::string& cache_key, const ResultSet& rs,
+                        const std::vector<TableDep>& deps, size_t fill_peak);
   /// EXPLAIN ANALYZE: executes the SELECT, then renders the plan tree
   /// annotated with per-node actual metrics (including spill volume).
+  /// With a cache key, the plan cache is consulted/filled (under the
+  /// EXPLAIN's own normalized text) and the footer reports
+  /// cache=plan-hit / cache=miss.
   Result<ResultSet> ExplainAnalyzeSelect(const parser::SelectStmt& stmt,
                                          const QueryOptions& options,
                                          QueryStats* stats = nullptr,
-                                         obs::QueryRecord* record = nullptr);
+                                         obs::QueryRecord* record = nullptr,
+                                         const std::string* cache_key =
+                                             nullptr);
   /// The statement loop behind Execute(); `record` accumulates the
   /// phase breakdown and operator records for telemetry.
   Result<ScriptResult> ExecuteScript(const std::string& sql,
@@ -374,6 +447,14 @@ class Database {
   /// Lazily-opened append sink for the slow-query log.
   std::mutex slow_log_mu_;
   std::ofstream slow_log_;
+  /// Hot-traffic caches (null when disabled). Mutation of catalog /
+  /// tables happens under the service's unique catalog latch; the
+  /// caches themselves are internally synchronized leaf structures.
+  std::unique_ptr<PlanCache> plan_cache_;
+  std::unique_ptr<ResultCache> result_cache_;
+  /// PREPAREd statements by lowercase name.
+  mutable std::mutex prepared_mu_;
+  std::map<std::string, std::shared_ptr<PreparedStatement>> prepared_;
 };
 
 }  // namespace radb

@@ -14,7 +14,7 @@ namespace {
 
 constexpr const char* kSystemTableNames[] = {
     "radb_metrics",   "radb_queries",  "radb_query_phases", "radb_operators",
-    "radb_sessions",  "radb_threads",  "radb_tables",
+    "radb_sessions",  "radb_threads",  "radb_tables",       "radb_cache",
 };
 
 Schema MakeSchema(std::initializer_list<std::pair<const char*, DataType>> cols) {
@@ -55,6 +55,7 @@ Result<std::shared_ptr<Table>> SystemTableCatalog::Snapshot(
   if (lower_name == "radb_sessions") return SessionsTable();
   if (lower_name == "radb_threads") return ThreadsTable();
   if (lower_name == "radb_tables") return TablesTable();
+  if (lower_name == "radb_cache") return CacheTable();
   return Status::CatalogError("unknown system table: " + lower_name);
 }
 
@@ -102,7 +103,8 @@ std::shared_ptr<Table> SystemTableCatalog::QueriesTable() const {
                   {"optimize_micros", DataType::Integer()},
                   {"execute_micros", DataType::Integer()},
                   {"serialize_micros", DataType::Integer()},
-                  {"total_micros", DataType::Integer()}}));
+                  {"total_micros", DataType::Integer()},
+                  {"cache", DataType::String()}}));
   for (const obs::QueryRecord& q : db_->telemetry_store()->SnapshotQueries()) {
     Row row{Value::Int(static_cast<int64_t>(q.query_id)),
             Value::Int(static_cast<int64_t>(q.session_id)),
@@ -112,6 +114,13 @@ std::shared_ptr<Table> SystemTableCatalog::QueriesTable() const {
       row.push_back(Value::Int(static_cast<int64_t>(q.phases.micros[i])));
     }
     row.push_back(Value::Int(static_cast<int64_t>(q.total_micros)));
+    const char* cache = "miss";
+    if (q.cache_result_hits > 0) {
+      cache = "result-hit";
+    } else if (q.cache_plan_hits > 0) {
+      cache = "plan-hit";
+    }
+    row.push_back(Value::String(cache));
     (void)table->Insert(std::move(row));
   }
   return table;
@@ -272,6 +281,36 @@ std::shared_ptr<Table> SystemTableCatalog::TablesTable() const {
          Value::Int(static_cast<int64_t>(user.num_partitions())),
          Value::String(partitioning)});
   }
+  return table;
+}
+
+std::shared_ptr<Table> SystemTableCatalog::CacheTable() const {
+  auto table = MakeSnapshotTable(
+      "radb_cache", MakeSchema({{"cache", DataType::String()},
+                                {"entries", DataType::Integer()},
+                                {"bytes", DataType::Integer()},
+                                {"budget_bytes", DataType::Integer()},
+                                {"hits", DataType::Integer()},
+                                {"misses", DataType::Integer()},
+                                {"evictions", DataType::Integer()},
+                                {"invalidations", DataType::Integer()}}));
+  auto row = [&](const char* kind, int64_t entries, int64_t bytes,
+                 int64_t budget, const CacheStatsSnapshot& s) {
+    (void)table->Insert({Value::String(kind), Value::Int(entries),
+                         Value::Int(bytes), Value::Int(budget),
+                         Value::Int(s.hits), Value::Int(s.misses),
+                         Value::Int(s.evictions), Value::Int(s.invalidations)});
+  };
+  if (const PlanCache* plans = db_->plan_cache()) {
+    row("plan", static_cast<int64_t>(plans->entries()), 0, 0, plans->stats());
+  }
+  if (const ResultCache* results = db_->result_cache()) {
+    row("result", static_cast<int64_t>(results->entries()),
+        static_cast<int64_t>(results->bytes_in_use()),
+        static_cast<int64_t>(results->budget_bytes()), results->stats());
+  }
+  row("prepared", static_cast<int64_t>(db_->prepared_count()), 0, 0,
+      CacheStatsSnapshot{});
   return table;
 }
 

@@ -28,6 +28,9 @@ namespace radb {
 ///   radb_threads   — pool workers (busy/wait time) and live regions
 ///                    (queue depth)
 ///   radb_tables    — user tables with row counts and byte sizes
+///   radb_cache     — plan/result cache state: entries, bytes, hits,
+///                    misses, evictions, invalidations; plus the
+///                    prepared-statement count
 ///
 /// Latch rules (DESIGN.md §12): snapshots take only leaf locks (the
 /// telemetry-store mutex, the registry mutex, the pool mutex) — never
@@ -49,6 +52,7 @@ class SystemTableCatalog : public SystemTableProvider {
   std::shared_ptr<Table> SessionsTable() const;
   std::shared_ptr<Table> ThreadsTable() const;
   std::shared_ptr<Table> TablesTable() const;
+  std::shared_ptr<Table> CacheTable() const;
 
   Database* db_;
 };

@@ -230,6 +230,20 @@ Result<BoundExprPtr> Binder::BindExpr(const parser::Expr& expr,
       RADB_ASSIGN_OR_RETURN(out->type, fn->signature.Bind(arg_types));
       return out;
     }
+    case PK::kParam: {
+      if (param_types_ == nullptr) {
+        return Status::BindError(
+            "parameter markers (?) are only allowed inside PREPARE");
+      }
+      if (expr.param_index >= param_types_->size()) {
+        return Status::Internal("parameter index out of range");
+      }
+      auto out = std::make_unique<BoundExpr>();
+      out->kind = BoundExpr::Kind::kParam;
+      out->slot = expr.param_index;
+      out->type = (*param_types_)[expr.param_index];
+      return out;
+    }
   }
   return Status::Internal("unhandled expression kind");
 }

@@ -70,6 +70,14 @@ class Binder {
  public:
   explicit Binder(const Catalog& catalog) : catalog_(catalog) {}
 
+  /// Supplies the concrete type of each ? marker when binding a
+  /// PREPAREd statement body (types come from the first EXECUTE's
+  /// argument values). Without hints, ? markers are a bind error.
+  /// The vector must outlive the Bind call.
+  void SetParamTypes(const std::vector<DataType>* types) {
+    param_types_ = types;
+  }
+
   Result<std::unique_ptr<BoundQuery>> Bind(const parser::SelectStmt& stmt);
 
  private:
@@ -108,6 +116,7 @@ class Binder {
   bool ContainsAggregate(const parser::Expr& expr) const;
 
   const Catalog& catalog_;
+  const std::vector<DataType>* param_types_ = nullptr;
   size_t next_slot_ = 0;
   int view_depth_ = 0;
 };

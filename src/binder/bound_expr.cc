@@ -74,6 +74,8 @@ std::string BoundExpr::ToString() const {
       for (const auto& c : children) args.push_back(c->ToString());
       return fn->signature.name() + "(" + Join(args, ", ") + ")";
     }
+    case Kind::kParam:
+      return "$param" + std::to_string(slot);
   }
   return "?";
 }

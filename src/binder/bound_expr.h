@@ -27,14 +27,15 @@ struct BoundExpr {
     kLogic,  // AND / OR
     kNot,
     kNeg,
-    kCall,  // scalar built-in
+    kCall,   // scalar built-in
+    kParam,  // ? placeholder in a PREPAREd plan; replaced per EXECUTE
   };
 
   Kind kind = Kind::kLiteral;
   DataType type;
 
   Value literal;    // kLiteral
-  size_t slot = 0;  // kColumnRef
+  size_t slot = 0;  // kColumnRef; kParam: 0-based parameter ordinal
   std::string column_name;  // kColumnRef, for display
 
   ArithOp arith_op = ArithOp::kAdd;      // kArith

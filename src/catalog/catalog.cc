@@ -24,6 +24,7 @@ Result<std::shared_ptr<Table>> Catalog::CreateTable(const std::string& name,
   auto table = std::make_shared<Table>(key, std::move(schema),
                                        default_partitions_);
   tables_[key] = table;
+  BumpSchemaVersion();
   return table;
 }
 
@@ -60,6 +61,7 @@ Status Catalog::DropTable(const std::string& name) {
   if (tables_.erase(ToLower(name)) == 0) {
     return Status::CatalogError("table not found: " + name);
   }
+  BumpSchemaVersion();
   return Status::OK();
 }
 
@@ -75,6 +77,7 @@ Status Catalog::CreateView(ViewEntry view) {
     return Status::CatalogError("relation already exists: " + view.name);
   }
   views_[key] = std::move(view);
+  BumpSchemaVersion();
   return Status::OK();
 }
 
@@ -98,6 +101,7 @@ Status Catalog::DropView(const std::string& name) {
   if (views_.erase(ToLower(name)) == 0) {
     return Status::CatalogError("view not found: " + name);
   }
+  BumpSchemaVersion();
   return Status::OK();
 }
 

@@ -50,6 +50,18 @@ class SystemTableProvider {
 /// registries. The catalog also records what the optimizer needs:
 /// per-table row counts (from storage) and column types with known
 /// matrix/vector dimensions (§4.1-4.2).
+///
+/// Versioning: `version()` is a monotone counter advanced by every
+/// DDL statement and by every Database-visible data change (INSERT,
+/// bulk load, repartition — the Database calls BumpDataVersion for
+/// those). It is the invalidation key of the plan cache: a cached
+/// plan embeds table pointers and cardinality estimates, so any
+/// catalog mutation makes it stale. `schema_version()` advances on
+/// DDL only (create/drop of tables and views) and gates the result
+/// cache's *binding* validity; data freshness is checked separately
+/// against per-table versions (Table::version). Like the rest of the
+/// catalog, the counters are not internally synchronized — mutation
+/// happens under the service's unique catalog latch.
 class Catalog {
  public:
   /// Reserved prefix for system tables; user relations cannot be
@@ -64,6 +76,15 @@ class Catalog {
         aggregates_(&AggregateRegistry::Global()) {}
 
   size_t default_partitions() const { return default_partitions_; }
+
+  /// Monotone catalog version: advanced by every DDL and every
+  /// Database-visible data change. Plan-cache invalidation key.
+  uint64_t version() const { return version_; }
+  /// Monotone schema version: advanced by DDL only.
+  uint64_t schema_version() const { return schema_version_; }
+  /// Notes a data mutation (INSERT, bulk load, repartition) without a
+  /// schema change. Called by the Database on every DML path.
+  void BumpDataVersion() { ++version_; }
 
   Result<std::shared_ptr<Table>> CreateTable(const std::string& name,
                                              Schema schema);
@@ -92,7 +113,17 @@ class Catalog {
   const AggregateRegistry& aggregates() const { return *aggregates_; }
 
  private:
+  /// Advances both counters (every DDL is also a catalog change).
+  void BumpSchemaVersion() {
+    ++version_;
+    ++schema_version_;
+  }
+
   size_t default_partitions_;
+  /// Plain integers (not atomics) so the Catalog stays copyable; all
+  /// mutation happens under the service's unique catalog latch.
+  uint64_t version_ = 1;
+  uint64_t schema_version_ = 1;
   std::map<std::string, std::shared_ptr<Table>> tables_;
   std::map<std::string, ViewEntry> views_;
   const SystemTableProvider* system_tables_ = nullptr;

@@ -60,6 +60,11 @@ Result<Value> EvalExpr(const BoundExpr& expr, const Row& row) {
       }
       return expr.fn->eval(args);
     }
+    case BoundExpr::Kind::kParam:
+      // Cached prepared plans substitute parameters with literals
+      // before execution; reaching here means a substitution was missed.
+      return Status::Internal("unbound parameter $" +
+                              std::to_string(expr.slot));
   }
   return Status::Internal("unhandled bound expression kind");
 }

@@ -560,6 +560,7 @@ Result<const ColumnVector*> EvalV(VExpr& e,
     }
 
     case BoundExpr::Kind::kCall:
+    case BoundExpr::Kind::kParam:
       break;  // never batch-capable
   }
   return Status::Internal("expression is not vectorizable");

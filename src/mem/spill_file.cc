@@ -4,9 +4,13 @@
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <utility>
 
+#include <dirent.h>
 #include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 namespace radb::mem {
@@ -44,22 +48,24 @@ namespace {
 // Process-wide spill-file sequence number: concurrent queries sharing
 // one spill_dir each get a distinct name even with identical tags.
 std::atomic<uint64_t> g_spill_seq{0};
+
+std::string ResolveSpillDir(const std::string& dir) {
+  if (!dir.empty()) return dir;
+  if (const char* tmp = std::getenv("TMPDIR"); tmp != nullptr && *tmp) {
+    return tmp;
+  }
+  return "/tmp";
+}
 }  // namespace
 
 Status SpillFile::Create(const std::string& dir, const std::string& tag) {
   if (fd_ >= 0) return Status::OK();
-  std::string base = dir;
-  if (base.empty()) {
-    if (const char* tmp = std::getenv("TMPDIR"); tmp != nullptr && *tmp) {
-      base = tmp;
-    } else {
-      base = "/tmp";
-    }
-  }
+  const std::string base = ResolveSpillDir(dir);
   const uint64_t seq =
       g_spill_seq.fetch_add(1, std::memory_order_relaxed);
   std::string tmpl = base + "/radb-spill-";
   if (!tag.empty()) tmpl += tag + "-";
+  tmpl += "p" + std::to_string(::getpid()) + "-";
   tmpl += std::to_string(seq) + "-XXXXXX";
   const int fd = ::mkstemp(tmpl.data());
   if (fd < 0) {
@@ -119,6 +125,54 @@ Result<std::string> SpillFile::ReadRun(size_t index) const {
     done += static_cast<size_t>(n);
   }
   return buf;
+}
+
+size_t SweepOrphanedSpillFiles(const std::string& dir,
+                               uint64_t max_age_seconds) {
+  const std::string base = ResolveSpillDir(dir);
+  DIR* d = ::opendir(base.c_str());
+  if (d == nullptr) return 0;
+  const time_t now = ::time(nullptr);
+  size_t removed = 0;
+  while (struct dirent* ent = ::readdir(d)) {
+    const std::string name = ent->d_name;
+    constexpr const char kPrefix[] = "radb-spill-";
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    const std::string path = base + "/" + name;
+
+    // A live owner's file is never touched: parse the "-p<pid>-"
+    // marker and probe the pid with signal 0. ESRCH means the owner
+    // died between mkstemp and unlink — the definition of an orphan.
+    bool has_pid = false;
+    bool owner_alive = false;
+    const size_t marker = name.find("-p");
+    if (marker != std::string::npos) {
+      size_t i = marker + 2;
+      long pid = 0;
+      while (i < name.size() && name[i] >= '0' && name[i] <= '9') {
+        pid = pid * 10 + (name[i] - '0');
+        ++i;
+      }
+      if (pid > 0 && i < name.size() && name[i] == '-') {
+        has_pid = true;
+        owner_alive =
+            ::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH;
+      }
+    }
+    if (has_pid) {
+      if (owner_alive) continue;
+    } else {
+      // No parseable pid (pre-pid layout or a mangled template): fall
+      // back to age so a freshly created file from a foreign writer is
+      // left alone.
+      struct stat st;
+      if (::stat(path.c_str(), &st) != 0) continue;
+      if (now - st.st_mtime < static_cast<time_t>(max_age_seconds)) continue;
+    }
+    if (::unlink(path.c_str()) == 0) ++removed;
+  }
+  ::closedir(d);
+  return removed;
 }
 
 }  // namespace radb::mem

@@ -2,6 +2,7 @@
 #define RADB_MEM_SPILL_FILE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -31,10 +32,12 @@ class SpillFile {
 
   /// Creates the backing temp file under `dir` (empty = the system
   /// temp directory, honoring $TMPDIR). `tag` (e.g. "q12" for query
-  /// 12) is embedded in the file name together with a process-wide
-  /// atomic sequence number, so concurrent queries sharing one
-  /// spill_dir produce distinguishable, collision-free names:
-  /// radb-spill-<tag>-<seq>-XXXXXX.
+  /// 12) is embedded in the file name together with the owning pid and
+  /// a process-wide atomic sequence number, so concurrent queries
+  /// sharing one spill_dir produce distinguishable, collision-free
+  /// names: radb-spill-<tag>-p<pid>-<seq>-XXXXXX. The pid lets
+  /// SweepOrphanedSpillFiles tell a crashed owner's leftovers from a
+  /// live process's files.
   Status Create(const std::string& dir = "", const std::string& tag = "");
 
   bool is_open() const { return fd_ >= 0; }
@@ -66,6 +69,18 @@ class SpillFile {
   size_t bytes_written_ = 0;
   std::vector<RunExtent> runs_;
 };
+
+/// Removes orphaned radb-spill-* files from `dir` (empty = the system
+/// temp directory, same resolution as SpillFile::Create). A file is an
+/// orphan when its embedded "-p<pid>-" owner is no longer alive, or —
+/// for names without a parseable pid (older layouts, partial mkstemp
+/// templates left by a crash) — when it is older than `max_age_seconds`.
+/// Normal operation never leaves names behind (Create unlinks
+/// immediately); orphans only appear when a process dies between
+/// mkstemp and unlink, so this runs once at Database startup.
+/// Returns the number of files removed.
+size_t SweepOrphanedSpillFiles(const std::string& dir = "",
+                               uint64_t max_age_seconds = 3600);
 
 }  // namespace radb::mem
 

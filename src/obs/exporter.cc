@@ -77,6 +77,8 @@ std::string TelemetryExporter::QueryRecordJson(const QueryRecord& r) {
      << ", \"rows\": " << r.rows
      << ", \"peak_memory_bytes\": " << r.peak_memory_bytes
      << ", \"spill_bytes\": " << r.spill_bytes
+     << ", \"cache_plan_hits\": " << r.cache_plan_hits
+     << ", \"cache_result_hits\": " << r.cache_result_hits
      << ", \"total_micros\": " << r.total_micros << ", \"phases\": {";
   for (size_t i = 0; i < kNumQueryPhases; ++i) {
     os << (i == 0 ? "" : ", ") << "\""

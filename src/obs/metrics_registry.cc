@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "obs/json.h"
@@ -9,6 +10,18 @@
 namespace radb::obs {
 
 void Histogram::Observe(double v) {
+  // Non-finite samples would otherwise poison the aggregates forever:
+  // one NaN turns sum_/min_/max_ (and every percentile derived from
+  // them) into NaN in the JSON export, and +inf both saturates sum_
+  // and — because the bucket index is only computed for finite values
+  // — lands in bucket 0 as if it were a tiny sample. Drop NaN outright
+  // and clamp ±inf to the finite extremes so the event is still
+  // counted where it belongs.
+  if (std::isnan(v)) return;
+  if (std::isinf(v)) {
+    v = v > 0.0 ? std::numeric_limits<double>::max()
+                : std::numeric_limits<double>::lowest();
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (count_ == 0) {
     min_ = max_ = v;
@@ -19,7 +32,7 @@ void Histogram::Observe(double v) {
   ++count_;
   sum_ += v;
   size_t b = 0;
-  if (v > 1.0 && std::isfinite(v)) {
+  if (v > 1.0) {
     b = std::min<size_t>(kBuckets - 1,
                          static_cast<size_t>(std::ceil(std::log2(v))));
   }

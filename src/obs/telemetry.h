@@ -74,6 +74,10 @@ struct QueryRecord {
   int64_t rows = 0;         // total rows across the script's result sets
   int64_t peak_memory_bytes = 0;
   int64_t spill_bytes = 0;
+  /// Statements of this call served from the plan / result cache
+  /// (a result hit skips parse, bind, optimize AND execute).
+  int64_t cache_plan_hits = 0;
+  int64_t cache_result_hits = 0;
   PhaseBreakdown phases;
   uint64_t total_micros = 0;  // queue + latch + parse..serialize wall
   std::vector<OperatorRecord> operators;

@@ -1,0 +1,240 @@
+#include "optimizer/query_cache.h"
+
+#include <algorithm>
+
+namespace radb {
+
+namespace {
+
+void CollectDepsRec(const LogicalOp& op, PlanDeps* out) {
+  if (op.kind == LogicalOp::Kind::kScan && op.table) {
+    if (Catalog::IsSystemName(op.table->name())) {
+      out->has_system_table = true;
+    } else {
+      const uint64_t id = op.table->id();
+      bool seen = false;
+      for (const TableDep& d : out->deps) {
+        if (d.table_id == id) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        out->deps.push_back(
+            TableDep{op.table->name(), id, op.table->version()});
+      }
+    }
+  }
+  for (const auto& c : op.children) CollectDepsRec(*c, out);
+}
+
+Status SubstituteExpr(BoundExpr* e, const std::vector<Value>& args) {
+  if (e->kind == BoundExpr::Kind::kParam) {
+    if (e->slot >= args.size()) {
+      return Status::Internal("parameter $" + std::to_string(e->slot) +
+                              " has no bound argument");
+    }
+    e->kind = BoundExpr::Kind::kLiteral;
+    e->literal = args[e->slot];
+    return Status::OK();
+  }
+  for (auto& c : e->children) {
+    RADB_RETURN_NOT_OK(SubstituteExpr(c.get(), args));
+  }
+  return Status::OK();
+}
+
+Status SubstituteOp(LogicalOp* op, const std::vector<Value>& args) {
+  for (auto& p : op->predicates) {
+    RADB_RETURN_NOT_OK(SubstituteExpr(p.get(), args));
+  }
+  for (auto& [l, r] : op->equi_keys) {
+    RADB_RETURN_NOT_OK(SubstituteExpr(l.get(), args));
+    RADB_RETURN_NOT_OK(SubstituteExpr(r.get(), args));
+  }
+  for (auto& p : op->residual) {
+    RADB_RETURN_NOT_OK(SubstituteExpr(p.get(), args));
+  }
+  for (auto& e : op->exprs) {
+    RADB_RETURN_NOT_OK(SubstituteExpr(e.get(), args));
+  }
+  for (auto& g : op->group_exprs) {
+    RADB_RETURN_NOT_OK(SubstituteExpr(g.get(), args));
+  }
+  for (auto& agg : op->aggs) {
+    if (agg.arg) RADB_RETURN_NOT_OK(SubstituteExpr(agg.arg.get(), args));
+  }
+  for (auto& [k, desc] : op->sort_keys) {
+    (void)desc;
+    RADB_RETURN_NOT_OK(SubstituteExpr(k.get(), args));
+  }
+  for (auto& c : op->children) {
+    RADB_RETURN_NOT_OK(SubstituteOp(c.get(), args));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+PlanDeps CollectTableDeps(const LogicalOp& plan) {
+  PlanDeps out;
+  CollectDepsRec(plan, &out);
+  return out;
+}
+
+bool DepsCurrent(const std::vector<TableDep>& deps, const Catalog& catalog) {
+  for (const TableDep& d : deps) {
+    auto table = catalog.GetTable(d.name);
+    if (!table.ok()) return false;
+    if ((*table)->id() != d.table_id) return false;
+    if ((*table)->version() != d.version) return false;
+  }
+  return true;
+}
+
+Status SubstituteParams(LogicalOp* plan, const std::vector<Value>& args) {
+  return SubstituteOp(plan, args);
+}
+
+size_t ResultBytes(const RowSet& rows) {
+  size_t bytes = 0;
+  for (const Row& r : rows) bytes += RowByteSize(r);
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const CachedPlan> PlanCache::Lookup(const std::string& key,
+                                                    uint64_t catalog_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  if (it->second->plan->catalog_version != catalog_version) {
+    lru_.erase(it->second);
+    index_.erase(it);
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->plan;
+}
+
+void PlanCache::Insert(const std::string& key,
+                       std::shared_ptr<const CachedPlan> plan) {
+  if (max_entries_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Node{key, std::move(plan)});
+  index_[key] = lru_.begin();
+  while (lru_.size() > max_entries_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+size_t PlanCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+CacheStatsSnapshot PlanCache::stats() const {
+  CacheStatsSnapshot s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache
+// ---------------------------------------------------------------------------
+
+void ResultCache::EraseLocked(std::list<Node>::iterator it) {
+  tracker_.Release(it->entry->bytes);
+  index_.erase(it->key);
+  lru_.erase(it);
+}
+
+std::shared_ptr<const CachedResult> ResultCache::Lookup(
+    const std::string& key, const Catalog& catalog,
+    size_t caller_budget_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  const CachedResult& e = *it->second->entry;
+  if (e.schema_version != catalog.schema_version() ||
+      !DepsCurrent(e.deps, catalog)) {
+    EraseLocked(it->second);
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  if (caller_budget_bytes != 0 && e.fill_peak_bytes > caller_budget_bytes) {
+    // Entry stays resident (other callers may afford it), but this
+    // caller must run cold and hit its own honest ResourceExhausted.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->entry;
+}
+
+void ResultCache::Insert(const std::string& key,
+                         std::shared_ptr<const CachedResult> entry) {
+  if (budget_bytes_ == 0 || entry->bytes > budget_bytes_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) EraseLocked(it->second);
+  while (!tracker_.TryReserve(entry->bytes)) {
+    if (lru_.empty()) return;  // cannot happen with bytes <= budget
+    EraseLocked(std::prev(lru_.end()));
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  lru_.push_front(Node{key, std::move(entry)});
+  index_[key] = lru_.begin();
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!lru_.empty()) EraseLocked(std::prev(lru_.end()));
+}
+
+size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+CacheStatsSnapshot ResultCache::stats() const {
+  CacheStatsSnapshot s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace radb

@@ -1,0 +1,215 @@
+#ifndef RADB_OPTIMIZER_QUERY_CACHE_H_
+#define RADB_OPTIMIZER_QUERY_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "mem/memory_tracker.h"
+#include "plan/logical_plan.h"
+#include "types/value.h"
+
+namespace radb {
+
+// ---------------------------------------------------------------------------
+// Dependency tracking
+// ---------------------------------------------------------------------------
+
+/// One base table a cached entry was built from, identified by name
+/// AND process-unique table id (so DROP + CREATE under the same name
+/// never aliases) at a specific data version.
+struct TableDep {
+  std::string name;
+  uint64_t table_id = 0;
+  uint64_t version = 0;
+};
+
+/// What a plan reads: one dep per distinct Scan table, plus whether
+/// any scan hits a radb_* virtual table. System-table scans make a
+/// statement uncacheable — each scan materializes a fresh
+/// point-in-time snapshot, so replaying old rows would be wrong.
+struct PlanDeps {
+  std::vector<TableDep> deps;
+  bool has_system_table = false;
+};
+
+PlanDeps CollectTableDeps(const LogicalOp& plan);
+
+/// True when every dep still resolves to the same physical table
+/// (same id) at the same data version.
+bool DepsCurrent(const std::vector<TableDep>& deps, const Catalog& catalog);
+
+// ---------------------------------------------------------------------------
+// Prepared-statement parameter substitution
+// ---------------------------------------------------------------------------
+
+/// Rewrites every kParam expression in the plan into a literal from
+/// `args` (in place; the plan must be a private clone). Internal error
+/// on an out-of-range parameter ordinal.
+Status SubstituteParams(LogicalOp* plan, const std::vector<Value>& args);
+
+/// Serialized byte size of a result (what a ResultCache entry charges
+/// against its memory budget).
+size_t ResultBytes(const RowSet& rows);
+
+// ---------------------------------------------------------------------------
+// Stats (shared by both caches)
+// ---------------------------------------------------------------------------
+
+struct CacheStatsSnapshot {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Plan cache
+// ---------------------------------------------------------------------------
+
+/// An optimized plan ready for re-execution. The LogicalOp tree is
+/// immutable after caching (the executor takes it by const ref and
+/// keeps per-run state externally), so one entry is safely shared by
+/// any number of concurrent executions.
+struct CachedPlan {
+  std::shared_ptr<const LogicalOp> plan;
+  /// Visible output columns (hidden ORDER BY sort keys trimmed).
+  std::vector<SlotInfo> out_columns;
+  /// Catalog::version() at plan time. A cached plan embeds table
+  /// pointers and cardinality estimates, so ANY catalog change —
+  /// schema or data — retires it.
+  uint64_t catalog_version = 0;
+  /// Catalog::schema_version() at plan time (result-entry validation).
+  uint64_t schema_version = 0;
+  std::vector<TableDep> deps;
+  /// Whether results of this plan may be cached (deterministic,
+  /// no system-table scans).
+  bool result_cacheable = false;
+};
+
+/// LRU map: normalized statement text -> CachedPlan, capped by entry
+/// count. Thread-safe; lookups validate the catalog version and drop
+/// stale entries.
+class PlanCache {
+ public:
+  explicit PlanCache(size_t max_entries) : max_entries_(max_entries) {}
+
+  /// Returns the entry for `key` when present AND planned at exactly
+  /// `catalog_version`; a stale entry is erased (counted as an
+  /// invalidation and a miss).
+  std::shared_ptr<const CachedPlan> Lookup(const std::string& key,
+                                           uint64_t catalog_version);
+
+  void Insert(const std::string& key, std::shared_ptr<const CachedPlan> plan);
+
+  void Clear();
+  size_t entries() const;
+  CacheStatsSnapshot stats() const;
+
+ private:
+  struct Node {
+    std::string key;
+    std::shared_ptr<const CachedPlan> plan;
+  };
+
+  mutable std::mutex mu_;
+  size_t max_entries_;
+  std::list<Node> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Node>::iterator> index_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Result cache
+// ---------------------------------------------------------------------------
+
+/// A materialized result set pinned with everything needed to decide
+/// whether serving it is still correct.
+struct CachedResult {
+  std::vector<SlotInfo> columns;
+  RowSet rows;
+  /// Bytes charged against the cache's memory budget.
+  size_t bytes = 0;
+  /// Peak query-memory high-water mark of the run that filled this
+  /// entry. A hit is served only to callers whose effective budget is
+  /// unlimited or >= this value, so a budget that would have failed
+  /// the cold run with ResourceExhausted still fails on a warm one.
+  size_t fill_peak_bytes = 0;
+  /// Catalog::schema_version() at fill time. Table deps alone cannot
+  /// catch a view being redefined over different tables.
+  uint64_t schema_version = 0;
+  std::vector<TableDep> deps;
+};
+
+/// Memory-governed LRU of materialized results, keyed by normalized
+/// statement text. Entry bytes are charged against a dedicated
+/// standalone MemoryTracker root; inserting past the budget evicts
+/// from the cold end. Served entries are shared_ptr, so eviction never
+/// invalidates an in-flight reader.
+class ResultCache {
+ public:
+  /// `budget_bytes` == 0 disables insertion entirely (nothing is ever
+  /// cached), NOT "unlimited" — an unbounded result cache would be a
+  /// memory leak with a good excuse.
+  ResultCache(std::string label, size_t budget_bytes,
+              obs::MetricsRegistry* metrics = nullptr)
+      : budget_bytes_(budget_bytes),
+        tracker_(std::move(label), budget_bytes, metrics) {}
+
+  /// Validating lookup: serves only entries whose schema version and
+  /// every table dep are still current; stale entries are erased
+  /// (invalidation + miss). `caller_budget_bytes` is the looking-up
+  /// query's effective memory budget (0 = unlimited): an entry whose
+  /// filling run peaked above it is refused (counted as a miss, kept
+  /// resident), so a budget that would have failed the cold run with
+  /// ResourceExhausted is never satisfied from cache.
+  std::shared_ptr<const CachedResult> Lookup(const std::string& key,
+                                             const Catalog& catalog,
+                                             size_t caller_budget_bytes = 0);
+
+  /// Inserts (replacing any previous entry for `key`), evicting LRU
+  /// entries until `entry->bytes` fits the budget. Entries larger than
+  /// the whole budget are dropped silently.
+  void Insert(const std::string& key, std::shared_ptr<const CachedResult> entry);
+
+  void Clear();
+  size_t entries() const;
+  size_t bytes_in_use() const { return tracker_.bytes_in_use(); }
+  size_t budget_bytes() const { return budget_bytes_; }
+  CacheStatsSnapshot stats() const;
+
+ private:
+  struct Node {
+    std::string key;
+    std::shared_ptr<const CachedResult> entry;
+  };
+
+  /// Unlinks the node at `it`, releasing its charge. Caller holds mu_.
+  void EraseLocked(std::list<Node>::iterator it);
+
+  mutable std::mutex mu_;
+  size_t budget_bytes_;
+  mem::MemoryTracker tracker_;
+  std::list<Node> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Node>::iterator> index_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
+};
+
+}  // namespace radb
+
+#endif  // RADB_OPTIMIZER_QUERY_CACHE_H_

@@ -66,6 +66,8 @@ std::string Expr::ToString() const {
       for (const auto& c : children) args.push_back(c->ToString());
       return name + "(" + Join(args, ", ") + ")";
     }
+    case Kind::kParam:
+      return "?";
   }
   return "?";
 }
@@ -73,6 +75,7 @@ std::string Expr::ToString() const {
 ExprPtr Expr::Clone() const {
   auto out = std::make_unique<Expr>();
   out->kind = kind;
+  out->param_index = param_index;
   out->int_value = int_value;
   out->double_value = double_value;
   out->bool_value = bool_value;

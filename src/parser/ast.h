@@ -48,9 +48,12 @@ struct Expr {
     kUnaryOp,    // op = kNot / kNeg, children[0]
     kBinaryOp,   // children[0] op children[1]
     kFunctionCall,  // function_name(children...) — scalar or aggregate
+    kParam,      // ? parameter marker in a PREPAREd statement
   };
 
   Kind kind = Kind::kNullLiteral;
+  /// kParam: 0-based ordinal in textual order across the statement.
+  size_t param_index = 0;
   int64_t int_value = 0;
   double double_value = 0.0;
   bool bool_value = false;
@@ -128,16 +131,24 @@ struct Statement {
     kInsert,             // INSERT INTO t VALUES (...), (...)
     kDropTable,
     kDropView,
+    kPrepare,            // PREPARE name AS SELECT ... (? params allowed)
+    kExecutePrepared,    // EXECUTE name [(arg, ...)]
+    kDeallocate,         // DEALLOCATE [PREPARE] name
   };
 
   Kind kind = Kind::kSelect;
   bool explain_analyze = false;             // EXPLAIN ANALYZE: run + annotate
-  std::unique_ptr<SelectStmt> select;       // kSelect/kCreateView/kCTAS
-  std::string relation_name;                // target of CREATE/INSERT/DROP
+  std::unique_ptr<SelectStmt> select;       // kSelect/kCreateView/kCTAS/kPrepare
+  std::string relation_name;                // target of CREATE/INSERT/DROP,
+                                            // or the prepared-statement name
   std::vector<ColumnDef> columns;           // kCreateTable
   std::vector<std::string> view_aliases;    // kCreateView
   std::string view_sql;                     // original SELECT text for views
   std::vector<std::vector<ExprPtr>> insert_rows;  // kInsert
+  /// kPrepare: count of ? markers in the body (textual order).
+  size_t num_params = 0;
+  /// kExecutePrepared: constant argument expressions, one per ?.
+  std::vector<ExprPtr> execute_args;
 };
 
 }  // namespace radb::parser

@@ -51,6 +51,8 @@ const char* TokenTypeName(TokenType t) {
       return "'>'";
     case TokenType::kGe:
       return "'>='";
+    case TokenType::kQuestion:
+      return "'?'";
   }
   return "?";
 }
@@ -253,6 +255,9 @@ class Lexer {
         break;
       case '=':
         t->type = TokenType::kEq;
+        break;
+      case '?':
+        t->type = TokenType::kQuestion;
         break;
       case '!':
         if (two('=')) {

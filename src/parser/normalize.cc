@@ -1,0 +1,100 @@
+#include "parser/normalize.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "parser/lexer.h"
+
+namespace radb::parser {
+
+namespace {
+
+std::string RenderToken(const Token& t) {
+  switch (t.type) {
+    case TokenType::kIdentifier:
+      return ToLower(t.text);
+    case TokenType::kInteger:
+      return std::to_string(t.int_value);
+    case TokenType::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", t.double_value);
+      return buf;
+    }
+    case TokenType::kString: {
+      std::string out = "'";
+      for (char c : t.text) {
+        if (c == '\'') out += "''";
+        else out += c;
+      }
+      out += "'";
+      return out;
+    }
+    case TokenType::kComma:
+      return ",";
+    case TokenType::kDot:
+      return ".";
+    case TokenType::kLParen:
+      return "(";
+    case TokenType::kRParen:
+      return ")";
+    case TokenType::kLBracket:
+      return "[";
+    case TokenType::kRBracket:
+      return "]";
+    case TokenType::kPlus:
+      return "+";
+    case TokenType::kMinus:
+      return "-";
+    case TokenType::kStar:
+      return "*";
+    case TokenType::kSlash:
+      return "/";
+    case TokenType::kEq:
+      return "=";
+    case TokenType::kNe:
+      return "<>";
+    case TokenType::kLt:
+      return "<";
+    case TokenType::kLe:
+      return "<=";
+    case TokenType::kGt:
+      return ">";
+    case TokenType::kGe:
+      return ">=";
+    case TokenType::kQuestion:
+      return "?";
+    case TokenType::kSemicolon:
+    case TokenType::kEof:
+      return "";
+  }
+  return "";
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> NormalizeScript(const std::string& sql) {
+  RADB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  std::vector<std::string> statements;
+  std::string current;
+  for (const Token& t : tokens) {
+    if (t.type == TokenType::kSemicolon || t.type == TokenType::kEof) {
+      if (!current.empty()) statements.push_back(std::move(current));
+      current.clear();
+      continue;
+    }
+    if (!current.empty()) current += ' ';
+    current += RenderToken(t);
+  }
+  return statements;
+}
+
+Result<std::string> NormalizeStatement(const std::string& sql) {
+  RADB_ASSIGN_OR_RETURN(std::vector<std::string> stmts, NormalizeScript(sql));
+  if (stmts.size() != 1) {
+    return Status::ParseError("expected exactly one statement, got " +
+                              std::to_string(stmts.size()));
+  }
+  return stmts[0];
+}
+
+}  // namespace radb::parser

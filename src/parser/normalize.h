@@ -1,0 +1,27 @@
+#ifndef RADB_PARSER_NORMALIZE_H_
+#define RADB_PARSER_NORMALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace radb::parser {
+
+/// Canonical cache-key form of a SQL script: the token stream is
+/// re-rendered with single spaces, lowercased identifiers/keywords,
+/// and canonical numeric formatting (17 significant digits for
+/// doubles, so distinct values never collide), split into one string
+/// per non-empty ';'-separated statement. String literals keep their
+/// case and are re-quoted with '' escaping, so normalization never
+/// changes meaning. "SELECT  1" and "select 1" normalize identically;
+/// a lexical error propagates (such scripts are uncacheable).
+Result<std::vector<std::string>> NormalizeScript(const std::string& sql);
+
+/// NormalizeScript for a single statement: errors unless the script
+/// holds exactly one statement.
+Result<std::string> NormalizeStatement(const std::string& sql);
+
+}  // namespace radb::parser
+
+#endif  // RADB_PARSER_NORMALIZE_H_

@@ -139,6 +139,43 @@ class Parser {
       return Error("expected TABLE or VIEW after CREATE");
     }
     if (AcceptKeyword("insert")) return ParseInsert();
+    if (AcceptKeyword("prepare")) {
+      // PREPARE name AS SELECT ... — the only statement form in which
+      // ? parameter markers are meaningful. The marker count is
+      // recorded so EXECUTE can arity-check without re-walking.
+      Statement stmt;
+      stmt.kind = Statement::Kind::kPrepare;
+      RADB_ASSIGN_OR_RETURN(stmt.relation_name, ExpectIdentifier());
+      RADB_RETURN_NOT_OK(ExpectKeyword("as"));
+      RADB_RETURN_NOT_OK(ExpectKeyword("select"));
+      num_params_ = 0;
+      RADB_ASSIGN_OR_RETURN(stmt.select, ParseSelectBody());
+      stmt.num_params = num_params_;
+      num_params_ = 0;
+      return stmt;
+    }
+    if (AcceptKeyword("execute")) {
+      Statement stmt;
+      stmt.kind = Statement::Kind::kExecutePrepared;
+      RADB_ASSIGN_OR_RETURN(stmt.relation_name, ExpectIdentifier());
+      if (Accept(TokenType::kLParen)) {
+        if (Peek().type != TokenType::kRParen) {
+          do {
+            RADB_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+            stmt.execute_args.push_back(std::move(arg));
+          } while (Accept(TokenType::kComma));
+        }
+        RADB_RETURN_NOT_OK(Expect(TokenType::kRParen));
+      }
+      return stmt;
+    }
+    if (AcceptKeyword("deallocate")) {
+      Statement stmt;
+      stmt.kind = Statement::Kind::kDeallocate;
+      AcceptKeyword("prepare");  // optional noise word
+      RADB_ASSIGN_OR_RETURN(stmt.relation_name, ExpectIdentifier());
+      return stmt;
+    }
     if (AcceptKeyword("drop")) {
       Statement stmt;
       if (AcceptKeyword("table")) {
@@ -487,6 +524,13 @@ class Parser {
         RADB_RETURN_NOT_OK(Expect(TokenType::kRParen));
         return inner;
       }
+      case TokenType::kQuestion: {
+        Next();
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::kParam;
+        e->param_index = num_params_++;
+        return e;
+      }
       case TokenType::kIdentifier:
         break;
       default:
@@ -540,6 +584,10 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  /// ? markers seen so far in the current statement (textual order).
+  /// Reset by the PREPARE production; markers elsewhere still parse
+  /// and are rejected later by the binder with a clear message.
+  size_t num_params_ = 0;
 };
 
 }  // namespace

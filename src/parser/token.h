@@ -29,6 +29,7 @@ enum class TokenType {
   kLe,           // <=
   kGt,           // >
   kGe,           // >=
+  kQuestion,     // ? (prepared-statement parameter marker)
 };
 
 const char* TokenTypeName(TokenType t);

@@ -279,6 +279,8 @@ bool BatchCapableExpr(const BoundExpr& e) {
       return true;
     case BoundExpr::Kind::kCall:
       return false;  // built-ins (incl. every LA function) stay row-wise
+    case BoundExpr::Kind::kParam:
+      return false;  // substituted to a literal before execution
   }
   return false;
 }

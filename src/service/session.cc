@@ -1,6 +1,7 @@
 #include "service/session.h"
 
 #include <chrono>
+#include <optional>
 #include <utility>
 
 #include "parser/parser.h"
@@ -14,16 +15,20 @@ double NowSeconds() {
       .count();
 }
 
-/// A script is read-only when every statement is a SELECT or EXPLAIN.
-/// Unparseable scripts classify as writers: the unique latch is the
-/// safe default, and the parse error surfaces from Database::Execute
-/// exactly as it would standalone.
+/// A script is read-only when every statement is a SELECT, EXPLAIN, or
+/// EXECUTE of a prepared SELECT. PREPARE and DEALLOCATE classify as
+/// writers: they mutate shared database state (the prepared-statement
+/// map), and the unique latch serializes them against concurrent
+/// EXECUTEs rebinding the same name. Unparseable scripts classify as
+/// writers: the unique latch is the safe default, and the parse error
+/// surfaces from Database::Execute exactly as it would standalone.
 bool IsReadOnlyScript(const std::string& sql) {
   auto parsed = parser::ParseScript(sql);
   if (!parsed.ok()) return false;
   for (const auto& stmt : parsed.value()) {
     if (stmt.kind != parser::Statement::Kind::kSelect &&
-        stmt.kind != parser::Statement::Kind::kExplain) {
+        stmt.kind != parser::Statement::Kind::kExplain &&
+        stmt.kind != parser::Statement::Kind::kExecutePrepared) {
       return false;
     }
   }
@@ -111,6 +116,34 @@ Result<ScriptResult> Session::Execute(const std::string& sql,
     return result;
   };
 
+  const bool read_only = IsReadOnlyScript(sql);
+
+  // Cache-hit fast path: a read-only script whose every statement is
+  // already in the result cache skips admission entirely — it claims
+  // no memory and holds no concurrency slot, so hot repeated traffic
+  // is bounded by the shared latch, not the admission queue. Cancel
+  // still wins: a pre-fired or expired token bypasses the cache.
+  if (read_only && token->Check().ok()) {
+    const double fast_t0 = NowSeconds();
+    std::shared_lock<std::shared_mutex> latch(manager_->catalog_latch_);
+    const double latch_wait = NowSeconds() - fast_t0;
+    QueryOptions fast = options;
+    fast.cancellation = token;
+    fast.query_id = query_id;
+    fast.session_id = id_;
+    fast.queue_wait_micros = 0;
+    fast.latch_wait_micros = static_cast<uint64_t>(latch_wait * 1e6);
+    std::optional<ScriptResult> hit =
+        manager_->db_->ExecuteCachedOnly(sql, fast);
+    if (hit.has_value()) {
+      if (manager_->latch_read_hist_ != nullptr) {
+        manager_->latch_read_hist_->Observe(latch_wait);
+      }
+      telemetry->SetSessionState(id_, "running", query_id, sql);
+      return finish(std::move(*hit));
+    }
+  }
+
   // Admission: claim the per-call budget (or the controller's default
   // for unbudgeted calls) against the global budget + concurrency cap.
   telemetry->SetSessionState(id_, "queued", query_id, sql);
@@ -144,7 +177,6 @@ Result<ScriptResult> Session::Execute(const std::string& sql,
   opts.session_id = id_;
   opts.queue_wait_micros = queue_micros;
 
-  const bool read_only = IsReadOnlyScript(sql);
   const double latch_t0 = NowSeconds();
   auto run = [&](double latch_wait_seconds) -> Result<ScriptResult> {
     obs::Histogram* hist = read_only ? manager_->latch_read_hist_

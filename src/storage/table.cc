@@ -4,8 +4,14 @@
 
 namespace radb {
 
+namespace {
+/// Process-wide table identity source (see Table::id).
+std::atomic<uint64_t> g_next_table_id{1};
+}  // namespace
+
 Table::Table(std::string name, Schema schema, size_t num_partitions)
-    : name_(std::move(name)),
+    : id_(g_next_table_id.fetch_add(1, std::memory_order_relaxed)),
+      name_(std::move(name)),
       schema_(std::move(schema)),
       partitions_(num_partitions == 0 ? 1 : num_partitions),
       kind_pure_(schema_.size(), 1) {}
@@ -58,6 +64,7 @@ Status Table::Insert(Row row) {
   }
   partitions_[next_rr_ % partitions_.size()].push_back(std::move(row));
   ++next_rr_;
+  BumpVersion();
   return Status::OK();
 }
 
@@ -86,6 +93,7 @@ Status Table::RepartitionByHash(size_t column) {
   partitions_ = std::move(next);
   partitioning_.kind = Partitioning::Kind::kHash;
   partitioning_.hash_column = column;
+  BumpVersion();
   if (obs::MetricsRegistry* reg = obs::GlobalMetrics()) {
     reg->Add("storage.rows_repartitioned", num_rows());
   }

@@ -2,7 +2,9 @@
 #define RADB_STORAGE_TABLE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -44,9 +46,23 @@ class Table {
   const RowSet& partition(size_t i) const { return partitions_[i]; }
   RowSet& mutable_partition(size_t i) {
     // The caller may rewrite rows arbitrarily; conservatively drop the
-    // kind-purity knowledge (re-established only by a fresh load).
+    // kind-purity knowledge (re-established only by a fresh load) and
+    // treat the access as a data mutation.
     std::fill(kind_pure_.begin(), kind_pure_.end(), 0);
+    BumpVersion();
     return partitions_[i];
+  }
+
+  /// Process-unique table identity, assigned at construction. A
+  /// DROP + re-CREATE under the same name yields a different id, so
+  /// cached results keyed on (id, version) can never alias across
+  /// table generations even if the data versions happen to coincide.
+  uint64_t id() const { return id_; }
+  /// Monotone data version, advanced by every mutation (Insert,
+  /// InsertAll, RepartitionByHash, mutable_partition). The result
+  /// cache validates its source-table dependencies against this.
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
   }
   const Partitioning& partitioning() const { return partitioning_; }
 
@@ -91,6 +107,10 @@ class Table {
  private:
   Status ValidateRow(const Row& row) const;
 
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
+
+  uint64_t id_;
+  std::atomic<uint64_t> version_{1};
   std::string name_;
   Schema schema_;
   std::vector<RowSet> partitions_;

@@ -1,6 +1,7 @@
 #include "testing/differ.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
 #include <sstream>
 #include <utility>
@@ -336,6 +337,180 @@ std::vector<uint64_t> Differ::PlansConsidered() const {
             ? 0
             : static_cast<uint64_t>(
                   reg->counter("optimizer.plans_considered")->value()));
+  }
+  return out;
+}
+
+namespace {
+
+/// A literal of `type` drawn from the same exact-in-double grids the
+/// catalog generator uses (DESIGN.md §9), rendered as SQL text.
+/// Returns "" for LA kinds, which churn INSERTs avoid.
+std::string ChurnLiteral(const DataType& type, Rng* rng) {
+  switch (type.kind()) {
+    case TypeKind::kInteger:
+      return std::to_string(static_cast<int64_t>(rng->NextBelow(7)) - 3);
+    case TypeKind::kDouble: {
+      const double v =
+          0.25 * (static_cast<double>(rng->NextBelow(25)) - 12.0);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2f", v);
+      return buf;
+    }
+    case TypeKind::kString:
+      return "'s" + std::to_string(rng->NextBelow(10)) + "'";
+    case TypeKind::kBoolean:
+      return rng->NextBelow(2) != 0 ? "TRUE" : "FALSE";
+    default:
+      return "";
+  }
+}
+
+/// "INSERT INTO t VALUES (...)" for a random all-scalar table of the
+/// spec, or "" when every table has an LA column.
+std::string ChurnInsert(const CatalogSpec& spec, Rng* rng) {
+  std::vector<const TableSpec*> scalar_tables;
+  for (const TableSpec& t : spec.tables) {
+    bool ok = true;
+    for (const ColumnSpec& c : t.columns) {
+      if (c.type.is_la()) ok = false;
+    }
+    if (ok) scalar_tables.push_back(&t);
+  }
+  if (scalar_tables.empty()) return "";
+  const TableSpec& t =
+      *scalar_tables[rng->NextBelow(scalar_tables.size())];
+  std::string sql = "INSERT INTO " + t.name + " VALUES (";
+  for (size_t i = 0; i < t.columns.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += ChurnLiteral(t.columns[i].type, rng);
+  }
+  return sql + ")";
+}
+
+}  // namespace
+
+CacheDiffOutcome RunCacheDiffRounds(const CatalogSpec& spec, uint64_t seed,
+                                    size_t rounds) {
+  Database::Config on;
+  on.num_workers = 8;
+  on.num_threads = 1;
+  on.obs.enable_metrics = true;
+  // Small result budget: eviction and fill-refusal paths run under
+  // ordinary fuzz traffic, not only in targeted tests.
+  on.result_cache_bytes = 1u << 20;
+  Database::Config off = on;
+  off.enable_plan_cache = false;
+  off.enable_result_cache = false;
+
+  Database cached(on);
+  Database plain(off);
+  CacheDiffOutcome out;
+  {
+    const Status s1 = LoadCatalog(spec, &cached);
+    const Status s2 = LoadCatalog(spec, &plain);
+    if (!s1.ok() || !s2.ok()) {
+      out.diverged = true;
+      out.report = "cache differ: catalog load failed: " +
+                   (s1.ok() ? s2 : s1).ToString();
+      return out;
+    }
+  }
+
+  auto diverge = [&](const std::string& sql, const std::string& detail) {
+    out.diverged = true;
+    std::ostringstream os;
+    os << "CACHE DIVERGENCE (caches-on vs caches-off) on:\n  " << sql << "\n"
+       << detail << "  catalog seed: " << spec.seed << "\n";
+    out.report = os.str();
+  };
+
+  // Runs `sql` on both databases; true when they agree.
+  auto run_both = [&](const std::string& sql) {
+    const Result<ResultSet> a = cached.ExecuteSql(sql);
+    const Result<ResultSet> b = plain.ExecuteSql(sql);
+    ++out.statements_run;
+    if (a.ok() != b.ok()) {
+      diverge(sql, "  cached: " + OutcomeToString(a) +
+                       "  uncached: " + OutcomeToString(b));
+      return false;
+    }
+    if (!a.ok()) {
+      if (a.status().code() != b.status().code()) {
+        diverge(sql, "  cached: " + OutcomeToString(a) +
+                         "  uncached: " + OutcomeToString(b));
+        return false;
+      }
+      return true;
+    }
+    if (!SameCells(Normalized(a->rows), Normalized(b->rows))) {
+      diverge(sql, "  cached: " + OutcomeToString(a) +
+                       "  uncached: " + OutcomeToString(b));
+      return false;
+    }
+    return true;
+  };
+
+  Rng rng(seed ^ 0xc2b2ae3d27d4eb4fULL);
+  std::vector<std::string> hot;
+  bool scratch_exists = false;
+  int64_t scratch_value = 0;
+
+  for (size_t r = 0; r < rounds && !out.diverged; ++r) {
+    // Keep a small hot pool so replays genuinely hit the caches.
+    if (hot.size() < 4 || rng.NextBelow(4) == 0) {
+      hot.push_back(GenerateQuery(spec, &rng).ToSql());
+      if (hot.size() > 8) hot.erase(hot.begin());
+    }
+    // Cold then warm: the second run is served from cache on the
+    // cached side and must still match the cache-less database.
+    const std::string& sql = hot[rng.NextBelow(hot.size())];
+    if (!run_both(sql) || !run_both(sql)) break;
+
+    const uint64_t churn = rng.NextBelow(6);
+    std::string ddl;
+    if (churn == 0) {
+      ddl = ChurnInsert(spec, &rng);
+    } else if (churn == 1) {
+      // CREATE/DROP cycle of one scratch name with fresh contents each
+      // generation: a cache keyed without table identity would keep
+      // serving the previous incarnation's rows.
+      if (scratch_exists) {
+        ddl = "DROP TABLE fuzz_scratch";
+        scratch_exists = false;
+      } else {
+        ++scratch_value;
+        ddl = "CREATE TABLE fuzz_scratch (k INTEGER); INSERT INTO "
+              "fuzz_scratch VALUES (" +
+              std::to_string(scratch_value) + ")";
+        scratch_exists = true;
+      }
+    } else if (churn == 2) {
+      // Prepared round: the template re-binds across catalog churn and
+      // parameters substitute per execution.
+      const TableSpec& t = spec.tables[rng.NextBelow(spec.tables.size())];
+      const int64_t v = static_cast<int64_t>(rng.NextBelow(7)) - 3;
+      const std::string script =
+          "PREPARE fz AS SELECT k FROM " + t.name +
+          " WHERE k = ?; EXECUTE fz(" + std::to_string(v) +
+          "); DEALLOCATE fz";
+      if (!run_both(script)) break;
+    }
+    if (!ddl.empty()) {
+      if (!run_both(ddl)) break;
+      // Staleness probe: every hot query (plus the scratch-table scan,
+      // which must flip between contents and "no such table" in
+      // lockstep) replayed right after the catalog changed.
+      if (!run_both("SELECT k FROM fuzz_scratch")) break;
+      bool ok = true;
+      for (const std::string& q : hot) {
+        if (!run_both(q)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) break;
+    }
   }
   return out;
 }

@@ -81,6 +81,31 @@ class Differ {
   Status init_status_;
 };
 
+/// Outcome of a DDL-interleaved cache differential run.
+struct CacheDiffOutcome {
+  bool diverged = false;
+  /// Human-readable divergence report (empty when !diverged).
+  std::string report;
+  /// Statements executed on EACH of the two databases.
+  size_t statements_run = 0;
+};
+
+/// Differential test of the caching layer: two identically loaded
+/// Databases — one with the plan and result caches enabled (with a
+/// deliberately small result budget so eviction is exercised), one
+/// with both disabled — run the same statement stream and must agree
+/// on every outcome (status code, or cell-exact normalized rows).
+///
+/// The stream is built to stress stale-cache bugs specifically: a
+/// small pool of hot queries is replayed so the cached side serves
+/// plan and result hits, interleaved with INSERT churn, CREATE/DROP
+/// cycles of a scratch table (re-creating the same name with
+/// different contents — the classic cache-aliasing trap), and
+/// PREPARE/EXECUTE/DEALLOCATE rounds; after every churn statement the
+/// whole hot pool is replayed and compared.
+CacheDiffOutcome RunCacheDiffRounds(const CatalogSpec& spec, uint64_t seed,
+                                    size_t rounds);
+
 /// Greedily minimizes a diverging (catalog, query) pair: drops
 /// relations, conjuncts, select items, ORDER BY / LIMIT / DISTINCT /
 /// GROUP BY clauses, table rows and unreferenced tables, keeping each

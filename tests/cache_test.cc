@@ -1,0 +1,434 @@
+// Plan/result cache behavior: hit/miss accounting, invalidation on
+// DDL and DML, prepared-statement rebinding across catalog changes,
+// memory-governed eviction (ResourceExhausted is never masked by a
+// cached result), the concurrent hit-storm determinism contract, and
+// cancellation never poisoning the cache. Selected with
+// `ctest -L cache`; scripts/fuzz.sh (ASan) and scripts/stress.sh
+// (TSan) rerun the label.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/database.h"
+#include "parser/normalize.h"
+#include "service/session.h"
+
+namespace radb {
+namespace {
+
+Database::Config MetricsConfig() {
+  Database::Config cfg;
+  cfg.obs.enable_metrics = true;
+  return cfg;
+}
+
+Status Exec(Database* db, const std::string& sql) {
+  return db->Execute(sql, QueryOptions{}).status();
+}
+
+Result<ResultSet> Query(Database* db, const std::string& sql) {
+  auto r = db->Execute(sql, QueryOptions{});
+  if (!r.ok()) return r.status();
+  return r->last();
+}
+
+std::vector<int64_t> IntColumn(const ResultSet& rs) {
+  std::vector<int64_t> out;
+  for (const Row& row : rs.rows) out.push_back(row[0].int_value());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(NormalizeTest, KeyIsWhitespaceAndCaseInsensitive) {
+  auto a = parser::NormalizeStatement("SELECT k FROM t WHERE k > 1");
+  auto b = parser::NormalizeStatement("select   K \n FROM  T where k>1");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(NormalizeTest, DistinctLiteralsStayDistinct) {
+  // std::to_string-style 6-digit rendering would collide these; the
+  // %.17g canonical form must not.
+  auto a = parser::NormalizeStatement("SELECT 0.30000000000000004");
+  auto b = parser::NormalizeStatement("SELECT 0.3");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(*a, *b);
+  // String case is significant inside quotes, not outside.
+  auto s1 = parser::NormalizeStatement("SELECT 'Ab'");
+  auto s2 = parser::NormalizeStatement("SELECT 'ab'");
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_NE(*s1, *s2);
+}
+
+TEST(ResultCacheTest, HitMissAndStatsAccounting) {
+  Database db(MetricsConfig());
+  ASSERT_TRUE(Exec(&db,
+                  "CREATE TABLE t (k INTEGER); "
+                  "INSERT INTO t VALUES (1); INSERT INTO t VALUES (2)")
+                  .ok());
+  ASSERT_NE(db.result_cache(), nullptr);
+
+  auto cold = Query(&db, "SELECT k FROM t");
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(db.result_cache()->stats().hits, 0u);
+
+  auto warm = Query(&db, "SELECT k FROM t");
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(db.result_cache()->stats().hits, 1u);
+  EXPECT_EQ(IntColumn(*warm), IntColumn(*cold));
+
+  // The key is the normalized statement: different spelling, same hit.
+  auto spaced = Query(&db, "select   K   from T");
+  ASSERT_TRUE(spaced.ok());
+  EXPECT_EQ(db.result_cache()->stats().hits, 2u);
+  EXPECT_EQ(IntColumn(*spaced), IntColumn(*cold));
+}
+
+TEST(ResultCacheTest, InvalidatedByInsert) {
+  Database db(MetricsConfig());
+  ASSERT_TRUE(
+      Exec(&db, "CREATE TABLE t (k INTEGER); INSERT INTO t VALUES (1)").ok());
+  auto before = Query(&db, "SELECT k FROM t");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->rows.size(), 1u);
+
+  ASSERT_TRUE(Exec(&db, "INSERT INTO t VALUES (2)").ok());
+  auto after = Query(&db, "SELECT k FROM t");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->rows.size(), 2u) << "stale cached result served after "
+                                       "INSERT bumped the table version";
+
+  // BulkInsert (the non-SQL write path) must invalidate too.
+  ASSERT_TRUE(db.BulkInsert("t", {{Value::Int(3)}}).ok());
+  auto bulk = Query(&db, "SELECT k FROM t");
+  ASSERT_TRUE(bulk.ok());
+  EXPECT_EQ(bulk->rows.size(), 3u);
+}
+
+TEST(ResultCacheTest, DropCreateAliasingServesNewContents) {
+  Database db(MetricsConfig());
+  ASSERT_TRUE(
+      Exec(&db, "CREATE TABLE t (k INTEGER); INSERT INTO t VALUES (7)").ok());
+  auto first = Query(&db, "SELECT k FROM t");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(IntColumn(*first), std::vector<int64_t>({7}));
+  // Warm the cache, then replace the table wholesale under the same
+  // name. A cache keyed on name alone (without table identity +
+  // version) would keep serving 7.
+  ASSERT_TRUE(Query(&db, "SELECT k FROM t").ok());
+  ASSERT_TRUE(Exec(&db,
+                  "DROP TABLE t; CREATE TABLE t (k INTEGER); "
+                  "INSERT INTO t VALUES (8); INSERT INTO t VALUES (9)")
+                  .ok());
+  auto second = Query(&db, "SELECT k FROM t");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(IntColumn(*second), std::vector<int64_t>({8, 9}));
+}
+
+TEST(ResultCacheTest, SystemTablesNeverCached) {
+  Database db(MetricsConfig());
+  ASSERT_TRUE(
+      Exec(&db, "CREATE TABLE t (k INTEGER); INSERT INTO t VALUES (1)").ok());
+  // radb_queries grows with every query; a cached snapshot would
+  // freeze it. Two consecutive scans must differ.
+  auto a = Query(&db, "SELECT query_id FROM radb_queries");
+  ASSERT_TRUE(a.ok());
+  auto b = Query(&db, "SELECT query_id FROM radb_queries");
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(b->rows.size(), a->rows.size());
+  EXPECT_EQ(db.result_cache()->stats().hits, 0u);
+}
+
+TEST(ResultCacheTest, EvictionUnderTightBudget) {
+  Database::Config cfg = MetricsConfig();
+  cfg.result_cache_bytes = 2048;
+  Database db(cfg);
+  ASSERT_TRUE(Exec(&db, "CREATE TABLE t (k INTEGER)").ok());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        Exec(&db, "INSERT INTO t VALUES (" + std::to_string(i) + ")").ok());
+  }
+  // Distinct keys with non-trivial results: residency must stay under
+  // budget, so filling far past it forces LRU eviction.
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(
+        Query(&db, "SELECT k FROM t WHERE k >= " + std::to_string(i)).ok());
+  }
+  EXPECT_LE(db.result_cache()->bytes_in_use(), 2048u);
+  EXPECT_GT(db.result_cache()->stats().evictions, 0u);
+}
+
+TEST(ResultCacheTest, TightBudgetIsNotMaskedByCachedResult) {
+  Database db(MetricsConfig());
+  ASSERT_TRUE(Exec(&db, "CREATE TABLE a (k INTEGER); CREATE TABLE b (k INTEGER)")
+                  .ok());
+  for (int i = 0; i < 64; ++i) {
+    const std::string v = std::to_string(i);
+    ASSERT_TRUE(Exec(&db, "INSERT INTO a VALUES (" + v + ")").ok());
+    ASSERT_TRUE(Exec(&db, "INSERT INTO b VALUES (" + v + ")").ok());
+  }
+  const std::string sql =
+      "SELECT DISTINCT a.k * b.k AS p FROM a AS a, b AS b";
+  // Unbudgeted run fills the cache and records its peak memory.
+  auto cold = db.Execute(sql, QueryOptions{});
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  ASSERT_TRUE(Query(&db, sql).ok());
+  const uint64_t hits_before = db.result_cache()->stats().hits;
+  EXPECT_GT(hits_before, 0u);
+  // A 1 KB call could never have produced this result itself, so the
+  // cache must not serve it; the statement runs cold and reports its
+  // honest ResourceExhausted.
+  auto tight = db.Execute(sql, QueryOptions{.memory_budget_bytes = 1024});
+  ASSERT_FALSE(tight.ok());
+  EXPECT_EQ(tight.status().code(), StatusCode::kResourceExhausted)
+      << tight.status().ToString();
+  EXPECT_EQ(db.result_cache()->stats().hits, hits_before);
+}
+
+TEST(PlanCacheTest, ReusedAcrossDataChangesInvalidatedByIt) {
+  Database db(MetricsConfig());
+  ASSERT_TRUE(
+      Exec(&db, "CREATE TABLE t (k INTEGER); INSERT INTO t VALUES (1)").ok());
+  ASSERT_NE(db.plan_cache(), nullptr);
+  const std::string sql = "SELECT k FROM t WHERE k > 0";
+  ASSERT_TRUE(Query(&db, sql).ok());
+  EXPECT_EQ(db.plan_cache()->entries(), 1u);
+  // The plan cache is keyed on the full catalog version: any data
+  // change re-plans (estimates depend on row counts), so a hit is
+  // only legal when literally nothing changed. The result cache
+  // short-circuits the repeat-query case, so exercise the plan path
+  // via a version bump + re-run: stale entry detected and replaced.
+  const uint64_t invalidations_before = db.plan_cache()->stats().invalidations;
+  ASSERT_TRUE(Exec(&db, "INSERT INTO t VALUES (2)").ok());
+  auto after = Query(&db, sql);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->rows.size(), 2u);
+  EXPECT_EQ(db.plan_cache()->stats().invalidations, invalidations_before + 1);
+}
+
+TEST(PlanCacheTest, ExplainAnalyzeReportsCacheState) {
+  Database db(MetricsConfig());
+  ASSERT_TRUE(
+      Exec(&db, "CREATE TABLE t (k INTEGER); INSERT INTO t VALUES (1)").ok());
+  auto first = Query(&db, "EXPLAIN ANALYZE SELECT k FROM t");
+  ASSERT_TRUE(first.ok());
+  ASSERT_FALSE(first->rows.empty());
+  const std::string cold = first->rows.back()[0].string_value();
+  EXPECT_NE(cold.find("cache=miss"), std::string::npos) << cold;
+  auto second = Query(&db, "EXPLAIN ANALYZE SELECT k FROM t");
+  ASSERT_TRUE(second.ok());
+  const std::string warm = second->rows.back()[0].string_value();
+  EXPECT_NE(warm.find("cache=plan-hit"), std::string::npos) << warm;
+}
+
+TEST(PreparedTest, ExecuteBindsParamsAndReusesTemplate) {
+  Database db(MetricsConfig());
+  ASSERT_TRUE(Exec(&db,
+                  "CREATE TABLE t (k INTEGER); "
+                  "INSERT INTO t VALUES (1); INSERT INTO t VALUES (2)")
+                  .ok());
+  ASSERT_TRUE(
+      Exec(&db, "PREPARE p AS SELECT k FROM t WHERE k = ?").ok());
+  EXPECT_EQ(db.prepared_count(), 1u);
+
+  auto one = Query(&db, "EXECUTE p(1)");
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(IntColumn(*one), std::vector<int64_t>({1}));
+  auto two = Query(&db, "EXECUTE p(2)");
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(IntColumn(*two), std::vector<int64_t>({2}));
+
+  // Arity and existence errors surface as bind errors.
+  EXPECT_FALSE(Exec(&db, "EXECUTE p(1, 2)").ok());
+  EXPECT_FALSE(Exec(&db, "EXECUTE nosuch(1)").ok());
+  // Bare ? outside PREPARE is rejected at bind time.
+  EXPECT_FALSE(Exec(&db, "SELECT k FROM t WHERE k = ?").ok());
+
+  ASSERT_TRUE(Exec(&db, "DEALLOCATE p").ok());
+  EXPECT_EQ(db.prepared_count(), 0u);
+  EXPECT_FALSE(Exec(&db, "EXECUTE p(1)").ok());
+}
+
+TEST(PreparedTest, RebindsAcrossCatalogChanges) {
+  Database db(MetricsConfig());
+  ASSERT_TRUE(
+      Exec(&db, "CREATE TABLE t (k INTEGER); INSERT INTO t VALUES (5)").ok());
+  ASSERT_TRUE(Exec(&db, "PREPARE p AS SELECT k FROM t WHERE k = ?").ok());
+  auto before = Query(&db, "EXECUTE p(5)");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->rows.size(), 1u);
+
+  // Data churn: the stored plan template is version-stale; EXECUTE
+  // must re-plan, not serve the old estimate-bound plan blindly.
+  ASSERT_TRUE(Exec(&db, "INSERT INTO t VALUES (5)").ok());
+  auto after_insert = Query(&db, "EXECUTE p(5)");
+  ASSERT_TRUE(after_insert.ok());
+  EXPECT_EQ(after_insert->rows.size(), 2u);
+
+  // Schema churn: drop and re-create the target under the same name.
+  ASSERT_TRUE(Exec(&db,
+                  "DROP TABLE t; "
+                  "CREATE TABLE t (k INTEGER, v DOUBLE); "
+                  "INSERT INTO t VALUES (5, 1.5)")
+                  .ok());
+  auto after_ddl = Query(&db, "EXECUTE p(5)");
+  ASSERT_TRUE(after_ddl.ok());
+  EXPECT_EQ(after_ddl->rows.size(), 1u);
+
+  // And when the new shape no longer binds, EXECUTE reports it.
+  ASSERT_TRUE(Exec(&db, "DROP TABLE t; CREATE TABLE t (x DOUBLE)").ok());
+  EXPECT_FALSE(Exec(&db, "EXECUTE p(5)").ok());
+}
+
+TEST(CacheSystemTableTest, ReportsAllThreeCaches) {
+  Database db(MetricsConfig());
+  ASSERT_TRUE(
+      Exec(&db, "CREATE TABLE t (k INTEGER); INSERT INTO t VALUES (1)").ok());
+  ASSERT_TRUE(Query(&db, "SELECT k FROM t").ok());
+  ASSERT_TRUE(Query(&db, "SELECT k FROM t").ok());
+  ASSERT_TRUE(Exec(&db, "PREPARE p AS SELECT k FROM t WHERE k = ?").ok());
+  auto rs = Query(&db, "SELECT cache, entries, hits FROM radb_cache");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 3u);
+  uint64_t result_hits = 0;
+  int64_t prepared_entries = -1;
+  for (const Row& row : rs->rows) {
+    if (row[0].string_value() == "result") {
+      result_hits = static_cast<uint64_t>(row[2].int_value());
+    } else if (row[0].string_value() == "prepared") {
+      prepared_entries = row[1].int_value();
+    }
+  }
+  EXPECT_GE(result_hits, 1u);
+  EXPECT_EQ(prepared_entries, 1);
+}
+
+TEST(CacheSystemTableTest, DisabledCachesDropTheirRows) {
+  Database::Config cfg = MetricsConfig();
+  cfg.enable_plan_cache = false;
+  cfg.enable_result_cache = false;
+  Database db(cfg);
+  EXPECT_EQ(db.plan_cache(), nullptr);
+  EXPECT_EQ(db.result_cache(), nullptr);
+  ASSERT_TRUE(
+      Exec(&db, "CREATE TABLE t (k INTEGER); INSERT INTO t VALUES (1)").ok());
+  auto warm = Query(&db, "SELECT k FROM t");
+  ASSERT_TRUE(warm.ok());
+  auto rs = Query(&db, "SELECT cache FROM radb_cache");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 1u);  // only the prepared row remains
+}
+
+TEST(ServiceCacheTest, ConcurrentHitStormIsBitIdentical) {
+  Database db(MetricsConfig());
+  ASSERT_TRUE(Exec(&db, "CREATE TABLE t (k INTEGER, v DOUBLE)").ok());
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(Exec(&db, "INSERT INTO t VALUES (" + std::to_string(i) + ", " +
+                             std::to_string(i) + ".5)")
+                    .ok());
+  }
+  const std::string sql = "SELECT k, v FROM t WHERE k < 12 ORDER BY k";
+  // The serial oracle, computed before any concurrency.
+  auto oracle = Query(&db, sql);
+  ASSERT_TRUE(oracle.ok());
+
+  service::SessionManager manager(&db);
+  constexpr int kSessions = 8;
+  constexpr int kPerSession = 25;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kSessions; ++s) {
+    threads.emplace_back([&] {
+      auto session = manager.CreateSession();
+      for (int i = 0; i < kPerSession; ++i) {
+        auto r = session->Execute(sql);
+        if (!r.ok() || !r->has_results()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const ResultSet& rs = r->last();
+        bool same = rs.rows.size() == oracle->rows.size();
+        for (size_t j = 0; same && j < rs.rows.size(); ++j) {
+          for (size_t c = 0; same && c < rs.rows[j].size(); ++c) {
+            same = rs.rows[j][c].Equals(oracle->rows[j][c]);
+          }
+        }
+        if (!same) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  // The storm must actually have been a storm: the very first fill is
+  // the only cold execution the cache needs.
+  EXPECT_GE(db.result_cache()->stats().hits,
+            static_cast<uint64_t>(kSessions * kPerSession - kSessions));
+}
+
+TEST(ServiceCacheTest, CancelledFillNeverPoisonsTheCache) {
+  Database db(MetricsConfig());
+  ASSERT_TRUE(Exec(&db, "CREATE TABLE t (k INTEGER)").ok());
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(
+        Exec(&db, "INSERT INTO t VALUES (" + std::to_string(i) + ")").ok());
+  }
+  service::SessionManager manager(&db);
+  auto session = manager.CreateSession();
+  const std::string sql = "SELECT DISTINCT a.k + b.k AS s FROM t AS a, t AS b";
+
+  // Pre-cancel the next sequence number: the fill is aborted (possibly
+  // before it starts — the strictest version of "during").
+  session->Cancel(session->next_query_seq());
+  auto cancelled = session->Execute(sql);
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(db.result_cache()->entries(), 0u)
+      << "a cancelled (partial) execution must never fill the cache";
+
+  // The next, uncancelled run both succeeds and fills normally.
+  auto clean = session->Execute(sql);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_EQ(clean->last().rows.size(), 63u);
+  auto warm = session->Execute(sql);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_GE(db.result_cache()->stats().hits, 1u);
+}
+
+TEST(ServiceCacheTest, FastPathSkipsAdmissionQueue) {
+  // One admission slot: with the fast path, cached readers never
+  // claim it, so a hot query storm proceeds even though the gate
+  // would serialize (or reject) cold executions.
+  Database db(MetricsConfig());
+  ASSERT_TRUE(
+      Exec(&db, "CREATE TABLE t (k INTEGER); INSERT INTO t VALUES (1)").ok());
+  service::ServiceConfig cfg;
+  cfg.admission.max_concurrent_queries = 1;
+  service::SessionManager manager(&db, cfg);
+  auto warmup = manager.CreateSession();
+  ASSERT_TRUE(warmup->Execute("SELECT k FROM t").ok());
+
+  const uint64_t hits_before = db.result_cache()->stats().hits;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int s = 0; s < 8; ++s) {
+    threads.emplace_back([&] {
+      auto session = manager.CreateSession();
+      for (int i = 0; i < 10; ++i) {
+        if (!session->Execute("SELECT k FROM t").ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(db.result_cache()->stats().hits, hits_before + 80);
+}
+
+}  // namespace
+}  // namespace radb

@@ -1,11 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <utime.h>
+
 #include "common/string_util.h"
+#include "mem/spill_file.h"
 #include "la/matrix.h"
 #include "la/vector.h"
 #include "mem/memory_tracker.h"
@@ -238,6 +245,65 @@ TEST(SpillableRowBufferTest, SpillToDiskFreesTheBudget) {
   for (int64_t i = 0; i < 50; ++i) {
     EXPECT_EQ((*rows)[i][0].int_value(), i);
   }
+}
+
+TEST(SpillFileTest, NameEmbedsTagAndOwnerPid) {
+  char tmpl[] = "/tmp/radb-spill-testXXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  mem::SpillFile f;
+  ASSERT_TRUE(f.Create(dir, "q7").ok());
+  // service_test pins the "radb-spill-<tag>-" prefix in attribution
+  // messages; the pid rides AFTER the tag so those substrings survive.
+  EXPECT_NE(f.path().find("radb-spill-q7-p" + std::to_string(::getpid()) +
+                          "-"),
+            std::string::npos)
+      << f.path();
+  f = mem::SpillFile();  // close
+  ::rmdir(dir.c_str());
+}
+
+TEST(SpillFileTest, SweepRemovesOrphansKeepsLiveAndYoung) {
+  char tmpl[] = "/tmp/radb-spill-sweepXXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  auto touch = [&](const std::string& name) {
+    const std::string path = dir + "/" + name;
+    std::ofstream(path) << "x";
+    return path;
+  };
+  // A pid that is guaranteed dead: fork a child that exits
+  // immediately, reap it, and use its (not-yet-recycled) pid.
+  const pid_t dead = ::fork();
+  ASSERT_GE(dead, 0);
+  if (dead == 0) ::_exit(0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(dead, &status, 0), dead);
+
+  const std::string orphan =
+      touch("radb-spill-q3-p" + std::to_string(dead) + "-0-AbCdEf");
+  const std::string live =
+      touch("radb-spill-q4-p" + std::to_string(::getpid()) + "-1-GhIjKl");
+  const std::string young_pidless = touch("radb-spill-q5-2-MnOpQr");
+  const std::string old_pidless = touch("radb-spill-q6-3-StUvWx");
+  const std::string unrelated = touch("other-file.tmp");
+  // Age the pid-less candidate past the sweep horizon.
+  struct utimbuf old_times;
+  old_times.actime = old_times.modtime = ::time(nullptr) - 7200;
+  ASSERT_EQ(::utime(old_pidless.c_str(), &old_times), 0);
+
+  EXPECT_EQ(mem::SweepOrphanedSpillFiles(dir, 3600), 2u);
+  struct stat st;
+  EXPECT_NE(::stat(orphan.c_str(), &st), 0) << "dead-owner file kept";
+  EXPECT_NE(::stat(old_pidless.c_str(), &st), 0) << "stale pid-less kept";
+  EXPECT_EQ(::stat(live.c_str(), &st), 0) << "live owner's file removed";
+  EXPECT_EQ(::stat(young_pidless.c_str(), &st), 0) << "young file removed";
+  EXPECT_EQ(::stat(unrelated.c_str(), &st), 0) << "non-spill file removed";
+
+  for (const auto& p : {live, young_pidless, unrelated}) {
+    ::unlink(p.c_str());
+  }
+  ::rmdir(dir.c_str());
 }
 
 TEST(SpillableRowBufferTest, MoveTransfersCharges) {

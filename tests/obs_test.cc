@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <iterator>
 #include <set>
 #include <string>
@@ -144,6 +145,41 @@ TEST(MetricsRegistryTest, HistogramSummarizesObservations) {
   EXPECT_DOUBLE_EQ(buckets[1].first, 4.0);
   EXPECT_DOUBLE_EQ(buckets[2].first, 8.0);
   for (const auto& [le, n] : buckets) EXPECT_EQ(n, 1u) << "le=" << le;
+}
+
+TEST(MetricsRegistryTest, HistogramRejectsNonFiniteSamples) {
+  obs::MetricsRegistry reg;
+  obs::Histogram* h = reg.histogram("poisoned");
+  h->Observe(2.0);
+  // NaN is dropped outright: one bad sample must not turn sum/min/max
+  // (and every percentile) into NaN in the JSON export forever.
+  h->Observe(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_DOUBLE_EQ(h->sum(), 2.0);
+  // ±inf is clamped to the finite extremes: counted, never in bucket 0
+  // (the old behavior filed +inf alongside sub-1.0 samples).
+  h->Observe(std::numeric_limits<double>::infinity());
+  h->Observe(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_TRUE(std::isfinite(h->sum()));
+  EXPECT_TRUE(std::isfinite(h->min()));
+  EXPECT_TRUE(std::isfinite(h->max()));
+  EXPECT_DOUBLE_EQ(h->max(), std::numeric_limits<double>::max());
+  EXPECT_DOUBLE_EQ(h->min(), std::numeric_limits<double>::lowest());
+  for (double q : {0.5, 0.95, 0.99}) {
+    EXPECT_TRUE(std::isfinite(h->Percentile(q))) << "q=" << q;
+  }
+  // Bucket placement: -inf clamps below 1.0 and lands in bucket 0
+  // (le 1) by design; 2.0 in le 2; +inf clamps to DBL_MAX and must
+  // land in the TOP bucket, not bucket 0 as before the fix.
+  const auto buckets = h->NonEmptyBuckets();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_DOUBLE_EQ(buckets[0].first, 1.0);
+  EXPECT_EQ(buckets[0].second, 1u);
+  EXPECT_DOUBLE_EQ(buckets[1].first, 2.0);
+  EXPECT_EQ(buckets[1].second, 1u);
+  EXPECT_EQ(buckets[2].second, 1u);
+  EXPECT_GT(buckets[2].first, 1e18);  // exp2(kBuckets - 1), the top bucket
 }
 
 TEST(MetricsRegistryTest, EmptyHistogramIsAllZeros) {

@@ -26,6 +26,16 @@ std::string Fingerprint(const ResultSet& rs) {
 constexpr size_t kTinyBudget = 64u << 10;
 constexpr size_t kSmallBudget = 256u << 10;
 
+/// Every suite here reruns the same SQL under a tight budget to drive
+/// the spill paths. With the result cache on, the rerun can be served
+/// from the unbudgeted reference fill and never execute — so these
+/// databases run with it off.
+Database::Config SpillConfig() {
+  Database::Config config;
+  config.enable_result_cache = false;
+  return config;
+}
+
 // ----------------------------------------------------------------------
 // Join build spill (Grace-hash partitions).
 // ----------------------------------------------------------------------
@@ -33,7 +43,7 @@ constexpr size_t kSmallBudget = 256u << 10;
 class SpillJoinTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    db_ = std::make_unique<Database>();
+    db_ = std::make_unique<Database>(SpillConfig());
     ASSERT_TRUE(db_->ExecuteSql("CREATE TABLE lhs (k INTEGER, pad STRING)")
                     .ok());
     ASSERT_TRUE(db_->ExecuteSql("CREATE TABLE rhs (k INTEGER, pad STRING)")
@@ -84,7 +94,7 @@ TEST_F(SpillJoinTest, GraceSpillIsBitIdenticalAt1And8Threads) {
 class SpillAggTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    db_ = std::make_unique<Database>();
+    db_ = std::make_unique<Database>(SpillConfig());
     ASSERT_TRUE(
         db_->ExecuteSql("CREATE TABLE pts (k INTEGER, x DOUBLE)").ok());
     // 100 groups of accumulator state fit the 256 KB budget even with
@@ -133,7 +143,7 @@ TEST(TiledSqlTest, SixteenMbBudgetSpillsAndStaysBitIdentical) {
   // 16^2 groups seen by up to 8 workers (~10 MB), which must fit.
   constexpr size_t kGrid = 16;
   constexpr size_t kTile = 25;
-  Database db;
+  Database db(SpillConfig());
   ASSERT_TRUE(db.ExecuteSql("CREATE TABLE lhs (tileRow INTEGER, "
                             "tileCol INTEGER, mat MATRIX[25][25])")
                   .ok());
@@ -211,7 +221,7 @@ TEST(TileEvictionTest, BudgetedTiledMultiplyIsBitIdentical) {
 // ----------------------------------------------------------------------
 
 TEST(ResourceExhaustedTest, FailedQueryDoesNotPoisonTheDatabase) {
-  Database db;
+  Database db(SpillConfig());
   ASSERT_TRUE(db.ExecuteSql("CREATE TABLE t (k INTEGER, pad STRING)").ok());
   std::vector<Row> rows;
   for (int64_t i = 0; i < 4000; ++i) {
@@ -245,7 +255,7 @@ TEST(ResourceExhaustedTest, FailedQueryDoesNotPoisonTheDatabase) {
 // ----------------------------------------------------------------------
 
 TEST(ScriptResultTest, CarriesAllSelectResultsAndPerStatementStats) {
-  Database db;
+  Database db(SpillConfig());
   auto script = db.Execute(
       "CREATE TABLE s (k INTEGER);"
       "INSERT INTO s VALUES (1), (2), (3);"
@@ -266,7 +276,7 @@ TEST(ScriptResultTest, CarriesAllSelectResultsAndPerStatementStats) {
 }
 
 TEST(ResultSetAccessorTest, GetAndColumnIndexAreBoundsChecked) {
-  Database db;
+  Database db(SpillConfig());
   ASSERT_TRUE(db.ExecuteSql("CREATE TABLE s (k INTEGER, name STRING)").ok());
   ASSERT_TRUE(db.ExecuteSql("INSERT INTO s VALUES (7, 'seven')").ok());
   auto rs = db.ExecuteSql("SELECT k, name FROM s");
