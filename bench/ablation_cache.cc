@@ -147,8 +147,8 @@ Database::Config MakeConfig(bool caches) {
   config.num_workers = 8;
   config.num_threads = 8;
   config.obs.enable_metrics = true;
-  config.enable_plan_cache = caches;
-  config.enable_result_cache = caches;
+  config.cache.enable_plan_cache = caches;
+  config.cache.enable_result_cache = caches;
   config.telemetry.query_log_capacity = 8192;
   return config;
 }

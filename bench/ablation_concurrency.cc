@@ -137,8 +137,8 @@ Database::Config MakeConfig(size_t threads = kThreads, bool caches = false) {
   // The contention sweep runs caches-off so its numbers keep measuring
   // admission/scheduling, not cache residency; the dedicated
   // caches-on point flips this to assert warm hits stay bit-identical.
-  config.enable_plan_cache = caches;
-  config.enable_result_cache = caches;
+  config.cache.enable_plan_cache = caches;
+  config.cache.enable_result_cache = caches;
   // Large enough that no sweep point evicts a record before the
   // post-run radb_query_phases rollup reads it.
   config.telemetry.query_log_capacity = 8192;

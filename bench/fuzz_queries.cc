@@ -18,12 +18,24 @@
 // cache-differential rounds: the same hot-query/churn stream on a
 // caches-on and a caches-off database, which must agree on every
 // statement (the stale-cache contract; see RunCacheDiffRounds).
+// With --reopen R > 0, a fifth phase runs R persistence rounds: a
+// generated catalog is loaded into a Database::Open store, a query
+// batch is executed, the database is closed and reopened from disk,
+// and every query must return bit-identical rows after the restart
+// (the durability contract, with zero re-ingest).
+
+#include <unistd.h>
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <memory>
 #include <string>
+#include <vector>
+
+#include "api/database.h"
 
 #include "obs/metrics_registry.h"
 #include "testing/catalog_gen.h"
@@ -40,6 +52,7 @@ struct Args {
   uint64_t queries_per_catalog = 25;
   uint64_t sessions = 1;   // > 1 enables the concurrent phase
   uint64_t ddl_churn = 0;  // > 0 enables the cache-differential phase
+  uint64_t reopen = 0;     // > 0 enables the persistence phase
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -61,11 +74,13 @@ Args ParseArgs(int argc, char** argv) {
       args.sessions = std::strtoull(v, nullptr, 10);
     } else if (const char* v = want("--ddl-churn")) {
       args.ddl_churn = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = want("--reopen")) {
+      args.reopen = std::strtoull(v, nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--queries N] [--seed S] "
                    "[--queries-per-catalog K] [--sessions M] "
-                   "[--ddl-churn R]\n",
+                   "[--ddl-churn R] [--reopen R]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -233,6 +248,100 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(catalogs),
                    outcome.statements_run,
                    outcome.diverged ? "DIVERGED" : "ok");
+    }
+  }
+
+  // ---- Phase 5: persistence — close, reopen, compare. ----
+  if (args.reopen > 0) {
+    namespace fs = std::filesystem;
+    auto run_rows = [](Database& db,
+                       const std::string& sql) -> Result<RowSet> {
+      Result<ScriptResult> script = db.Execute(sql);
+      if (!script.ok()) return script.status();
+      if (!script->has_results()) return RowSet{};
+      return Normalized(script->result_sets.back().rows);
+    };
+    for (uint64_t round = 0; round < args.reopen; ++round) {
+      const uint64_t catalog_seed = args.seed * 11000027ULL + round;
+      const CatalogSpec catalog = GenerateCatalog(catalog_seed);
+      std::string dir = "/tmp/radb_fuzz_reopen_XXXXXX";
+      if (::mkdtemp(dir.data()) == nullptr) {
+        std::fprintf(stderr, "reopen round %llu: mkdtemp failed\n",
+                     static_cast<unsigned long long>(round));
+        return 1;
+      }
+      Database::Config config;
+      config.num_workers = 8;
+      config.num_threads = 1;
+      std::vector<std::string> sqls;
+      {
+        Rng rng(catalog_seed ^ 0x2545f4914f6cdd1dULL);
+        for (int i = 0; i < 12; ++i) {
+          sqls.push_back(GenerateQuery(catalog, &rng).ToSql());
+        }
+      }
+      std::vector<Result<RowSet>> before;
+      {
+        auto db = Database::Open(dir, config);
+        if (!db.ok()) {
+          std::fprintf(stderr, "reopen round %llu: open failed: %s\n",
+                       static_cast<unsigned long long>(round),
+                       db.status().message().c_str());
+          return 1;
+        }
+        const Status load = LoadCatalog(catalog, db->get());
+        if (!load.ok()) {
+          std::fprintf(stderr, "reopen round %llu: load failed: %s\n",
+                       static_cast<unsigned long long>(round),
+                       load.message().c_str());
+          return 1;
+        }
+        for (const std::string& sql : sqls) {
+          before.push_back(run_rows(**db, sql));
+          ++queries_run;
+          metrics.counter("fuzz.reopen_queries_run")->Add(1);
+        }
+        const Status close = (*db)->Close();
+        if (!close.ok()) {
+          std::fprintf(stderr, "reopen round %llu: close failed: %s\n",
+                       static_cast<unsigned long long>(round),
+                       close.message().c_str());
+          return 1;
+        }
+      }
+      {
+        // Reopen from disk: NO LoadCatalog — recovery alone must
+        // reproduce every result bit-identically.
+        auto db = Database::Open(dir, config);
+        if (!db.ok()) {
+          std::fprintf(stderr, "reopen round %llu: reopen failed: %s\n",
+                       static_cast<unsigned long long>(round),
+                       db.status().message().c_str());
+          return 1;
+        }
+        for (size_t i = 0; i < sqls.size(); ++i) {
+          const Result<RowSet> after = run_rows(**db, sqls[i]);
+          const bool same =
+              before[i].ok() == after.ok() &&
+              (!before[i].ok()
+                   ? before[i].status().code() == after.status().code()
+                   : SameCells(*before[i], *after));
+          if (!same) {
+            ++divergences;
+            metrics.counter("fuzz.divergences")->Add(1);
+            std::fprintf(stderr,
+                         "REOPEN DIVERGENCE (catalog seed %llu) on:\n  %s\n",
+                         static_cast<unsigned long long>(catalog_seed),
+                         sqls[i].c_str());
+          }
+        }
+      }
+      std::error_code ec;
+      fs::remove_all(dir, ec);
+      std::fprintf(stderr, "  ... reopen round %llu/%llu: %zu queries\n",
+                   static_cast<unsigned long long>(round + 1),
+                   static_cast<unsigned long long>(args.reopen),
+                   sqls.size());
     }
   }
 

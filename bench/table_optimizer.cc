@@ -17,7 +17,7 @@ constexpr size_t kK = 2000;  // the paper's 100000, scaled
 
 Status Load(Database* db) {
   RADB_RETURN_NOT_OK(
-      db->ExecuteSql("CREATE TABLE r (r_rid INTEGER, r_matrix MATRIX[10][" +
+      db->Execute("CREATE TABLE r (r_rid INTEGER, r_matrix MATRIX[10][" +
                      std::to_string(kK) +
                      "]); "
                      "CREATE TABLE s (s_sid INTEGER, s_matrix MATRIX[" +
@@ -55,7 +55,7 @@ void RunPlan(benchmark::State& state, bool la_aware) {
       state.SkipWithError(s.ToString().c_str());
       break;
     }
-    auto rs = db.ExecuteSql(kQuery);
+    auto rs = db.Execute(kQuery);
     if (!rs.ok()) {
       state.SkipWithError(rs.status().ToString().c_str());
       break;
@@ -79,7 +79,7 @@ void RunPlan(benchmark::State& state, bool la_aware) {
         static_cast<double>(bytes_out) / (1024.0 * 1024.0);
     state.counters["shuffledMB"] = shuffled / (1024.0 * 1024.0);
     state.counters["cluster_s"] = cluster_s;
-    state.counters["rows"] = static_cast<double>(rs->num_rows());
+    state.counters["rows"] = static_cast<double>(rs->last().num_rows());
     std::printf("%-24s intermediates %10.2f MiB, shuffled %10.2f MiB, "
                 "wall %7.3fs, est. cluster %7.3fs\n",
                 la_aware ? "LA-aware plan:" : "size-oblivious plan:",

@@ -30,7 +30,7 @@ int main() {
   radb::Database db;
   const std::string tile_type =
       "MATRIX[" + std::to_string(kTile) + "][" + std::to_string(kTile) + "]";
-  if (auto s = db.ExecuteSql(
+  if (auto s = db.Execute(
           "CREATE TABLE bigMatrix (tileRow INTEGER, tileCol INTEGER, mat " +
           tile_type +
           ");"
@@ -64,16 +64,16 @@ int main() {
   auto explain = db.Explain(kQuery);
   if (explain.ok()) std::printf("plan:\n%s\n", explain->c_str());
 
-  auto rs = db.ExecuteSql(kQuery);
+  auto rs = db.Execute(kQuery);
   if (!rs.ok()) return Fail(rs.status());
 
   // Reassemble and verify against a dense multiply, reading cells
   // through the bounds-checked accessor.
   std::vector<radb::la::Tile> tiles;
-  for (size_t r = 0; r < rs->num_rows(); ++r) {
-    auto tr = rs->Get(r, 0);
-    auto tc = rs->Get(r, 1);
-    auto mat = rs->Get(r, 2);
+  for (size_t r = 0; r < rs->last().num_rows(); ++r) {
+    auto tr = rs->last().Get(r, 0);
+    auto tc = rs->last().Get(r, 1);
+    auto mat = rs->last().Get(r, 2);
     if (!tr.ok()) return Fail(tr.status());
     if (!tc.ok()) return Fail(tc.status());
     if (!mat.ok()) return Fail(mat.status());
@@ -88,7 +88,7 @@ int main() {
   std::printf("multiplied two %zux%zu matrices as %zu tiles each\n", kSide,
               kSide, (kSide / kTile) * (kSide / kTile));
   std::printf("result tiles: %zu, max |SQL - dense| = %.3g\n",
-              rs->num_rows(), assembled->MaxAbsDiff(*expected));
+              rs->last().num_rows(), assembled->MaxAbsDiff(*expected));
   std::printf("\nexecution metrics:\n%s",
               db.last_metrics().ToString().c_str());
   return 0;

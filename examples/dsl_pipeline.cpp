@@ -16,7 +16,7 @@ int main() {
 
   radb::Database db;
   // A skewed chain: u (400x5) * v (5x300) * w (300x8).
-  auto status = db.ExecuteSql(
+  auto status = db.Execute(
       "CREATE TABLE u (mat MATRIX[400][5]);"
       "CREATE TABLE v (mat MATRIX[5][300]);"
       "CREATE TABLE w (mat MATRIX[300][8])");
@@ -60,7 +60,7 @@ int main() {
 
   // The normal-equation estimator from the paper, written as math:
   //   beta_hat = (XᵀX)⁻¹ Xᵀ y
-  (void)db.ExecuteSql("CREATE TABLE x (mat MATRIX[200][6]);"
+  (void)db.Execute("CREATE TABLE x (mat MATRIX[200][6]);"
                       "CREATE TABLE y (mat MATRIX[200][1])");
   radb::la::Matrix x = radb::la::RandomMatrix(rng, 200, 6);
   radb::la::Matrix y = radb::la::RandomMatrix(rng, 200, 1);

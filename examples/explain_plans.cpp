@@ -12,7 +12,7 @@ namespace {
 radb::Status Load(radb::Database* db, size_t k) {
   using radb::Value;
   RADB_RETURN_NOT_OK(
-      db->ExecuteSql("CREATE TABLE r (r_rid INTEGER, r_matrix MATRIX[10][" +
+      db->Execute("CREATE TABLE r (r_rid INTEGER, r_matrix MATRIX[10][" +
                      std::to_string(k) +
                      "]);"
                      "CREATE TABLE s (s_sid INTEGER, s_matrix MATRIX[" +
@@ -59,12 +59,12 @@ int main() {
     }
     std::printf("--- LA-aware optimizer (paper §4) ---\n%s\n",
                 explain->c_str());
-    auto rs = db.ExecuteSql(kQuery);
+    auto rs = db.Execute(kQuery);
     if (!rs.ok()) {
       std::cerr << rs.status() << "\n";
       return 1;
     }
-    std::printf("executed: %zu result rows\n%s\n", rs->num_rows(),
+    std::printf("executed: %zu result rows\n%s\n", rs->last().num_rows(),
                 db.last_metrics().ToString().c_str());
   }
   {
@@ -83,12 +83,12 @@ int main() {
     }
     std::printf("--- size-oblivious optimizer (the §4.1 strawman) ---\n%s\n",
                 explain->c_str());
-    auto rs = db.ExecuteSql(kQuery);
+    auto rs = db.Execute(kQuery);
     if (!rs.ok()) {
       std::cerr << rs.status() << "\n";
       return 1;
     }
-    std::printf("executed: %zu result rows\n%s\n", rs->num_rows(),
+    std::printf("executed: %zu result rows\n%s\n", rs->last().num_rows(),
                 db.last_metrics().ToString().c_str());
   }
   return 0;

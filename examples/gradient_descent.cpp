@@ -35,7 +35,7 @@ int main() {
   // Ground-truth model and noisy observations.
   radb::la::Vector beta_true = radb::la::RandomVector(rng, kD);
   radb::Database db;
-  if (auto s = db.ExecuteSql("CREATE TABLE xy (x VECTOR[8], y DOUBLE); "
+  if (auto s = db.Execute("CREATE TABLE xy (x VECTOR[8], y DOUBLE); "
                              "CREATE TABLE beta (b VECTOR[8])");
       !s.ok()) {
     return Fail(s.status());
@@ -58,7 +58,7 @@ int main() {
               kIters, kN);
   for (int iter = 0; iter < kIters; ++iter) {
     // One SQL round trip per iteration: gradient + loss.
-    auto rs = db.ExecuteSql(
+    auto rs = db.Execute(
         "SELECT SUM(xy.x * (inner_product(xy.x, beta.b) - xy.y)) AS g, "
         "       SUM((inner_product(xy.x, beta.b) - xy.y) * "
         "           (inner_product(xy.x, beta.b) - xy.y)) AS loss "
@@ -66,19 +66,19 @@ int main() {
     if (!rs.ok()) return Fail(rs.status());
     // Look the output columns up by name instead of trusting their
     // positions in the SELECT list.
-    auto g_col = rs->ColumnIndex("g");
-    auto loss_col = rs->ColumnIndex("loss");
+    auto g_col = rs->last().ColumnIndex("g");
+    auto loss_col = rs->last().ColumnIndex("loss");
     if (!g_col.ok()) return Fail(g_col.status());
     if (!loss_col.ok()) return Fail(loss_col.status());
-    auto g_cell = rs->Get(0, *g_col);
-    auto loss_cell = rs->Get(0, *loss_col);
+    auto g_cell = rs->last().Get(0, *g_col);
+    auto loss_cell = rs->last().Get(0, *loss_col);
     if (!g_cell.ok()) return Fail(g_cell.status());
     if (!loss_cell.ok()) return Fail(loss_cell.status());
     auto grad = g_cell->vector();
     const double loss = loss_cell->AsDouble().value() / kN;
 
     // beta <- beta - lr * (2/n) * grad, written back through SQL.
-    auto updated = db.ExecuteSql(
+    auto updated = db.Execute(
         "CREATE TABLE beta_next AS "
         "SELECT beta.b - (g.gv * " +
         std::to_string(2.0 * kLearningRate / kN) +
@@ -96,9 +96,9 @@ int main() {
     }
   }
 
-  auto final_beta = db.ExecuteSql("SELECT b FROM beta");
+  auto final_beta = db.Execute("SELECT b FROM beta");
   if (!final_beta.ok()) return Fail(final_beta.status());
-  auto beta = final_beta->ScalarVector();
+  auto beta = final_beta->last().ScalarVector();
   std::printf("\nmax |beta - beta_true| = %.4f (noise-limited)\n",
               beta->MaxAbsDiff(beta_true));
   return 0;

@@ -38,7 +38,7 @@ int main() {
   }
 
   radb::Database db;
-  if (auto s = db.ExecuteSql("CREATE TABLE pts (id INTEGER, x VECTOR[6]); "
+  if (auto s = db.Execute("CREATE TABLE pts (id INTEGER, x VECTOR[6]); "
                              "CREATE TABLE centroids (cid INTEGER, "
                              "c VECTOR[6])");
       !s.ok()) {
@@ -78,7 +78,7 @@ int main() {
     // Assignment: pack the k distances of each point into a vector
     // indexed by centroid id, then take argmin (§3.3 labels at work).
     // Update: grouped element-wise SUM / COUNT.
-    auto step = db.ExecuteSql(
+    auto step = db.Execute(
         "CREATE VIEW assign (id, x, cluster) AS "
         "  SELECT a.id, a.x, argmin_vector(a.dists) FROM "
         "  (SELECT p.id AS id, p.x AS x, "
@@ -98,12 +98,12 @@ int main() {
 
   // Inspect the result: every learned centroid should sit within the
   // noise radius of one true center.
-  auto rs = db.ExecuteSql("SELECT cid, c FROM centroids ORDER BY cid");
+  auto rs = db.Execute("SELECT cid, c FROM centroids ORDER BY cid");
   if (!rs.ok()) return Fail(rs.status());
   double worst = 0;
-  for (size_t r = 0; r < rs->num_rows(); ++r) {
-    auto cid_cell = rs->Get(r, 0);
-    auto c_cell = rs->Get(r, 1);
+  for (size_t r = 0; r < rs->last().num_rows(); ++r) {
+    auto cid_cell = rs->last().Get(r, 0);
+    auto c_cell = rs->last().Get(r, 1);
     if (!cid_cell.ok()) return Fail(cid_cell.status());
     if (!c_cell.ok()) return Fail(c_cell.status());
     const radb::la::Vector& c = c_cell->vector();

@@ -34,7 +34,7 @@ int main() {
   }
 
   radb::Database db;
-  auto ddl = db.ExecuteSql(
+  auto ddl = db.Execute(
       "CREATE TABLE xv (i INTEGER, x_i VECTOR[12]);"
       "CREATE TABLE y (i INTEGER, y_i DOUBLE);"
       "CREATE TABLE xm (mat MATRIX[][]); CREATE TABLE yv (vec VECTOR[])");
@@ -57,27 +57,27 @@ int main() {
   }
 
   // Coding 1: data points as vectors (paper §3.2).
-  auto rs1 = db.ExecuteSql(
+  auto rs1 = db.Execute(
       "SELECT matrix_vector_multiply("
       "  matrix_inverse(SUM(outer_product(xv.x_i, xv.x_i))), "
       "  SUM(xv.x_i * y.y_i)) "
       "FROM xv, y WHERE xv.i = y.i");
   if (!rs1.ok()) return Fail(rs1.status());
-  auto beta1 = rs1->ScalarVector();
+  auto beta1 = rs1->last().ScalarVector();
   if (!beta1.ok()) return Fail(beta1.status());
 
   // Coding 2: the whole matrix in one tuple (paper §3.3).
-  auto rs2 = db.ExecuteSql(
+  auto rs2 = db.Execute(
       "SELECT matrix_vector_multiply("
       "  matrix_inverse(matrix_multiply(trans_matrix(mat), mat)), "
       "  matrix_vector_multiply(trans_matrix(mat), vec)) "
       "FROM xm, yv");
   if (!rs2.ok()) return Fail(rs2.status());
-  auto beta2 = rs2->ScalarVector();
+  auto beta2 = rs2->last().ScalarVector();
   if (!beta2.ok()) return Fail(beta2.status());
 
   // Coding 3: blocked — vectors grouped into matrices of 500 rows.
-  auto blocked = db.ExecuteSql(
+  auto blocked = db.Execute(
       "CREATE TABLE block_index (mi INTEGER);"
       "INSERT INTO block_index VALUES (0), (1), (2), (3);"
       "CREATE VIEW mlx (mi, m) AS "
@@ -94,7 +94,7 @@ int main() {
       "     (SELECT SUM(matrix_vector_multiply(trans_matrix(m.m), yv.v)) "
       "      AS cv FROM mlx AS m, yb AS yv WHERE m.mi = yv.mi) AS c");
   if (!blocked.ok()) return Fail(blocked.status());
-  auto beta3 = blocked->ScalarVector();
+  auto beta3 = blocked->last().ScalarVector();
   if (!beta3.ok()) return Fail(beta3.status());
 
   std::printf("%-22s %-12s %-12s %-12s %-12s\n", "coefficient", "true",

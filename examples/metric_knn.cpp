@@ -30,7 +30,7 @@ int main() {
   radb::Rng rng(7);
 
   radb::Database db;
-  if (auto s = db.ExecuteSql(
+  if (auto s = db.Execute(
           "CREATE TABLE data (pointID INTEGER, val VECTOR[16]);"
           "CREATE TABLE matrixA (val MATRIX[16][16])");
       !s.ok()) {
@@ -53,7 +53,7 @@ int main() {
   }
 
   // The paper's §2.3 query, with ordering to get the k nearest.
-  auto rs = db.ExecuteSql(
+  auto rs = db.Execute(
       "SELECT x2.pointID, "
       "  inner_product(matrix_vector_multiply(a.val, x1.val - x2.val), "
       "                x1.val - x2.val) AS value "
@@ -67,9 +67,9 @@ int main() {
   std::printf("%zu nearest neighbours of point %zu under metric A:\n", kK,
               kQueryPoint);
   std::printf("%-10s %-14s %-14s\n", "pointID", "SQL d^2", "check d^2");
-  for (size_t r = 0; r < rs->num_rows(); ++r) {
-    auto pid_cell = rs->Get(r, 0);
-    auto dist_cell = rs->Get(r, 1);
+  for (size_t r = 0; r < rs->last().num_rows(); ++r) {
+    auto pid_cell = rs->last().Get(r, 0);
+    auto dist_cell = rs->last().Get(r, 1);
     if (!pid_cell.ok()) return Fail(pid_cell.status());
     if (!dist_cell.ok()) return Fail(dist_cell.status());
     const int64_t pid = pid_cell->AsInt().value();

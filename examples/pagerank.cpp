@@ -52,7 +52,7 @@ int main() {
       "MATRIX[" + std::to_string(kTile) + "][" + std::to_string(kTile) + "]";
   const std::string rank_t =
       "MATRIX[" + std::to_string(kTile) + "][1]";
-  if (auto s = db.ExecuteSql(
+  if (auto s = db.Execute(
           "CREATE TABLE link (tileRow INTEGER, tileCol INTEGER, mat " +
           tile_t + "); CREATE TABLE rank (tileRow INTEGER, mat " + rank_t +
           ")");
@@ -80,7 +80,7 @@ int main() {
 
   const std::string teleport = std::to_string((1.0 - kDamping) / kNodes);
   for (int iter = 0; iter < kIters; ++iter) {
-    auto step = db.ExecuteSql(
+    auto step = db.Execute(
         "CREATE TABLE rank_next AS "
         "SELECT m.tileRow, SUM(matrix_multiply(m.mat, r.mat)) * " +
         std::to_string(kDamping) + " + " + teleport +
@@ -94,12 +94,12 @@ int main() {
   }
 
   // Gather the distributed rank vector.
-  auto rs = db.ExecuteSql("SELECT tileRow, mat FROM rank ORDER BY tileRow");
+  auto rs = db.Execute("SELECT tileRow, mat FROM rank ORDER BY tileRow");
   if (!rs.ok()) return Fail(rs.status());
   std::vector<double> rank(kNodes);
-  for (size_t r = 0; r < rs->num_rows(); ++r) {
-    auto tr_cell = rs->Get(r, 0);
-    auto m_cell = rs->Get(r, 1);
+  for (size_t r = 0; r < rs->last().num_rows(); ++r) {
+    auto tr_cell = rs->last().Get(r, 0);
+    auto m_cell = rs->last().Get(r, 1);
     if (!tr_cell.ok()) return Fail(tr_cell.status());
     if (!m_cell.ok()) return Fail(m_cell.status());
     const size_t tr = static_cast<size_t>(tr_cell->AsInt().value());

@@ -1,0 +1,106 @@
+// Persistent store tour: open a durable database, load a tiled
+// matrix, index its coordinates, kill the in-process handle, and
+// reopen — catalog, rows, and index all come back from disk with
+// zero re-ingest (DESIGN.md §15). Build and run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/persistent_store
+#include <unistd.h>
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "api/database.h"
+
+using radb::Database;
+
+namespace {
+
+int Fail(const radb::Status& s) {
+  std::cerr << s << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  char dir_template[] = "/tmp/radb_example_store_XXXXXX";
+  if (::mkdtemp(dir_template) == nullptr) {
+    std::perror("mkdtemp");
+    return 1;
+  }
+  const std::string dir = dir_template;
+
+  Database::Config config;
+  config.num_workers = 4;
+  // Durability knobs live in config.storage.* and are validated at
+  // Open — e.g. a pool bigger than the global memory budget is an
+  // InvalidArgument here, not a thrashing mystery later.
+  config.storage.buffer_pool_bytes = 8u << 20;
+  config.storage.segment_bytes = 16u << 10;
+
+  // 1. First life: create, load, index, and close cleanly.
+  {
+    auto opened = Database::Open(dir, config);
+    if (!opened.ok()) return Fail(opened.status());
+    std::unique_ptr<Database> db = std::move(*opened);
+
+    // Every mutating statement is WAL-logged and fsync'd before
+    // Execute returns; a crash right after this block would lose
+    // nothing.
+    auto s = db->Execute(
+        "CREATE TABLE tiles (tr INTEGER, tc INTEGER, mat MATRIX[4][4])");
+    if (!s.ok()) return Fail(s.status());
+    for (int tr = 0; tr < 8; ++tr) {
+      for (int tc = 0; tc < 8; ++tc) {
+        auto ins = db->Execute(
+            "INSERT INTO tiles VALUES (" + std::to_string(tr) + ", " +
+            std::to_string(tc) + ", identity_matrix(4) * " +
+            std::to_string(tr * 8 + tc) + ".0)");
+        if (!ins.ok()) return Fail(ins.status());
+      }
+    }
+
+    // A B+ tree over the tile coordinates: bounded filters become
+    // index range scans instead of full-table walks.
+    s = db->Execute("CREATE INDEX tile_idx ON tiles (tr, tc)");
+    if (!s.ok()) return Fail(s.status());
+
+    auto plan = db->Execute(
+        "EXPLAIN SELECT mat FROM tiles WHERE tr = 3 AND tc = 5");
+    if (!plan.ok()) return Fail(plan.status());
+    std::cout << "plan in first life:\n" << plan->last().ToString() << "\n";
+
+    // Close checkpoints (seals page files, truncates the WAL) and
+    // releases the directory lock so this same process can reopen.
+    if (auto c = db->Close(); !c.ok()) return Fail(c);
+  }
+
+  // 2. Second life: everything is back from page files alone.
+  auto reopened = Database::Open(dir, config);
+  if (!reopened.ok()) return Fail(reopened.status());
+  std::unique_ptr<Database> db = std::move(*reopened);
+
+  auto stats = db->Execute(
+      "SELECT replayed_statements, recovered, checkpoints "
+      "FROM radb_bufferpool");
+  if (!stats.ok()) return Fail(stats.status());
+  std::cout << "recovery stats (zero replayed = zero re-ingest):\n"
+            << stats->last().ToString() << "\n";
+
+  auto probe = db->Execute(
+      "SELECT tr, tc, trace(mat) AS trace FROM tiles "
+      "WHERE tr = 3 AND tc >= 4 AND tc <= 6 ORDER BY tc");
+  if (!probe.ok()) return Fail(probe.status());
+  std::cout << "indexed probe after restart:\n"
+            << probe->last().ToString() << "\n";
+
+  auto indexes = db->Execute("SELECT * FROM radb_indexes");
+  if (!indexes.ok()) return Fail(indexes.status());
+  std::cout << "surviving indexes:\n" << indexes->last().ToString() << "\n";
+
+  std::cout << "data directory: " << dir << " (left on disk for "
+            << "inspection — page files, radb.cat, radb.wal)\n";
+  return 0;
+}

@@ -28,7 +28,7 @@ Status Run() {
   Database db(config);
 
   RADB_RETURN_NOT_OK(
-      db.ExecuteSql("CREATE TABLE r (r_rid INTEGER, r_matrix MATRIX[10][" +
+      db.Execute("CREATE TABLE r (r_rid INTEGER, r_matrix MATRIX[10][" +
                     std::to_string(kK) +
                     "]); "
                     "CREATE TABLE s (s_sid INTEGER, s_matrix MATRIX[" +
@@ -54,12 +54,13 @@ Status Run() {
       "SELECT matrix_multiply(r_matrix, s_matrix) "
       "FROM r, s, t WHERE r_rid = t_rid AND s_sid = t_sid";
 
-  RADB_RETURN_NOT_OK(db.ExecuteSql(query).status());
+  RADB_RETURN_NOT_OK(db.Execute(query).status());
   std::printf("=== span tree (wall-clock, per pipeline phase) ===\n%s\n",
               db.tracer()->ToTextTree().c_str());
 
-  RADB_ASSIGN_OR_RETURN(ResultSet analyzed,
-                        db.ExecuteSql("EXPLAIN ANALYZE " + query));
+  RADB_ASSIGN_OR_RETURN(ScriptResult analyzed_script,
+                        db.Execute("EXPLAIN ANALYZE " + query));
+  const ResultSet& analyzed = analyzed_script.last();
   std::printf("=== EXPLAIN ANALYZE ===\n");
   for (size_t i = 0; i < analyzed.num_rows(); ++i) {
     RADB_ASSIGN_OR_RETURN(Value line, analyzed.Get(i, 0));

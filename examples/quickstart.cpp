@@ -11,7 +11,7 @@ int main() {
   radb::Database db;
 
   // 1. LA types are just column types (paper §3.1).
-  auto status = db.ExecuteSql(
+  auto status = db.Execute(
       "CREATE TABLE m (mat MATRIX[3][3], vec VECTOR[3]);"
       "CREATE TABLE y (i INTEGER, y_i DOUBLE);"
       "INSERT INTO y VALUES (0, 1.5), (1, 2.5), (2, 3.5)");
@@ -32,7 +32,7 @@ int main() {
 
   // 3. Built-in LA functions compose inside SQL, fully type-checked
   //    (a MATRIX[3][3] times a VECTOR[3] yields a VECTOR[3]).
-  auto rs = db.ExecuteSql(
+  auto rs = db.Execute(
       "SELECT matrix_vector_multiply(mat, vec) AS mv, "
       "       diag(mat) AS d, trans_matrix(mat) AS mt FROM m");
   if (!rs.ok()) {
@@ -40,27 +40,27 @@ int main() {
     return 1;
   }
   std::cout << "matrix-vector product and diagonal:\n"
-            << rs->ToString() << "\n";
+            << rs->last().ToString() << "\n";
 
   // 4. Known size mismatches are caught at compile time (§3.1)...
-  (void)db.ExecuteSql("CREATE TABLE m4 (vec4 VECTOR[4])");
-  auto compile_err = db.ExecuteSql(
+  (void)db.Execute("CREATE TABLE m4 (vec4 VECTOR[4])");
+  auto compile_err = db.Execute(
       "SELECT matrix_vector_multiply(m.mat, m4.vec4) FROM m, m4");
   std::cout << "MATRIX[3][3] x VECTOR[4] fails to compile:\n  "
             << compile_err.status() << "\n";
   // ...while unknown sizes compile and are validated at runtime:
-  auto runtime_err = db.ExecuteSql(
+  auto runtime_err = db.Execute(
       "SELECT matrix_vector_multiply(mat, ones_vector(4)) FROM m");
   std::cout << "MATRIX[3][3] x ones_vector(4) compiles, then at runtime:\n  "
             << runtime_err.status() << "\n\n";
 
   // 5. VECTORIZE assembles normalized rows into a vector (§3.3).
-  auto vec = db.ExecuteSql("SELECT VECTORIZE(label_scalar(y_i, i)) FROM y");
+  auto vec = db.Execute("SELECT VECTORIZE(label_scalar(y_i, i)) FROM y");
   if (!vec.ok()) {
     std::cerr << vec.status() << "\n";
     return 1;
   }
-  std::cout << "VECTORIZE(y) = " << vec->rows[0][0].ToString() << "\n";
+  std::cout << "VECTORIZE(y) = " << vec->last().rows[0][0].ToString() << "\n";
 
   // 6. The optimizer understands LA sizes; EXPLAIN shows the plan.
   auto explain = db.Explain(

@@ -64,15 +64,20 @@ int main() {
       std::cout << "   -> " << std::flush;
       continue;
     }
-    auto rs = db.ExecuteSql(buffer);
+    auto rs = db.Execute(buffer);
     buffer.clear();
     if (!rs.ok()) {
       std::cout << rs.status() << "\n";
-    } else {
-      if (rs->num_columns() > 0) {
-        std::cout << rs->ToString(50);
+    } else if (!rs->has_results()) {
+      std::cout << "OK\n";
+      if (show_metrics) {
+        std::cout << db.last_metrics().ToString();
       }
-      std::cout << "(" << rs->num_rows() << " rows)\n";
+    } else {
+      if (rs->last().num_columns() > 0) {
+        std::cout << rs->last().ToString(50);
+      }
+      std::cout << "(" << rs->last().num_rows() << " rows)\n";
       if (show_metrics) {
         std::cout << db.last_metrics().ToString();
       }

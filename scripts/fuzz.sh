@@ -63,3 +63,12 @@ cmake --build "$BUILD_DIR" -j "$JOBS" --target vectorized_test
 cmake --build "$BUILD_DIR" -j "$JOBS" --target cache_test ablation_cache
 (cd "$BUILD_DIR" && ctest -L cache --output-on-failure)
 "$BUILD_DIR/bench/fuzz_queries" --queries 0 --ddl-churn 200 --seed "$SEED"
+
+# Storage pass: the persistence battery (pager/B+ tree/buffer-pool
+# units, cold restarts, fork+SIGKILL crash recovery, larger-than-pool
+# scans) and the fuzzer's close-reopen-compare rounds — page-file and
+# WAL framing code is pointer-heavy, so ASan+UBSan is its first line
+# of defense (scripts/stress.sh runs the same label under TSan).
+cmake --build "$BUILD_DIR" -j "$JOBS" --target persist_test
+(cd "$BUILD_DIR" && ctest -L storage --output-on-failure)
+"$BUILD_DIR/bench/fuzz_queries" --queries 0 --reopen 8 --seed "$SEED"

@@ -23,10 +23,13 @@ cmake -S "$(dirname "$0")/.." -B "$BUILD_DIR" \
   -DRADB_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$JOBS" \
   --target service_test cancel_test systab_test vectorized_test \
-  cache_test ablation_concurrency ablation_cache fuzz_queries
+  cache_test persist_test ablation_concurrency ablation_cache fuzz_queries
 
 # halt_on_error so a race report fails the run instead of scrolling by.
-export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+# die_after_fork=0: the storage crash-recovery battery forks children
+# that open their own Database (worker threads after fork); the forks
+# happen while the parent is single-threaded, which TSan supports.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:die_after_fork=0}"
 
 # Concurrency suites (ctest label shared with scripts/fuzz.sh).
 (cd "$BUILD_DIR" && ctest -L concurrency --output-on-failure)
@@ -48,9 +51,17 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 # (same label scripts/fuzz.sh runs under ASan).
 (cd "$BUILD_DIR" && ctest -L cache --output-on-failure)
 
+# Storage suite: the persistence battery — buffer-pool loads race
+# across worker threads during concurrent scans, and checkpoint vs
+# reader interleavings are exactly what TSan should chew on (same
+# label scripts/fuzz.sh runs under ASan).
+(cd "$BUILD_DIR" && ctest -L storage --output-on-failure)
+
 # Multi-session differential fuzzing: 4 concurrent sessions vs the
 # serial oracle, plus the usual single-threaded sweep for coverage,
-# then the DDL-interleaved caches-on-vs-off rounds.
+# then the DDL-interleaved caches-on-vs-off rounds and the
+# close-reopen-compare persistence rounds.
 "$BUILD_DIR/bench/fuzz_queries" --queries "$QUERIES" --seed "$SEED" \
   --sessions 4
 "$BUILD_DIR/bench/fuzz_queries" --queries 0 --ddl-churn 100 --seed "$SEED"
+"$BUILD_DIR/bench/fuzz_queries" --queries 0 --reopen 4 --seed "$SEED"

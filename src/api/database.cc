@@ -246,15 +246,17 @@ Database::Database(const Config& config)
       run->Observe(run_s);
     });
   }
-  if (config_.enable_plan_cache && config_.plan_cache_entries > 0) {
-    plan_cache_ = std::make_unique<PlanCache>(config_.plan_cache_entries);
+  if (config_.cache.enable_plan_cache && config_.cache.plan_cache_entries > 0) {
+    plan_cache_ =
+        std::make_unique<PlanCache>(config_.cache.plan_cache_entries);
   }
-  if (config_.enable_result_cache && config_.result_cache_bytes > 0) {
+  if (config_.cache.enable_result_cache &&
+      config_.cache.result_cache_bytes > 0) {
     // A dedicated standalone tracker root: cache residency is a
     // database-lifetime charge, deliberately NOT part of any query or
     // service budget (whose leak assertions expect zero at idle).
     result_cache_ = std::make_unique<ResultCache>(
-        "result_cache", config_.result_cache_bytes);
+        "result_cache", config_.cache.result_cache_bytes);
   }
   // Startup hygiene: reclaim spill files orphaned by a previous
   // process that died between mkstemp and unlink. Live owners (pid
@@ -285,9 +287,115 @@ Database::Database(const Config& config)
 }
 
 Database::~Database() {
+  // Flush-on-close: checkpoint + release the directory lock while the
+  // metrics registry (whose counters the store holds) is still alive.
+  if (store_ != nullptr) (void)store_->Close();
   if (exporter_ != nullptr) exporter_->StopSampler();
   obs::UninstallGlobalMetrics(metrics_registry_.get());
   UninstallGlobalPool(pool_.get());
+}
+
+Status Database::Config::Validate(bool persistent) const {
+  if (num_workers == 0) {
+    return Status::InvalidArgument("Config::num_workers must be at least 1");
+  }
+  if (enable_vectorized && vectorized_batch_rows == 0) {
+    return Status::InvalidArgument(
+        "Config::vectorized_batch_rows must be at least 1 when the "
+        "vectorized engine is enabled");
+  }
+  if (!persistent) return Status::OK();
+  const StorageOptions& s = storage;
+  if (s.buffer_pool_bytes == 0) {
+    return Status::InvalidArgument(
+        "StorageOptions::buffer_pool_bytes must be non-zero for a "
+        "persistent database");
+  }
+  if (s.page_size < 512 || (s.page_size & (s.page_size - 1)) != 0) {
+    return Status::InvalidArgument(
+        "StorageOptions::page_size must be a power of two >= 512 (got " +
+        std::to_string(s.page_size) + ")");
+  }
+  if (s.segment_bytes == 0) {
+    return Status::InvalidArgument(
+        "StorageOptions::segment_bytes must be non-zero");
+  }
+  if (s.segment_bytes > s.buffer_pool_bytes) {
+    return Status::InvalidArgument(
+        "StorageOptions::segment_bytes (" + std::to_string(s.segment_bytes) +
+        ") exceeds buffer_pool_bytes (" +
+        std::to_string(s.buffer_pool_bytes) +
+        "): not even one segment would be admissible");
+  }
+  if (memory_budget_bytes != 0 &&
+      s.buffer_pool_bytes > memory_budget_bytes) {
+    return Status::InvalidArgument(
+        "StorageOptions::buffer_pool_bytes (" +
+        std::to_string(s.buffer_pool_bytes) +
+        ") exceeds the global memory budget (" +
+        std::to_string(memory_budget_bytes) +
+        "); shrink the pool or raise Config::memory_budget_bytes");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Database>> Database::InMemory(Config config) {
+  RADB_RETURN_NOT_OK(config.Validate(/*persistent=*/false));
+  return std::make_unique<Database>(config);
+}
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
+                                                 Config config) {
+  if (path.empty()) {
+    return Status::InvalidArgument(
+        "Database::Open requires a data directory path (use InMemory() "
+        "for an ephemeral database)");
+  }
+  RADB_RETURN_NOT_OK(config.Validate(/*persistent=*/true));
+  auto db = std::make_unique<Database>(config);
+  storage::TableStore::Options so;
+  so.data_dir = path;
+  so.page_size = config.storage.page_size;
+  so.segment_bytes = config.storage.segment_bytes;
+  so.buffer_pool_bytes = config.storage.buffer_pool_bytes;
+  so.wal_sync = config.storage.wal_fsync
+                    ? storage::TableStore::WalSync::kCommit
+                    : storage::TableStore::WalSync::kNone;
+  so.wal_auto_checkpoint_bytes = config.storage.wal_auto_checkpoint_bytes;
+  so.metrics = db->metrics_registry_.get();
+  RADB_ASSIGN_OR_RETURN(db->store_,
+                        storage::TableStore::Open(so, &db->catalog_));
+  return db;
+}
+
+Status Database::Checkpoint() {
+  if (store_ == nullptr) return Status::OK();
+  return store_->Checkpoint();
+}
+
+Status Database::Close() {
+  if (store_ == nullptr) return Status::OK();
+  return store_->Close();
+}
+
+Status Database::LogMutation(
+    const std::function<Status(storage::TableStore&)>& log) {
+  if (store_ == nullptr) return Status::OK();
+  RADB_RETURN_NOT_OK(log(*store_));
+  return store_->MaybeAutoCheckpoint();
+}
+
+Result<std::shared_ptr<Table>> Database::CreateTable(const std::string& table,
+                                                     Schema schema) {
+  RADB_ASSIGN_OR_RETURN(std::shared_ptr<Table> t,
+                        catalog_.CreateTable(table, std::move(schema)));
+  if (store_ != nullptr) {
+    RADB_RETURN_NOT_OK(store_->AttachNewTable(t));
+    RADB_RETURN_NOT_OK(LogMutation([&](storage::TableStore& s) {
+      return s.LogCreateTable(t->name(), t->schema());
+    }));
+  }
+  return t;
 }
 
 Status Database::BulkInsert(const std::string& table, std::vector<Row> rows) {
@@ -296,6 +404,8 @@ Status Database::BulkInsert(const std::string& table, std::vector<Row> rows) {
                                 " is read-only");
   }
   RADB_ASSIGN_OR_RETURN(std::shared_ptr<Table> t, catalog_.GetTable(table));
+  RADB_RETURN_NOT_OK(LogMutation(
+      [&](storage::TableStore& s) { return s.LogInsert(t->name(), rows); }));
   RADB_RETURN_NOT_OK(t->InsertAll(std::move(rows)));
   catalog_.BumpDataVersion();
   return Status::OK();
@@ -664,12 +774,6 @@ size_t Database::prepared_count() const {
   return prepared_.size();
 }
 
-Result<ResultSet> Database::ExecuteSql(const std::string& sql) {
-  RADB_ASSIGN_OR_RETURN(ScriptResult script, Execute(sql));
-  if (script.result_sets.empty()) return ResultSet{};
-  return std::move(script.result_sets.back());
-}
-
 Result<ScriptResult> Database::Execute(const std::string& sql) {
   return Execute(sql, QueryOptions{});
 }
@@ -722,6 +826,14 @@ Result<ScriptResult> Database::Execute(const std::string& sql,
       record.peak_memory_bytes =
           std::max(record.peak_memory_bytes,
                    static_cast<int64_t>(s.peak_memory_bytes));
+    }
+    // The legacy last_* accessors report exactly the ScriptResult
+    // aggregation (spill summed over statements, peak maxed), so both
+    // views of the same call always agree.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      last_spill_bytes_ = static_cast<size_t>(record.spill_bytes);
+      last_peak_bytes_ = static_cast<size_t>(record.peak_memory_bytes);
     }
   }
   RecordQueryTelemetry(std::move(record));
@@ -847,10 +959,8 @@ Result<ScriptResult> Database::ExecuteScript(const std::string& sql,
         for (const parser::ColumnDef& def : stmt.columns) {
           schema.Add(Column{"", def.name, def.type});
         }
-        RADB_ASSIGN_OR_RETURN(std::shared_ptr<Table> t,
-                              catalog_.CreateTable(stmt.relation_name,
-                                                   std::move(schema)));
-        (void)t;
+        RADB_RETURN_NOT_OK(
+            CreateTable(stmt.relation_name, std::move(schema)).status());
         break;
       }
       case parser::Statement::Kind::kCreateTableAs: {
@@ -864,6 +974,17 @@ Result<ScriptResult> Database::ExecuteScript(const std::string& sql,
         RADB_ASSIGN_OR_RETURN(std::shared_ptr<Table> t,
                               catalog_.CreateTable(stmt.relation_name,
                                                    std::move(schema)));
+        if (store_ != nullptr) {
+          RADB_RETURN_NOT_OK(store_->AttachNewTable(t));
+          // Two WAL records: create, then the SELECT's materialized
+          // output. A crash between them recovers an empty table —
+          // the same prefix-of-records guarantee every multi-
+          // statement script gets.
+          RADB_RETURN_NOT_OK(LogMutation([&](storage::TableStore& s) {
+            RADB_RETURN_NOT_OK(s.LogCreateTable(t->name(), t->schema()));
+            return s.LogInsert(t->name(), rs.rows);
+          }));
+        }
         RADB_RETURN_NOT_OK(t->InsertAll(std::move(rs.rows)));
         break;
       }
@@ -883,6 +1004,11 @@ Result<ScriptResult> Database::ExecuteScript(const std::string& sql,
         }
         RADB_RETURN_NOT_OK(catalog_.CreateView(ViewEntry{
             stmt.relation_name, stmt.view_aliases, stmt.view_sql}));
+        RADB_RETURN_NOT_OK(LogMutation([&](storage::TableStore& s) {
+          return s.LogCreateView(ViewEntry{stmt.relation_name,
+                                           stmt.view_aliases,
+                                           stmt.view_sql});
+        }));
         break;
       }
       case parser::Statement::Kind::kInsert: {
@@ -895,14 +1021,22 @@ Result<ScriptResult> Database::ExecuteScript(const std::string& sql,
         }
         RADB_ASSIGN_OR_RETURN(std::shared_ptr<Table> t,
                               catalog_.GetTable(stmt.relation_name));
+        std::vector<Row> rows;
+        rows.reserve(stmt.insert_rows.size());
         for (const auto& row_exprs : stmt.insert_rows) {
           Row row;
           for (const auto& e : row_exprs) {
             RADB_ASSIGN_OR_RETURN(Value v, EvalConstExpr(catalog_, *e));
             row.push_back(std::move(v));
           }
-          RADB_RETURN_NOT_OK(t->Insert(std::move(row)));
+          rows.push_back(std::move(row));
         }
+        // WAL first (one record for the whole statement), while the
+        // rows are still materialized; then apply in memory.
+        RADB_RETURN_NOT_OK(LogMutation([&](storage::TableStore& s) {
+          return s.LogInsert(t->name(), rows);
+        }));
+        RADB_RETURN_NOT_OK(t->InsertAll(std::move(rows)));
         // Retire cached plans (their cardinality estimates are stale);
         // result entries invalidate via the table's own version.
         catalog_.BumpDataVersion();
@@ -910,9 +1044,46 @@ Result<ScriptResult> Database::ExecuteScript(const std::string& sql,
       }
       case parser::Statement::Kind::kDropTable:
         RADB_RETURN_NOT_OK(catalog_.DropTable(stmt.relation_name));
+        if (store_ != nullptr) {
+          // WAL before unlink: a crash in between replays the drop
+          // and detaches then; the reverse order would delete a page
+          // file the snapshot still references.
+          RADB_RETURN_NOT_OK(LogMutation([&](storage::TableStore& s) {
+            return s.LogDropTable(ToLower(stmt.relation_name));
+          }));
+          RADB_RETURN_NOT_OK(
+              store_->DetachTable(ToLower(stmt.relation_name)));
+        }
         break;
       case parser::Statement::Kind::kDropView:
         RADB_RETURN_NOT_OK(catalog_.DropView(stmt.relation_name));
+        RADB_RETURN_NOT_OK(LogMutation([&](storage::TableStore& s) {
+          return s.LogDropView(stmt.relation_name);
+        }));
+        break;
+      case parser::Statement::Kind::kCreateIndex: {
+        RADB_ASSIGN_OR_RETURN(std::shared_ptr<Table> t,
+                              catalog_.GetTable(stmt.index_table));
+        std::vector<size_t> columns;
+        columns.reserve(stmt.index_columns.size());
+        for (const std::string& col : stmt.index_columns) {
+          RADB_ASSIGN_OR_RETURN(size_t idx, t->schema().Resolve("", col));
+          columns.push_back(idx);
+        }
+        RADB_RETURN_NOT_OK(
+            catalog_.CreateIndex(stmt.index_table, stmt.relation_name,
+                                 columns));
+        RADB_RETURN_NOT_OK(LogMutation([&](storage::TableStore& s) {
+          return s.LogCreateIndex(t->name(), ToLower(stmt.relation_name),
+                                  columns);
+        }));
+        break;
+      }
+      case parser::Statement::Kind::kDropIndex:
+        RADB_RETURN_NOT_OK(catalog_.DropIndex(stmt.relation_name));
+        RADB_RETURN_NOT_OK(LogMutation([&](storage::TableStore& s) {
+          return s.LogDropIndex(ToLower(stmt.relation_name));
+        }));
         break;
       case parser::Statement::Kind::kPrepare: {
         // Binding is deferred to the first EXECUTE, whose argument
@@ -1160,6 +1331,9 @@ Status Database::RepartitionTable(const std::string& table,
   }
   RADB_ASSIGN_OR_RETURN(std::shared_ptr<Table> t, catalog_.GetTable(table));
   RADB_ASSIGN_OR_RETURN(size_t idx, t->schema().Resolve("", column));
+  RADB_RETURN_NOT_OK(LogMutation([&](storage::TableStore& s) {
+    return s.LogRepartition(t->name(), idx);
+  }));
   RADB_RETURN_NOT_OK(t->RepartitionByHash(idx));
   catalog_.BumpDataVersion();
   return Status::OK();
@@ -1177,11 +1351,18 @@ Status Database::LoadTable(const std::string& table,
                         ReadTableFile(path, config_.num_workers));
   RADB_ASSIGN_OR_RETURN(std::shared_ptr<Table> created,
                         catalog_.CreateTable(table, loaded->schema()));
-  for (size_t p = 0; p < loaded->num_partitions(); ++p) {
-    for (const Row& row : loaded->partition(p)) {
-      RADB_RETURN_NOT_OK(created->Insert(row));
-    }
+  if (store_ != nullptr) {
+    RADB_RETURN_NOT_OK(store_->AttachNewTable(created));
+    RADB_RETURN_NOT_OK(LogMutation([&](storage::TableStore& s) {
+      return s.LogCreateTable(created->name(), created->schema());
+    }));
   }
+  RADB_ASSIGN_OR_RETURN(RowSet rows, loaded->Gather());
+  RADB_RETURN_NOT_OK(LogMutation([&](storage::TableStore& s) {
+    return s.LogInsert(created->name(), rows);
+  }));
+  RADB_RETURN_NOT_OK(created->InsertAll(std::move(rows)));
+  catalog_.BumpDataVersion();
   return Status::OK();
 }
 

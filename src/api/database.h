@@ -27,6 +27,7 @@
 #include "optimizer/query_cache.h"
 #include "plan/logical_plan.h"
 #include "storage/table.h"
+#include "storage/table_store.h"
 
 namespace radb {
 
@@ -137,13 +138,38 @@ struct ScriptResult {
 /// and the parse → bind → optimize → execute pipeline. This is the
 /// "SimSQL with LA extensions" of the paper, as a C++ library.
 ///
-/// Example:
-///   Database db;
-///   db.Execute("CREATE TABLE v (vec VECTOR[10])").status();
-///   ...
-///   auto script = db.Execute(
+/// Construction goes through two factories:
+///
+///   // Ephemeral: everything lives in RAM, gone at destruction.
+///   auto db = Database::InMemory();
+///
+///   // Durable: catalog + data persist in a directory. CREATE/DROP/
+///   // INSERT are WAL-logged and survive restart; reopening the same
+///   // path recovers the previous state with zero re-ingest.
+///   auto db = Database::Open("/data/mydb", config);
+///
+/// Both validate the Config up front and return InvalidArgument for
+/// nonsensical combinations instead of failing deep in execution.
+/// (The plain constructors remain for embedded in-memory use — they
+/// are exactly InMemory() minus the validation.)
+///
+///   (*db)->Execute("CREATE TABLE v (vec VECTOR[10])").status();
+///   auto script = (*db)->Execute(
 ///       "SELECT SUM(outer_product(vec, vec)) FROM v",
 ///       QueryOptions{.memory_budget_bytes = 64 << 20});
+///
+/// Durability semantics (persistent databases):
+///  - every mutating statement appends one logical WAL record and —
+///    with StorageOptions::wal_fsync — is durable when Execute
+///    returns;
+///  - Checkpoint() rewrites page files and truncates the WAL; it runs
+///    automatically when the WAL outgrows
+///    StorageOptions::wal_auto_checkpoint_bytes;
+///  - Close() checkpoints and releases the directory lock (also done
+///    by the destructor). A closed database must not execute further
+///    statements — Close exists so the same process can reopen the
+///    directory (cold-restart tests) without destroying the object
+///    first.
 class Database {
  public:
   /// Observability switches. Everything defaults to off, in which
@@ -151,18 +177,18 @@ class Database {
   /// of branch-on-nullptr checks, no allocation, no clock reads).
   struct ObsOptions {
     /// Record a span tree (parse/bind/optimize/execute, per-operator
-    /// and per-worker children) for every ExecuteSql call.
+    /// and per-worker children) for every Execute call.
     bool enable_tracing = false;
     /// Maintain a metrics registry (counters/gauges/histograms). The
     /// registry is also installed as the process-global one so LA
     /// kernels and storage I/O report into it.
     bool enable_metrics = false;
     /// When non-empty, the Chrome trace-event JSON of the most recent
-    /// ExecuteSql is rewritten here after each call (implies
+    /// Execute call is rewritten here after each call (implies
     /// enable_tracing). Load via chrome://tracing or Perfetto.
     std::string trace_path;
     /// When non-empty, the metrics JSON snapshot is rewritten here
-    /// after each ExecuteSql call (implies enable_metrics).
+    /// after each Execute call (implies enable_metrics).
     std::string metrics_path;
   };
 
@@ -227,22 +253,65 @@ class Database {
     bool enable_vectorized = true;
     /// Lanes per ColumnBatch on the vectorized path.
     size_t vectorized_batch_rows = 1024;
-    /// Plan cache: normalized statement text -> optimized plan,
-    /// invalidated by any catalog change (DDL or DML — a plan embeds
-    /// table pointers and cardinality estimates). Capacity is an
-    /// entry count; 0 or enable_plan_cache=false turns it off.
-    bool enable_plan_cache = true;
-    size_t plan_cache_entries = 256;
-    /// Result cache: materialized result sets of deterministic
-    /// read-only statements, replayed while every source table is
-    /// unchanged (per-table versions + schema version). Bytes are
-    /// charged against a dedicated MemoryTracker root with LRU
-    /// eviction; 0 bytes or enable_result_cache=false turns it off.
-    bool enable_result_cache = true;
-    size_t result_cache_bytes = 64u << 20;
+
+    /// Hot-traffic caches (plan + result). Folded into one struct so
+    /// a service config reads `config.cache.*` in one place.
+    struct CacheOptions {
+      /// Plan cache: normalized statement text -> optimized plan,
+      /// invalidated by any catalog change (DDL or DML — a plan
+      /// embeds table pointers and cardinality estimates). Capacity
+      /// is an entry count; 0 or enable_plan_cache=false turns it
+      /// off.
+      bool enable_plan_cache = true;
+      size_t plan_cache_entries = 256;
+      /// Result cache: materialized result sets of deterministic
+      /// read-only statements, replayed while every source table is
+      /// unchanged (per-table versions + schema version). Bytes are
+      /// charged against a dedicated MemoryTracker root with LRU
+      /// eviction; 0 bytes or enable_result_cache=false turns it
+      /// off.
+      bool enable_result_cache = true;
+      size_t result_cache_bytes = 64u << 20;
+    };
+    CacheOptions cache;
+
+    /// Durability knobs, consulted only by Database::Open (an
+    /// in-memory database has no store). Validated at Open:
+    /// a buffer pool larger than a non-zero global memory budget is
+    /// rejected with InvalidArgument rather than thrashing the spill
+    /// path deep in execution.
+    struct StorageOptions {
+      /// Budget for checkpointed segments resident in RAM. Eviction
+      /// is LRU over unpinned clean segments; tables larger than the
+      /// pool stream through it.
+      size_t buffer_pool_bytes = 256ull << 20;
+      /// Page size of the per-table page files (power of two,
+      /// >= 512).
+      uint32_t page_size = 8192;
+      /// Target serialized size of one sealed segment (the unit of
+      /// buffer-pool residency and eviction).
+      size_t segment_bytes = 64u << 10;
+      /// fsync the WAL after every mutating statement (durable by
+      /// the time Execute returns). Off = the OS decides; a crash
+      /// may lose the most recent statements but never corrupts.
+      bool wal_fsync = true;
+      /// WAL size that triggers an automatic checkpoint (bounds both
+      /// recovery time and dirty-tail size).
+      size_t wal_auto_checkpoint_bytes = 64ull << 20;
+    };
+    StorageOptions storage;
+
     Optimizer::Options optimizer;
     ObsOptions obs;
     TelemetryOptions telemetry;
+
+    /// Rejects nonsensical combinations (zero workers, zero-size
+    /// pool/pages for a persistent open, buffer pool exceeding the
+    /// global memory budget, ...). `persistent` adds the checks that
+    /// only matter when a store will be opened. Called by the
+    /// factories so misconfiguration fails at Open with
+    /// InvalidArgument, not deep in execution.
+    Status Validate(bool persistent) const;
   };
 
   Database() : Database(Config{}) {}
@@ -251,6 +320,43 @@ class Database {
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
+
+  /// Opens (or creates) a durable database in directory `path`:
+  /// validates `config`, recovers the persisted catalog + data
+  /// (replaying the WAL tail if the last process died mid-write), and
+  /// WAL-logs every subsequent mutating statement. The directory is
+  /// flock'd for the lifetime of the instance — a second concurrent
+  /// Open of the same path fails.
+  static Result<std::unique_ptr<Database>> Open(const std::string& path,
+                                                Config config);
+  static Result<std::unique_ptr<Database>> Open(const std::string& path) {
+    return Open(path, Config{});
+  }
+  /// An ephemeral database with `config` validated up front. Same
+  /// object the plain constructor builds; use this form in new code
+  /// so misconfiguration surfaces as InvalidArgument instead of being
+  /// silently clamped.
+  static Result<std::unique_ptr<Database>> InMemory(Config config);
+  static Result<std::unique_ptr<Database>> InMemory() {
+    return InMemory(Config{});
+  }
+
+  /// True when this database was produced by Open() and is still
+  /// attached to its data directory.
+  bool persistent() const { return store_ != nullptr; }
+  /// The durable store behind a persistent database (null for
+  /// in-memory). Exposed for stats (radb_bufferpool) and tests.
+  storage::TableStore* table_store() { return store_.get(); }
+
+  /// Forces a checkpoint: seals open segment tails, rewrites page
+  /// files and dirty index images, then truncates the WAL. No-op for
+  /// an in-memory database.
+  Status Checkpoint();
+  /// Checkpoints and releases the data directory (also done by the
+  /// destructor). Idempotent. The instance must not execute further
+  /// statements afterwards; the directory is immediately reopenable
+  /// (by this process or another).
+  Status Close();
 
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
@@ -281,11 +387,6 @@ class Database {
   std::optional<ScriptResult> ExecuteCachedOnly(const std::string& sql,
                                                 const QueryOptions& options);
 
-  /// DEPRECATED — use Execute(). Forwarding shim kept for existing
-  /// callers: runs the script with default options and returns only
-  /// the last result set (empty for DDL/DML-only scripts).
-  Result<ResultSet> ExecuteSql(const std::string& sql);
-
   /// Optimizes a SELECT and returns the EXPLAIN rendering with cost
   /// annotations.
   Result<std::string> Explain(const std::string& select_sql);
@@ -293,6 +394,14 @@ class Database {
   /// Optimizes a SELECT and returns the logical plan (for tests that
   /// inspect plan shape).
   Result<LogicalOpPtr> PlanQuery(const std::string& select_sql);
+
+  /// Programmatic CREATE TABLE, equivalent to executing the DDL: the
+  /// table is registered in the catalog AND attached to the persistent
+  /// store (WAL-logged) when this database was opened with Open().
+  /// Callers must use this — not catalog().CreateTable directly — or
+  /// the table would silently stay memory-only.
+  Result<std::shared_ptr<Table>> CreateTable(const std::string& table,
+                                             Schema schema);
 
   /// Bulk loader: appends rows to a table round-robin across
   /// partitions, bypassing SQL parsing. The fast path used by the
@@ -312,18 +421,20 @@ class Database {
   /// workers.
   Status LoadTable(const std::string& table, const std::string& path);
 
-  /// Metrics of the most recent ExecuteSql call (per-operator times,
+  /// Metrics of the most recent Execute call (per-operator times,
   /// shuffle volume — the Figure 4 data). Single-caller accessors:
   /// with concurrent sessions, read per-call stats from ScriptResult
   /// instead.
   const QueryMetrics& last_metrics() const { return last_metrics_; }
-  /// Spill volume / tracked peak memory of the most recent statement
+  /// Spill / peak-memory summary of the most recent successful
+  /// Execute call, aggregated exactly like the call's ScriptResult:
+  /// spill is the sum over the script's statements, peak the maximum
   /// (the ablation benchmark's measurement hooks).
   size_t last_spill_bytes() const { return last_spill_bytes_; }
   size_t last_peak_memory_bytes() const { return last_peak_bytes_; }
 
   /// Span tracer (null unless Config::obs enables tracing). Holds the
-  /// span tree of the most recent ExecuteSql call.
+  /// span tree of the most recent Execute call.
   obs::Tracer* tracer() { return tracer_.get(); }
   /// Metrics registry (null unless Config::obs enables metrics).
   /// Counters accumulate across the lifetime of the Database.
@@ -420,9 +531,19 @@ class Database {
   /// Rewrites trace/metrics files if Config::obs names paths.
   Status WriteObsFiles() const;
 
+  /// WAL-logs a committed mutating statement and runs the automatic
+  /// checkpoint check. No-op for an in-memory database; a logging
+  /// failure fails the statement (the in-memory effect stands, but
+  /// durability could not be guaranteed).
+  Status LogMutation(const std::function<Status(storage::TableStore&)>& log);
+
   Config config_;
   Cluster cluster_;
   Catalog catalog_;
+  /// The durable half (null = in-memory). Declared before any member
+  /// that could reference pooled segments and destroyed by explicit
+  /// Close() in the destructor, after queries have drained.
+  std::unique_ptr<storage::TableStore> store_;
   /// Guards the last-call snapshots below. Execution itself writes
   /// into per-call QueryMetrics locals; only the final copy-back to
   /// these legacy accessors takes the lock, so concurrent sessions

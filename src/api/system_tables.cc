@@ -15,6 +15,7 @@ namespace {
 constexpr const char* kSystemTableNames[] = {
     "radb_metrics",   "radb_queries",  "radb_query_phases", "radb_operators",
     "radb_sessions",  "radb_threads",  "radb_tables",       "radb_cache",
+    "radb_bufferpool", "radb_indexes",
 };
 
 Schema MakeSchema(std::initializer_list<std::pair<const char*, DataType>> cols) {
@@ -56,6 +57,8 @@ Result<std::shared_ptr<Table>> SystemTableCatalog::Snapshot(
   if (lower_name == "radb_threads") return ThreadsTable();
   if (lower_name == "radb_tables") return TablesTable();
   if (lower_name == "radb_cache") return CacheTable();
+  if (lower_name == "radb_bufferpool") return BufferPoolTable();
+  if (lower_name == "radb_indexes") return IndexesTable();
   return Status::CatalogError("unknown system table: " + lower_name);
 }
 
@@ -311,6 +314,68 @@ std::shared_ptr<Table> SystemTableCatalog::CacheTable() const {
   }
   row("prepared", static_cast<int64_t>(db_->prepared_count()), 0, 0,
       CacheStatsSnapshot{});
+  return table;
+}
+
+std::shared_ptr<Table> SystemTableCatalog::BufferPoolTable() const {
+  auto table = MakeSnapshotTable(
+      "radb_bufferpool",
+      MakeSchema({{"budget_bytes", DataType::Integer()},
+                  {"cached_bytes", DataType::Integer()},
+                  {"unevictable_bytes", DataType::Integer()},
+                  {"entries", DataType::Integer()},
+                  {"pinned_entries", DataType::Integer()},
+                  {"hits", DataType::Integer()},
+                  {"misses", DataType::Integer()},
+                  {"evictions", DataType::Integer()},
+                  {"wal_bytes", DataType::Integer()},
+                  {"checkpoints", DataType::Integer()},
+                  {"replayed_statements", DataType::Integer()},
+                  {"recovered", DataType::Boolean()},
+                  {"page_files", DataType::Integer()},
+                  {"total_pages", DataType::Integer()},
+                  {"free_pages", DataType::Integer()}}));
+  // One row per database; none at all when the database is in-memory
+  // (SELECT COUNT(*) FROM radb_bufferpool is the cheap persistence
+  // probe).
+  storage::TableStore* store = db_->table_store();
+  if (store == nullptr) return table;
+  const storage::BufferPool::Stats pool = store->pool()->GetStats();
+  const storage::TableStore::Stats st = store->GetStats();
+  auto u = [](uint64_t v) { return Value::Int(static_cast<int64_t>(v)); };
+  (void)table->Insert(
+      {u(pool.budget_bytes), u(pool.cached_bytes), u(pool.unevictable_bytes),
+       u(pool.entries), u(pool.pinned_entries), u(pool.hits), u(pool.misses),
+       u(pool.evictions), u(st.wal_bytes), u(st.checkpoints),
+       u(st.replayed_statements), Value::Bool(st.recovered),
+       u(st.page_files), u(st.total_pages), u(st.free_pages)});
+  return table;
+}
+
+std::shared_ptr<Table> SystemTableCatalog::IndexesTable() const {
+  auto table = MakeSnapshotTable(
+      "radb_indexes", MakeSchema({{"name", DataType::String()},
+                                  {"table_name", DataType::String()},
+                                  {"columns", DataType::String()},
+                                  {"entries", DataType::Integer()},
+                                  {"degraded", DataType::Boolean()}}));
+  const Catalog& catalog = db_->catalog();
+  for (const auto& [index, owner] : catalog.index_owners()) {
+    auto t = catalog.GetTable(owner);
+    if (!t.ok()) continue;
+    const IndexDef* def = t.value()->FindIndex(index);
+    if (def == nullptr) continue;
+    std::string cols;
+    for (size_t c : def->columns) {
+      if (!cols.empty()) cols += ",";
+      cols += t.value()->schema().columns()[c].name;
+    }
+    (void)table->Insert(
+        {Value::String(index), Value::String(owner), Value::String(cols),
+         Value::Int(static_cast<int64_t>(
+             def->tree == nullptr ? 0 : def->tree->size())),
+         Value::Bool(def->degraded)});
+  }
   return table;
 }
 

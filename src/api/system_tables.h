@@ -53,6 +53,8 @@ class SystemTableCatalog : public SystemTableProvider {
   std::shared_ptr<Table> ThreadsTable() const;
   std::shared_ptr<Table> TablesTable() const;
   std::shared_ptr<Table> CacheTable() const;
+  std::shared_ptr<Table> BufferPoolTable() const;
+  std::shared_ptr<Table> IndexesTable() const;
 
   Database* db_;
 };

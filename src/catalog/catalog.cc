@@ -10,7 +10,8 @@ bool Catalog::IsSystemName(const std::string& name) {
 }
 
 Result<std::shared_ptr<Table>> Catalog::CreateTable(const std::string& name,
-                                                    Schema schema) {
+                                                    Schema schema,
+                                                    size_t num_partitions) {
   if (IsSystemName(name)) {
     return Status::CatalogError(
         "cannot create table " + name + ": the '" +
@@ -21,8 +22,9 @@ Result<std::shared_ptr<Table>> Catalog::CreateTable(const std::string& name,
   if (tables_.count(key) || views_.count(key)) {
     return Status::CatalogError("relation already exists: " + name);
   }
-  auto table = std::make_shared<Table>(key, std::move(schema),
-                                       default_partitions_);
+  auto table = std::make_shared<Table>(
+      key, std::move(schema),
+      num_partitions == 0 ? default_partitions_ : num_partitions);
   tables_[key] = table;
   BumpSchemaVersion();
   return table;
@@ -58,11 +60,57 @@ Status Catalog::DropTable(const std::string& name) {
     return Status::CatalogError("system table " + ToLower(name) +
                                 " is read-only and cannot be dropped");
   }
-  if (tables_.erase(ToLower(name)) == 0) {
+  const std::string key = ToLower(name);
+  if (tables_.erase(key) == 0) {
     return Status::CatalogError("table not found: " + name);
+  }
+  // The table's indexes vanish with it.
+  for (auto it = index_owners_.begin(); it != index_owners_.end();) {
+    if (it->second == key) {
+      it = index_owners_.erase(it);
+    } else {
+      ++it;
+    }
   }
   BumpSchemaVersion();
   return Status::OK();
+}
+
+Status Catalog::CreateIndex(const std::string& table,
+                            const std::string& index,
+                            const std::vector<size_t>& columns) {
+  const std::string index_key = ToLower(index);
+  if (index_owners_.count(index_key)) {
+    return Status::CatalogError("index already exists: " + index);
+  }
+  auto it = tables_.find(ToLower(table));
+  if (it == tables_.end()) {
+    return Status::CatalogError("table not found: " + table);
+  }
+  RADB_RETURN_NOT_OK(it->second->CreateIndex(index_key, columns));
+  index_owners_[index_key] = it->first;
+  BumpSchemaVersion();
+  return Status::OK();
+}
+
+Status Catalog::DropIndex(const std::string& index) {
+  const std::string index_key = ToLower(index);
+  auto it = index_owners_.find(index_key);
+  if (it == index_owners_.end()) {
+    return Status::CatalogError("index not found: " + index);
+  }
+  auto table = tables_.find(it->second);
+  if (table != tables_.end()) {
+    RADB_RETURN_NOT_OK(table->second->DropIndex(index_key));
+  }
+  index_owners_.erase(it);
+  BumpSchemaVersion();
+  return Status::OK();
+}
+
+std::string Catalog::IndexOwner(const std::string& index) const {
+  auto it = index_owners_.find(ToLower(index));
+  return it == index_owners_.end() ? std::string() : it->second;
 }
 
 Status Catalog::CreateView(ViewEntry view) {
@@ -109,6 +157,13 @@ std::vector<std::string> Catalog::TableNames() const {
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> Catalog::ViewNames() const {
+  std::vector<std::string> names;
+  names.reserve(views_.size());
+  for (const auto& [name, view] : views_) names.push_back(name);
   return names;
 }
 

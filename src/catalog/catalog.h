@@ -86,11 +86,27 @@ class Catalog {
   /// schema change. Called by the Database on every DML path.
   void BumpDataVersion() { ++version_; }
 
+  /// `num_partitions` 0 uses the catalog default; recovery passes the
+  /// persisted partition count so segment manifests line up even when
+  /// the database reopens with a different worker count.
   Result<std::shared_ptr<Table>> CreateTable(const std::string& name,
-                                             Schema schema);
+                                             Schema schema,
+                                             size_t num_partitions = 0);
   Result<std::shared_ptr<Table>> GetTable(const std::string& name) const;
   bool HasTable(const std::string& name) const;
   Status DropTable(const std::string& name);
+
+  /// Secondary-index namespace: index names are global (like table
+  /// names), so `DROP INDEX name` needs no table. Creation delegates
+  /// validation and the build to Table::CreateIndex.
+  Status CreateIndex(const std::string& table, const std::string& index,
+                     const std::vector<size_t>& columns);
+  Status DropIndex(const std::string& index);
+  /// Table key owning `index`, or empty when unknown.
+  std::string IndexOwner(const std::string& index) const;
+  const std::map<std::string, std::string>& index_owners() const {
+    return index_owners_;
+  }
 
   Status CreateView(ViewEntry view);
   Result<const ViewEntry*> GetView(const std::string& name) const;
@@ -98,6 +114,13 @@ class Catalog {
   Status DropView(const std::string& name);
 
   std::vector<std::string> TableNames() const;
+  std::vector<std::string> ViewNames() const;
+
+  /// Recovery-only: re-registers an index name restored directly onto
+  /// a table (Table::RestoreIndex) without rebuilding it.
+  void RestoreIndexOwner(const std::string& index, const std::string& table) {
+    index_owners_[index] = table;
+  }
 
   /// Registers (or, with nullptr, unregisters) the system-table
   /// provider. Not synchronized: install once at Database
@@ -126,6 +149,8 @@ class Catalog {
   uint64_t schema_version_ = 1;
   std::map<std::string, std::shared_ptr<Table>> tables_;
   std::map<std::string, ViewEntry> views_;
+  /// index name (lowercased) -> owning table key.
+  std::map<std::string, std::string> index_owners_;
   const SystemTableProvider* system_tables_ = nullptr;
   const FunctionRegistry* functions_;
   const AggregateRegistry* aggregates_;

@@ -302,8 +302,11 @@ Result<std::string> Expr::ToSql(const Catalog& catalog) const {
 
 Result<la::Matrix> Expr::Eval(Database* db) const {
   RADB_ASSIGN_OR_RETURN(std::string sql, ToSql(db->catalog()));
-  RADB_ASSIGN_OR_RETURN(ResultSet rs, db->ExecuteSql(sql));
-  return rs.ScalarMatrix();
+  RADB_ASSIGN_OR_RETURN(ScriptResult script, db->Execute(sql));
+  if (!script.has_results()) {
+    return Status::ExecutionError("DSL expression produced no result set");
+  }
+  return script.last().ScalarMatrix();
 }
 
 Result<double> Expr::MultiplyCost(const Catalog& catalog) const {

@@ -1,6 +1,7 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <iterator>
@@ -320,30 +321,63 @@ Result<ExecResult> Executor::DispatchOp(const LogicalOp& op) {
   return Status::Internal("unknown logical operator");
 }
 
+namespace {
+
+/// The physical-placement property of a base-table scan: a table
+/// hash-partitioned on an emitted column, with one partition per
+/// worker, is already placed the way a join shuffle would place it.
+std::optional<size_t> ScanHashedSlot(const LogicalOp& op, size_t workers) {
+  const Partitioning& part = op.table->partitioning();
+  if (part.kind == Partitioning::Kind::kHash &&
+      op.table->num_partitions() == workers) {
+    for (size_t i = 0; i < op.scan_columns.size(); ++i) {
+      if (op.scan_columns[i] == part.hash_column) return op.output[i].slot;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
 Result<ExecResult> Executor::ExecuteScan(const LogicalOp& op) {
+  if (!op.index_name.empty() && !op.index_lo.empty()) {
+    // Stale annotations (index dropped or degraded after planning)
+    // fall through to the full scan, which is always correct.
+    const IndexDef* idx = op.table->FindIndex(op.index_name);
+    if (idx != nullptr && idx->usable()) {
+      return ExecuteIndexScan(op, *idx->tree);
+    }
+  }
   OperatorMetrics* m = NewOp("Scan(" + op.table->name() + ")", op);
   m->rows_in = op.table->num_rows();
   const size_t w = cluster_.num_workers();
   SpillableDist out = NewDist(w);
   // Table partitions map onto workers round-robin when the counts
-  // differ; each worker copies out its own partitions in order. The
-  // resident base table is not charged against the query budget —
-  // only the scanned-out copies are, and they spill under pressure.
+  // differ; each worker walks its own partitions segment by segment,
+  // pinning one at a time (checkpointed segments fault in through the
+  // buffer pool, so the working set stays bounded even for tables far
+  // larger than RAM). The pinned base segments are not charged against
+  // the query budget — only the scanned-out copies are, and they spill
+  // under pressure.
   RADB_RETURN_NOT_OK(ForEachWorker(w, [&](size_t target) -> Status {
     const auto t0 = Clock::now();
     SpillableRowBuffer& dst = out[target];
     size_t since_check = 0;
     for (size_t p = target; p < op.table->num_partitions(); p += w) {
-      const RowSet& part = op.table->partition(p);
-      for (const Row& row : part) {
-        if (mem_.cancel != nullptr && ++since_check >= kCancelCheckRows) {
-          since_check = 0;
-          RADB_RETURN_NOT_OK(mem_.cancel->Check());
+      const size_t nsegs = op.table->NumSegments(p);
+      for (size_t seg = 0; seg < nsegs; ++seg) {
+        RADB_ASSIGN_OR_RETURN(Table::SegmentPin pin,
+                              op.table->PinSegment(p, seg));
+        for (const Row& row : pin.rows()) {
+          if (mem_.cancel != nullptr && ++since_check >= kCancelCheckRows) {
+            since_check = 0;
+            RADB_RETURN_NOT_OK(mem_.cancel->Check());
+          }
+          Row projected;
+          projected.reserve(op.scan_columns.size());
+          for (size_t col : op.scan_columns) projected.push_back(row[col]);
+          RADB_RETURN_NOT_OK(dst.Append(std::move(projected)));
         }
-        Row projected;
-        projected.reserve(op.scan_columns.size());
-        for (size_t col : op.scan_columns) projected.push_back(row[col]);
-        RADB_RETURN_NOT_OK(dst.Append(std::move(projected)));
       }
     }
     m->worker_seconds[target] += SecondsSince(t0);
@@ -352,20 +386,74 @@ Result<ExecResult> Executor::ExecuteScan(const LogicalOp& op) {
   m->rows_out = SpillDistRowCount(out);
   m->bytes_out = SpillDistByteSize(out);
   CollectSpill(m, out);
-  ExecResult result{std::move(out), std::nullopt};
-  // A base table hash-partitioned on an emitted column, with one
-  // partition per worker, is already placed the way a join shuffle
-  // would place it.
-  const Partitioning& part = op.table->partitioning();
-  if (part.kind == Partitioning::Kind::kHash &&
-      op.table->num_partitions() == w) {
-    for (size_t i = 0; i < op.scan_columns.size(); ++i) {
-      if (op.scan_columns[i] == part.hash_column) {
-        result.hashed_slot = op.output[i].slot;
-      }
-    }
+  return ExecResult{std::move(out), ScanHashedSlot(op, w)};
+}
+
+Result<ExecResult> Executor::ExecuteIndexScan(const LogicalOp& op,
+                                              const storage::BTreeIndex& tree) {
+  OperatorMetrics* m =
+      NewOp("IndexScan(" + op.table->name() + "." + op.index_name + ")", op);
+  const size_t w = cluster_.num_workers();
+
+  std::array<int64_t, storage::BTreeIndex::kMaxKeyColumns> lo, hi;
+  lo.fill(INT64_MIN);
+  hi.fill(INT64_MAX);
+  for (size_t k = 0; k < tree.key_len() && k < op.index_lo.size(); ++k) {
+    lo[k] = op.index_lo[k];
+    hi[k] = op.index_hi[k];
   }
-  return result;
+  std::vector<storage::Rid> rids;
+  tree.Range(lo.data(), hi.data(), &rids);
+  m->rows_in = rids.size();
+
+  // Rows stay on the worker owning their partition (same round-robin
+  // map as the full scan); each worker emits in (partition, ordinal)
+  // order, i.e. the relative order the full scan would use.
+  std::vector<std::vector<storage::Rid>> per_worker(w);
+  for (const storage::Rid& rid : rids) {
+    per_worker[rid.partition % w].push_back(rid);
+  }
+  SpillableDist out = NewDist(w);
+  RADB_RETURN_NOT_OK(ForEachWorker(w, [&](size_t target) -> Status {
+    const auto t0 = Clock::now();
+    std::vector<storage::Rid>& mine = per_worker[target];
+    std::sort(mine.begin(), mine.end(),
+              [](const storage::Rid& a, const storage::Rid& b) {
+                return a.partition != b.partition
+                           ? a.partition < b.partition
+                           : a.ordinal < b.ordinal;
+              });
+    SpillableRowBuffer& dst = out[target];
+    size_t since_check = 0;
+    // Sorted rids visit each segment once; keep the current one pinned.
+    Table::SegmentPin pin;
+    uint32_t pin_part = 0, pin_seg = 0;
+    for (const storage::Rid& rid : mine) {
+      if (mem_.cancel != nullptr && ++since_check >= kCancelCheckRows) {
+        since_check = 0;
+        RADB_RETURN_NOT_OK(mem_.cancel->Check());
+      }
+      RADB_ASSIGN_OR_RETURN(Table::RowLocation loc,
+                            op.table->LocateRow(rid.partition, rid.ordinal));
+      if (!pin || pin_part != rid.partition || pin_seg != loc.segment) {
+        RADB_ASSIGN_OR_RETURN(pin,
+                              op.table->PinSegment(rid.partition, loc.segment));
+        pin_part = rid.partition;
+        pin_seg = loc.segment;
+      }
+      const Row& row = pin.rows()[loc.offset];
+      Row projected;
+      projected.reserve(op.scan_columns.size());
+      for (size_t col : op.scan_columns) projected.push_back(row[col]);
+      RADB_RETURN_NOT_OK(dst.Append(std::move(projected)));
+    }
+    m->worker_seconds[target] += SecondsSince(t0);
+    return Status::OK();
+  }));
+  m->rows_out = SpillDistRowCount(out);
+  m->bytes_out = SpillDistByteSize(out);
+  CollectSpill(m, out);
+  return ExecResult{std::move(out), ScanHashedSlot(op, w)};
 }
 
 Result<ExecResult> Executor::ExecuteFilter(const LogicalOp& op) {
@@ -446,7 +534,183 @@ Result<ExecResult> Executor::ExecuteProject(const LogicalOp& op) {
   return ExecResult{std::move(out), hashed};
 }
 
+Result<std::optional<ExecResult>> Executor::TryIndexJoin(const LogicalOp& op) {
+  const LogicalOp& inner = *op.children[1];
+  if (inner.kind != LogicalOp::Kind::kScan || inner.index_name.empty()) {
+    return std::optional<ExecResult>();
+  }
+  const IndexDef* idx = inner.table->FindIndex(inner.index_name);
+  if (idx == nullptr || !idx->usable()) return std::optional<ExecResult>();
+  const storage::BTreeIndex& tree = *idx->tree;
+
+  // Map index key positions to the outer-side expressions probing
+  // them: equi pair (l, r) probes key position k when r is a bare
+  // column reference to the scan column idx->columns[k]. Pairs that
+  // probe nothing are re-checked per candidate row below.
+  std::vector<int> probe_for_key(tree.key_len(), -1);
+  for (size_t e = 0; e < op.equi_keys.size(); ++e) {
+    const BoundExpr& r = *op.equi_keys[e].second;
+    if (r.kind != BoundExpr::Kind::kColumnRef) continue;
+    size_t col = 0;
+    bool found = false;
+    for (size_t i = 0; i < inner.output.size(); ++i) {
+      if (inner.output[i].slot == r.slot) {
+        col = inner.scan_columns[i];
+        found = true;
+        break;
+      }
+    }
+    if (!found) continue;
+    for (size_t k = 0; k < tree.key_len(); ++k) {
+      if (idx->columns[k] == col && probe_for_key[k] < 0) {
+        probe_for_key[k] = static_cast<int>(e);
+      }
+    }
+  }
+  // The composite prefix must start with a probed column, and an
+  // unprobed position makes every later one unusable.
+  if (probe_for_key[0] < 0) return std::optional<ExecResult>();
+  size_t probed_len = 0;
+  while (probed_len < probe_for_key.size() && probe_for_key[probed_len] >= 0) {
+    ++probed_len;
+  }
+
+  RADB_ASSIGN_OR_RETURN(ExecResult outer_in, ExecuteOp(*op.children[0]));
+  SpillableDist& outer = outer_in.dist;
+  const size_t w = cluster_.num_workers();
+  const auto outer_layout = LayoutOf(*op.children[0]);
+
+  OperatorMetrics* m = NewOp(
+      "IndexJoin(" + inner.table->name() + "." + inner.index_name + ")", op);
+  m->rows_in = SpillDistRowCount(outer);
+
+  // Combined layout (outer columns then inner) for residual predicates
+  // and a fused projection, exactly as in the hash join.
+  std::map<size_t, size_t> combined;
+  for (size_t i = 0; i < op.children[0]->output.size(); ++i) {
+    combined[op.children[0]->output[i].slot] = i;
+  }
+  const size_t outer_arity = op.children[0]->output.size();
+  for (size_t i = 0; i < inner.output.size(); ++i) {
+    combined[inner.output[i].slot] = outer_arity + i;
+  }
+  std::vector<BoundExprPtr> residual;
+  for (const auto& p : op.residual) {
+    RADB_ASSIGN_OR_RETURN(BoundExprPtr r, RewriteToPositions(*p, combined));
+    residual.push_back(std::move(r));
+  }
+  std::vector<BoundExprPtr> fused;
+  for (const auto& e : op.exprs) {
+    RADB_ASSIGN_OR_RETURN(BoundExprPtr r, RewriteToPositions(*e, combined));
+    fused.push_back(std::move(r));
+  }
+  // Outer key expressions, rewritten to outer row positions. Unprobed
+  // equi pairs are verified against the fetched inner row: its key
+  // expression reads the concatenated row like a residual.
+  std::vector<BoundExprPtr> outer_keys;
+  for (const auto& [l, r] : op.equi_keys) {
+    RADB_ASSIGN_OR_RETURN(BoundExprPtr lk,
+                          RewriteToPositions(*l, outer_layout));
+    outer_keys.push_back(std::move(lk));
+  }
+  std::vector<BoundExprPtr> inner_keys;
+  for (const auto& [l, r] : op.equi_keys) {
+    RADB_ASSIGN_OR_RETURN(BoundExprPtr rk, RewriteToPositions(*r, combined));
+    inner_keys.push_back(std::move(rk));
+  }
+  std::vector<size_t> recheck;
+  for (size_t e = 0; e < op.equi_keys.size(); ++e) {
+    bool probed = false;
+    for (size_t k = 0; k < probed_len; ++k) {
+      if (probe_for_key[k] == static_cast<int>(e)) probed = true;
+    }
+    if (!probed) recheck.push_back(e);
+  }
+
+  SpillableDist out = NewDist(w);
+  JoinBatchSink* sink = (join_sink_op_ == &op) ? join_sink_ : nullptr;
+
+  RADB_RETURN_NOT_OK(ForEachWorker(w, [&](size_t wkr) -> Status {
+    const auto t0 = Clock::now();
+    size_t since_check = 0;
+    std::array<int64_t, storage::BTreeIndex::kMaxKeyColumns> lo, hi;
+    std::vector<storage::Rid> rids;
+    RADB_RETURN_NOT_OK(ConsumeRows(outer[wkr], [&](Row o) -> Status {
+      lo.fill(INT64_MIN);
+      hi.fill(INT64_MAX);
+      for (size_t k = 0; k < probed_len; ++k) {
+        RADB_ASSIGN_OR_RETURN(
+            Value v, EvalExpr(*outer_keys[probe_for_key[k]], o));
+        // A NULL or non-INTEGER probe value can never equal the
+        // indexed column's INTEGER values (Value equality is strict
+        // about kinds, matching the hash join), so the row joins
+        // nothing.
+        if (v.kind() != TypeKind::kInteger) return Status::OK();
+        lo[k] = v.int_value();
+        hi[k] = v.int_value();
+      }
+      rids.clear();
+      tree.Range(lo.data(), hi.data(), &rids);
+      for (const storage::Rid& rid : rids) {
+        if (mem_.cancel != nullptr && ++since_check >= kCancelCheckRows) {
+          since_check = 0;
+          RADB_RETURN_NOT_OK(mem_.cancel->Check());
+        }
+        RADB_ASSIGN_OR_RETURN(Row full, inner.table->FetchRow(rid));
+        Row joined;
+        joined.reserve(outer_arity + inner.scan_columns.size());
+        for (const Value& v : o) joined.push_back(v);
+        for (size_t col : inner.scan_columns) {
+          joined.push_back(std::move(full[col]));
+        }
+        bool keep = true;
+        for (size_t e : recheck) {
+          RADB_ASSIGN_OR_RETURN(Value lv, EvalExpr(*outer_keys[e], o));
+          RADB_ASSIGN_OR_RETURN(Value rv, EvalExpr(*inner_keys[e], joined));
+          if (lv.is_null() || rv.is_null() || !lv.Equals(rv)) {
+            keep = false;
+            break;
+          }
+        }
+        if (!keep) continue;
+        for (const auto& p : residual) {
+          RADB_ASSIGN_OR_RETURN(Value v, EvalExpr(*p, joined));
+          if (v.is_null() || !v.bool_value()) {
+            keep = false;
+            break;
+          }
+        }
+        if (!keep) continue;
+        if (!fused.empty()) {
+          Row projected;
+          projected.reserve(fused.size());
+          for (const auto& e : fused) {
+            RADB_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, joined));
+            projected.push_back(std::move(v));
+          }
+          joined = std::move(projected);
+        }
+        RADB_RETURN_NOT_OK(sink != nullptr
+                               ? sink->AppendRow(wkr, std::move(joined))
+                               : out[wkr].Append(std::move(joined)));
+      }
+      return Status::OK();
+    }));
+    m->worker_seconds[wkr] += SecondsSince(t0);
+    return Status::OK();
+  }));
+  m->rows_out = SpillDistRowCount(out);
+  m->bytes_out = SpillDistByteSize(out);
+  CollectSpill(m, out);
+  return std::optional<ExecResult>(
+      ExecResult{std::move(out), std::nullopt});
+}
+
 Result<ExecResult> Executor::ExecuteJoin(const LogicalOp& op) {
+  if (op.index_nl) {
+    RADB_ASSIGN_OR_RETURN(std::optional<ExecResult> inl, TryIndexJoin(op));
+    if (inl.has_value()) return std::move(*inl);
+  }
   RADB_ASSIGN_OR_RETURN(ExecResult left_in, ExecuteOp(*op.children[0]));
   RADB_ASSIGN_OR_RETURN(ExecResult right_in, ExecuteOp(*op.children[1]));
   SpillableDist& left = left_in.dist;

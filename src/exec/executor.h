@@ -135,6 +135,19 @@ class Executor {
   /// engine. Results are bit-identical to the row path.
   Result<std::optional<ExecResult>> TryVectorized(const LogicalOp& op);
   Result<ExecResult> ExecuteScan(const LogicalOp& op);
+  /// B+ tree range scan for a kScan annotated with index bounds by the
+  /// optimizer: probes the tree once, then materializes the matching
+  /// rows per worker in (partition, ordinal) order — the same relative
+  /// order a full scan would emit them, so downstream results are
+  /// bit-identical to the unindexed plan.
+  Result<ExecResult> ExecuteIndexScan(const LogicalOp& op,
+                                      const storage::BTreeIndex& tree);
+  /// Index-nested-loop join for a kJoin annotated `index_nl`: probes
+  /// the inner scan's B+ tree with each outer row's key instead of
+  /// building a hash table. nullopt when the annotation is stale (index
+  /// dropped or degraded since planning) — the caller falls back to the
+  /// hash path.
+  Result<std::optional<ExecResult>> TryIndexJoin(const LogicalOp& op);
   Result<ExecResult> ExecuteFilter(const LogicalOp& op);
   Result<ExecResult> ExecuteProject(const LogicalOp& op);
   Result<ExecResult> ExecuteJoin(const LogicalOp& op);

@@ -1396,30 +1396,34 @@ Status VectorizedPipeline::RunWorker(size_t wkr, WorkerCtx& ctx,
     const Table& table = *scan_->table;
     StageTally& st = tally[0];
     for (size_t p = wkr; p < table.num_partitions(); p += workers_) {
-      const size_t part_rows = table.partition(p).size();
-      for (size_t begin = 0; begin < part_rows; begin += batch_rows_) {
-        // Cooperative cancellation once per batch (the vectorized
-        // analogue of the row loops' kCancelCheckRows polling).
-        if (cancel != nullptr) RADB_RETURN_NOT_OK(cancel->Check());
-        const size_t count = std::min(batch_rows_, part_rows - begin);
-        const auto t0 = Clock::now();
-        table.ExtractColumns(p, scan_->scan_columns, begin, count,
-                             &ctx.batch);
-        ++st.batches;
-        st.rows_out += count;
-        size_t batch_bytes = 0;
-        for (const ColumnVector& c : ctx.batch.columns) {
-          batch_bytes += ColBytes(c, nullptr, count);
+      const size_t nsegs = table.NumSegments(p);
+      for (size_t seg = 0; seg < nsegs; ++seg) {
+        RADB_ASSIGN_OR_RETURN(Table::SegmentPin pin, table.PinSegment(p, seg));
+        const RowSet& rows = pin.rows();
+        const size_t part_rows = rows.size();
+        for (size_t begin = 0; begin < part_rows; begin += batch_rows_) {
+          // Cooperative cancellation once per batch (the vectorized
+          // analogue of the row loops' kCancelCheckRows polling).
+          if (cancel != nullptr) RADB_RETURN_NOT_OK(cancel->Check());
+          const size_t count = std::min(batch_rows_, part_rows - begin);
+          const auto t0 = Clock::now();
+          table.ExtractColumns(rows, scan_->scan_columns, begin, count,
+                               &ctx.batch);
+          ++st.batches;
+          st.rows_out += count;
+          size_t batch_bytes = 0;
+          for (const ColumnVector& c : ctx.batch.columns) {
+            batch_bytes += ColBytes(c, nullptr, count);
+          }
+          st.bytes_out += batch_bytes;
+          st.seconds += SecondsSince(t0);
+          if (tracker != nullptr) {
+            RADB_RETURN_NOT_OK(tracker->Reserve(batch_bytes));
+          }
+          const Status s = ProcessBatch(ctx, tally, agg, sink, agg_tracker);
+          if (tracker != nullptr) tracker->Release(batch_bytes);
+          RADB_RETURN_NOT_OK(s);
         }
-        st.bytes_out += batch_bytes;
-        st.seconds += SecondsSince(t0);
-        if (tracker != nullptr) {
-          RADB_RETURN_NOT_OK(tracker->Reserve(batch_bytes));
-        }
-        const Status s =
-            ProcessBatch(ctx, tally, agg, sink, agg_tracker);
-        if (tracker != nullptr) tracker->Release(batch_bytes);
-        RADB_RETURN_NOT_OK(s);
       }
     }
     return Status::OK();
@@ -1810,6 +1814,16 @@ Result<std::optional<ExecResult>> Executor::TryVectorized(
   while (true) {
     const LogicalOp* child = cur->children[0].get();
     if (child->batch_capable && child->kind == LogicalOp::Kind::kScan) {
+      // An index-annotated scan stays on the row engine: its B+ tree
+      // probe reads a tiny fraction of the table, which beats columnar
+      // full-scan throughput whenever the optimizer chose it.
+      if (!child->index_name.empty() && !child->index_lo.empty()) {
+        const IndexDef* idx = child->table->FindIndex(child->index_name);
+        if (idx != nullptr && idx->usable()) {
+          boundary = child;
+          break;
+        }
+      }
       scan = child;
       break;
     }

@@ -129,15 +129,20 @@ Result<std::string> SpillFile::ReadRun(size_t index) const {
 
 size_t SweepOrphanedSpillFiles(const std::string& dir,
                                uint64_t max_age_seconds) {
-  const std::string base = ResolveSpillDir(dir);
+  return SweepOrphanedFiles(ResolveSpillDir(dir), "radb-spill-",
+                            max_age_seconds);
+}
+
+size_t SweepOrphanedFiles(const std::string& dir, const std::string& prefix,
+                          uint64_t max_age_seconds) {
+  const std::string& base = dir;
   DIR* d = ::opendir(base.c_str());
   if (d == nullptr) return 0;
   const time_t now = ::time(nullptr);
   size_t removed = 0;
   while (struct dirent* ent = ::readdir(d)) {
     const std::string name = ent->d_name;
-    constexpr const char kPrefix[] = "radb-spill-";
-    if (name.rfind(kPrefix, 0) != 0) continue;
+    if (name.rfind(prefix, 0) != 0) continue;
     const std::string path = base + "/" + name;
 
     // A live owner's file is never touched: parse the "-p<pid>-"

@@ -82,6 +82,15 @@ class SpillFile {
 size_t SweepOrphanedSpillFiles(const std::string& dir = "",
                                uint64_t max_age_seconds = 3600);
 
+/// The shared directory-hygiene path behind SweepOrphanedSpillFiles and
+/// the persistent store's temp-file cleanup: removes files under `dir`
+/// whose name begins with `prefix` and whose embedded "-p<pid>-" owner
+/// process is dead (probed with kill(pid, 0)); names without a
+/// parseable pid fall back to an mtime age check so a foreign writer's
+/// fresh file is left alone. Returns the number of files removed.
+size_t SweepOrphanedFiles(const std::string& dir, const std::string& prefix,
+                          uint64_t max_age_seconds);
+
 }  // namespace radb::mem
 
 #endif  // RADB_MEM_SPILL_FILE_H_

@@ -31,6 +31,205 @@ double PredicateSelectivity(const BoundExpr& e) {
   return 0.25;
 }
 
+// ---- Index selection (post-pass) ------------------------------------
+//
+// Runs over the finished plan: every Filter-over-Scan whose conjuncts
+// bound an indexed INTEGER column becomes an index range scan (the
+// filter stays — the index is a pre-filter, so residual predicates and
+// the bounds themselves are still re-checked row by row), and a hash
+// join whose inner is a bare indexed scan with a much larger
+// cardinality becomes an index-nested-loop join.
+
+struct IndexSelectionStats {
+  size_t index_scans = 0;
+  size_t index_nl_joins = 0;
+};
+
+/// Maps a slot emitted by `scan` back to its table column index.
+bool SlotToScanColumn(const LogicalOp& scan, size_t slot, size_t* col) {
+  for (size_t i = 0; i < scan.output.size(); ++i) {
+    if (scan.output[i].slot == slot) {
+      *col = scan.scan_columns[i];
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Inclusive integer bounds accumulated for one table column.
+struct ColumnBounds {
+  int64_t lo = INT64_MIN;
+  int64_t hi = INT64_MAX;
+  bool bounded = false;
+  bool eq() const { return bounded && lo == hi; }
+};
+
+/// Folds `col op literal` into `b`. `op` is already oriented with the
+/// column on the left.
+void FoldBound(CompareOp op, int64_t v, ColumnBounds* b) {
+  switch (op) {
+    case CompareOp::kEq:
+      b->lo = std::max(b->lo, v);
+      b->hi = std::min(b->hi, v);
+      break;
+    case CompareOp::kLt:
+      if (v == INT64_MIN) return;  // always false; leave to the filter
+      b->hi = std::min(b->hi, v - 1);
+      break;
+    case CompareOp::kLe:
+      b->hi = std::min(b->hi, v);
+      break;
+    case CompareOp::kGt:
+      if (v == INT64_MAX) return;
+      b->lo = std::max(b->lo, v + 1);
+      break;
+    case CompareOp::kGe:
+      b->lo = std::max(b->lo, v);
+      break;
+    case CompareOp::kNe:
+      return;  // not a range
+  }
+  b->bounded = true;
+}
+
+CompareOp FlipCompare(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    default:
+      return op;  // kEq / kNe are symmetric
+  }
+}
+
+/// Extracts `slot op int64` from a conjunct of shape
+/// `colref op int-literal` (either orientation). NULL-safe: the
+/// rewritten probe only ever *narrows* the scan, and the filter above
+/// re-evaluates the predicate (false on NULL) anyway.
+bool MatchSimpleComparison(const BoundExpr& e, size_t* slot, CompareOp* op,
+                           int64_t* value) {
+  if (e.kind != BoundExpr::Kind::kCompare || e.children.size() != 2) {
+    return false;
+  }
+  const BoundExpr* l = e.children[0].get();
+  const BoundExpr* r = e.children[1].get();
+  CompareOp oriented = e.compare_op;
+  if (l->kind == BoundExpr::Kind::kLiteral &&
+      r->kind == BoundExpr::Kind::kColumnRef) {
+    std::swap(l, r);
+    oriented = FlipCompare(oriented);
+  }
+  if (l->kind != BoundExpr::Kind::kColumnRef ||
+      r->kind != BoundExpr::Kind::kLiteral) {
+    return false;
+  }
+  if (r->literal.kind() != TypeKind::kInteger) return false;
+  *slot = l->slot;
+  *op = oriented;
+  *value = r->literal.int_value();
+  return true;
+}
+
+/// Annotates `scan` with the best usable index for `bounds`
+/// (table-column -> accumulated bounds). Composite B+ tree semantics:
+/// the second key column's bounds only narrow the probe when the first
+/// is equality-bound; otherwise it stays open.
+bool ChooseIndex(LogicalOp& scan,
+                 const std::map<size_t, ColumnBounds>& bounds) {
+  const IndexDef* best = nullptr;
+  int best_score = 0;
+  for (const auto& idx : scan.table->indexes()) {
+    if (!idx->usable()) continue;
+    auto first = bounds.find(idx->columns[0]);
+    if (first == bounds.end() || !first->second.bounded) continue;
+    int score = first->second.eq() ? 2 : 1;
+    if (first->second.eq() && idx->columns.size() > 1) {
+      auto second = bounds.find(idx->columns[1]);
+      if (second != bounds.end() && second->second.bounded) {
+        score += second->second.eq() ? 2 : 1;
+      }
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = idx.get();
+    }
+  }
+  if (best == nullptr) return false;
+
+  scan.index_name = best->name;
+  scan.index_lo.assign(best->columns.size(), INT64_MIN);
+  scan.index_hi.assign(best->columns.size(), INT64_MAX);
+  double selectivity = 1.0;
+  for (size_t k = 0; k < best->columns.size(); ++k) {
+    auto it = bounds.find(best->columns[k]);
+    if (it == bounds.end() || !it->second.bounded) break;
+    scan.index_lo[k] = it->second.lo;
+    scan.index_hi[k] = it->second.hi;
+    selectivity *= it->second.eq() ? 0.1 : 0.4;
+    if (!it->second.eq()) break;  // range stops the composite prefix
+  }
+  scan.est_rows = std::max(1.0, scan.est_rows * selectivity);
+  return true;
+}
+
+void SelectIndexes(LogicalOp& op, IndexSelectionStats* stats) {
+  for (auto& child : op.children) SelectIndexes(*child, stats);
+
+  if (op.kind == LogicalOp::Kind::kFilter && !op.children.empty() &&
+      op.children[0]->kind == LogicalOp::Kind::kScan) {
+    LogicalOp& scan = *op.children[0];
+    if (!scan.table || scan.table->indexes().empty()) return;
+    std::map<size_t, ColumnBounds> bounds;
+    for (const BoundExprPtr& pred : op.predicates) {
+      size_t slot, col;
+      CompareOp cmp;
+      int64_t value;
+      if (!MatchSimpleComparison(*pred, &slot, &cmp, &value)) continue;
+      if (!SlotToScanColumn(scan, slot, &col)) continue;
+      FoldBound(cmp, value, &bounds[col]);
+    }
+    if (ChooseIndex(scan, bounds)) ++stats->index_scans;
+    return;
+  }
+
+  if (op.kind == LogicalOp::Kind::kJoin && !op.equi_keys.empty() &&
+      op.children.size() == 2 &&
+      op.children[1]->kind == LogicalOp::Kind::kScan) {
+    // Index-nested-loop: the inner must be a *bare* indexed scan (a
+    // filtered inner would lose its pushed predicates if probed) whose
+    // first index column is equi-probed, and the outer meaningfully
+    // smaller — otherwise the hash join's single build pass wins.
+    LogicalOp& inner = *op.children[1];
+    const LogicalOp& outer = *op.children[0];
+    if (!inner.table || inner.table->indexes().empty()) return;
+    if (!inner.index_name.empty()) return;  // already a range scan
+    if (outer.est_rows * 4.0 > inner.est_rows) return;
+    // Table columns equi-probed by a bare inner-side column ref.
+    std::set<size_t> probed;
+    for (const auto& [l, r] : op.equi_keys) {
+      size_t col;
+      if (r->kind == BoundExpr::Kind::kColumnRef &&
+          r->type.kind() == TypeKind::kInteger &&
+          SlotToScanColumn(inner, r->slot, &col)) {
+        probed.insert(col);
+      }
+    }
+    for (const auto& idx : inner.table->indexes()) {
+      if (!idx->usable()) continue;
+      if (!probed.count(idx->columns[0])) continue;
+      inner.index_name = idx->name;
+      op.index_nl = true;
+      ++stats->index_nl_joins;
+      break;
+    }
+  }
+}
+
 }  // namespace
 
 class Optimizer::PlanBuilder {
@@ -646,6 +845,15 @@ Result<LogicalOpPtr> Optimizer::Plan(std::unique_ptr<BoundQuery> query,
                                      obs::ObsContext obs) {
   PlanBuilder builder(options_, query->next_slot, obs);
   RADB_ASSIGN_OR_RETURN(LogicalOpPtr plan, builder.Build(*query));
+  if (options_.enable_index_selection) {
+    IndexSelectionStats stats;
+    SelectIndexes(*plan, &stats);
+    if (obs.metrics != nullptr &&
+        (stats.index_scans > 0 || stats.index_nl_joins > 0)) {
+      obs.metrics->Add("optimizer.index_scans", stats.index_scans);
+      obs.metrics->Add("optimizer.index_nl_joins", stats.index_nl_joins);
+    }
+  }
   // Physical annotation pass: mark which nodes the columnar engine can
   // take, so the executor's pipeline choice is a plan property (visible
   // in EXPLAIN ANALYZE) rather than a runtime guess.

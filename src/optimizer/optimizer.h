@@ -43,6 +43,10 @@ class Optimizer {
     /// Subset-DP join search is used up to this many relations;
     /// beyond it a greedy heuristic takes over.
     size_t dp_relation_limit = 10;
+    /// Post-pass that turns Filter-over-Scan integer comparisons into
+    /// B+ tree index range scans and eligible hash joins into
+    /// index-nested-loop joins (off = always full scans).
+    bool enable_index_selection = true;
   };
 
   Optimizer() : options_(Options{}) {}

@@ -131,6 +131,8 @@ struct Statement {
     kInsert,             // INSERT INTO t VALUES (...), (...)
     kDropTable,
     kDropView,
+    kCreateIndex,        // CREATE INDEX name ON t (col [, col])
+    kDropIndex,          // DROP INDEX name
     kPrepare,            // PREPARE name AS SELECT ... (? params allowed)
     kExecutePrepared,    // EXECUTE name [(arg, ...)]
     kDeallocate,         // DEALLOCATE [PREPARE] name
@@ -145,6 +147,10 @@ struct Statement {
   std::vector<std::string> view_aliases;    // kCreateView
   std::string view_sql;                     // original SELECT text for views
   std::vector<std::vector<ExprPtr>> insert_rows;  // kInsert
+  /// kCreateIndex: relation_name holds the index name; these hold the
+  /// target table and its key column names (1..2, INTEGER-typed).
+  std::string index_table;
+  std::vector<std::string> index_columns;
   /// kPrepare: count of ? markers in the body (textual order).
   size_t num_params = 0;
   /// kExecutePrepared: constant argument expressions, one per ?.

@@ -136,7 +136,8 @@ class Parser {
     if (AcceptKeyword("create")) {
       if (AcceptKeyword("table")) return ParseCreateTable();
       if (AcceptKeyword("view")) return ParseCreateView();
-      return Error("expected TABLE or VIEW after CREATE");
+      if (AcceptKeyword("index")) return ParseCreateIndex();
+      return Error("expected TABLE, VIEW, or INDEX after CREATE");
     }
     if (AcceptKeyword("insert")) return ParseInsert();
     if (AcceptKeyword("prepare")) {
@@ -182,8 +183,10 @@ class Parser {
         stmt.kind = Statement::Kind::kDropTable;
       } else if (AcceptKeyword("view")) {
         stmt.kind = Statement::Kind::kDropView;
+      } else if (AcceptKeyword("index")) {
+        stmt.kind = Statement::Kind::kDropIndex;
       } else {
-        return Error("expected TABLE or VIEW after DROP");
+        return Error("expected TABLE, VIEW, or INDEX after DROP");
       }
       RADB_ASSIGN_OR_RETURN(stmt.relation_name, ExpectIdentifier());
       return stmt;
@@ -256,6 +259,21 @@ class Parser {
     }
     RADB_RETURN_NOT_OK(Expect(TokenType::kRBracket));
     return d;
+  }
+
+  Result<Statement> ParseCreateIndex() {
+    Statement stmt;
+    stmt.kind = Statement::Kind::kCreateIndex;
+    RADB_ASSIGN_OR_RETURN(stmt.relation_name, ExpectIdentifier());
+    RADB_RETURN_NOT_OK(ExpectKeyword("on"));
+    RADB_ASSIGN_OR_RETURN(stmt.index_table, ExpectIdentifier());
+    RADB_RETURN_NOT_OK(Expect(TokenType::kLParen));
+    do {
+      RADB_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      stmt.index_columns.push_back(std::move(col));
+    } while (Accept(TokenType::kComma));
+    RADB_RETURN_NOT_OK(Expect(TokenType::kRParen));
+    return stmt;
   }
 
   Result<Statement> ParseCreateView() {

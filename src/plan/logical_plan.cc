@@ -44,6 +44,28 @@ std::string LogicalOp::NodeLabel() const {
       if (!alias.empty() && table && alias != table->name()) {
         os << " AS " << alias;
       }
+      if (!index_name.empty()) {
+        os << " using " << index_name << " [";
+        for (size_t i = 0; i < index_lo.size(); ++i) {
+          if (i > 0) os << ", ";
+          if (index_lo[i] == index_hi[i]) {
+            os << "=" << index_lo[i];
+          } else {
+            if (index_lo[i] == INT64_MIN) {
+              os << "(";
+            } else {
+              os << index_lo[i];
+            }
+            os << "..";
+            if (index_hi[i] == INT64_MAX) {
+              os << ")";
+            } else {
+              os << index_hi[i];
+            }
+          }
+        }
+        os << "]";
+      }
       break;
     case Kind::kFilter: {
       std::vector<std::string> parts;
@@ -57,7 +79,7 @@ std::string LogicalOp::NodeLabel() const {
         parts.push_back(l->ToString() + " = " + r->ToString());
       }
       for (const auto& p : residual) parts.push_back(p->ToString());
-      os << (equi_keys.empty() ? " (cross)" : "")
+      os << (equi_keys.empty() ? " (cross)" : "") << (index_nl ? " (indexed)" : "")
          << (parts.empty() ? "" : " [" + Join(parts, " AND ") + "]");
       break;
     }
@@ -116,6 +138,10 @@ LogicalOpPtr LogicalOp::Clone() const {
   out->table = table;
   out->alias = alias;
   out->scan_columns = scan_columns;
+  out->index_name = index_name;
+  out->index_lo = index_lo;
+  out->index_hi = index_hi;
+  out->index_nl = index_nl;
   for (const auto& p : predicates) out->predicates.push_back(p->Clone());
   for (const auto& [l, r] : equi_keys) {
     out->equi_keys.emplace_back(l->Clone(), r->Clone());

@@ -49,6 +49,13 @@ struct LogicalOp {
   /// Which table columns this scan emits (column pruning) — indexes
   /// into the table schema, parallel to `output`.
   std::vector<size_t> scan_columns;
+  /// Index-scan annotation (filled by the optimizer's index-selection
+  /// pass, empty = full scan): the chosen B+ tree index and inclusive
+  /// key bounds, one pair per index key column. Open ends are encoded
+  /// as INT64_MIN / INT64_MAX.
+  std::string index_name;
+  std::vector<int64_t> index_lo;
+  std::vector<int64_t> index_hi;
 
   // kFilter
   std::vector<BoundExprPtr> predicates;
@@ -57,6 +64,10 @@ struct LogicalOp {
   // .second over the right child's; residual over both.
   std::vector<std::pair<BoundExprPtr, BoundExprPtr>> equi_keys;
   std::vector<BoundExprPtr> residual;
+  /// Index-nested-loop annotation: when true the right child is a bare
+  /// indexed kScan and the executor probes its B+ tree with each left
+  /// row's equi-key values instead of building a hash table.
+  bool index_nl = false;
 
   // kProject: exprs[i] produces output[i].
   std::vector<BoundExprPtr> exprs;

@@ -1,0 +1,250 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace radb::storage {
+
+/// One node: a leaf holds entries [0, count) and a next-leaf link; an
+/// internal node holds count separator entries and count+1 children
+/// (children[i] spans keys < entries[i]; children[count] the rest).
+struct BTreeIndex::Node {
+  bool leaf = true;
+  size_t count = 0;
+  std::array<Entry, kFanout> entries;
+  std::array<std::unique_ptr<Node>, kFanout + 1> children;
+  Node* next = nullptr;  // leaf chain (non-owning)
+};
+
+BTreeIndex::BTreeIndex(size_t key_len)
+    : key_len_(std::min(key_len, kMaxKeyColumns)),
+      root_(std::make_unique<Node>()) {
+  node_count_ = 1;
+}
+
+BTreeIndex::~BTreeIndex() {
+  // Deep unique_ptr chains recurse on destruction; trees stay shallow
+  // (fanout 64), so the default teardown is fine.
+}
+
+size_t BTreeIndex::byte_size() const {
+  return node_count_ * sizeof(Node) + sizeof(*this);
+}
+
+int BTreeIndex::Compare(const Entry& a, const Entry& b) const {
+  for (size_t i = 0; i < key_len_; ++i) {
+    if (a.key[i] != b.key[i]) return a.key[i] < b.key[i] ? -1 : 1;
+  }
+  if (a.seq != b.seq) return a.seq < b.seq ? -1 : 1;
+  return 0;
+}
+
+void BTreeIndex::Insert(const int64_t* key, Rid rid) {
+  Entry e;
+  e.key.fill(0);
+  std::memcpy(e.key.data(), key, key_len_ * sizeof(int64_t));
+  e.seq = next_seq_++;
+  e.rid = rid;
+  std::unique_ptr<Node> new_child;
+  Entry separator;
+  InsertRec(root_.get(), e, &new_child, &separator);
+  if (new_child != nullptr) {
+    // Root split: grow the tree by one level.
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->count = 1;
+    new_root->entries[0] = separator;
+    new_root->children[0] = std::move(root_);
+    new_root->children[1] = std::move(new_child);
+    root_ = std::move(new_root);
+    ++node_count_;
+  }
+  ++size_;
+}
+
+std::unique_ptr<BTreeIndex::Node> BTreeIndex::Split(Node* node,
+                                                    Entry* separator) {
+  auto right = std::make_unique<Node>();
+  right->leaf = node->leaf;
+  const size_t mid = node->count / 2;
+  if (node->leaf) {
+    // Leaves keep every entry; the separator is copied up.
+    for (size_t i = mid; i < node->count; ++i) {
+      right->entries[right->count++] = node->entries[i];
+    }
+    node->count = mid;
+    right->next = node->next;
+    node->next = right.get();
+    *separator = right->entries[0];
+  } else {
+    // Internal: the middle separator moves up, children split around it.
+    *separator = node->entries[mid];
+    for (size_t i = mid + 1; i < node->count; ++i) {
+      right->entries[right->count++] = node->entries[i];
+    }
+    for (size_t i = mid + 1; i <= node->count; ++i) {
+      right->children[i - (mid + 1)] = std::move(node->children[i]);
+    }
+    node->count = mid;
+  }
+  ++node_count_;
+  return right;
+}
+
+void BTreeIndex::InsertRec(Node* node, const Entry& e,
+                           std::unique_ptr<Node>* new_child,
+                           Entry* separator) {
+  if (node->leaf) {
+    // Find insertion point (entries are unique by seq tiebreaker).
+    size_t pos = node->count;
+    for (size_t i = 0; i < node->count; ++i) {
+      if (Compare(e, node->entries[i]) < 0) {
+        pos = i;
+        break;
+      }
+    }
+    for (size_t i = node->count; i > pos; --i) {
+      node->entries[i] = node->entries[i - 1];
+    }
+    node->entries[pos] = e;
+    ++node->count;
+  } else {
+    size_t child = node->count;
+    for (size_t i = 0; i < node->count; ++i) {
+      if (Compare(e, node->entries[i]) < 0) {
+        child = i;
+        break;
+      }
+    }
+    std::unique_ptr<Node> grand_child;
+    Entry grand_sep;
+    InsertRec(node->children[child].get(), e, &grand_child, &grand_sep);
+    if (grand_child != nullptr) {
+      for (size_t i = node->count; i > child; --i) {
+        node->entries[i] = node->entries[i - 1];
+        node->children[i + 1] = std::move(node->children[i]);
+      }
+      node->entries[child] = grand_sep;
+      node->children[child + 1] = std::move(grand_child);
+      ++node->count;
+    }
+  }
+  if (node->count >= kFanout) {
+    *new_child = Split(node, separator);
+  }
+}
+
+const BTreeIndex::Node* BTreeIndex::LeftmostLeafAtLeast(
+    const Entry& lo) const {
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    size_t child = node->count;
+    for (size_t i = 0; i < node->count; ++i) {
+      if (Compare(lo, node->entries[i]) < 0) {
+        child = i;
+        break;
+      }
+    }
+    node = node->children[child].get();
+  }
+  return node;
+}
+
+void BTreeIndex::Range(const int64_t* lo, const int64_t* hi,
+                       std::vector<Rid>* out) const {
+  Entry lo_e;
+  lo_e.key.fill(0);
+  std::memcpy(lo_e.key.data(), lo, key_len_ * sizeof(int64_t));
+  lo_e.seq = 0;
+  Entry hi_e;
+  hi_e.key.fill(0);
+  std::memcpy(hi_e.key.data(), hi, key_len_ * sizeof(int64_t));
+  hi_e.seq = UINT64_MAX;
+  const Node* leaf = LeftmostLeafAtLeast(lo_e);
+  while (leaf != nullptr) {
+    for (size_t i = 0; i < leaf->count; ++i) {
+      const Entry& e = leaf->entries[i];
+      if (Compare(e, lo_e) < 0) continue;
+      if (Compare(e, hi_e) > 0) return;
+      out->push_back(e.rid);
+    }
+    leaf = leaf->next;
+  }
+}
+
+namespace {
+
+void PutU64(std::string* s, uint64_t v) {
+  s->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool GetU64(const std::string& s, size_t* off, uint64_t* v) {
+  if (*off + sizeof(*v) > s.size()) return false;
+  std::memcpy(v, s.data() + *off, sizeof(*v));
+  *off += sizeof(*v);
+  return true;
+}
+
+}  // namespace
+
+std::string BTreeIndex::Serialize() const {
+  std::string out;
+  out.reserve(32 + size_ * (key_len_ + 3) * sizeof(uint64_t));
+  PutU64(&out, key_len_);
+  PutU64(&out, size_);
+  PutU64(&out, next_seq_);
+  // Walk the leaf chain from the global minimum.
+  Entry lo;
+  lo.key.fill(INT64_MIN);
+  lo.seq = 0;
+  for (const Node* leaf = LeftmostLeafAtLeast(lo); leaf != nullptr;
+       leaf = leaf->next) {
+    for (size_t i = 0; i < leaf->count; ++i) {
+      const Entry& e = leaf->entries[i];
+      for (size_t k = 0; k < key_len_; ++k) {
+        PutU64(&out, static_cast<uint64_t>(e.key[k]));
+      }
+      PutU64(&out, e.seq);
+      PutU64(&out, e.rid.partition);
+      PutU64(&out, e.rid.ordinal);
+    }
+  }
+  return out;
+}
+
+Result<std::unique_ptr<BTreeIndex>> BTreeIndex::Deserialize(
+    const std::string& bytes) {
+  size_t off = 0;
+  uint64_t key_len = 0, count = 0, next_seq = 0;
+  if (!GetU64(bytes, &off, &key_len) || !GetU64(bytes, &off, &count) ||
+      !GetU64(bytes, &off, &next_seq) || key_len == 0 ||
+      key_len > kMaxKeyColumns) {
+    return Status::InvalidArgument("corrupt index image (header)");
+  }
+  auto tree = std::make_unique<BTreeIndex>(key_len);
+  // Entries arrive in sorted order; inserting in order keeps the
+  // build O(n log n) with purely rightmost splits. next_seq is
+  // restored afterwards so future inserts keep strictly larger
+  // tiebreakers than every serialized entry.
+  for (uint64_t i = 0; i < count; ++i) {
+    int64_t key[kMaxKeyColumns] = {0, 0};
+    uint64_t seq = 0, part = 0, ord = 0;
+    for (uint64_t k = 0; k < key_len; ++k) {
+      uint64_t raw = 0;
+      if (!GetU64(bytes, &off, &raw)) {
+        return Status::InvalidArgument("corrupt index image (key)");
+      }
+      key[k] = static_cast<int64_t>(raw);
+    }
+    if (!GetU64(bytes, &off, &seq) || !GetU64(bytes, &off, &part) ||
+        !GetU64(bytes, &off, &ord)) {
+      return Status::InvalidArgument("corrupt index image (entry)");
+    }
+    tree->next_seq_ = seq;  // Insert assigns next_seq_++ == seq
+    tree->Insert(key, Rid{static_cast<uint32_t>(part), ord});
+  }
+  tree->next_seq_ = next_seq;
+  return tree;
+}
+
+}  // namespace radb::storage

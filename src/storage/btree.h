@@ -1,0 +1,106 @@
+#ifndef RADB_STORAGE_BTREE_H_
+#define RADB_STORAGE_BTREE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace radb::storage {
+
+/// Logical row address inside a stored table: the partition plus the
+/// row's stable ordinal within that partition (segments seal in
+/// insertion order, so an ordinal never moves once assigned; only
+/// RepartitionByHash invalidates rids, and that rebuilds every index).
+struct Rid {
+  uint32_t partition = 0;
+  uint64_t ordinal = 0;
+
+  bool operator==(const Rid& o) const {
+    return partition == o.partition && ordinal == o.ordinal;
+  }
+};
+
+/// B+ tree over composite INTEGER keys (up to two columns — the tile
+/// coordinate pattern `(tileRow, tileCol)`), mapping keys to Rids.
+/// Duplicate user keys are made unique by an insertion-sequence
+/// tiebreaker, so equal-key matches replay in insertion order — the
+/// same order a full scan would surface them within a partition walk.
+///
+/// The tree is the runtime structure; its checkpoint image is the
+/// ordered leaf sequence (Serialize), reloaded with a bottom-up bulk
+/// build (Deserialize). There is no Delete: this engine has no SQL
+/// DELETE, DROP TABLE drops whole indexes, and repartitioning
+/// rebuilds them.
+///
+/// Concurrency: reads are lock-free against other reads; mutation
+/// happens only under the service's exclusive catalog latch, matching
+/// every other table structure.
+class BTreeIndex {
+ public:
+  static constexpr size_t kMaxKeyColumns = 2;
+  static constexpr size_t kFanout = 64;
+
+  explicit BTreeIndex(size_t key_len);
+  ~BTreeIndex();
+
+  BTreeIndex(const BTreeIndex&) = delete;
+  BTreeIndex& operator=(const BTreeIndex&) = delete;
+
+  size_t key_len() const { return key_len_; }
+  size_t size() const { return size_; }
+  /// Approximate resident bytes (keys + rids + node overhead), the
+  /// buffer-pool charge for a loaded index.
+  size_t byte_size() const;
+
+  /// Inserts `key` (key_len ints) -> rid, assigning the next
+  /// insertion-sequence tiebreaker.
+  void Insert(const int64_t* key, Rid rid);
+
+  /// Appends every rid whose key lies in [lo, hi] (inclusive, both
+  /// full key_len arrays; use INT64_MIN/MAX to leave an end open) in
+  /// (key, insertion-seq) order.
+  void Range(const int64_t* lo, const int64_t* hi,
+             std::vector<Rid>* out) const;
+
+  /// Point lookup: Range with lo == hi.
+  void Lookup(const int64_t* key, std::vector<Rid>* out) const {
+    Range(key, key, out);
+  }
+
+  /// Checkpoint image: key_len, entry count, then the ordered
+  /// (key, seq, rid) tuples from the leaf chain.
+  std::string Serialize() const;
+  /// Bulk-loads a tree from a Serialize image (bottom-up build).
+  static Result<std::unique_ptr<BTreeIndex>> Deserialize(
+      const std::string& bytes);
+
+ private:
+  struct Entry {
+    std::array<int64_t, kMaxKeyColumns> key;
+    uint64_t seq;
+    Rid rid;
+  };
+  struct Node;
+
+  int Compare(const Entry& a, const Entry& b) const;
+  /// Splits `node` (which just overflowed) and returns the new right
+  /// sibling plus the separator entry to push into the parent.
+  std::unique_ptr<Node> Split(Node* node, Entry* separator);
+  void InsertRec(Node* node, const Entry& e, std::unique_ptr<Node>* new_child,
+                 Entry* separator);
+  const Node* LeftmostLeafAtLeast(const Entry& lo) const;
+
+  size_t key_len_;
+  uint64_t next_seq_ = 0;
+  size_t size_ = 0;
+  size_t node_count_ = 0;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace radb::storage
+
+#endif  // RADB_STORAGE_BTREE_H_

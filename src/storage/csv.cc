@@ -200,7 +200,8 @@ Status WriteCsvFile(const Table& table, const std::string& path) {
   }
   os << Join(header, ",") << "\n";
   for (size_t p = 0; p < table.num_partitions(); ++p) {
-    for (const Row& row : table.partition(p)) {
+    RADB_ASSIGN_OR_RETURN(RowSet part_rows, table.GatherPartition(p));
+    for (const Row& row : part_rows) {
       std::vector<std::string> fields;
       fields.reserve(row.size());
       for (const Value& v : row) fields.push_back(EncodeValue(v));

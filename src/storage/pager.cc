@@ -1,0 +1,412 @@
+#include "storage/pager.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "mem/spill_file.h"
+
+namespace radb::storage {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'A', 'D', 'B', 'P', 'A', 'G', '1'};
+constexpr uint32_t kFormatVersion = 1;
+
+// Slotted-page header: u16 nslots, u16 free_off, u16 live, u16 flags.
+constexpr size_t kPageHeaderSize = 8;
+constexpr size_t kSlotSize = 8;  // u32 offset, u32 length (0 = freed)
+// Overflow-page header: u32 next_page, u32 used.
+constexpr size_t kOverflowHeaderSize = 8;
+// Payload tag byte values.
+constexpr char kTagInline = 0;
+constexpr char kTagOverflow = 1;
+// Overflow pointer payload: tag + u32 first_page + u64 total_len.
+constexpr size_t kOverflowPtrLen = 1 + 4 + 8;
+
+void PutU16(char* p, uint16_t v) { std::memcpy(p, &v, sizeof(v)); }
+void PutU32(char* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+void PutU64(char* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+uint16_t GetU16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+uint64_t GetU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+Status IoError(const std::string& what, const std::string& path) {
+  return Status::ExecutionError(what + " " + path + ": " +
+                                std::strerror(errno));
+}
+
+Status PReadFull(int fd, char* buf, size_t len, off_t off,
+                 const std::string& path) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pread(fd, buf + done, len - done,
+                              off + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError("page read failed in", path);
+    }
+    if (n == 0) {
+      return Status::Internal("page file truncated: " + path);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status PWriteFull(int fd, const char* buf, size_t len, off_t off,
+                  const std::string& path) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pwrite(fd, buf + done, len - done,
+                               off + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError("page write failed in", path);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+PageFile::~PageFile() { Close(); }
+
+Status PageFile::Open(const std::string& path, uint32_t page_size) {
+  if (is_open()) return Status::OK();
+  if (page_size < kMinPageSize || (page_size & (page_size - 1)) != 0) {
+    return Status::InvalidArgument(
+        "page_size must be a power of two >= " +
+        std::to_string(kMinPageSize) + ", got " + std::to_string(page_size));
+  }
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return IoError("cannot open page file", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return IoError("cannot stat page file", path);
+  }
+  fd_ = fd;
+  path_ = path;
+  page_size_ = page_size;
+  if (st.st_size == 0) {
+    // Fresh file: lay down the magic page.
+    std::string magic(page_size_, '\0');
+    std::memcpy(magic.data(), kMagic, sizeof(kMagic));
+    PutU32(magic.data() + 8, page_size_);
+    PutU32(magic.data() + 12, kFormatVersion);
+    Status s = PWriteFull(fd_, magic.data(), magic.size(), 0, path_);
+    if (s.ok()) s = Sync();
+    if (!s.ok()) {
+      Close();
+      return s;
+    }
+    page_count_ = 1;
+  } else {
+    std::string magic(page_size_, '\0');
+    Status s = PReadFull(fd_, magic.data(), magic.size(), 0, path_);
+    if (!s.ok()) {
+      Close();
+      return Status::Internal("not a radb page file (short magic page): " +
+                              path);
+    }
+    if (std::memcmp(magic.data(), kMagic, sizeof(kMagic)) != 0) {
+      Close();
+      return Status::Internal("not a radb page file (bad magic): " + path);
+    }
+    if (GetU32(magic.data() + 8) != page_size_) {
+      const uint32_t on_disk = GetU32(magic.data() + 8);
+      Close();
+      return Status::InvalidArgument(
+          "page file " + path + " was created with page_size " +
+          std::to_string(on_disk) + ", cannot open with " +
+          std::to_string(page_size));
+    }
+    page_count_ = std::max<uint64_t>(
+        1, static_cast<uint64_t>(st.st_size) / page_size_);
+  }
+  return Status::OK();
+}
+
+void PageFile::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  path_.clear();
+  page_count_ = 1;
+  free_.clear();
+  pending_free_.clear();
+  fill_page_ = 0;
+}
+
+PageFile::Meta PageFile::SnapshotMeta() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Meta m;
+  m.page_count = page_count_;
+  m.free_pages = free_;
+  // Pages freed since the last snapshot become genuinely free exactly
+  // when the snapshot holding this Meta commits, so they are free in
+  // its eyes.
+  m.free_pages.insert(m.free_pages.end(), pending_free_.begin(),
+                      pending_free_.end());
+  return m;
+}
+
+Status PageFile::RestoreMeta(const Meta& meta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::Internal("page file not open: " + path_);
+  page_count_ = std::max<uint64_t>(1, meta.page_count);
+  free_ = meta.free_pages;
+  pending_free_.clear();
+  fill_page_ = 0;
+  // Discard any pages appended after the snapshot was taken (a torn
+  // checkpoint, or writes the snapshot never referenced).
+  if (::ftruncate(fd_, static_cast<off_t>(page_count_ * page_size_)) != 0) {
+    return IoError("cannot truncate page file", path_);
+  }
+  return Status::OK();
+}
+
+void PageFile::CommitFrees() {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.insert(free_.end(), pending_free_.begin(), pending_free_.end());
+  pending_free_.clear();
+}
+
+uint64_t PageFile::page_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return page_count_;
+}
+
+uint64_t PageFile::free_page_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_.size() + pending_free_.size();
+}
+
+uint32_t PageFile::AllocatePageLocked() {
+  if (!free_.empty()) {
+    const uint32_t page = free_.back();
+    free_.pop_back();
+    return page;
+  }
+  return static_cast<uint32_t>(page_count_++);
+}
+
+void PageFile::FreePageLocked(uint32_t page) {
+  pending_free_.push_back(page);
+  if (page == fill_page_) fill_page_ = 0;
+}
+
+Status PageFile::ReadPageRaw(uint32_t page, std::string* buf) const {
+  if (fd_ < 0) return Status::Internal("page file not open: " + path_);
+  buf->resize(page_size_);
+  return PReadFull(fd_, buf->data(), page_size_,
+                   static_cast<off_t>(page) * page_size_, path_);
+}
+
+Status PageFile::WritePage(uint32_t page, const char* data) {
+  if (fd_ < 0) return Status::Internal("page file not open: " + path_);
+  return PWriteFull(fd_, data, page_size_,
+                    static_cast<off_t>(page) * page_size_, path_);
+}
+
+Result<RecordId> PageFile::AppendRecord(std::string_view data) {
+  // Records that cannot fit inline even in an empty slotted page go to
+  // an overflow chain with a small pointer slot.
+  const size_t max_inline =
+      page_size_ - kPageHeaderSize - kSlotSize - 1 /* tag */;
+  std::string payload;
+  if (data.size() <= max_inline) {
+    payload.reserve(data.size() + 1);
+    payload.push_back(kTagInline);
+    payload.append(data);
+  } else {
+    // Build the overflow chain first: allocate all pages, then write
+    // each chunk with its next-pointer.
+    const size_t chunk = page_size_ - kOverflowHeaderSize;
+    const size_t npages = (data.size() + chunk - 1) / chunk;
+    std::vector<uint32_t> pages(npages);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t i = 0; i < npages; ++i) pages[i] = AllocatePageLocked();
+    }
+    std::string buf(page_size_, '\0');
+    for (size_t i = 0; i < npages; ++i) {
+      const size_t off = i * chunk;
+      const size_t used = std::min(chunk, data.size() - off);
+      PutU32(buf.data(), i + 1 < npages ? pages[i + 1] : 0);
+      PutU32(buf.data() + 4, static_cast<uint32_t>(used));
+      std::memcpy(buf.data() + kOverflowHeaderSize, data.data() + off, used);
+      if (used < chunk) {
+        std::memset(buf.data() + kOverflowHeaderSize + used, 0, chunk - used);
+      }
+      RADB_RETURN_NOT_OK(WritePage(pages[i], buf.data()));
+    }
+    payload.resize(kOverflowPtrLen);
+    payload[0] = kTagOverflow;
+    PutU32(payload.data() + 1, pages[0]);
+    PutU64(payload.data() + 5, data.size());
+  }
+
+  // Place the payload in the current fill page, or start a new one.
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string page_buf;
+  uint32_t page = fill_page_;
+  bool fresh = false;
+  if (page != 0) {
+    RADB_RETURN_NOT_OK(ReadPageRaw(page, &page_buf));
+    const uint16_t nslots = GetU16(page_buf.data());
+    const uint16_t free_off = GetU16(page_buf.data() + 2);
+    const size_t used = free_off + kSlotSize * nslots;
+    if (nslots == UINT16_MAX ||
+        used + payload.size() + kSlotSize > page_size_) {
+      page = 0;  // full — start a new fill page
+    }
+  }
+  if (page == 0) {
+    page = AllocatePageLocked();
+    fill_page_ = page;
+    fresh = true;
+    page_buf.assign(page_size_, '\0');
+    PutU16(page_buf.data() + 2, static_cast<uint16_t>(kPageHeaderSize));
+  }
+  uint16_t nslots = GetU16(page_buf.data());
+  uint16_t free_off = GetU16(page_buf.data() + 2);
+  uint16_t live = GetU16(page_buf.data() + 4);
+  std::memcpy(page_buf.data() + free_off, payload.data(), payload.size());
+  char* slot = page_buf.data() + page_size_ - kSlotSize * (nslots + 1);
+  PutU32(slot, free_off);
+  PutU32(slot + 4, static_cast<uint32_t>(payload.size()));
+  RecordId rid;
+  rid.page = page;
+  rid.slot = nslots;
+  PutU16(page_buf.data(), static_cast<uint16_t>(nslots + 1));
+  PutU16(page_buf.data() + 2,
+         static_cast<uint16_t>(free_off + payload.size()));
+  PutU16(page_buf.data() + 4, static_cast<uint16_t>(live + 1));
+  Status s = WritePage(page, page_buf.data());
+  if (!s.ok()) {
+    if (fresh) FreePageLocked(page);
+    return s;
+  }
+  return rid;
+}
+
+Result<std::string> PageFile::ReadRecord(RecordId rid) const {
+  std::string page_buf;
+  RADB_RETURN_NOT_OK(ReadPageRaw(rid.page, &page_buf));
+  const uint16_t nslots = GetU16(page_buf.data());
+  if (rid.slot >= nslots) {
+    return Status::Internal("record slot out of range in " + path_);
+  }
+  const char* slot =
+      page_buf.data() + page_size_ - kSlotSize * (rid.slot + 1);
+  const uint32_t off = GetU32(slot);
+  const uint32_t len = GetU32(slot + 4);
+  if (len == 0) {
+    return Status::Internal("record was freed in " + path_);
+  }
+  if (off + len > page_size_ || len < 1) {
+    return Status::Internal("corrupt record slot in " + path_);
+  }
+  const char tag = page_buf[off];
+  if (tag == kTagInline) {
+    return std::string(page_buf.data() + off + 1, len - 1);
+  }
+  if (tag != kTagOverflow || len != kOverflowPtrLen) {
+    return Status::Internal("corrupt record tag in " + path_);
+  }
+  uint32_t next = GetU32(page_buf.data() + off + 1);
+  const uint64_t total = GetU64(page_buf.data() + off + 5);
+  std::string out;
+  out.reserve(total);
+  std::string chain_buf;
+  while (next != 0) {
+    RADB_RETURN_NOT_OK(ReadPageRaw(next, &chain_buf));
+    next = GetU32(chain_buf.data());
+    const uint32_t used = GetU32(chain_buf.data() + 4);
+    if (used > page_size_ - kOverflowHeaderSize ||
+        out.size() + used > total) {
+      return Status::Internal("corrupt overflow chain in " + path_);
+    }
+    out.append(chain_buf.data() + kOverflowHeaderSize, used);
+  }
+  if (out.size() != total) {
+    return Status::Internal("short overflow chain in " + path_);
+  }
+  return out;
+}
+
+Status PageFile::FreeRecord(RecordId rid) {
+  std::string page_buf;
+  RADB_RETURN_NOT_OK(ReadPageRaw(rid.page, &page_buf));
+  const uint16_t nslots = GetU16(page_buf.data());
+  if (rid.slot >= nslots) {
+    return Status::Internal("record slot out of range in " + path_);
+  }
+  char* slot = page_buf.data() + page_size_ - kSlotSize * (rid.slot + 1);
+  const uint32_t off = GetU32(slot);
+  const uint32_t len = GetU32(slot + 4);
+  if (len == 0) return Status::OK();  // already freed
+  if (off + len > page_size_) {
+    return Status::Internal("corrupt record slot in " + path_);
+  }
+  // Free the overflow chain, if any.
+  if (page_buf[off] == kTagOverflow && len == kOverflowPtrLen) {
+    uint32_t next = GetU32(page_buf.data() + off + 1);
+    std::string chain_buf;
+    while (next != 0) {
+      const uint32_t cur = next;
+      RADB_RETURN_NOT_OK(ReadPageRaw(cur, &chain_buf));
+      next = GetU32(chain_buf.data());
+      std::lock_guard<std::mutex> lock(mu_);
+      FreePageLocked(cur);
+    }
+  }
+  PutU32(slot, 0);
+  PutU32(slot + 4, 0);
+  const uint16_t live = GetU16(page_buf.data() + 4);
+  PutU16(page_buf.data() + 4, static_cast<uint16_t>(live > 0 ? live - 1 : 0));
+  RADB_RETURN_NOT_OK(WritePage(rid.page, page_buf.data()));
+  if (live <= 1) {
+    // Last live record gone: reclaim the whole page. Slot space lost
+    // to dead pointer slots comes back here rather than per-slot.
+    std::lock_guard<std::mutex> lock(mu_);
+    FreePageLocked(rid.page);
+  }
+  return Status::OK();
+}
+
+Status PageFile::Sync() {
+  if (fd_ < 0) return Status::Internal("page file not open: " + path_);
+  if (::fsync(fd_) != 0) return IoError("fsync failed on", path_);
+  return Status::OK();
+}
+
+size_t SweepOrphanedStoreFiles(const std::string& dir,
+                               uint64_t max_age_seconds) {
+  // Store temp files ("radb-tmp-cat-p<pid>-…", "radb-tmp-wal-p<pid>-…")
+  // embed their owner pid the same way spill files do, so one shared
+  // predicate covers both (a crashed checkpoint leaves nothing behind).
+  return mem::SweepOrphanedFiles(dir, "radb-tmp-", max_age_seconds);
+}
+
+}  // namespace radb::storage

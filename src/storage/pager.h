@@ -1,0 +1,139 @@
+#ifndef RADB_STORAGE_PAGER_H_
+#define RADB_STORAGE_PAGER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace radb::storage {
+
+/// Address of a heap record inside a PageFile: the slotted page id and
+/// the slot within it. Stable for the record's whole life — records are
+/// never moved, only freed (and their pages reclaimed wholesale).
+struct RecordId {
+  uint32_t page = 0;
+  uint16_t slot = 0;
+
+  bool operator==(const RecordId& o) const {
+    return page == o.page && slot == o.slot;
+  }
+};
+
+/// One fixed-page-size file holding heap records (serialized table
+/// segments and index images). Layout:
+///
+///   page 0            magic page: "RADBPAG1", page_size, format version
+///   pages 1..n-1      slotted data pages or overflow pages
+///
+/// A slotted page has an 8-byte header {nslots, free_off, live, flags},
+/// payload growing up from the header and an 8-byte slot directory
+/// {offset, length} growing down from the page end. A record payload
+/// starts with a tag byte: 0 = inline bytes follow; 1 = overflow
+/// pointer {first_page u32, total_len u64} to a chain of overflow
+/// pages {next u32, used u32, bytes}. Records larger than a page
+/// (typical table segments) become one small pointer slot plus a chain.
+///
+/// Free-space metadata ({page_count, free page list}) lives in memory
+/// only; the authoritative copy is written into the store's catalog
+/// snapshot at checkpoint. Recovery restores it via RestoreMeta() and
+/// truncates the file back to the snapshot's page_count, which undoes
+/// any partially written post-snapshot appends. Pages freed between
+/// two snapshots sit in a pending list — still referenced by the last
+/// committed snapshot, so not reusable — and only join the real free
+/// list when CommitFrees() is called after the next snapshot renames
+/// into place.
+///
+/// Concurrency: ReadPage/ReadRecord use pread and may run concurrently
+/// with each other and with checkpoint writes (a checkpoint only ever
+/// writes pages the committed snapshot does not reference, so readers
+/// and the writer never touch the same page). Mutating calls are
+/// serialized by the caller (checkpoint runs under the service's
+/// exclusive latch); internal metadata is mutex-guarded regardless.
+class PageFile {
+ public:
+  static constexpr uint32_t kDefaultPageSize = 8192;
+  static constexpr uint32_t kMinPageSize = 512;
+
+  PageFile() = default;
+  ~PageFile();
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Opens (creating if absent) the page file. A fresh file gets its
+  /// magic page written and fsynced; an existing file's magic page is
+  /// validated against `page_size`.
+  Status Open(const std::string& path, uint32_t page_size);
+  void Close();
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+  uint32_t page_size() const { return page_size_; }
+
+  /// Free-space metadata snapshot/restore (see class comment).
+  struct Meta {
+    uint64_t page_count = 1;
+    std::vector<uint32_t> free_pages;
+  };
+  /// Current metadata as of this moment, with pages freed since the
+  /// last CommitFrees() included in free_pages (they become genuinely
+  /// free exactly when the snapshot holding this Meta commits).
+  Meta SnapshotMeta() const;
+  /// Installs snapshot metadata and truncates the file back to
+  /// page_count pages, discarding uncommitted appends.
+  Status RestoreMeta(const Meta& meta);
+  /// Promotes pending frees to the allocatable free list. Call only
+  /// after the snapshot that recorded them has durably committed.
+  void CommitFrees();
+
+  uint64_t page_count() const;
+  uint64_t free_page_count() const;
+
+  // -- Record layer -------------------------------------------------
+
+  /// Appends a record, spilling to an overflow chain when it does not
+  /// fit inline in a slotted page.
+  Result<RecordId> AppendRecord(std::string_view data);
+  Result<std::string> ReadRecord(RecordId rid) const;
+  /// Frees a record (and its overflow chain). Pages whose last live
+  /// record is freed go to the pending-free list.
+  Status FreeRecord(RecordId rid);
+
+  /// fsyncs file contents.
+  Status Sync();
+
+ private:
+  Status ReadPageRaw(uint32_t page, std::string* buf) const;
+  Status WritePage(uint32_t page, const char* data);
+  /// Allocates a page id (free list first, else grows the file).
+  uint32_t AllocatePageLocked();
+  void FreePageLocked(uint32_t page);
+
+  int fd_ = -1;
+  std::string path_;
+  uint32_t page_size_ = kDefaultPageSize;
+
+  mutable std::mutex mu_;
+  uint64_t page_count_ = 1;
+  std::vector<uint32_t> free_;
+  std::vector<uint32_t> pending_free_;
+  /// Current slotted page receiving small records/pointer slots;
+  /// 0 means none yet.
+  uint32_t fill_page_ = 0;
+};
+
+/// Shared directory-hygiene sweep used by both the spill subsystem and
+/// the persistent store: removes files under `dir` whose name starts
+/// with `prefix` and whose embedded "-p<pid>-" owner process is dead,
+/// falling back to an mtime age check when no pid marker parses.
+/// Declared here for storage callers; implemented next to the spill
+/// sweeper so both share one predicate (see mem/spill_file.h).
+size_t SweepOrphanedStoreFiles(const std::string& dir,
+                               uint64_t max_age_seconds);
+
+}  // namespace radb::storage
+
+#endif  // RADB_STORAGE_PAGER_H_

@@ -24,6 +24,8 @@ enum class Tag : uint8_t {
   kMatrix = 7,
 };
 
+}  // namespace
+
 void WriteU64(std::ostream& os, uint64_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
@@ -98,6 +100,8 @@ Result<DataType> ReadType(std::istream& is) {
   }
   return Status::InvalidArgument("corrupt table file (type kind)");
 }
+
+namespace {
 
 void WriteValue(std::ostream& os, const Value& v) {
   switch (v.kind()) {
@@ -250,7 +254,8 @@ Status WriteTableFile(const Table& table, const std::string& path) {
   }
   WriteU64(os, table.num_rows());
   for (size_t p = 0; p < table.num_partitions(); ++p) {
-    for (const Row& row : table.partition(p)) {
+    RADB_ASSIGN_OR_RETURN(RowSet rows, table.GatherPartition(p));
+    for (const Row& row : rows) {
       for (const Value& v : row) WriteValue(os, v);
     }
   }

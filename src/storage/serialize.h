@@ -10,6 +10,23 @@
 
 namespace radb {
 
+/// Primitive codecs shared by the table-file format, the persistent
+/// store's catalog snapshot, and its write-ahead log. Fixed-width
+/// little-endian integers/doubles and length-prefixed strings; every
+/// Read* reports truncation as InvalidArgument.
+void WriteU64(std::ostream& os, uint64_t v);
+void WriteI64(std::ostream& os, int64_t v);
+void WriteF64(std::ostream& os, double v);
+void WriteString(std::ostream& os, const std::string& s);
+Result<uint64_t> ReadU64(std::istream& is);
+Result<int64_t> ReadI64(std::istream& is);
+Result<double> ReadF64(std::istream& is);
+Result<std::string> ReadString(std::istream& is);
+
+/// Column-type codec (kind + known dims).
+void WriteType(std::ostream& os, const DataType& t);
+Result<DataType> ReadType(std::istream& is);
+
 /// Value-level binary codec (the format table files and spill runs
 /// share): one tag byte then the payload; LA payloads as raw
 /// little-endian doubles. The bytes written for a value are exactly

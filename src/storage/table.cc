@@ -1,6 +1,10 @@
 #include "storage/table.h"
 
+#include <sstream>
+#include <utility>
+
 #include "obs/metrics_registry.h"
+#include "storage/serialize.h"
 
 namespace radb {
 
@@ -13,19 +17,20 @@ Table::Table(std::string name, Schema schema, size_t num_partitions)
     : id_(g_next_table_id.fetch_add(1, std::memory_order_relaxed)),
       name_(std::move(name)),
       schema_(std::move(schema)),
-      partitions_(num_partitions == 0 ? 1 : num_partitions),
+      parts_(num_partitions == 0 ? 1 : num_partitions),
       kind_pure_(schema_.size(), 1) {}
 
 size_t Table::num_rows() const {
   size_t n = 0;
-  for (const RowSet& p : partitions_) n += p.size();
+  for (const PartitionData& p : parts_) n += p.tail_base + p.tail.size();
   return n;
 }
 
 size_t Table::byte_size() const {
   size_t n = 0;
-  for (const RowSet& p : partitions_) {
-    for (const Row& r : p) n += RowByteSize(r);
+  for (const PartitionData& p : parts_) {
+    for (const Segment& s : p.sealed) n += s.payload_bytes;
+    n += p.tail_bytes;
   }
   return n;
 }
@@ -54,6 +59,68 @@ Status Table::ValidateRow(const Row& row) const {
   return Status::OK();
 }
 
+void Table::SealTail(size_t partition) {
+  PartitionData& p = parts_[partition];
+  if (p.tail.empty()) return;
+  Segment s;
+  s.num_rows = p.tail.size();
+  s.payload_bytes = p.tail_bytes;
+  s.ordinal_base = p.tail_base;
+  s.resident = std::make_shared<const RowSet>(std::move(p.tail));
+  p.tail = RowSet();
+  p.tail_base += s.num_rows;
+  p.tail_bytes = 0;
+  if (pool_ != nullptr && file_ != nullptr) {
+    // Sealed-but-not-checkpointed rows are dirty weight in the pool:
+    // unevictable until CheckpointSegments writes them out.
+    pool_->Charge(s.payload_bytes);
+  }
+  p.sealed.push_back(std::move(s));
+}
+
+void Table::MaybeSealTail(size_t partition) {
+  if (parts_[partition].tail_bytes >= segment_bytes_) SealTail(partition);
+}
+
+void Table::PlaceRow(Row row, size_t partition) {
+  PartitionData& p = parts_[partition];
+  p.tail_bytes += RowByteSize(row);
+  p.tail.push_back(std::move(row));
+  MaybeSealTail(partition);
+}
+
+Status Table::InsertIntoIndex(IndexDef& idx, const Row& row,
+                              storage::Rid rid) {
+  if (idx.degraded) return Status::OK();
+  int64_t key[storage::BTreeIndex::kMaxKeyColumns] = {0, 0};
+  for (size_t i = 0; i < idx.columns.size(); ++i) {
+    const Value& v = row[idx.columns[i]];
+    // NULL keys are absent from the tree: every predicate the
+    // optimizer turns into an index probe is false on NULL.
+    if (v.is_null()) return Status::OK();
+    if (v.kind() != TypeKind::kInteger) {
+      // A non-integer runtime value slipped into an indexed column
+      // (numeric interchange allows it): the tree can no longer
+      // answer range predicates faithfully, so retire it from
+      // planning while the table itself stays correct.
+      idx.degraded = true;
+      idx.dirty = true;
+      return Status::OK();
+    }
+    key[i] = v.int_value();
+  }
+  idx.tree->Insert(key, rid);
+  idx.dirty = true;
+  return Status::OK();
+}
+
+Status Table::IndexRow(const Row& row, storage::Rid rid) {
+  for (auto& idx : indexes_) {
+    RADB_RETURN_NOT_OK(InsertIntoIndex(*idx, row, rid));
+  }
+  return Status::OK();
+}
+
 Status Table::Insert(Row row) {
   RADB_RETURN_NOT_OK(ValidateRow(row));
   for (size_t i = 0; i < row.size(); ++i) {
@@ -62,7 +129,12 @@ Status Table::Insert(Row row) {
       kind_pure_[i] = 0;
     }
   }
-  partitions_[next_rr_ % partitions_.size()].push_back(std::move(row));
+  const size_t p = next_rr_ % parts_.size();
+  storage::Rid rid;
+  rid.partition = static_cast<uint32_t>(p);
+  rid.ordinal = parts_[p].tail_base + parts_[p].tail.size();
+  RADB_RETURN_NOT_OK(IndexRow(row, rid));
+  PlaceRow(std::move(row), p);
   ++next_rr_;
   BumpVersion();
   return Status::OK();
@@ -83,16 +155,27 @@ Status Table::RepartitionByHash(size_t column) {
   if (column >= schema_.size()) {
     return Status::InvalidArgument("hash column out of range");
   }
-  std::vector<RowSet> next(partitions_.size());
-  for (RowSet& p : partitions_) {
-    for (Row& r : p) {
-      const size_t h = r[column].Hash();
-      next[h % next.size()].push_back(std::move(r));
+  RADB_ASSIGN_OR_RETURN(RowSet all, Gather());
+  // Every rid is about to change: drop cached segments, schedule the
+  // old on-disk records for reclamation, and rebuild from scratch.
+  if (pool_ != nullptr) pool_->EraseTable(id_);
+  for (PartitionData& p : parts_) {
+    for (Segment& s : p.sealed) {
+      if (s.on_disk) dead_records_.push_back(s.record);
+      if (!s.on_disk && pool_ != nullptr && file_ != nullptr) {
+        pool_->Discharge(s.payload_bytes);
+      }
     }
   }
-  partitions_ = std::move(next);
+  const size_t n_parts = parts_.size();
+  parts_.assign(n_parts, PartitionData());
+  for (Row& r : all) {
+    const size_t h = r[column].Hash();
+    PlaceRow(std::move(r), h % n_parts);
+  }
   partitioning_.kind = Partitioning::Kind::kHash;
   partitioning_.hash_column = column;
+  RADB_RETURN_NOT_OK(RebuildIndexes());
   BumpVersion();
   if (obs::MetricsRegistry* reg = obs::GlobalMetrics()) {
     reg->Add("storage.rows_repartitioned", num_rows());
@@ -100,20 +183,218 @@ Status Table::RepartitionByHash(size_t column) {
   return Status::OK();
 }
 
-RowSet Table::Gather() const {
+size_t Table::NumSegments(size_t partition) const {
+  const PartitionData& p = parts_[partition];
+  return p.sealed.size() + (p.tail.empty() ? 0 : 1);
+}
+
+Result<Table::SegmentPin> Table::PinSegment(size_t partition,
+                                            size_t segment) const {
+  const PartitionData& p = parts_[partition];
+  SegmentPin pin;
+  if (segment < p.sealed.size()) {
+    const Segment& s = p.sealed[segment];
+    pin.base_ = s.ordinal_base;
+    if (s.resident != nullptr) {
+      pin.owned_ = s.resident;
+      pin.rows_ = pin.owned_.get();
+      return pin;
+    }
+    if (pool_ == nullptr || file_ == nullptr) {
+      return Status::Internal("segment evicted without a store: " + name_);
+    }
+    storage::BufferPool::Key key;
+    key.table = id_;
+    key.partition = static_cast<uint32_t>(partition);
+    key.segment = static_cast<uint32_t>(segment);
+    const storage::RecordId record = s.record;
+    storage::PageFile* file = file_;
+    RADB_ASSIGN_OR_RETURN(
+        storage::BufferPool::Pin pool_pin,
+        pool_->GetOrLoad(
+            key,
+            [file, record]()
+                -> Result<storage::BufferPool::LoadedSegment> {
+              RADB_ASSIGN_OR_RETURN(std::string bytes,
+                                    file->ReadRecord(record));
+              RADB_ASSIGN_OR_RETURN(std::shared_ptr<const RowSet> rows,
+                                    DecodeSegment(bytes));
+              storage::BufferPool::LoadedSegment loaded;
+              loaded.charge = bytes.size();
+              loaded.rows = std::move(rows);
+              return loaded;
+            }));
+    pin.pool_pin_ = std::move(pool_pin);
+    pin.rows_ = &pin.pool_pin_.rows();
+    return pin;
+  }
+  if (segment == p.sealed.size() && !p.tail.empty()) {
+    pin.rows_ = &p.tail;
+    pin.base_ = p.tail_base;
+    return pin;
+  }
+  return Status::Internal("segment index out of range in " + name_);
+}
+
+Result<Table::RowLocation> Table::LocateRow(uint32_t partition,
+                                            uint64_t ordinal) const {
+  if (partition >= parts_.size()) {
+    return Status::Internal("rid partition out of range in " + name_);
+  }
+  const PartitionData& p = parts_[partition];
+  RowLocation loc;
+  if (ordinal >= p.tail_base) {
+    if (ordinal - p.tail_base >= p.tail.size()) {
+      return Status::Internal("rid ordinal out of range in " + name_);
+    }
+    loc.segment = static_cast<uint32_t>(p.sealed.size());
+    loc.offset = static_cast<size_t>(ordinal - p.tail_base);
+    return loc;
+  }
+  // Binary search the sealed segments by ordinal_base.
+  size_t lo = 0, hi = p.sealed.size();
+  while (lo + 1 < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (p.sealed[mid].ordinal_base <= ordinal) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const Segment& s = p.sealed[lo];
+  if (ordinal < s.ordinal_base || ordinal - s.ordinal_base >= s.num_rows) {
+    return Status::Internal("rid ordinal out of range in " + name_);
+  }
+  loc.segment = static_cast<uint32_t>(lo);
+  loc.offset = static_cast<size_t>(ordinal - s.ordinal_base);
+  return loc;
+}
+
+Result<Row> Table::FetchRow(storage::Rid rid) const {
+  RADB_ASSIGN_OR_RETURN(RowLocation loc, LocateRow(rid.partition,
+                                                   rid.ordinal));
+  RADB_ASSIGN_OR_RETURN(SegmentPin pin, PinSegment(rid.partition,
+                                                   loc.segment));
+  return pin.rows()[loc.offset];
+}
+
+Result<RowSet> Table::GatherPartition(size_t partition) const {
+  RowSet out;
+  const size_t nsegs = NumSegments(partition);
+  for (size_t s = 0; s < nsegs; ++s) {
+    RADB_ASSIGN_OR_RETURN(SegmentPin pin, PinSegment(partition, s));
+    out.insert(out.end(), pin.rows().begin(), pin.rows().end());
+  }
+  return out;
+}
+
+Result<RowSet> Table::Gather() const {
   RowSet all;
   all.reserve(num_rows());
-  for (const RowSet& p : partitions_) {
-    for (const Row& r : p) all.push_back(r);
+  for (size_t p = 0; p < parts_.size(); ++p) {
+    RADB_ASSIGN_OR_RETURN(RowSet rows, GatherPartition(p));
+    for (Row& r : rows) all.push_back(std::move(r));
   }
   return all;
 }
 
-void Table::ExtractColumns(size_t partition,
+Status Table::CreateIndex(const std::string& name,
+                          const std::vector<size_t>& columns) {
+  if (FindIndex(name) != nullptr) {
+    return Status::CatalogError("index " + name + " already exists on " +
+                                name_);
+  }
+  if (columns.empty() ||
+      columns.size() > storage::BTreeIndex::kMaxKeyColumns) {
+    return Status::InvalidArgument(
+        "an index needs 1 to " +
+        std::to_string(storage::BTreeIndex::kMaxKeyColumns) + " columns");
+  }
+  for (size_t c : columns) {
+    if (c >= schema_.size()) {
+      return Status::InvalidArgument("index column out of range");
+    }
+    if (schema_.at(c).type.kind() != TypeKind::kInteger) {
+      return Status::InvalidArgument(
+          "index column " + schema_.at(c).name +
+          " must be INTEGER (tile coordinates); got " +
+          schema_.at(c).type.ToString());
+    }
+  }
+  auto idx = std::make_unique<IndexDef>();
+  idx->name = name;
+  idx->columns = columns;
+  idx->tree = std::make_unique<storage::BTreeIndex>(columns.size());
+  // Build from current contents, walking segments in rid order.
+  for (size_t p = 0; p < parts_.size(); ++p) {
+    const size_t nsegs = NumSegments(p);
+    for (size_t s = 0; s < nsegs; ++s) {
+      RADB_ASSIGN_OR_RETURN(SegmentPin pin, PinSegment(p, s));
+      const RowSet& rows = pin.rows();
+      for (size_t r = 0; r < rows.size(); ++r) {
+        storage::Rid rid;
+        rid.partition = static_cast<uint32_t>(p);
+        rid.ordinal = pin.ordinal_base() + r;
+        RADB_RETURN_NOT_OK(InsertIntoIndex(*idx, rows[r], rid));
+      }
+    }
+  }
+  indexes_.push_back(std::move(idx));
+  BumpVersion();
+  return Status::OK();
+}
+
+Status Table::DropIndex(const std::string& name) {
+  for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
+    if ((*it)->name == name) {
+      if ((*it)->on_disk) dead_records_.push_back((*it)->record);
+      indexes_.erase(it);
+      BumpVersion();
+      return Status::OK();
+    }
+  }
+  return Status::CatalogError("index " + name + " does not exist on " +
+                              name_);
+}
+
+IndexDef* Table::FindIndex(const std::string& name) {
+  for (auto& idx : indexes_) {
+    if (idx->name == name) return idx.get();
+  }
+  return nullptr;
+}
+
+Status Table::RebuildIndexes() {
+  for (auto& idx : indexes_) {
+    idx->tree = std::make_unique<storage::BTreeIndex>(idx->columns.size());
+    idx->degraded = false;
+    idx->dirty = true;
+    if (idx->on_disk) {
+      dead_records_.push_back(idx->record);
+      idx->on_disk = false;
+    }
+  }
+  if (indexes_.empty()) return Status::OK();
+  for (size_t p = 0; p < parts_.size(); ++p) {
+    const size_t nsegs = NumSegments(p);
+    for (size_t s = 0; s < nsegs; ++s) {
+      RADB_ASSIGN_OR_RETURN(SegmentPin pin, PinSegment(p, s));
+      const RowSet& rows = pin.rows();
+      for (size_t r = 0; r < rows.size(); ++r) {
+        storage::Rid rid;
+        rid.partition = static_cast<uint32_t>(p);
+        rid.ordinal = pin.ordinal_base() + r;
+        RADB_RETURN_NOT_OK(IndexRow(rows[r], rid));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void Table::ExtractColumns(const RowSet& rows,
                            const std::vector<size_t>& columns,
                            size_t row_begin, size_t row_count,
                            ColumnBatch* out) const {
-  const RowSet& rows = partitions_[partition];
   out->Clear();
   out->num_rows = row_count;
   out->columns.resize(columns.size());
@@ -125,6 +406,163 @@ void Table::ExtractColumns(size_t partition,
       col.AppendValue(rows[row_begin + r][columns[c]]);
     }
   }
+}
+
+// -- Persistence -----------------------------------------------------
+
+void Table::AttachStore(storage::BufferPool* pool, storage::PageFile* file,
+                        size_t segment_bytes) {
+  pool_ = pool;
+  file_ = file;
+  if (segment_bytes > 0) segment_bytes_ = segment_bytes;
+}
+
+std::string Table::EncodeSegment(const RowSet& rows) {
+  std::ostringstream os;
+  const uint64_t n = rows.size();
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const Row& r : rows) WriteRowBinary(os, r);
+  return os.str();
+}
+
+Result<std::shared_ptr<const RowSet>> Table::DecodeSegment(
+    const std::string& bytes) {
+  std::istringstream is(bytes);
+  uint64_t n = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!is.good()) return Status::Internal("corrupt segment header");
+  auto rows = std::make_shared<RowSet>();
+  rows->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    RADB_ASSIGN_OR_RETURN(Row row, ReadRowBinary(is));
+    rows->push_back(std::move(row));
+  }
+  return std::shared_ptr<const RowSet>(std::move(rows));
+}
+
+Result<std::vector<Table::PartitionManifest>> Table::CheckpointSegments() {
+  if (file_ == nullptr) {
+    return Status::Internal("CheckpointSegments on in-memory table " + name_);
+  }
+  // Reclaim records superseded since the last checkpoint (repartition,
+  // dropped/rewritten indexes). The pager parks the pages in its
+  // pending-free list until the snapshot commits.
+  for (const storage::RecordId& rid : dead_records_) {
+    RADB_RETURN_NOT_OK(file_->FreeRecord(rid));
+  }
+  dead_records_.clear();
+  std::vector<PartitionManifest> out(parts_.size());
+  for (size_t p = 0; p < parts_.size(); ++p) {
+    // The tail must be durable too — the WAL resets after a
+    // checkpoint — so seal it regardless of size.
+    SealTail(p);
+    PartitionManifest& pm = out[p];
+    for (size_t si = 0; si < parts_[p].sealed.size(); ++si) {
+      Segment& s = parts_[p].sealed[si];
+      if (!s.on_disk) {
+        const std::string bytes = EncodeSegment(*s.resident);
+        RADB_ASSIGN_OR_RETURN(s.record, file_->AppendRecord(bytes));
+        s.on_disk = true;
+        if (pool_ != nullptr) {
+          // The rows stop being dirty weight and become a clean,
+          // evictable cache entry (primed so the working set stays
+          // warm across a checkpoint).
+          pool_->Discharge(s.payload_bytes);
+          storage::BufferPool::Key key;
+          key.table = id_;
+          key.partition = static_cast<uint32_t>(p);
+          key.segment = static_cast<uint32_t>(si);
+          std::shared_ptr<const RowSet> resident = s.resident;
+          const size_t charge = bytes.size();
+          auto primed = pool_->GetOrLoad(
+              key, [&resident, charge]()
+                       -> Result<storage::BufferPool::LoadedSegment> {
+                storage::BufferPool::LoadedSegment loaded;
+                loaded.rows = resident;
+                loaded.charge = charge;
+                return loaded;
+              });
+          if (!primed.ok()) return primed.status();
+          s.resident.reset();
+        }
+      }
+      SegmentManifest sm;
+      sm.record = s.record;
+      sm.num_rows = s.num_rows;
+      sm.payload_bytes = s.payload_bytes;
+      pm.segments.push_back(sm);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Table::IndexManifest>> Table::CheckpointIndexes() {
+  if (file_ == nullptr) {
+    return Status::Internal("CheckpointIndexes on in-memory table " + name_);
+  }
+  std::vector<IndexManifest> out;
+  for (auto& idx : indexes_) {
+    if (idx->dirty) {
+      if (idx->on_disk) {
+        RADB_RETURN_NOT_OK(file_->FreeRecord(idx->record));
+        idx->on_disk = false;
+      }
+      const std::string blob = idx->tree->Serialize();
+      RADB_ASSIGN_OR_RETURN(idx->record, file_->AppendRecord(blob));
+      idx->on_disk = true;
+      idx->dirty = false;
+    }
+    IndexManifest m;
+    m.name = idx->name;
+    m.columns = idx->columns;
+    m.degraded = idx->degraded;
+    m.record = idx->record;
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+Status Table::RestorePartition(size_t partition,
+                               const PartitionManifest& manifest) {
+  if (partition >= parts_.size()) {
+    return Status::Internal("restore partition out of range in " + name_);
+  }
+  PartitionData& p = parts_[partition];
+  if (!p.sealed.empty() || !p.tail.empty()) {
+    return Status::Internal("restore into non-empty partition of " + name_);
+  }
+  uint64_t base = 0;
+  for (const SegmentManifest& sm : manifest.segments) {
+    Segment s;
+    s.record = sm.record;
+    s.on_disk = true;
+    s.num_rows = sm.num_rows;
+    s.payload_bytes = sm.payload_bytes;
+    s.ordinal_base = base;
+    base += sm.num_rows;
+    p.sealed.push_back(std::move(s));
+  }
+  p.tail_base = base;
+  return Status::OK();
+}
+
+Status Table::RestoreIndex(const IndexManifest& manifest) {
+  if (file_ == nullptr) {
+    return Status::Internal("RestoreIndex on in-memory table " + name_);
+  }
+  RADB_ASSIGN_OR_RETURN(std::string blob, file_->ReadRecord(manifest.record));
+  RADB_ASSIGN_OR_RETURN(std::unique_ptr<storage::BTreeIndex> tree,
+                        storage::BTreeIndex::Deserialize(blob));
+  auto idx = std::make_unique<IndexDef>();
+  idx->name = manifest.name;
+  idx->columns = manifest.columns;
+  idx->tree = std::move(tree);
+  idx->degraded = manifest.degraded;
+  idx->record = manifest.record;
+  idx->on_disk = true;
+  idx->dirty = false;
+  indexes_.push_back(std::move(idx));
+  return Status::OK();
 }
 
 }  // namespace radb

@@ -10,6 +10,9 @@
 #include <vector>
 
 #include "common/result.h"
+#include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
 #include "types/column.h"
 #include "types/schema.h"
 #include "types/value.h"
@@ -34,24 +37,54 @@ struct Partitioning {
   }
 };
 
+/// A secondary B+ tree index over one or two INTEGER columns of a
+/// table (the tile-coordinate pattern), mapping key -> Rid. `degraded`
+/// flips when a non-NULL, non-INTEGER value lands in an indexed
+/// column: the tree can no longer answer range predicates faithfully,
+/// so the optimizer stops using it (the table stays fully correct —
+/// scans never depended on it). NULLs are simply absent from the
+/// tree, which is safe because every predicate the optimizer rewrites
+/// into an index probe is false on NULL.
+struct IndexDef {
+  std::string name;
+  std::vector<size_t> columns;
+  std::unique_ptr<storage::BTreeIndex> tree;
+  bool degraded = false;
+  /// Persistence state (persistent tables only): where the last
+  /// checkpointed image lives, and whether the tree mutated since.
+  storage::RecordId record;
+  bool on_disk = false;
+  bool dirty = true;
+
+  bool usable() const { return !degraded; }
+};
+
 /// A stored base table: schema plus rows horizontally partitioned into
 /// `num_partitions` shards (one per simulated worker).
+///
+/// Within a partition, rows live in insertion order as a sequence of
+/// SEGMENTS — sealed, immutable runs bounded by `segment_bytes` — plus
+/// one open TAIL receiving inserts. A row's stable address is its Rid
+/// (partition, ordinal): ordinals never move once assigned, so B+ tree
+/// entries stay valid across seals and checkpoints; only
+/// RepartitionByHash reassigns them, and that rebuilds every index.
+///
+/// Residency: an in-memory table keeps every segment resident. A table
+/// attached to a persistent store (AttachStore) serves checkpointed
+/// segments through the BufferPool — PinSegment faults them in from
+/// the table's page file on demand — so the table can be far larger
+/// than RAM. Readers hold SegmentPins for exactly the segment they are
+/// walking. Mutation and reads are separated by the service's catalog
+/// latch, as before.
 class Table {
  public:
+  static constexpr size_t kDefaultSegmentBytes = 64 * 1024;
+
   Table(std::string name, Schema schema, size_t num_partitions);
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
-  size_t num_partitions() const { return partitions_.size(); }
-  const RowSet& partition(size_t i) const { return partitions_[i]; }
-  RowSet& mutable_partition(size_t i) {
-    // The caller may rewrite rows arbitrarily; conservatively drop the
-    // kind-purity knowledge (re-established only by a fresh load) and
-    // treat the access as a data mutation.
-    std::fill(kind_pure_.begin(), kind_pure_.end(), 0);
-    BumpVersion();
-    return partitions_[i];
-  }
+  size_t num_partitions() const { return parts_.size(); }
 
   /// Process-unique table identity, assigned at construction. A
   /// DROP + re-CREATE under the same name yields a different id, so
@@ -59,15 +92,16 @@ class Table {
   /// table generations even if the data versions happen to coincide.
   uint64_t id() const { return id_; }
   /// Monotone data version, advanced by every mutation (Insert,
-  /// InsertAll, RepartitionByHash, mutable_partition). The result
-  /// cache validates its source-table dependencies against this.
+  /// InsertAll, RepartitionByHash). The result cache validates its
+  /// source-table dependencies against this.
   uint64_t version() const {
     return version_.load(std::memory_order_acquire);
   }
   const Partitioning& partitioning() const { return partitioning_; }
 
   size_t num_rows() const;
-  /// Total payload bytes across all partitions.
+  /// Approximate payload bytes across all partitions (maintained as
+  /// metadata so it never faults segments in).
   size_t byte_size() const;
 
   /// Appends a row, validating arity and (known) types/dims against
@@ -77,11 +111,65 @@ class Table {
   Status InsertAll(std::vector<Row> rows);
 
   /// Re-shards all rows by hash of `column`; updates partitioning
-  /// metadata. Used by tests and by the loader.
+  /// metadata and rebuilds every index (ordinals change). Used by
+  /// tests and by the loader.
   Status RepartitionByHash(size_t column);
 
-  /// All rows gathered into one RowSet (test/inspection helper).
-  RowSet Gather() const;
+  // -- Segment access ------------------------------------------------
+
+  /// A pinned, immutable view of one segment's rows. Holds either a
+  /// buffer-pool pin (checkpointed segment of a persistent table) or
+  /// a reference to resident rows; valid until destroyed.
+  class SegmentPin {
+   public:
+    SegmentPin() = default;
+    const RowSet& rows() const { return *rows_; }
+    /// Ordinal of the segment's first row within its partition.
+    uint64_t ordinal_base() const { return base_; }
+    explicit operator bool() const { return rows_ != nullptr; }
+
+   private:
+    friend class Table;
+    const RowSet* rows_ = nullptr;
+    uint64_t base_ = 0;
+    std::shared_ptr<const RowSet> owned_;
+    storage::BufferPool::Pin pool_pin_;
+  };
+
+  /// Sealed segments plus the open tail when non-empty: segment ids
+  /// [0, NumSegments(p)) are pinnable, in partition insertion order.
+  size_t NumSegments(size_t partition) const;
+  Result<SegmentPin> PinSegment(size_t partition, size_t segment) const;
+
+  /// Maps a row ordinal to (segment, offset within segment).
+  struct RowLocation {
+    uint32_t segment = 0;
+    size_t offset = 0;
+  };
+  Result<RowLocation> LocateRow(uint32_t partition, uint64_t ordinal) const;
+  /// Pins the containing segment and copies out one row.
+  Result<Row> FetchRow(storage::Rid rid) const;
+
+  /// All rows gathered into one RowSet, partitions in order
+  /// (test/inspection helper; faults everything in).
+  Result<RowSet> Gather() const;
+  /// One partition's rows in insertion order.
+  Result<RowSet> GatherPartition(size_t partition) const;
+
+  // -- Indexes -------------------------------------------------------
+
+  /// Builds a B+ tree over `columns` (1..2 INTEGER columns) from the
+  /// current contents; subsequent inserts maintain it.
+  Status CreateIndex(const std::string& name,
+                     const std::vector<size_t>& columns);
+  Status DropIndex(const std::string& name);
+  const std::vector<std::unique_ptr<IndexDef>>& indexes() const {
+    return indexes_;
+  }
+  IndexDef* FindIndex(const std::string& name);
+  /// First usable index whose column list starts with a permutation-
+  /// free prefix match of lookup needs is chosen by the optimizer; the
+  /// table only exposes the definitions.
 
   /// True when every non-NULL value currently stored in `column` has
   /// the column's declared type kind. ValidateRow legally admits
@@ -95,30 +183,119 @@ class Table {
   }
 
   /// Columnar extraction for the vectorized scan: fills `out` with
-  /// rows [row_begin, row_begin + row_count) of partition `partition`,
-  /// one Column per entry of `columns` (schema column indexes), dense
-  /// (no selection). Column storage is reused across calls. The caller
-  /// guarantees every extracted column's type kind is representable
-  /// (Column::KindSupported).
-  void ExtractColumns(size_t partition, const std::vector<size_t>& columns,
+  /// rows [row_begin, row_begin + row_count) of `rows` (one pinned
+  /// segment), one Column per entry of `columns` (schema column
+  /// indexes), dense (no selection). Column storage is reused across
+  /// calls. The caller guarantees every extracted column's type kind
+  /// is representable (Column::KindSupported).
+  void ExtractColumns(const RowSet& rows, const std::vector<size_t>& columns,
                       size_t row_begin, size_t row_count,
                       ColumnBatch* out) const;
 
- private:
-  Status ValidateRow(const Row& row) const;
+  // -- Persistence hooks (driven by storage::TableStore) -------------
 
+  /// Attaches this table to a persistent store: checkpointed segments
+  /// are served through `pool` from `file`. `segment_bytes` overrides
+  /// the seal threshold.
+  void AttachStore(storage::BufferPool* pool, storage::PageFile* file,
+                   size_t segment_bytes);
+  bool persistent() const { return file_ != nullptr; }
+
+  /// Serialized form of one sealed segment's location, for the
+  /// catalog snapshot.
+  struct SegmentManifest {
+    storage::RecordId record;
+    uint64_t num_rows = 0;
+    uint64_t payload_bytes = 0;
+  };
+  struct PartitionManifest {
+    std::vector<SegmentManifest> segments;
+  };
+  struct IndexManifest {
+    std::string name;
+    std::vector<size_t> columns;
+    bool degraded = false;
+    storage::RecordId record;
+  };
+
+  /// Seals open tails, writes every not-yet-persisted segment and
+  /// every dirty index image into the table's page file, frees
+  /// records replaced since the last checkpoint, and returns the
+  /// manifest describing the persisted state. Freshly written
+  /// segments are primed into the buffer pool (evictable).
+  Result<std::vector<PartitionManifest>> CheckpointSegments();
+  Result<std::vector<IndexManifest>> CheckpointIndexes();
+
+  /// Restores a partition's sealed segments from a snapshot manifest
+  /// (recovery path; table must be empty and attached).
+  Status RestorePartition(size_t partition,
+                          const PartitionManifest& manifest);
+  /// Restores an index from its checkpoint image (recovery path).
+  Status RestoreIndex(const IndexManifest& manifest);
+
+  /// Round-robin cursor, persisted so replayed/recovered inserts land
+  /// in the same partitions as the original run.
+  uint64_t next_rr() const { return next_rr_; }
+  void set_next_rr(uint64_t v) { next_rr_ = v; }
+  const std::vector<uint8_t>& kind_pure_flags() const { return kind_pure_; }
+  void set_kind_pure_flags(std::vector<uint8_t> flags) {
+    if (flags.size() == kind_pure_.size()) kind_pure_ = std::move(flags);
+  }
+  void set_partitioning(const Partitioning& p) { partitioning_ = p; }
+
+ private:
+  /// One sealed, immutable run of rows. `resident` holds the rows
+  /// while the segment has not been checkpointed (or the table is
+  /// in-memory); checkpointed segments drop `resident` and are served
+  /// through the buffer pool keyed (table id, partition, index).
+  struct Segment {
+    std::shared_ptr<const RowSet> resident;
+    storage::RecordId record;
+    bool on_disk = false;
+    uint64_t num_rows = 0;
+    uint64_t payload_bytes = 0;
+    uint64_t ordinal_base = 0;
+  };
+  struct PartitionData {
+    std::vector<Segment> sealed;
+    RowSet tail;
+    uint64_t tail_base = 0;   // ordinal of the first tail row
+    size_t tail_bytes = 0;    // approx payload bytes in the tail
+  };
+
+  Status ValidateRow(const Row& row) const;
   void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
+  void PlaceRow(Row row, size_t partition);
+  void SealTail(size_t partition);
+  void MaybeSealTail(size_t partition);
+  Status IndexRow(const Row& row, storage::Rid rid);
+  Status InsertIntoIndex(IndexDef& idx, const Row& row, storage::Rid rid);
+  Status RebuildIndexes();
+  /// Serializes a segment's rows in the radb row codec.
+  static std::string EncodeSegment(const RowSet& rows);
+  static Result<std::shared_ptr<const RowSet>> DecodeSegment(
+      const std::string& bytes);
 
   uint64_t id_;
   std::atomic<uint64_t> version_{1};
   std::string name_;
   Schema schema_;
-  std::vector<RowSet> partitions_;
+  std::vector<PartitionData> parts_;
   Partitioning partitioning_;
-  size_t next_rr_ = 0;
+  uint64_t next_rr_ = 0;
   /// Per column: 1 while every stored non-NULL value matches the
   /// declared kind (see ColumnKindPure).
   std::vector<uint8_t> kind_pure_;
+
+  std::vector<std::unique_ptr<IndexDef>> indexes_;
+
+  // Persistence attachment (null for in-memory tables).
+  storage::BufferPool* pool_ = nullptr;
+  storage::PageFile* file_ = nullptr;
+  size_t segment_bytes_ = kDefaultSegmentBytes;
+  /// Records superseded since the last checkpoint (repartition, index
+  /// rewrite); freed during the next checkpoint.
+  std::vector<storage::RecordId> dead_records_;
 };
 
 }  // namespace radb

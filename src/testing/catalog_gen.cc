@@ -120,7 +120,7 @@ Status LoadCatalog(const CatalogSpec& spec, Database* db) {
     for (const ColumnSpec& c : t.columns) {
       schema.Add(Column{"", c.name, c.type});
     }
-    RADB_RETURN_NOT_OK(db->catalog().CreateTable(t.name, schema).status());
+    RADB_RETURN_NOT_OK(db->CreateTable(t.name, schema).status());
     RADB_RETURN_NOT_OK(db->BulkInsert(t.name, t.rows));
   }
   return Status::OK();

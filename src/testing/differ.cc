@@ -12,6 +12,15 @@ namespace radb::testing {
 
 namespace {
 
+/// Runs a script and keeps the last result set (empty for DDL-only
+/// scripts) — the differ compares one statement at a time.
+Result<ResultSet> ExecLast(Database& db, const std::string& sql) {
+  Result<ScriptResult> script = db.Execute(sql);
+  if (!script.ok()) return script.status();
+  if (script->result_sets.empty()) return ResultSet{};
+  return std::move(script->result_sets.back());
+}
+
 int KindRank(const Value& v) {
   switch (v.kind()) {
     case TypeKind::kNull:
@@ -183,7 +192,7 @@ Differ::Differ(const CatalogSpec& spec) : configs_(StandardConfigs()) {
 DiffOutcome Differ::RunOneSystem(const std::string& sql) {
   std::vector<Result<ResultSet>> results;
   results.reserve(dbs_.size());
-  for (auto& db : dbs_) results.push_back(db->ExecuteSql(sql));
+  for (auto& db : dbs_) results.push_back(ExecLast(*db, sql));
 
   // Config 0 is the baseline every other configuration must match on
   // status code and (on success) schema signature. Values are never
@@ -258,7 +267,7 @@ DiffOutcome Differ::RunOne(const std::string& sql) {
 
   std::vector<Result<ResultSet>> results;
   results.reserve(dbs_.size());
-  for (auto& db : dbs_) results.push_back(db->ExecuteSql(sql));
+  for (auto& db : dbs_) results.push_back(ExecLast(*db, sql));
 
   // Compare every engine configuration against the reference: equal
   // error StatusCode, or cell-exact equality of normalized rows.
@@ -398,10 +407,10 @@ CacheDiffOutcome RunCacheDiffRounds(const CatalogSpec& spec, uint64_t seed,
   on.obs.enable_metrics = true;
   // Small result budget: eviction and fill-refusal paths run under
   // ordinary fuzz traffic, not only in targeted tests.
-  on.result_cache_bytes = 1u << 20;
+  on.cache.result_cache_bytes = 1u << 20;
   Database::Config off = on;
-  off.enable_plan_cache = false;
-  off.enable_result_cache = false;
+  off.cache.enable_plan_cache = false;
+  off.cache.enable_result_cache = false;
 
   Database cached(on);
   Database plain(off);
@@ -427,8 +436,8 @@ CacheDiffOutcome RunCacheDiffRounds(const CatalogSpec& spec, uint64_t seed,
 
   // Runs `sql` on both databases; true when they agree.
   auto run_both = [&](const std::string& sql) {
-    const Result<ResultSet> a = cached.ExecuteSql(sql);
-    const Result<ResultSet> b = plain.ExecuteSql(sql);
+    const Result<ResultSet> a = ExecLast(cached, sql);
+    const Result<ResultSet> b = ExecLast(plain, sql);
     ++out.statements_run;
     if (a.ok() != b.ok()) {
       diverge(sql, "  cached: " + OutcomeToString(a) +

@@ -43,11 +43,7 @@ Result<RowSet> EvalBoundQuery(const BoundQuery& q);
 /// rel.columns[i].
 Result<RowSet> MaterializeRelation(const BoundRelation& rel) {
   if (rel.table != nullptr) {
-    RowSet rows;
-    for (size_t p = 0; p < rel.table->num_partitions(); ++p) {
-      for (const Row& r : rel.table->partition(p)) rows.push_back(r);
-    }
-    return rows;
+    return rel.table->Gather();
   }
   RowSet rows;
   RADB_ASSIGN_OR_RETURN(rows, EvalBoundQuery(*rel.subquery));

@@ -35,13 +35,13 @@ Status SqlWorkload::LoadTuple(const Dataset& data) {
   n_ = data.n;
   d_ = data.d;
   RADB_RETURN_NOT_OK(
-      db_.ExecuteSql("CREATE TABLE x_tuple (row_index INTEGER, "
+      db_.Execute("CREATE TABLE x_tuple (row_index INTEGER, "
                      "col_index INTEGER, value DOUBLE)")
           .status());
   RADB_RETURN_NOT_OK(
-      db_.ExecuteSql("CREATE TABLE y (i INTEGER, y_i DOUBLE)").status());
+      db_.Execute("CREATE TABLE y (i INTEGER, y_i DOUBLE)").status());
   RADB_RETURN_NOT_OK(
-      db_.ExecuteSql("CREATE TABLE a_tuple (row_index INTEGER, "
+      db_.Execute("CREATE TABLE a_tuple (row_index INTEGER, "
                      "col_index INTEGER, value DOUBLE)")
           .status());
   std::vector<Row> x_rows;
@@ -75,13 +75,13 @@ Status SqlWorkload::LoadVector(const Dataset& data) {
   n_ = data.n;
   d_ = data.d;
   const std::string d_str = std::to_string(data.d);
-  RADB_RETURN_NOT_OK(db_.ExecuteSql("CREATE TABLE x_vm (id INTEGER, value "
+  RADB_RETURN_NOT_OK(db_.Execute("CREATE TABLE x_vm (id INTEGER, value "
                                     "VECTOR[" +
                                     d_str + "])")
                          .status());
   RADB_RETURN_NOT_OK(
-      db_.ExecuteSql("CREATE TABLE y (i INTEGER, y_i DOUBLE)").status());
-  RADB_RETURN_NOT_OK(db_.ExecuteSql("CREATE TABLE mm (mapping MATRIX[" +
+      db_.Execute("CREATE TABLE y (i INTEGER, y_i DOUBLE)").status());
+  RADB_RETURN_NOT_OK(db_.Execute("CREATE TABLE mm (mapping MATRIX[" +
                                     d_str + "][" + d_str + "])")
                          .status());
   std::vector<Row> x_rows;
@@ -106,7 +106,8 @@ Result<RunOutcome> SqlWorkload::RunScript(
   out.num_threads = db_.num_threads();
   const auto t0 = Clock::now();
   for (const std::string& sql : statements) {
-    RADB_ASSIGN_OR_RETURN(*last, db_.ExecuteSql(sql));
+    RADB_ASSIGN_OR_RETURN(ScriptResult script, db_.Execute(sql));
+    if (script.has_results()) *last = std::move(script.result_sets.back());
     const QueryMetrics& m = db_.last_metrics();
     out.simulated_seconds += m.SimulatedParallelSeconds();
     out.bytes_shuffled += m.TotalBytesShuffled();

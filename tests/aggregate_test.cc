@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include "api/database.h"
+
+#include "test_util.h"
 #include "catalog/aggregate.h"
 #include "la/matrix.h"
 #include "la/vector.h"
@@ -112,14 +114,14 @@ TEST(RowColMatrixAggregatorTest, UnsetVsNegativeLabel) {
 // offset) must name the bad label, not claim the label was never set.
 TEST(VectorizeAggregatorTest, NegativeComputedLabelThroughSql) {
   Database db;
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE t (k INTEGER, d DOUBLE)").ok());
+  ASSERT_TRUE(Exec(db, "CREATE TABLE t (k INTEGER, d DOUBLE)").ok());
   std::vector<Row> rows;
   for (int i = 0; i < 3; ++i) {
     rows.push_back({Value::Int(i), Value::Double(i + 0.5)});
   }
   ASSERT_TRUE(db.BulkInsert("t", std::move(rows)).ok());
   auto rs =
-      db.ExecuteSql("SELECT VECTORIZE(label_scalar(d, k - 1000)) FROM t");
+      Exec(db, "SELECT VECTORIZE(label_scalar(d, k - 1000)) FROM t");
   ASSERT_FALSE(rs.ok());
   EXPECT_EQ(rs.status().code(), StatusCode::kExecutionError);
   EXPECT_NE(rs.status().message().find("negative label"), std::string::npos)
@@ -133,10 +135,10 @@ TEST(VectorizeAggregatorTest, NegativeComputedLabelThroughSql) {
 // off -1.
 TEST(LabelSentinelTest, GetLabelStillReportsMinusOneForUnset) {
   Database db;
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE v (x VECTOR[3])").ok());
+  ASSERT_TRUE(Exec(db, "CREATE TABLE v (x VECTOR[3])").ok());
   ASSERT_TRUE(db.BulkInsert("v", {{Value::FromVector(la::Vector(3, 1.0))}})
                   .ok());
-  auto rs = db.ExecuteSql("SELECT get_vector_label(x) FROM v");
+  auto rs = Exec(db, "SELECT get_vector_label(x) FROM v");
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_EQ(rs->at(0, 0).int_value(), -1);
 }

@@ -2,13 +2,15 @@
 
 #include "api/database.h"
 
+#include "test_util.h"
+
 namespace radb {
 namespace {
 
 class BinderTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    ASSERT_TRUE(db_.ExecuteSql("CREATE TABLE t (a INTEGER, b DOUBLE); "
+    ASSERT_TRUE(Exec(db_, "CREATE TABLE t (a INTEGER, b DOUBLE); "
                                "CREATE TABLE u (a INTEGER, c STRING); "
                                "CREATE TABLE mats (m1 MATRIX[10][], "
                                "m2 MATRIX[][5], v VECTOR[10])")
@@ -36,58 +38,58 @@ TEST_F(BinderTest, PartialDimsPropagateThroughSignatures) {
 }
 
 TEST_F(BinderTest, AggregatesRejectedOutsideSelect) {
-  EXPECT_EQ(db_.ExecuteSql("SELECT a FROM t WHERE SUM(b) > 1")
+  EXPECT_EQ(Exec(db_, "SELECT a FROM t WHERE SUM(b) > 1")
                 .status()
                 .code(),
             StatusCode::kBindError);
   EXPECT_EQ(
-      db_.ExecuteSql("SELECT SUM(b) FROM t GROUP BY SUM(b)").status().code(),
+      Exec(db_, "SELECT SUM(b) FROM t GROUP BY SUM(b)").status().code(),
       StatusCode::kBindError);
 }
 
 TEST_F(BinderTest, QualifiedStarDisallowedWithGroupBy) {
-  EXPECT_EQ(db_.ExecuteSql("SELECT * FROM t GROUP BY a").status().code(),
+  EXPECT_EQ(Exec(db_, "SELECT * FROM t GROUP BY a").status().code(),
             StatusCode::kBindError);
 }
 
 TEST_F(BinderTest, ViewColumnRenames) {
-  ASSERT_TRUE(db_.ExecuteSql("CREATE VIEW renamed (x, y) AS "
+  ASSERT_TRUE(Exec(db_, "CREATE VIEW renamed (x, y) AS "
                              "SELECT a, b FROM t")
                   .ok());
   auto plan = db_.PlanQuery("SELECT renamed.x, renamed.y FROM renamed");
   ASSERT_TRUE(plan.ok()) << plan.status();
   // Original names are hidden.
-  EXPECT_EQ(db_.ExecuteSql("SELECT renamed.a FROM renamed")
+  EXPECT_EQ(Exec(db_, "SELECT renamed.a FROM renamed")
                 .status()
                 .code(),
             StatusCode::kBindError);
   // Alias count mismatch is caught at CREATE VIEW.
-  EXPECT_EQ(db_.ExecuteSql("CREATE VIEW bad (x) AS SELECT a, b FROM t")
+  EXPECT_EQ(Exec(db_, "CREATE VIEW bad (x) AS SELECT a, b FROM t")
                 .status()
                 .code(),
             StatusCode::kBindError);
 }
 
 TEST_F(BinderTest, NestedViewsExpand) {
-  ASSERT_TRUE(db_.ExecuteSql(
+  ASSERT_TRUE(Exec(db_, 
                     "INSERT INTO t VALUES (1, 10.0), (2, 20.0), (3, 30.0)")
                   .ok());
-  ASSERT_TRUE(db_.ExecuteSql("CREATE VIEW v1 AS SELECT a, b FROM t "
+  ASSERT_TRUE(Exec(db_, "CREATE VIEW v1 AS SELECT a, b FROM t "
                              "WHERE a > 1")
                   .ok());
-  ASSERT_TRUE(db_.ExecuteSql("CREATE VIEW v2 AS SELECT a, b * 2 AS b2 "
+  ASSERT_TRUE(Exec(db_, "CREATE VIEW v2 AS SELECT a, b * 2 AS b2 "
                              "FROM v1")
                   .ok());
   ASSERT_TRUE(
-      db_.ExecuteSql("CREATE VIEW v3 AS SELECT SUM(b2) AS s FROM v2").ok());
-  auto rs = db_.ExecuteSql("SELECT s FROM v3");
+      Exec(db_, "CREATE VIEW v3 AS SELECT SUM(b2) AS s FROM v2").ok());
+  auto rs = Exec(db_, "SELECT s FROM v3");
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_DOUBLE_EQ(rs->at(0, 0).AsDouble().value(), 100.0);
 }
 
 TEST_F(BinderTest, UnqualifiedAmbiguityAcrossTables) {
   // Column `a` exists in both t and u.
-  EXPECT_EQ(db_.ExecuteSql("SELECT a FROM t, u").status().code(),
+  EXPECT_EQ(Exec(db_, "SELECT a FROM t, u").status().code(),
             StatusCode::kBindError);
   auto ok = db_.PlanQuery("SELECT t.a FROM t, u");
   EXPECT_TRUE(ok.ok());
@@ -98,19 +100,19 @@ TEST_F(BinderTest, UnqualifiedAmbiguityAcrossTables) {
 
 TEST_F(BinderTest, SubqueryScopesAreIsolated) {
   // Inner alias not visible outside.
-  EXPECT_EQ(db_.ExecuteSql("SELECT inner_t.a FROM "
+  EXPECT_EQ(Exec(db_, "SELECT inner_t.a FROM "
                            "(SELECT t.a AS a FROM t AS inner_t) AS s")
                 .status()
                 .code(),
             StatusCode::kBindError);
   // Outer columns not visible inside (no correlated subqueries).
   EXPECT_FALSE(
-      db_.ExecuteSql("SELECT s.x FROM t, (SELECT t.a AS x FROM u) AS s")
+      Exec(db_, "SELECT s.x FROM t, (SELECT t.a AS x FROM u) AS s")
           .ok());
 }
 
 TEST_F(BinderTest, ExplainStatementProducesPlanRows) {
-  auto rs = db_.ExecuteSql("EXPLAIN SELECT a FROM t WHERE a > 1");
+  auto rs = Exec(db_, "EXPLAIN SELECT a FROM t WHERE a > 1");
   ASSERT_TRUE(rs.ok()) << rs.status();
   ASSERT_GT(rs->num_rows(), 1u);
   EXPECT_EQ(rs->columns[0].name, "plan");
@@ -123,14 +125,14 @@ TEST_F(BinderTest, ExplainStatementProducesPlanRows) {
   EXPECT_TRUE(saw_scan);
   EXPECT_TRUE(saw_cost);
   // EXPLAIN of invalid SQL fails like the query would.
-  EXPECT_FALSE(db_.ExecuteSql("EXPLAIN SELECT nope FROM t").ok());
+  EXPECT_FALSE(Exec(db_, "EXPLAIN SELECT nope FROM t").ok());
 }
 
 TEST_F(BinderTest, SelectItemAliasesVisibleInOrderBy) {
   ASSERT_TRUE(
-      db_.ExecuteSql("INSERT INTO t VALUES (3, 1.0), (1, 2.0), (2, 0.5)")
+      Exec(db_, "INSERT INTO t VALUES (3, 1.0), (1, 2.0), (2, 0.5)")
           .ok());
-  auto rs = db_.ExecuteSql(
+  auto rs = Exec(db_, 
       "SELECT a * 10 AS scaled FROM t ORDER BY scaled DESC");
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_EQ(rs->at(0, 0).AsInt().value(), 30);
@@ -139,11 +141,11 @@ TEST_F(BinderTest, SelectItemAliasesVisibleInOrderBy) {
 
 TEST_F(BinderTest, GroupKeySubtreesReplacedInComplexSelects) {
   ASSERT_TRUE(
-      db_.ExecuteSql("INSERT INTO t VALUES (1, 1.0), (1, 2.0), (2, 3.0)")
+      Exec(db_, "INSERT INTO t VALUES (1, 1.0), (1, 2.0), (2, 3.0)")
           .ok());
   // The select expression uses the group key inside arithmetic and a
   // function call.
-  auto rs = db_.ExecuteSql(
+  auto rs = Exec(db_, 
       "SELECT a + 100, abs_val(a - 10) + SUM(b) FROM t "
       "GROUP BY a ORDER BY a");
   ASSERT_TRUE(rs.ok()) << rs.status();
@@ -155,17 +157,17 @@ TEST_F(BinderTest, GroupKeySubtreesReplacedInComplexSelects) {
 
 TEST_F(BinderTest, HiddenSortColumnsAreTrimmed) {
   ASSERT_TRUE(
-      db_.ExecuteSql("INSERT INTO t VALUES (3, 30.0), (1, 10.0), (2, 20.0)")
+      Exec(db_, "INSERT INTO t VALUES (3, 30.0), (1, 10.0), (2, 20.0)")
           .ok());
   // ORDER BY a non-selected column: allowed, sorted correctly, and the
   // hidden key does not appear in the result.
-  auto rs = db_.ExecuteSql("SELECT b FROM t ORDER BY a DESC");
+  auto rs = Exec(db_, "SELECT b FROM t ORDER BY a DESC");
   ASSERT_TRUE(rs.ok()) << rs.status();
   ASSERT_EQ(rs->num_columns(), 1u);
   EXPECT_DOUBLE_EQ(rs->at(0, 0).AsDouble().value(), 30.0);
   EXPECT_DOUBLE_EQ(rs->at(2, 0).AsDouble().value(), 10.0);
   // With DISTINCT this is ill-defined and rejected.
-  EXPECT_EQ(db_.ExecuteSql("SELECT DISTINCT b FROM t ORDER BY a")
+  EXPECT_EQ(Exec(db_, "SELECT DISTINCT b FROM t ORDER BY a")
                 .status()
                 .code(),
             StatusCode::kBindError);
@@ -174,10 +176,10 @@ TEST_F(BinderTest, HiddenSortColumnsAreTrimmed) {
 TEST_F(BinderTest, DuplicateColumnNamesInSubqueryOutput) {
   // Derived tables can expose duplicate names; referencing one is
   // ambiguous, COUNT(*) still works.
-  auto rs = db_.ExecuteSql(
+  auto rs = Exec(db_, 
       "SELECT COUNT(*) FROM (SELECT a, a FROM t) AS s");
   EXPECT_TRUE(rs.ok()) << rs.status();
-  EXPECT_EQ(db_.ExecuteSql("SELECT s.a FROM (SELECT a, a FROM t) AS s")
+  EXPECT_EQ(Exec(db_, "SELECT s.a FROM (SELECT a, a FROM t) AS s")
                 .status()
                 .code(),
             StatusCode::kBindError);

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "api/database.h"
+
+#include "test_util.h"
 #include "common/rng.h"
 #include "la/random.h"
 
@@ -17,7 +19,7 @@ class BuiltinsTest : public ::testing::Test {
     mat_ = la::Matrix(3, 3, {4, 1, 0, 1, 5, 2, 0, 2, 6});  // SPD
     rect_ = la::RandomMatrix(rng, 2, 4);
     vec_ = la::Vector(std::vector<double>{1, -2, 3});
-    ASSERT_TRUE(db_.ExecuteSql("CREATE TABLE d (m MATRIX[3][3], "
+    ASSERT_TRUE(Exec(db_, "CREATE TABLE d (m MATRIX[3][3], "
                                "r MATRIX[2][4], v VECTOR[3], s DOUBLE, "
                                "i INTEGER)")
                     .ok());
@@ -30,7 +32,7 @@ class BuiltinsTest : public ::testing::Test {
   }
 
   Result<Value> Eval(const std::string& expr) {
-    auto rs = db_.ExecuteSql("SELECT " + expr + " FROM d");
+    auto rs = Exec(db_, "SELECT " + expr + " FROM d");
     if (!rs.ok()) return rs.status();
     return rs->at(0, 0);
   }
@@ -120,11 +122,11 @@ TEST_F(BuiltinsTest, CholeskyFamily) {
   ASSERT_TRUE(x.ok());
   EXPECT_LT(x->vector().MaxAbsDiff(*la::Solve(mat_, vec_)), 1e-10);
   // Indefinite input is a numeric error.
-  ASSERT_TRUE(db_.ExecuteSql("CREATE TABLE ind (m MATRIX[2][2])").ok());
+  ASSERT_TRUE(Exec(db_, "CREATE TABLE ind (m MATRIX[2][2])").ok());
   ASSERT_TRUE(db_.BulkInsert("ind", {{Value::FromMatrix(
                                      la::Matrix(2, 2, {1, 2, 2, 1}))}})
                   .ok());
-  EXPECT_EQ(db_.ExecuteSql("SELECT cholesky(m) FROM ind").status().code(),
+  EXPECT_EQ(Exec(db_, "SELECT cholesky(m) FROM ind").status().code(),
             StatusCode::kNumericError);
 }
 
@@ -205,13 +207,13 @@ TEST_F(BuiltinsTest, ScalarMathFamily) {
 
 TEST_F(BuiltinsTest, NullStrictness) {
   // NULL anywhere in the arguments yields NULL (no evaluation).
-  ASSERT_TRUE(db_.ExecuteSql("CREATE TABLE n (m MATRIX[3][3], "
+  ASSERT_TRUE(Exec(db_, "CREATE TABLE n (m MATRIX[3][3], "
                              "v VECTOR[3])")
                   .ok());
   ASSERT_TRUE(
       db_.BulkInsert("n", {{Value::Null(), Value::FromVector(vec_)}}).ok());
   auto rs =
-      db_.ExecuteSql("SELECT matrix_vector_multiply(m, v) FROM n");
+      Exec(db_, "SELECT matrix_vector_multiply(m, v) FROM n");
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_TRUE(rs->at(0, 0).is_null());
 }

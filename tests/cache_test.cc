@@ -146,7 +146,7 @@ TEST(ResultCacheTest, SystemTablesNeverCached) {
 
 TEST(ResultCacheTest, EvictionUnderTightBudget) {
   Database::Config cfg = MetricsConfig();
-  cfg.result_cache_bytes = 2048;
+  cfg.cache.result_cache_bytes = 2048;
   Database db(cfg);
   ASSERT_TRUE(Exec(&db, "CREATE TABLE t (k INTEGER)").ok());
   for (int i = 0; i < 40; ++i) {
@@ -310,8 +310,8 @@ TEST(CacheSystemTableTest, ReportsAllThreeCaches) {
 
 TEST(CacheSystemTableTest, DisabledCachesDropTheirRows) {
   Database::Config cfg = MetricsConfig();
-  cfg.enable_plan_cache = false;
-  cfg.enable_result_cache = false;
+  cfg.cache.enable_plan_cache = false;
+  cfg.cache.enable_result_cache = false;
   Database db(cfg);
   EXPECT_EQ(db.plan_cache(), nullptr);
   EXPECT_EQ(db.result_cache(), nullptr);

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "api/database.h"
+
+#include "test_util.h"
 #include "common/rng.h"
 #include "la/random.h"
 #include "la/tiled.h"
@@ -32,7 +34,7 @@ class CancelTest : public ::testing::Test {
   void SetUp() override {
     db_ = std::make_unique<Database>();
     ASSERT_TRUE(
-        db_->ExecuteSql("CREATE TABLE pts (k INTEGER, x DOUBLE)").ok());
+        Exec(*db_, "CREATE TABLE pts (k INTEGER, x DOUBLE)").ok());
     std::vector<Row> rows;
     for (int64_t i = 0; i < 5000; ++i) {
       rows.push_back({Value::Int(i % 50), Value::Double(0.5 * (i % 31))});
@@ -67,7 +69,7 @@ TEST_F(CancelTest, CancelMidJoinAbortsPromptlyAndKeepsDatabaseHealthy) {
   EXPECT_LT(seconds, 5.0);
 
   // The Database is not poisoned: the same query runs to completion.
-  auto again = db_->ExecuteSql("SELECT COUNT(*) FROM pts");
+  auto again = Exec(*db_, "SELECT COUNT(*) FROM pts");
   ASSERT_TRUE(again.ok()) << again.status();
   EXPECT_EQ(again->at(0, 0).int_value(), 5000);
 }
@@ -97,7 +99,7 @@ TEST_F(CancelTest, CancelBetweenStatementsDropsTheRestOfTheScript) {
   ASSERT_FALSE(got.ok());
   EXPECT_EQ(got.status().code(), StatusCode::kCancelled);
   // leftover was never created.
-  EXPECT_FALSE(db_->ExecuteSql("SELECT COUNT(*) FROM leftover").ok());
+  EXPECT_FALSE(Exec(*db_, "SELECT COUNT(*) FROM leftover").ok());
 }
 
 // ----------------------------------------------------------------------
@@ -116,7 +118,7 @@ class VectorizedCancelTest : public ::testing::Test {
     cfg.vectorized_batch_rows = 16;
     db_ = std::make_unique<Database>(cfg);
     ASSERT_TRUE(
-        db_->ExecuteSql("CREATE TABLE pts (k INTEGER, x DOUBLE)").ok());
+        Exec(*db_, "CREATE TABLE pts (k INTEGER, x DOUBLE)").ok());
     std::vector<Row> rows;
     rows.reserve(500000);
     for (int64_t i = 0; i < 500000; ++i) {
@@ -140,7 +142,7 @@ constexpr char VectorizedCancelTest::kVectorizedAgg[];
 TEST_F(VectorizedCancelTest, QueryActuallyRunsVectorized) {
   // Guard for the cancellation tests below: this exact query must
   // take the batch path, or they would only cover the row engine.
-  auto rs = db_->ExecuteSql(std::string("EXPLAIN ANALYZE ") +
+  auto rs = Exec(*db_, std::string("EXPLAIN ANALYZE ") +
                             kVectorizedAgg);
   ASSERT_TRUE(rs.ok()) << rs.status();
   std::string plan;
@@ -178,7 +180,7 @@ TEST_F(VectorizedCancelTest, CancelMidVectorizedAggregateAbortsPromptly) {
 
   // Aggregate state charged mid-flight was released and the Database
   // is healthy: the same query completes and agrees with COUNT(*).
-  auto again = db_->ExecuteSql("SELECT COUNT(*) FROM pts");
+  auto again = Exec(*db_, "SELECT COUNT(*) FROM pts");
   ASSERT_TRUE(again.ok()) << again.status();
   EXPECT_EQ(again->at(0, 0).int_value(), 500000);
 }
@@ -252,7 +254,7 @@ TEST(CancelCleanupTest, CancelledSpillingQueryLeavesNoFilesOrCharges) {
     Database::Config cfg;
     cfg.spill_dir = spill_dir.string();
     Database db(cfg);
-    ASSERT_TRUE(db.ExecuteSql("CREATE TABLE big (k INTEGER, pad STRING)")
+    ASSERT_TRUE(Exec(db, "CREATE TABLE big (k INTEGER, pad STRING)")
                     .ok());
     std::vector<Row> rows;
     for (int64_t i = 0; i < 4000; ++i) {

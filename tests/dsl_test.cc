@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include "api/database.h"
+
+#include "test_util.h"
 #include "common/rng.h"
 #include "dsl/expr.h"
 #include "la/random.h"
@@ -16,7 +18,7 @@ class DslTest : public ::testing::Test {
     b_ = la::RandomMatrix(rng, 4, 9);
     c_ = la::RandomMatrix(rng, 9, 2);
     spd_ = la::RandomSpdMatrix(rng, 4);
-    ASSERT_TRUE(db_.ExecuteSql("CREATE TABLE a (mat MATRIX[6][4]);"
+    ASSERT_TRUE(Exec(db_, "CREATE TABLE a (mat MATRIX[6][4]);"
                                "CREATE TABLE b (mat MATRIX[4][9]);"
                                "CREATE TABLE c (mat MATRIX[9][2]);"
                                "CREATE TABLE s (mat MATRIX[4][4])")
@@ -128,7 +130,7 @@ TEST_F(DslTest, LongChainPicksGlobalOptimum) {
   for (size_t i = 0; i < shapes.size(); ++i) {
     mats.push_back(
         la::RandomMatrix(rng, shapes[i].first, shapes[i].second));
-    ASSERT_TRUE(db.ExecuteSql("CREATE TABLE m" + std::to_string(i) +
+    ASSERT_TRUE(Exec(db, "CREATE TABLE m" + std::to_string(i) +
                               " (mat MATRIX[" +
                               std::to_string(shapes[i].first) + "][" +
                               std::to_string(shapes[i].second) + "])")
@@ -172,7 +174,7 @@ TEST_F(DslTest, EmittedSqlTypeChecksInTheDatabase) {
   // The normal-equation kernel (XᵀX)⁻¹Xᵀy with X = a (6x4) and a
   // 6x3 outcome matrix; the DSL's output must pass the SQL binder's
   // own dimension checks and carry exact output dims.
-  ASSERT_TRUE(db_.ExecuteSql("CREATE TABLE y6 (mat MATRIX[6][3])").ok());
+  ASSERT_TRUE(Exec(db_, "CREATE TABLE y6 (mat MATRIX[6][3])").ok());
   Rng rng(99);
   ASSERT_TRUE(db_.BulkInsert(
                     "y6", {{Value::FromMatrix(la::RandomMatrix(rng, 6, 3))}})

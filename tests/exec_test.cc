@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "api/database.h"
+
+#include "test_util.h"
 #include "common/rng.h"
 #include "dist/metrics.h"
 #include "la/vector.h"
@@ -26,7 +28,7 @@ class ExecTest : public ::testing::Test {
 };
 
 TEST_F(ExecTest, BroadcastJoinChosenForTinySide) {
-  ASSERT_TRUE(db_->ExecuteSql("CREATE TABLE big (k INTEGER, v DOUBLE); "
+  ASSERT_TRUE(Exec(*db_, "CREATE TABLE big (k INTEGER, v DOUBLE); "
                               "CREATE TABLE tiny (k INTEGER)")
                   .ok());
   std::vector<Row> big_rows;
@@ -36,7 +38,7 @@ TEST_F(ExecTest, BroadcastJoinChosenForTinySide) {
   ASSERT_TRUE(db_->BulkInsert("big", std::move(big_rows)).ok());
   ASSERT_TRUE(
       db_->BulkInsert("tiny", {{Value::Int(7)}, {Value::Int(13)}}).ok());
-  auto rs = db_->ExecuteSql(
+  auto rs = Exec(*db_, 
       "SELECT COUNT(*) FROM big, tiny WHERE big.k = tiny.k");
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_EQ(rs->at(0, 0).AsInt().value(), 40);
@@ -48,7 +50,7 @@ TEST_F(ExecTest, BroadcastJoinChosenForTinySide) {
 }
 
 TEST_F(ExecTest, ShuffleJoinForComparableSides) {
-  ASSERT_TRUE(db_->ExecuteSql("CREATE TABLE l (k INTEGER, p DOUBLE); "
+  ASSERT_TRUE(Exec(*db_, "CREATE TABLE l (k INTEGER, p DOUBLE); "
                               "CREATE TABLE r (k INTEGER, q DOUBLE)")
                   .ok());
   std::vector<Row> lr, rr;
@@ -58,7 +60,7 @@ TEST_F(ExecTest, ShuffleJoinForComparableSides) {
   }
   ASSERT_TRUE(db_->BulkInsert("l", std::move(lr)).ok());
   ASSERT_TRUE(db_->BulkInsert("r", std::move(rr)).ok());
-  auto rs = db_->ExecuteSql(
+  auto rs = Exec(*db_, 
       "SELECT COUNT(*), SUM(l.p + r.q) FROM l, r WHERE l.k = r.k");
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_EQ(rs->at(0, 0).AsInt().value(), 500);
@@ -78,7 +80,7 @@ TEST_F(ExecTest, ShuffleJoinForComparableSides) {
 TEST_F(ExecTest, PrePartitionedSideSkipsShuffle) {
   // The paper's §2.1 scenario: one side is already hash-partitioned on
   // the join key, so only the other side moves.
-  ASSERT_TRUE(db_->ExecuteSql("CREATE TABLE lhs (k INTEGER, p DOUBLE); "
+  ASSERT_TRUE(Exec(*db_, "CREATE TABLE lhs (k INTEGER, p DOUBLE); "
                               "CREATE TABLE rhs (k INTEGER, q DOUBLE)")
                   .ok());
   std::vector<Row> lr, rr;
@@ -91,7 +93,7 @@ TEST_F(ExecTest, PrePartitionedSideSkipsShuffle) {
   ASSERT_TRUE(db_->RepartitionTable("rhs", "k").ok());
   ASSERT_FALSE(db_->RepartitionTable("rhs", "nope").ok());
 
-  auto rs = db_->ExecuteSql(
+  auto rs = Exec(*db_, 
       "SELECT COUNT(*) FROM lhs, rhs WHERE lhs.k = rhs.k");
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_EQ(rs->at(0, 0).AsInt().value(), 400);
@@ -103,7 +105,7 @@ TEST_F(ExecTest, PrePartitionedSideSkipsShuffle) {
 
   // Both sides pre-partitioned: co-located join with zero shuffle.
   ASSERT_TRUE(db_->RepartitionTable("lhs", "k").ok());
-  auto rs2 = db_->ExecuteSql(
+  auto rs2 = Exec(*db_, 
       "SELECT COUNT(*) FROM lhs, rhs WHERE lhs.k = rhs.k");
   ASSERT_TRUE(rs2.ok()) << rs2.status();
   EXPECT_EQ(rs2->at(0, 0).AsInt().value(), 400);
@@ -114,14 +116,14 @@ TEST_F(ExecTest, PrePartitionedSideSkipsShuffle) {
     }
   }
   // Predicates on the partitioned side don't break co-location.
-  auto rs3 = db_->ExecuteSql(
+  auto rs3 = Exec(*db_, 
       "SELECT COUNT(*) FROM lhs, rhs WHERE lhs.k = rhs.k AND rhs.q < 0");
   ASSERT_TRUE(rs3.ok()) << rs3.status();
   EXPECT_EQ(rs3->at(0, 0).AsInt().value(), 399);
 }
 
 TEST_F(ExecTest, CompositeJoinKeys) {
-  ASSERT_TRUE(db_->ExecuteSql("CREATE TABLE a (x INTEGER, y INTEGER); "
+  ASSERT_TRUE(Exec(*db_, "CREATE TABLE a (x INTEGER, y INTEGER); "
                               "CREATE TABLE b (x INTEGER, y INTEGER)")
                   .ok());
   std::vector<Row> rows;
@@ -130,7 +132,7 @@ TEST_F(ExecTest, CompositeJoinKeys) {
   }
   ASSERT_TRUE(db_->BulkInsert("a", rows).ok());
   ASSERT_TRUE(db_->BulkInsert("b", std::move(rows)).ok());
-  auto rs = db_->ExecuteSql(
+  auto rs = Exec(*db_, 
       "SELECT COUNT(*) FROM a, b WHERE a.x = b.x AND a.y = b.y");
   ASSERT_TRUE(rs.ok()) << rs.status();
   // Each (x, y) combo appears exactly twice in 30 rows (15 combos).
@@ -140,7 +142,7 @@ TEST_F(ExecTest, CompositeJoinKeys) {
 TEST_F(ExecTest, JoinOnExpressionKeys) {
   // Keys may be arbitrary expressions over one side — the paper's
   // blocking join `x.id / 1000 = ind.mi` is the canonical use.
-  ASSERT_TRUE(db_->ExecuteSql("CREATE TABLE items (id INTEGER); "
+  ASSERT_TRUE(Exec(*db_, "CREATE TABLE items (id INTEGER); "
                               "CREATE TABLE groups (g INTEGER)")
                   .ok());
   std::vector<Row> items, groups;
@@ -148,7 +150,7 @@ TEST_F(ExecTest, JoinOnExpressionKeys) {
   for (int g = 0; g < 4; ++g) groups.push_back({Value::Int(g)});
   ASSERT_TRUE(db_->BulkInsert("items", std::move(items)).ok());
   ASSERT_TRUE(db_->BulkInsert("groups", std::move(groups)).ok());
-  auto rs = db_->ExecuteSql(
+  auto rs = Exec(*db_, 
       "SELECT groups.g, COUNT(*) FROM items, groups "
       "WHERE items.id / 10 = groups.g GROUP BY groups.g ORDER BY groups.g");
   ASSERT_TRUE(rs.ok()) << rs.status();
@@ -159,47 +161,47 @@ TEST_F(ExecTest, JoinOnExpressionKeys) {
 }
 
 TEST_F(ExecTest, NullSemantics) {
-  ASSERT_TRUE(db_->ExecuteSql("CREATE TABLE t (a INTEGER, b DOUBLE); "
+  ASSERT_TRUE(Exec(*db_, "CREATE TABLE t (a INTEGER, b DOUBLE); "
                               "INSERT INTO t VALUES (1, 1.0), (2, NULL), "
                               "(NULL, 3.0), (4, 4.0)")
                   .ok());
   // NULLs don't match in equality predicates.
-  auto rs = db_->ExecuteSql("SELECT COUNT(*) FROM t WHERE a = a");
+  auto rs = Exec(*db_, "SELECT COUNT(*) FROM t WHERE a = a");
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_EQ(rs->at(0, 0).AsInt().value(), 3);
   // Aggregates skip NULLs; COUNT(col) counts non-null.
-  auto rs2 = db_->ExecuteSql("SELECT COUNT(b), SUM(b), AVG(b) FROM t");
+  auto rs2 = Exec(*db_, "SELECT COUNT(b), SUM(b), AVG(b) FROM t");
   ASSERT_TRUE(rs2.ok()) << rs2.status();
   EXPECT_EQ(rs2->at(0, 0).AsInt().value(), 3);
   EXPECT_DOUBLE_EQ(rs2->at(0, 1).AsDouble().value(), 8.0);
   EXPECT_NEAR(rs2->at(0, 2).AsDouble().value(), 8.0 / 3.0, 1e-12);
   // Three-valued logic: NULL OR TRUE is TRUE, NULL AND TRUE is NULL.
-  auto rs3 = db_->ExecuteSql(
+  auto rs3 = Exec(*db_, 
       "SELECT COUNT(*) FROM t WHERE a = 1 OR b > 0");
   ASSERT_TRUE(rs3.ok()) << rs3.status();
   EXPECT_EQ(rs3->at(0, 0).AsInt().value(), 3);
 }
 
 TEST_F(ExecTest, NullJoinKeysNeverMatch) {
-  ASSERT_TRUE(db_->ExecuteSql("CREATE TABLE n1 (k INTEGER); "
+  ASSERT_TRUE(Exec(*db_, "CREATE TABLE n1 (k INTEGER); "
                               "CREATE TABLE n2 (k INTEGER); "
                               "INSERT INTO n1 VALUES (1), (NULL); "
                               "INSERT INTO n2 VALUES (1), (NULL)")
                   .ok());
   auto rs =
-      db_->ExecuteSql("SELECT COUNT(*) FROM n1, n2 WHERE n1.k = n2.k");
+      Exec(*db_, "SELECT COUNT(*) FROM n1, n2 WHERE n1.k = n2.k");
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_EQ(rs->at(0, 0).AsInt().value(), 1);
 }
 
 TEST_F(ExecTest, TwoPhaseAggregationShufflesPartialStates) {
-  ASSERT_TRUE(db_->ExecuteSql("CREATE TABLE t (g INTEGER, v DOUBLE)").ok());
+  ASSERT_TRUE(Exec(*db_, "CREATE TABLE t (g INTEGER, v DOUBLE)").ok());
   std::vector<Row> rows;
   for (int i = 0; i < 1000; ++i) {
     rows.push_back({Value::Int(i % 10), Value::Double(1.0)});
   }
   ASSERT_TRUE(db_->BulkInsert("t", std::move(rows)).ok());
-  auto rs = db_->ExecuteSql("SELECT g, SUM(v) FROM t GROUP BY g");
+  auto rs = Exec(*db_, "SELECT g, SUM(v) FROM t GROUP BY g");
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_EQ(rs->num_rows(), 10u);
   // The shuffle moved partial states (at most groups x workers), not
@@ -213,12 +215,12 @@ TEST_F(ExecTest, TwoPhaseAggregationShufflesPartialStates) {
 }
 
 TEST_F(ExecTest, SortStabilityAndDirections) {
-  ASSERT_TRUE(db_->ExecuteSql(
+  ASSERT_TRUE(Exec(*db_, 
                     "CREATE TABLE t (a INTEGER, b STRING); "
                     "INSERT INTO t VALUES (2, 'x'), (1, 'y'), (2, 'a'), "
                     "(1, 'b')")
                   .ok());
-  auto rs = db_->ExecuteSql("SELECT a, b FROM t ORDER BY a DESC, b");
+  auto rs = Exec(*db_, "SELECT a, b FROM t ORDER BY a DESC, b");
   ASSERT_TRUE(rs.ok()) << rs.status();
   ASSERT_EQ(rs->num_rows(), 4u);
   EXPECT_EQ(rs->at(0, 0).AsInt().value(), 2);
@@ -229,50 +231,50 @@ TEST_F(ExecTest, SortStabilityAndDirections) {
 }
 
 TEST_F(ExecTest, LimitEdgeCases) {
-  ASSERT_TRUE(db_->ExecuteSql("CREATE TABLE t (a INTEGER); "
+  ASSERT_TRUE(Exec(*db_, "CREATE TABLE t (a INTEGER); "
                               "INSERT INTO t VALUES (1), (2), (3)")
                   .ok());
-  auto rs = db_->ExecuteSql("SELECT a FROM t LIMIT 0");
+  auto rs = Exec(*db_, "SELECT a FROM t LIMIT 0");
   ASSERT_TRUE(rs.ok());
   EXPECT_EQ(rs->num_rows(), 0u);
-  auto rs2 = db_->ExecuteSql("SELECT a FROM t LIMIT 99");
+  auto rs2 = Exec(*db_, "SELECT a FROM t LIMIT 99");
   ASSERT_TRUE(rs2.ok());
   EXPECT_EQ(rs2->num_rows(), 3u);
-  auto rs3 = db_->ExecuteSql("SELECT a FROM t ORDER BY a DESC LIMIT 1");
+  auto rs3 = Exec(*db_, "SELECT a FROM t ORDER BY a DESC LIMIT 1");
   ASSERT_TRUE(rs3.ok());
   ASSERT_EQ(rs3->num_rows(), 1u);
   EXPECT_EQ(rs3->at(0, 0).AsInt().value(), 3);
 }
 
 TEST_F(ExecTest, DistinctOnLaValues) {
-  ASSERT_TRUE(db_->ExecuteSql("CREATE TABLE v (vec VECTOR[2])").ok());
+  ASSERT_TRUE(Exec(*db_, "CREATE TABLE v (vec VECTOR[2])").ok());
   la::Vector a(std::vector<double>{1, 2});
   la::Vector b(std::vector<double>{3, 4});
   ASSERT_TRUE(db_->BulkInsert("v", {{Value::FromVector(a)},
                                     {Value::FromVector(b)},
                                     {Value::FromVector(a)}})
                   .ok());
-  auto rs = db_->ExecuteSql("SELECT DISTINCT vec FROM v");
+  auto rs = Exec(*db_, "SELECT DISTINCT vec FROM v");
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_EQ(rs->num_rows(), 2u);
 }
 
 TEST_F(ExecTest, CrossJoinOfEmptyInput) {
-  ASSERT_TRUE(db_->ExecuteSql("CREATE TABLE e (a INTEGER); "
+  ASSERT_TRUE(Exec(*db_, "CREATE TABLE e (a INTEGER); "
                               "CREATE TABLE f (b INTEGER); "
                               "INSERT INTO f VALUES (1)")
                   .ok());
-  auto rs = db_->ExecuteSql("SELECT COUNT(*) FROM e, f");
+  auto rs = Exec(*db_, "SELECT COUNT(*) FROM e, f");
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_EQ(rs->at(0, 0).AsInt().value(), 0);
 }
 
 TEST_F(ExecTest, MetricsSkewAndSimulatedTime) {
-  ASSERT_TRUE(db_->ExecuteSql("CREATE TABLE t (a INTEGER)").ok());
+  ASSERT_TRUE(Exec(*db_, "CREATE TABLE t (a INTEGER)").ok());
   std::vector<Row> rows;
   for (int i = 0; i < 400; ++i) rows.push_back({Value::Int(i)});
   ASSERT_TRUE(db_->BulkInsert("t", std::move(rows)).ok());
-  ASSERT_TRUE(db_->ExecuteSql("SELECT SUM(a) FROM t").ok());
+  ASSERT_TRUE(Exec(*db_, "SELECT SUM(a) FROM t").ok());
   const QueryMetrics& m = db_->last_metrics();
   EXPECT_GT(m.operators.size(), 0u);
   EXPECT_GE(m.wall_seconds, m.SimulatedParallelSeconds() * 0.0);
@@ -284,10 +286,10 @@ TEST_F(ExecTest, MetricsSkewAndSimulatedTime) {
 
 TEST_F(ExecTest, RuntimeErrorsCarryOperatorContext) {
   // Division by zero inside a projection aborts the query cleanly.
-  ASSERT_TRUE(db_->ExecuteSql("CREATE TABLE t (a INTEGER); "
+  ASSERT_TRUE(Exec(*db_, "CREATE TABLE t (a INTEGER); "
                               "INSERT INTO t VALUES (0), (1)")
                   .ok());
-  auto rs = db_->ExecuteSql("SELECT 10 / a FROM t");
+  auto rs = Exec(*db_, "SELECT 10 / a FROM t");
   EXPECT_EQ(rs.status().code(), StatusCode::kNumericError);
 }
 
@@ -334,7 +336,7 @@ std::vector<ResultSet> RunWorkloadWithThreads(size_t num_threads) {
   config.num_workers = 4;
   config.num_threads = num_threads;
   Database db(config);
-  EXPECT_TRUE(db.ExecuteSql("CREATE TABLE points (id INTEGER, grp INTEGER, "
+  EXPECT_TRUE(Exec(db, "CREATE TABLE points (id INTEGER, grp INTEGER, "
                             "val DOUBLE, vec VECTOR[8]); "
                             "CREATE TABLE labels (grp INTEGER, bonus DOUBLE)")
                   .ok());
@@ -366,7 +368,7 @@ std::vector<ResultSet> RunWorkloadWithThreads(size_t num_threads) {
   };
   std::vector<ResultSet> results;
   for (const std::string& q : queries) {
-    auto rs = db.ExecuteSql(q);
+    auto rs = Exec(db, q);
     EXPECT_TRUE(rs.ok()) << q << ": " << rs.status();
     results.push_back(rs.ok() ? std::move(*rs) : ResultSet{});
   }
@@ -402,13 +404,13 @@ TEST(ExecDeterminismTest, ShuffleAccountingMatchesAcrossThreadCounts) {
     config.num_workers = 4;
     config.num_threads = threads;
     Database db(config);
-    ASSERT_TRUE(db.ExecuteSql("CREATE TABLE t (k INTEGER, v DOUBLE)").ok());
+    ASSERT_TRUE(Exec(db, "CREATE TABLE t (k INTEGER, v DOUBLE)").ok());
     std::vector<Row> rows;
     for (int i = 0; i < 800; ++i) {
       rows.push_back({Value::Int(i % 50), Value::Double(i)});
     }
     ASSERT_TRUE(db.BulkInsert("t", std::move(rows)).ok());
-    auto rs = db.ExecuteSql("SELECT k, SUM(v) FROM t GROUP BY k");
+    auto rs = Exec(db, "SELECT k, SUM(v) FROM t GROUP BY k");
     ASSERT_TRUE(rs.ok()) << rs.status();
     EXPECT_EQ(rs->num_rows(), 50u);
     size_t rows_shuffled = 0;

@@ -8,6 +8,8 @@
 #include <string>
 
 #include "api/database.h"
+
+#include "test_util.h"
 #include "common/thread_pool.h"
 #include "obs/json.h"
 #include "obs/metrics_registry.h"
@@ -297,8 +299,8 @@ class ObsDatabaseTest : public ::testing::Test {
   }
 
   void SetUp() override {
-    ASSERT_TRUE(db_.ExecuteSql("CREATE TABLE t (a INTEGER, b DOUBLE)").ok());
-    ASSERT_TRUE(db_.ExecuteSql("INSERT INTO t VALUES "
+    ASSERT_TRUE(Exec(db_, "CREATE TABLE t (a INTEGER, b DOUBLE)").ok());
+    ASSERT_TRUE(Exec(db_, "INSERT INTO t VALUES "
                                "(1, 1.5), (2, 2.5), (3, 3.5), (4, 4.5)")
                     .ok());
   }
@@ -307,7 +309,7 @@ class ObsDatabaseTest : public ::testing::Test {
 };
 
 TEST_F(ObsDatabaseTest, PipelinePhasesAppearAsNestedSpans) {
-  auto rs = db_.ExecuteSql("SELECT SUM(b) FROM t WHERE a > 1");
+  auto rs = Exec(db_, "SELECT SUM(b) FROM t WHERE a > 1");
   ASSERT_TRUE(rs.ok()) << rs.status();
   obs::Tracer* tracer = db_.tracer();
   ASSERT_NE(tracer, nullptr);
@@ -334,7 +336,7 @@ TEST_F(ObsDatabaseTest, PipelinePhasesAppearAsNestedSpans) {
 }
 
 TEST_F(ObsDatabaseTest, ChromeTraceJsonRoundTrips) {
-  ASSERT_TRUE(db_.ExecuteSql("SELECT a FROM t WHERE b > 2.0").ok());
+  ASSERT_TRUE(Exec(db_, "SELECT a FROM t WHERE b > 2.0").ok());
   auto parsed = obs::ParseJson(db_.tracer()->ToChromeJson());
   ASSERT_TRUE(parsed.ok()) << parsed.status();
   ASSERT_TRUE(parsed->is_array());
@@ -357,7 +359,7 @@ TEST_F(ObsDatabaseTest, ChromeTraceJsonRoundTrips) {
 }
 
 TEST_F(ObsDatabaseTest, ExecutorPublishesCounters) {
-  ASSERT_TRUE(db_.ExecuteSql("SELECT SUM(b) FROM t").ok());
+  ASSERT_TRUE(Exec(db_, "SELECT SUM(b) FROM t").ok());
   obs::MetricsRegistry* reg = db_.metrics_registry();
   ASSERT_NE(reg, nullptr);
   EXPECT_GT(reg->counter("exec.operators")->value(), 0u);
@@ -366,9 +368,9 @@ TEST_F(ObsDatabaseTest, ExecutorPublishesCounters) {
   EXPECT_DOUBLE_EQ(reg->gauge("exec.workers")->value(), 4.0);
 }
 
-TEST_F(ObsDatabaseTest, TraceCoversOnlyTheLastExecuteSql) {
-  ASSERT_TRUE(db_.ExecuteSql("SELECT a FROM t").ok());
-  ASSERT_TRUE(db_.ExecuteSql("SELECT b FROM t").ok());
+TEST_F(ObsDatabaseTest, TraceCoversOnlyTheLastExecute) {
+  ASSERT_TRUE(Exec(db_, "SELECT a FROM t").ok());
+  ASSERT_TRUE(Exec(db_, "SELECT b FROM t").ok());
   size_t query_spans = 0;
   for (const obs::Span& s : db_.tracer()->spans()) {
     if (s.name == "query") ++query_spans;
@@ -381,9 +383,9 @@ TEST(ObsDisabledTest, DefaultDatabaseHasNoObservability) {
   EXPECT_EQ(db.tracer(), nullptr);
   EXPECT_EQ(db.metrics_registry(), nullptr);
   EXPECT_FALSE(db.obs_context().enabled());
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE t (a INTEGER)").ok());
-  ASSERT_TRUE(db.ExecuteSql("INSERT INTO t VALUES (1), (2)").ok());
-  auto rs = db.ExecuteSql("SELECT a FROM t");
+  ASSERT_TRUE(Exec(db, "CREATE TABLE t (a INTEGER)").ok());
+  ASSERT_TRUE(Exec(db, "INSERT INTO t VALUES (1), (2)").ok());
+  auto rs = Exec(db, "SELECT a FROM t");
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_EQ(rs->num_rows(), 2u);
   // Nothing leaked into the process-global hook.
@@ -399,7 +401,7 @@ TEST(ObsDatabaseFilesTest, TraceAndMetricsFilesAreWritten) {
   Database db(cfg);
   ASSERT_NE(db.tracer(), nullptr);
   ASSERT_NE(db.metrics_registry(), nullptr);
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE t (a INTEGER);"
+  ASSERT_TRUE(Exec(db, "CREATE TABLE t (a INTEGER);"
                             "INSERT INTO t VALUES (1);"
                             "SELECT a FROM t")
                   .ok());

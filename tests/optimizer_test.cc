@@ -2,6 +2,8 @@
 
 #include "api/database.h"
 
+#include "test_util.h"
+
 namespace radb {
 namespace {
 
@@ -14,7 +16,7 @@ class OptimizerSection41Test : public ::testing::Test {
   static constexpr size_t kK = 400;
 
   void Load(Database* db) {
-    ASSERT_TRUE(db->ExecuteSql(
+    ASSERT_TRUE(Exec(*db, 
                       "CREATE TABLE r (r_rid INTEGER, r_matrix "
                       "MATRIX[10][" +
                       std::to_string(kK) +
@@ -101,7 +103,7 @@ TEST_F(OptimizerSection41Test, LaAwarePlanMovesFarFewerBytes) {
     config.optimizer.enable_early_projection = false;
     Database db(config);
     Load(&db);
-    auto rs = db.ExecuteSql(kQuery);
+    auto rs = Exec(db, kQuery);
     ASSERT_TRUE(rs.ok()) << rs.status();
     naive_result = rs->at(0, 0).matrix();
     for (const auto& op : db.last_metrics().operators) {
@@ -111,7 +113,7 @@ TEST_F(OptimizerSection41Test, LaAwarePlanMovesFarFewerBytes) {
   {
     Database db;
     Load(&db);
-    auto rs = db.ExecuteSql(kQuery);
+    auto rs = Exec(db, kQuery);
     ASSERT_TRUE(rs.ok()) << rs.status();
     aware_result = rs->at(0, 0).matrix();
     ASSERT_EQ(rs->num_rows(), 100u);
@@ -130,7 +132,7 @@ TEST_F(OptimizerSection41Test, LaAwarePlanMovesFarFewerBytes) {
 TEST(OptimizerTest, PredicatePushdownReachesScan) {
   Database db;
   ASSERT_TRUE(
-      db.ExecuteSql("CREATE TABLE a (x INTEGER, y INTEGER); "
+      Exec(db, "CREATE TABLE a (x INTEGER, y INTEGER); "
                     "CREATE TABLE b (x INTEGER, z INTEGER)")
           .ok());
   auto plan = db.PlanQuery(
@@ -153,7 +155,7 @@ TEST(OptimizerTest, PredicatePushdownReachesScan) {
 
 TEST(OptimizerTest, ColumnPruningShrinksScan) {
   Database db;
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE wide (a INTEGER, b INTEGER, "
+  ASSERT_TRUE(Exec(db, "CREATE TABLE wide (a INTEGER, b INTEGER, "
                             "c INTEGER, d INTEGER, e INTEGER)")
                   .ok());
   auto plan = db.PlanQuery("SELECT a FROM wide WHERE b > 0");
@@ -174,7 +176,7 @@ TEST(OptimizerTest, ColumnPruningShrinksScan) {
 TEST(OptimizerTest, EquiJoinPreferredOverCross) {
   Database db;
   ASSERT_TRUE(
-      db.ExecuteSql("CREATE TABLE a (x INTEGER); CREATE TABLE b (x INTEGER)")
+      Exec(db, "CREATE TABLE a (x INTEGER); CREATE TABLE b (x INTEGER)")
           .ok());
   std::vector<Row> rows;
   for (int i = 0; i < 50; ++i) rows.push_back(Row{Value::Int(i)});
@@ -195,7 +197,7 @@ TEST(OptimizerTest, EquiJoinPreferredOverCross) {
 
 TEST(OptimizerTest, ExplainRendersCosts) {
   Database db;
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE t (a INTEGER)").ok());
+  ASSERT_TRUE(Exec(db, "CREATE TABLE t (a INTEGER)").ok());
   auto explain = db.Explain("SELECT a FROM t WHERE a > 1");
   ASSERT_TRUE(explain.ok());
   EXPECT_NE(explain->find("Scan"), std::string::npos);
@@ -207,7 +209,7 @@ TEST(OptimizerTest, JoinOrderAvoidsLargeIntermediates) {
   // plan joins the small tables into the big one rather than starting
   // with big x big.
   Database db;
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE small1 (k INTEGER); "
+  ASSERT_TRUE(Exec(db, "CREATE TABLE small1 (k INTEGER); "
                             "CREATE TABLE big (k INTEGER, j INTEGER); "
                             "CREATE TABLE small2 (j INTEGER)")
                   .ok());
@@ -220,7 +222,7 @@ TEST(OptimizerTest, JoinOrderAvoidsLargeIntermediates) {
   ASSERT_TRUE(db.BulkInsert("small1", std::move(s1)).ok());
   ASSERT_TRUE(db.BulkInsert("small2", std::move(s2)).ok());
   ASSERT_TRUE(db.BulkInsert("big", std::move(bg)).ok());
-  auto rs = db.ExecuteSql(
+  auto rs = Exec(db, 
       "SELECT COUNT(*) FROM small1, big, small2 "
       "WHERE small1.k = big.k AND big.j = small2.j");
   ASSERT_TRUE(rs.ok()) << rs.status();
@@ -239,7 +241,7 @@ TEST(OptimizerTest, GreedyPathHandlesManyRelations) {
   std::string from;
   std::string where;
   for (int i = 0; i < 12; ++i) {
-    ASSERT_TRUE(db.ExecuteSql("CREATE TABLE c" + std::to_string(i) +
+    ASSERT_TRUE(Exec(db, "CREATE TABLE c" + std::to_string(i) +
                               " (k INTEGER, v INTEGER)")
                     .ok());
     std::vector<Row> rows;
@@ -256,7 +258,7 @@ TEST(OptimizerTest, GreedyPathHandlesManyRelations) {
     }
     from += "c" + std::to_string(i);
   }
-  auto rs = db.ExecuteSql("SELECT COUNT(*), SUM(c11.v) FROM " + from +
+  auto rs = Exec(db, "SELECT COUNT(*), SUM(c11.v) FROM " + from +
                           " WHERE " + where);
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_EQ(rs->at(0, 0).AsInt().value(), 8);  // one row per key
@@ -268,7 +270,7 @@ TEST(OptimizerTest, EarlyProjectionCanBeDisabled) {
   Database::Config config;
   config.optimizer.enable_early_projection = false;
   Database db(config);
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE a (k INTEGER, m MATRIX[4][4]); "
+  ASSERT_TRUE(Exec(db, "CREATE TABLE a (k INTEGER, m MATRIX[4][4]); "
                             "CREATE TABLE b (k INTEGER, m MATRIX[4][4])")
                   .ok());
   std::vector<Row> ra, rb;
@@ -278,7 +280,7 @@ TEST(OptimizerTest, EarlyProjectionCanBeDisabled) {
   }
   ASSERT_TRUE(db.BulkInsert("a", std::move(ra)).ok());
   ASSERT_TRUE(db.BulkInsert("b", std::move(rb)).ok());
-  auto rs = db.ExecuteSql(
+  auto rs = Exec(db, 
       "SELECT matrix_multiply(a.m, b.m) FROM a, b WHERE a.k = b.k");
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_EQ(rs->num_rows(), 10u);
@@ -307,7 +309,7 @@ TEST(OptimizerTest, EarlyProjectionPrunesSlotZeroColumn) {
   config.obs.enable_metrics = true;
   Database db(config);
   ASSERT_TRUE(
-      db.ExecuteSql("CREATE TABLE a (m MATRIX[32][32], k INTEGER)").ok());
+      Exec(db, "CREATE TABLE a (m MATRIX[32][32], k INTEGER)").ok());
   std::vector<Row> rows;
   for (int i = 0; i < 4; ++i) {
     rows.push_back({Value::FromMatrix(la::Matrix(32, 32, 1.0)), Value::Int(i)});
@@ -316,7 +318,7 @@ TEST(OptimizerTest, EarlyProjectionPrunesSlotZeroColumn) {
 
   // m binds to slot 0; trace(m) shrinks 32x32 doubles to one, so the
   // rule must fire (and the result must still be correct).
-  auto rs = db.ExecuteSql("SELECT trace(m) FROM a");
+  auto rs = Exec(db, "SELECT trace(m) FROM a");
   ASSERT_TRUE(rs.ok()) << rs.status();
   ASSERT_EQ(rs->num_rows(), 4u);
   EXPECT_DOUBLE_EQ(rs->at(0, 0).AsDouble().value(), 32.0);

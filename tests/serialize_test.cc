@@ -4,6 +4,8 @@
 #include <fstream>
 
 #include "api/database.h"
+
+#include "test_util.h"
 #include "common/rng.h"
 #include "la/random.h"
 #include "storage/csv.h"
@@ -63,8 +65,8 @@ TEST(SerializeTest, RoundTripAllValueKinds) {
 
   // Row-level deep equality (gather both, compare as multisets keyed
   // by the integer column; NULL row checked separately).
-  RowSet original = table.Gather();
-  RowSet restored = (*loaded)->Gather();
+  RowSet original = *table.Gather();
+  RowSet restored = *(*loaded)->Gather();
   ASSERT_EQ(original.size(), restored.size());
   auto find_by_key = [&](const RowSet& rows, const Value& key) -> const Row* {
     for (const Row& r : rows) {
@@ -125,7 +127,7 @@ TEST(SerializeTest, DatabaseSaveLoadQueryable) {
   TempFile file("db_table.radb");
   {
     Database db;
-    ASSERT_TRUE(db.ExecuteSql("CREATE TABLE pts (id INTEGER, "
+    ASSERT_TRUE(Exec(db, "CREATE TABLE pts (id INTEGER, "
                               "vec VECTOR[4])")
                     .ok());
     Rng rng(6);
@@ -143,7 +145,7 @@ TEST(SerializeTest, DatabaseSaveLoadQueryable) {
     ASSERT_TRUE(db.LoadTable("pts2", file.path()).ok());
     // Name collision refused.
     EXPECT_FALSE(db.LoadTable("pts2", file.path()).ok());
-    auto rs = db.ExecuteSql(
+    auto rs = Exec(db, 
         "SELECT COUNT(*), SUM(inner_product(vec, vec)) FROM pts2");
     ASSERT_TRUE(rs.ok()) << rs.status();
     EXPECT_EQ(rs->at(0, 0).AsInt().value(), 32);
@@ -179,8 +181,8 @@ TEST(CsvTest, RoundTripAllKinds) {
   auto loaded = ReadCsvFile(file.path(), "csvt2", schema, 3);
   ASSERT_TRUE(loaded.ok()) << loaded.status();
   ASSERT_EQ((*loaded)->num_rows(), 10u);
-  RowSet original = table.Gather();
-  RowSet restored = (*loaded)->Gather();
+  RowSet original = *table.Gather();
+  RowSet restored = *(*loaded)->Gather();
   auto find_by_key = [&](const RowSet& rows, const Value& key) -> const Row* {
     for (const Row& r : rows) {
       if (r[0].Equals(key)) return &r;

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "api/database.h"
+
+#include "test_util.h"
 #include "common/thread_pool.h"
 #include "mem/spill_file.h"
 #include "obs/metrics_registry.h"
@@ -225,9 +227,9 @@ TEST(GlobalInstallTest, TwoDatabasesDestroyedOutOfLifoOrderStaySafe) {
   EXPECT_EQ(obs::GlobalMetrics(), second->metrics_registry());
   EXPECT_EQ(GlobalPool(), second->pool());
   // And queries still run on the survivor.
-  ASSERT_TRUE(second->ExecuteSql("CREATE TABLE t (k INTEGER)").ok());
-  ASSERT_TRUE(second->ExecuteSql("INSERT INTO t VALUES (1), (2)").ok());
-  auto rs = second->ExecuteSql("SELECT SUM(k) FROM t");
+  ASSERT_TRUE(Exec(*second, "CREATE TABLE t (k INTEGER)").ok());
+  ASSERT_TRUE(Exec(*second, "INSERT INTO t VALUES (1), (2)").ok());
+  auto rs = Exec(*second, "SELECT SUM(k) FROM t");
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_EQ(rs->at(0, 0).int_value(), 3);
   second.reset();
@@ -246,7 +248,7 @@ class SessionTest : public ::testing::Test {
     cfg.obs.enable_metrics = true;
     db_ = std::make_unique<Database>(cfg);
     ASSERT_TRUE(
-        db_->ExecuteSql("CREATE TABLE pts (k INTEGER, x DOUBLE)").ok());
+        Exec(*db_, "CREATE TABLE pts (k INTEGER, x DOUBLE)").ok());
     std::vector<Row> rows;
     for (int64_t i = 0; i < 5000; ++i) {
       rows.push_back({Value::Int(i % 50), Value::Double(0.25 * (i % 97))});
@@ -269,7 +271,7 @@ TEST_F(SessionTest, ConcurrentSessionsMatchSerialBitForBit) {
   // Serial reference, straight through the Database.
   std::vector<std::string> want;
   for (const auto& q : queries) {
-    auto ref = db_->ExecuteSql(q);
+    auto ref = Exec(*db_, q);
     ASSERT_TRUE(ref.ok()) << ref.status();
     want.push_back(Fingerprint(*ref));
   }
@@ -404,7 +406,7 @@ TEST_F(SessionTest, PerCallDeadlineRejectsLongQueued) {
 
 TEST(ConcurrentSpillTest, TwoBudgetedQueriesSpillSideBySideBitIdentical) {
   Database db;
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE big (k INTEGER, pad STRING)").ok());
+  ASSERT_TRUE(Exec(db, "CREATE TABLE big (k INTEGER, pad STRING)").ok());
   std::vector<Row> rows;
   for (int64_t i = 0; i < 4000; ++i) {
     rows.push_back(
@@ -414,7 +416,7 @@ TEST(ConcurrentSpillTest, TwoBudgetedQueriesSpillSideBySideBitIdentical) {
 
   const std::string sql =
       "SELECT a.k, a.pad, b.pad FROM big a, big b WHERE a.k = b.k";
-  auto ref = db.ExecuteSql(sql);
+  auto ref = Exec(db, sql);
   ASSERT_TRUE(ref.ok()) << ref.status();
   const std::string want = Fingerprint(*ref);
 

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "api/database.h"
+
+#include "test_util.h"
 #include "common/rng.h"
 #include "la/random.h"
 #include "la/tiled.h"
@@ -32,7 +34,7 @@ constexpr size_t kSmallBudget = 256u << 10;
 /// databases run with it off.
 Database::Config SpillConfig() {
   Database::Config config;
-  config.enable_result_cache = false;
+  config.cache.enable_result_cache = false;
   return config;
 }
 
@@ -44,9 +46,9 @@ class SpillJoinTest : public ::testing::Test {
  protected:
   void SetUp() override {
     db_ = std::make_unique<Database>(SpillConfig());
-    ASSERT_TRUE(db_->ExecuteSql("CREATE TABLE lhs (k INTEGER, pad STRING)")
+    ASSERT_TRUE(Exec(*db_, "CREATE TABLE lhs (k INTEGER, pad STRING)")
                     .ok());
-    ASSERT_TRUE(db_->ExecuteSql("CREATE TABLE rhs (k INTEGER, pad STRING)")
+    ASSERT_TRUE(Exec(*db_, "CREATE TABLE rhs (k INTEGER, pad STRING)")
                     .ok());
     // ~470 KB per side: far over the 64 KB budget, so the shuffle-hash
     // join's per-worker build always misses TryReserve and takes the
@@ -68,7 +70,7 @@ class SpillJoinTest : public ::testing::Test {
 TEST_F(SpillJoinTest, GraceSpillIsBitIdenticalAt1And8Threads) {
   const std::string sql =
       "SELECT lhs.k, lhs.pad, rhs.pad FROM lhs, rhs WHERE lhs.k = rhs.k";
-  auto ref = db_->ExecuteSql(sql);
+  auto ref = Exec(*db_, sql);
   ASSERT_TRUE(ref.ok()) << ref.status();
   ASSERT_EQ(ref->num_rows(), 4000u);
   const std::string want = Fingerprint(*ref);
@@ -96,7 +98,7 @@ class SpillAggTest : public ::testing::Test {
   void SetUp() override {
     db_ = std::make_unique<Database>(SpillConfig());
     ASSERT_TRUE(
-        db_->ExecuteSql("CREATE TABLE pts (k INTEGER, x DOUBLE)").ok());
+        Exec(*db_, "CREATE TABLE pts (k INTEGER, x DOUBLE)").ok());
     // 100 groups of accumulator state fit the 256 KB budget even with
     // per-worker phase-1 partials (8 workers x 100 groups x ~190 B
     // each, about 150 KB) — group state is unspillable, so it must.
@@ -116,7 +118,7 @@ class SpillAggTest : public ::testing::Test {
 TEST_F(SpillAggTest, AggregationOverSpilledInputIsBitIdenticalAt1And8Threads) {
   const std::string sql =
       "SELECT k, SUM(x), COUNT(*) FROM pts GROUP BY k ORDER BY k";
-  auto ref = db_->ExecuteSql(sql);
+  auto ref = Exec(*db_, sql);
   ASSERT_TRUE(ref.ok()) << ref.status();
   ASSERT_EQ(ref->num_rows(), 100u);
   const std::string want = Fingerprint(*ref);
@@ -144,10 +146,10 @@ TEST(TiledSqlTest, SixteenMbBudgetSpillsAndStaysBitIdentical) {
   constexpr size_t kGrid = 16;
   constexpr size_t kTile = 25;
   Database db(SpillConfig());
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE lhs (tileRow INTEGER, "
+  ASSERT_TRUE(Exec(db, "CREATE TABLE lhs (tileRow INTEGER, "
                             "tileCol INTEGER, mat MATRIX[25][25])")
                   .ok());
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE rhs (tileRow INTEGER, "
+  ASSERT_TRUE(Exec(db, "CREATE TABLE rhs (tileRow INTEGER, "
                             "tileCol INTEGER, mat MATRIX[25][25])")
                   .ok());
   Rng rng(20170419);
@@ -171,7 +173,7 @@ TEST(TiledSqlTest, SixteenMbBudgetSpillsAndStaysBitIdentical) {
       "FROM lhs, rhs WHERE lhs.tileCol = rhs.tileRow "
       "GROUP BY lhs.tileRow, rhs.tileCol "
       "ORDER BY lhs.tileRow, rhs.tileCol";
-  auto ref = db.ExecuteSql(sql);
+  auto ref = Exec(db, sql);
   ASSERT_TRUE(ref.ok()) << ref.status();
   ASSERT_EQ(ref->num_rows(), kGrid * kGrid);
   const std::string want = Fingerprint(*ref);
@@ -222,7 +224,7 @@ TEST(TileEvictionTest, BudgetedTiledMultiplyIsBitIdentical) {
 
 TEST(ResourceExhaustedTest, FailedQueryDoesNotPoisonTheDatabase) {
   Database db(SpillConfig());
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE t (k INTEGER, pad STRING)").ok());
+  ASSERT_TRUE(Exec(db, "CREATE TABLE t (k INTEGER, pad STRING)").ok());
   std::vector<Row> rows;
   for (int64_t i = 0; i < 4000; ++i) {
     rows.push_back({Value::Int(i),
@@ -239,7 +241,7 @@ TEST(ResourceExhaustedTest, FailedQueryDoesNotPoisonTheDatabase) {
       << sorted.status();
 
   // The same Database keeps answering: unbudgeted...
-  auto count = db.ExecuteSql("SELECT COUNT(*) FROM t");
+  auto count = Exec(db, "SELECT COUNT(*) FROM t");
   ASSERT_TRUE(count.ok()) << count.status();
   EXPECT_EQ(count->at(0, 0).int_value(), 4000);
   // ...and under the same tight budget, when the query can spill.
@@ -277,9 +279,9 @@ TEST(ScriptResultTest, CarriesAllSelectResultsAndPerStatementStats) {
 
 TEST(ResultSetAccessorTest, GetAndColumnIndexAreBoundsChecked) {
   Database db(SpillConfig());
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE s (k INTEGER, name STRING)").ok());
-  ASSERT_TRUE(db.ExecuteSql("INSERT INTO s VALUES (7, 'seven')").ok());
-  auto rs = db.ExecuteSql("SELECT k, name FROM s");
+  ASSERT_TRUE(Exec(db, "CREATE TABLE s (k INTEGER, name STRING)").ok());
+  ASSERT_TRUE(Exec(db, "INSERT INTO s VALUES (7, 'seven')").ok());
+  auto rs = Exec(db, "SELECT k, name FROM s");
   ASSERT_TRUE(rs.ok()) << rs.status();
 
   auto cell = rs->Get(0, 1);

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include "api/database.h"
+
+#include "test_util.h"
 #include "common/rng.h"
 #include "la/random.h"
 
@@ -15,7 +17,7 @@ class SqlAggTest : public ::testing::TestWithParam<size_t> {
     Database::Config config;
     config.num_workers = GetParam();
     db_ = std::make_unique<Database>(config);
-    ASSERT_TRUE(db_->ExecuteSql("CREATE TABLE v (g INTEGER, vec VECTOR[4], "
+    ASSERT_TRUE(Exec(*db_, "CREATE TABLE v (g INTEGER, vec VECTOR[4], "
                                 "w DOUBLE)")
                     .ok());
     Rng rng(71);
@@ -36,7 +38,7 @@ class SqlAggTest : public ::testing::TestWithParam<size_t> {
 };
 
 TEST_P(SqlAggTest, GroupedVectorSum) {
-  auto rs = db_->ExecuteSql(
+  auto rs = Exec(*db_, 
       "SELECT g, SUM(vec) FROM v GROUP BY g ORDER BY g");
   ASSERT_TRUE(rs.ok()) << rs.status();
   ASSERT_EQ(rs->num_rows(), 3u);
@@ -47,7 +49,7 @@ TEST_P(SqlAggTest, GroupedVectorSum) {
 }
 
 TEST_P(SqlAggTest, VectorAvgIsSumOverCount) {
-  auto rs = db_->ExecuteSql(
+  auto rs = Exec(*db_, 
       "SELECT g, AVG(vec), COUNT(*) FROM v GROUP BY g ORDER BY g");
   ASSERT_TRUE(rs.ok()) << rs.status();
   for (size_t r = 0; r < 3; ++r) {
@@ -60,7 +62,7 @@ TEST_P(SqlAggTest, VectorAvgIsSumOverCount) {
 }
 
 TEST_P(SqlAggTest, ElementWiseMinMaxOverVectors) {
-  auto rs = db_->ExecuteSql(
+  auto rs = Exec(*db_, 
       "SELECT EMIN(vec), EMAX(vec) FROM v");
   ASSERT_TRUE(rs.ok()) << rs.status();
   const la::Vector& lo = rs->at(0, 0).vector();
@@ -74,25 +76,25 @@ TEST_P(SqlAggTest, ElementWiseMinMaxOverVectors) {
 
 TEST_P(SqlAggTest, WeightedVectorSum) {
   // SUM(vec * w): vector-scalar broadcast inside an aggregate.
-  auto rs = db_->ExecuteSql("SELECT SUM(vec * w) FROM v");
+  auto rs = Exec(*db_, "SELECT SUM(vec * w) FROM v");
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_EQ(rs->at(0, 0).vector().size(), 4u);
 }
 
 TEST_P(SqlAggTest, SumShapeMismatchIsRuntimeError) {
-  ASSERT_TRUE(db_->ExecuteSql("CREATE TABLE mixed (vec VECTOR[])").ok());
+  ASSERT_TRUE(Exec(*db_, "CREATE TABLE mixed (vec VECTOR[])").ok());
   ASSERT_TRUE(db_->BulkInsert("mixed",
                               {{Value::FromVector(la::Vector(3))},
                                {Value::FromVector(la::Vector(4))}})
                   .ok());
   EXPECT_EQ(
-      db_->ExecuteSql("SELECT SUM(vec) FROM mixed").status().code(),
+      Exec(*db_, "SELECT SUM(vec) FROM mixed").status().code(),
       StatusCode::kDimensionMismatch);
 }
 
 TEST_P(SqlAggTest, ColMatrixFromGroupedVectors) {
   // Build a matrix whose columns are the per-group vector sums.
-  auto rs = db_->ExecuteSql(
+  auto rs = Exec(*db_, 
       "SELECT COLMATRIX(label_vector(s.sv, s.g)) FROM "
       "(SELECT g, SUM(vec) AS sv FROM v GROUP BY g) AS s");
   ASSERT_TRUE(rs.ok()) << rs.status();
@@ -107,7 +109,7 @@ TEST_P(SqlAggTest, ColMatrixFromGroupedVectors) {
 TEST_P(SqlAggTest, GroupByVectorValue) {
   // Vectors are hashable and comparable, so they can be group keys
   // (the k-means example's assignment step relies on this).
-  ASSERT_TRUE(db_->ExecuteSql("CREATE TABLE dup (vec VECTOR[2])").ok());
+  ASSERT_TRUE(Exec(*db_, "CREATE TABLE dup (vec VECTOR[2])").ok());
   la::Vector a(std::vector<double>{1, 2});
   la::Vector b(std::vector<double>{3, 4});
   ASSERT_TRUE(db_->BulkInsert("dup", {{Value::FromVector(a)},
@@ -115,7 +117,7 @@ TEST_P(SqlAggTest, GroupByVectorValue) {
                                       {Value::FromVector(a)}})
                   .ok());
   auto rs =
-      db_->ExecuteSql("SELECT vec, COUNT(*) FROM dup GROUP BY vec");
+      Exec(*db_, "SELECT vec, COUNT(*) FROM dup GROUP BY vec");
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_EQ(rs->num_rows(), 2u);
   int64_t total = 0;

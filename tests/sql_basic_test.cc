@@ -2,16 +2,18 @@
 
 #include "api/database.h"
 
+#include "test_util.h"
+
 namespace radb {
 namespace {
 
 class SqlBasicTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    ASSERT_TRUE(db_.ExecuteSql("CREATE TABLE t (a INTEGER, b DOUBLE, "
+    ASSERT_TRUE(Exec(db_, "CREATE TABLE t (a INTEGER, b DOUBLE, "
                                "c STRING)")
                     .ok());
-    ASSERT_TRUE(db_.ExecuteSql("INSERT INTO t VALUES "
+    ASSERT_TRUE(Exec(db_, "INSERT INTO t VALUES "
                                "(1, 1.5, 'x'), (2, 2.5, 'y'), "
                                "(3, 3.5, 'x'), (4, 4.5, 'z')")
                     .ok());
@@ -20,21 +22,21 @@ class SqlBasicTest : public ::testing::Test {
 };
 
 TEST_F(SqlBasicTest, SelectStar) {
-  auto rs = db_.ExecuteSql("SELECT * FROM t");
+  auto rs = Exec(db_, "SELECT * FROM t");
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_EQ(rs->num_rows(), 4u);
   EXPECT_EQ(rs->num_columns(), 3u);
 }
 
 TEST_F(SqlBasicTest, WhereFilter) {
-  auto rs = db_.ExecuteSql("SELECT a FROM t WHERE b > 2.0 AND c = 'x'");
+  auto rs = Exec(db_, "SELECT a FROM t WHERE b > 2.0 AND c = 'x'");
   ASSERT_TRUE(rs.ok()) << rs.status();
   ASSERT_EQ(rs->num_rows(), 1u);
   EXPECT_EQ(rs->at(0, 0).AsInt().value(), 3);
 }
 
 TEST_F(SqlBasicTest, Projection) {
-  auto rs = db_.ExecuteSql("SELECT a * 2 + 1 AS v FROM t WHERE a = 2");
+  auto rs = Exec(db_, "SELECT a * 2 + 1 AS v FROM t WHERE a = 2");
   ASSERT_TRUE(rs.ok()) << rs.status();
   ASSERT_EQ(rs->num_rows(), 1u);
   EXPECT_EQ(rs->at(0, 0).AsInt().value(), 5);
@@ -42,7 +44,7 @@ TEST_F(SqlBasicTest, Projection) {
 }
 
 TEST_F(SqlBasicTest, ScalarAggregates) {
-  auto rs = db_.ExecuteSql(
+  auto rs = Exec(db_, 
       "SELECT COUNT(*), SUM(a), AVG(b), MIN(a), MAX(c) FROM t");
   ASSERT_TRUE(rs.ok()) << rs.status();
   ASSERT_EQ(rs->num_rows(), 1u);
@@ -54,7 +56,7 @@ TEST_F(SqlBasicTest, ScalarAggregates) {
 }
 
 TEST_F(SqlBasicTest, GroupBy) {
-  auto rs = db_.ExecuteSql(
+  auto rs = Exec(db_, 
       "SELECT c, SUM(a) AS s FROM t GROUP BY c ORDER BY c");
   ASSERT_TRUE(rs.ok()) << rs.status();
   ASSERT_EQ(rs->num_rows(), 3u);
@@ -65,7 +67,7 @@ TEST_F(SqlBasicTest, GroupBy) {
 
 TEST_F(SqlBasicTest, GroupByExpression) {
   // GROUP BY an arithmetic expression; SELECT references it verbatim.
-  auto rs = db_.ExecuteSql(
+  auto rs = Exec(db_, 
       "SELECT a / 2, COUNT(*) FROM t GROUP BY a / 2 ORDER BY a / 2");
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_EQ(rs->num_rows(), 3u);  // groups 0 (a=1), 1 (a=2,3), 2 (a=4)
@@ -73,7 +75,7 @@ TEST_F(SqlBasicTest, GroupByExpression) {
 }
 
 TEST_F(SqlBasicTest, HavingFiltersGroups) {
-  auto rs = db_.ExecuteSql(
+  auto rs = Exec(db_, 
       "SELECT c, SUM(a) AS s FROM t GROUP BY c HAVING SUM(a) > 3 "
       "ORDER BY c");
   ASSERT_TRUE(rs.ok()) << rs.status();
@@ -81,25 +83,25 @@ TEST_F(SqlBasicTest, HavingFiltersGroups) {
   EXPECT_EQ(rs->at(0, 0).string_value(), "x");
   EXPECT_EQ(rs->at(1, 0).string_value(), "z");
   // HAVING may reference group keys.
-  auto rs2 = db_.ExecuteSql(
+  auto rs2 = Exec(db_, 
       "SELECT c, COUNT(*) FROM t GROUP BY c HAVING c = 'x'");
   ASSERT_TRUE(rs2.ok()) << rs2.status();
   EXPECT_EQ(rs2->num_rows(), 1u);
   // HAVING without aggregates/GROUP BY is rejected.
-  EXPECT_EQ(db_.ExecuteSql("SELECT a FROM t HAVING a > 1").status().code(),
+  EXPECT_EQ(Exec(db_, "SELECT a FROM t HAVING a > 1").status().code(),
             StatusCode::kBindError);
   // HAVING must be boolean.
-  EXPECT_EQ(db_.ExecuteSql("SELECT c FROM t GROUP BY c HAVING 1 + 1")
+  EXPECT_EQ(Exec(db_, "SELECT c FROM t GROUP BY c HAVING 1 + 1")
                 .status()
                 .code(),
             StatusCode::kTypeError);
 }
 
 TEST_F(SqlBasicTest, JoinTwoTables) {
-  ASSERT_TRUE(db_.ExecuteSql("CREATE TABLE u (a INTEGER, d DOUBLE); "
+  ASSERT_TRUE(Exec(db_, "CREATE TABLE u (a INTEGER, d DOUBLE); "
                              "INSERT INTO u VALUES (1, 10.0), (3, 30.0)")
                   .ok());
-  auto rs = db_.ExecuteSql(
+  auto rs = Exec(db_, 
       "SELECT t.a, u.d FROM t, u WHERE t.a = u.a ORDER BY t.a");
   ASSERT_TRUE(rs.ok()) << rs.status();
   ASSERT_EQ(rs->num_rows(), 2u);
@@ -108,7 +110,7 @@ TEST_F(SqlBasicTest, JoinTwoTables) {
 }
 
 TEST_F(SqlBasicTest, SelfJoinWithAliases) {
-  auto rs = db_.ExecuteSql(
+  auto rs = Exec(db_, 
       "SELECT x1.a, x2.a FROM t AS x1, t AS x2 "
       "WHERE x1.a = x2.a ORDER BY x1.a");
   ASSERT_TRUE(rs.ok()) << rs.status();
@@ -116,46 +118,46 @@ TEST_F(SqlBasicTest, SelfJoinWithAliases) {
 }
 
 TEST_F(SqlBasicTest, CrossJoinCount) {
-  auto rs = db_.ExecuteSql(
+  auto rs = Exec(db_, 
       "SELECT COUNT(*) FROM t AS x1, t AS x2");
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_EQ(rs->at(0, 0).AsInt().value(), 16);
 }
 
 TEST_F(SqlBasicTest, NonEquiJoinPredicate) {
-  auto rs = db_.ExecuteSql(
+  auto rs = Exec(db_, 
       "SELECT COUNT(*) FROM t AS x1, t AS x2 WHERE x1.a < x2.a");
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_EQ(rs->at(0, 0).AsInt().value(), 6);
 }
 
 TEST_F(SqlBasicTest, DistinctAndLimit) {
-  auto rs = db_.ExecuteSql("SELECT DISTINCT c FROM t");
+  auto rs = Exec(db_, "SELECT DISTINCT c FROM t");
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_EQ(rs->num_rows(), 3u);
-  auto rs2 = db_.ExecuteSql("SELECT a FROM t ORDER BY a DESC LIMIT 2");
+  auto rs2 = Exec(db_, "SELECT a FROM t ORDER BY a DESC LIMIT 2");
   ASSERT_TRUE(rs2.ok()) << rs2.status();
   ASSERT_EQ(rs2->num_rows(), 2u);
   EXPECT_EQ(rs2->at(0, 0).AsInt().value(), 4);
 }
 
 TEST_F(SqlBasicTest, ViewsExpand) {
-  ASSERT_TRUE(db_.ExecuteSql("CREATE VIEW big (a) AS "
+  ASSERT_TRUE(Exec(db_, "CREATE VIEW big (a) AS "
                              "SELECT a FROM t WHERE b > 2.0")
                   .ok());
-  auto rs = db_.ExecuteSql("SELECT COUNT(*) FROM big");
+  auto rs = Exec(db_, "SELECT COUNT(*) FROM big");
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_EQ(rs->at(0, 0).AsInt().value(), 3);
   // Views compose with joins.
   auto rs2 =
-      db_.ExecuteSql("SELECT COUNT(*) FROM big AS b1, big AS b2 "
+      Exec(db_, "SELECT COUNT(*) FROM big AS b1, big AS b2 "
                      "WHERE b1.a = b2.a");
   ASSERT_TRUE(rs2.ok()) << rs2.status();
   EXPECT_EQ(rs2->at(0, 0).AsInt().value(), 3);
 }
 
 TEST_F(SqlBasicTest, SubqueryInFrom) {
-  auto rs = db_.ExecuteSql(
+  auto rs = Exec(db_, 
       "SELECT s.c, s.total FROM "
       "(SELECT c, SUM(a) AS total FROM t GROUP BY c) AS s "
       "WHERE s.total > 3 ORDER BY s.c");
@@ -166,40 +168,40 @@ TEST_F(SqlBasicTest, SubqueryInFrom) {
 
 TEST_F(SqlBasicTest, CreateTableAs) {
   ASSERT_TRUE(
-      db_.ExecuteSql("CREATE TABLE t2 AS SELECT a, b FROM t WHERE a > 2")
+      Exec(db_, "CREATE TABLE t2 AS SELECT a, b FROM t WHERE a > 2")
           .ok());
-  auto rs = db_.ExecuteSql("SELECT COUNT(*) FROM t2");
+  auto rs = Exec(db_, "SELECT COUNT(*) FROM t2");
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_EQ(rs->at(0, 0).AsInt().value(), 2);
 }
 
 TEST_F(SqlBasicTest, BindErrors) {
-  EXPECT_EQ(db_.ExecuteSql("SELECT nope FROM t").status().code(),
+  EXPECT_EQ(Exec(db_, "SELECT nope FROM t").status().code(),
             StatusCode::kBindError);
-  EXPECT_EQ(db_.ExecuteSql("SELECT a FROM missing").status().code(),
+  EXPECT_EQ(Exec(db_, "SELECT a FROM missing").status().code(),
             StatusCode::kCatalogError);
-  EXPECT_EQ(db_.ExecuteSql("SELECT t.a FROM t, t").status().code(),
+  EXPECT_EQ(Exec(db_, "SELECT t.a FROM t, t").status().code(),
             StatusCode::kBindError);  // duplicate alias
-  EXPECT_EQ(db_.ExecuteSql("SELECT a, SUM(b) FROM t").status().code(),
+  EXPECT_EQ(Exec(db_, "SELECT a, SUM(b) FROM t").status().code(),
             StatusCode::kBindError);  // a not grouped
-  EXPECT_EQ(db_.ExecuteSql("SELECT SUM(SUM(a)) FROM t").status().code(),
+  EXPECT_EQ(Exec(db_, "SELECT SUM(SUM(a)) FROM t").status().code(),
             StatusCode::kBindError);  // nested aggregate
-  EXPECT_EQ(db_.ExecuteSql("SELECT no_such_fn(a) FROM t").status().code(),
+  EXPECT_EQ(Exec(db_, "SELECT no_such_fn(a) FROM t").status().code(),
             StatusCode::kCatalogError);
 }
 
 TEST_F(SqlBasicTest, TypeErrors) {
-  EXPECT_EQ(db_.ExecuteSql("SELECT a FROM t WHERE a + 1").status().code(),
+  EXPECT_EQ(Exec(db_, "SELECT a FROM t WHERE a + 1").status().code(),
             StatusCode::kTypeError);  // WHERE must be boolean
-  EXPECT_EQ(db_.ExecuteSql("SELECT a + c FROM t").status().code(),
+  EXPECT_EQ(Exec(db_, "SELECT a + c FROM t").status().code(),
             StatusCode::kTypeError);  // int + string
-  EXPECT_EQ(db_.ExecuteSql("SELECT a FROM t WHERE c > 1").status().code(),
+  EXPECT_EQ(Exec(db_, "SELECT a FROM t WHERE c > 1").status().code(),
             StatusCode::kTypeError);  // string vs numeric ordering
 }
 
 TEST_F(SqlBasicTest, EmptyTableAggregates) {
-  ASSERT_TRUE(db_.ExecuteSql("CREATE TABLE empty (a INTEGER)").ok());
-  auto rs = db_.ExecuteSql("SELECT COUNT(*), SUM(a) FROM empty");
+  ASSERT_TRUE(Exec(db_, "CREATE TABLE empty (a INTEGER)").ok());
+  auto rs = Exec(db_, "SELECT COUNT(*), SUM(a) FROM empty");
   ASSERT_TRUE(rs.ok()) << rs.status();
   ASSERT_EQ(rs->num_rows(), 1u);
   EXPECT_EQ(rs->at(0, 0).AsInt().value(), 0);
@@ -207,13 +209,13 @@ TEST_F(SqlBasicTest, EmptyTableAggregates) {
 }
 
 TEST_F(SqlBasicTest, IntegerDivisionTruncates) {
-  auto rs = db_.ExecuteSql("SELECT a / 2 FROM t WHERE a = 3");
+  auto rs = Exec(db_, "SELECT a / 2 FROM t WHERE a = 3");
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_EQ(rs->at(0, 0).AsInt().value(), 1);
 }
 
 TEST_F(SqlBasicTest, MetricsPopulated) {
-  ASSERT_TRUE(db_.ExecuteSql("SELECT c, SUM(a) FROM t GROUP BY c").ok());
+  ASSERT_TRUE(Exec(db_, "SELECT c, SUM(a) FROM t GROUP BY c").ok());
   const QueryMetrics& m = db_.last_metrics();
   EXPECT_GT(m.operators.size(), 0u);
   bool saw_aggregate = false;
@@ -227,7 +229,7 @@ TEST_F(SqlBasicTest, MetricsPopulated) {
 
 TEST_F(SqlBasicTest, ExplainAnalyzeAnnotatesEveryNode) {
   auto rs =
-      db_.ExecuteSql("EXPLAIN ANALYZE SELECT c, SUM(a) FROM t GROUP BY c");
+      Exec(db_, "EXPLAIN ANALYZE SELECT c, SUM(a) FROM t GROUP BY c");
   ASSERT_TRUE(rs.ok()) << rs.status();
   ASSERT_EQ(rs->num_columns(), 1u);
   std::string text;
@@ -252,7 +254,7 @@ TEST_F(SqlBasicTest, ExplainAnalyzeAnnotatesEveryNode) {
 }
 
 TEST_F(SqlBasicTest, PlainExplainDoesNotExecute) {
-  auto rs = db_.ExecuteSql("EXPLAIN SELECT a FROM t");
+  auto rs = Exec(db_, "EXPLAIN SELECT a FROM t");
   ASSERT_TRUE(rs.ok()) << rs.status();
   std::string text;
   for (size_t r = 0; r < rs->num_rows(); ++r) {
@@ -264,11 +266,11 @@ TEST_F(SqlBasicTest, PlainExplainDoesNotExecute) {
 }
 
 TEST_F(SqlBasicTest, DropTableAndView) {
-  ASSERT_TRUE(db_.ExecuteSql("CREATE VIEW v AS SELECT a FROM t").ok());
-  ASSERT_TRUE(db_.ExecuteSql("DROP VIEW v").ok());
-  EXPECT_FALSE(db_.ExecuteSql("SELECT * FROM v").ok());
-  ASSERT_TRUE(db_.ExecuteSql("DROP TABLE t").ok());
-  EXPECT_FALSE(db_.ExecuteSql("SELECT * FROM t").ok());
+  ASSERT_TRUE(Exec(db_, "CREATE VIEW v AS SELECT a FROM t").ok());
+  ASSERT_TRUE(Exec(db_, "DROP VIEW v").ok());
+  EXPECT_FALSE(Exec(db_, "SELECT * FROM v").ok());
+  ASSERT_TRUE(Exec(db_, "DROP TABLE t").ok());
+  EXPECT_FALSE(Exec(db_, "SELECT * FROM t").ok());
 }
 
 // Distribution sanity: results are identical across cluster sizes.
@@ -278,14 +280,14 @@ TEST_P(ClusterSizeTest, SameAnswerAnyWorkerCount) {
   Database::Config config;
   config.num_workers = GetParam();
   Database db(config);
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE t (k INTEGER, v DOUBLE)").ok());
+  ASSERT_TRUE(Exec(db, "CREATE TABLE t (k INTEGER, v DOUBLE)").ok());
   std::vector<Row> rows;
   for (int i = 0; i < 100; ++i) {
     rows.push_back(
         Row{Value::Int(i % 7), Value::Double(static_cast<double>(i))});
   }
   ASSERT_TRUE(db.BulkInsert("t", std::move(rows)).ok());
-  auto rs = db.ExecuteSql(
+  auto rs = Exec(db, 
       "SELECT k, SUM(v) AS s, COUNT(*) AS c FROM t GROUP BY k ORDER BY k");
   ASSERT_TRUE(rs.ok()) << rs.status();
   ASSERT_EQ(rs->num_rows(), 7u);

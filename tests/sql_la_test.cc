@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include "api/database.h"
+
+#include "test_util.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "la/random.h"
@@ -15,16 +17,16 @@ constexpr double kTol = 1e-9;
 
 TEST(SqlLaTest, SizeCheckingAtCompileTime) {
   Database db;
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE m (mat MATRIX[10][10], "
+  ASSERT_TRUE(Exec(db, "CREATE TABLE m (mat MATRIX[10][10], "
                             "vec VECTOR[100])")
                   .ok());
   // The paper's example: 10x10 matrix times a 100-vector must not
   // compile.
-  auto bad = db.ExecuteSql(
+  auto bad = Exec(db, 
       "SELECT matrix_vector_multiply(m.mat, m.vec) AS res FROM m");
   EXPECT_EQ(bad.status().code(), StatusCode::kTypeError);
 
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE m2 (mat MATRIX[10][10], "
+  ASSERT_TRUE(Exec(db, "CREATE TABLE m2 (mat MATRIX[10][10], "
                             "vec VECTOR[10])")
                   .ok());
   auto good = db.PlanQuery(
@@ -36,7 +38,7 @@ TEST(SqlLaTest, SizeCheckingAtCompileTime) {
 
 TEST(SqlLaTest, UnspecifiedDimsCompileButFailAtRuntime) {
   Database db;
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE m (mat MATRIX[10][10], "
+  ASSERT_TRUE(Exec(db, "CREATE TABLE m (mat MATRIX[10][10], "
                             "vec VECTOR[])")
                   .ok());
   // Compiles (vec size unknown), but a 7-vector fails at runtime.
@@ -44,7 +46,7 @@ TEST(SqlLaTest, UnspecifiedDimsCompileButFailAtRuntime) {
   ASSERT_TRUE(db.BulkInsert("m", {Row{Value::FromMatrix(mat),
                                       Value::FromVector(la::Vector(7))}})
                   .ok());
-  auto rs = db.ExecuteSql(
+  auto rs = Exec(db, 
       "SELECT matrix_vector_multiply(m.mat, m.vec) FROM m");
   EXPECT_EQ(rs.status().code(), StatusCode::kDimensionMismatch);
 }
@@ -53,11 +55,11 @@ TEST(SqlLaTest, UnspecifiedDimsCompileButFailAtRuntime) {
 
 TEST(SqlLaTest, HadamardProductOfColumn) {
   Database db;
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE m (mat MATRIX[2][2])").ok());
+  ASSERT_TRUE(Exec(db, "CREATE TABLE m (mat MATRIX[2][2])").ok());
   ASSERT_TRUE(db.BulkInsert("m", {Row{Value::FromMatrix(
                                      la::Matrix(2, 2, {1, 2, 3, 4}))}})
                   .ok());
-  auto rs = db.ExecuteSql("SELECT mat * mat FROM m");
+  auto rs = Exec(db, "SELECT mat * mat FROM m");
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_DOUBLE_EQ(rs->at(0, 0).matrix().At(1, 1), 16.0);
 }
@@ -67,7 +69,7 @@ TEST(SqlLaTest, GramMatrixViaSumOfOuterProducts) {
   Database db;
   Rng rng(42);
   const size_t n = 50, d = 8;
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE v (vec VECTOR[])").ok());
+  ASSERT_TRUE(Exec(db, "CREATE TABLE v (vec VECTOR[])").ok());
   la::Matrix x(n, d);
   std::vector<Row> rows;
   for (size_t i = 0; i < n; ++i) {
@@ -76,7 +78,7 @@ TEST(SqlLaTest, GramMatrixViaSumOfOuterProducts) {
     rows.push_back(Row{Value::FromVector(std::move(p))});
   }
   ASSERT_TRUE(db.BulkInsert("v", std::move(rows)).ok());
-  auto rs = db.ExecuteSql("SELECT SUM(outer_product(vec, vec)) FROM v");
+  auto rs = Exec(db, "SELECT SUM(outer_product(vec, vec)) FROM v");
   ASSERT_TRUE(rs.ok()) << rs.status();
   auto gram = rs->ScalarMatrix();
   ASSERT_TRUE(gram.ok());
@@ -85,13 +87,13 @@ TEST(SqlLaTest, GramMatrixViaSumOfOuterProducts) {
 
 TEST(SqlLaTest, ScalarBroadcastInSql) {
   Database db;
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE v (vec VECTOR[3], s DOUBLE)").ok());
+  ASSERT_TRUE(Exec(db, "CREATE TABLE v (vec VECTOR[3], s DOUBLE)").ok());
   ASSERT_TRUE(db.BulkInsert(
                     "v", {Row{Value::FromVector(la::Vector(
                                   std::vector<double>{1, 2, 3})),
                               Value::Double(2.0)}})
                   .ok());
-  auto rs = db.ExecuteSql("SELECT vec * s + 1.0 FROM v");
+  auto rs = Exec(db, "SELECT vec * s + 1.0 FROM v");
   ASSERT_TRUE(rs.ok()) << rs.status();
   EXPECT_EQ(rs->at(0, 0).vector().values(),
             (std::vector<double>{3, 5, 7}));
@@ -102,10 +104,10 @@ TEST(SqlLaTest, ScalarBroadcastInSql) {
 TEST(SqlLaTest, VectorizeFromNormalizedTable) {
   // Paper: SELECT VECTORIZE(label_scalar(y_i, i)) FROM y
   Database db;
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE y (i INTEGER, y_i DOUBLE); "
+  ASSERT_TRUE(Exec(db, "CREATE TABLE y (i INTEGER, y_i DOUBLE); "
                             "INSERT INTO y VALUES (0, 10.0), (2, 30.0)")
                   .ok());
-  auto rs = db.ExecuteSql("SELECT VECTORIZE(label_scalar(y_i, i)) FROM y");
+  auto rs = Exec(db, "SELECT VECTORIZE(label_scalar(y_i, i)) FROM y");
   ASSERT_TRUE(rs.ok()) << rs.status();
   auto vec = rs->ScalarVector();
   ASSERT_TRUE(vec.ok());
@@ -116,7 +118,7 @@ TEST(SqlLaTest, VectorizeFromNormalizedTable) {
 TEST(SqlLaTest, TripleStoreToMatrixAndBack) {
   // Paper §3.3: mat(row, col, value) -> vecs view -> ROWMATRIX.
   Database db;
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE mat (row INTEGER, col INTEGER, "
+  ASSERT_TRUE(Exec(db, "CREATE TABLE mat (row INTEGER, col INTEGER, "
                             "value DOUBLE)")
                   .ok());
   Rng rng(7);
@@ -133,12 +135,12 @@ TEST(SqlLaTest, TripleStoreToMatrixAndBack) {
     }
   }
   ASSERT_TRUE(db.BulkInsert("mat", std::move(rows)).ok());
-  ASSERT_TRUE(db.ExecuteSql(
+  ASSERT_TRUE(Exec(db, 
                     "CREATE VIEW vecs AS "
                     "SELECT VECTORIZE(label_scalar(value, col)) AS vec, row "
                     "FROM mat GROUP BY row")
                   .ok());
-  auto rs = db.ExecuteSql(
+  auto rs = Exec(db, 
       "SELECT ROWMATRIX(label_vector(vec, row)) FROM vecs");
   ASSERT_TRUE(rs.ok()) << rs.status();
   auto m = rs->ScalarMatrix();
@@ -146,12 +148,12 @@ TEST(SqlLaTest, TripleStoreToMatrixAndBack) {
   EXPECT_LT(m->MaxAbsDiff(expected), kTol);
 
   // COLMATRIX with GROUP BY col builds the transpose-oriented matrix.
-  ASSERT_TRUE(db.ExecuteSql(
+  ASSERT_TRUE(Exec(db, 
                     "CREATE VIEW cvecs AS "
                     "SELECT VECTORIZE(label_scalar(value, row)) AS vec, col "
                     "FROM mat GROUP BY col")
                   .ok());
-  auto rs2 = db.ExecuteSql(
+  auto rs2 = Exec(db, 
       "SELECT COLMATRIX(label_vector(vec, col)) FROM cvecs");
   ASSERT_TRUE(rs2.ok()) << rs2.status();
   auto m2 = rs2->ScalarMatrix();
@@ -159,10 +161,10 @@ TEST(SqlLaTest, TripleStoreToMatrixAndBack) {
   EXPECT_LT(m2->MaxAbsDiff(expected), kTol);
 
   // Normalize back with get_scalar and a label table (paper §3.3).
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE label (id INTEGER)").ok());
+  ASSERT_TRUE(Exec(db, "CREATE TABLE label (id INTEGER)").ok());
   ASSERT_TRUE(
-      db.ExecuteSql("INSERT INTO label VALUES (0), (1), (2)").ok());
-  auto rs3 = db.ExecuteSql(
+      Exec(db, "INSERT INTO label VALUES (0), (1), (2)").ok());
+  auto rs3 = Exec(db, 
       "SELECT vecs.row, label.id, get_scalar(vecs.vec, label.id) "
       "FROM vecs, label");
   ASSERT_TRUE(rs3.ok()) << rs3.status();
@@ -198,7 +200,7 @@ TEST(SqlLaTest, LinearRegressionBothCodings) {
 
   // Coding 1: X as a set of vectors (paper §3.2).
   Database db;
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE xv (i INTEGER, x_i VECTOR[]); "
+  ASSERT_TRUE(Exec(db, "CREATE TABLE xv (i INTEGER, x_i VECTOR[]); "
                             "CREATE TABLE y (i INTEGER, y_i DOUBLE)")
                   .ok());
   std::vector<Row> xrows, yrows;
@@ -210,7 +212,7 @@ TEST(SqlLaTest, LinearRegressionBothCodings) {
   }
   ASSERT_TRUE(db.BulkInsert("xv", std::move(xrows)).ok());
   ASSERT_TRUE(db.BulkInsert("y", std::move(yrows)).ok());
-  auto rs = db.ExecuteSql(
+  auto rs = Exec(db, 
       "SELECT matrix_vector_multiply("
       "matrix_inverse(SUM(outer_product(xv.x_i, xv.x_i))), "
       "SUM(xv.x_i * y.y_i)) "
@@ -221,12 +223,12 @@ TEST(SqlLaTest, LinearRegressionBothCodings) {
   EXPECT_LT(beta1->MaxAbsDiff(*beta_ref), 1e-7);
 
   // Coding 2: whole-matrix storage (paper §3.3).
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE xm (mat MATRIX[][]); "
+  ASSERT_TRUE(Exec(db, "CREATE TABLE xm (mat MATRIX[][]); "
                             "CREATE TABLE yv (vec VECTOR[])")
                   .ok());
   ASSERT_TRUE(db.BulkInsert("xm", {Row{Value::FromMatrix(x)}}).ok());
   ASSERT_TRUE(db.BulkInsert("yv", {Row{Value::FromVector(y)}}).ok());
-  auto rs2 = db.ExecuteSql(
+  auto rs2 = Exec(db, 
       "SELECT matrix_vector_multiply("
       "matrix_inverse(matrix_multiply(trans_matrix(mat), mat)), "
       "matrix_vector_multiply(trans_matrix(mat), vec)) "
@@ -261,7 +263,7 @@ TEST(SqlLaTest, RiemannianDistanceTupleVsVectorCoding) {
 
   // Vector coding (paper §2.3).
   Database db;
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE data (pointID INTEGER, "
+  ASSERT_TRUE(Exec(db, "CREATE TABLE data (pointID INTEGER, "
                             "val VECTOR[]); "
                             "CREATE TABLE matrixA (val MATRIX[][])")
                   .ok());
@@ -272,7 +274,7 @@ TEST(SqlLaTest, RiemannianDistanceTupleVsVectorCoding) {
   }
   ASSERT_TRUE(db.BulkInsert("data", std::move(rows)).ok());
   ASSERT_TRUE(db.BulkInsert("matrixA", {Row{Value::FromMatrix(a)}}).ok());
-  auto rs = db.ExecuteSql(
+  auto rs = Exec(db, 
       "SELECT x2.pointID, inner_product(matrix_vector_multiply("
       "a.val, x1.val - x2.val), x1.val - x2.val) AS value "
       "FROM data AS x1, data AS x2, matrixA AS a "
@@ -285,7 +287,7 @@ TEST(SqlLaTest, RiemannianDistanceTupleVsVectorCoding) {
   }
 
   // Tuple coding (paper §2.2), same numbers the hard way.
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE datat (pointID INTEGER, "
+  ASSERT_TRUE(Exec(db, "CREATE TABLE datat (pointID INTEGER, "
                             "dimID INTEGER, value DOUBLE); "
                             "CREATE TABLE matA (rowID INTEGER, "
                             "colID INTEGER, value DOUBLE)")
@@ -307,7 +309,7 @@ TEST(SqlLaTest, RiemannianDistanceTupleVsVectorCoding) {
   }
   ASSERT_TRUE(db.BulkInsert("datat", std::move(trows)).ok());
   ASSERT_TRUE(db.BulkInsert("matA", std::move(arows)).ok());
-  ASSERT_TRUE(db.ExecuteSql(
+  ASSERT_TRUE(Exec(db, 
                     "CREATE VIEW xDiff (pointID, dimID, value) AS "
                     "SELECT x2.pointID, x2.dimID, x1.value - x2.value "
                     "FROM datat AS x1, datat AS x2 "
@@ -315,7 +317,7 @@ TEST(SqlLaTest, RiemannianDistanceTupleVsVectorCoding) {
                     std::to_string(target) +
                     " AND x1.dimID = x2.dimID")
                   .ok());
-  auto rs2 = db.ExecuteSql(
+  auto rs2 = Exec(db, 
       "SELECT x.pointID, SUM(firstPart.value * x.value) "
       "FROM (SELECT x.pointID AS pointID, a.colID AS colID, "
       "      SUM(a.value * x.value) AS value "
@@ -341,7 +343,7 @@ TEST(SqlLaTest, TiledMatrixMultiplyViaSql) {
   la::Matrix a = la::RandomMatrix(rng, n, n);
   la::Matrix b = la::RandomMatrix(rng, n, n);
   Database db;
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE bigMatrix (tileRow INTEGER, "
+  ASSERT_TRUE(Exec(db, "CREATE TABLE bigMatrix (tileRow INTEGER, "
                             "tileCol INTEGER, mat MATRIX[4][4]); "
                             "CREATE TABLE anotherBigMat (tileRow INTEGER, "
                             "tileCol INTEGER, mat MATRIX[4][4])")
@@ -358,7 +360,7 @@ TEST(SqlLaTest, TiledMatrixMultiplyViaSql) {
   ASSERT_TRUE(load("bigMatrix", a).ok());
   ASSERT_TRUE(load("anotherBigMat", b).ok());
   // The paper's §3.4 query, verbatim.
-  auto rs = db.ExecuteSql(
+  auto rs = Exec(db, 
       "SELECT lhs.tileRow, rhs.tileCol, "
       "SUM(matrix_multiply(lhs.mat, rhs.mat)) "
       "FROM bigMatrix AS lhs, anotherBigMat AS rhs "
@@ -381,21 +383,21 @@ TEST(SqlLaTest, TiledMatrixMultiplyViaSql) {
 
 TEST(SqlLaTest, RuntimeErrorsSurface) {
   Database db;
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE m (mat MATRIX[][])").ok());
+  ASSERT_TRUE(Exec(db, "CREATE TABLE m (mat MATRIX[][])").ok());
   // Singular matrix inversion is a numeric error.
   ASSERT_TRUE(db.BulkInsert("m", {Row{Value::FromMatrix(
                                      la::Matrix(2, 2, {1, 2, 2, 4}))}})
                   .ok());
-  EXPECT_EQ(db.ExecuteSql("SELECT matrix_inverse(mat) FROM m")
+  EXPECT_EQ(Exec(db, "SELECT matrix_inverse(mat) FROM m")
                 .status()
                 .code(),
             StatusCode::kNumericError);
   // diag of a non-square matrix is a dimension error at runtime when
   // the declared type left dims open.
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE m2 (mat MATRIX[][])").ok());
+  ASSERT_TRUE(Exec(db, "CREATE TABLE m2 (mat MATRIX[][])").ok());
   ASSERT_TRUE(
       db.BulkInsert("m2", {Row{Value::FromMatrix(la::Matrix(2, 3))}}).ok());
-  EXPECT_EQ(db.ExecuteSql("SELECT diag(mat) FROM m2").status().code(),
+  EXPECT_EQ(Exec(db, "SELECT diag(mat) FROM m2").status().code(),
             StatusCode::kDimensionMismatch);
 }
 
@@ -414,11 +416,11 @@ std::string PlanText(const ResultSet& rs) {
 
 TEST(SqlLaTest, ExplainAnalyzeOuterProductAgreesWithLastMetrics) {
   Database db;
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE v (vec VECTOR[4])").ok());
-  ASSERT_TRUE(db.ExecuteSql("INSERT INTO v VALUES (ones_vector(4)), "
+  ASSERT_TRUE(Exec(db, "CREATE TABLE v (vec VECTOR[4])").ok());
+  ASSERT_TRUE(Exec(db, "INSERT INTO v VALUES (ones_vector(4)), "
                             "(ones_vector(4)), (ones_vector(4))")
                   .ok());
-  auto rs = db.ExecuteSql(
+  auto rs = Exec(db, 
       "EXPLAIN ANALYZE SELECT SUM(outer_product(vec, vec)) FROM v");
   ASSERT_TRUE(rs.ok()) << rs.status();
   const std::string text = PlanText(*rs);
@@ -447,7 +449,7 @@ TEST(SqlLaTest, ExplainAnalyzeGramSplitsJoinAndAggregateTime) {
   // time? — asked of EXPLAIN ANALYZE: the join and the aggregation
   // must be separately visible, each with its own timing.
   Database db;
-  ASSERT_TRUE(db.ExecuteSql("CREATE TABLE x (id INTEGER, vec VECTOR[4]);"
+  ASSERT_TRUE(Exec(db, "CREATE TABLE x (id INTEGER, vec VECTOR[4]);"
                             "CREATE TABLE w (id INTEGER, scale DOUBLE)")
                   .ok());
   for (int i = 0; i < 8; ++i) {
@@ -459,7 +461,7 @@ TEST(SqlLaTest, ExplainAnalyzeGramSplitsJoinAndAggregateTime) {
     ASSERT_TRUE(
         db.BulkInsert("w", {Row{Value::Int(i), Value::Double(1.0)}}).ok());
   }
-  auto rs = db.ExecuteSql(
+  auto rs = Exec(db, 
       "EXPLAIN ANALYZE SELECT SUM(outer_product(x.vec, x.vec)) "
       "FROM x, w WHERE x.id = w.id");
   ASSERT_TRUE(rs.ok()) << rs.status();

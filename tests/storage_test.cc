@@ -35,7 +35,7 @@ TEST(TableTest, RoundRobinSpreadsRows) {
         t.Insert(Row{Value::Int(i), Value::FromVector(la::Vector(3))}).ok());
   }
   for (size_t p = 0; p < t.num_partitions(); ++p) {
-    EXPECT_EQ(t.partition(p).size(), 2u);
+    EXPECT_EQ((*t.GatherPartition(p)).size(), 2u);
   }
 }
 
@@ -51,7 +51,8 @@ TEST(TableTest, RepartitionByHashColocatesKeys) {
   EXPECT_FALSE(t.partitioning().IsHashOn(1));
   // All rows with equal keys are in the same partition.
   for (size_t p = 0; p < t.num_partitions(); ++p) {
-    for (const Row& row : t.partition(p)) {
+    RowSet part = *t.GatherPartition(p);
+    for (const Row& row : part) {
       const size_t expected = row[0].Hash() % t.num_partitions();
       EXPECT_EQ(expected, p);
     }
@@ -64,7 +65,7 @@ TEST(TableTest, GatherAndByteSize) {
   Table t("t", TwoColSchema(), 2);
   ASSERT_TRUE(
       t.Insert(Row{Value::Int(1), Value::FromVector(la::Vector(3))}).ok());
-  EXPECT_EQ(t.Gather().size(), 1u);
+  EXPECT_EQ((*t.Gather()).size(), 1u);
   EXPECT_GT(t.byte_size(), 3 * sizeof(double));
 }
 

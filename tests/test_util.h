@@ -1,0 +1,25 @@
+#ifndef RADB_TESTS_TEST_UTIL_H_
+#define RADB_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <utility>
+
+#include "api/database.h"
+
+namespace radb {
+
+/// Runs a script through Database::Execute and keeps only the last
+/// result set (empty for DDL/DML-only scripts) — the shape most
+/// single-statement assertions want. Tests that care about multiple
+/// result sets or per-statement stats call Execute directly.
+inline Result<ResultSet> Exec(Database& db, const std::string& sql,
+                              const QueryOptions& options = QueryOptions{}) {
+  Result<ScriptResult> script = db.Execute(sql, options);
+  if (!script.ok()) return script.status();
+  if (script->result_sets.empty()) return ResultSet{};
+  return std::move(script->result_sets.back());
+}
+
+}  // namespace radb
+
+#endif  // RADB_TESTS_TEST_UTIL_H_

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "api/database.h"
+
+#include "test_util.h"
 #include "common/rng.h"
 #include "testing/catalog_gen.h"
 #include "testing/differ.h"
@@ -48,8 +50,8 @@ void ExpectEnginesAgree(const std::string& setup, const std::string& sql,
   Result<ResultSet> baseline = Status::OK();
   for (const Variant& v : variants) {
     Database db(EngineConfig(v.vectorized, v.threads, batch_rows));
-    ASSERT_TRUE(db.ExecuteSql(setup).ok()) << v.name;
-    Result<ResultSet> got = db.ExecuteSql(sql);
+    ASSERT_TRUE(Exec(db, setup).ok()) << v.name;
+    Result<ResultSet> got = Exec(db, sql);
     if (std::string(v.name) == "row-1t") {
       baseline = std::move(got);
       continue;
@@ -156,10 +158,10 @@ TEST(VectorizedTest, NegativeZeroSurvivesSumFirstValue) {
   // so compare the sign bit explicitly).
   for (const bool vectorized : {false, true}) {
     Database db(EngineConfig(vectorized, 1));
-    ASSERT_TRUE(db.ExecuteSql("CREATE TABLE z (g INTEGER, v DOUBLE);"
+    ASSERT_TRUE(Exec(db, "CREATE TABLE z (g INTEGER, v DOUBLE);"
                               "INSERT INTO z VALUES (1, -0.0)")
                     .ok());
-    auto rs = db.ExecuteSql("SELECT SUM(v) FROM z GROUP BY g");
+    auto rs = Exec(db, "SELECT SUM(v) FROM z GROUP BY g");
     ASSERT_TRUE(rs.ok()) << rs.status();
     ASSERT_EQ(rs->num_rows(), 1u);
     EXPECT_TRUE(std::signbit(rs->at(0, 0).double_value()))
@@ -238,12 +240,12 @@ TEST(VectorizedTest, KindImpureColumnFallsBackToRowEngine) {
   // survives identically.
   for (const bool vectorized : {false, true}) {
     Database db(EngineConfig(vectorized, 1));
-    ASSERT_TRUE(db.ExecuteSql("CREATE TABLE p (d DOUBLE)").ok());
+    ASSERT_TRUE(Exec(db, "CREATE TABLE p (d DOUBLE)").ok());
     // The INSERT parser may coerce; BulkInsert stores the raw value.
     ASSERT_TRUE(db.BulkInsert("p", {{Value::Int(1)}, {Value::Double(1.0)},
                                     {Value::Double(2.5)}})
                     .ok());
-    auto rs = db.ExecuteSql("SELECT d, COUNT(*) FROM p GROUP BY d");
+    auto rs = Exec(db, "SELECT d, COUNT(*) FROM p GROUP BY d");
     ASSERT_TRUE(rs.ok()) << rs.status();
     // Int(1) and Double(1.0) are distinct group keys in the row
     // engine; the batch config must agree (by falling back).
@@ -253,8 +255,8 @@ TEST(VectorizedTest, KindImpureColumnFallsBackToRowEngine) {
 
 TEST(VectorizedTest, ExplainAnalyzeReportsExecMode) {
   Database batch_db(EngineConfig(true, 1));
-  ASSERT_TRUE(batch_db.ExecuteSql(kSetup).ok());
-  auto rs = batch_db.ExecuteSql(
+  ASSERT_TRUE(Exec(batch_db, kSetup).ok());
+  auto rs = Exec(batch_db, 
       "EXPLAIN ANALYZE SELECT c, SUM(a) FROM t WHERE a > 0 GROUP BY c");
   ASSERT_TRUE(rs.ok()) << rs.status();
   std::string plan;
@@ -265,8 +267,8 @@ TEST(VectorizedTest, ExplainAnalyzeReportsExecMode) {
   EXPECT_NE(plan.find("batches="), std::string::npos) << plan;
 
   Database row_db(EngineConfig(false, 1));
-  ASSERT_TRUE(row_db.ExecuteSql(kSetup).ok());
-  auto row_rs = row_db.ExecuteSql(
+  ASSERT_TRUE(Exec(row_db, kSetup).ok());
+  auto row_rs = Exec(row_db, 
       "EXPLAIN ANALYZE SELECT c, SUM(a) FROM t WHERE a > 0 GROUP BY c");
   ASSERT_TRUE(row_rs.ok()) << row_rs.status();
   std::string row_plan;
@@ -278,9 +280,9 @@ TEST(VectorizedTest, ExplainAnalyzeReportsExecMode) {
 
 TEST(VectorizedTest, RadbOperatorsExposesExecMode) {
   Database db(EngineConfig(true, 1));
-  ASSERT_TRUE(db.ExecuteSql(kSetup).ok());
-  ASSERT_TRUE(db.ExecuteSql("SELECT c, SUM(a) FROM t GROUP BY c").ok());
-  auto rs = db.ExecuteSql(
+  ASSERT_TRUE(Exec(db, kSetup).ok());
+  ASSERT_TRUE(Exec(db, "SELECT c, SUM(a) FROM t GROUP BY c").ok());
+  auto rs = Exec(db, 
       "SELECT COUNT(*) FROM radb_operators WHERE exec_mode = 'batch' "
       "AND batches > 0");
   ASSERT_TRUE(rs.ok()) << rs.status();
@@ -301,8 +303,8 @@ TEST(VectorizedTest, MiniFuzzRowVsBatch) {
   for (int i = 0; i < 60; ++i) {
     const testing::QuerySpec q = testing::GenerateQuery(spec, &rng);
     const std::string sql = q.ToSql();
-    auto a = row_db.ExecuteSql(sql);
-    auto b = batch_db.ExecuteSql(sql);
+    auto a = Exec(row_db, sql);
+    auto b = Exec(batch_db, sql);
     ASSERT_EQ(a.ok(), b.ok()) << sql << "\nrow: "
                               << (a.ok() ? "ok" : a.status().message())
                               << "\nbatch: "
