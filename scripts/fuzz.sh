@@ -72,3 +72,11 @@ cmake --build "$BUILD_DIR" -j "$JOBS" --target cache_test ablation_cache
 cmake --build "$BUILD_DIR" -j "$JOBS" --target persist_test
 (cd "$BUILD_DIR" && ctest -L storage --output-on-failure)
 "$BUILD_DIR/bench/fuzz_queries" --queries 0 --reopen 8 --seed "$SEED"
+
+# Sparse pass: CSR/COO kernels, semiring dispatch, sparse Value
+# serialization through spill / cache / reopen, and the graph
+# workload — pointer-walking CSR merge loops are classic off-by-one
+# territory, so ASan+UBSan runs the whole label (scripts/stress.sh
+# runs the same label under TSan).
+cmake --build "$BUILD_DIR" -j "$JOBS" --target sparse_test
+(cd "$BUILD_DIR" && ctest -L sparse --output-on-failure)

@@ -23,7 +23,8 @@ cmake -S "$(dirname "$0")/.." -B "$BUILD_DIR" \
   -DRADB_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$JOBS" \
   --target service_test cancel_test systab_test vectorized_test \
-  cache_test persist_test ablation_concurrency ablation_cache fuzz_queries
+  cache_test persist_test sparse_test ablation_concurrency ablation_cache \
+  fuzz_queries
 
 # halt_on_error so a race report fails the run instead of scrolling by.
 # die_after_fork=0: the storage crash-recovery battery forks children
@@ -56,6 +57,12 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:die_after_fork=0}"
 # reader interleavings are exactly what TSan should chew on (same
 # label scripts/fuzz.sh runs under ASan).
 (cd "$BUILD_DIR" && ctest -L storage --output-on-failure)
+
+# Sparse suite: the multiply dispatch counters are process-global
+# atomics updated from every worker thread, and the sparse kernels run
+# inside the parallel pipeline — the bit-identity assertions double as
+# race detectors (same label scripts/fuzz.sh runs under ASan).
+(cd "$BUILD_DIR" && ctest -L sparse --output-on-failure)
 
 # Multi-session differential fuzzing: 4 concurrent sessions vs the
 # serial oracle, plus the usual single-threaded sweep for coverage,

@@ -12,7 +12,9 @@
 #include "common/string_util.h"
 #include "exec/executor.h"
 #include "exec/expr_eval.h"
+#include "la/sparse/sparse.h"
 #include "mem/memory_tracker.h"
+#include "obs/metrics_registry.h"
 #include "mem/spill_file.h"
 #include "parser/normalize.h"
 #include "parser/parser.h"
@@ -34,7 +36,7 @@ Result<la::Matrix> ResultSet::ScalarMatrix() const {
   if (rows[0][0].kind() != TypeKind::kMatrix) {
     return Status::TypeError("result is not a MATRIX");
   }
-  return rows[0][0].matrix();
+  return rows[0][0].Densified().matrix();
 }
 
 Result<la::Vector> ResultSet::ScalarVector() const {
@@ -224,6 +226,8 @@ Database::Database(const Config& config)
   // live Databases can be torn down in any order without one
   // resurrecting the other's freed pool.
   InstallGlobalPool(pool_.get());
+  la::sparse::DispatchPolicy::Set(config_.sparse.auto_dispatch,
+                                  config_.sparse.density_threshold);
   if (config_.obs.enable_tracing || !config_.obs.trace_path.empty()) {
     tracer_ = std::make_unique<obs::Tracer>();
   }
@@ -1247,6 +1251,15 @@ Result<ResultSet> Database::ExplainAnalyzeSelect(
   }
 
   QueryMetrics qm;
+  // Snapshot the sparse-dispatch counters so the footer can report
+  // this query's deltas (the registry is cumulative per Database).
+  obs::MetricsRegistry* sparse_reg = obs::GlobalMetrics();
+  uint64_t sparse0 = 0, auto0 = 0, densify0 = 0;
+  if (sparse_reg != nullptr) {
+    sparse0 = sparse_reg->counter("la.sparse.dispatch_sparse")->value();
+    auto0 = sparse_reg->counter("la.sparse.auto_sparsify")->value();
+    densify0 = sparse_reg->counter("la.sparse.densify_fallback")->value();
+  }
   const auto t0 = std::chrono::steady_clock::now();
   // The executor outlives Execute so its plan-node -> metrics map is
   // available for rendering.
@@ -1288,6 +1301,18 @@ Result<ResultSet> Database::ExplainAnalyzeSelect(
   }
   if (cache_key != nullptr && plan_cache_ != nullptr) {
     os << "; cache=" << (cached != nullptr ? "plan-hit" : "miss");
+  }
+  if (sparse_reg != nullptr) {
+    const uint64_t sparse_calls =
+        sparse_reg->counter("la.sparse.dispatch_sparse")->value() - sparse0;
+    const uint64_t auto_calls =
+        sparse_reg->counter("la.sparse.auto_sparsify")->value() - auto0;
+    const uint64_t densify_calls =
+        sparse_reg->counter("la.sparse.densify_fallback")->value() - densify0;
+    if (sparse_calls + auto_calls + densify_calls > 0) {
+      os << "; sparse dispatch: sparse=" << sparse_calls
+         << " auto=" << auto_calls << " densified=" << densify_calls;
+    }
   }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);

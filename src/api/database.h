@@ -301,6 +301,20 @@ class Database {
     };
     StorageOptions storage;
 
+    /// Density-adaptive sparse kernel selection (src/la/sparse). The
+    /// policy is process-global — the constructor installs these
+    /// values, last-constructed Database wins (same discipline as the
+    /// global worker pool).
+    struct SparseOptions {
+      /// Route dense-by-dense multiplies through the sparse kernel
+      /// when the left operand's measured nnz density is at or below
+      /// the threshold. Purely a kernel-selection device: results
+      /// keep their dense representation and identical cells.
+      bool auto_dispatch = true;
+      double density_threshold = 0.05;
+    };
+    SparseOptions sparse;
+
     Optimizer::Options optimizer;
     ObsOptions obs;
     TelemetryOptions telemetry;

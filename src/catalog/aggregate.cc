@@ -19,6 +19,9 @@ class SumAggregator : public Aggregator {
  public:
   Status Update(const Value& v) override {
     if (v.is_null()) return Status::OK();
+    // Sparse matrices accumulate densely: a SUM across a group fills
+    // in quickly anyway, and AddInPlace needs dense storage.
+    if (v.is_sparse_matrix()) return Update(v.Densified());
     // MATRIX/VECTOR inputs accumulate into owned storage in place —
     // a fresh d x d allocation per input row would otherwise dominate
     // Gram-style SUM(outer_product(...)) queries.
@@ -171,6 +174,7 @@ class ElementWiseMinMaxAggregator : public Aggregator {
   explicit ElementWiseMinMaxAggregator(bool is_min) : is_min_(is_min) {}
   Status Update(const Value& v) override {
     if (v.is_null()) return Status::OK();
+    if (v.is_sparse_matrix()) return Update(v.Densified());
     if (!acc_) {
       acc_ = v;
       return Status::OK();

@@ -4,7 +4,9 @@
 
 #include "common/string_util.h"
 #include "la/matrix.h"
+#include "la/sparse/sparse.h"
 #include "la/vector.h"
+#include "obs/metrics_registry.h"
 
 namespace radb {
 
@@ -12,6 +14,9 @@ namespace {
 
 using TT = TypeTemplate;
 using DP = DimParam;
+using la::sparse::CsrMatrix;
+using la::sparse::DispatchPolicy;
+using la::sparse::Semiring;
 
 Status BadIndex(const char* fn, int64_t idx, size_t limit) {
   return Status::ExecutionError(std::string(fn) + ": index " +
@@ -29,6 +34,101 @@ Result<Value> WrapVec(Result<la::Vector> r) {
 Result<Value> WrapMat(Result<la::Matrix> r) {
   if (!r.ok()) return r.status();
   return Value::FromMatrix(std::move(r).value());
+}
+
+void SparseMetric(const char* name) {
+  if (obs::MetricsRegistry* reg = obs::GlobalMetrics()) reg->Add(name, 1);
+}
+
+/// Reads the optional trailing semiring-name argument; absent or NULL
+/// means plus-times.
+Result<Semiring> SemiringArg(const std::vector<Value>& args, size_t idx) {
+  if (args.size() <= idx || args[idx].is_null()) {
+    return la::sparse::PlusTimes();
+  }
+  if (args[idx].kind() != TypeKind::kString) {
+    return Status::TypeError("semiring name must be a string");
+  }
+  return la::sparse::SemiringByName(args[idx].string_value());
+}
+
+/// CSR view of a MATRIX value in either representation. `storage`
+/// holds the conversion when the value is dense.
+const CsrMatrix& CsrOf(const Value& v, CsrMatrix* storage) {
+  if (v.is_sparse_matrix()) return v.sparse_matrix();
+  *storage = CsrMatrix::FromDense(v.matrix());
+  return *storage;
+}
+
+/// matrix_multiply(a, b [, semiring]) with density-adaptive kernel
+/// selection. Representation rule: the result is sparsely represented
+/// only when an input was explicitly sparse; the auto-dispatch path
+/// (dense inputs below the density threshold) uses the sparse kernel
+/// internally but returns a dense value, so it is purely a
+/// kernel-selection device and results stay bit-identical.
+Result<Value> MultiplyDispatch(const std::vector<Value>& args) {
+  RADB_ASSIGN_OR_RETURN(Semiring s, SemiringArg(args, 2));
+  const Value& av = args[0];
+  const Value& bv = args[1];
+  const bool a_sp = av.is_sparse_matrix();
+  const bool b_sp = bv.is_sparse_matrix();
+  if (a_sp && b_sp) {
+    SparseMetric("la.sparse.dispatch_sparse");
+    RADB_ASSIGN_OR_RETURN(
+        CsrMatrix c, la::sparse::SpGemm(av.sparse_matrix(),
+                                        bv.sparse_matrix(), s));
+    return Value::FromSparseMatrix(std::move(c));
+  }
+  if (a_sp) {
+    SparseMetric("la.sparse.dispatch_sparse");
+    RADB_ASSIGN_OR_RETURN(
+        la::Matrix c, la::sparse::SpMm(av.sparse_matrix(), bv.matrix(), s));
+    return Value::FromMatrix(std::move(c));
+  }
+  if (b_sp) {
+    SparseMetric("la.sparse.dispatch_sparse");
+    RADB_ASSIGN_OR_RETURN(
+        CsrMatrix c, la::sparse::SpGemm(CsrMatrix::FromDense(av.matrix()),
+                                        bv.sparse_matrix(), s));
+    return Value::FromSparseMatrix(std::move(c));
+  }
+  const la::Matrix& a = av.matrix();
+  const la::Matrix& b = bv.matrix();
+  if (DispatchPolicy::AutoEnabled()) {
+    const size_t cells = a.rows() * a.cols();
+    if (cells > 0 &&
+        static_cast<double>(la::sparse::DenseNnz(a)) / cells <=
+            DispatchPolicy::Threshold()) {
+      SparseMetric("la.sparse.auto_sparsify");
+      RADB_ASSIGN_OR_RETURN(
+          la::Matrix c, la::sparse::SpMm(CsrMatrix::FromDense(a), b, s));
+      return Value::FromMatrix(std::move(c));
+    }
+  }
+  SparseMetric("la.sparse.dispatch_dense");
+  return WrapMat(la::sparse::DenseMultiply(a, b, s));
+}
+
+Result<Value> MatVecDispatch(const std::vector<Value>& args) {
+  RADB_ASSIGN_OR_RETURN(Semiring s, SemiringArg(args, 2));
+  if (args[0].is_sparse_matrix()) {
+    SparseMetric("la.sparse.dispatch_sparse");
+    return WrapVec(
+        la::sparse::SpMV(args[0].sparse_matrix(), args[1].vector(), s));
+  }
+  return WrapVec(la::sparse::DenseMatVec(args[0].matrix(),
+                                         args[1].vector(), s));
+}
+
+Result<Value> VecMatDispatch(const std::vector<Value>& args) {
+  RADB_ASSIGN_OR_RETURN(Semiring s, SemiringArg(args, 2));
+  if (args[1].is_sparse_matrix()) {
+    SparseMetric("la.sparse.dispatch_sparse");
+    return WrapVec(
+        la::sparse::SpVM(args[0].vector(), args[1].sparse_matrix(), s));
+  }
+  return WrapVec(la::sparse::DenseVecMat(args[0].vector(),
+                                         args[1].matrix(), s));
 }
 
 }  // namespace
@@ -59,6 +159,28 @@ std::vector<std::string> FunctionRegistry::Names() const {
 }
 
 void FunctionRegistry::Register(BuiltinFunction fn) {
+  if (!fn.sparse_aware) {
+    // Densify shim: the single fn->eval choke point (expr_eval) serves
+    // the row engine, the vectorized engine's scalar fallback, and the
+    // reference evaluator, so wrapping here makes every non-sparse-
+    // aware builtin (and app UDF) transparently accept sparse values.
+    fn.eval = [inner = std::move(fn.eval)](const std::vector<Value>& args)
+        -> Result<Value> {
+      bool any_sparse = false;
+      for (const Value& v : args) {
+        if (v.is_sparse_matrix()) {
+          any_sparse = true;
+          break;
+        }
+      }
+      if (!any_sparse) return inner(args);
+      SparseMetric("la.sparse.densify_fallback");
+      std::vector<Value> dense;
+      dense.reserve(args.size());
+      for (const Value& v : args) dense.push_back(v.Densified());
+      return inner(dense);
+    };
+  }
   fns_[ToLower(fn.signature.name())] = std::move(fn);
 }
 
@@ -69,29 +191,35 @@ FunctionRegistry::FunctionRegistry() {
         FunctionSignature(std::move(name), std::move(params), result),
         std::move(eval)});
   };
+  // Sparse-aware builtin with optional trailing parameters (see
+  // FunctionSignature's min_args overload).
+  auto add_sparse = [this](std::string name, std::vector<TT> params,
+                           size_t min_args, TT result, ScalarFn eval) {
+    Register(BuiltinFunction{
+        FunctionSignature(std::move(name), std::move(params), min_args,
+                          result),
+        std::move(eval), /*sparse_aware=*/true});
+  };
   const TT kDouble = TT::Scalar(TypeKind::kDouble);
   const TT kInt = TT::Scalar(TypeKind::kInteger);
+  const TT kBool = TT::Scalar(TypeKind::kBoolean);
+  const TT kString = TT::Scalar(TypeKind::kString);
   const TT kLabeled = TT::Scalar(TypeKind::kLabeledScalar);
 
-  // --- Core multiplication family (paper §3.1) ---
-  add("matrix_multiply",
-      {TT::Mat(DP::Var('a'), DP::Var('b')), TT::Mat(DP::Var('b'), DP::Var('c'))},
-      TT::Mat(DP::Var('a'), DP::Var('c')),
-      [](const std::vector<Value>& args) {
-        return WrapMat(la::Multiply(args[0].matrix(), args[1].matrix()));
-      });
-  add("matrix_vector_multiply",
-      {TT::Mat(DP::Var('a'), DP::Var('b')), TT::Vec(DP::Var('b'))},
-      TT::Vec(DP::Var('a')), [](const std::vector<Value>& args) {
-        return WrapVec(
-            la::MatrixVectorMultiply(args[0].matrix(), args[1].vector()));
-      });
-  add("vector_matrix_multiply",
-      {TT::Vec(DP::Var('a')), TT::Mat(DP::Var('a'), DP::Var('b'))},
-      TT::Vec(DP::Var('b')), [](const std::vector<Value>& args) {
-        return WrapVec(
-            la::VectorMatrixMultiply(args[0].vector(), args[1].matrix()));
-      });
+  // --- Core multiplication family (paper §3.1), generalized over a
+  // --- semiring and density-adaptive (sparse subsystem) ---
+  add_sparse("matrix_multiply",
+             {TT::Mat(DP::Var('a'), DP::Var('b')),
+              TT::Mat(DP::Var('b'), DP::Var('c')), kString},
+             2, TT::Mat(DP::Var('a'), DP::Var('c')), MultiplyDispatch);
+  add_sparse("matrix_vector_multiply",
+             {TT::Mat(DP::Var('a'), DP::Var('b')), TT::Vec(DP::Var('b')),
+              kString},
+             2, TT::Vec(DP::Var('a')), MatVecDispatch);
+  add_sparse("vector_matrix_multiply",
+             {TT::Vec(DP::Var('a')), TT::Mat(DP::Var('a'), DP::Var('b')),
+              kString},
+             2, TT::Vec(DP::Var('b')), VecMatDispatch);
   add("outer_product", {TT::Vec(DP::Var('a')), TT::Vec(DP::Var('b'))},
       TT::Mat(DP::Var('a'), DP::Var('b')),
       [](const std::vector<Value>& args) -> Result<Value> {
@@ -343,6 +471,128 @@ FunctionRegistry::FunctionRegistry() {
         RADB_ASSIGN_OR_RETURN(double a, args[0].AsDouble());
         RADB_ASSIGN_OR_RETURN(double b, args[1].AsDouble());
         return Value::Double(a == b ? 1.0 : 0.0);
+      });
+
+  // --- Sparse representation and semiring kernels (src/la/sparse) ---
+  add_sparse(
+      "sparsify", {TT::Mat(DP::Var('a'), DP::Var('b')), kDouble}, 1,
+      TT::Mat(DP::Var('a'), DP::Var('b')),
+      [](const std::vector<Value>& args) -> Result<Value> {
+        double threshold = 0.0;
+        if (args.size() > 1 && !args[1].is_null()) {
+          RADB_ASSIGN_OR_RETURN(threshold, args[1].AsDouble());
+          if (threshold < 0.0) {
+            return Status::InvalidArgument(
+                "sparsify: threshold must be >= 0");
+          }
+        }
+        if (args[0].is_sparse_matrix()) {
+          if (threshold == 0.0) return args[0];  // already canonical
+          return Value::FromSparseMatrix(CsrMatrix::FromDense(
+              args[0].sparse_matrix().ToDense(), threshold));
+        }
+        return Value::FromSparseMatrix(
+            CsrMatrix::FromDense(args[0].matrix(), threshold));
+      });
+  add_sparse("densify", {TT::Mat(DP::Var('a'), DP::Var('b'))}, 1,
+             TT::Mat(DP::Var('a'), DP::Var('b')),
+             [](const std::vector<Value>& args) -> Result<Value> {
+               return args[0].Densified();
+             });
+  add_sparse("nnz", {TT::Mat(DP::Any(), DP::Any())}, 1, kInt,
+             [](const std::vector<Value>& args) -> Result<Value> {
+               if (args[0].is_sparse_matrix()) {
+                 return Value::Int(
+                     static_cast<int64_t>(args[0].sparse_matrix().nnz()));
+               }
+               return Value::Int(static_cast<int64_t>(
+                   la::sparse::DenseNnz(args[0].matrix())));
+             });
+  add_sparse("is_sparse", {TT::Mat(DP::Any(), DP::Any())}, 1, kBool,
+             [](const std::vector<Value>& args) -> Result<Value> {
+               return Value::Bool(args[0].is_sparse_matrix());
+             });
+  add_sparse(
+      "trans_self_multiply",
+      {TT::Mat(DP::Var('a'), DP::Var('b')), kString}, 1,
+      TT::Mat(DP::Var('b'), DP::Var('b')),
+      [](const std::vector<Value>& args) -> Result<Value> {
+        RADB_ASSIGN_OR_RETURN(Semiring s, SemiringArg(args, 1));
+        if (args[0].is_sparse_matrix()) {
+          SparseMetric("la.sparse.dispatch_sparse");
+          return Value::FromMatrix(
+              la::sparse::SpTransposeSelfMultiply(args[0].sparse_matrix(),
+                                                  s));
+        }
+        return Value::FromMatrix(
+            la::sparse::DenseTransposeSelfMultiply(args[0].matrix(), s));
+      });
+  add_sparse(
+      "elementwise_add",
+      {TT::Mat(DP::Var('a'), DP::Var('b')),
+       TT::Mat(DP::Var('a'), DP::Var('b')), kString},
+      2, TT::Mat(DP::Var('a'), DP::Var('b')),
+      [](const std::vector<Value>& args) -> Result<Value> {
+        RADB_ASSIGN_OR_RETURN(Semiring s, SemiringArg(args, 2));
+        if (args[0].is_sparse_matrix() && args[1].is_sparse_matrix()) {
+          SparseMetric("la.sparse.dispatch_sparse");
+          RADB_ASSIGN_OR_RETURN(
+              CsrMatrix c, la::sparse::EWiseAdd(args[0].sparse_matrix(),
+                                                args[1].sparse_matrix(), s));
+          return Value::FromSparseMatrix(std::move(c));
+        }
+        return WrapMat(la::sparse::DenseEWiseAdd(
+            args[0].Densified().matrix(), args[1].Densified().matrix(), s));
+      });
+  add_sparse(
+      "elementwise_multiply",
+      {TT::Mat(DP::Var('a'), DP::Var('b')),
+       TT::Mat(DP::Var('a'), DP::Var('b')), kString},
+      2, TT::Mat(DP::Var('a'), DP::Var('b')),
+      [](const std::vector<Value>& args) -> Result<Value> {
+        RADB_ASSIGN_OR_RETURN(Semiring s, SemiringArg(args, 2));
+        if (args[0].is_sparse_matrix() && args[1].is_sparse_matrix()) {
+          SparseMetric("la.sparse.dispatch_sparse");
+          RADB_ASSIGN_OR_RETURN(
+              CsrMatrix c, la::sparse::EWiseMul(args[0].sparse_matrix(),
+                                                args[1].sparse_matrix(), s));
+          return Value::FromSparseMatrix(std::move(c));
+        }
+        return WrapMat(la::sparse::DenseEWiseMul(
+            args[0].Densified().matrix(), args[1].Densified().matrix(), s));
+      });
+  // Element-wise ⊕ over two fully-stored vectors; unlike the matrix
+  // ops above this is LITERAL (a 0.0 entry is the number zero), which
+  // is what iterated graph algorithms fold frontiers with.
+  add_sparse("vector_elementwise_add",
+             {TT::Vec(DP::Var('a')), TT::Vec(DP::Var('a')), kString}, 2,
+             TT::Vec(DP::Var('a')),
+             [](const std::vector<Value>& args) -> Result<Value> {
+               RADB_ASSIGN_OR_RETURN(Semiring s, SemiringArg(args, 2));
+               return WrapVec(la::sparse::VectorEWiseAdd(
+                   args[0].vector(), args[1].vector(), s));
+             });
+  add_sparse(
+      "matrix_mask",
+      {TT::Mat(DP::Var('a'), DP::Var('b')),
+       TT::Mat(DP::Var('a'), DP::Var('b')), kInt},
+      2, TT::Mat(DP::Var('a'), DP::Var('b')),
+      [](const std::vector<Value>& args) -> Result<Value> {
+        bool complement = false;
+        if (args.size() > 2 && !args[2].is_null()) {
+          RADB_ASSIGN_OR_RETURN(int64_t c, args[2].AsInt());
+          complement = c != 0;
+        }
+        CsrMatrix a_store, m_store;
+        const CsrMatrix& a = CsrOf(args[0], &a_store);
+        const CsrMatrix& m = CsrOf(args[1], &m_store);
+        RADB_ASSIGN_OR_RETURN(CsrMatrix c,
+                              la::sparse::Mask(a, m, complement));
+        SparseMetric("la.sparse.dispatch_sparse");
+        if (args[0].is_sparse_matrix()) {
+          return Value::FromSparseMatrix(std::move(c));
+        }
+        return Value::FromMatrix(c.ToDense());
       });
 
   // --- Scalar math helpers ---

@@ -21,9 +21,15 @@ using ScalarFn =
 
 /// A registered built-in: templated type signature (drives binding and
 /// the optimizer's size inference, §4.2) plus the evaluator.
+///
+/// `sparse_aware` marks evaluators that understand sparsely-represented
+/// MATRIX values. For everything else (including application UDFs),
+/// Register() installs a shim that densifies sparse arguments before
+/// calling eval, so `.matrix()` inside any implementation stays safe.
 struct BuiltinFunction {
   FunctionSignature signature;
   ScalarFn eval;
+  bool sparse_aware = false;
 };
 
 /// Registry of the paper's built-in functions over LABELED_SCALAR /

@@ -36,7 +36,10 @@ class Matrix {
   double* RowPtr(size_t r) { return data_.data() + r * cols_; }
   const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
 
-  size_t ByteSize() const { return data_.size() * sizeof(double); }
+  /// Allocation-exact heap bytes (capacity-aware) — the number the
+  /// MemoryTracker is charged. Serialized size is rows*cols*8 and is
+  /// computed by Value::ByteSize directly.
+  size_t ByteSize() const { return data_.capacity() * sizeof(double); }
 
   bool operator==(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_ &&

@@ -55,7 +55,10 @@ std::string EncodeValue(const Value& v) {
       return out;
     }
     case TypeKind::kMatrix: {
-      const la::Matrix& m = v.matrix();
+      // CSV is a dense text format: sparse values export their cells
+      // (representation is lost on a CSV round-trip, values are not).
+      const Value dense = v.Densified();
+      const la::Matrix& m = dense.matrix();
       out = "\"[" + std::to_string(m.rows()) + "," +
             std::to_string(m.cols());
       for (size_t i = 0; i < m.rows() * m.cols(); ++i) {

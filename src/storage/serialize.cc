@@ -22,6 +22,7 @@ enum class Tag : uint8_t {
   kLabeled = 5,
   kVector = 6,
   kMatrix = 7,
+  kSparse = 8,  // sparsely-represented MATRIX (CSR payload)
 };
 
 }  // namespace
@@ -139,6 +140,23 @@ void WriteValue(std::ostream& os, const Value& v) {
       return;
     }
     case TypeKind::kMatrix: {
+      if (v.is_sparse_matrix()) {
+        // tag + rows + cols + nnz + row_ptr[(rows+1) u64] + cols-as-u64
+        // + values. Value::ByteSize() for a sparse value is pinned to
+        // exactly these bytes (1 + SerializedByteSize()).
+        os.put(static_cast<char>(Tag::kSparse));
+        const la::sparse::CsrMatrix& m = v.sparse_matrix();
+        WriteU64(os, m.rows());
+        WriteU64(os, m.cols());
+        WriteU64(os, m.nnz());
+        os.write(reinterpret_cast<const char*>(m.row_ptr().data()),
+                 static_cast<std::streamsize>((m.rows() + 1) *
+                                              sizeof(uint64_t)));
+        for (uint32_t c : m.col_idx()) WriteU64(os, c);
+        os.write(reinterpret_cast<const char*>(m.values().data()),
+                 static_cast<std::streamsize>(m.nnz() * sizeof(double)));
+        return;
+      }
       os.put(static_cast<char>(Tag::kMatrix));
       const la::Matrix& m = v.matrix();
       WriteU64(os, m.rows());
@@ -208,6 +226,47 @@ Result<Value> ReadValue(std::istream& is) {
         return Status::InvalidArgument("truncated table file (matrix)");
       }
       return Value::FromMatrix(std::move(m));
+    }
+    case Tag::kSparse: {
+      RADB_ASSIGN_OR_RETURN(uint64_t r, ReadU64(is));
+      RADB_ASSIGN_OR_RETURN(uint64_t c, ReadU64(is));
+      RADB_ASSIGN_OR_RETURN(uint64_t nnz, ReadU64(is));
+      if (r > (1ULL << 24) || c > (1ULL << 24) || nnz > r * c) {
+        return Status::InvalidArgument("corrupt table file (sparse dims)");
+      }
+      std::vector<uint64_t> row_ptr(r + 1);
+      if (!is.read(reinterpret_cast<char*>(row_ptr.data()),
+                   static_cast<std::streamsize>((r + 1) * sizeof(uint64_t)))) {
+        return Status::InvalidArgument("truncated table file (sparse rows)");
+      }
+      if (row_ptr[0] != 0 || row_ptr[r] != nnz) {
+        return Status::InvalidArgument("corrupt table file (sparse row_ptr)");
+      }
+      la::sparse::CsrMatrix m(r, c);
+      std::vector<uint64_t> cols(nnz);
+      for (uint64_t i = 0; i < nnz; ++i) {
+        RADB_ASSIGN_OR_RETURN(cols[i], ReadU64(is));
+        if (cols[i] >= c) {
+          return Status::InvalidArgument("corrupt table file (sparse col)");
+        }
+      }
+      std::vector<double> vals(nnz);
+      if (nnz > 0 &&
+          !is.read(reinterpret_cast<char*>(vals.data()),
+                   static_cast<std::streamsize>(nnz * sizeof(double)))) {
+        return Status::InvalidArgument("truncated table file (sparse vals)");
+      }
+      for (uint64_t row = 0; row < r; ++row) {
+        if (row_ptr[row + 1] < row_ptr[row] || row_ptr[row + 1] > nnz) {
+          return Status::InvalidArgument(
+              "corrupt table file (sparse row_ptr)");
+        }
+        for (uint64_t i = row_ptr[row]; i < row_ptr[row + 1]; ++i) {
+          m.PushEntry(row, cols[i], vals[i]);
+        }
+        m.SealRowsThrough(row);
+      }
+      return Value::FromSparseMatrix(std::move(m));
     }
   }
   return Status::InvalidArgument("corrupt table file (unknown value tag)");

@@ -1,6 +1,9 @@
 #include "testing/catalog_gen.h"
 
+#include <cmath>
 #include <sstream>
+
+#include "la/sparse/sparse.h"
 
 namespace radb::testing {
 
@@ -29,7 +32,28 @@ std::string RandString(Rng* rng) {
   return kPool[rng->NextBelow(5)];
 }
 
-Value RandValue(const DataType& t, Rng* rng) {
+/// Nonzero vector/matrix entries on the same 0.5 grid (sparse tiles
+/// must not *store* 0.0: stored zero means "no entry").
+double RandNonzeroEntry(Rng* rng) {
+  const size_t i = rng->NextBelow(8);
+  return i < 4 ? (static_cast<double>(i) - 4.0) * 0.5
+               : (static_cast<double>(i) - 3.0) * 0.5;
+}
+
+Value RandValue(const ColumnSpec& col, Rng* rng) {
+  const DataType& t = col.type;
+  if (t.kind() == TypeKind::kMatrix && col.sparse_density > 0.0) {
+    // Bernoulli(density) per cell. At density 0.01 most 2x2..4x4 tiles
+    // come out empty — deliberately exercising the all-zero-tile path.
+    const size_t one_in =
+        static_cast<size_t>(std::llround(1.0 / col.sparse_density));
+    la::Matrix m(static_cast<size_t>(*t.rows()),
+                 static_cast<size_t>(*t.cols()));
+    for (size_t i = 0; i < m.rows() * m.cols(); ++i) {
+      if (rng->NextBelow(one_in) == 0) m.data()[i] = RandNonzeroEntry(rng);
+    }
+    return Value::FromSparseMatrix(la::sparse::CsrMatrix::FromDense(m));
+  }
   switch (t.kind()) {
     case TypeKind::kInteger:
       return Value::Int(RandInt(rng));
@@ -56,6 +80,10 @@ Value RandValue(const DataType& t, Rng* rng) {
       return Value::Null();
   }
 }
+
+/// Densities for generated sparse-matrix columns (ISSUE: exercise the
+/// empty/hot ends of the dispatch threshold).
+constexpr double kSparseDensities[] = {0.01, 0.1, 0.5};
 
 DataType RandColumnType(Rng* rng) {
   // Weighted toward scalars; every LA column gets fully declared
@@ -97,15 +125,20 @@ CatalogSpec GenerateCatalog(uint64_t seed) {
     table.columns.push_back(ColumnSpec{"k", DataType::Integer()});
     const size_t extras = rng.NextBelow(5);
     for (size_t c = 0; c < extras; ++c) {
-      table.columns.push_back(
-          ColumnSpec{"c" + std::to_string(c), RandColumnType(&rng)});
+      ColumnSpec col{"c" + std::to_string(c), RandColumnType(&rng)};
+      // Half the matrix columns hold sparse CSR values, so every
+      // fuzzer config sees mixed-representation operands.
+      if (col.type.kind() == TypeKind::kMatrix && rng.NextBelow(2) == 0) {
+        col.sparse_density = kSparseDensities[rng.NextBelow(3)];
+      }
+      table.columns.push_back(std::move(col));
     }
     // 0-8 rows; empty tables keep the empty-input paths honest.
     const size_t num_rows = rng.NextBelow(9);
     for (size_t r = 0; r < num_rows; ++r) {
       Row row;
       for (const ColumnSpec& col : table.columns) {
-        row.push_back(RandValue(col.type, &rng));
+        row.push_back(RandValue(col, &rng));
       }
       table.rows.push_back(std::move(row));
     }
@@ -134,6 +167,9 @@ std::string CatalogSpec::ToString() const {
     for (size_t i = 0; i < t.columns.size(); ++i) {
       if (i > 0) os << ", ";
       os << t.columns[i].name << " " << t.columns[i].type.ToString();
+      if (t.columns[i].sparse_density > 0.0) {
+        os << " /*sparse d=" << t.columns[i].sparse_density << "*/";
+      }
     }
     os << ")  -- " << t.rows.size() << " rows\n";
     for (const Row& row : t.rows) {

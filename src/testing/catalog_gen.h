@@ -16,6 +16,10 @@ namespace radb::testing {
 struct ColumnSpec {
   std::string name;
   DataType type;
+  /// > 0 for MATRIX columns whose values are generated as sparse CSR
+  /// tiles: each cell is nonzero with this probability. 0 means dense
+  /// values (the default for every other column).
+  double sparse_density = 0.0;
 };
 
 /// One generated table: schema plus fully materialized rows.

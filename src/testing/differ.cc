@@ -166,6 +166,15 @@ std::vector<FuzzConfig> StandardConfigs() {
 }
 
 RowSet Normalized(RowSet rows) {
+  // Canonicalize representation before ordering: a sparse matrix and
+  // the dense matrix with the same cells are the same SQL value, and
+  // the oracle comparison must be representation-blind (the DENSIFY
+  // canonicalization the sparse-subsystem differ coverage relies on).
+  for (Row& row : rows) {
+    for (Value& v : row) {
+      if (v.is_sparse_matrix()) v = v.Densified();
+    }
+  }
   std::sort(rows.begin(), rows.end(), RowLess);
   return rows;
 }

@@ -52,8 +52,15 @@ class ExprGen {
                                      : "argmax_vector(" + v->text + ")";
     }
     if (const ColRef* m = Pick(s_.matrices, rng_)) {
-      return rng_->NextBelow(2) == 0 ? "matrix_rows(" + m->text + ")"
-                                     : "matrix_cols(" + m->text + ")";
+      switch (rng_->NextBelow(3)) {
+        case 0:
+          return "matrix_rows(" + m->text + ")";
+        case 1:
+          return "matrix_cols(" + m->text + ")";
+        default:
+          // Stored-entry count; representation-invariant by design.
+          return "nnz(" + m->text + ")";
+      }
     }
     return IntExpr(0);
   }
@@ -156,7 +163,7 @@ class ExprGen {
   /// LA-valued (VECTOR/MATRIX) expression, or empty when the scope has
   /// no LA columns to build from.
   std::string LaExpr() {
-    const uint64_t roll = rng_->NextBelow(8);
+    const uint64_t roll = rng_->NextBelow(10);
     const ColRef* v = Pick(s_.vectors, rng_);
     const ColRef* m = Pick(s_.matrices, rng_);
     if (v != nullptr && (roll < 2 || m == nullptr)) {
@@ -210,6 +217,29 @@ class ExprGen {
         }
         case 6:
           return "row_mins(" + m->text + ")";
+        case 7:
+          // Representation round-trips: the differ densifies before
+          // comparing, so these must be value-preserving no-ops.
+          return rng_->NextBelow(2) == 0
+                     ? "sparsify(" + m->text + ")"
+                     : "densify(sparsify(" + m->text + "))";
+        case 8: {
+          // Semiring-generalized multiply; grid entries keep min/max
+          // and sum folds exact, so every config agrees bitwise.
+          static const char* kSemirings[] = {"plus_times", "min_plus",
+                                             "max_plus", "or_and"};
+          const char* sr = kSemirings[rng_->NextBelow(4)];
+          for (const ColRef& o : s_.matrices) {
+            if (m->type.cols() == o.type.rows()) {
+              const std::string a = rng_->NextBelow(2) == 0
+                                        ? "sparsify(" + m->text + ")"
+                                        : m->text;
+              return "matrix_multiply(" + a + ", " + o.text + ", '" +
+                     std::string(sr) + "')";
+            }
+          }
+          return "sparsify(" + m->text + ")";
+        }
         default:
           return m->text;
       }

@@ -94,9 +94,13 @@ bool KindMatches(TypeKind param, TypeKind arg) {
 
 Result<DataType> FunctionSignature::Bind(
     const std::vector<DataType>& args) const {
-  if (args.size() != params_.size()) {
-    return Status::TypeError(name_ + ": expected " +
-                             std::to_string(params_.size()) +
+  if (args.size() < min_args_ || args.size() > params_.size()) {
+    const std::string expected =
+        min_args_ == params_.size()
+            ? std::to_string(params_.size())
+            : std::to_string(min_args_) + " to " +
+                  std::to_string(params_.size());
+    return Status::TypeError(name_ + ": expected " + expected +
                              " argument(s), got " +
                              std::to_string(args.size()));
   }
@@ -131,7 +135,11 @@ Result<DataType> FunctionSignature::Bind(
 std::string FunctionSignature::ToString() const {
   std::vector<std::string> parts;
   parts.reserve(params_.size());
-  for (const TypeTemplate& p : params_) parts.push_back(p.ToString());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    std::string s = params_[i].ToString();
+    if (i >= min_args_) s = "[" + s + "]";
+    parts.push_back(std::move(s));
+  }
   return name_ + "(" + Join(parts, ", ") + ") -> " + result_.ToString();
 }
 

@@ -65,10 +65,21 @@ class FunctionSignature {
                     TypeTemplate result)
       : name_(std::move(name)),
         params_(std::move(params)),
+        min_args_(params_.size()),
+        result_(result) {}
+  /// Signature with optional trailing parameters: the call may supply
+  /// between `min_args` and params.size() arguments (e.g.
+  /// sparsify(MATRIX [, DOUBLE]) has min_args = 1).
+  FunctionSignature(std::string name, std::vector<TypeTemplate> params,
+                    size_t min_args, TypeTemplate result)
+      : name_(std::move(name)),
+        params_(std::move(params)),
+        min_args_(min_args),
         result_(result) {}
 
   const std::string& name() const { return name_; }
   const std::vector<TypeTemplate>& params() const { return params_; }
+  size_t min_args() const { return min_args_; }
   const TypeTemplate& result() const { return result_; }
 
   /// Checks arity and kinds, unifies dimension variables across the
@@ -82,6 +93,7 @@ class FunctionSignature {
  private:
   std::string name_;
   std::vector<TypeTemplate> params_;
+  size_t min_args_ = 0;
   TypeTemplate result_;
 };
 

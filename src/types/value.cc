@@ -31,9 +31,15 @@ TypeKind Value::kind() const {
     case 6:
       return TypeKind::kVector;
     case 7:
+    case 8:  // sparse representation of the same SQL type
       return TypeKind::kMatrix;
   }
   return TypeKind::kNull;
+}
+
+Value Value::Densified() const {
+  if (!is_sparse_matrix()) return *this;
+  return FromMatrix(sparse_matrix().ToDense());
 }
 
 DataType Value::RuntimeType() const {
@@ -41,6 +47,11 @@ DataType Value::RuntimeType() const {
     case TypeKind::kVector:
       return DataType::MakeVector(static_cast<int64_t>(vector().size()));
     case TypeKind::kMatrix:
+      if (is_sparse_matrix()) {
+        return DataType::MakeMatrix(
+            static_cast<int64_t>(sparse_matrix().rows()),
+            static_cast<int64_t>(sparse_matrix().cols()));
+      }
       return DataType::MakeMatrix(static_cast<int64_t>(matrix().rows()),
                                   static_cast<int64_t>(matrix().cols()));
     default:
@@ -106,10 +117,44 @@ size_t Value::ByteSize() const {
       // tag + label + size + elements.
       return 1 + 8 + 8 + vector().ByteSize();
     case TypeKind::kMatrix:
-      // tag + rows + cols + elements.
-      return 1 + 8 + 8 + matrix().ByteSize();
+      if (is_sparse_matrix()) {
+        // tag + (rows + cols + nnz + row_ptr + cols + values).
+        return 1 + sparse_matrix().SerializedByteSize();
+      }
+      // tag + rows + cols + elements. Computed from the shape, not
+      // Matrix::ByteSize(), which is capacity-aware for the tracker.
+      return 1 + 8 + 8 + matrix().rows() * matrix().cols() * sizeof(double);
   }
   return 1 + 8;
+}
+
+bool Value::Equals(const Value& other) const {
+  const bool a_sparse = is_sparse_matrix();
+  const bool b_sparse = other.is_sparse_matrix();
+  if (a_sparse == b_sparse) return v_ == other.v_;
+  // Mixed representations: equal iff the cells agree. Canonical CSR
+  // (sorted columns, no stored 0.0) means stored entries must match
+  // dense cells exactly and every other dense cell must be 0.0.
+  const la::sparse::CsrMatrix& s =
+      a_sparse ? sparse_matrix() : other.sparse_matrix();
+  const Value& dv = a_sparse ? other : *this;
+  if (dv.kind() != TypeKind::kMatrix) return false;
+  const la::Matrix& d = dv.matrix();
+  if (s.rows() != d.rows() || s.cols() != d.cols()) return false;
+  for (size_t r = 0; r < s.rows(); ++r) {
+    uint64_t i = s.row_ptr()[r];
+    const uint64_t ie = s.row_ptr()[r + 1];
+    const double* row = d.RowPtr(r);
+    for (size_t c = 0; c < s.cols(); ++c) {
+      if (i < ie && s.col_idx()[i] == c) {
+        if (!(row[c] == s.values()[i])) return false;
+        ++i;
+      } else if (!(row[c] == 0.0)) {
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 Result<int> Value::Compare(const Value& other) const {
@@ -158,6 +203,28 @@ size_t Value::Hash() const {
       return h;
     }
     case TypeKind::kMatrix: {
+      if (is_sparse_matrix()) {
+        // Hash must match the dense value with the same cells so
+        // mixed-representation group-by keys collide correctly.
+        // std::hash<double> hashes -0.0 and +0.0 identically, so
+        // expanding structural zeros as 0.0 is exact.
+        const la::sparse::CsrMatrix& m = sparse_matrix();
+        size_t h = HashCombine(hi(static_cast<int64_t>(m.rows())),
+                               hi(static_cast<int64_t>(m.cols())));
+        const size_t zero_hash = hd(0.0);
+        for (size_t r = 0; r < m.rows(); ++r) {
+          uint64_t i = m.row_ptr()[r];
+          const uint64_t ie = m.row_ptr()[r + 1];
+          for (size_t c = 0; c < m.cols(); ++c) {
+            if (i < ie && m.col_idx()[i] == c) {
+              h = HashCombine(h, hd(m.values()[i++]));
+            } else {
+              h = HashCombine(h, zero_hash);
+            }
+          }
+        }
+        return h;
+      }
       const la::Matrix& m = matrix();
       size_t h = HashCombine(hi(static_cast<int64_t>(m.rows())),
                              hi(static_cast<int64_t>(m.cols())));
@@ -197,6 +264,7 @@ std::string Value::ToString() const {
     case TypeKind::kVector:
       return vector().ToString();
     case TypeKind::kMatrix:
+      if (is_sparse_matrix()) return sparse_matrix().ToString();
       return matrix().ToString();
   }
   return "?";

@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "la/matrix.h"
+#include "la/sparse/sparse.h"
 #include "la/vector.h"
 #include "types/data_type.h"
 
@@ -47,6 +48,17 @@ struct MatrixValue {
   }
 };
 
+/// Runtime payload of a sparsely-represented MATRIX. Sparsity is a
+/// physical property, not a SQL type: kind() is still kMatrix, and a
+/// sparse value is Equals()-equal to the dense value with the same
+/// cells. Produced by SPARSIFY and by sparse-in → sparse-out kernels.
+struct SparseMatrixValue {
+  std::shared_ptr<const la::sparse::CsrMatrix> mat;
+  bool operator==(const SparseMatrixValue& o) const {
+    return mat == o.mat || (mat && o.mat && *mat == *o.mat);
+  }
+};
+
 /// A single SQL runtime value: the classical scalar types plus the
 /// paper's LABELED_SCALAR / VECTOR / MATRIX extension types.
 class Value {
@@ -75,6 +87,14 @@ class Value {
   static Value FromSharedMatrix(std::shared_ptr<const la::Matrix> m) {
     return Value(Repr(MatrixValue{std::move(m)}));
   }
+  static Value FromSparseMatrix(la::sparse::CsrMatrix m) {
+    return Value(Repr(SparseMatrixValue{
+        std::make_shared<la::sparse::CsrMatrix>(std::move(m))}));
+  }
+  static Value FromSharedSparseMatrix(
+      std::shared_ptr<const la::sparse::CsrMatrix> m) {
+    return Value(Repr(SparseMatrixValue{std::move(m)}));
+  }
 
   TypeKind kind() const;
   bool is_null() const { return kind() == TypeKind::kNull; }
@@ -98,7 +118,23 @@ class Value {
     return std::get<MatrixValue>(v_);
   }
   const la::Vector& vector() const { return *vector_value().vec; }
+  /// Dense matrix payload; throws bad_variant_access on a sparse
+  /// value — check is_sparse_matrix() or go through Densified().
   const la::Matrix& matrix() const { return *matrix_value().mat; }
+
+  /// True iff this kMatrix value is sparsely represented.
+  bool is_sparse_matrix() const {
+    return std::holds_alternative<SparseMatrixValue>(v_);
+  }
+  const SparseMatrixValue& sparse_matrix_value() const {
+    return std::get<SparseMatrixValue>(v_);
+  }
+  const la::sparse::CsrMatrix& sparse_matrix() const {
+    return *sparse_matrix_value().mat;
+  }
+  /// This value with any sparse matrix expanded to dense; identity
+  /// (no copy) for everything else.
+  Value Densified() const;
 
   /// Numeric coercion: INTEGER, DOUBLE, BOOLEAN and LABELED_SCALAR all
   /// read as double; anything else is a TypeError.
@@ -114,8 +150,9 @@ class Value {
 
   /// Deep equality (vectors/matrices compared element-wise). SQL
   /// NULLs compare equal here — this is used by tests and group-by
-  /// keys, not three-valued logic.
-  bool Equals(const Value& other) const { return v_ == other.v_; }
+  /// keys, not three-valued logic. Representation-blind: a sparse
+  /// matrix equals the dense matrix with the same cells.
+  bool Equals(const Value& other) const;
 
   /// Total order over comparable scalar kinds for MIN/MAX/ORDER BY.
   /// TypeError on vectors/matrices or mismatched kinds.
@@ -129,7 +166,7 @@ class Value {
  private:
   using Repr = std::variant<std::monostate, bool, int64_t, double,
                             std::string, LabeledScalarValue, VectorValue,
-                            MatrixValue>;
+                            MatrixValue, SparseMatrixValue>;
   explicit Value(Repr v) : v_(std::move(v)) {}
   Repr v_;
 };

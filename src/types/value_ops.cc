@@ -94,6 +94,23 @@ Value VectorScalarArith(ArithOp op, const la::Vector& v, double s,
   return Value::Null();
 }
 
+/// Structure-preserving scale of a sparse matrix (s finite, nonzero):
+/// only stored entries change, structural zeros stay zero, so the
+/// representation survives. Entries that underflow to 0.0 are dropped
+/// to keep the CSR canonical.
+Value ScaleSparse(const la::sparse::CsrMatrix& m, ArithOp op, double s) {
+  la::sparse::CsrMatrix out(m.rows(), m.cols());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (uint64_t i = m.row_ptr()[r]; i < m.row_ptr()[r + 1]; ++i) {
+      const double v =
+          op == ArithOp::kDiv ? m.values()[i] / s : m.values()[i] * s;
+      if (v != 0.0) out.PushEntry(r, m.col_idx()[i], v);
+    }
+    out.SealRowsThrough(r);
+  }
+  return Value::FromSparseMatrix(std::move(out));
+}
+
 Value MatrixScalarArith(ArithOp op, const la::Matrix& m, double s,
                         bool scalar_on_left) {
   switch (op) {
@@ -146,7 +163,24 @@ Result<Value> EvalArith(ArithOp op, const Value& lhs, const Value& rhs) {
     return VectorVectorArith(op, lhs.vector(), rhs.vector());
   }
   if (lk == TypeKind::kMatrix && rk == TypeKind::kMatrix) {
-    return MatrixMatrixArith(op, lhs.matrix(), rhs.matrix());
+    // Two sparse matrices stay sparse for + and * (element-wise union /
+    // intersection under plus-times — identical cells to the dense
+    // op). Everything else densifies: - and / write non-zero cells
+    // where both inputs had none.
+    if (lhs.is_sparse_matrix() && rhs.is_sparse_matrix() &&
+        (op == ArithOp::kAdd || op == ArithOp::kMul)) {
+      const la::sparse::Semiring& s = la::sparse::PlusTimes();
+      Result<la::sparse::CsrMatrix> r =
+          op == ArithOp::kAdd
+              ? la::sparse::EWiseAdd(lhs.sparse_matrix(),
+                                     rhs.sparse_matrix(), s)
+              : la::sparse::EWiseMul(lhs.sparse_matrix(),
+                                     rhs.sparse_matrix(), s);
+      if (!r.ok()) return r.status();
+      return Value::FromSparseMatrix(std::move(r).value());
+    }
+    const Value ld = lhs.Densified(), rd = rhs.Densified();
+    return MatrixMatrixArith(op, ld.matrix(), rd.matrix());
   }
   if (lk == TypeKind::kVector && IsScalarNumeric(rk)) {
     RADB_ASSIGN_OR_RETURN(double s, rhs.AsDouble());
@@ -158,10 +192,26 @@ Result<Value> EvalArith(ArithOp op, const Value& lhs, const Value& rhs) {
   }
   if (lk == TypeKind::kMatrix && IsScalarNumeric(rk)) {
     RADB_ASSIGN_OR_RETURN(double s, rhs.AsDouble());
+    if (lhs.is_sparse_matrix()) {
+      if ((op == ArithOp::kMul || op == ArithOp::kDiv) &&
+          std::isfinite(s) && s != 0.0) {
+        return ScaleSparse(lhs.sparse_matrix(), op, s);
+      }
+      return MatrixScalarArith(op, lhs.Densified().matrix(), s,
+                               /*scalar_on_left=*/false);
+    }
     return MatrixScalarArith(op, lhs.matrix(), s, /*scalar_on_left=*/false);
   }
   if (IsScalarNumeric(lk) && rk == TypeKind::kMatrix) {
     RADB_ASSIGN_OR_RETURN(double s, lhs.AsDouble());
+    if (rhs.is_sparse_matrix()) {
+      // s * m commutes; s - m and s / m rewrite structural zeros.
+      if (op == ArithOp::kMul && std::isfinite(s) && s != 0.0) {
+        return ScaleSparse(rhs.sparse_matrix(), op, s);
+      }
+      return MatrixScalarArith(op, rhs.Densified().matrix(), s,
+                               /*scalar_on_left=*/true);
+    }
     return MatrixScalarArith(op, rhs.matrix(), s, /*scalar_on_left=*/true);
   }
 
@@ -226,6 +276,9 @@ Result<Value> EvalNegate(const Value& v) {
       return Value::FromVector(la::MulScalar(v.vector(), -1.0),
                                v.vector_value().label);
     case TypeKind::kMatrix:
+      if (v.is_sparse_matrix()) {
+        return ScaleSparse(v.sparse_matrix(), ArithOp::kMul, -1.0);
+      }
       return Value::FromMatrix(la::MulScalar(v.matrix(), -1.0));
     default:
       return Status::TypeError(std::string("cannot negate ") +

@@ -1,0 +1,93 @@
+#ifndef RADB_WORKLOADS_GRAPH_H_
+#define RADB_WORKLOADS_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+
+namespace radb::workloads {
+
+/// One directed edge. Weights must be finite and > 0: the sparse
+/// adjacency matrix stores "no edge" as 0.0 (the structural-zero
+/// convention), so a genuine zero-weight edge cannot be represented.
+struct GraphEdge {
+  int64_t src = 0;
+  int64_t dst = 0;
+  double weight = 1.0;
+};
+
+/// Distance assigned to nodes the traversal never reaches. Kept finite
+/// so the state vector round-trips exactly through SQL literals and
+/// VECTOR values; min-plus relaxations through an "unreachable" node
+/// produce values > kUnreachable and never win a min against it.
+inline constexpr double kUnreachable = 1e18;
+
+/// Outcome of an iterated-semiring traversal.
+struct TraversalResult {
+  /// Per node: min-plus distance (kUnreachable if unreached) for SSSP,
+  /// or 0.0 / 1.0 reachability for k-hop.
+  std::vector<double> values;
+  /// Entries improved by each completed iteration. The traversal stops
+  /// after the first iteration whose frontier is empty, so the final
+  /// element is 0 unless the iteration cap cut the run short.
+  std::vector<size_t> frontier_sizes;
+};
+
+/// Graph analytics as iterated semiring vector-matrix multiplies over
+/// an edge-list table, driven entirely through ordinary SQL:
+///
+///   adjacency  = SPARSIFY(ROWMATRIX(...))  built from the edge list,
+///   relaxation = vector_elementwise_add(d, vector_matrix_multiply(
+///                    d, A, '<semiring>'), '<semiring>')
+///
+/// with 'min_plus' giving single-source shortest paths and 'or_and'
+/// giving k-hop reachability. One instance manages a family of tables
+/// named <prefix>_edges / <prefix>_adj in the caller's Database.
+class GraphAnalytics {
+ public:
+  explicit GraphAnalytics(Database* db, std::string prefix = "g");
+
+  /// Loads a directed graph with `num_nodes` nodes (ids 0..n-1) and
+  /// builds the sparse adjacency matrix through SQL. Duplicate (src,
+  /// dst) edges are collapsed keeping the minimum weight (harmless for
+  /// both supported semirings). Rejects out-of-range endpoints and
+  /// non-finite or <= 0 weights.
+  Status LoadEdges(size_t num_nodes, const std::vector<GraphEdge>& edges);
+
+  /// Single-source shortest paths under the min-plus semiring.
+  /// `max_iters` of 0 means "until the frontier is empty" (bounded by
+  /// n iterations, enough for any shortest path).
+  Result<TraversalResult> Sssp(size_t source, size_t max_iters = 0);
+
+  /// Nodes reachable from `source` in at most `k` hops under the
+  /// or-and semiring (the source itself is always reachable in 0).
+  Result<TraversalResult> KHop(size_t source, size_t k);
+
+  size_t num_nodes() const { return n_; }
+
+ private:
+  Result<TraversalResult> Iterate(const std::vector<double>& init,
+                                  const std::string& semiring,
+                                  size_t max_iters);
+
+  Database* db_;
+  std::string prefix_;
+  size_t n_ = 0;
+};
+
+/// Synchronous-relaxation reference oracles. They apply exactly the
+/// per-round update the SQL path computes, so results match the engine
+/// bit for bit (min/or folds are order-independent and the per-edge
+/// double additions are identical).
+std::vector<double> SsspOracle(size_t num_nodes,
+                               const std::vector<GraphEdge>& edges,
+                               size_t source, size_t max_iters = 0);
+std::vector<double> KHopOracle(size_t num_nodes,
+                               const std::vector<GraphEdge>& edges,
+                               size_t source, size_t k);
+
+}  // namespace radb::workloads
+
+#endif  // RADB_WORKLOADS_GRAPH_H_
